@@ -1,0 +1,70 @@
+// Shared benchmark machinery: the SP-2-like machine model and helpers
+// for compiling/preparing the paper's kernels.
+//
+// The cost model approximates the paper's testbed, a 4-processor IBM
+// SP-2 (1997): message latency ~40us, network bandwidth ~35 MB/s, and
+// memory copy bandwidth ~200 MB/s (POWER2, read+write).  With
+// `emulate = true` these costs are busy-waited, so wall-clock
+// measurements reflect the machine being modeled rather than the host's
+// memcpy speed; counted statistics (messages, bytes) are exact either
+// way.
+#pragma once
+
+#include <utility>
+
+#include "driver/hpfsc.hpp"
+
+namespace hpfsc::bench {
+
+inline simpi::MachineConfig sp2_machine(int rows = 2, int cols = 2) {
+  simpi::MachineConfig mc;
+  mc.pe_rows = rows;
+  mc.pe_cols = cols;
+  // Calibrated so that, relative to this executor's compute speed, the
+  // copy/communication/compute balance approximates the paper's SP-2
+  // measurements (see EXPERIMENTS.md for the calibration notes).
+  mc.cost.latency_ns = 100'000;
+  mc.cost.ns_per_byte = 28.0;
+  mc.cost.memory_ns_per_byte = 2.0;
+  mc.cost.cache_ns_per_byte = 0.2;
+  mc.cost.emulate = true;
+  return mc;
+}
+
+/// Compile `kernel` with the given options (plus live-out set) and
+/// prepare an Execution at problem size N with a deterministic input.
+inline Execution make_execution(const char* kernel, CompilerOptions opts,
+                                const simpi::MachineConfig& mc, int n,
+                                std::vector<std::string> live_out = {"T"}) {
+  opts.passes.offset.live_out = std::move(live_out);
+  Compiler compiler;
+  CompiledProgram compiled = compiler.compile(kernel, opts);
+  Execution exec(std::move(compiled.program), mc);
+  exec.prepare(Bindings{}.set("N", n));
+  // Initialize the canonical input array when the kernel has one (the
+  // 5-point kernel uses SRC and coefficient bindings instead; its
+  // harness re-prepares with the full bindings).
+  if (exec.program().find_array("U") >= 0) {
+    exec.set_array("U", [](int i, int j, int) { return i * 0.25 + j * 0.5; });
+  }
+  return exec;
+}
+
+inline const char* level_name(int level) {
+  switch (level) {
+    case -1: return "xlhpf";
+    case 0: return "O0-original";
+    case 1: return "O1-offset-arrays";
+    case 2: return "O2-context-partition";
+    case 3: return "O3-comm-unioning";
+    case 4: return "O4-memory-opts";
+  }
+  return "?";
+}
+
+inline CompilerOptions options_for(int level) {
+  return level < 0 ? CompilerOptions::xlhpf_like()
+                   : CompilerOptions::level(level);
+}
+
+}  // namespace hpfsc::bench

@@ -1,0 +1,49 @@
+// Reproduces paper Figure 17: step-wise results of the stencil
+// compilation strategy on Problem 9 (Purdue Set), executed on a
+// simulated 4-processor SP-2.
+//
+// Paper (SP-2, 4 PEs, largest size):
+//   original             0.475 s        1.00x
+//   + offset arrays      -45%           1.80x
+//   + context partition  -31% more      2.64x
+//   + comm unioning      -41% more      4.4x
+//   + memory opts        -14% more      5.19x
+// Expected shape here: monotone improvement with large offset-array and
+// communication-unioning steps; absolute factors depend on the cost
+// model (see EXPERIMENTS.md).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace hpfsc;
+using namespace hpfsc::bench;
+
+void BM_Problem9(benchmark::State& state) {
+  const int level = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  Execution exec = make_execution(kernels::kProblem9, options_for(level),
+                                  sp2_machine(), n);
+  exec.run(1);  // warm-up
+  std::uint64_t msgs = 0;
+  std::uint64_t intra = 0;
+  for (auto _ : state) {
+    auto stats = exec.run(1);
+    msgs = stats.machine.messages_sent;
+    intra = stats.machine.intra_copy_bytes;
+  }
+  state.counters["messages"] = static_cast<double>(msgs);
+  state.counters["intra_bytes"] = static_cast<double>(intra);
+  state.SetLabel(level_name(level));
+}
+
+}  // namespace
+
+BENCHMARK(BM_Problem9)
+    ->ArgNames({"level", "N"})
+    ->ArgsProduct({{0, 1, 2, 3, 4}, {128, 256, 512}})
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.3);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,46 @@
+// Ablation A1: interprocessor message counts per optimization level
+// (the quantity communication unioning minimizes).  The paper's counts
+// for the 9-point stencil: 12 CSHIFTs in the source, 8 overlap shifts
+// after offset arrays (duplicates merged), 4 after unioning — one per
+// direction per dimension (Figure 6).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace hpfsc;
+  using namespace hpfsc::bench;
+  const int n = 128;
+
+  std::printf("Ablation A1: shift operations and runtime messages per "
+              "iteration (N=%d, 2x2 PEs)\n\n", n);
+  std::printf("  %-18s %-22s %11s %14s %10s %12s\n", "kernel", "level",
+              "full-shifts", "overlap-shifts", "messages", "intra-bytes");
+
+  for (auto [kname, kernel] :
+       {std::pair{"ninept-single", kernels::kNinePointCShift},
+        {"problem9", kernels::kProblem9},
+        {"ninept-array", kernels::kNinePointArraySyntax}}) {
+    for (int level : {-1, 0, 1, 2, 3, 4}) {
+      Compiler compiler;
+      CompilerOptions opts = options_for(level);
+      opts.passes.offset.live_out = {"T"};
+      CompiledProgram compiled = compiler.compile(kernel, opts);
+      auto comm = compiled.program.comm_summary();
+      simpi::MachineConfig mc = sp2_machine();
+      mc.cost.emulate = false;  // counting only
+      Execution exec(std::move(compiled.program), mc);
+      exec.prepare(Bindings{}.set("N", n));
+      exec.set_array("U", [](int i, int j, int) { return i + 2.0 * j; });
+      auto stats = exec.run(1);
+      std::printf("  %-18s %-22s %11d %14d %10llu %12llu\n", kname,
+                  level_name(level), comm.full_shifts, comm.overlap_shifts,
+                  static_cast<unsigned long long>(
+                      stats.machine.messages_sent),
+                  static_cast<unsigned long long>(
+                      stats.machine.intra_copy_bytes));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Ablation A4: PE-grid scaling at fixed problem size.  Shows the
+// surface-to-volume effect: more PEs mean more boundary messages while
+// the per-PE subgrid shrinks.  NOTE: PEs are threads; on a single-core
+// host wall time measures total work (serialized), so the interesting
+// series here are the message/byte counts and the per-level deltas, not
+// parallel speedup.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace hpfsc;
+  using namespace hpfsc::bench;
+  const int n = 256;
+  const int iterations = 5;
+
+  std::printf("Ablation A4: Problem 9 at N=%d across PE grids "
+              "(%d iterations each)\n\n", n, iterations);
+  std::printf("  %-8s %-20s %10s %10s %12s %14s\n", "grid", "level",
+              "time[ms]", "messages", "net bytes", "bytes/PE/iter");
+
+  for (auto [rows, cols] : {std::pair{1, 1}, {2, 2}, {4, 4}}) {
+    for (int level : {0, 4}) {
+      Execution exec = make_execution(kernels::kProblem9,
+                                      options_for(level),
+                                      sp2_machine(rows, cols), n);
+      exec.run(1);
+      auto stats = exec.run(iterations);
+      char grid[16];
+      std::snprintf(grid, sizeof grid, "%dx%d", rows, cols);
+      std::printf("  %-8s %-20s %10.2f %10llu %12llu %14.0f\n", grid,
+                  level_name(level), stats.wall_seconds * 1e3,
+                  static_cast<unsigned long long>(
+                      stats.machine.messages_sent),
+                  static_cast<unsigned long long>(stats.machine.bytes_sent),
+                  static_cast<double>(stats.machine.bytes_sent) /
+                      (rows * cols) / iterations);
+    }
+  }
+  std::printf("\n(1x1 sends zero messages: circular halos are local "
+              "copies.)\n");
+  return 0;
+}

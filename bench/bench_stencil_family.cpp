@@ -1,0 +1,75 @@
+// Ablation A3: the strategy across a stencil family — 5-point, 9-point,
+// and radius-2 13-point star — checking that communication unioning
+// handles larger shift distances (a distance-2 shift subsumes the
+// distance-1 shift in the same direction, paper Section 3.3) and that
+// the optimized message count stays at one per direction per dimension.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace hpfsc;
+using namespace hpfsc::bench;
+
+// Radius-2 star stencil (13-point): distances 1 and 2 in each direction.
+constexpr const char* kThirteenPoint = R"(
+PROGRAM STAR13
+INTEGER N
+REAL U(N,N), T(N,N)
+!HPF$ DISTRIBUTE U(BLOCK,BLOCK)
+!HPF$ DISTRIBUTE T(BLOCK,BLOCK)
+T = U + CSHIFT(U,-1,1) + CSHIFT(U,+1,1) + CSHIFT(U,-2,1) + CSHIFT(U,+2,1) &
+      + CSHIFT(U,-1,2) + CSHIFT(U,+1,2) + CSHIFT(U,-2,2) + CSHIFT(U,+2,2) &
+      + CSHIFT(CSHIFT(U,-1,1),-1,2) + CSHIFT(CSHIFT(U,-1,1),+1,2)         &
+      + CSHIFT(CSHIFT(U,+1,1),-1,2) + CSHIFT(CSHIFT(U,+1,1),+1,2)
+END
+)";
+
+const char* kernel_for(int family) {
+  switch (family) {
+    case 0: return kernels::kFivePointArraySyntax;
+    case 1: return kernels::kProblem9;
+    default: return kThirteenPoint;
+  }
+}
+
+void BM_StencilFamily(benchmark::State& state) {
+  const int family = static_cast<int>(state.range(0));
+  const int level = static_cast<int>(state.range(1));
+  const int n = 256;
+  const char* kernel = kernel_for(family);
+  std::vector<std::string> live_out{family == 0 ? "DST" : "T"};
+  Execution exec = make_execution(kernel, options_for(level), sp2_machine(),
+                                  n, live_out);
+  if (family == 0) {
+    Bindings b;
+    b.set("N", n).set("C1", 0.2).set("C2", 0.2).set("C3", 0.2)
+        .set("C4", 0.2).set("C5", 0.2);
+    exec.prepare(b);
+    exec.set_array("SRC", [](int i, int j, int) { return i + 0.5 * j; });
+  }
+  exec.run(1);
+  std::uint64_t msgs = 0;
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    auto stats = exec.run(1);
+    msgs = stats.machine.messages_sent;
+    bytes = stats.machine.bytes_sent;
+  }
+  state.counters["messages"] = static_cast<double>(msgs);
+  state.counters["net_bytes"] = static_cast<double>(bytes);
+  static const char* family_names[] = {"5-point", "9-point", "13-point-r2"};
+  state.SetLabel(std::string(family_names[family]) + "/" +
+                 level_name(level));
+}
+
+}  // namespace
+
+BENCHMARK(BM_StencilFamily)
+    ->ArgNames({"family", "level"})
+    ->ArgsProduct({{0, 1, 2}, {0, 4}})
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.3);
+
+BENCHMARK_MAIN();

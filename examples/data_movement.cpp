@@ -1,0 +1,70 @@
+// Textual reproduction of the paper's data-movement figures: runs the
+// four unioned OVERLAP_CSHIFT calls of Figure 6 one at a time on a 2x2
+// machine and, after each, prints the recorded transfers (Figures 7, 9)
+// and the overlap-area state of every PE (Figures 8, 10).  Legend:
+// 'o' owned subgrid cell, '#' overlap cell holding valid data,
+// '.' overlap cell not yet filled.
+#include <cstdio>
+#include <numeric>
+
+#include "driver/hpfsc.hpp"
+#include "simpi/shift_ops.hpp"
+#include "simpi/trace.hpp"
+
+int main() {
+  using namespace simpi;
+  const int n = 10;  // 5x5 subgrids on 2x2 PEs, like the paper's figures
+
+  Machine machine(MachineConfig{.pe_rows = 2, .pe_cols = 2});
+  machine.enable_tracing();
+
+  DistArrayDesc desc;
+  desc.name = "SRC";
+  desc.rank = 2;
+  desc.extent = {n, n, 1};
+  desc.dist = {DistKind::Block, DistKind::Block, DistKind::Collapsed};
+  desc.halo.lo = {1, 1, 0};
+  desc.halo.hi = {1, 1, 0};
+  int id = machine.create_array(desc);
+
+  std::vector<double> data(static_cast<std::size_t>(n) * n);
+  std::iota(data.begin(), data.end(), 1.0);
+  machine.scatter(id, data);
+
+  struct Step {
+    const char* what;
+    int shift;
+    int dim;
+    bool rsd;
+  };
+  const Step steps[] = {
+      {"CALL OVERLAP_CSHIFT(SRC, SHIFT=-1, DIM=1)", -1, 0, false},
+      {"CALL OVERLAP_CSHIFT(SRC, SHIFT=+1, DIM=1)", +1, 0, false},
+      {"CALL OVERLAP_CSHIFT(SRC, SHIFT=-1, DIM=2, [0:N+1,*])", -1, 1, true},
+      {"CALL OVERLAP_CSHIFT(SRC, SHIFT=+1, DIM=2, [0:N+1,*])", +1, 1, true},
+  };
+
+  std::printf("Figure 6's four unioned overlap shifts, step by step "
+              "(N=%d, 2x2 PEs).\n\n", n);
+  for (const Step& step : steps) {
+    std::printf("%s\n", step.what);
+    RsdExtension rsd;
+    if (step.rsd) {
+      rsd.lo = {1, 0, 0};
+      rsd.hi = {1, 0, 0};
+    }
+    machine.run([&](Pe& pe) {
+      overlap_shift(pe, id, step.shift, step.dim, rsd);
+    });
+    std::printf("  data movement (paper Figures 7/9):\n");
+    for (const TransferEvent& e : machine.take_trace()) {
+      std::printf("    %s\n", e.str(2).c_str());
+    }
+    std::printf("  overlap state (paper Figures 8/10):\n%s\n",
+                render_overlap_state(machine, id, data).c_str());
+  }
+  std::printf("All overlap areas, including the corner elements, are now "
+              "populated\nwith a single message per direction per "
+              "dimension (4 per PE total).\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Image-processing example (one of the stencil domains the paper's
+// introduction motivates): repeated 9-point weighted smoothing of a
+// synthetic image, comparing the naive translation (O0) against the
+// fully optimized pipeline (O4) on the same simulated machine.
+#include <cmath>
+#include <cstdio>
+
+#include "driver/hpfsc.hpp"
+
+namespace {
+
+// 9-point Gaussian-like blur written with CSHIFTs (weights 1-2-4).
+constexpr const char* kBlur = R"(
+PROGRAM BLUR
+INTEGER N
+REAL IMG(N,N), OUT(N,N)
+!HPF$ DISTRIBUTE IMG(BLOCK,BLOCK)
+!HPF$ DISTRIBUTE OUT(BLOCK,BLOCK)
+OUT = 0.25   * IMG                                        &
+    + 0.125  * CSHIFT(IMG,-1,1) + 0.125  * CSHIFT(IMG,+1,1) &
+    + 0.125  * CSHIFT(IMG,-1,2) + 0.125  * CSHIFT(IMG,+1,2) &
+    + 0.0625 * CSHIFT(CSHIFT(IMG,-1,1),-1,2)               &
+    + 0.0625 * CSHIFT(CSHIFT(IMG,-1,1),+1,2)               &
+    + 0.0625 * CSHIFT(CSHIFT(IMG,+1,1),-1,2)               &
+    + 0.0625 * CSHIFT(CSHIFT(IMG,+1,1),+1,2)
+IMG = OUT
+END
+)";
+
+double synthetic_image(int i, int j, int n) {
+  // A bright square on a dark background plus high-frequency noise.
+  const bool inside = i > n / 4 && i < 3 * n / 4 && j > n / 4 && j < 3 * n / 4;
+  return (inside ? 1.0 : 0.0) + 0.1 * ((i * 7 + j * 13) % 5 - 2);
+}
+
+double edge_energy(const std::vector<double>& img, int n) {
+  // Sum of squared horizontal gradients: decreases as the image blurs.
+  double e = 0.0;
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i + 1 < n; ++i) {
+      double d = img[static_cast<std::size_t>(i + 1) +
+                     static_cast<std::size_t>(j) * n] -
+                 img[static_cast<std::size_t>(i) +
+                     static_cast<std::size_t>(j) * n];
+      e += d * d;
+    }
+  }
+  return e;
+}
+
+}  // namespace
+
+int main() {
+  using namespace hpfsc;
+  const int n = 256;
+  const int passes = 10;
+
+  simpi::MachineConfig mc;
+  mc.pe_rows = 2;
+  mc.pe_cols = 2;
+  mc.cost.emulate = true;
+  mc.cost.memory_ns_per_byte = 2.0;
+
+  std::printf("9-point blur of a %dx%d image, %d passes, 4 PEs\n\n", n, n,
+              passes);
+  std::printf("  %-28s %10s %9s %11s\n", "compiler", "time[ms]", "messages",
+              "intra-bytes");
+
+  std::vector<double> result_o4;
+  for (int level : {0, 4}) {
+    CompilerOptions opts = CompilerOptions::level(level);
+    opts.passes.offset.live_out = {"IMG", "OUT"};
+    Compiler compiler;
+    CompiledProgram compiled = compiler.compile(kBlur, opts);
+    Execution exec(std::move(compiled.program), mc);
+    exec.prepare(Bindings{}.set("N", n));
+    exec.set_array("IMG", [n](int i, int j, int) {
+      return synthetic_image(i, j, n);
+    });
+    auto before = edge_energy(exec.get_array("IMG"), n);
+    auto stats = exec.run(passes);
+    auto img = exec.get_array("IMG");
+    auto after = edge_energy(img, n);
+    std::printf("  %-28s %10.2f %9llu %11llu\n",
+                level == 0 ? "O0 naive translation" : "O4 full pipeline",
+                stats.wall_seconds * 1e3,
+                static_cast<unsigned long long>(stats.machine.messages_sent),
+                static_cast<unsigned long long>(
+                    stats.machine.intra_copy_bytes));
+    if (level == 4) {
+      result_o4 = img;
+      std::printf("\n  edge energy %.1f -> %.1f (blur works)\n", before,
+                  after);
+    }
+  }
+  return 0;
+}

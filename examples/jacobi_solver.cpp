@@ -1,0 +1,85 @@
+// A complete application built on the public API: solve the Laplace
+// equation on the unit square with Dirichlet boundary conditions using
+// Jacobi relaxation.  The relaxation kernel is written in HPF with
+// EOSHIFT intrinsics (non-periodic boundaries), compiled at full
+// optimization, and iterated from the host until converged.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "driver/hpfsc.hpp"
+
+namespace {
+
+// One Jacobi sweep over the interior; boundary rows/columns of U are
+// re-imposed from BC each sweep (the interior section assignment leaves
+// them untouched).
+constexpr const char* kSweep = R"(
+PROGRAM LAPLACE
+INTEGER N
+REAL U(N,N), T(N,N)
+!HPF$ DISTRIBUTE U(BLOCK,BLOCK)
+!HPF$ DISTRIBUTE T(BLOCK,BLOCK)
+T(2:N-1,2:N-1) = 0.25 * (U(1:N-2,2:N-1) + U(3:N,2:N-1)  &
+                       + U(2:N-1,1:N-2) + U(2:N-1,3:N))
+U(2:N-1,2:N-1) = T(2:N-1,2:N-1)
+END
+)";
+
+double boundary_value(int i, int j, int n) {
+  // u = 1 on the top edge (j == n), 0 elsewhere: classic test problem.
+  return j == n ? 1.0 : 0.0 * i;
+}
+
+}  // namespace
+
+int main() {
+  using namespace hpfsc;
+  const int n = 64;
+  const int sweeps_per_batch = 50;
+
+  CompilerOptions options = CompilerOptions::level(4);
+  options.passes.offset.live_out = {"U", "T"};
+  Compiler compiler;
+  CompiledProgram compiled = compiler.compile(kSweep, options);
+  std::printf("optimized sweep:\n%s\n", compiled.listings.back().code.c_str());
+
+  simpi::MachineConfig mc;
+  mc.pe_rows = 2;
+  mc.pe_cols = 2;
+  Execution exec(std::move(compiled.program), mc);
+  exec.prepare(Bindings{}.set("N", n));
+  exec.set_array("U", [n](int i, int j, int) {
+    bool boundary = i == 1 || i == n || j == 1 || j == n;
+    return boundary ? boundary_value(i, j, n) : 0.0;
+  });
+
+  std::vector<double> prev = exec.get_array("U");
+  double total_ms = 0.0;
+  int total_sweeps = 0;
+  for (int batch = 0; batch < 100; ++batch) {
+    auto stats = exec.run(sweeps_per_batch);
+    total_ms += stats.wall_seconds * 1e3;
+    total_sweeps += sweeps_per_batch;
+    std::vector<double> cur = exec.get_array("U");
+    double delta = 0.0;
+    for (std::size_t k = 0; k < cur.size(); ++k) {
+      delta = std::max(delta, std::abs(cur[k] - prev[k]));
+    }
+    prev = std::move(cur);
+    std::printf("after %4d sweeps: max delta per sweep batch = %.3e\n",
+                total_sweeps, delta);
+    if (delta < 1e-8) break;
+  }
+
+  // Sanity: interior average of the converged solution; for this BC the
+  // solution averages to ~0.25 over the square.
+  double sum = 0.0;
+  for (double v : prev) sum += v;
+  std::printf("\nconverged after %d sweeps in %.1f ms; mean(U) = %.4f\n",
+              total_sweeps, total_ms, sum / static_cast<double>(prev.size()));
+  std::printf("center value U(N/2,N/2) = %.4f (analytic ~0.25 at center)\n",
+              prev[static_cast<std::size_t>(n / 2 - 1) +
+                   static_cast<std::size_t>(n / 2 - 1) * n]);
+  return 0;
+}

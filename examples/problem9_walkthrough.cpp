@@ -1,0 +1,74 @@
+// Reproduces the paper's Section 4 extended example interactively: the
+// Problem 9 kernel (Purdue Set, Figure 3) is compiled phase by phase and
+// the per-phase listings (Figures 12-16) are printed, followed by the
+// step-wise performance measurement of Section 5 (Figure 17) at a small
+// problem size.
+#include <cstdio>
+
+#include "driver/hpfsc.hpp"
+
+namespace {
+
+const char* kLevelNames[] = {
+    "O0 original (naive Fortran77+MPI translation)",
+    "O1 + offset arrays",
+    "O2 + context partitioning",
+    "O3 + communication unioning",
+    "O4 + memory optimizations",
+};
+
+}  // namespace
+
+int main() {
+  using namespace hpfsc;
+
+  std::printf("input kernel (paper Figure 3):\n%s\n", kernels::kProblem9);
+
+  // ---- Phase-by-phase listings (Figures 12-16) -----------------------
+  CompilerOptions options = CompilerOptions::level(4);
+  options.passes.offset.live_out = {"T"};
+  Compiler compiler;
+  CompiledProgram compiled = compiler.compile(kernels::kProblem9, options);
+  for (const auto& listing : compiled.listings) {
+    std::printf("=== after %s ===\n%s\n", listing.phase.c_str(),
+                listing.code.c_str());
+  }
+  std::printf("offset arrays : %d shifts converted, %d arrays eliminated\n",
+              compiled.pipeline.offset.shifts_converted,
+              compiled.pipeline.offset.arrays_eliminated);
+  std::printf("comm unioning : %d -> %d overlap shifts\n\n",
+              compiled.pipeline.unioning.shifts_before,
+              compiled.pipeline.unioning.shifts_after);
+
+  // ---- Step-wise execution times (Figure 17 shape) -------------------
+  const int n = 256;
+  const int iterations = 20;
+  simpi::MachineConfig mc;
+  mc.pe_rows = 2;
+  mc.pe_cols = 2;
+  mc.cost.emulate = true;  // SP-2-like message costs in wall time
+  mc.cost.memory_ns_per_byte = 2.0;  // ~POWER2 copy bandwidth
+
+  std::printf("step-wise results on a simulated 4-PE machine "
+              "(N=%d, %d iterations):\n\n", n, iterations);
+  std::printf("  %-48s %10s %9s %8s\n", "configuration", "time[ms]",
+              "messages", "speedup");
+  double baseline = 0.0;
+  for (int level = 0; level <= 4; ++level) {
+    CompilerOptions opts = CompilerOptions::level(level);
+    opts.passes.offset.live_out = {"T"};
+    CompiledProgram prog = compiler.compile(kernels::kProblem9, opts);
+    Execution exec(std::move(prog.program), mc);
+    exec.prepare(Bindings{}.set("N", n));
+    exec.set_array("U", [](int i, int j, int) { return i * 0.1 + j; });
+    exec.run(2);  // warm-up
+    auto stats = exec.run(iterations);
+    if (level == 0) baseline = stats.wall_seconds;
+    std::printf("  %-48s %10.2f %9llu %7.2fx\n", kLevelNames[level],
+                stats.wall_seconds * 1e3,
+                static_cast<unsigned long long>(
+                    stats.machine.messages_sent),
+                baseline / stats.wall_seconds);
+  }
+  return 0;
+}

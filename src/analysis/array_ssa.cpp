@@ -1,0 +1,278 @@
+#include "analysis/array_ssa.hpp"
+
+#include <set>
+
+namespace hpfsc::analysis {
+
+namespace {
+
+/// Collects every array defined anywhere within a block (recursively),
+/// used to place phi versions at DO headers.
+void collect_defined(const ir::Block& b, std::set<ir::ArrayId>& out) {
+  for (const ir::StmtPtr& s : b) {
+    switch (s->kind) {
+      case ir::StmtKind::ArrayAssign:
+        out.insert(static_cast<const ir::ArrayAssignStmt&>(*s).lhs.array);
+        break;
+      case ir::StmtKind::ShiftAssign:
+        out.insert(static_cast<const ir::ShiftAssignStmt&>(*s).dst);
+        break;
+      case ir::StmtKind::Copy:
+        out.insert(static_cast<const ir::CopyStmt&>(*s).dst);
+        break;
+      case ir::StmtKind::Alloc:
+        for (ir::ArrayId a : static_cast<const ir::AllocStmt&>(*s).arrays) {
+          out.insert(a);
+        }
+        break;
+      case ir::StmtKind::If: {
+        const auto& iff = static_cast<const ir::IfStmt&>(*s);
+        collect_defined(iff.then_block, out);
+        collect_defined(iff.else_block, out);
+        break;
+      }
+      case ir::StmtKind::Do:
+        collect_defined(static_cast<const ir::DoStmt&>(*s).body, out);
+        break;
+      case ir::StmtKind::LoopNest:
+        for (const auto& b2 :
+             static_cast<const ir::LoopNestStmt&>(*s).body) {
+          out.insert(b2.lhs.array);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+class SsaBuilder {
+ public:
+  explicit SsaBuilder(const ir::Program& program) : prog_(program) {}
+
+  ArraySsa run() {
+    const int n = prog_.symbols.num_arrays();
+    out_.versions_.resize(static_cast<std::size_t>(n));
+    out_.uses_.resize(static_cast<std::size_t>(n));
+    out_.feeds_phi_.resize(static_cast<std::size_t>(n));
+    out_.live_at_exit_.resize(static_cast<std::size_t>(n));
+    env_.assign(static_cast<std::size_t>(n), 0);
+    for (int a = 0; a < n; ++a) {
+      new_version(a, SsaVersion::Kind::Initial, nullptr, {});
+    }
+    process_block(prog_.body);
+    for (int a = 0; a < n; ++a) {
+      out_.live_at_exit_[static_cast<std::size_t>(a)]
+                        [static_cast<std::size_t>(env_at(a))] = true;
+    }
+    return std::move(out_);
+  }
+
+ private:
+  int env_at(ir::ArrayId a) const {
+    return env_[static_cast<std::size_t>(a)];
+  }
+
+  int new_version(ir::ArrayId a, SsaVersion::Kind kind, const ir::Stmt* def,
+                  std::vector<int> operands) {
+    auto& vers = out_.versions_[static_cast<std::size_t>(a)];
+    SsaVersion v;
+    v.kind = kind;
+    v.array = a;
+    v.number = static_cast<int>(vers.size());
+    v.def = def;
+    v.phi_operands = std::move(operands);
+    vers.push_back(v);
+    out_.uses_[static_cast<std::size_t>(a)].emplace_back();
+    out_.feeds_phi_[static_cast<std::size_t>(a)].push_back(false);
+    out_.live_at_exit_[static_cast<std::size_t>(a)].push_back(false);
+    return v.number;
+  }
+
+  int make_phi(ir::ArrayId a, std::vector<int> operands) {
+    for (int op : operands) {
+      out_.feeds_phi_[static_cast<std::size_t>(a)]
+                     [static_cast<std::size_t>(op)] = true;
+      // Record the phi consumption as a use with null stmt/ref.
+      out_.uses_[static_cast<std::size_t>(a)][static_cast<std::size_t>(op)]
+          .push_back(SsaUse{nullptr, nullptr});
+    }
+    return new_version(a, SsaVersion::Kind::Phi, nullptr,
+                       std::move(operands));
+  }
+
+  void use_ref(const ir::ArrayRef& ref, const ir::Stmt& s) {
+    const int ver = env_at(ref.array);
+    out_.use_versions_[&ref] = ver;
+    out_.uses_[static_cast<std::size_t>(ref.array)]
+              [static_cast<std::size_t>(ver)]
+        .push_back(SsaUse{&s, &ref});
+  }
+
+  void use_expr(const ir::Expr& e, const ir::Stmt& s) {
+    ir::visit_exprs(e, [&](const ir::Expr& node) {
+      if (node.kind == ir::ExprKind::ArrayRefK) use_ref(node.ref, s);
+    });
+  }
+
+  void def_array(ir::ArrayId a, const ir::Stmt& s) {
+    const int v = new_version(a, SsaVersion::Kind::Def, &s, {});
+    env_[static_cast<std::size_t>(a)] = v;
+    out_.def_versions_[&s] = v;
+  }
+
+  void process_block(const ir::Block& b) {
+    for (const ir::StmtPtr& sp : b) {
+      out_.env_before_[sp.get()] = env_;
+      process_stmt(*sp);
+    }
+  }
+
+  void process_stmt(const ir::Stmt& s) {
+    switch (s.kind) {
+      case ir::StmtKind::ArrayAssign: {
+        const auto& stmt = static_cast<const ir::ArrayAssignStmt&>(s);
+        use_expr(*stmt.rhs, s);
+        // A section assignment preserves elements outside the section,
+        // so it reads the previous version (update-def).
+        if (!stmt.lhs.whole_array()) use_ref(stmt.lhs, s);
+        def_array(stmt.lhs.array, s);
+        return;
+      }
+      case ir::StmtKind::ShiftAssign: {
+        const auto& stmt = static_cast<const ir::ShiftAssignStmt&>(s);
+        use_ref(stmt.src, s);
+        def_array(stmt.dst, s);
+        return;
+      }
+      case ir::StmtKind::OverlapShift: {
+        const auto& stmt = static_cast<const ir::OverlapShiftStmt&>(s);
+        use_ref(stmt.src, s);  // fills overlap areas; not a value def
+        return;
+      }
+      case ir::StmtKind::Copy: {
+        const auto& stmt = static_cast<const ir::CopyStmt&>(s);
+        use_ref(stmt.src, s);
+        def_array(stmt.dst, s);
+        return;
+      }
+      case ir::StmtKind::Alloc:
+        for (ir::ArrayId a : static_cast<const ir::AllocStmt&>(s).arrays) {
+          def_array(a, s);  // fresh (undefined) storage
+        }
+        return;
+      case ir::StmtKind::Free:
+      case ir::StmtKind::ScalarAssign:
+        return;
+      case ir::StmtKind::If: {
+        const auto& iff = static_cast<const ir::IfStmt&>(s);
+        const std::vector<int> before = env_;
+        process_block(iff.then_block);
+        std::vector<int> after_then = env_;
+        env_ = before;
+        process_block(iff.else_block);
+        for (std::size_t a = 0; a < env_.size(); ++a) {
+          if (after_then[a] != env_[a]) {
+            env_[a] = make_phi(static_cast<ir::ArrayId>(a),
+                               {after_then[a], env_[a]});
+          }
+        }
+        return;
+      }
+      case ir::StmtKind::Do: {
+        const auto& loop = static_cast<const ir::DoStmt&>(s);
+        std::set<ir::ArrayId> defined;
+        collect_defined(loop.body, defined);
+        std::vector<int> incoming(defined.size());
+        std::vector<int> phis(defined.size());
+        std::size_t idx = 0;
+        for (ir::ArrayId a : defined) {
+          incoming[idx] = env_at(a);
+          // Placeholder phi; operands patched after the body.
+          phis[idx] = make_phi(a, {incoming[idx]});
+          env_[static_cast<std::size_t>(a)] = phis[idx];
+          ++idx;
+        }
+        process_block(loop.body);
+        idx = 0;
+        for (ir::ArrayId a : defined) {
+          const int body_end = env_at(a);
+          auto& phi = out_.versions_[static_cast<std::size_t>(a)]
+                                    [static_cast<std::size_t>(phis[idx])];
+          phi.phi_operands.push_back(body_end);
+          out_.feeds_phi_[static_cast<std::size_t>(a)]
+                         [static_cast<std::size_t>(body_end)] = true;
+          out_.uses_[static_cast<std::size_t>(a)]
+                    [static_cast<std::size_t>(body_end)]
+              .push_back(SsaUse{nullptr, nullptr});
+          // After the loop (0 or more trips) the merged value is the phi.
+          env_[static_cast<std::size_t>(a)] = phis[idx];
+          ++idx;
+        }
+        return;
+      }
+      case ir::StmtKind::LoopNest: {
+        const auto& nest = static_cast<const ir::LoopNestStmt&>(s);
+        for (const auto& b : nest.body) {
+          use_expr(*b.rhs, s);
+          def_array(b.lhs.array, s);
+        }
+        return;
+      }
+    }
+  }
+
+  const ir::Program& prog_;
+  ArraySsa out_;
+  std::vector<int> env_;
+};
+
+ArraySsa ArraySsa::build(const ir::Program& program) {
+  return SsaBuilder(program).run();
+}
+
+int ArraySsa::version_at(const ir::Stmt& stmt, ir::ArrayId array) const {
+  auto it = env_before_.find(&stmt);
+  if (it == env_before_.end()) return -1;
+  return it->second.at(static_cast<std::size_t>(array));
+}
+
+int ArraySsa::use_version(const ir::ArrayRef& ref) const {
+  auto it = use_versions_.find(&ref);
+  return it == use_versions_.end() ? -1 : it->second;
+}
+
+int ArraySsa::def_version(const ir::Stmt& stmt) const {
+  auto it = def_versions_.find(&stmt);
+  return it == def_versions_.end() ? -1 : it->second;
+}
+
+const std::vector<SsaUse>& ArraySsa::uses_of(ir::ArrayId array,
+                                             int version) const {
+  return uses_.at(static_cast<std::size_t>(array))
+      .at(static_cast<std::size_t>(version));
+}
+
+bool ArraySsa::feeds_phi(ir::ArrayId array, int version) const {
+  return feeds_phi_.at(static_cast<std::size_t>(array))
+      .at(static_cast<std::size_t>(version));
+}
+
+bool ArraySsa::live_at_exit(ir::ArrayId array, int version) const {
+  return live_at_exit_.at(static_cast<std::size_t>(array))
+      .at(static_cast<std::size_t>(version));
+}
+
+const SsaVersion& ArraySsa::version_info(ir::ArrayId array,
+                                         int version) const {
+  return versions_.at(static_cast<std::size_t>(array))
+      .at(static_cast<std::size_t>(version));
+}
+
+int ArraySsa::num_versions(ir::ArrayId array) const {
+  return static_cast<int>(versions_.at(static_cast<std::size_t>(array)).size());
+}
+
+}  // namespace hpfsc::analysis

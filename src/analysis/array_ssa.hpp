@@ -1,0 +1,90 @@
+// Whole-array static single assignment form (paper Section 3.1): each
+// whole-array definition creates a new version; section assignments are
+// update-defs (they read the previous version); phi versions merge
+// control-flow paths (IF joins and DO headers/exits).
+//
+// The offset-array algorithm uses SSA to answer, for a shift definition
+// S: dst = CSHIFT(src,...), "does this use of dst see exactly S's value,
+// and is src's value at the use identical to src's value at S?" — both
+// are plain version-number comparisons here.
+//
+// The analysis is keyed by node addresses (const Stmt* / const
+// ArrayRef*); it must be rebuilt after any transformation.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "ir/program.hpp"
+
+namespace hpfsc::analysis {
+
+/// A single SSA version of one array.
+struct SsaVersion {
+  enum class Kind {
+    Initial,  ///< value on entry (or undefined for temps)
+    Def,      ///< defined by a statement
+    Phi,      ///< control-flow merge
+  };
+  Kind kind = Kind::Initial;
+  ir::ArrayId array = -1;
+  int number = 0;                ///< version number, unique per array
+  const ir::Stmt* def = nullptr; ///< Def: the defining statement
+  std::vector<int> phi_operands; ///< Phi: merged version numbers
+};
+
+/// One recorded use of an (array, version) pair.
+struct SsaUse {
+  const ir::Stmt* stmt = nullptr;   ///< enclosing statement
+  const ir::ArrayRef* ref = nullptr;///< the referencing ArrayRef
+};
+
+class ArraySsa {
+ public:
+  /// Builds SSA for the whole program body.
+  static ArraySsa build(const ir::Program& program);
+
+  /// Version observed by a use site (keyed by the ArrayRef's address).
+  /// Returns -1 when the ref was not seen (e.g. after IR mutation).
+  [[nodiscard]] int use_version(const ir::ArrayRef& ref) const;
+
+  /// Version created by a defining statement (ShiftAssign, whole/section
+  /// ArrayAssign, Copy).  Returns -1 for non-defs.
+  [[nodiscard]] int def_version(const ir::Stmt& stmt) const;
+
+  /// All uses of a given (array, version).  Phi operands appear as uses
+  /// with ref == nullptr and stmt == nullptr.
+  [[nodiscard]] const std::vector<SsaUse>& uses_of(ir::ArrayId array,
+                                                   int version) const;
+
+  /// Version of `array` reaching the program point just before `stmt`
+  /// (-1 if the statement was not seen).  Used by the offset-array pass
+  /// to verify that a rewritten use observes the same source value as
+  /// the shift definition did.
+  [[nodiscard]] int version_at(const ir::Stmt& stmt, ir::ArrayId array) const;
+
+  /// True when the version flows into any phi (its value survives a
+  /// merge, so eliminating its def would change a merged value).
+  [[nodiscard]] bool feeds_phi(ir::ArrayId array, int version) const;
+
+  /// True when the version is live at program exit (it is the last
+  /// version of its array on some path).
+  [[nodiscard]] bool live_at_exit(ir::ArrayId array, int version) const;
+
+  [[nodiscard]] const SsaVersion& version_info(ir::ArrayId array,
+                                               int version) const;
+  [[nodiscard]] int num_versions(ir::ArrayId array) const;
+
+ private:
+  friend class SsaBuilder;
+
+  std::vector<std::vector<SsaVersion>> versions_;  ///< per array
+  std::vector<std::vector<std::vector<SsaUse>>> uses_;  ///< [array][ver]
+  std::vector<std::vector<bool>> feeds_phi_;
+  std::vector<std::vector<bool>> live_at_exit_;
+  std::unordered_map<const ir::ArrayRef*, int> use_versions_;
+  std::unordered_map<const ir::Stmt*, int> def_versions_;
+  std::unordered_map<const ir::Stmt*, std::vector<int>> env_before_;
+};
+
+}  // namespace hpfsc::analysis

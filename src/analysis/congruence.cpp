@@ -1,0 +1,111 @@
+#include "analysis/congruence.hpp"
+
+namespace hpfsc::analysis {
+
+namespace {
+
+/// Iteration-space string for a (possibly sectioned) LHS reference:
+/// whole arrays use the declared extents.
+std::string space_signature(const ir::ArrayRef& lhs,
+                            const ir::SymbolTable& symbols) {
+  const ir::ArraySymbol& sym = symbols.array(lhs.array);
+  std::string out;
+  for (int d = 0; d < sym.rank; ++d) {
+    if (d != 0) out += ",";
+    if (lhs.whole_array()) {
+      out += "1:" + sym.extent[d].str();
+    } else {
+      const ir::SectionRange& r = lhs.section[static_cast<std::size_t>(d)];
+      out += r.lo.str() + ":" + r.hi.str();
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+StmtClass classify(const ir::Stmt& stmt, const ir::SymbolTable& symbols) {
+  switch (stmt.kind) {
+    case ir::StmtKind::OverlapShift:
+    case ir::StmtKind::ShiftAssign:
+      return StmtClass{StmtClass::Kind::Communication, "comm"};
+    case ir::StmtKind::ArrayAssign: {
+      const auto& s = static_cast<const ir::ArrayAssignStmt&>(stmt);
+      const ir::ArraySymbol& sym = symbols.array(s.lhs.array);
+      return StmtClass{StmtClass::Kind::Compute,
+                       sym.dist_str() + "|" + space_signature(s.lhs, symbols)};
+    }
+    case ir::StmtKind::Copy: {
+      const auto& s = static_cast<const ir::CopyStmt&>(stmt);
+      const ir::ArraySymbol& sym = symbols.array(s.dst);
+      ir::ArrayRef whole;
+      whole.array = s.dst;
+      return StmtClass{StmtClass::Kind::Compute,
+                       sym.dist_str() + "|" + space_signature(whole, symbols)};
+    }
+    case ir::StmtKind::ScalarAssign:
+      return StmtClass{StmtClass::Kind::Scalar, "scalar"};
+    default:
+      return StmtClass{StmtClass::Kind::Barrier, "barrier"};
+  }
+}
+
+std::vector<PartitionGroup> typed_fusion(
+    const std::vector<const ir::Stmt*>& stmts, const Ddg& ddg,
+    const ir::SymbolTable& symbols) {
+  const int n = static_cast<int>(stmts.size());
+  std::vector<StmtClass> classes;
+  classes.reserve(stmts.size());
+  for (const ir::Stmt* s : stmts) classes.push_back(classify(*s, symbols));
+
+  std::vector<int> remaining_preds(static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < n; ++i) {
+    remaining_preds[static_cast<std::size_t>(i)] =
+        static_cast<int>(ddg.preds(i).size());
+  }
+  std::vector<bool> scheduled(static_cast<std::size_t>(n), false);
+
+  std::vector<PartitionGroup> groups;
+  int done = 0;
+  while (done < n) {
+    // Earliest ready statement (by original order) seeds the group.
+    int seed = -1;
+    for (int i = 0; i < n; ++i) {
+      if (!scheduled[static_cast<std::size_t>(i)] &&
+          remaining_preds[static_cast<std::size_t>(i)] == 0) {
+        seed = i;
+        break;
+      }
+    }
+    PartitionGroup group;
+    group.cls = classes[static_cast<std::size_t>(seed)];
+    const bool groupable = group.cls.kind != StmtClass::Kind::Barrier;
+    // Greedily absorb every ready statement of the same class.  A
+    // statement becoming ready because of intra-group scheduling is
+    // picked up in later sweeps of the same loop.
+    bool progressed = true;
+    while (progressed) {
+      progressed = false;
+      for (int i = 0; i < n; ++i) {
+        if (scheduled[static_cast<std::size_t>(i)]) continue;
+        if (remaining_preds[static_cast<std::size_t>(i)] != 0) continue;
+        if (classes[static_cast<std::size_t>(i)] != group.cls && i != seed) {
+          continue;
+        }
+        scheduled[static_cast<std::size_t>(i)] = true;
+        group.stmts.push_back(i);
+        ++done;
+        for (int succ : ddg.succs(i)) {
+          --remaining_preds[static_cast<std::size_t>(succ)];
+        }
+        progressed = true;
+        if (!groupable) break;  // control/alloc statements stay alone
+      }
+      if (!groupable && !group.stmts.empty()) break;
+    }
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+}  // namespace hpfsc::analysis

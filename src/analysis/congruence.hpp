@@ -1,0 +1,56 @@
+// Statement congruence classes and the typed-fusion partitioner used by
+// the context-partitioning optimization (paper Section 3.2).
+//
+// "Array statements are congruent if they operate on arrays with
+// identical distributions and cover the same iteration space."  The
+// partitioner is the Kennedy-McKinley typed-fusion algorithm applied to
+// Fortran90 statements: it reorders a straight-line run of statements
+// (respecting the acyclic DDG) into the minimum number of groups of
+// congruent statements, with communication operations forming their own
+// class.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/ddg.hpp"
+#include "ir/program.hpp"
+
+namespace hpfsc::analysis {
+
+/// Classification of one statement for partitioning purposes.
+struct StmtClass {
+  enum class Kind {
+    Communication,  ///< OVERLAP_SHIFT / full-shift statements
+    Compute,        ///< array assignments and copies
+    Scalar,         ///< scalar assignments
+    Barrier,        ///< control flow and allocation: never grouped
+  };
+  Kind kind = Kind::Barrier;
+  /// Congruence signature: distribution + iteration space.  Two Compute
+  /// statements may share a group iff their signatures match.
+  std::string signature;
+
+  bool operator==(const StmtClass&) const = default;
+};
+
+/// Computes the class of a statement.
+[[nodiscard]] StmtClass classify(const ir::Stmt& stmt,
+                                 const ir::SymbolTable& symbols);
+
+/// One output group: indices (into the input run) in scheduled order.
+struct PartitionGroup {
+  StmtClass cls;
+  std::vector<int> stmts;
+};
+
+/// Greedy typed fusion: orders the run into groups, each containing
+/// statements of one class, such that every DDG edge points from an
+/// earlier-or-same group to a later group.  Prefers to keep filling the
+/// current group (maximal fusion) and falls back to the earliest ready
+/// statement when the current class has no ready statements.
+[[nodiscard]] std::vector<PartitionGroup> typed_fusion(
+    const std::vector<const ir::Stmt*>& stmts, const Ddg& ddg,
+    const ir::SymbolTable& symbols);
+
+}  // namespace hpfsc::analysis

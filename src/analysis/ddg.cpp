@@ -1,0 +1,214 @@
+#include "analysis/ddg.hpp"
+
+#include <algorithm>
+
+namespace hpfsc::analysis {
+
+namespace {
+
+void add_ref_reads(const ir::ArrayRef& ref, std::vector<Access>& reads) {
+  reads.push_back(Access{Access::Kind::Owned, ref.array, 0, 0});
+  for (int d = 0; d < ir::kMaxRank; ++d) {
+    if (ref.offset[d] != 0) {
+      reads.push_back(Access{Access::Kind::Halo, ref.array, d,
+                             ref.offset[d] > 0 ? +1 : -1});
+    }
+  }
+}
+
+void add_expr_reads(const ir::Expr& e, std::vector<Access>& reads) {
+  ir::visit_exprs(e, [&](const ir::Expr& node) {
+    if (node.kind == ir::ExprKind::ArrayRefK) {
+      add_ref_reads(node.ref, reads);
+    } else if (node.kind == ir::ExprKind::ScalarRef) {
+      reads.push_back(Access{Access::Kind::Scalar, node.scalar, 0, 0});
+    }
+  });
+}
+
+void add_whole_array(ir::ArrayId a, std::vector<Access>& out) {
+  out.push_back(Access{Access::Kind::Owned, a, 0, 0});
+  for (int d = 0; d < ir::kMaxRank; ++d) {
+    out.push_back(Access{Access::Kind::Halo, a, d, +1});
+    out.push_back(Access{Access::Kind::Halo, a, d, -1});
+  }
+}
+
+void add_block_accesses(const ir::Block& b, AccessSets& out);
+
+void add_stmt_accesses(const ir::Stmt& s, AccessSets& out) {
+  switch (s.kind) {
+    case ir::StmtKind::ArrayAssign: {
+      const auto& stmt = static_cast<const ir::ArrayAssignStmt&>(s);
+      add_expr_reads(*stmt.rhs, out.reads);
+      out.writes.push_back(
+          Access{Access::Kind::Owned, stmt.lhs.array, 0, 0});
+      return;
+    }
+    case ir::StmtKind::ShiftAssign: {
+      const auto& stmt = static_cast<const ir::ShiftAssignStmt&>(s);
+      add_ref_reads(stmt.src, out.reads);
+      out.writes.push_back(Access{Access::Kind::Owned, stmt.dst, 0, 0});
+      return;
+    }
+    case ir::StmtKind::OverlapShift: {
+      const auto& stmt = static_cast<const ir::OverlapShiftStmt&>(s);
+      // Reads the owned boundary strip, plus — for RSD-extended or
+      // multi-offset shifts — overlap areas filled by earlier shifts.
+      out.reads.push_back(
+          Access{Access::Kind::Owned, stmt.src.array, 0, 0});
+      for (int d = 0; d < ir::kMaxRank; ++d) {
+        if (d == stmt.dim) continue;
+        if (stmt.rsd.lo[d] > 0 || stmt.src.offset[d] < 0) {
+          out.reads.push_back(
+              Access{Access::Kind::Halo, stmt.src.array, d, -1});
+        }
+        if (stmt.rsd.hi[d] > 0 || stmt.src.offset[d] > 0) {
+          out.reads.push_back(
+              Access{Access::Kind::Halo, stmt.src.array, d, +1});
+        }
+      }
+      out.writes.push_back(Access{Access::Kind::Halo, stmt.src.array,
+                                  stmt.dim, stmt.shift > 0 ? +1 : -1});
+      return;
+    }
+    case ir::StmtKind::Copy: {
+      const auto& stmt = static_cast<const ir::CopyStmt&>(s);
+      add_ref_reads(stmt.src, out.reads);
+      out.writes.push_back(Access{Access::Kind::Owned, stmt.dst, 0, 0});
+      return;
+    }
+    case ir::StmtKind::Alloc:
+      for (ir::ArrayId a : static_cast<const ir::AllocStmt&>(s).arrays) {
+        add_whole_array(a, out.writes);
+      }
+      return;
+    case ir::StmtKind::Free:
+      // A deallocation must stay after every access; model as a write
+      // of everything.
+      for (ir::ArrayId a : static_cast<const ir::FreeStmt&>(s).arrays) {
+        add_whole_array(a, out.writes);
+      }
+      return;
+    case ir::StmtKind::ScalarAssign: {
+      const auto& stmt = static_cast<const ir::ScalarAssignStmt&>(s);
+      add_expr_reads(*stmt.rhs, out.reads);
+      out.writes.push_back(Access{Access::Kind::Scalar, stmt.scalar, 0, 0});
+      return;
+    }
+    case ir::StmtKind::If: {
+      const auto& iff = static_cast<const ir::IfStmt&>(s);
+      add_expr_reads(*iff.cond, out.reads);
+      add_block_accesses(iff.then_block, out);
+      add_block_accesses(iff.else_block, out);
+      return;
+    }
+    case ir::StmtKind::Do: {
+      const auto& loop = static_cast<const ir::DoStmt&>(s);
+      out.writes.push_back(Access{Access::Kind::Scalar, loop.var, 0, 0});
+      add_block_accesses(loop.body, out);
+      return;
+    }
+    case ir::StmtKind::LoopNest: {
+      const auto& nest = static_cast<const ir::LoopNestStmt&>(s);
+      for (const auto& b : nest.body) {
+        add_expr_reads(*b.rhs, out.reads);
+        out.writes.push_back(
+            Access{Access::Kind::Owned, b.lhs.array, 0, 0});
+      }
+      return;
+    }
+  }
+}
+
+void add_block_accesses(const ir::Block& b, AccessSets& out) {
+  for (const ir::StmtPtr& s : b) add_stmt_accesses(*s, out);
+}
+
+bool intersects(const std::vector<Access>& a, const std::vector<Access>& b) {
+  for (const Access& x : a) {
+    if (std::find(b.begin(), b.end(), x) != b.end()) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+AccessSets accesses_of(const ir::Stmt& stmt) {
+  AccessSets out;
+  add_stmt_accesses(stmt, out);
+  return out;
+}
+
+Ddg Ddg::build(const std::vector<const ir::Stmt*>& stmts) {
+  Ddg g;
+  const int n = static_cast<int>(stmts.size());
+  g.succs_.resize(static_cast<std::size_t>(n));
+  g.preds_.resize(static_cast<std::size_t>(n));
+  std::vector<AccessSets> sets;
+  sets.reserve(stmts.size());
+  for (const ir::Stmt* s : stmts) sets.push_back(accesses_of(*s));
+  // An OVERLAP_CSHIFT's overlap-area write is *idempotent*: the values
+  // it stores are a pure function of the array's owned data, which is
+  // itself protected by true/anti dependences on the Owned component.
+  // Re-filling an overlap area therefore conflicts with nothing — no
+  // anti dependence from an earlier overlap read, no output dependence
+  // with an earlier fill (paper Section 4.3 lists only the true
+  // dependences into the compute statements).  EOSHIFT fills depend on
+  // the boundary operand, so they stay conservative.
+  std::vector<bool> idempotent_fill(static_cast<std::size_t>(n), false);
+  for (int i = 0; i < n; ++i) {
+    const auto* ov = dynamic_cast<const ir::OverlapShiftStmt*>(
+        stmts[static_cast<std::size_t>(i)]);
+    if (ov != nullptr && ov->shift_kind == ir::ShiftKind::Circular) {
+      idempotent_fill[static_cast<std::size_t>(i)] = true;
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const auto& si = sets[static_cast<std::size_t>(i)];
+      const auto& sj = sets[static_cast<std::size_t>(j)];
+      bool connected = false;
+      if (intersects(si.writes, sj.reads)) {
+        g.edges_.push_back(DepEdge{i, j, DepKind::True});
+        connected = true;
+      }
+      if (!idempotent_fill[static_cast<std::size_t>(j)] &&
+          intersects(si.reads, sj.writes)) {
+        g.edges_.push_back(DepEdge{i, j, DepKind::Anti});
+        connected = true;
+      }
+      if (!idempotent_fill[static_cast<std::size_t>(j)] &&
+          intersects(si.writes, sj.writes)) {
+        g.edges_.push_back(DepEdge{i, j, DepKind::Output});
+        connected = true;
+      }
+      if (connected) {
+        g.succs_[static_cast<std::size_t>(i)].push_back(j);
+        g.preds_[static_cast<std::size_t>(j)].push_back(i);
+      }
+    }
+  }
+  return g;
+}
+
+bool Ddg::reaches(int i, int j) const {
+  if (i >= j) return false;
+  std::vector<bool> seen(static_cast<std::size_t>(size()), false);
+  std::vector<int> stack{i};
+  while (!stack.empty()) {
+    int cur = stack.back();
+    stack.pop_back();
+    if (cur == j) return true;
+    if (cur > j) continue;
+    for (int next : succs_[static_cast<std::size_t>(cur)]) {
+      if (!seen[static_cast<std::size_t>(next)]) {
+        seen[static_cast<std::size_t>(next)] = true;
+        stack.push_back(next);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace hpfsc::analysis

@@ -1,0 +1,71 @@
+// Statement-level data-dependence graph over a straight-line run of
+// statements (one basic block).  Arrays are modeled at the granularity
+// the stencil pipeline needs: the owned subgrid plus one component per
+// overlap-area side, so that OVERLAP_SHIFT ordering constraints (which
+// side a shift fills, which sides an RSD-carrying shift reads) are
+// captured exactly (paper Sections 3.2-3.3).
+#pragma once
+
+#include <vector>
+
+#include "ir/program.hpp"
+
+namespace hpfsc::analysis {
+
+/// One abstract memory component touched by a statement.
+struct Access {
+  enum class Kind {
+    Owned,   ///< the array's owned subgrid elements
+    Halo,    ///< one overlap-area side: (dim, dir)
+    Scalar,  ///< a scalar symbol
+  };
+  Kind kind = Kind::Owned;
+  int id = -1;   ///< array id (Owned/Halo) or scalar id (Scalar)
+  int dim = 0;   ///< Halo: dimension
+  int dir = 0;   ///< Halo: +1 or -1
+
+  bool operator==(const Access&) const = default;
+};
+
+/// Computes the component sets a statement reads and writes.  Control
+/// statements (If/Do) conservatively read+write everything they touch;
+/// the partitioner never reorders across them anyway.
+struct AccessSets {
+  std::vector<Access> reads;
+  std::vector<Access> writes;
+};
+[[nodiscard]] AccessSets accesses_of(const ir::Stmt& stmt);
+
+enum class DepKind { True, Anti, Output };
+
+struct DepEdge {
+  int from = 0;  ///< index into the statement run (from < to)
+  int to = 0;
+  DepKind kind = DepKind::True;
+};
+
+/// Dependence graph over `stmts[first..last)`; indices in edges are
+/// relative to `first`.  The graph is acyclic by construction (edges
+/// always point forward in statement order).
+class Ddg {
+ public:
+  static Ddg build(const std::vector<const ir::Stmt*>& stmts);
+
+  [[nodiscard]] int size() const { return static_cast<int>(succs_.size()); }
+  [[nodiscard]] const std::vector<DepEdge>& edges() const { return edges_; }
+  [[nodiscard]] const std::vector<int>& succs(int i) const {
+    return succs_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] const std::vector<int>& preds(int i) const {
+    return preds_[static_cast<std::size_t>(i)];
+  }
+  /// True if there is a dependence path from i to j (i < j).
+  [[nodiscard]] bool reaches(int i, int j) const;
+
+ private:
+  std::vector<DepEdge> edges_;
+  std::vector<std::vector<int>> succs_;
+  std::vector<std::vector<int>> preds_;
+};
+
+}  // namespace hpfsc::analysis

@@ -1,0 +1,448 @@
+#include "codegen/lower_spmd.hpp"
+
+#include <algorithm>
+
+namespace hpfsc::codegen {
+
+namespace {
+
+using ir::AffineBound;
+using spmd::Instr;
+using spmd::Op;
+using spmd::OpKind;
+
+class Lowerer {
+ public:
+  Lowerer(const ir::Program& program, const LowerOptions& opts,
+          DiagnosticEngine& diags)
+      : prog_(program), opts_(opts), diags_(diags) {}
+
+  spmd::Program run() {
+    out_.name = prog_.name;
+    for (int i = 0; i < prog_.symbols.num_scalars(); ++i) {
+      const ir::ScalarSymbol& s = prog_.symbols.scalar(i);
+      out_.scalars.push_back(spmd::ScalarSpec{
+          s.name, s.type == ir::ScalarType::Integer, s.init});
+    }
+    for (int i = 0; i < prog_.symbols.num_arrays(); ++i) {
+      out_.arrays.push_back(spec_from_symbol(prog_.symbols.array(i)));
+    }
+    lower_block(prog_.body, out_.ops);
+    return std::move(out_);
+  }
+
+ private:
+  static spmd::ArraySpec spec_from_symbol(const ir::ArraySymbol& sym) {
+    spmd::ArraySpec spec;
+    spec.name = sym.name;
+    spec.rank = sym.rank;
+    spec.extent = sym.extent;
+    spec.dist = sym.dist;
+    spec.halo_lo = sym.halo_lo;
+    spec.halo_hi = sym.halo_hi;
+    spec.is_temp = sym.is_temp;
+    spec.eliminated = sym.eliminated;
+    spec.prealloc = !sym.is_temp && !sym.eliminated;
+    return spec;
+  }
+
+  // ----------------------------------------------------- expressions --
+  /// Builds scalar-expression bytecode (no array references allowed).
+  spmd::ScalarExpr scalar_expr(const ir::Expr& e) {
+    spmd::ScalarExpr code;
+    emit_expr(e, code, nullptr);
+    return code;
+  }
+
+  /// Appends RPN for `e`.  Array references intern into `loads` (null =
+  /// scalar context, where they are an error).
+  void emit_expr(const ir::Expr& e, std::vector<Instr>& code,
+                 std::vector<spmd::Load>* loads) {
+    switch (e.kind) {
+      case ir::ExprKind::Constant:
+        code.push_back(Instr{Instr::Op::PushConst, 0, e.value});
+        return;
+      case ir::ExprKind::ScalarRef:
+        code.push_back(Instr{Instr::Op::PushScalar, e.scalar, 0.0});
+        return;
+      case ir::ExprKind::ArrayRefK: {
+        if (loads == nullptr) {
+          diags_.error(e.loc, "array reference in scalar context");
+          code.push_back(Instr{Instr::Op::PushConst, 0, 0.0});
+          return;
+        }
+        code.push_back(Instr{Instr::Op::PushLoad,
+                             intern_load(*loads, e.ref.array, e.ref.offset),
+                             0.0});
+        return;
+      }
+      case ir::ExprKind::Binary: {
+        emit_expr(*e.lhs, code, loads);
+        emit_expr(*e.rhs, code, loads);
+        code.push_back(Instr{binary_op(e.op), 0, 0.0});
+        return;
+      }
+      case ir::ExprKind::Unary:
+        emit_expr(*e.lhs, code, loads);
+        code.push_back(Instr{Instr::Op::Neg, 0, 0.0});
+        return;
+      case ir::ExprKind::Shift:
+        diags_.error(e.loc, "internal: shift survived normalization");
+        code.push_back(Instr{Instr::Op::PushConst, 0, 0.0});
+        return;
+    }
+  }
+
+  static Instr::Op binary_op(ir::BinaryOp op) {
+    switch (op) {
+      case ir::BinaryOp::Add: return Instr::Op::Add;
+      case ir::BinaryOp::Sub: return Instr::Op::Sub;
+      case ir::BinaryOp::Mul: return Instr::Op::Mul;
+      case ir::BinaryOp::Div: return Instr::Op::Div;
+      case ir::BinaryOp::Lt: return Instr::Op::Lt;
+      case ir::BinaryOp::Le: return Instr::Op::Le;
+      case ir::BinaryOp::Gt: return Instr::Op::Gt;
+      case ir::BinaryOp::Ge: return Instr::Op::Ge;
+      case ir::BinaryOp::Eq: return Instr::Op::Eq;
+      case ir::BinaryOp::Ne: return Instr::Op::Ne;
+    }
+    return Instr::Op::Add;
+  }
+
+  static int intern_load(std::vector<spmd::Load>& loads, int array,
+                         spmd::Offset offset) {
+    spmd::Load l{array, offset};
+    auto it = std::find(loads.begin(), loads.end(), l);
+    if (it != loads.end()) return static_cast<int>(it - loads.begin());
+    loads.push_back(l);
+    return static_cast<int>(loads.size() - 1);
+  }
+
+  // ------------------------------------------------------ statements --
+  void lower_block(const ir::Block& block, std::vector<Op>& out) {
+    for (const ir::StmtPtr& sp : block) lower_stmt(*sp, out);
+  }
+
+  void lower_stmt(const ir::Stmt& s, std::vector<Op>& out) {
+    switch (s.kind) {
+      case ir::StmtKind::Alloc: {
+        Op op;
+        op.kind = OpKind::Alloc;
+        op.arrays = static_cast<const ir::AllocStmt&>(s).arrays;
+        out.push_back(std::move(op));
+        return;
+      }
+      case ir::StmtKind::Free: {
+        Op op;
+        op.kind = OpKind::Free;
+        op.arrays = static_cast<const ir::FreeStmt&>(s).arrays;
+        out.push_back(std::move(op));
+        return;
+      }
+      case ir::StmtKind::ShiftAssign: {
+        const auto& stmt = static_cast<const ir::ShiftAssignStmt&>(s);
+        Op op;
+        op.kind = OpKind::FullShift;
+        op.array = stmt.dst;
+        op.src = stmt.src.array;
+        op.shift = stmt.shift;
+        op.dim = stmt.dim;
+        op.shift_kind = stmt.intrinsic == ir::ShiftIntrinsic::CShift
+                            ? simpi::ShiftKind::Circular
+                            : simpi::ShiftKind::EndOff;
+        if (stmt.boundary) op.boundary = scalar_expr(*stmt.boundary);
+        if (stmt.src.has_offset()) {
+          diags_.error(s.loc,
+                       "internal: full shift of an offset reference");
+        }
+        out.push_back(std::move(op));
+        return;
+      }
+      case ir::StmtKind::OverlapShift: {
+        const auto& stmt = static_cast<const ir::OverlapShiftStmt&>(s);
+        Op op;
+        op.kind = OpKind::OverlapShift;
+        op.array = stmt.src.array;
+        op.shift = stmt.shift;
+        op.dim = stmt.dim;
+        op.rsd = stmt.rsd;
+        op.shift_kind = stmt.shift_kind;
+        if (stmt.boundary) op.boundary = scalar_expr(*stmt.boundary);
+        // Multi-offset annotations were folded into RSDs by unioning;
+        // if unioning did not run, the offset still implies which
+        // overlap data the transfer must carry.
+        for (int d = 0; d < ir::kMaxRank; ++d) {
+          if (d == stmt.dim) continue;
+          if (stmt.src.offset[d] > 0) {
+            op.rsd.hi[d] = std::max(op.rsd.hi[d], stmt.src.offset[d]);
+          } else if (stmt.src.offset[d] < 0) {
+            op.rsd.lo[d] = std::max(op.rsd.lo[d], -stmt.src.offset[d]);
+          }
+        }
+        out.push_back(std::move(op));
+        return;
+      }
+      case ir::StmtKind::Copy: {
+        const auto& stmt = static_cast<const ir::CopyStmt&>(s);
+        Op op;
+        op.kind = OpKind::CopyOffset;
+        op.array = stmt.dst;
+        op.src = stmt.src.array;
+        op.copy_offset = stmt.src.offset;
+        out.push_back(std::move(op));
+        return;
+      }
+      case ir::StmtKind::ScalarAssign: {
+        const auto& stmt = static_cast<const ir::ScalarAssignStmt&>(s);
+        Op op;
+        op.kind = OpKind::ScalarAssign;
+        op.scalar = stmt.scalar;
+        op.expr = scalar_expr(*stmt.rhs);
+        out.push_back(std::move(op));
+        return;
+      }
+      case ir::StmtKind::If: {
+        const auto& stmt = static_cast<const ir::IfStmt&>(s);
+        Op op;
+        op.kind = OpKind::If;
+        op.cond = scalar_expr(*stmt.cond);
+        lower_block(stmt.then_block, op.then_ops);
+        lower_block(stmt.else_block, op.else_ops);
+        out.push_back(std::move(op));
+        return;
+      }
+      case ir::StmtKind::Do: {
+        const auto& stmt = static_cast<const ir::DoStmt&>(s);
+        Op op;
+        op.kind = OpKind::Do;
+        op.var = stmt.var;
+        op.lo = stmt.lo;
+        op.hi = stmt.hi;
+        lower_block(stmt.body, op.body);
+        out.push_back(std::move(op));
+        return;
+      }
+      case ir::StmtKind::LoopNest: {
+        const auto& nest = static_cast<const ir::LoopNestStmt&>(s);
+        Op op;
+        op.kind = OpKind::LoopNest;
+        op.rank = nest.rank;
+        op.bounds = nest.bounds;
+        op.loop_order = nest.loop_order;
+        op.unroll = nest.unroll_jam;
+        op.scalar_replace = nest.scalar_replaced;
+        for (const ir::LoopNestStmt::BodyAssign& b : nest.body) {
+          spmd::Kernel k;
+          k.lhs_array = b.lhs.array;
+          k.lhs_offset = b.lhs.offset;
+          emit_expr(*b.rhs, k.code, &op.loads);
+          op.kernels.push_back(std::move(k));
+        }
+        out.push_back(std::move(op));
+        return;
+      }
+      case ir::StmtKind::ArrayAssign: {
+        const auto& stmt = static_cast<const ir::ArrayAssignStmt&>(s);
+        if (opts_.expr_temps) {
+          lower_assign_expr_temps(stmt, out);
+        } else {
+          diags_.error(s.loc,
+                       "internal: unscalarized array assignment reached "
+                       "code generation");
+        }
+        return;
+      }
+    }
+  }
+
+  // --------------------------------------- xlhpf-like expression temps --
+  /// Value produced by a subexpression: either inline scalar bytecode or
+  /// a whole array.
+  struct Operand {
+    bool is_array = false;
+    int array = -1;
+    std::vector<Instr> scalar_code;  ///< when !is_array
+  };
+
+  /// Creates an expression temporary shaped like the statement target.
+  int new_expr_temp(const ir::ArraySymbol& model) {
+    spmd::ArraySpec spec;
+    spec.name = "ETMP" + std::to_string(++expr_temp_counter_);
+    spec.rank = model.rank;
+    spec.extent = model.extent;
+    spec.dist = model.dist;
+    spec.is_temp = true;
+    spec.prealloc = false;
+    out_.arrays.push_back(spec);
+    return static_cast<int>(out_.arrays.size() - 1);
+  }
+
+  std::array<ir::SectionRange, ir::kMaxRank> assign_bounds(
+      const ir::ArrayRef& lhs) {
+    const ir::ArraySymbol& sym = prog_.symbols.array(lhs.array);
+    std::array<ir::SectionRange, ir::kMaxRank> bounds;
+    for (int d = 0; d < sym.rank; ++d) {
+      if (lhs.whole_array()) {
+        bounds[d] = ir::SectionRange{AffineBound(1), sym.extent[d]};
+      } else {
+        bounds[d] = lhs.section[static_cast<std::size_t>(d)];
+      }
+    }
+    return bounds;
+  }
+
+  /// Emits one single-kernel loop nest: dst = code over `bounds`.
+  void emit_nest(int dst, const std::array<ir::SectionRange, ir::kMaxRank>&
+                              bounds,
+                 int rank, std::vector<Instr> code,
+                 std::vector<spmd::Load> loads, std::vector<Op>& out) {
+    Op op;
+    op.kind = OpKind::LoopNest;
+    op.rank = rank;
+    op.bounds = bounds;
+    op.loads = std::move(loads);
+    spmd::Kernel k;
+    k.lhs_array = dst;
+    k.code = std::move(code);
+    op.kernels.push_back(std::move(k));
+    out.push_back(std::move(op));
+  }
+
+  void lower_assign_expr_temps(const ir::ArrayAssignStmt& stmt,
+                               std::vector<Op>& out) {
+    const ir::ArraySymbol& lhs_sym = prog_.symbols.array(stmt.lhs.array);
+    const auto bounds = assign_bounds(stmt.lhs);
+    const int rank = lhs_sym.rank;
+
+    // Recursive evaluation; every array-valued operation gets its own
+    // nest and temporary (Fortran90 expression semantics).
+    auto eval = [&](auto&& self, const ir::Expr& e) -> Operand {
+      switch (e.kind) {
+        case ir::ExprKind::Constant: {
+          Operand o;
+          o.scalar_code.push_back(Instr{Instr::Op::PushConst, 0, e.value});
+          return o;
+        }
+        case ir::ExprKind::ScalarRef: {
+          Operand o;
+          o.scalar_code.push_back(Instr{Instr::Op::PushScalar, e.scalar, 0.0});
+          return o;
+        }
+        case ir::ExprKind::ArrayRefK: {
+          Operand o;
+          o.is_array = true;
+          o.array = e.ref.array;
+          return o;
+        }
+        case ir::ExprKind::Unary: {
+          Operand a = self(self, *e.lhs);
+          if (!a.is_array) {
+            a.scalar_code.push_back(Instr{Instr::Op::Neg, 0, 0.0});
+            return a;
+          }
+          int t = new_expr_temp(lhs_sym);
+          Op alloc;
+          alloc.kind = OpKind::Alloc;
+          alloc.arrays = {t};
+          out.push_back(std::move(alloc));
+          std::vector<spmd::Load> loads;
+          std::vector<Instr> code;
+          code.push_back(Instr{Instr::Op::PushLoad,
+                               intern_load(loads, a.array, {0, 0, 0}), 0.0});
+          code.push_back(Instr{Instr::Op::Neg, 0, 0.0});
+          emit_nest(t, bounds, rank, std::move(code), std::move(loads), out);
+          release_temp(a.array, out);
+          Operand o;
+          o.is_array = true;
+          o.array = t;
+          return o;
+        }
+        case ir::ExprKind::Binary: {
+          Operand a = self(self, *e.lhs);
+          Operand b = self(self, *e.rhs);
+          if (!a.is_array && !b.is_array) {
+            Operand o;
+            o.scalar_code = std::move(a.scalar_code);
+            o.scalar_code.insert(o.scalar_code.end(),
+                                 b.scalar_code.begin(),
+                                 b.scalar_code.end());
+            o.scalar_code.push_back(Instr{binary_op(e.op), 0, 0.0});
+            return o;
+          }
+          int t = new_expr_temp(lhs_sym);
+          Op alloc;
+          alloc.kind = OpKind::Alloc;
+          alloc.arrays = {t};
+          out.push_back(std::move(alloc));
+          std::vector<spmd::Load> loads;
+          std::vector<Instr> code;
+          auto push_operand = [&](Operand& o2) {
+            if (o2.is_array) {
+              code.push_back(
+                  Instr{Instr::Op::PushLoad,
+                        intern_load(loads, o2.array, {0, 0, 0}), 0.0});
+            } else {
+              code.insert(code.end(), o2.scalar_code.begin(),
+                          o2.scalar_code.end());
+            }
+          };
+          push_operand(a);
+          push_operand(b);
+          code.push_back(Instr{binary_op(e.op), 0, 0.0});
+          emit_nest(t, bounds, rank, std::move(code), std::move(loads), out);
+          if (a.is_array) release_temp(a.array, out);
+          if (b.is_array) release_temp(b.array, out);
+          Operand o;
+          o.is_array = true;
+          o.array = t;
+          return o;
+        }
+        case ir::ExprKind::Shift:
+          diags_.error(e.loc, "internal: shift survived normalization");
+          return Operand{};
+      }
+      return Operand{};
+    };
+
+    Operand result = eval(eval, *stmt.rhs);
+    // Final copy/assignment into the statement target.
+    std::vector<spmd::Load> loads;
+    std::vector<Instr> code;
+    if (result.is_array) {
+      code.push_back(Instr{Instr::Op::PushLoad,
+                           intern_load(loads, result.array, {0, 0, 0}),
+                           0.0});
+    } else {
+      code = std::move(result.scalar_code);
+    }
+    emit_nest(stmt.lhs.array, bounds, rank, std::move(code), std::move(loads),
+              out);
+    if (result.is_array) release_temp(result.array, out);
+  }
+
+  /// Frees an expression temporary right after its last consumer (IR
+  /// arrays and normalize temporaries are managed elsewhere).
+  void release_temp(int array, std::vector<Op>& out) {
+    if (array < prog_.symbols.num_arrays()) return;  // not an expr temp
+    Op free;
+    free.kind = OpKind::Free;
+    free.arrays = {array};
+    out.push_back(std::move(free));
+  }
+
+  const ir::Program& prog_;
+  const LowerOptions& opts_;
+  DiagnosticEngine& diags_;
+  spmd::Program out_;
+  int expr_temp_counter_ = 0;
+};
+
+}  // namespace
+
+spmd::Program lower_to_spmd(const ir::Program& program,
+                            const LowerOptions& opts,
+                            DiagnosticEngine& diags) {
+  return Lowerer(program, opts, diags).run();
+}
+
+}  // namespace hpfsc::codegen

@@ -1,0 +1,27 @@
+// Lowers the optimized IR to an executable SPMD program.
+//
+// Two modes:
+//  * normal — the pipeline has already scalarized compute statements to
+//    loop nests; statements map 1:1 onto ops.
+//  * expr_temps — models the xlhpf-like baseline the paper measures
+//    against (Figures 11, 18): no scalarization has run, and every
+//    array-expression operation materializes a full temporary array in
+//    its own loop nest (classic Fortran90 semantics), with shift
+//    intrinsics executed as full CSHIFTs into temporaries.
+#pragma once
+
+#include "codegen/spmd_program.hpp"
+#include "ir/program.hpp"
+#include "support/diagnostics.hpp"
+
+namespace hpfsc::codegen {
+
+struct LowerOptions {
+  bool expr_temps = false;
+};
+
+[[nodiscard]] spmd::Program lower_to_spmd(const ir::Program& program,
+                                          const LowerOptions& opts,
+                                          DiagnosticEngine& diags);
+
+}  // namespace hpfsc::codegen

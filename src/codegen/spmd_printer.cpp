@@ -1,0 +1,284 @@
+#include "codegen/spmd_printer.hpp"
+
+#include <array>
+#include <stdexcept>
+#include <vector>
+
+#include "support/text.hpp"
+
+namespace hpfsc::codegen {
+
+namespace {
+
+constexpr std::array<const char*, 3> kIndexVars{"i", "j", "k"};
+
+std::string indent_str(int n) {
+  return std::string(static_cast<std::size_t>(n) * 2, ' ');
+}
+
+std::string element_str(const std::string& name, const spmd::Offset& off,
+                        int rank) {
+  std::string out = name + "(";
+  for (int d = 0; d < rank; ++d) {
+    if (d != 0) out += ",";
+    out += kIndexVars[static_cast<std::size_t>(d)];
+    if (off[d] > 0) out += "+" + std::to_string(off[d]);
+    if (off[d] < 0) out += std::to_string(off[d]);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace
+
+std::string SpmdPrinter::array_name(int id) const {
+  return program_.arrays.at(static_cast<std::size_t>(id)).name;
+}
+
+std::string SpmdPrinter::scalar_name(int id) const {
+  return program_.scalars.at(static_cast<std::size_t>(id)).name;
+}
+
+std::string SpmdPrinter::print() const {
+  std::string out;
+  for (const spmd::ArraySpec& a : program_.arrays) {
+    if (a.eliminated) {
+      out += "* " + a.name + ": storage eliminated (offset array)\n";
+      continue;
+    }
+    out += "* " + a.name + "(";
+    for (int d = 0; d < a.rank; ++d) {
+      if (d != 0) out += ",";
+      out += a.extent[d].str();
+    }
+    out += ") ";
+    out += a.prealloc ? "program array" : "temporary";
+    bool halo = false;
+    for (int d = 0; d < a.rank; ++d) {
+      halo = halo || a.halo_lo[d] != 0 || a.halo_hi[d] != 0;
+    }
+    if (halo) {
+      out += ", overlap areas [";
+      for (int d = 0; d < a.rank; ++d) {
+        if (d != 0) out += ",";
+        out += std::to_string(a.halo_lo[d]) + ":" +
+               std::to_string(a.halo_hi[d]);
+      }
+      out += "]";
+    }
+    out += "\n";
+  }
+  out += "\n";
+  out += print_ops();
+  return out;
+}
+
+std::string SpmdPrinter::print_ops() const {
+  std::string out;
+  print_ops(program_.ops, 0, out);
+  return out;
+}
+
+void SpmdPrinter::print_ops(const std::vector<spmd::Op>& ops, int indent,
+                            std::string& out) const {
+  const std::string pad = indent_str(indent);
+  for (const spmd::Op& op : ops) {
+    switch (op.kind) {
+      case spmd::OpKind::Alloc: {
+        std::vector<std::string> names;
+        for (int a : op.arrays) names.push_back(array_name(a));
+        out += pad + "ALLOCATE " + join(names, ", ") + "\n";
+        break;
+      }
+      case spmd::OpKind::Free: {
+        std::vector<std::string> names;
+        for (int a : op.arrays) names.push_back(array_name(a));
+        out += pad + "DEALLOCATE " + join(names, ", ") + "\n";
+        break;
+      }
+      case spmd::OpKind::FullShift:
+        out += pad + "CALL MPI_SENDRECV_SHIFT(" + array_name(op.array) +
+               " <- " + array_name(op.src) +
+               ", SHIFT=" + signed_str(op.shift) +
+               ", DIM=" + std::to_string(op.dim + 1) +
+               (op.shift_kind == simpi::ShiftKind::EndOff ? ", EOSHIFT"
+                                                          : "") +
+               ")   ! inter + intraprocessor movement\n";
+        break;
+      case spmd::OpKind::OverlapShift: {
+        out += pad + "CALL OVERLAP_SHIFT(" + array_name(op.array) +
+               ", SHIFT=" + signed_str(op.shift) +
+               ", DIM=" + std::to_string(op.dim + 1);
+        if (op.rsd.any()) {
+          out += ", RSD=[";
+          const spmd::ArraySpec& spec =
+              program_.arrays.at(static_cast<std::size_t>(op.array));
+          for (int d = 0; d < spec.rank; ++d) {
+            if (d != 0) out += ",";
+            if (d == op.dim) {
+              out += "*";
+            } else {
+              out += ir::AffineBound(1 - op.rsd.lo[d]).str() + ":" +
+                     spec.extent[d].plus(op.rsd.hi[d]).str();
+            }
+          }
+          out += "]";
+        }
+        out += ")   ! boundary exchange only\n";
+        break;
+      }
+      case spmd::OpKind::CopyOffset: {
+        const spmd::ArraySpec& spec =
+            program_.arrays.at(static_cast<std::size_t>(op.array));
+        std::string src = array_name(op.src) + "<";
+        for (int d = 0; d < spec.rank; ++d) {
+          if (d != 0) src += ",";
+          src += op.copy_offset[d] == 0 ? "0" : signed_str(op.copy_offset[d]);
+        }
+        src += ">";
+        out += pad + array_name(op.array) + " = " + src +
+               "   ! compensation copy\n";
+        break;
+      }
+      case spmd::OpKind::ScalarAssign:
+        out += pad + scalar_name(op.scalar) + " = " + expr_str(op.expr) +
+               "\n";
+        break;
+      case spmd::OpKind::If:
+        out += pad + "IF (" + expr_str(op.cond) + ") THEN\n";
+        print_ops(op.then_ops, indent + 1, out);
+        if (!op.else_ops.empty()) {
+          out += pad + "ELSE\n";
+          print_ops(op.else_ops, indent + 1, out);
+        }
+        out += pad + "ENDIF\n";
+        break;
+      case spmd::OpKind::Do:
+        out += pad + "DO " + scalar_name(op.var) + " = " + op.lo.str() +
+               ", " + op.hi.str() + "\n";
+        print_ops(op.body, indent + 1, out);
+        out += pad + "ENDDO\n";
+        break;
+      case spmd::OpKind::LoopNest: {
+        int level = indent;
+        for (int n = 0; n < op.rank; ++n) {
+          const int d = op.loop_order[static_cast<std::size_t>(n)];
+          out += indent_str(level) + "DO " +
+                 kIndexVars[static_cast<std::size_t>(d)] + " = max(" +
+                 op.bounds[static_cast<std::size_t>(d)].lo.str() +
+                 ", my_lo" + std::to_string(d + 1) + "), min(" +
+                 op.bounds[static_cast<std::size_t>(d)].hi.str() +
+                 ", my_hi" + std::to_string(d + 1) + ")";
+          if (n == 0 && op.unroll > 1) {
+            out += ", " + std::to_string(op.unroll) + "   ! unroll-and-jam";
+          }
+          out += "\n";
+          ++level;
+        }
+        for (const spmd::Kernel& k : op.kernels) {
+          out += indent_str(level) + kernel_str(op, k) + "\n";
+        }
+        if (op.scalar_replace) {
+          out += indent_str(level) + "! scalar replacement applied\n";
+        }
+        for (int n = op.rank - 1; n >= 0; --n) {
+          --level;
+          out += indent_str(level) + "ENDDO\n";
+        }
+        break;
+      }
+    }
+  }
+}
+
+std::string SpmdPrinter::load_str(const spmd::Load& l) const {
+  const spmd::ArraySpec& spec =
+      program_.arrays.at(static_cast<std::size_t>(l.array));
+  return element_str(spec.name, l.offset, spec.rank);
+}
+
+std::string SpmdPrinter::rpn_str(const std::vector<spmd::Instr>& code,
+                                 const std::vector<spmd::Load>* loads) const {
+  // Render the RPN back to infix, tracking precedence so parentheses
+  // appear exactly where needed (atoms = 9, * / = 2, + - = 1,
+  // relationals = 0).
+  struct Entry {
+    std::string text;
+    int prec;
+  };
+  std::vector<Entry> stack;
+  auto atom = [&](std::string text) {
+    stack.push_back(Entry{std::move(text), 9});
+  };
+  auto binop = [&](const char* sym, int prec, bool right_assoc_sensitive) {
+    Entry r = stack.back();
+    stack.pop_back();
+    Entry l = stack.back();
+    stack.pop_back();
+    std::string ls =
+        l.prec < prec ? "(" + l.text + ")" : l.text;
+    std::string rs = (r.prec < prec ||
+                      (right_assoc_sensitive && r.prec == prec))
+                         ? "(" + r.text + ")"
+                         : r.text;
+    std::string sep = prec >= 2 ? "" : " ";
+    stack.push_back(Entry{ls + sep + sym + sep + rs, prec});
+  };
+  for (const spmd::Instr& in : code) {
+    switch (in.op) {
+      case spmd::Instr::Op::PushConst: {
+        std::string v = std::to_string(in.value);
+        while (v.size() > 3 && v.back() == '0' && v[v.size() - 2] != '.') {
+          v.pop_back();
+        }
+        atom(std::move(v));
+        break;
+      }
+      case spmd::Instr::Op::PushScalar:
+        atom(scalar_name(in.idx));
+        break;
+      case spmd::Instr::Op::PushLoad:
+        if (loads == nullptr) {
+          throw std::logic_error("array load outside a loop nest");
+        }
+        atom(load_str(loads->at(static_cast<std::size_t>(in.idx))));
+        break;
+      case spmd::Instr::Op::Add: binop("+", 1, false); break;
+      case spmd::Instr::Op::Sub: binop("-", 1, true); break;
+      case spmd::Instr::Op::Mul: binop("*", 2, false); break;
+      case spmd::Instr::Op::Div: binop("/", 2, true); break;
+      case spmd::Instr::Op::Neg: {
+        std::string inner = stack.back().prec < 9
+                                ? "(" + stack.back().text + ")"
+                                : stack.back().text;
+        stack.back() = Entry{"-" + inner, 2};
+        break;
+      }
+      case spmd::Instr::Op::Lt: binop("<", 0, false); break;
+      case spmd::Instr::Op::Le: binop("<=", 0, false); break;
+      case spmd::Instr::Op::Gt: binop(">", 0, false); break;
+      case spmd::Instr::Op::Ge: binop(">=", 0, false); break;
+      case spmd::Instr::Op::Eq: binop("==", 0, false); break;
+      case spmd::Instr::Op::Ne: binop("/=", 0, false); break;
+    }
+  }
+  if (stack.size() != 1) {
+    throw std::logic_error("malformed kernel bytecode");
+  }
+  return stack[0].text;
+}
+
+std::string SpmdPrinter::kernel_str(const spmd::Op& nest,
+                                    const spmd::Kernel& k) const {
+  const spmd::ArraySpec& lhs =
+      program_.arrays.at(static_cast<std::size_t>(k.lhs_array));
+  return element_str(lhs.name, k.lhs_offset, lhs.rank) + " = " +
+         rpn_str(k.code, &nest.loads);
+}
+
+std::string SpmdPrinter::expr_str(const spmd::ScalarExpr& code) const {
+  if (code.empty()) return "0.0";
+  return rpn_str(code, nullptr);
+}
+
+}  // namespace hpfsc::codegen

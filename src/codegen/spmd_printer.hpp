@@ -1,0 +1,40 @@
+// Pretty printer for the executable SPMD program: renders the node
+// program each PE runs in a Fortran77+MPI-flavored pseudo-code, the way
+// the paper presents generated node code.  Used by hpfsc_dump and the
+// codegen tests; purely for humans (the executor consumes the op list
+// directly).
+#pragma once
+
+#include <string>
+
+#include "codegen/spmd_program.hpp"
+
+namespace hpfsc::codegen {
+
+class SpmdPrinter {
+ public:
+  explicit SpmdPrinter(const spmd::Program& program) : program_(program) {}
+
+  /// Whole node program: array table then the op list.
+  [[nodiscard]] std::string print() const;
+
+  /// Just the op list.
+  [[nodiscard]] std::string print_ops() const;
+
+ private:
+  void print_ops(const std::vector<spmd::Op>& ops, int indent,
+                 std::string& out) const;
+  [[nodiscard]] std::string expr_str(const spmd::ScalarExpr& code) const;
+  [[nodiscard]] std::string rpn_str(const std::vector<spmd::Instr>& code,
+                                    const std::vector<spmd::Load>* loads)
+      const;
+  [[nodiscard]] std::string kernel_str(const spmd::Op& nest,
+                                       const spmd::Kernel& k) const;
+  [[nodiscard]] std::string load_str(const spmd::Load& l) const;
+  [[nodiscard]] std::string array_name(int id) const;
+  [[nodiscard]] std::string scalar_name(int id) const;
+
+  const spmd::Program& program_;
+};
+
+}  // namespace hpfsc::codegen

@@ -1,0 +1,49 @@
+#include "codegen/spmd_program.hpp"
+
+namespace hpfsc::spmd {
+
+int Program::find_array(const std::string& name) const {
+  for (std::size_t i = 0; i < arrays.size(); ++i) {
+    if (arrays[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int Program::find_scalar(const std::string& name) const {
+  for (std::size_t i = 0; i < scalars.size(); ++i) {
+    if (scalars[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+namespace {
+void summarize(const std::vector<Op>& ops, Program::CommSummary& out) {
+  for (const Op& op : ops) {
+    switch (op.kind) {
+      case OpKind::FullShift:
+        ++out.full_shifts;
+        break;
+      case OpKind::OverlapShift:
+        ++out.overlap_shifts;
+        break;
+      case OpKind::If:
+        summarize(op.then_ops, out);
+        summarize(op.else_ops, out);
+        break;
+      case OpKind::Do:
+        summarize(op.body, out);
+        break;
+      default:
+        break;
+    }
+  }
+}
+}  // namespace
+
+Program::CommSummary Program::comm_summary() const {
+  CommSummary out;
+  summarize(ops, out);
+  return out;
+}
+
+}  // namespace hpfsc::spmd

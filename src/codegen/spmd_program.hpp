@@ -1,0 +1,154 @@
+// The executable SPMD program: the node program each PE runs, expressed
+// as an operation list over distributed arrays plus compact bytecode for
+// scalar expressions and subgrid loop-nest kernels.  This is the target
+// of code generation and the input of the executor.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/symbols.hpp"
+#include "simpi/layout.hpp"
+#include "simpi/shift_ops.hpp"
+
+namespace hpfsc::spmd {
+
+using Offset = std::array<int, ir::kMaxRank>;
+
+struct ScalarSpec {
+  std::string name;
+  bool integer = false;
+  std::optional<double> init;
+};
+
+struct ArraySpec {
+  std::string name;
+  int rank = 2;
+  std::array<ir::AffineBound, ir::kMaxRank> extent;
+  std::array<simpi::DistKind, ir::kMaxRank> dist{
+      simpi::DistKind::Block, simpi::DistKind::Block,
+      simpi::DistKind::Collapsed};
+  std::array<int, ir::kMaxRank> halo_lo{0, 0, 0};
+  std::array<int, ir::kMaxRank> halo_hi{0, 0, 0};
+  bool is_temp = false;
+  bool eliminated = false;  ///< storage removed by offset arrays
+  /// Allocated for the whole execution (program arrays); temporaries are
+  /// allocated by explicit Alloc/Free ops instead.
+  bool prealloc = false;
+};
+
+/// Stack-machine instruction for scalar expressions and kernel bodies.
+/// PushLoad is only meaningful inside loop-nest kernels, where `idx`
+/// names an entry of the nest's load table.
+struct Instr {
+  enum class Op : std::uint8_t {
+    PushConst,
+    PushScalar,  ///< idx = scalar id
+    PushLoad,    ///< idx = load-table entry
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Neg,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+  };
+  Op op = Op::PushConst;
+  int idx = 0;
+  double value = 0.0;
+};
+
+using ScalarExpr = std::vector<Instr>;
+
+/// One element-wise reference inside a loop nest.
+struct Load {
+  int array = -1;
+  Offset offset{0, 0, 0};
+
+  bool operator==(const Load&) const = default;
+};
+
+/// One assignment of a fused nest body: lhs(i+off) = rpn(code).
+struct Kernel {
+  int lhs_array = -1;
+  Offset lhs_offset{0, 0, 0};
+  std::vector<Instr> code;
+};
+
+enum class OpKind {
+  Alloc,
+  Free,
+  FullShift,     ///< dst = CSHIFT/EOSHIFT(src): inter + intra movement
+  OverlapShift,  ///< fill src's overlap area (offset-array form)
+  CopyOffset,    ///< dst(g) = src(g + offset): compensation copy
+  LoopNest,      ///< subgrid loop nest
+  ScalarAssign,
+  If,
+  Do,
+};
+
+struct Op {
+  OpKind kind = OpKind::LoopNest;
+
+  // Alloc / Free
+  std::vector<int> arrays;
+
+  // FullShift / OverlapShift / CopyOffset
+  int array = -1;  ///< destination (FullShift/CopyOffset) or shifted array
+  int src = -1;
+  int shift = 0;
+  int dim = 0;
+  simpi::ShiftKind shift_kind = simpi::ShiftKind::Circular;
+  ScalarExpr boundary;  ///< EOSHIFT boundary (empty = 0.0)
+  simpi::RsdExtension rsd;
+  Offset copy_offset{0, 0, 0};
+
+  // LoopNest
+  int rank = 2;
+  std::array<ir::SectionRange, ir::kMaxRank> bounds;
+  std::array<int, ir::kMaxRank> loop_order{0, 1, 2};
+  int unroll = 1;
+  bool scalar_replace = false;
+  std::vector<Load> loads;
+  std::vector<Kernel> kernels;
+
+  // ScalarAssign
+  int scalar = -1;
+  ScalarExpr expr;
+
+  // If / Do
+  ScalarExpr cond;
+  std::vector<Op> then_ops;
+  std::vector<Op> else_ops;
+  int var = -1;
+  ir::AffineBound lo;
+  ir::AffineBound hi;
+  std::vector<Op> body;
+};
+
+struct Program {
+  std::string name;
+  std::vector<ScalarSpec> scalars;
+  std::vector<ArraySpec> arrays;
+  std::vector<Op> ops;
+
+  [[nodiscard]] int find_array(const std::string& name) const;
+  [[nodiscard]] int find_scalar(const std::string& name) const;
+
+  /// Static communication summary: number of shift operations of each
+  /// kind in one traversal of the op list (loops counted once).
+  struct CommSummary {
+    int full_shifts = 0;
+    int overlap_shifts = 0;
+  };
+  [[nodiscard]] CommSummary comm_summary() const;
+};
+
+}  // namespace hpfsc::spmd

@@ -1,0 +1,46 @@
+#include "driver/compiler.hpp"
+
+#include "frontend/lower.hpp"
+#include "ir/printer.hpp"
+
+namespace hpfsc {
+
+CompiledProgram Compiler::compile(std::string_view source,
+                                  const CompilerOptions& options) const {
+  DiagnosticEngine diags;
+  frontend::LowerResult lowered = frontend::lower_source(source, diags);
+  if (diags.has_errors()) throw CompileError(diags.render_all());
+
+  CompiledProgram out;
+  out.processors = lowered.processors;
+
+  passes::PassOptions pass_opts = options.passes;
+  if (options.xlhpf_mode) {
+    // Baseline mode: normalization only; code generation materializes
+    // expression temporaries.
+    pass_opts = passes::PassOptions::level(0);
+    pass_opts.normalize = options.passes.normalize;
+  }
+
+  if (options.xlhpf_mode) {
+    // Run normalization alone (run_pipeline would also scalarize).
+    out.pipeline.normalize = passes::normalize(lowered.program,
+                                               pass_opts.normalize, diags);
+    out.listings.push_back(passes::PhaseListing{
+        "normalize", ir::Printer(lowered.program).print_body()});
+  } else {
+    out.pipeline = passes::run_pipeline(lowered.program, pass_opts, diags);
+    out.listings = out.pipeline.listings;
+  }
+  if (diags.has_errors()) throw CompileError(diags.render_all());
+
+  codegen::LowerOptions cg;
+  cg.expr_temps = options.xlhpf_mode;
+  out.program = codegen::lower_to_spmd(lowered.program, cg, diags);
+  if (diags.has_errors()) throw CompileError(diags.render_all());
+
+  out.diagnostics = diags.render_all();
+  return out;
+}
+
+}  // namespace hpfsc

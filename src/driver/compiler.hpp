@@ -1,0 +1,72 @@
+// The public compiler driver: HPF source text in, executable SPMD
+// program (plus per-phase listings and optimization statistics) out.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "codegen/lower_spmd.hpp"
+#include "codegen/spmd_program.hpp"
+#include "passes/pipeline.hpp"
+#include "support/diagnostics.hpp"
+
+namespace hpfsc {
+
+/// Compilation failed; `what()` carries all rendered diagnostics.
+class CompileError : public std::runtime_error {
+ public:
+  explicit CompileError(std::string diagnostics)
+      : std::runtime_error(diagnostics) {}
+};
+
+struct CompilerOptions {
+  passes::PassOptions passes;
+  /// xlhpf-like baseline (paper Figures 11, 18): one temporary per
+  /// CSHIFT and one loop+temporary per expression operation; none of
+  /// the paper's optimizations run.
+  bool xlhpf_mode = false;
+
+  /// The paper's step-wise optimization levels O0..O4 (Figure 17).
+  static CompilerOptions level(int n) {
+    CompilerOptions o;
+    o.passes = passes::PassOptions::level(n);
+    return o;
+  }
+  /// Temporaries whose live ranges overlap (all shifts of a single
+  /// statement) each get their own array; only across statements can
+  /// storage be recycled — reproducing the paper's Section 4 contrast
+  /// of ~12 temporaries for the single-statement 9-point stencil versus
+  /// 3 for Problem 9.
+  static CompilerOptions xlhpf_like() {
+    CompilerOptions o;
+    o.passes = passes::PassOptions::level(0);
+    o.passes.normalize.reuse_temps = true;
+    o.xlhpf_mode = true;
+    return o;
+  }
+};
+
+struct CompiledProgram {
+  spmd::Program program;
+  /// Pretty-printed program after each phase (paper Figures 12-16).
+  std::vector<passes::PhaseListing> listings;
+  passes::PipelineResult pipeline;
+  /// PE grid requested by a !HPF$ PROCESSORS directive, if any.
+  std::optional<std::pair<int, int>> processors;
+  /// Warnings and notes produced during compilation.
+  std::string diagnostics;
+};
+
+class Compiler {
+ public:
+  /// Compiles HPF source text.  Throws CompileError on any error.
+  [[nodiscard]] CompiledProgram compile(
+      std::string_view source,
+      const CompilerOptions& options = CompilerOptions::level(4)) const;
+};
+
+}  // namespace hpfsc

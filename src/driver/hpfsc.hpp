@@ -1,0 +1,25 @@
+// Umbrella header: the complete public API of the hpfsc stencil
+// compilation framework.
+//
+//   hpfsc::Compiler           — HPF source -> executable SPMD program
+//   hpfsc::CompilerOptions    — optimization levels O0..O4 / xlhpf mode
+//   hpfsc::Execution          — run a compiled program on the simulated
+//                               distributed-memory machine
+//   hpfsc::Bindings           — runtime parameter values (N, C1, ...)
+//   simpi::MachineConfig      — PE grid shape, heap cap, message costs
+//
+// Quickstart:
+//   hpfsc::Compiler compiler;
+//   auto compiled = compiler.compile(source, CompilerOptions::level(4));
+//   simpi::MachineConfig mc{.pe_rows = 2, .pe_cols = 2};
+//   hpfsc::Execution exec(std::move(compiled.program), mc);
+//   exec.prepare(hpfsc::Bindings{}.set("N", 512));
+//   exec.set_array("U", [](int i, int j, int) { return i + j; });
+//   auto stats = exec.run(/*iterations=*/100);
+#pragma once
+
+#include "driver/compiler.hpp"
+#include "driver/paper_kernels.hpp"
+#include "executor/execution.hpp"
+#include "simpi/config.hpp"
+#include "simpi/machine.hpp"

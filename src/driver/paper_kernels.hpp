@@ -1,0 +1,96 @@
+// The paper's benchmark kernels as HPF source text (Figures 1-3 and the
+// array-syntax 9-point stencil of Section 5), shared by tests, examples
+// and benchmarks.  N is a runtime-bound parameter (no initializer).
+#pragma once
+
+namespace hpfsc::kernels {
+
+/// Figure 1: 5-point stencil in array syntax.
+inline constexpr const char* kFivePointArraySyntax = R"(
+PROGRAM FIVEPT
+INTEGER N
+REAL C1, C2, C3, C4, C5
+REAL SRC(N,N), DST(N,N)
+!HPF$ DISTRIBUTE SRC(BLOCK,BLOCK)
+!HPF$ DISTRIBUTE DST(BLOCK,BLOCK)
+DST(2:N-1,2:N-1) = C1 * SRC(1:N-2,2:N-1)  &
+                 + C2 * SRC(2:N-1,1:N-2)  &
+                 + C3 * SRC(2:N-1,2:N-1)  &
+                 + C4 * SRC(3:N  ,2:N-1)  &
+                 + C5 * SRC(2:N-1,3:N  )
+END
+)";
+
+/// Figure 2: 9-point stencil as a single statement of CSHIFTs (twelve
+/// CSHIFT intrinsics; all-ones coefficients so that the three 9-point
+/// specifications compute the same function).
+inline constexpr const char* kNinePointCShift = R"(
+PROGRAM NINEPT
+INTEGER N
+REAL U(N,N), T(N,N)
+!HPF$ DISTRIBUTE U(BLOCK,BLOCK)
+!HPF$ DISTRIBUTE T(BLOCK,BLOCK)
+T =     CSHIFT(CSHIFT(U,-1,1),-1,2)  &
+      + CSHIFT(U,-1,1)               &
+      + CSHIFT(CSHIFT(U,-1,1),+1,2)  &
+      + CSHIFT(U,-1,2)               &
+      + U                            &
+      + CSHIFT(U,+1,2)               &
+      + CSHIFT(CSHIFT(U,+1,1),-1,2)  &
+      + CSHIFT(U,+1,1)               &
+      + CSHIFT(CSHIFT(U,+1,1),+1,2)
+END
+)";
+
+/// Figure 3: Problem 9 of the Purdue Set (multi-statement 9-point
+/// stencil with hand-done CSE, as adapted for Fortran D benchmarking).
+inline constexpr const char* kProblem9 = R"(
+PROGRAM PROBLEM9
+INTEGER N
+REAL U(N,N), T(N,N), RIP(N,N), RIN(N,N)
+!HPF$ DISTRIBUTE U(BLOCK,BLOCK)
+!HPF$ DISTRIBUTE T(BLOCK,BLOCK)
+!HPF$ DISTRIBUTE RIP(BLOCK,BLOCK)
+!HPF$ DISTRIBUTE RIN(BLOCK,BLOCK)
+RIP = CSHIFT(U,SHIFT=+1,DIM=1)
+RIN = CSHIFT(U,SHIFT=-1,DIM=1)
+T   = U + RIP + RIN
+T   = T + CSHIFT(U,SHIFT=-1,DIM=2)
+T   = T + CSHIFT(U,SHIFT=+1,DIM=2)
+T   = T + CSHIFT(RIP,SHIFT=-1,DIM=2)
+T   = T + CSHIFT(RIP,SHIFT=+1,DIM=2)
+T   = T + CSHIFT(RIN,SHIFT=-1,DIM=2)
+T   = T + CSHIFT(RIN,SHIFT=+1,DIM=2)
+END
+)";
+
+/// Section 5's third specification: 9-point stencil in array syntax,
+/// computing only the interior elements 2:N-1 in each dimension.
+inline constexpr const char* kNinePointArraySyntax = R"(
+PROGRAM NINEPTAS
+INTEGER N
+REAL U(N,N), T(N,N)
+!HPF$ DISTRIBUTE U(BLOCK,BLOCK)
+!HPF$ DISTRIBUTE T(BLOCK,BLOCK)
+T(2:N-1,2:N-1) = U(1:N-2,1:N-2) + U(1:N-2,2:N-1) + U(1:N-2,3:N)  &
+               + U(2:N-1,1:N-2) + U(2:N-1,2:N-1) + U(2:N-1,3:N)  &
+               + U(3:N  ,1:N-2) + U(3:N  ,2:N-1) + U(3:N  ,3:N)
+END
+)";
+
+/// Jacobi 4-point relaxation with a time-step loop, used by the examples
+/// and the control-flow tests (offset arrays across DO loops).
+inline constexpr const char* kJacobiTimeLoop = R"(
+PROGRAM JACOBI
+INTEGER N, NSTEPS
+REAL U(N,N), T(N,N)
+!HPF$ DISTRIBUTE U(BLOCK,BLOCK)
+!HPF$ DISTRIBUTE T(BLOCK,BLOCK)
+DO K = 1, NSTEPS
+  T = 0.25 * (CSHIFT(U,-1,1) + CSHIFT(U,+1,1) + CSHIFT(U,-1,2) + CSHIFT(U,+1,2))
+  U = T
+ENDDO
+END
+)";
+
+}  // namespace hpfsc::kernels

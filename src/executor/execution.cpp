@@ -1,0 +1,427 @@
+#include "executor/execution.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "simpi/shift_ops.hpp"
+
+namespace hpfsc {
+
+namespace {
+constexpr int kMaxStack = 32;
+}
+
+Execution::Execution(spmd::Program program, const simpi::MachineConfig& config)
+    : prog_(std::move(program)),
+      machine_(std::make_unique<simpi::Machine>(config)) {
+  for (std::size_t i = 0; i < prog_.scalars.size(); ++i) {
+    scalar_ids_.emplace(prog_.scalars[i].name, static_cast<int>(i));
+  }
+  descs_.resize(prog_.arrays.size());
+  compile_plans(prog_.ops);
+}
+
+void Execution::compile_plans(const std::vector<spmd::Op>& ops) {
+  for (const spmd::Op& op : ops) {
+    switch (op.kind) {
+      case spmd::OpKind::LoopNest: {
+        NestPlans plans;
+        const int unroll_dim = op.loop_order[0];
+        const int width = op.rank >= 2 ? op.unroll : 1;
+        plans.main = exec::build_kernel_plan(op, width, unroll_dim);
+        if (width > 1) {
+          plans.epilogue = exec::build_kernel_plan(op, 1, unroll_dim);
+        }
+        if (plans.main.max_stack > kMaxStack) {
+          throw std::logic_error("kernel expression too deep");
+        }
+        plans_.emplace(&op, std::move(plans));
+        break;
+      }
+      case spmd::OpKind::If:
+        compile_plans(op.then_ops);
+        compile_plans(op.else_ops);
+        break;
+      case spmd::OpKind::Do:
+        compile_plans(op.body);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+int Execution::scalar_index(const std::string& name) const {
+  auto it = scalar_ids_.find(name);
+  if (it == scalar_ids_.end()) {
+    throw std::invalid_argument("unknown parameter '" + name + "'");
+  }
+  return it->second;
+}
+
+double Execution::eval_bound(const ir::AffineBound& b,
+                             const std::vector<double>& env) const {
+  if (b.is_literal()) return b.constant;
+  double v = env[static_cast<std::size_t>(scalar_index(b.param))];
+  if (std::isnan(v)) {
+    throw std::invalid_argument("parameter '" + b.param + "' is not bound");
+  }
+  return v + b.constant;
+}
+
+double Execution::eval_scalar(const spmd::ScalarExpr& code,
+                              const std::vector<double>& env) const {
+  if (code.empty()) return 0.0;
+  double stack[kMaxStack];
+  int sp = 0;
+  for (const spmd::Instr& in : code) {
+    switch (in.op) {
+      case spmd::Instr::Op::PushConst: stack[sp++] = in.value; break;
+      case spmd::Instr::Op::PushScalar:
+        stack[sp++] = env[static_cast<std::size_t>(in.idx)];
+        break;
+      case spmd::Instr::Op::PushLoad:
+        throw std::logic_error("array load in scalar expression");
+      case spmd::Instr::Op::Add: --sp; stack[sp - 1] += stack[sp]; break;
+      case spmd::Instr::Op::Sub: --sp; stack[sp - 1] -= stack[sp]; break;
+      case spmd::Instr::Op::Mul: --sp; stack[sp - 1] *= stack[sp]; break;
+      case spmd::Instr::Op::Div: --sp; stack[sp - 1] /= stack[sp]; break;
+      case spmd::Instr::Op::Neg: stack[sp - 1] = -stack[sp - 1]; break;
+      case spmd::Instr::Op::Lt:
+        --sp; stack[sp - 1] = stack[sp - 1] < stack[sp] ? 1.0 : 0.0; break;
+      case spmd::Instr::Op::Le:
+        --sp; stack[sp - 1] = stack[sp - 1] <= stack[sp] ? 1.0 : 0.0; break;
+      case spmd::Instr::Op::Gt:
+        --sp; stack[sp - 1] = stack[sp - 1] > stack[sp] ? 1.0 : 0.0; break;
+      case spmd::Instr::Op::Ge:
+        --sp; stack[sp - 1] = stack[sp - 1] >= stack[sp] ? 1.0 : 0.0; break;
+      case spmd::Instr::Op::Eq:
+        --sp; stack[sp - 1] = stack[sp - 1] == stack[sp] ? 1.0 : 0.0; break;
+      case spmd::Instr::Op::Ne:
+        --sp; stack[sp - 1] = stack[sp - 1] != stack[sp] ? 1.0 : 0.0; break;
+    }
+  }
+  return stack[0];
+}
+
+void Execution::compute_descs() {
+  for (std::size_t i = 0; i < prog_.arrays.size(); ++i) {
+    const spmd::ArraySpec& spec = prog_.arrays[i];
+    if (spec.eliminated) {
+      descs_[i].reset();
+      continue;
+    }
+    simpi::DistArrayDesc desc;
+    desc.name = spec.name;
+    desc.rank = spec.rank;
+    for (int d = 0; d < spec.rank; ++d) {
+      const double v = eval_bound(spec.extent[d], initial_env_);
+      if (v < 1) {
+        throw std::invalid_argument("array '" + spec.name +
+                                    "' has non-positive extent");
+      }
+      desc.extent[d] = static_cast<int>(v);
+      desc.dist[d] = spec.dist[d];
+      desc.halo.lo[d] = spec.halo_lo[d];
+      desc.halo.hi[d] = spec.halo_hi[d];
+    }
+    for (int d = spec.rank; d < ir::kMaxRank; ++d) {
+      desc.extent[d] = 1;
+      desc.dist[d] = simpi::DistKind::Collapsed;
+    }
+    descs_[i] = desc;
+  }
+}
+
+void Execution::prepare(const Bindings& bindings) {
+  initial_env_.assign(prog_.scalars.size(),
+                      std::numeric_limits<double>::quiet_NaN());
+  for (std::size_t i = 0; i < prog_.scalars.size(); ++i) {
+    const spmd::ScalarSpec& s = prog_.scalars[i];
+    auto it = bindings.values.find(s.name);
+    if (it != bindings.values.end()) {
+      initial_env_[i] = it->second;
+    } else if (s.init) {
+      initial_env_[i] = *s.init;
+    }
+  }
+  // Release arrays from a previous prepare (re-binding with new sizes).
+  if (prepared_) {
+    for (std::size_t i = 0; i < prog_.arrays.size(); ++i) {
+      machine_->free_array(static_cast<int>(i));
+    }
+  }
+  compute_descs();
+  for (std::size_t i = 0; i < prog_.arrays.size(); ++i) {
+    if (prog_.arrays[i].prealloc && descs_[i]) {
+      machine_->create_array_at(static_cast<int>(i), *descs_[i]);
+    }
+  }
+  prepared_ = true;
+}
+
+int Execution::array_id(const std::string& name) const {
+  int id = prog_.find_array(name);
+  if (id < 0) throw std::invalid_argument("unknown array '" + name + "'");
+  if (prog_.arrays[static_cast<std::size_t>(id)].eliminated) {
+    throw std::invalid_argument("array '" + name +
+                                "' was eliminated by the optimizer");
+  }
+  return id;
+}
+
+void Execution::set_array(const std::string& name,
+                          const std::function<double(int, int, int)>& f) {
+  machine_->set_elements(array_id(name), f);
+}
+
+std::vector<double> Execution::get_array(const std::string& name) {
+  return machine_->gather(array_id(name));
+}
+
+Execution::RunStats Execution::run(int iterations) {
+  if (!prepared_) throw std::logic_error("Execution::prepare not called");
+  machine_->clear_stats();
+  const auto start = std::chrono::steady_clock::now();
+  machine_->run([&](simpi::Pe& pe) {
+    std::vector<double> env = initial_env_;
+    for (int it = 0; it < iterations; ++it) {
+      exec_ops(pe, prog_.ops, env);
+    }
+  });
+  const auto end = std::chrono::steady_clock::now();
+  RunStats stats;
+  stats.wall_seconds = std::chrono::duration<double>(end - start).count();
+  stats.machine = machine_->stats();
+  return stats;
+}
+
+void Execution::exec_ops(simpi::Pe& pe, const std::vector<spmd::Op>& ops,
+                         std::vector<double>& env) {
+  for (const spmd::Op& op : ops) {
+    switch (op.kind) {
+      case spmd::OpKind::Alloc:
+        for (int id : op.arrays) {
+          pe.create_array(id, *descs_[static_cast<std::size_t>(id)]);
+        }
+        break;
+      case spmd::OpKind::Free:
+        for (int id : op.arrays) pe.free_array(id);
+        break;
+      case spmd::OpKind::FullShift:
+        simpi::full_cshift(pe, op.array, op.src, op.shift, op.dim,
+                           op.shift_kind, eval_scalar(op.boundary, env));
+        break;
+      case spmd::OpKind::OverlapShift:
+        simpi::overlap_shift(pe, op.array, op.shift, op.dim, op.rsd,
+                             op.shift_kind, eval_scalar(op.boundary, env));
+        break;
+      case spmd::OpKind::CopyOffset: {
+        simpi::LocalGrid& dst = pe.grid(op.array);
+        if (!dst.owns_anything()) break;
+        pe.charge_intra_copy(dst.copy_offset_from(
+            pe.grid(op.src), dst.owned_region(), op.copy_offset));
+        break;
+      }
+      case spmd::OpKind::LoopNest:
+        exec_nest(pe, op, env);
+        break;
+      case spmd::OpKind::ScalarAssign:
+        env[static_cast<std::size_t>(op.scalar)] = eval_scalar(op.expr, env);
+        break;
+      case spmd::OpKind::If:
+        if (eval_scalar(op.cond, env) != 0.0) {
+          exec_ops(pe, op.then_ops, env);
+        } else {
+          exec_ops(pe, op.else_ops, env);
+        }
+        break;
+      case spmd::OpKind::Do: {
+        const int lo = static_cast<int>(eval_bound(op.lo, env));
+        const int hi = static_cast<int>(eval_bound(op.hi, env));
+        for (int v = lo; v <= hi; ++v) {
+          env[static_cast<std::size_t>(op.var)] = v;
+          exec_ops(pe, op.body, env);
+        }
+        break;
+      }
+    }
+  }
+}
+
+void Execution::exec_nest(simpi::Pe& pe, const spmd::Op& op,
+                          std::vector<double>& env) {
+  const int owner = op.kernels.front().lhs_array;
+  simpi::LocalGrid& og = pe.grid(owner);
+  if (!og.owns_anything()) return;
+
+  std::array<int, ir::kMaxRank> box_lo{1, 1, 1};
+  std::array<int, ir::kMaxRank> box_hi{1, 1, 1};
+  for (int d = 0; d < op.rank; ++d) {
+    box_lo[d] = std::max(static_cast<int>(eval_bound(op.bounds[d].lo, env)),
+                         og.own_lo(d));
+    box_hi[d] = std::min(static_cast<int>(eval_bound(op.bounds[d].hi, env)),
+                         og.own_hi(d));
+    if (box_lo[d] > box_hi[d]) return;
+  }
+
+  const NestPlans& plans = plans_.at(&op);
+  const int inner = op.loop_order[static_cast<std::size_t>(op.rank - 1)];
+
+  if (op.rank == 1) {
+    run_plan(pe, op, plans.main, box_lo, box_hi, box_lo, inner, env);
+    return;
+  }
+
+  const int ud = op.loop_order[0];  // outermost / unrolled dimension
+  const int mid = op.rank == 3 ? op.loop_order[1] : -1;
+  for (int o = box_lo[ud]; o <= box_hi[ud];) {
+    const exec::KernelPlan* plan = &plans.main;
+    if (o + plan->width - 1 > box_hi[ud]) plan = &*plans.epilogue;
+    std::array<int, ir::kMaxRank> idx{1, 1, 1};
+    idx[ud] = o;
+    if (op.rank == 3) {
+      for (int m = box_lo[mid]; m <= box_hi[mid]; ++m) {
+        idx[mid] = m;
+        run_plan(pe, op, *plan, box_lo, box_hi, idx, inner, env);
+      }
+    } else {
+      run_plan(pe, op, *plan, box_lo, box_hi, idx, inner, env);
+    }
+    o += plan->width;
+  }
+}
+
+void Execution::run_plan(simpi::Pe& pe, const spmd::Op& op,
+                         const exec::KernelPlan& plan,
+                         const std::array<int, ir::kMaxRank>& box_lo,
+                         const std::array<int, ir::kMaxRank>& box_hi,
+                         std::array<int, ir::kMaxRank> idx, int inner_dim,
+                         const std::vector<double>& env) {
+  (void)op;
+  const int count = box_hi[inner_dim] - box_lo[inner_dim] + 1;
+  idx[inner_dim] = box_lo[inner_dim];
+
+  thread_local std::vector<double*> load_ptrs;
+  thread_local std::vector<std::ptrdiff_t> load_strides;
+  thread_local std::vector<double*> store_ptrs;
+  thread_local std::vector<std::ptrdiff_t> store_strides;
+  thread_local std::vector<double> regs;
+
+  load_ptrs.resize(plan.load_slots.size());
+  load_strides.resize(plan.load_slots.size());
+  for (std::size_t k = 0; k < plan.load_slots.size(); ++k) {
+    const spmd::Load& slot = plan.load_slots[k];
+    simpi::LocalGrid& g = pe.grid(slot.array);
+    std::array<int, ir::kMaxRank> pos{idx[0] + slot.offset[0],
+                                      idx[1] + slot.offset[1],
+                                      idx[2] + slot.offset[2]};
+    load_ptrs[k] = g.ptr_to(pos);
+    load_strides[k] = g.stride(inner_dim);
+  }
+  store_ptrs.resize(plan.store_slots.size());
+  store_strides.resize(plan.store_slots.size());
+  for (std::size_t k = 0; k < plan.store_slots.size(); ++k) {
+    const spmd::Load& slot = plan.store_slots[k];
+    simpi::LocalGrid& g = pe.grid(slot.array);
+    std::array<int, ir::kMaxRank> pos{idx[0] + slot.offset[0],
+                                      idx[1] + slot.offset[1],
+                                      idx[2] + slot.offset[2]};
+    store_ptrs[k] = g.ptr_to(pos);
+    store_strides[k] = g.stride(inner_dim);
+  }
+  regs.resize(static_cast<std::size_t>(plan.num_regs));
+
+  const double* scalars = env.data();
+  for (int c = 0; c < count; ++c) {
+    double stack[kMaxStack];
+    int sp = 0;
+    for (const exec::PlanInstr& in : plan.instrs) {
+      switch (in.op) {
+        case exec::PlanInstr::Op::LoadPtr:
+          stack[sp++] = *load_ptrs[static_cast<std::size_t>(in.idx)];
+          break;
+        case exec::PlanInstr::Op::LoadPtrCache: {
+          const double v = *load_ptrs[static_cast<std::size_t>(in.idx)];
+          regs[static_cast<std::size_t>(in.reg)] = v;
+          stack[sp++] = v;
+          break;
+        }
+        case exec::PlanInstr::Op::PushReg:
+          stack[sp++] = regs[static_cast<std::size_t>(in.reg)];
+          break;
+        case exec::PlanInstr::Op::PushConst:
+          stack[sp++] = in.value;
+          break;
+        case exec::PlanInstr::Op::PushScalar:
+          stack[sp++] = scalars[in.idx];
+          break;
+        case exec::PlanInstr::Op::Add:
+          --sp;
+          stack[sp - 1] += stack[sp];
+          break;
+        case exec::PlanInstr::Op::Sub:
+          --sp;
+          stack[sp - 1] -= stack[sp];
+          break;
+        case exec::PlanInstr::Op::Mul:
+          --sp;
+          stack[sp - 1] *= stack[sp];
+          break;
+        case exec::PlanInstr::Op::Div:
+          --sp;
+          stack[sp - 1] /= stack[sp];
+          break;
+        case exec::PlanInstr::Op::Neg:
+          stack[sp - 1] = -stack[sp - 1];
+          break;
+        case exec::PlanInstr::Op::Lt:
+          --sp;
+          stack[sp - 1] = stack[sp - 1] < stack[sp] ? 1.0 : 0.0;
+          break;
+        case exec::PlanInstr::Op::Le:
+          --sp;
+          stack[sp - 1] = stack[sp - 1] <= stack[sp] ? 1.0 : 0.0;
+          break;
+        case exec::PlanInstr::Op::Gt:
+          --sp;
+          stack[sp - 1] = stack[sp - 1] > stack[sp] ? 1.0 : 0.0;
+          break;
+        case exec::PlanInstr::Op::Ge:
+          --sp;
+          stack[sp - 1] = stack[sp - 1] >= stack[sp] ? 1.0 : 0.0;
+          break;
+        case exec::PlanInstr::Op::Eq:
+          --sp;
+          stack[sp - 1] = stack[sp - 1] == stack[sp] ? 1.0 : 0.0;
+          break;
+        case exec::PlanInstr::Op::Ne:
+          --sp;
+          stack[sp - 1] = stack[sp - 1] != stack[sp] ? 1.0 : 0.0;
+          break;
+        case exec::PlanInstr::Op::PopReg:
+          regs[static_cast<std::size_t>(in.reg)] = stack[--sp];
+          break;
+        case exec::PlanInstr::Op::PopStore:
+          *store_ptrs[static_cast<std::size_t>(in.idx)] = stack[--sp];
+          break;
+      }
+    }
+    for (std::size_t k = 0; k < load_ptrs.size(); ++k) {
+      load_ptrs[k] += load_strides[k];
+    }
+    for (std::size_t k = 0; k < store_ptrs.size(); ++k) {
+      store_ptrs[k] += store_strides[k];
+    }
+  }
+  // Account the subgrid-loop memory traffic this plan performed (the
+  // quantity the Section 3.4 memory optimizations reduce).
+  pe.charge_kernel_refs(static_cast<std::size_t>(count) *
+                        static_cast<std::size_t>(plan.mem_refs) *
+                        sizeof(double));
+}
+
+}  // namespace hpfsc

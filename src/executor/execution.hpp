@@ -1,0 +1,98 @@
+// Execution of a compiled SPMD program on the simulated machine: binds
+// size/coefficient parameters, allocates distributed arrays, runs the
+// node program on every PE, and reports wall-clock plus communication
+// statistics.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "codegen/spmd_program.hpp"
+#include "executor/plan.hpp"
+#include "simpi/machine.hpp"
+
+namespace hpfsc {
+
+/// Runtime values for program parameters (N, coefficients, ...).
+struct Bindings {
+  std::map<std::string, double> values;
+
+  Bindings& set(const std::string& name, double v) {
+    values[name] = v;
+    return *this;
+  }
+};
+
+class Execution {
+ public:
+  Execution(spmd::Program program, const simpi::MachineConfig& config);
+
+  /// Binds parameters, evaluates array shapes, compiles kernel plans,
+  /// and allocates the program's (non-temporary) arrays.  Throws
+  /// simpi::OutOfMemory if the per-PE heap cap is exceeded and
+  /// std::invalid_argument for unbound size parameters.
+  void prepare(const Bindings& bindings);
+
+  /// Initializes an array's owned elements with f(i, j, k).
+  void set_array(const std::string& name,
+                 const std::function<double(int, int, int)>& f);
+  /// Gathers an array into a dense column-major global vector.
+  [[nodiscard]] std::vector<double> get_array(const std::string& name);
+
+  struct RunStats {
+    double wall_seconds = 0.0;
+    simpi::MachineStats machine;
+  };
+
+  /// Executes the whole op list `iterations` times (SPMD, one thread per
+  /// PE).  prepare() must have been called.
+  RunStats run(int iterations = 1);
+
+  [[nodiscard]] const spmd::Program& program() const { return prog_; }
+  [[nodiscard]] simpi::Machine& machine() { return *machine_; }
+
+  Execution(Execution&&) = default;
+  Execution& operator=(Execution&&) = default;
+
+ private:
+  struct NestPlans {
+    exec::KernelPlan main;
+    std::optional<exec::KernelPlan> epilogue;  ///< width-1 remainder plan
+  };
+
+  void compile_plans(const std::vector<spmd::Op>& ops);
+  void compute_descs();
+  [[nodiscard]] int scalar_index(const std::string& name) const;
+  [[nodiscard]] double eval_bound(const ir::AffineBound& b,
+                                  const std::vector<double>& env) const;
+  [[nodiscard]] double eval_scalar(const spmd::ScalarExpr& code,
+                                   const std::vector<double>& env) const;
+  [[nodiscard]] int array_id(const std::string& name) const;
+
+  void exec_ops(simpi::Pe& pe, const std::vector<spmd::Op>& ops,
+                std::vector<double>& env);
+  void exec_nest(simpi::Pe& pe, const spmd::Op& op,
+                 std::vector<double>& env);
+  void run_plan(simpi::Pe& pe, const spmd::Op& op,
+                const exec::KernelPlan& plan,
+                const std::array<int, ir::kMaxRank>& box_lo,
+                const std::array<int, ir::kMaxRank>& box_hi,
+                std::array<int, ir::kMaxRank> idx, int inner_dim,
+                const std::vector<double>& env);
+
+  spmd::Program prog_;
+  std::unique_ptr<simpi::Machine> machine_;
+  std::vector<double> initial_env_;
+  std::vector<std::optional<simpi::DistArrayDesc>> descs_;
+  std::unordered_map<const spmd::Op*, NestPlans> plans_;
+  std::unordered_map<std::string, int> scalar_ids_;
+  bool prepared_ = false;
+};
+
+}  // namespace hpfsc

@@ -1,0 +1,149 @@
+#include "executor/plan.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace hpfsc::exec {
+
+namespace {
+
+int intern(std::vector<spmd::Load>& slots, const spmd::Load& l) {
+  auto it = std::find(slots.begin(), slots.end(), l);
+  if (it != slots.end()) return static_cast<int>(it - slots.begin());
+  slots.push_back(l);
+  return static_cast<int>(slots.size() - 1);
+}
+
+PlanInstr::Op map_arith(spmd::Instr::Op op) {
+  switch (op) {
+    case spmd::Instr::Op::Add: return PlanInstr::Op::Add;
+    case spmd::Instr::Op::Sub: return PlanInstr::Op::Sub;
+    case spmd::Instr::Op::Mul: return PlanInstr::Op::Mul;
+    case spmd::Instr::Op::Div: return PlanInstr::Op::Div;
+    case spmd::Instr::Op::Neg: return PlanInstr::Op::Neg;
+    case spmd::Instr::Op::Lt: return PlanInstr::Op::Lt;
+    case spmd::Instr::Op::Le: return PlanInstr::Op::Le;
+    case spmd::Instr::Op::Gt: return PlanInstr::Op::Gt;
+    case spmd::Instr::Op::Ge: return PlanInstr::Op::Ge;
+    case spmd::Instr::Op::Eq: return PlanInstr::Op::Eq;
+    case spmd::Instr::Op::Ne: return PlanInstr::Op::Ne;
+    default:
+      throw std::logic_error("unexpected instruction in kernel body");
+  }
+}
+
+}  // namespace
+
+KernelPlan build_kernel_plan(const spmd::Op& nest, int width,
+                             int unroll_dim) {
+  KernelPlan plan;
+  plan.width = width;
+
+  // Scalar-replacement state: last known register holding the value of
+  // an (array, absolute offset) location.
+  std::map<std::pair<int, spmd::Offset>, int> forward;
+  // Deferred final stores (location -> register), in first-store order.
+  std::vector<std::pair<spmd::Load, int>> pending_stores;
+
+  int stack = 0;
+  auto track_push = [&] {
+    ++stack;
+    plan.max_stack = std::max(plan.max_stack, stack);
+  };
+
+  for (int u = 0; u < width; ++u) {
+    for (const spmd::Kernel& kernel : nest.kernels) {
+      for (const spmd::Instr& in : kernel.code) {
+        switch (in.op) {
+          case spmd::Instr::Op::PushConst:
+            plan.instrs.push_back(
+                PlanInstr{PlanInstr::Op::PushConst, 0, 0, in.value});
+            track_push();
+            break;
+          case spmd::Instr::Op::PushScalar:
+            plan.instrs.push_back(
+                PlanInstr{PlanInstr::Op::PushScalar, in.idx, 0, 0.0});
+            track_push();
+            break;
+          case spmd::Instr::Op::PushLoad: {
+            const spmd::Load& base =
+                nest.loads[static_cast<std::size_t>(in.idx)];
+            spmd::Load abs = base;
+            abs.offset[unroll_dim] += u;
+            if (nest.scalar_replace) {
+              auto key = std::make_pair(abs.array, abs.offset);
+              auto it = forward.find(key);
+              if (it != forward.end()) {
+                plan.instrs.push_back(
+                    PlanInstr{PlanInstr::Op::PushReg, 0, it->second, 0.0});
+              } else {
+                int slot = intern(plan.load_slots, abs);
+                int reg = plan.num_regs++;
+                forward.emplace(key, reg);
+                plan.instrs.push_back(
+                    PlanInstr{PlanInstr::Op::LoadPtrCache, slot, reg, 0.0});
+              }
+            } else {
+              int slot = intern(plan.load_slots, abs);
+              plan.instrs.push_back(
+                  PlanInstr{PlanInstr::Op::LoadPtr, slot, 0, 0.0});
+            }
+            track_push();
+            break;
+          }
+          default: {
+            PlanInstr::Op op = map_arith(in.op);
+            plan.instrs.push_back(PlanInstr{op, 0, 0, 0.0});
+            if (op != PlanInstr::Op::Neg) --stack;  // binary pops one net
+            break;
+          }
+        }
+      }
+      // The kernel's result is on the stack: store it.
+      spmd::Load target{kernel.lhs_array, kernel.lhs_offset};
+      target.offset[unroll_dim] += u;
+      if (nest.scalar_replace) {
+        int reg = plan.num_regs++;
+        plan.instrs.push_back(
+            PlanInstr{PlanInstr::Op::PopReg, 0, reg, 0.0});
+        auto key = std::make_pair(target.array, target.offset);
+        forward[key] = reg;
+        bool found = false;
+        for (auto& [loc, r] : pending_stores) {
+          if (loc == target) {
+            r = reg;  // dead intermediate store eliminated
+            found = true;
+            break;
+          }
+        }
+        if (!found) pending_stores.emplace_back(target, reg);
+      } else {
+        int slot = intern(plan.store_slots, target);
+        plan.instrs.push_back(
+            PlanInstr{PlanInstr::Op::PopStore, slot, 0, 0.0});
+      }
+      --stack;
+    }
+  }
+
+  // Emit the surviving stores of a scalar-replaced plan.
+  for (const auto& [loc, reg] : pending_stores) {
+    int slot = intern(plan.store_slots, loc);
+    plan.instrs.push_back(PlanInstr{PlanInstr::Op::PushReg, 0, reg, 0.0});
+    plan.instrs.push_back(PlanInstr{PlanInstr::Op::PopStore, slot, 0, 0.0});
+    plan.max_stack = std::max(plan.max_stack, 1);
+  }
+
+  for (const PlanInstr& in : plan.instrs) {
+    if (in.op == PlanInstr::Op::LoadPtr ||
+        in.op == PlanInstr::Op::LoadPtrCache ||
+        in.op == PlanInstr::Op::PopStore) {
+      ++plan.mem_refs;
+    }
+  }
+
+  return plan;
+}
+
+}  // namespace hpfsc::exec

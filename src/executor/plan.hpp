@@ -1,0 +1,71 @@
+// Kernel plans: the executable form of a subgrid loop nest.  The plan
+// compiler honors the memory-optimization annotations, so the paper's
+// Section 3.4 transformations have a real, measurable effect:
+//
+//  * unroll-and-jam expands `unroll` instances of the nest body along
+//    the outermost loop into one inner-loop body;
+//  * scalar replacement caches each distinct (array, offset) load in a
+//    register, forwards values stored by earlier body statements to
+//    later reads, and drops dead intermediate stores (only the final
+//    store per location is emitted).
+//
+// Without the annotations every textual reference costs a memory access
+// and every statement instance a store — the behavior of the naive
+// translation the paper measures first.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "codegen/spmd_program.hpp"
+
+namespace hpfsc::exec {
+
+struct PlanInstr {
+  enum class Op : std::uint8_t {
+    LoadPtr,       ///< push *load_ptr[idx]
+    LoadPtrCache,  ///< v = *load_ptr[idx]; regs[reg] = v; push v
+    PushReg,       ///< push regs[reg]
+    PushConst,     ///< push value
+    PushScalar,    ///< push scalar_env[idx]
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Neg,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    PopReg,        ///< regs[reg] = pop
+    PopStore,      ///< *store_ptr[idx] = pop
+  };
+  Op op = Op::PushConst;
+  int idx = 0;
+  int reg = 0;
+  double value = 0.0;
+};
+
+/// A compiled nest body covering `width` consecutive iterations of the
+/// unrolled (outermost) loop dimension.
+struct KernelPlan {
+  std::vector<spmd::Load> load_slots;   ///< distinct source references
+  std::vector<spmd::Load> store_slots;  ///< distinct destinations
+  std::vector<PlanInstr> instrs;
+  int num_regs = 0;
+  int max_stack = 0;
+  int width = 1;  ///< unroll instances folded into this plan
+  /// Memory-touching instructions (loads + stores) per plan application
+  /// — the quantity scalar replacement and unroll-and-jam minimize.
+  int mem_refs = 0;
+};
+
+/// Compiles the body of a LoopNest op into a plan covering `width`
+/// iterations of dimension `unroll_dim` (pass width=1 for the epilogue
+/// or an unannotated nest).
+[[nodiscard]] KernelPlan build_kernel_plan(const spmd::Op& nest, int width,
+                                           int unroll_dim);
+
+}  // namespace hpfsc::exec

@@ -1,0 +1,58 @@
+#include "frontend/ast.hpp"
+
+namespace hpfsc::frontend::ast {
+
+ExprPtr make_number(double v, bool is_int, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::Number;
+  e->number = v;
+  e->is_int = is_int;
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr make_var(std::string name, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::Var;
+  e->name = std::move(name);
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr make_apply(std::string name, std::vector<Arg> args, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::Apply;
+  e->name = std::move(name);
+  e->args = std::move(args);
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr make_binary(ir::BinaryOp op, ExprPtr l, ExprPtr r, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::Binary;
+  e->op = op;
+  e->lhs = std::move(l);
+  e->rhs = std::move(r);
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr make_unary(ExprPtr operand, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::Unary;
+  e->lhs = std::move(operand);
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr make_range(ExprPtr lo, ExprPtr hi, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::Range;
+  e->lhs = std::move(lo);
+  e->rhs = std::move(hi);
+  e->loc = loc;
+  return e;
+}
+
+}  // namespace hpfsc::frontend::ast

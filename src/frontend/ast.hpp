@@ -1,0 +1,135 @@
+// Abstract syntax tree produced by the parser.  Deliberately loose
+// (array references and intrinsic calls are both `Apply` nodes); the
+// lowering step classifies names against the declarations and builds
+// the typed IR.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/expr.hpp"
+#include "support/source_location.hpp"
+
+namespace hpfsc::frontend::ast {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind {
+  Number,  ///< numeric literal
+  Var,     ///< bare identifier
+  Apply,   ///< NAME(args): array section ref or intrinsic call
+  Binary,
+  Unary,   ///< unary minus
+  Range,   ///< lo:hi inside an Apply argument (either side may be null)
+};
+
+/// An Apply argument, optionally keyworded (SHIFT=+1).
+struct Arg {
+  std::string keyword;  ///< empty when positional
+  ExprPtr value;
+};
+
+struct Expr {
+  ExprKind kind;
+  SourceLoc loc;
+
+  double number = 0.0;  ///< Number
+  bool is_int = false;  ///< Number: lexed as an integer literal
+  std::string name;     ///< Var / Apply
+  std::vector<Arg> args;  ///< Apply
+  ir::BinaryOp op = ir::BinaryOp::Add;  ///< Binary
+  ExprPtr lhs;  ///< Binary left / Unary operand / Range lo
+  ExprPtr rhs;  ///< Binary right / Range hi
+};
+
+ExprPtr make_number(double v, bool is_int, SourceLoc loc);
+ExprPtr make_var(std::string name, SourceLoc loc);
+ExprPtr make_apply(std::string name, std::vector<Arg> args, SourceLoc loc);
+ExprPtr make_binary(ir::BinaryOp op, ExprPtr l, ExprPtr r, SourceLoc loc);
+ExprPtr make_unary(ExprPtr operand, SourceLoc loc);
+ExprPtr make_range(ExprPtr lo, ExprPtr hi, SourceLoc loc);
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+using Block = std::vector<StmtPtr>;
+
+enum class StmtKind { Assign, Allocate, Deallocate, Call, If, Do };
+
+struct Stmt {
+  StmtKind kind;
+  SourceLoc loc;
+
+  // Assign: TARGET[(subscripts)] = rhs
+  std::string target;
+  std::vector<Arg> target_args;
+  bool target_has_parens = false;
+  ExprPtr rhs;
+
+  // Allocate / Deallocate
+  std::vector<std::string> names;
+
+  // Call
+  std::string callee;
+  std::vector<Arg> call_args;
+
+  // If
+  ExprPtr cond;
+  Block then_block;
+  Block else_block;
+
+  // Do
+  std::string do_var;
+  ExprPtr do_lo;
+  ExprPtr do_hi;
+  Block body;
+};
+
+/// One declared entity: NAME[(extents)] [= init].  A null extent means a
+/// deferred shape dimension (ALLOCATABLE ':').
+struct Entity {
+  std::string name;
+  std::vector<ExprPtr> dims;
+  ExprPtr init;
+  SourceLoc loc;
+};
+
+struct Decl {
+  ir::ScalarType base = ir::ScalarType::Real;
+  bool parameter = false;
+  bool allocatable = false;
+  std::vector<ExprPtr> dimension_attr;  ///< DIMENSION(...) attribute
+  std::vector<Entity> entities;
+  SourceLoc loc;
+};
+
+struct DistributeDirective {
+  std::string array;
+  std::vector<std::string> dist;  ///< "BLOCK" or "*" per dimension
+  std::string onto;               ///< processor arrangement name ("" if none)
+  SourceLoc loc;
+};
+
+struct ProcessorsDirective {
+  std::string name;
+  std::vector<int> extents;
+  SourceLoc loc;
+};
+
+struct AlignDirective {
+  std::string array;
+  std::string target;
+  SourceLoc loc;
+};
+
+struct Program {
+  std::string name = "MAIN";
+  std::vector<Decl> decls;
+  std::vector<DistributeDirective> distributes;
+  std::vector<ProcessorsDirective> processors;
+  std::vector<AlignDirective> aligns;
+  Block stmts;
+};
+
+}  // namespace hpfsc::frontend::ast

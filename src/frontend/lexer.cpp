@@ -1,0 +1,233 @@
+#include "frontend/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "support/text.hpp"
+
+namespace hpfsc::frontend {
+
+std::string to_string(TokenKind k) {
+  switch (k) {
+    case TokenKind::Ident: return "identifier";
+    case TokenKind::IntLit: return "integer literal";
+    case TokenKind::RealLit: return "real literal";
+    case TokenKind::Plus: return "'+'";
+    case TokenKind::Minus: return "'-'";
+    case TokenKind::Star: return "'*'";
+    case TokenKind::Slash: return "'/'";
+    case TokenKind::LParen: return "'('";
+    case TokenKind::RParen: return "')'";
+    case TokenKind::Comma: return "','";
+    case TokenKind::Colon: return "':'";
+    case TokenKind::DoubleColon: return "'::'";
+    case TokenKind::Assign: return "'='";
+    case TokenKind::Lt: return "'<'";
+    case TokenKind::Le: return "'<='";
+    case TokenKind::Gt: return "'>'";
+    case TokenKind::Ge: return "'>='";
+    case TokenKind::EqEq: return "'=='";
+    case TokenKind::Ne: return "'/='";
+    case TokenKind::Directive: return "HPF directive";
+    case TokenKind::Newline: return "end of statement";
+    case TokenKind::EndOfFile: return "end of input";
+  }
+  return "?";
+}
+
+char Lexer::advance() {
+  char c = src_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+std::vector<Token> Lexer::tokenize() {
+  std::vector<Token> out;
+  bool continuation = false;
+  while (!at_end()) {
+    const char c = peek();
+    if (c == ' ' || c == '\t' || c == '\r') {
+      advance();
+      continue;
+    }
+    if (c == '\n') {
+      advance();
+      if (continuation) {
+        continuation = false;
+      } else if (!out.empty() && out.back().kind != TokenKind::Newline &&
+                 out.back().kind != TokenKind::Directive) {
+        out.push_back(Token{TokenKind::Newline, "", 0.0, loc()});
+      }
+      continue;
+    }
+    if (c == '!') {
+      // "!HPF$" directive or plain comment; both run to end of line.
+      SourceLoc start = loc();
+      std::size_t line_end = src_.find('\n', pos_);
+      if (line_end == std::string_view::npos) line_end = src_.size();
+      std::string text(src_.substr(pos_, line_end - pos_));
+      std::string upper = hpfsc::to_upper(text);
+      while (pos_ < line_end) advance();
+      if (upper.starts_with("!HPF$")) {
+        out.push_back(Token{TokenKind::Directive, upper.substr(5), 0.0, start});
+      }
+      continue;
+    }
+    if (c == '&') {
+      advance();
+      // Trailing '&' splices the following line break; a leading '&' on
+      // a continuation line is simply skipped.  Distinguish by looking
+      // ahead: only spaces/comment may follow a trailing '&'.
+      std::size_t look = pos_;
+      while (look < src_.size() &&
+             (src_[look] == ' ' || src_[look] == '\t' || src_[look] == '\r')) {
+        ++look;
+      }
+      if (look >= src_.size() || src_[look] == '\n' || src_[look] == '!') {
+        continuation = true;
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      out.push_back(lex_number());
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '.') {
+      out.push_back(lex_ident_or_dotted_op());
+      continue;
+    }
+    SourceLoc start = loc();
+    advance();
+    switch (c) {
+      case '+': out.push_back({TokenKind::Plus, "+", 0.0, start}); break;
+      case '-': out.push_back({TokenKind::Minus, "-", 0.0, start}); break;
+      case '*': out.push_back({TokenKind::Star, "*", 0.0, start}); break;
+      case '(': out.push_back({TokenKind::LParen, "(", 0.0, start}); break;
+      case ')': out.push_back({TokenKind::RParen, ")", 0.0, start}); break;
+      case ',': out.push_back({TokenKind::Comma, ",", 0.0, start}); break;
+      case ':':
+        if (peek() == ':') {
+          advance();
+          out.push_back({TokenKind::DoubleColon, "::", 0.0, start});
+        } else {
+          out.push_back({TokenKind::Colon, ":", 0.0, start});
+        }
+        break;
+      case '=':
+        if (peek() == '=') {
+          advance();
+          out.push_back({TokenKind::EqEq, "==", 0.0, start});
+        } else {
+          out.push_back({TokenKind::Assign, "=", 0.0, start});
+        }
+        break;
+      case '<':
+        if (peek() == '=') {
+          advance();
+          out.push_back({TokenKind::Le, "<=", 0.0, start});
+        } else {
+          out.push_back({TokenKind::Lt, "<", 0.0, start});
+        }
+        break;
+      case '>':
+        if (peek() == '=') {
+          advance();
+          out.push_back({TokenKind::Ge, ">=", 0.0, start});
+        } else {
+          out.push_back({TokenKind::Gt, ">", 0.0, start});
+        }
+        break;
+      case '/':
+        if (peek() == '=') {
+          advance();
+          out.push_back({TokenKind::Ne, "/=", 0.0, start});
+        } else {
+          out.push_back({TokenKind::Slash, "/", 0.0, start});
+        }
+        break;
+      default:
+        diags_.error(start, std::string("unexpected character '") + c + "'");
+        break;
+    }
+  }
+  if (!out.empty() && out.back().kind != TokenKind::Newline) {
+    out.push_back(Token{TokenKind::Newline, "", 0.0, loc()});
+  }
+  out.push_back(Token{TokenKind::EndOfFile, "", 0.0, loc()});
+  return out;
+}
+
+Token Lexer::lex_number() {
+  SourceLoc start = loc();
+  std::string text;
+  bool is_real = false;
+  while (std::isdigit(static_cast<unsigned char>(peek()))) text += advance();
+  if (peek() == '.' && !std::isalpha(static_cast<unsigned char>(peek(1)))) {
+    // A '.' followed by a letter starts a dotted operator (e.g. 2.GT.1).
+    is_real = true;
+    text += advance();
+    while (std::isdigit(static_cast<unsigned char>(peek()))) text += advance();
+  }
+  char e = peek();
+  if (e == 'e' || e == 'E' || e == 'd' || e == 'D') {
+    char sign = peek(1);
+    if (std::isdigit(static_cast<unsigned char>(sign)) ||
+        ((sign == '+' || sign == '-') &&
+         std::isdigit(static_cast<unsigned char>(peek(2))))) {
+      is_real = true;
+      advance();
+      text += 'e';
+      if (sign == '+' || sign == '-') text += advance();
+      while (std::isdigit(static_cast<unsigned char>(peek()))) {
+        text += advance();
+      }
+    }
+  }
+  Token t;
+  t.kind = is_real ? TokenKind::RealLit : TokenKind::IntLit;
+  t.text = text;
+  t.number = std::strtod(text.c_str(), nullptr);
+  t.loc = start;
+  return t;
+}
+
+Token Lexer::lex_ident_or_dotted_op() {
+  SourceLoc start = loc();
+  if (peek() == '.') {
+    advance();
+    std::string word;
+    while (std::isalpha(static_cast<unsigned char>(peek()))) word += advance();
+    if (peek() == '.') {
+      advance();
+    } else {
+      diags_.error(start, "malformed dotted operator '." + word + "'");
+    }
+    std::string upper = hpfsc::to_upper(word);
+    auto tok = [&](TokenKind k, const char* s) {
+      return Token{k, s, 0.0, start};
+    };
+    if (upper == "LT") return tok(TokenKind::Lt, "<");
+    if (upper == "LE") return tok(TokenKind::Le, "<=");
+    if (upper == "GT") return tok(TokenKind::Gt, ">");
+    if (upper == "GE") return tok(TokenKind::Ge, ">=");
+    if (upper == "EQ") return tok(TokenKind::EqEq, "==");
+    if (upper == "NE") return tok(TokenKind::Ne, "/=");
+    if (upper == "TRUE") return Token{TokenKind::IntLit, "1", 1.0, start};
+    if (upper == "FALSE") return Token{TokenKind::IntLit, "0", 0.0, start};
+    diags_.error(start, "unsupported dotted operator '." + upper + ".'");
+    return Token{TokenKind::IntLit, "0", 0.0, start};
+  }
+  std::string word;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_') {
+    word += advance();
+  }
+  return Token{TokenKind::Ident, hpfsc::to_upper(word), 0.0, start};
+}
+
+}  // namespace hpfsc::frontend

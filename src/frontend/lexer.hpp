@@ -1,0 +1,45 @@
+// Lexer for the Fortran90/HPF subset.  Handles free-form source with
+// `&` continuation lines, `!` comments, `!HPF$` directive lines (emitted
+// as Directive tokens), dotted relational operators (.GT. etc.), and
+// case-insensitive identifiers (canonicalized to upper case).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "frontend/token.hpp"
+#include "support/diagnostics.hpp"
+
+namespace hpfsc::frontend {
+
+class Lexer {
+ public:
+  Lexer(std::string_view source, DiagnosticEngine& diags)
+      : src_(source), diags_(diags) {}
+
+  /// Tokenizes the whole input.  Statement boundaries appear as Newline
+  /// tokens (continuations already spliced); the stream ends with
+  /// EndOfFile.  Lexical errors are reported to the diagnostic engine
+  /// and the offending characters skipped.
+  [[nodiscard]] std::vector<Token> tokenize();
+
+ private:
+  [[nodiscard]] bool at_end() const { return pos_ >= src_.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char advance();
+  [[nodiscard]] SourceLoc loc() const { return {line_, column_}; }
+
+  void lex_line_into(std::vector<Token>& out);
+  Token lex_number();
+  Token lex_ident_or_dotted_op();
+
+  std::string_view src_;
+  DiagnosticEngine& diags_;
+  std::size_t pos_ = 0;
+  std::uint32_t line_ = 1;
+  std::uint32_t column_ = 1;
+};
+
+}  // namespace hpfsc::frontend

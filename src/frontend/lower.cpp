@@ -1,0 +1,573 @@
+#include "frontend/lower.hpp"
+
+#include <cmath>
+
+#include "frontend/parser.hpp"
+
+namespace hpfsc::frontend {
+
+namespace {
+
+using ir::AffineBound;
+using ir::ArrayId;
+using ir::ScalarId;
+
+class Lowerer {
+ public:
+  Lowerer(const ast::Program& tree, DiagnosticEngine& diags)
+      : tree_(tree), diags_(diags) {}
+
+  LowerResult run() {
+    LowerResult out;
+    program_ = &out.program;
+    program_->name = tree_.name;
+    lower_decls();
+    apply_directives(out);
+    lower_block(tree_.stmts, program_->body);
+    return out;
+  }
+
+ private:
+  // ---------------------------------------------------- declarations --
+  void lower_decls() {
+    for (const ast::Decl& d : tree_.decls) {
+      for (const ast::Entity& e : d.entities) {
+        const std::vector<ast::ExprPtr>& dims =
+            e.dims.empty() ? d.dimension_attr : e.dims;
+        if (dims.empty()) {
+          lower_scalar_decl(d, e);
+        } else {
+          lower_array_decl(d, e, dims);
+        }
+      }
+    }
+  }
+
+  void lower_scalar_decl(const ast::Decl& d, const ast::Entity& e) {
+    if (program_->symbols.find_scalar(e.name) ||
+        program_->symbols.find_array(e.name)) {
+      diags_.error(e.loc, "redeclaration of '" + e.name + "'");
+      return;
+    }
+    ir::ScalarSymbol sym;
+    sym.name = e.name;
+    sym.type = d.base;
+    sym.is_param = true;  // every declared scalar is bindable at run time
+    if (e.init) {
+      auto v = const_fold(*e.init);
+      if (!v) {
+        diags_.error(e.init->loc,
+                     "initializer of '" + e.name + "' must be constant");
+      } else {
+        sym.init = *v;
+      }
+    } else if (d.parameter) {
+      diags_.error(e.loc, "PARAMETER '" + e.name + "' lacks a value");
+    }
+    program_->symbols.add_scalar(std::move(sym));
+  }
+
+  void lower_array_decl(const ast::Decl& d, const ast::Entity& e,
+                        const std::vector<ast::ExprPtr>& dims) {
+    if (program_->symbols.find_scalar(e.name) ||
+        program_->symbols.find_array(e.name)) {
+      diags_.error(e.loc, "redeclaration of '" + e.name + "'");
+      return;
+    }
+    if (d.base != ir::ScalarType::Real) {
+      diags_.error(e.loc, "only REAL arrays are supported");
+      return;
+    }
+    ir::ArraySymbol sym;
+    sym.name = e.name;
+    sym.rank = static_cast<int>(dims.size());
+    if (sym.rank > ir::kMaxRank) {
+      diags_.error(e.loc, "arrays of rank > " +
+                              std::to_string(ir::kMaxRank) +
+                              " are not supported");
+      return;
+    }
+    for (int i = 0; i < sym.rank; ++i) {
+      const ast::ExprPtr& dim = dims[static_cast<std::size_t>(i)];
+      if (!dim) {
+        diags_.error(e.loc, "deferred-shape array '" + e.name +
+                                "' needs an explicit extent in this subset");
+        return;
+      }
+      auto bound = affine(*dim);
+      if (!bound) {
+        diags_.error(dim->loc, "array extent must be affine (param +/- "
+                               "constant) in '" + e.name + "'");
+        return;
+      }
+      sym.extent[i] = *bound;
+      // Default distribution: BLOCK on the first two dims, collapsed
+      // beyond (overridden by !HPF$ DISTRIBUTE).
+      sym.dist[i] = i < 2 ? ir::DistKind::Block : ir::DistKind::Collapsed;
+    }
+    program_->symbols.add_array(std::move(sym));
+  }
+
+  void apply_directives(LowerResult& out) {
+    for (const ast::ProcessorsDirective& p : tree_.processors) {
+      if (p.extents.size() > 2) {
+        diags_.error(p.loc, "PROCESSORS arrangements of rank > 2 are not "
+                            "supported");
+        continue;
+      }
+      int rows = p.extents.empty() ? 1 : p.extents[0];
+      int cols = p.extents.size() > 1 ? p.extents[1] : 1;
+      out.processors = {rows, cols};
+    }
+    for (const ast::DistributeDirective& d : tree_.distributes) {
+      auto id = program_->symbols.find_array(d.array);
+      if (!id) {
+        diags_.error(d.loc, "DISTRIBUTE names unknown array '" + d.array +
+                                "'");
+        continue;
+      }
+      ir::ArraySymbol& sym = program_->symbols.array(*id);
+      if (static_cast<int>(d.dist.size()) != sym.rank) {
+        diags_.error(d.loc, "DISTRIBUTE rank mismatch for '" + d.array + "'");
+        continue;
+      }
+      for (int i = 0; i < sym.rank; ++i) {
+        const std::string& spec = d.dist[static_cast<std::size_t>(i)];
+        if (spec == "BLOCK") {
+          sym.dist[i] = ir::DistKind::Block;
+        } else if (spec == "*") {
+          sym.dist[i] = ir::DistKind::Collapsed;
+        } else {
+          diags_.error(d.loc, "unsupported distribution '" + spec +
+                                  "' (only BLOCK and * are supported)");
+        }
+      }
+    }
+    for (const ast::AlignDirective& a : tree_.aligns) {
+      auto src = program_->symbols.find_array(a.array);
+      auto dst = program_->symbols.find_array(a.target);
+      if (!src || !dst) {
+        diags_.error(a.loc, "ALIGN names unknown array");
+        continue;
+      }
+      ir::ArraySymbol& s = program_->symbols.array(*src);
+      const ir::ArraySymbol& t = program_->symbols.array(*dst);
+      if (s.rank != t.rank) {
+        diags_.error(a.loc, "ALIGN rank mismatch between '" + a.array +
+                                "' and '" + a.target + "'");
+        continue;
+      }
+      s.dist = t.dist;
+    }
+  }
+
+  // ------------------------------------------------------ statements --
+  void lower_block(const ast::Block& in, ir::Block& out) {
+    for (const ast::StmtPtr& s : in) lower_stmt(*s, out);
+  }
+
+  void lower_stmt(const ast::Stmt& s, ir::Block& out) {
+    switch (s.kind) {
+      case ast::StmtKind::Assign:
+        lower_assign(s, out);
+        return;
+      case ast::StmtKind::Allocate:
+      case ast::StmtKind::Deallocate: {
+        std::vector<ArrayId> ids;
+        for (const std::string& name : s.names) {
+          auto id = program_->symbols.find_array(name);
+          if (!id) {
+            diags_.error(s.loc, "ALLOCATE/DEALLOCATE of unknown array '" +
+                                    name + "'");
+            continue;
+          }
+          ids.push_back(*id);
+        }
+        if (s.kind == ast::StmtKind::Allocate) {
+          auto stmt = std::make_unique<ir::AllocStmt>();
+          stmt->loc = s.loc;
+          stmt->arrays = std::move(ids);
+          out.push_back(std::move(stmt));
+        } else {
+          auto stmt = std::make_unique<ir::FreeStmt>();
+          stmt->loc = s.loc;
+          stmt->arrays = std::move(ids);
+          out.push_back(std::move(stmt));
+        }
+        return;
+      }
+      case ast::StmtKind::Call:
+        diags_.error(s.loc, "CALL '" + s.callee +
+                                "' is not supported in input programs "
+                                "(OVERLAP_CSHIFT is compiler-generated)");
+        return;
+      case ast::StmtKind::If: {
+        auto stmt = std::make_unique<ir::IfStmt>();
+        stmt->loc = s.loc;
+        stmt->cond = lower_scalar_expr(*s.cond);
+        lower_block(s.then_block, stmt->then_block);
+        lower_block(s.else_block, stmt->else_block);
+        out.push_back(std::move(stmt));
+        return;
+      }
+      case ast::StmtKind::Do: {
+        auto stmt = std::make_unique<ir::DoStmt>();
+        stmt->loc = s.loc;
+        auto var = program_->symbols.find_scalar(s.do_var);
+        if (!var) {
+          // Implicitly declare the loop variable as an integer scalar
+          // (Fortran implicit typing for I..N names).
+          ir::ScalarSymbol sym;
+          sym.name = s.do_var;
+          sym.type = ir::ScalarType::Integer;
+          sym.is_param = false;
+          var = program_->symbols.add_scalar(std::move(sym));
+        }
+        stmt->var = *var;
+        auto lo = affine(*s.do_lo);
+        auto hi = affine(*s.do_hi);
+        if (!lo || !hi) {
+          diags_.error(s.loc, "DO bounds must be affine (param +/- const)");
+          return;
+        }
+        stmt->lo = *lo;
+        stmt->hi = *hi;
+        lower_block(s.body, stmt->body);
+        out.push_back(std::move(stmt));
+        return;
+      }
+    }
+  }
+
+  void lower_assign(const ast::Stmt& s, ir::Block& out) {
+    if (auto scalar = program_->symbols.find_scalar(s.target)) {
+      if (s.target_has_parens) {
+        diags_.error(s.loc, "'" + s.target + "' is scalar but subscripted");
+        return;
+      }
+      auto stmt = std::make_unique<ir::ScalarAssignStmt>();
+      stmt->loc = s.loc;
+      stmt->scalar = *scalar;
+      stmt->rhs = lower_scalar_expr(*s.rhs);
+      out.push_back(std::move(stmt));
+      return;
+    }
+    auto array = program_->symbols.find_array(s.target);
+    if (!array) {
+      diags_.error(s.loc, "assignment to undeclared name '" + s.target + "'");
+      return;
+    }
+    auto stmt = std::make_unique<ir::ArrayAssignStmt>();
+    stmt->loc = s.loc;
+    stmt->lhs = lower_section_ref(*array, s.target_args, s.loc);
+    stmt->rhs = lower_array_expr(*s.rhs);
+    if (stmt->rhs) out.push_back(std::move(stmt));
+  }
+
+  // ----------------------------------------------------- expressions --
+  ir::ArrayRef lower_section_ref(ArrayId id, const std::vector<ast::Arg>& args,
+                                 SourceLoc loc) {
+    ir::ArrayRef ref;
+    ref.array = id;
+    const ir::ArraySymbol& sym = program_->symbols.array(id);
+    if (args.empty()) return ref;  // whole-array reference
+    if (static_cast<int>(args.size()) != sym.rank) {
+      diags_.error(loc, "'" + sym.name + "' has rank " +
+                            std::to_string(sym.rank) + " but " +
+                            std::to_string(args.size()) +
+                            " subscripts were given");
+      return ref;
+    }
+    for (int d = 0; d < sym.rank; ++d) {
+      const ast::Arg& a = args[static_cast<std::size_t>(d)];
+      if (!a.keyword.empty()) {
+        diags_.error(a.value->loc, "keyword argument in array section");
+        return ref;
+      }
+      ir::SectionRange r;
+      if (a.value->kind == ast::ExprKind::Range) {
+        if (a.value->lhs) {
+          auto lo = affine(*a.value->lhs);
+          if (!lo) {
+            diags_.error(a.value->loc, "section bound must be affine");
+            return ref;
+          }
+          r.lo = *lo;
+        } else {
+          r.lo = AffineBound(1);
+        }
+        if (a.value->rhs) {
+          auto hi = affine(*a.value->rhs);
+          if (!hi) {
+            diags_.error(a.value->loc, "section bound must be affine");
+            return ref;
+          }
+          r.hi = *hi;
+        } else {
+          r.hi = sym.extent[d];
+        }
+      } else {
+        auto idx = affine(*a.value);
+        if (!idx) {
+          diags_.error(a.value->loc, "subscript must be affine "
+                                     "(param +/- constant)");
+          return ref;
+        }
+        r.lo = *idx;
+        r.hi = *idx;
+      }
+      ref.section.push_back(r);
+    }
+    return ref;
+  }
+
+  ir::ExprPtr lower_array_expr(const ast::Expr& e) {
+    switch (e.kind) {
+      case ast::ExprKind::Number:
+        return ir::make_const(e.number, e.loc);
+      case ast::ExprKind::Var: {
+        if (auto s = program_->symbols.find_scalar(e.name)) {
+          return ir::make_scalar_ref(*s, e.loc);
+        }
+        if (auto a = program_->symbols.find_array(e.name)) {
+          ir::ArrayRef ref;
+          ref.array = *a;
+          return ir::make_array_ref(std::move(ref), e.loc);
+        }
+        diags_.error(e.loc, "use of undeclared name '" + e.name + "'");
+        return ir::make_const(0.0, e.loc);
+      }
+      case ast::ExprKind::Apply:
+        return lower_apply(e);
+      case ast::ExprKind::Binary: {
+        ir::ExprPtr l = lower_array_expr(*e.lhs);
+        ir::ExprPtr r = lower_array_expr(*e.rhs);
+        return ir::make_binary(e.op, std::move(l), std::move(r), e.loc);
+      }
+      case ast::ExprKind::Unary:
+        return ir::make_unary_neg(lower_array_expr(*e.lhs), e.loc);
+      case ast::ExprKind::Range:
+        diags_.error(e.loc, "unexpected section range in expression");
+        return ir::make_const(0.0, e.loc);
+    }
+    return ir::make_const(0.0, e.loc);
+  }
+
+  ir::ExprPtr lower_apply(const ast::Expr& e) {
+    if (e.name == "CSHIFT" || e.name == "EOSHIFT") {
+      return lower_shift(e);
+    }
+    if (auto a = program_->symbols.find_array(e.name)) {
+      return ir::make_array_ref(lower_section_ref(*a, e.args, e.loc), e.loc);
+    }
+    diags_.error(e.loc, "call of unknown function '" + e.name + "'");
+    return ir::make_const(0.0, e.loc);
+  }
+
+  ir::ExprPtr lower_shift(const ast::Expr& e) {
+    const bool eo = e.name == "EOSHIFT";
+    const ast::Expr* array_arg = nullptr;
+    const ast::Expr* shift_arg = nullptr;
+    const ast::Expr* dim_arg = nullptr;
+    const ast::Expr* boundary_arg = nullptr;
+    int positional = 0;
+    for (const ast::Arg& a : e.args) {
+      if (a.keyword.empty()) {
+        switch (positional++) {
+          case 0: array_arg = a.value.get(); break;
+          case 1: shift_arg = a.value.get(); break;
+          case 2:
+            if (eo) {
+              boundary_arg = a.value.get();
+            } else {
+              dim_arg = a.value.get();
+            }
+            break;
+          case 3:
+            if (eo) {
+              dim_arg = a.value.get();
+            } else {
+              diags_.error(a.value->loc, "too many CSHIFT arguments");
+            }
+            break;
+          default:
+            diags_.error(a.value->loc, "too many shift arguments");
+        }
+      } else if (a.keyword == "SHIFT") {
+        shift_arg = a.value.get();
+      } else if (a.keyword == "DIM") {
+        dim_arg = a.value.get();
+      } else if (a.keyword == "BOUNDARY" && eo) {
+        boundary_arg = a.value.get();
+      } else if (a.keyword == "ARRAY") {
+        array_arg = a.value.get();
+      } else {
+        diags_.error(a.value->loc,
+                     "unknown keyword '" + a.keyword + "' in " + e.name);
+      }
+    }
+    if (array_arg == nullptr || shift_arg == nullptr) {
+      diags_.error(e.loc, e.name + " requires ARRAY and SHIFT arguments");
+      return ir::make_const(0.0, e.loc);
+    }
+    auto shift = const_fold_int(*shift_arg);
+    if (!shift) {
+      diags_.error(shift_arg->loc, "SHIFT must be an integer constant");
+      return ir::make_const(0.0, e.loc);
+    }
+    int dim = 1;
+    if (dim_arg != nullptr) {
+      auto d = const_fold_int(*dim_arg);
+      if (!d) {
+        diags_.error(dim_arg->loc, "DIM must be an integer constant");
+        return ir::make_const(0.0, e.loc);
+      }
+      dim = *d;
+    }
+    ir::ExprPtr boundary;
+    if (eo) {
+      boundary = boundary_arg != nullptr ? lower_scalar_expr(*boundary_arg)
+                                         : ir::make_const(0.0, e.loc);
+    }
+    ir::ExprPtr arg = lower_array_expr(*array_arg);
+    return ir::make_shift(
+        eo ? ir::ShiftIntrinsic::EoShift : ir::ShiftIntrinsic::CShift,
+        std::move(arg), *shift, dim - 1, std::move(boundary), e.loc);
+  }
+
+  /// Scalar-context expression: array references are rejected.
+  ir::ExprPtr lower_scalar_expr(const ast::Expr& e) {
+    switch (e.kind) {
+      case ast::ExprKind::Number:
+        return ir::make_const(e.number, e.loc);
+      case ast::ExprKind::Var: {
+        if (auto s = program_->symbols.find_scalar(e.name)) {
+          return ir::make_scalar_ref(*s, e.loc);
+        }
+        diags_.error(e.loc, "'" + e.name + "' is not a scalar");
+        return ir::make_const(0.0, e.loc);
+      }
+      case ast::ExprKind::Binary:
+        return ir::make_binary(e.op, lower_scalar_expr(*e.lhs),
+                               lower_scalar_expr(*e.rhs), e.loc);
+      case ast::ExprKind::Unary:
+        return ir::make_unary_neg(lower_scalar_expr(*e.lhs), e.loc);
+      case ast::ExprKind::Apply:
+      case ast::ExprKind::Range:
+        diags_.error(e.loc, "expected a scalar expression");
+        return ir::make_const(0.0, e.loc);
+    }
+    return ir::make_const(0.0, e.loc);
+  }
+
+  // -------------------------------------------------------- helpers --
+  /// Folds constant numeric expressions (literals, declared PARAMETERs,
+  /// + - * / and unary minus over them).
+  std::optional<double> const_fold(const ast::Expr& e) const {
+    switch (e.kind) {
+      case ast::ExprKind::Number:
+        return e.number;
+      case ast::ExprKind::Var: {
+        if (auto s = program_->symbols.find_scalar(e.name)) {
+          const ir::ScalarSymbol& sym = program_->symbols.scalar(*s);
+          if (sym.init) return sym.init;
+        }
+        return std::nullopt;
+      }
+      case ast::ExprKind::Binary: {
+        auto l = const_fold(*e.lhs);
+        auto r = const_fold(*e.rhs);
+        if (!l || !r) return std::nullopt;
+        switch (e.op) {
+          case ir::BinaryOp::Add: return *l + *r;
+          case ir::BinaryOp::Sub: return *l - *r;
+          case ir::BinaryOp::Mul: return *l * *r;
+          case ir::BinaryOp::Div:
+            if (*r == 0.0) return std::nullopt;
+            return *l / *r;
+          default: return std::nullopt;
+        }
+      }
+      case ast::ExprKind::Unary: {
+        auto v = const_fold(*e.lhs);
+        if (!v) return std::nullopt;
+        return -*v;
+      }
+      default:
+        return std::nullopt;
+    }
+  }
+
+  std::optional<int> const_fold_int(const ast::Expr& e) const {
+    auto v = const_fold(e);
+    if (!v) return std::nullopt;
+    if (*v != std::floor(*v)) return std::nullopt;
+    return static_cast<int>(*v);
+  }
+
+  /// Lowers an expression to `param + constant` form when possible.
+  std::optional<AffineBound> affine(const ast::Expr& e) const {
+    switch (e.kind) {
+      case ast::ExprKind::Number:
+        if (e.number != std::floor(e.number)) return std::nullopt;
+        return AffineBound(static_cast<int>(e.number));
+      case ast::ExprKind::Var: {
+        auto s = program_->symbols.find_scalar(e.name);
+        if (!s) return std::nullopt;
+        const ir::ScalarSymbol& sym = program_->symbols.scalar(*s);
+        if (sym.type != ir::ScalarType::Integer) return std::nullopt;
+        return AffineBound(e.name, 0);
+      }
+      case ast::ExprKind::Binary: {
+        auto l = affine(*e.lhs);
+        auto r = affine(*e.rhs);
+        if (!l || !r) return std::nullopt;
+        if (e.op == ir::BinaryOp::Add) {
+          if (!l->param.empty() && !r->param.empty()) return std::nullopt;
+          std::string p = l->param.empty() ? r->param : l->param;
+          return AffineBound(p, l->constant + r->constant);
+        }
+        if (e.op == ir::BinaryOp::Sub) {
+          if (!r->param.empty()) {
+            // N - N folds; anything else with a param subtrahend doesn't.
+            if (l->param == r->param) {
+              return AffineBound(l->constant - r->constant);
+            }
+            return std::nullopt;
+          }
+          return AffineBound(l->param, l->constant - r->constant);
+        }
+        if (e.op == ir::BinaryOp::Mul && l->param.empty() &&
+            r->param.empty()) {
+          return AffineBound(l->constant * r->constant);
+        }
+        return std::nullopt;
+      }
+      case ast::ExprKind::Unary: {
+        auto v = affine(*e.lhs);
+        if (!v || !v->param.empty()) return std::nullopt;
+        return AffineBound(-v->constant);
+      }
+      default:
+        return std::nullopt;
+    }
+  }
+
+  const ast::Program& tree_;
+  DiagnosticEngine& diags_;
+  ir::Program* program_ = nullptr;
+};
+
+}  // namespace
+
+LowerResult lower(const ast::Program& tree, DiagnosticEngine& diags) {
+  return Lowerer(tree, diags).run();
+}
+
+LowerResult lower_source(std::string_view source, DiagnosticEngine& diags) {
+  ast::Program tree = Parser::parse_source(source, diags);
+  if (diags.has_errors()) return LowerResult{};
+  return lower(tree, diags);
+}
+
+}  // namespace hpfsc::frontend

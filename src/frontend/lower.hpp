@@ -1,0 +1,31 @@
+// Lowering from the parser's AST to the typed IR: builds the symbol
+// table from declarations and HPF directives, classifies Apply nodes as
+// array sections or shift intrinsics, and checks the affine-bounds
+// restrictions of the stencil subset.
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "frontend/ast.hpp"
+#include "ir/program.hpp"
+#include "support/diagnostics.hpp"
+
+namespace hpfsc::frontend {
+
+struct LowerResult {
+  ir::Program program;
+  /// PE grid suggested by a !HPF$ PROCESSORS directive (rows, cols).
+  std::optional<std::pair<int, int>> processors;
+};
+
+/// Lowers `tree` to IR.  Semantic errors are reported to `diags`; the
+/// returned program is only meaningful when !diags.has_errors().
+[[nodiscard]] LowerResult lower(const ast::Program& tree,
+                                DiagnosticEngine& diags);
+
+/// Convenience: parse + lower.
+[[nodiscard]] LowerResult lower_source(std::string_view source,
+                                       DiagnosticEngine& diags);
+
+}  // namespace hpfsc::frontend

@@ -1,0 +1,580 @@
+#include "frontend/parser.hpp"
+
+#include "frontend/lexer.hpp"
+
+namespace hpfsc::frontend {
+
+namespace {
+
+/// Normalizes the two-token "END IF" / "END DO" terminators.
+std::string normalized_terminator(const Token& t0, const Token& t1) {
+  if (t0.kind != TokenKind::Ident) return "";
+  if (t0.text == "ELSE" || t0.text == "ENDIF" || t0.text == "ENDDO") {
+    return t0.text;
+  }
+  if (t0.text == "END") {
+    if (t1.kind == TokenKind::Ident) {
+      if (t1.text == "IF") return "ENDIF";
+      if (t1.text == "DO") return "ENDDO";
+    }
+    return "END";
+  }
+  return "";
+}
+
+}  // namespace
+
+ast::Program Parser::parse_source(std::string_view source,
+                                  DiagnosticEngine& diags) {
+  Lexer lexer(source, diags);
+  Parser parser(lexer.tokenize(), diags);
+  return parser.parse_program();
+}
+
+const Token& Parser::peek(std::size_t ahead) const {
+  std::size_t i = pos_ + ahead;
+  if (i >= tokens_.size()) i = tokens_.size() - 1;  // EndOfFile sentinel
+  return tokens_[i];
+}
+
+const Token& Parser::advance() {
+  const Token& t = peek();
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return t;
+}
+
+bool Parser::accept(TokenKind k) {
+  if (check(k)) {
+    advance();
+    return true;
+  }
+  return false;
+}
+
+bool Parser::accept_ident(const std::string& name) {
+  if (check_ident(name)) {
+    advance();
+    return true;
+  }
+  return false;
+}
+
+const Token& Parser::expect(TokenKind k, const std::string& context) {
+  if (check(k)) return advance();
+  diags_.error(peek().loc, "expected " + to_string(k) + " " + context +
+                               ", found " + to_string(peek().kind) +
+                               (peek().text.empty() ? "" : " '" + peek().text +
+                                                              "'"));
+  return peek();
+}
+
+void Parser::expect_end_of_stmt() {
+  if (check(TokenKind::Newline)) {
+    advance();
+    return;
+  }
+  if (check(TokenKind::EndOfFile)) return;
+  diags_.error(peek().loc, "unexpected tokens at end of statement");
+  sync_to_stmt_end();
+}
+
+void Parser::skip_newlines() {
+  while (check(TokenKind::Newline)) advance();
+}
+
+void Parser::sync_to_stmt_end() {
+  while (!check(TokenKind::Newline) && !check(TokenKind::EndOfFile)) {
+    advance();
+  }
+  accept(TokenKind::Newline);
+}
+
+ast::Program Parser::parse_program() {
+  ast::Program out;
+  skip_newlines();
+  while (!check(TokenKind::EndOfFile)) {
+    if (check(TokenKind::Directive)) {
+      Token t = advance();
+      parse_directive(t, out);
+      skip_newlines();
+      continue;
+    }
+    if (check_ident("PROGRAM")) {
+      advance();
+      if (check(TokenKind::Ident)) out.name = advance().text;
+      expect_end_of_stmt();
+      skip_newlines();
+      continue;
+    }
+    if (check_ident("REAL") || check_ident("INTEGER")) {
+      parse_decl(out);
+      skip_newlines();
+      continue;
+    }
+    if (normalized_terminator(peek(), peek(1)) == "END") {
+      // END [PROGRAM [name]] closes the unit; ignore the remainder.
+      sync_to_stmt_end();
+      skip_newlines();
+      continue;
+    }
+    ast::StmtPtr stmt = parse_statement();
+    if (stmt) out.stmts.push_back(std::move(stmt));
+    skip_newlines();
+  }
+  return out;
+}
+
+void Parser::parse_directive(const Token& tok, ast::Program& out) {
+  // Re-lex the directive payload; positions inside it are approximate
+  // (the directive's own location is used for all reports).
+  DiagnosticEngine local;
+  Lexer sub(tok.text, local);
+  std::vector<Token> toks = sub.tokenize();
+  std::size_t i = 0;
+  auto at = [&](std::size_t k) -> const Token& {
+    return toks[std::min(k, toks.size() - 1)];
+  };
+  if (at(i).kind != TokenKind::Ident) {
+    diags_.warning(tok.loc, "empty HPF directive ignored");
+    return;
+  }
+  const std::string kind = at(i++).text;
+  if (kind == "DISTRIBUTE") {
+    ast::DistributeDirective d;
+    d.loc = tok.loc;
+    if (at(i).kind != TokenKind::Ident) {
+      diags_.error(tok.loc, "DISTRIBUTE: expected array name");
+      return;
+    }
+    d.array = at(i++).text;
+    if (at(i).kind != TokenKind::LParen) {
+      diags_.error(tok.loc, "DISTRIBUTE: expected '(' after array name");
+      return;
+    }
+    ++i;
+    while (true) {
+      if (at(i).kind == TokenKind::Star) {
+        d.dist.push_back("*");
+        ++i;
+      } else if (at(i).kind == TokenKind::Ident) {
+        d.dist.push_back(at(i).text);
+        ++i;
+        if (at(i).kind == TokenKind::LParen) {
+          diags_.error(tok.loc,
+                       "DISTRIBUTE: parameterized distributions (CYCLIC(k), "
+                       "BLOCK(k)) are not supported");
+          return;
+        }
+      } else {
+        diags_.error(tok.loc, "DISTRIBUTE: malformed distribution list");
+        return;
+      }
+      if (at(i).kind == TokenKind::Comma) {
+        ++i;
+        continue;
+      }
+      break;
+    }
+    if (at(i).kind != TokenKind::RParen) {
+      diags_.error(tok.loc, "DISTRIBUTE: expected ')'");
+      return;
+    }
+    ++i;
+    if (at(i).kind == TokenKind::Ident && at(i).text == "ONTO") {
+      ++i;
+      if (at(i).kind == TokenKind::Ident) d.onto = at(i++).text;
+    }
+    out.distributes.push_back(std::move(d));
+    return;
+  }
+  if (kind == "PROCESSORS") {
+    ast::ProcessorsDirective p;
+    p.loc = tok.loc;
+    if (at(i).kind != TokenKind::Ident) {
+      diags_.error(tok.loc, "PROCESSORS: expected arrangement name");
+      return;
+    }
+    p.name = at(i++).text;
+    if (at(i).kind == TokenKind::LParen) {
+      ++i;
+      while (at(i).kind == TokenKind::IntLit) {
+        p.extents.push_back(static_cast<int>(at(i).number));
+        ++i;
+        if (at(i).kind == TokenKind::Comma) {
+          ++i;
+          continue;
+        }
+        break;
+      }
+      if (at(i).kind != TokenKind::RParen) {
+        diags_.error(tok.loc, "PROCESSORS: expected ')'");
+        return;
+      }
+    }
+    out.processors.push_back(std::move(p));
+    return;
+  }
+  if (kind == "ALIGN") {
+    ast::AlignDirective a;
+    a.loc = tok.loc;
+    if (at(i).kind == TokenKind::Ident) a.array = at(i++).text;
+    // Skip an optional dummy-argument list: ALIGN B(I,J) WITH A(I,J).
+    if (at(i).kind == TokenKind::LParen) {
+      while (i < toks.size() && at(i).kind != TokenKind::RParen) ++i;
+      if (at(i).kind == TokenKind::RParen) ++i;
+    }
+    if (!(at(i).kind == TokenKind::Ident && at(i).text == "WITH")) {
+      diags_.error(tok.loc, "ALIGN: expected WITH");
+      return;
+    }
+    ++i;
+    if (at(i).kind == TokenKind::Ident) a.target = at(i++).text;
+    out.aligns.push_back(std::move(a));
+    return;
+  }
+  diags_.warning(tok.loc, "unsupported HPF directive '" + kind + "' ignored");
+}
+
+void Parser::parse_decl(ast::Program& out) {
+  ast::Decl d;
+  d.loc = peek().loc;
+  d.base = advance().text == "REAL" ? ir::ScalarType::Real
+                                    : ir::ScalarType::Integer;
+  while (accept(TokenKind::Comma)) {
+    if (accept_ident("PARAMETER")) {
+      d.parameter = true;
+    } else if (accept_ident("ALLOCATABLE")) {
+      d.allocatable = true;
+    } else if (accept_ident("DIMENSION")) {
+      expect(TokenKind::LParen, "after DIMENSION");
+      while (true) {
+        if (accept(TokenKind::Colon)) {
+          d.dimension_attr.push_back(nullptr);
+        } else {
+          d.dimension_attr.push_back(parse_expr());
+        }
+        if (!accept(TokenKind::Comma)) break;
+      }
+      expect(TokenKind::RParen, "closing DIMENSION");
+    } else {
+      diags_.error(peek().loc,
+                   "unknown declaration attribute '" + peek().text + "'");
+      sync_to_stmt_end();
+      return;
+    }
+  }
+  accept(TokenKind::DoubleColon);
+  while (true) {
+    ast::Entity e;
+    e.loc = peek().loc;
+    if (!check(TokenKind::Ident)) {
+      diags_.error(peek().loc, "expected entity name in declaration");
+      sync_to_stmt_end();
+      return;
+    }
+    e.name = advance().text;
+    if (accept(TokenKind::LParen)) {
+      while (true) {
+        if (accept(TokenKind::Colon)) {
+          e.dims.push_back(nullptr);
+        } else {
+          ast::ExprPtr lo = parse_expr();
+          if (accept(TokenKind::Colon)) {
+            // Explicit lower bound: only 1:hi is representable.
+            if (lo->kind != ast::ExprKind::Number || lo->number != 1.0) {
+              diags_.error(lo->loc,
+                           "array lower bounds other than 1 are unsupported");
+            }
+            e.dims.push_back(parse_expr());
+          } else {
+            e.dims.push_back(std::move(lo));
+          }
+        }
+        if (!accept(TokenKind::Comma)) break;
+      }
+      expect(TokenKind::RParen, "closing array declaration");
+    }
+    if (accept(TokenKind::Assign)) e.init = parse_expr();
+    d.entities.push_back(std::move(e));
+    if (!accept(TokenKind::Comma)) break;
+  }
+  expect_end_of_stmt();
+  out.decls.push_back(std::move(d));
+}
+
+ast::StmtPtr Parser::parse_statement() {
+  skip_newlines();
+  SourceLoc loc = peek().loc;
+  if (check_ident("IF")) return parse_if();
+  if (check_ident("DO")) return parse_do();
+  if (check_ident("ALLOCATE")) return parse_allocate(true);
+  if (check_ident("DEALLOCATE")) return parse_allocate(false);
+  if (check_ident("CALL")) return parse_call();
+  if (check(TokenKind::Ident)) return parse_assignment();
+  diags_.error(loc, "expected a statement, found " + to_string(peek().kind));
+  sync_to_stmt_end();
+  return nullptr;
+}
+
+ast::Block Parser::parse_block(const std::vector<std::string>& terminators,
+                               std::string* hit) {
+  ast::Block out;
+  while (true) {
+    skip_newlines();
+    if (check(TokenKind::EndOfFile)) {
+      diags_.error(peek().loc, "unterminated block (missing " +
+                                   (terminators.empty() ? std::string("END")
+                                                        : terminators.back()) +
+                                   ")");
+      if (hit) *hit = "";
+      return out;
+    }
+    std::string term = normalized_terminator(peek(), peek(1));
+    if (!term.empty()) {
+      for (const std::string& want : terminators) {
+        if (term == want) {
+          // Consume the terminator tokens ("END IF" is two tokens).
+          bool two = peek().text == "END";
+          advance();
+          if (two) advance();
+          accept(TokenKind::Newline);
+          if (hit) *hit = term;
+          return out;
+        }
+      }
+      diags_.error(peek().loc, "unexpected '" + term + "' in block");
+      sync_to_stmt_end();
+      continue;
+    }
+    ast::StmtPtr s = parse_statement();
+    if (s) out.push_back(std::move(s));
+  }
+}
+
+ast::StmtPtr Parser::parse_if() {
+  auto stmt = std::make_unique<ast::Stmt>();
+  stmt->kind = ast::StmtKind::If;
+  stmt->loc = peek().loc;
+  advance();  // IF
+  expect(TokenKind::LParen, "after IF");
+  stmt->cond = parse_expr();
+  expect(TokenKind::RParen, "closing IF condition");
+  if (accept_ident("THEN")) {
+    expect_end_of_stmt();
+    std::string hit;
+    stmt->then_block = parse_block({"ELSE", "ENDIF"}, &hit);
+    if (hit == "ELSE") {
+      stmt->else_block = parse_block({"ENDIF"});
+    }
+  } else {
+    // One-line IF: a single statement guard.
+    ast::StmtPtr inner = parse_statement();
+    if (inner) stmt->then_block.push_back(std::move(inner));
+  }
+  return stmt;
+}
+
+ast::StmtPtr Parser::parse_do() {
+  auto stmt = std::make_unique<ast::Stmt>();
+  stmt->kind = ast::StmtKind::Do;
+  stmt->loc = peek().loc;
+  advance();  // DO
+  stmt->do_var = expect(TokenKind::Ident, "as DO variable").text;
+  expect(TokenKind::Assign, "after DO variable");
+  stmt->do_lo = parse_expr();
+  expect(TokenKind::Comma, "between DO bounds");
+  stmt->do_hi = parse_expr();
+  if (accept(TokenKind::Comma)) {
+    diags_.error(peek().loc, "DO strides are not supported");
+    parse_expr();
+  }
+  expect_end_of_stmt();
+  stmt->body = parse_block({"ENDDO"});
+  return stmt;
+}
+
+ast::StmtPtr Parser::parse_allocate(bool is_alloc) {
+  auto stmt = std::make_unique<ast::Stmt>();
+  stmt->kind = is_alloc ? ast::StmtKind::Allocate : ast::StmtKind::Deallocate;
+  stmt->loc = peek().loc;
+  advance();  // ALLOCATE / DEALLOCATE
+  const bool parens = accept(TokenKind::LParen);
+  while (true) {
+    if (!check(TokenKind::Ident)) {
+      diags_.error(peek().loc, "expected array name in ALLOCATE/DEALLOCATE");
+      sync_to_stmt_end();
+      return stmt;
+    }
+    stmt->names.push_back(advance().text);
+    // Skip an optional shape: ALLOCATE(TMP(N,N)) — the declared or
+    // model shape is used; the inline shape is not re-checked.
+    if (accept(TokenKind::LParen)) {
+      int depth = 1;
+      while (depth > 0 && !check(TokenKind::EndOfFile) &&
+             !check(TokenKind::Newline)) {
+        if (check(TokenKind::LParen)) ++depth;
+        if (check(TokenKind::RParen)) --depth;
+        if (depth > 0) advance();
+      }
+      expect(TokenKind::RParen, "closing allocation shape");
+    }
+    if (!accept(TokenKind::Comma)) break;
+  }
+  if (parens) expect(TokenKind::RParen, "closing ALLOCATE list");
+  expect_end_of_stmt();
+  return stmt;
+}
+
+ast::StmtPtr Parser::parse_call() {
+  auto stmt = std::make_unique<ast::Stmt>();
+  stmt->kind = ast::StmtKind::Call;
+  stmt->loc = peek().loc;
+  advance();  // CALL
+  stmt->callee = expect(TokenKind::Ident, "after CALL").text;
+  if (accept(TokenKind::LParen)) stmt->call_args = parse_arg_list();
+  expect_end_of_stmt();
+  return stmt;
+}
+
+ast::StmtPtr Parser::parse_assignment() {
+  auto stmt = std::make_unique<ast::Stmt>();
+  stmt->kind = ast::StmtKind::Assign;
+  stmt->loc = peek().loc;
+  stmt->target = advance().text;
+  if (accept(TokenKind::LParen)) {
+    stmt->target_args = parse_arg_list();
+    stmt->target_has_parens = true;
+  }
+  expect(TokenKind::Assign, "in assignment");
+  stmt->rhs = parse_expr();
+  expect_end_of_stmt();
+  return stmt;
+}
+
+std::vector<ast::Arg> Parser::parse_arg_list() {
+  std::vector<ast::Arg> args;
+  if (accept(TokenKind::RParen)) return args;
+  while (true) {
+    ast::Arg arg;
+    if (check(TokenKind::Ident) && peek(1).kind == TokenKind::Assign) {
+      arg.keyword = advance().text;
+      advance();  // '='
+    }
+    if (check(TokenKind::Colon)) {
+      SourceLoc loc = advance().loc;
+      ast::ExprPtr hi = nullptr;
+      if (!check(TokenKind::Comma) && !check(TokenKind::RParen)) {
+        hi = parse_expr();
+      }
+      arg.value = ast::make_range(nullptr, std::move(hi), loc);
+    } else {
+      ast::ExprPtr lo = parse_expr();
+      if (accept(TokenKind::Colon)) {
+        SourceLoc loc = lo->loc;
+        ast::ExprPtr hi = nullptr;
+        if (!check(TokenKind::Comma) && !check(TokenKind::RParen)) {
+          hi = parse_expr();
+        }
+        arg.value = ast::make_range(std::move(lo), std::move(hi), loc);
+      } else {
+        arg.value = std::move(lo);
+      }
+    }
+    args.push_back(std::move(arg));
+    if (!accept(TokenKind::Comma)) break;
+  }
+  expect(TokenKind::RParen, "closing argument list");
+  return args;
+}
+
+ast::ExprPtr Parser::parse_expr() { return parse_relational(); }
+
+ast::ExprPtr Parser::parse_relational() {
+  ast::ExprPtr lhs = parse_additive();
+  while (true) {
+    ir::BinaryOp op;
+    if (check(TokenKind::Lt)) {
+      op = ir::BinaryOp::Lt;
+    } else if (check(TokenKind::Le)) {
+      op = ir::BinaryOp::Le;
+    } else if (check(TokenKind::Gt)) {
+      op = ir::BinaryOp::Gt;
+    } else if (check(TokenKind::Ge)) {
+      op = ir::BinaryOp::Ge;
+    } else if (check(TokenKind::EqEq)) {
+      op = ir::BinaryOp::Eq;
+    } else if (check(TokenKind::Ne)) {
+      op = ir::BinaryOp::Ne;
+    } else {
+      return lhs;
+    }
+    SourceLoc loc = advance().loc;
+    ast::ExprPtr rhs = parse_additive();
+    lhs = ast::make_binary(op, std::move(lhs), std::move(rhs), loc);
+  }
+}
+
+ast::ExprPtr Parser::parse_additive() {
+  ast::ExprPtr lhs = parse_multiplicative();
+  while (check(TokenKind::Plus) || check(TokenKind::Minus)) {
+    ir::BinaryOp op = check(TokenKind::Plus) ? ir::BinaryOp::Add
+                                             : ir::BinaryOp::Sub;
+    SourceLoc loc = advance().loc;
+    ast::ExprPtr rhs = parse_multiplicative();
+    lhs = ast::make_binary(op, std::move(lhs), std::move(rhs), loc);
+  }
+  return lhs;
+}
+
+ast::ExprPtr Parser::parse_multiplicative() {
+  ast::ExprPtr lhs = parse_unary();
+  while (check(TokenKind::Star) || check(TokenKind::Slash)) {
+    ir::BinaryOp op = check(TokenKind::Star) ? ir::BinaryOp::Mul
+                                             : ir::BinaryOp::Div;
+    SourceLoc loc = advance().loc;
+    ast::ExprPtr rhs = parse_unary();
+    lhs = ast::make_binary(op, std::move(lhs), std::move(rhs), loc);
+  }
+  return lhs;
+}
+
+ast::ExprPtr Parser::parse_unary() {
+  if (check(TokenKind::Minus)) {
+    SourceLoc loc = advance().loc;
+    return ast::make_unary(parse_unary(), loc);
+  }
+  if (check(TokenKind::Plus)) {
+    advance();
+    return parse_unary();
+  }
+  return parse_primary();
+}
+
+ast::ExprPtr Parser::parse_primary() {
+  SourceLoc loc = peek().loc;
+  if (check(TokenKind::IntLit) || check(TokenKind::RealLit)) {
+    const Token& t = advance();
+    return ast::make_number(t.number, t.kind == TokenKind::IntLit, loc);
+  }
+  if (check(TokenKind::Ident)) {
+    std::string name = advance().text;
+    if (accept(TokenKind::LParen)) {
+      return ast::make_apply(std::move(name), parse_arg_list(), loc);
+    }
+    return ast::make_var(std::move(name), loc);
+  }
+  if (accept(TokenKind::LParen)) {
+    ast::ExprPtr e = parse_expr();
+    expect(TokenKind::RParen, "closing parenthesized expression");
+    return e;
+  }
+  diags_.error(loc, "expected an expression, found " + to_string(peek().kind));
+  advance();
+  return ast::make_number(0.0, true, loc);
+}
+
+bool Parser::at_block_terminator() {
+  return !normalized_terminator(peek(), peek(1)).empty();
+}
+
+}  // namespace hpfsc::frontend

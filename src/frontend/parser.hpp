@@ -1,0 +1,67 @@
+// Recursive-descent parser for the Fortran90/HPF subset.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "frontend/ast.hpp"
+#include "frontend/token.hpp"
+#include "support/diagnostics.hpp"
+
+namespace hpfsc::frontend {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, DiagnosticEngine& diags)
+      : tokens_(std::move(tokens)), diags_(diags) {}
+
+  /// Parses a whole program.  Errors are reported to the diagnostic
+  /// engine; parsing recovers at statement boundaries, so a best-effort
+  /// AST is always returned (check diags.has_errors()).
+  [[nodiscard]] ast::Program parse_program();
+
+  /// Convenience: lex + parse.
+  static ast::Program parse_source(std::string_view source,
+                                   DiagnosticEngine& diags);
+
+ private:
+  [[nodiscard]] const Token& peek(std::size_t ahead = 0) const;
+  const Token& advance();
+  [[nodiscard]] bool check(TokenKind k) const { return peek().kind == k; }
+  [[nodiscard]] bool check_ident(const std::string& name) const {
+    return peek().is_ident(name);
+  }
+  bool accept(TokenKind k);
+  bool accept_ident(const std::string& name);
+  const Token& expect(TokenKind k, const std::string& context);
+  void expect_end_of_stmt();
+  void skip_newlines();
+  void sync_to_stmt_end();
+
+  /// True when the upcoming END (+IDENT) closes the given construct.
+  [[nodiscard]] bool at_block_terminator();
+
+  void parse_directive(const Token& tok, ast::Program& out);
+  void parse_decl(ast::Program& out);
+  ast::StmtPtr parse_statement();
+  ast::Block parse_block(const std::vector<std::string>& terminators,
+                         std::string* hit = nullptr);
+  ast::StmtPtr parse_if();
+  ast::StmtPtr parse_do();
+  ast::StmtPtr parse_allocate(bool is_alloc);
+  ast::StmtPtr parse_call();
+  ast::StmtPtr parse_assignment();
+  std::vector<ast::Arg> parse_arg_list();
+  ast::ExprPtr parse_expr();
+  ast::ExprPtr parse_relational();
+  ast::ExprPtr parse_additive();
+  ast::ExprPtr parse_multiplicative();
+  ast::ExprPtr parse_unary();
+  ast::ExprPtr parse_primary();
+
+  std::vector<Token> tokens_;
+  DiagnosticEngine& diags_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace hpfsc::frontend

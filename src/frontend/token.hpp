@@ -1,0 +1,48 @@
+// Token definitions for the Fortran90/HPF subset.
+#pragma once
+
+#include <string>
+
+#include "support/source_location.hpp"
+
+namespace hpfsc::frontend {
+
+enum class TokenKind {
+  Ident,      ///< identifiers and keywords (case-insensitive, upper-cased)
+  IntLit,     ///< 123
+  RealLit,    ///< 1.5, .25, 1E-3
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  LParen,
+  RParen,
+  Comma,
+  Colon,
+  DoubleColon,
+  Assign,      ///< =
+  Lt,          ///< <  or .LT.
+  Le,          ///< <= or .LE.
+  Gt,          ///< >  or .GT.
+  Ge,          ///< >= or .GE.
+  EqEq,        ///< == or .EQ.
+  Ne,          ///< /= or .NE.
+  Directive,   ///< a whole !HPF$ directive line (payload in text)
+  Newline,     ///< statement separator
+  EndOfFile,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::EndOfFile;
+  std::string text;      ///< upper-cased for Ident; raw for literals
+  double number = 0.0;   ///< value for IntLit/RealLit
+  SourceLoc loc;
+
+  [[nodiscard]] bool is_ident(const std::string& upper_name) const {
+    return kind == TokenKind::Ident && text == upper_name;
+  }
+};
+
+[[nodiscard]] std::string to_string(TokenKind k);
+
+}  // namespace hpfsc::frontend

@@ -1,0 +1,138 @@
+#include "ir/expr.hpp"
+
+#include <functional>
+
+namespace hpfsc::ir {
+
+ExprPtr Expr::clone() const {
+  auto out = std::make_unique<Expr>();
+  out->kind = kind;
+  out->loc = loc;
+  out->value = value;
+  out->scalar = scalar;
+  out->ref = ref;
+  out->op = op;
+  out->intrinsic = intrinsic;
+  out->shift = shift;
+  out->dim = dim;
+  if (lhs) out->lhs = lhs->clone();
+  if (rhs) out->rhs = rhs->clone();
+  if (boundary) out->boundary = boundary->clone();
+  return out;
+}
+
+bool Expr::equals(const Expr& other) const {
+  if (kind != other.kind) return false;
+  switch (kind) {
+    case ExprKind::Constant:
+      return value == other.value;
+    case ExprKind::ScalarRef:
+      return scalar == other.scalar;
+    case ExprKind::ArrayRefK:
+      return ref == other.ref;
+    case ExprKind::Binary:
+      return op == other.op && lhs->equals(*other.lhs) &&
+             rhs->equals(*other.rhs);
+    case ExprKind::Unary:
+      return lhs->equals(*other.lhs);
+    case ExprKind::Shift:
+      if (intrinsic != other.intrinsic || shift != other.shift ||
+          dim != other.dim || !lhs->equals(*other.lhs)) {
+        return false;
+      }
+      if ((boundary == nullptr) != (other.boundary == nullptr)) return false;
+      return boundary == nullptr || boundary->equals(*other.boundary);
+  }
+  return false;
+}
+
+ExprPtr make_const(double v, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::Constant;
+  e->value = v;
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr make_scalar_ref(ScalarId s, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::ScalarRef;
+  e->scalar = s;
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr make_array_ref(ArrayRef ref, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::ArrayRefK;
+  e->ref = std::move(ref);
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr make_binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::Binary;
+  e->op = op;
+  e->lhs = std::move(lhs);
+  e->rhs = std::move(rhs);
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr make_unary_neg(ExprPtr operand, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::Unary;
+  e->lhs = std::move(operand);
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr make_shift(ShiftIntrinsic intrinsic, ExprPtr arg, int shift, int dim,
+                   ExprPtr boundary, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::Shift;
+  e->intrinsic = intrinsic;
+  e->lhs = std::move(arg);
+  e->shift = shift;
+  e->dim = dim;
+  e->boundary = std::move(boundary);
+  e->loc = loc;
+  return e;
+}
+
+namespace {
+template <typename E, typename F>
+void visit_impl(E& e, const F& fn) {
+  fn(e);
+  if (e.lhs) visit_impl(*e.lhs, fn);
+  if (e.rhs) visit_impl(*e.rhs, fn);
+  if (e.boundary) visit_impl(*e.boundary, fn);
+}
+}  // namespace
+
+void visit_exprs(Expr& e, const std::function<void(Expr&)>& fn) {
+  visit_impl(e, fn);
+}
+
+void visit_exprs(const Expr& e, const std::function<void(const Expr&)>& fn) {
+  visit_impl(e, fn);
+}
+
+std::vector<ArrayId> referenced_arrays(const Expr& e) {
+  std::vector<ArrayId> out;
+  visit_exprs(e, [&](const Expr& node) {
+    if (node.kind == ExprKind::ArrayRefK) out.push_back(node.ref.array);
+  });
+  return out;
+}
+
+bool contains_shift(const Expr& e) {
+  bool found = false;
+  visit_exprs(e, [&](const Expr& node) {
+    if (node.kind == ExprKind::Shift) found = true;
+  });
+  return found;
+}
+
+}  // namespace hpfsc::ir

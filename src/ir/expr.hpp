@@ -1,0 +1,99 @@
+// Expression trees for the right-hand sides of array assignments.
+// After normalization, CSHIFT nodes appear only as the sole RHS of a
+// singleton shift assignment; compute statements contain only scalar
+// operands and (offset-annotated) array references.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/symbols.hpp"
+#include "support/source_location.hpp"
+
+namespace hpfsc::ir {
+
+/// A reference to an array with an optional explicit section and the
+/// offset annotation introduced by the offset-array optimization
+/// (paper notation U<+1,0>: read element (i+1, j) of U).
+struct ArrayRef {
+  ArrayId array = -1;
+  /// Per-dimension section; empty means a whole-array reference.
+  std::vector<SectionRange> section;
+  /// Offset annotation; all zero when not an offset reference.
+  std::array<int, kMaxRank> offset{0, 0, 0};
+
+  [[nodiscard]] bool has_offset() const {
+    return offset != std::array<int, kMaxRank>{0, 0, 0};
+  }
+  [[nodiscard]] bool whole_array() const { return section.empty(); }
+
+  bool operator==(const ArrayRef&) const = default;
+};
+
+enum class ExprKind {
+  Constant,    ///< floating literal
+  ScalarRef,   ///< coefficient or integer parameter
+  ArrayRefK,   ///< array (section) reference
+  Binary,      ///< + - * /
+  Unary,       ///< negation
+  Shift,       ///< CSHIFT/EOSHIFT intrinsic call
+};
+
+/// Arithmetic and relational operators.  Relational operators evaluate
+/// to 1.0 / 0.0 and appear only in IF conditions.
+enum class BinaryOp { Add, Sub, Mul, Div, Lt, Le, Gt, Ge, Eq, Ne };
+enum class ShiftIntrinsic { CShift, EoShift };
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// A single expression node.  One struct with a kind tag (rather than a
+/// class hierarchy) keeps cloning/equality/printing in one place.
+struct Expr {
+  ExprKind kind;
+  SourceLoc loc;
+
+  // Constant
+  double value = 0.0;
+  // ScalarRef
+  ScalarId scalar = -1;
+  // ArrayRefK
+  ArrayRef ref;
+  // Binary / Unary
+  BinaryOp op = BinaryOp::Add;
+  ExprPtr lhs;  ///< also the operand of Unary and the argument of Shift
+  ExprPtr rhs;
+  // Shift
+  ShiftIntrinsic intrinsic = ShiftIntrinsic::CShift;
+  int shift = 0;
+  int dim = 0;          ///< 0-based dimension
+  ExprPtr boundary;     ///< EOSHIFT boundary operand (may be null)
+
+  [[nodiscard]] ExprPtr clone() const;
+  [[nodiscard]] bool equals(const Expr& other) const;
+};
+
+// -- Constructors ------------------------------------------------------
+ExprPtr make_const(double v, SourceLoc loc = {});
+ExprPtr make_scalar_ref(ScalarId s, SourceLoc loc = {});
+ExprPtr make_array_ref(ArrayRef ref, SourceLoc loc = {});
+ExprPtr make_binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs,
+                    SourceLoc loc = {});
+ExprPtr make_unary_neg(ExprPtr operand, SourceLoc loc = {});
+ExprPtr make_shift(ShiftIntrinsic intrinsic, ExprPtr arg, int shift, int dim,
+                   ExprPtr boundary = nullptr, SourceLoc loc = {});
+
+/// Walks the tree and applies `fn` to every node (pre-order).
+void visit_exprs(Expr& e, const std::function<void(Expr&)>& fn);
+void visit_exprs(const Expr& e, const std::function<void(const Expr&)>& fn);
+
+/// Collects the array ids referenced anywhere in the tree.
+[[nodiscard]] std::vector<ArrayId> referenced_arrays(const Expr& e);
+
+/// True if the tree contains a Shift node.
+[[nodiscard]] bool contains_shift(const Expr& e);
+
+}  // namespace hpfsc::ir

@@ -1,0 +1,335 @@
+#include "ir/printer.hpp"
+
+#include <array>
+
+#include "support/text.hpp"
+
+namespace hpfsc::ir {
+
+namespace {
+
+constexpr std::array<const char*, 3> kIndexVars{"i", "j", "k"};
+
+std::string indent_str(int indent) {
+  return std::string(static_cast<std::size_t>(indent) * 2, ' ');
+}
+
+int precedence(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::Lt:
+    case BinaryOp::Le:
+    case BinaryOp::Gt:
+    case BinaryOp::Ge:
+    case BinaryOp::Eq:
+    case BinaryOp::Ne:
+      return 1;
+    case BinaryOp::Add:
+    case BinaryOp::Sub:
+      return 2;
+    case BinaryOp::Mul:
+    case BinaryOp::Div:
+      return 3;
+  }
+  return 0;
+}
+
+const char* op_str(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::Add:
+      return " + ";
+    case BinaryOp::Sub:
+      return " - ";
+    case BinaryOp::Mul:
+      return "*";
+    case BinaryOp::Div:
+      return "/";
+    case BinaryOp::Lt:
+      return " < ";
+    case BinaryOp::Le:
+      return " <= ";
+    case BinaryOp::Gt:
+      return " > ";
+    case BinaryOp::Ge:
+      return " >= ";
+    case BinaryOp::Eq:
+      return " == ";
+    case BinaryOp::Ne:
+      return " /= ";
+  }
+  return "?";
+}
+
+std::string format_number(double v) {
+  // Integral constants print without a trailing ".0" clutter.
+  if (v == static_cast<long long>(v) && v > -1e15 && v < 1e15) {
+    return std::to_string(static_cast<long long>(v)) + ".0";
+  }
+  std::string s = std::to_string(v);
+  while (s.size() > 1 && s.back() == '0' && s[s.size() - 2] != '.') {
+    s.pop_back();
+  }
+  return s;
+}
+
+std::string offset_annotation(const ArrayRef& ref, int rank) {
+  // Paper notation: U<+1,0> — explicit sign on non-zero components only.
+  std::string out = "<";
+  for (int d = 0; d < rank; ++d) {
+    if (d != 0) out += ",";
+    out += ref.offset[d] == 0 ? "0" : hpfsc::signed_str(ref.offset[d]);
+  }
+  out += ">";
+  return out;
+}
+
+}  // namespace
+
+std::string Printer::print_program() const {
+  std::string out;
+  const SymbolTable& syms = program_.symbols;
+  for (int id = 0; id < syms.num_arrays(); ++id) {
+    const ArraySymbol& a = syms.array(id);
+    if (a.eliminated) continue;
+    out += "REAL " + a.name + "(";
+    for (int d = 0; d < a.rank; ++d) {
+      if (d != 0) out += ",";
+      out += a.extent[d].str();
+    }
+    out += ")\n";
+    out += "!HPF$ DISTRIBUTE " + a.name + a.dist_str() + "\n";
+  }
+  out += "\n";
+  out += print_body();
+  return out;
+}
+
+std::string Printer::print_body() const {
+  std::string out;
+  print_block(program_.body, 0, out);
+  return out;
+}
+
+std::string Printer::print_stmt(const Stmt& s, int indent) const {
+  std::string out;
+  append_stmt(s, indent, out);
+  // Drop the trailing newline for single-statement queries.
+  if (!out.empty() && out.back() == '\n') out.pop_back();
+  return out;
+}
+
+std::string Printer::print_expr(const Expr& e) const { return expr_str(e, 0); }
+
+std::string Printer::print_ref(const ArrayRef& ref) const {
+  const ArraySymbol& sym = program_.symbols.array(ref.array);
+  std::string out = sym.name;
+  if (ref.has_offset()) out += offset_annotation(ref, sym.rank);
+  if (!ref.whole_array()) {
+    out += "(";
+    for (int d = 0; d < sym.rank; ++d) {
+      if (d != 0) out += ",";
+      const SectionRange& r = ref.section[static_cast<std::size_t>(d)];
+      if (r.lo == r.hi) {
+        out += r.lo.str();
+      } else {
+        out += r.lo.str() + ":" + r.hi.str();
+      }
+    }
+    out += ")";
+  }
+  return out;
+}
+
+void Printer::print_block(const Block& b, int indent, std::string& out) const {
+  for (const StmtPtr& s : b) append_stmt(*s, indent, out);
+}
+
+void Printer::append_stmt(const Stmt& s, int indent, std::string& out) const {
+  const SymbolTable& syms = program_.symbols;
+  const std::string pad = indent_str(indent);
+  switch (s.kind) {
+    case StmtKind::ArrayAssign: {
+      const auto& stmt = static_cast<const ArrayAssignStmt&>(s);
+      out += pad + print_ref(stmt.lhs) + " = " + expr_str(*stmt.rhs, 0) + "\n";
+      return;
+    }
+    case StmtKind::ShiftAssign: {
+      const auto& stmt = static_cast<const ShiftAssignStmt&>(s);
+      const char* name =
+          stmt.intrinsic == ShiftIntrinsic::CShift ? "CSHIFT" : "EOSHIFT";
+      out += pad + syms.array(stmt.dst).name + " = " + name + "(" +
+             print_ref(stmt.src) + ", SHIFT=" + hpfsc::signed_str(stmt.shift) +
+             ", DIM=" + std::to_string(stmt.dim + 1);
+      if (stmt.boundary) out += ", BOUNDARY=" + expr_str(*stmt.boundary, 0);
+      out += ")\n";
+      return;
+    }
+    case StmtKind::OverlapShift: {
+      const auto& stmt = static_cast<const OverlapShiftStmt&>(s);
+      const char* name = stmt.shift_kind == ShiftKind::Circular
+                             ? "OVERLAP_CSHIFT"
+                             : "OVERLAP_EOSHIFT";
+      out += pad + "CALL " + name + "(" + print_ref(stmt.src) +
+             ", SHIFT=" + hpfsc::signed_str(stmt.shift) +
+             ", DIM=" + std::to_string(stmt.dim + 1);
+      if (stmt.rsd.any()) {
+        out += ", " + rsd_str(stmt.rsd, syms.array(stmt.src.array), stmt.dim);
+      }
+      if (stmt.boundary) out += ", BOUNDARY=" + expr_str(*stmt.boundary, 0);
+      out += ")\n";
+      return;
+    }
+    case StmtKind::Copy: {
+      const auto& stmt = static_cast<const CopyStmt&>(s);
+      out += pad + syms.array(stmt.dst).name + " = " + print_ref(stmt.src) +
+             "\n";
+      return;
+    }
+    case StmtKind::Alloc: {
+      const auto& stmt = static_cast<const AllocStmt&>(s);
+      std::vector<std::string> names;
+      names.reserve(stmt.arrays.size());
+      for (ArrayId a : stmt.arrays) names.push_back(syms.array(a).name);
+      out += pad + "ALLOCATE " + hpfsc::join(names, ", ") + "\n";
+      return;
+    }
+    case StmtKind::Free: {
+      const auto& stmt = static_cast<const FreeStmt&>(s);
+      std::vector<std::string> names;
+      names.reserve(stmt.arrays.size());
+      for (ArrayId a : stmt.arrays) names.push_back(syms.array(a).name);
+      out += pad + "DEALLOCATE " + hpfsc::join(names, ", ") + "\n";
+      return;
+    }
+    case StmtKind::ScalarAssign: {
+      const auto& stmt = static_cast<const ScalarAssignStmt&>(s);
+      out += pad + syms.scalar(stmt.scalar).name + " = " +
+             expr_str(*stmt.rhs, 0) + "\n";
+      return;
+    }
+    case StmtKind::If: {
+      const auto& stmt = static_cast<const IfStmt&>(s);
+      out += pad + "IF (" + expr_str(*stmt.cond, 0) + ") THEN\n";
+      print_block(stmt.then_block, indent + 1, out);
+      if (!stmt.else_block.empty()) {
+        out += pad + "ELSE\n";
+        print_block(stmt.else_block, indent + 1, out);
+      }
+      out += pad + "ENDIF\n";
+      return;
+    }
+    case StmtKind::Do: {
+      const auto& stmt = static_cast<const DoStmt&>(s);
+      out += pad + "DO " + syms.scalar(stmt.var).name + " = " +
+             stmt.lo.str() + ", " + stmt.hi.str() + "\n";
+      print_block(stmt.body, indent + 1, out);
+      out += pad + "ENDDO\n";
+      return;
+    }
+    case StmtKind::LoopNest: {
+      const auto& nest = static_cast<const LoopNestStmt&>(s);
+      int level = indent;
+      for (int n = 0; n < nest.rank; ++n) {
+        int d = nest.loop_order[static_cast<std::size_t>(n)];
+        const SectionRange& b = nest.bounds[static_cast<std::size_t>(d)];
+        out += indent_str(level) + "DO " + kIndexVars[static_cast<std::size_t>(d)];
+        out += " = " + b.lo.str() + ", " + b.hi.str();
+        if (n == 0 && nest.unroll_jam > 1) {
+          out += ", " + std::to_string(nest.unroll_jam) +
+                 "   ! unroll-and-jam";
+        }
+        out += "\n";
+        ++level;
+      }
+      for (const LoopNestStmt::BodyAssign& b : nest.body) {
+        const ArraySymbol& lhs_sym = syms.array(b.lhs.array);
+        out += indent_str(level) + element_ref_str(b.lhs, lhs_sym.rank) +
+               " = " + expr_str(*b.rhs, 0, /*element_mode=*/true) + "\n";
+      }
+      for (int n = nest.rank - 1; n >= 0; --n) {
+        --level;
+        out += indent_str(level) + "ENDDO\n";
+      }
+      return;
+    }
+  }
+}
+
+std::string Printer::expr_str(const Expr& e, int parent_prec,
+                              bool element_mode) const {
+  switch (e.kind) {
+    case ExprKind::Constant:
+      return format_number(e.value);
+    case ExprKind::ScalarRef:
+      return program_.symbols.scalar(e.scalar).name;
+    case ExprKind::ArrayRefK: {
+      // Inside loop nests array refs are element-wise (U(i+1,j));
+      // elsewhere they are section/offset refs (U<+1,0>).
+      if (element_mode) {
+        return element_ref_str(e.ref,
+                               program_.symbols.array(e.ref.array).rank);
+      }
+      return print_ref(e.ref);
+    }
+    case ExprKind::Binary: {
+      int prec = precedence(e.op);
+      std::string l = expr_str(*e.lhs, prec, element_mode);
+      // Right operand of - and / needs parens at equal precedence.
+      int rprec = (e.op == BinaryOp::Sub || e.op == BinaryOp::Div)
+                      ? prec + 1
+                      : prec;
+      std::string r = expr_str(*e.rhs, rprec, element_mode);
+      std::string body = l + op_str(e.op) + r;
+      if (prec < parent_prec) return "(" + body + ")";
+      return body;
+    }
+    case ExprKind::Unary: {
+      std::string body = "-" + expr_str(*e.lhs, 3, element_mode);
+      if (parent_prec > 0) return "(" + body + ")";
+      return body;
+    }
+    case ExprKind::Shift: {
+      const char* name =
+          e.intrinsic == ShiftIntrinsic::CShift ? "CSHIFT" : "EOSHIFT";
+      std::string out = std::string(name) + "(" + expr_str(*e.lhs, 0) +
+                        ", SHIFT=" + hpfsc::signed_str(e.shift) +
+                        ", DIM=" + std::to_string(e.dim + 1);
+      if (e.boundary) out += ", BOUNDARY=" + expr_str(*e.boundary, 0);
+      out += ")";
+      return out;
+    }
+  }
+  return "?";
+}
+
+std::string Printer::rsd_str(const Rsd& rsd, const ArraySymbol& sym,
+                             int shift_dim) const {
+  std::string out = "[";
+  for (int d = 0; d < sym.rank; ++d) {
+    if (d != 0) out += ",";
+    if (d == shift_dim) {
+      out += "*";
+      continue;
+    }
+    AffineBound lo(1 - rsd.lo[d]);
+    AffineBound hi = sym.extent[d].plus(rsd.hi[d]);
+    out += lo.str() + ":" + hi.str();
+  }
+  out += "]";
+  return out;
+}
+
+std::string Printer::element_ref_str(const ArrayRef& ref, int rank) const {
+  const ArraySymbol& sym = program_.symbols.array(ref.array);
+  std::string out = sym.name + "(";
+  for (int d = 0; d < rank; ++d) {
+    if (d != 0) out += ",";
+    out += kIndexVars[static_cast<std::size_t>(d)];
+    int off = ref.offset[d];
+    if (off > 0) out += "+" + std::to_string(off);
+    if (off < 0) out += std::to_string(off);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace hpfsc::ir

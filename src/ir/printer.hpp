@@ -1,0 +1,38 @@
+// Pretty printer producing the paper's listing style (Figures 4, 12-16):
+// used for golden tests, the examples' per-phase dumps, and diagnostics.
+#pragma once
+
+#include <string>
+
+#include "ir/program.hpp"
+
+namespace hpfsc::ir {
+
+class Printer {
+ public:
+  explicit Printer(const Program& program) : program_(program) {}
+
+  /// Declarations (with HPF directives) followed by the body.
+  [[nodiscard]] std::string print_program() const;
+
+  /// Statements only, one per line, two-space indentation per level.
+  [[nodiscard]] std::string print_body() const;
+
+  [[nodiscard]] std::string print_stmt(const Stmt& s, int indent = 0) const;
+  [[nodiscard]] std::string print_expr(const Expr& e) const;
+  [[nodiscard]] std::string print_ref(const ArrayRef& ref) const;
+
+ private:
+  void print_block(const Block& b, int indent, std::string& out) const;
+  void append_stmt(const Stmt& s, int indent, std::string& out) const;
+  [[nodiscard]] std::string expr_str(const Expr& e, int parent_prec,
+                                     bool element_mode = false) const;
+  [[nodiscard]] std::string rsd_str(const Rsd& rsd, const ArraySymbol& sym,
+                                    int shift_dim) const;
+  [[nodiscard]] std::string element_ref_str(const ArrayRef& ref,
+                                            int rank) const;
+
+  const Program& program_;
+};
+
+}  // namespace hpfsc::ir

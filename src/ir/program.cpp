@@ -1,0 +1,37 @@
+#include "ir/program.hpp"
+
+namespace hpfsc::ir {
+
+Program Program::clone() const {
+  Program out;
+  out.name = name;
+  out.symbols = symbols;
+  out.body = clone_block(body);
+  return out;
+}
+
+void visit_stmts(Block& b, const std::function<void(Stmt&)>& fn) {
+  for (StmtPtr& s : b) {
+    fn(*s);
+    if (auto* iff = dynamic_cast<IfStmt*>(s.get())) {
+      visit_stmts(iff->then_block, fn);
+      visit_stmts(iff->else_block, fn);
+    } else if (auto* loop = dynamic_cast<DoStmt*>(s.get())) {
+      visit_stmts(loop->body, fn);
+    }
+  }
+}
+
+void visit_stmts(const Block& b, const std::function<void(const Stmt&)>& fn) {
+  for (const StmtPtr& s : b) {
+    fn(*s);
+    if (const auto* iff = dynamic_cast<const IfStmt*>(s.get())) {
+      visit_stmts(iff->then_block, fn);
+      visit_stmts(iff->else_block, fn);
+    } else if (const auto* loop = dynamic_cast<const DoStmt*>(s.get())) {
+      visit_stmts(loop->body, fn);
+    }
+  }
+}
+
+}  // namespace hpfsc::ir

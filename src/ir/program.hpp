@@ -1,0 +1,31 @@
+// The compilation unit: a symbol table plus a structured statement list.
+#pragma once
+
+#include <string>
+
+#include "ir/stmt.hpp"
+#include "ir/symbols.hpp"
+
+namespace hpfsc::ir {
+
+struct Program {
+  std::string name = "MAIN";
+  SymbolTable symbols;
+  Block body;
+
+  Program() = default;
+  Program(Program&&) = default;
+  Program& operator=(Program&&) = default;
+  Program(const Program&) = delete;
+  Program& operator=(const Program&) = delete;
+
+  /// Deep copy (symbol table is value-copied, statements cloned).
+  [[nodiscard]] Program clone() const;
+};
+
+/// Applies `fn` to every statement in the block tree, recursing into
+/// If/Do bodies (pre-order).
+void visit_stmts(Block& b, const std::function<void(Stmt&)>& fn);
+void visit_stmts(const Block& b, const std::function<void(const Stmt&)>& fn);
+
+}  // namespace hpfsc::ir

@@ -1,0 +1,105 @@
+#include "ir/stmt.hpp"
+
+namespace hpfsc::ir {
+
+namespace {
+template <typename T>
+std::unique_ptr<T> base_copy(const T& src) {
+  auto out = std::make_unique<T>();
+  out->loc = src.loc;
+  return out;
+}
+}  // namespace
+
+StmtPtr ArrayAssignStmt::clone() const {
+  auto out = base_copy(*this);
+  out->lhs = lhs;
+  out->rhs = rhs ? rhs->clone() : nullptr;
+  return out;
+}
+
+StmtPtr ShiftAssignStmt::clone() const {
+  auto out = base_copy(*this);
+  out->dst = dst;
+  out->src = src;
+  out->shift = shift;
+  out->dim = dim;
+  out->intrinsic = intrinsic;
+  out->boundary = boundary ? boundary->clone() : nullptr;
+  return out;
+}
+
+StmtPtr OverlapShiftStmt::clone() const {
+  auto out = base_copy(*this);
+  out->src = src;
+  out->shift = shift;
+  out->dim = dim;
+  out->rsd = rsd;
+  out->shift_kind = shift_kind;
+  out->boundary = boundary ? boundary->clone() : nullptr;
+  return out;
+}
+
+StmtPtr CopyStmt::clone() const {
+  auto out = base_copy(*this);
+  out->dst = dst;
+  out->src = src;
+  return out;
+}
+
+StmtPtr AllocStmt::clone() const {
+  auto out = base_copy(*this);
+  out->arrays = arrays;
+  return out;
+}
+
+StmtPtr FreeStmt::clone() const {
+  auto out = base_copy(*this);
+  out->arrays = arrays;
+  return out;
+}
+
+StmtPtr ScalarAssignStmt::clone() const {
+  auto out = base_copy(*this);
+  out->scalar = scalar;
+  out->rhs = rhs ? rhs->clone() : nullptr;
+  return out;
+}
+
+StmtPtr IfStmt::clone() const {
+  auto out = base_copy(*this);
+  out->cond = cond ? cond->clone() : nullptr;
+  out->then_block = clone_block(then_block);
+  out->else_block = clone_block(else_block);
+  return out;
+}
+
+StmtPtr DoStmt::clone() const {
+  auto out = base_copy(*this);
+  out->var = var;
+  out->lo = lo;
+  out->hi = hi;
+  out->body = clone_block(body);
+  return out;
+}
+
+StmtPtr LoopNestStmt::clone() const {
+  auto out = base_copy(*this);
+  out->rank = rank;
+  out->bounds = bounds;
+  out->body.reserve(body.size());
+  for (const BodyAssign& b : body) out->body.push_back(b.clone());
+  out->loop_order = loop_order;
+  out->unroll_jam = unroll_jam;
+  out->scalar_replaced = scalar_replaced;
+  return out;
+}
+
+Block clone_block(const Block& b) {
+  Block out;
+  out.reserve(b.size());
+  for (const StmtPtr& s : b) out.push_back(s->clone());
+  return out;
+}
+
+}  // namespace hpfsc::ir

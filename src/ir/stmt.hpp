@@ -1,0 +1,178 @@
+// Statements of the normalized intermediate form (paper Section 2.1)
+// and of the later pipeline stages (OVERLAP_SHIFT calls after the
+// offset-array pass, subgrid loop nests after scalarization).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ir/expr.hpp"
+#include "ir/symbols.hpp"
+#include "simpi/shift_ops.hpp"
+
+namespace hpfsc::ir {
+
+/// RSD extension carried by an OVERLAP_SHIFT (paper "[0:N+1,*]"): how far
+/// the transferred cross-section reaches into the overlap areas of the
+/// non-shift dimensions.  Shares the runtime representation.
+using Rsd = simpi::RsdExtension;
+using simpi::ShiftKind;
+
+enum class StmtKind {
+  ArrayAssign,   ///< whole-array or section assignment (compute)
+  ShiftAssign,   ///< normal form: DST = CSHIFT(SRC, s, d)
+  OverlapShift,  ///< CALL OVERLAP_CSHIFT(SRC, s, d [, rsd])
+  Copy,          ///< DST = SRC (compensation copy)
+  Alloc,         ///< ALLOCATE t1, t2, ...
+  Free,          ///< DEALLOCATE t1, t2, ...
+  ScalarAssign,  ///< scalar = expr
+  If,            ///< IF (cond) THEN ... ELSE ... ENDIF
+  Do,            ///< DO var = lo, hi ... ENDDO
+  LoopNest,      ///< scalarized subgrid loop nest
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+using Block = std::vector<StmtPtr>;
+
+struct Stmt {
+  explicit Stmt(StmtKind k) : kind(k) {}
+  virtual ~Stmt() = default;
+  Stmt(const Stmt&) = delete;
+  Stmt& operator=(const Stmt&) = delete;
+
+  [[nodiscard]] virtual StmtPtr clone() const = 0;
+
+  StmtKind kind;
+  SourceLoc loc;
+};
+
+/// Array assignment in array syntax: lhs (whole array or section) = rhs.
+/// In the normal form the RHS contains no Shift nodes; they have been
+/// hoisted into ShiftAssignStmt singletons.
+struct ArrayAssignStmt final : Stmt {
+  ArrayAssignStmt() : Stmt(StmtKind::ArrayAssign) {}
+  [[nodiscard]] StmtPtr clone() const override;
+
+  ArrayRef lhs;
+  ExprPtr rhs;
+};
+
+/// Normal-form singleton shift: dst = CSHIFT(src, shift, dim).  `src`
+/// may carry an offset annotation after the offset-array pass rewrites
+/// chained shifts (multi-offset arrays).
+struct ShiftAssignStmt final : Stmt {
+  ShiftAssignStmt() : Stmt(StmtKind::ShiftAssign) {}
+  [[nodiscard]] StmtPtr clone() const override;
+
+  ArrayId dst = -1;
+  ArrayRef src;
+  int shift = 0;
+  int dim = 0;  ///< 0-based
+  ShiftIntrinsic intrinsic = ShiftIntrinsic::CShift;
+  ExprPtr boundary;  ///< EOSHIFT boundary (scalar expr; may be null)
+};
+
+/// CALL OVERLAP_CSHIFT(src, SHIFT=s, DIM=d [, rsd]): move off-processor
+/// data of `src` into its overlap area.  `src.offset` non-zero marks a
+/// multi-offset array (a shift of an already-offset reference).
+struct OverlapShiftStmt final : Stmt {
+  OverlapShiftStmt() : Stmt(StmtKind::OverlapShift) {}
+  [[nodiscard]] StmtPtr clone() const override;
+
+  ArrayRef src;
+  int shift = 0;
+  int dim = 0;  ///< 0-based
+  Rsd rsd;
+  ShiftKind shift_kind = ShiftKind::Circular;
+  ExprPtr boundary;  ///< EOSHIFT boundary (may be null)
+};
+
+/// Whole-array compensation copy: dst = src (intraprocessor).
+struct CopyStmt final : Stmt {
+  CopyStmt() : Stmt(StmtKind::Copy) {}
+  [[nodiscard]] StmtPtr clone() const override;
+
+  ArrayId dst = -1;
+  ArrayRef src;
+};
+
+struct AllocStmt final : Stmt {
+  AllocStmt() : Stmt(StmtKind::Alloc) {}
+  [[nodiscard]] StmtPtr clone() const override;
+
+  std::vector<ArrayId> arrays;
+};
+
+struct FreeStmt final : Stmt {
+  FreeStmt() : Stmt(StmtKind::Free) {}
+  [[nodiscard]] StmtPtr clone() const override;
+
+  std::vector<ArrayId> arrays;
+};
+
+struct ScalarAssignStmt final : Stmt {
+  ScalarAssignStmt() : Stmt(StmtKind::ScalarAssign) {}
+  [[nodiscard]] StmtPtr clone() const override;
+
+  ScalarId scalar = -1;
+  ExprPtr rhs;
+};
+
+/// Structured conditional.  The condition is a scalar expression
+/// compared against zero (non-zero = true), matching the lowering of
+/// Fortran logical expressions in this subset.
+struct IfStmt final : Stmt {
+  IfStmt() : Stmt(StmtKind::If) {}
+  [[nodiscard]] StmtPtr clone() const override;
+
+  ExprPtr cond;
+  Block then_block;
+  Block else_block;
+};
+
+/// Counted DO loop over an integer scalar.
+struct DoStmt final : Stmt {
+  DoStmt() : Stmt(StmtKind::Do) {}
+  [[nodiscard]] StmtPtr clone() const override;
+
+  ScalarId var = -1;
+  AffineBound lo;
+  AffineBound hi;
+  Block body;
+};
+
+/// A scalarized subgrid loop nest (paper Figure 16).  Iteration space is
+/// in global indices; SPMD lowering intersects it with each PE's owned
+/// box.  Body statements are element-wise: every ArrayRef's `offset` is
+/// relative to the iteration point, sections are unused.
+struct LoopNestStmt final : Stmt {
+  LoopNestStmt() : Stmt(StmtKind::LoopNest) {}
+  [[nodiscard]] StmtPtr clone() const override;
+
+  struct BodyAssign {
+    ArrayRef lhs;
+    ExprPtr rhs;
+
+    [[nodiscard]] BodyAssign clone() const {
+      return BodyAssign{lhs, rhs->clone()};
+    }
+  };
+
+  int rank = 2;
+  std::array<SectionRange, kMaxRank> bounds;  ///< per dim, global indices
+  std::vector<BodyAssign> body;
+
+  // -- Memory-optimization annotations (paper Section 3.4) -------------
+  /// Loop order, outermost first.  Scalarization produces {0,1,2} (the
+  /// paper's Figure 16 order); loop permutation moves the contiguous
+  /// dimension innermost for cache locality.
+  std::array<int, kMaxRank> loop_order{0, 1, 2};
+  int unroll_jam = 1;          ///< unroll factor applied to the outer loop
+  bool scalar_replaced = false;  ///< redundant loads shared across body
+};
+
+/// Deep copy of a block.
+[[nodiscard]] Block clone_block(const Block& b);
+
+}  // namespace hpfsc::ir

@@ -1,0 +1,77 @@
+#include "ir/symbols.hpp"
+
+namespace hpfsc::ir {
+
+std::string AffineBound::str() const {
+  if (param.empty()) return std::to_string(constant);
+  if (constant == 0) return param;
+  if (constant > 0) return param + "+" + std::to_string(constant);
+  return param + std::to_string(constant);
+}
+
+std::string ArraySymbol::dist_str() const {
+  std::string out = "(";
+  for (int d = 0; d < rank; ++d) {
+    if (d != 0) out += ",";
+    out += simpi::to_string(dist[d]);
+  }
+  out += ")";
+  return out;
+}
+
+ScalarId SymbolTable::add_scalar(ScalarSymbol sym) {
+  if (scalar_names_.contains(sym.name)) {
+    throw std::invalid_argument("duplicate scalar symbol '" + sym.name + "'");
+  }
+  auto id = static_cast<ScalarId>(scalars_.size());
+  scalar_names_.emplace(sym.name, id);
+  scalars_.push_back(std::move(sym));
+  return id;
+}
+
+ArrayId SymbolTable::add_array(ArraySymbol sym) {
+  if (array_names_.contains(sym.name)) {
+    throw std::invalid_argument("duplicate array symbol '" + sym.name + "'");
+  }
+  auto id = static_cast<ArrayId>(arrays_.size());
+  array_names_.emplace(sym.name, id);
+  arrays_.push_back(std::move(sym));
+  return id;
+}
+
+ArrayId SymbolTable::make_temp(ArrayId model, const std::string& base) {
+  ArraySymbol t = array(model);
+  t.is_temp = true;
+  t.eliminated = false;
+  t.halo_lo = {0, 0, 0};
+  t.halo_hi = {0, 0, 0};
+  do {
+    t.name = base + std::to_string(++temp_counter_);
+  } while (array_names_.contains(t.name));
+  return add_array(std::move(t));
+}
+
+std::optional<ScalarId> SymbolTable::find_scalar(
+    const std::string& name) const {
+  auto it = scalar_names_.find(name);
+  if (it == scalar_names_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<ArrayId> SymbolTable::find_array(const std::string& name) const {
+  auto it = array_names_.find(name);
+  if (it == array_names_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool SymbolTable::conformable(ArrayId a, ArrayId b) const {
+  const ArraySymbol& x = array(a);
+  const ArraySymbol& y = array(b);
+  if (x.rank != y.rank) return false;
+  for (int d = 0; d < x.rank; ++d) {
+    if (x.extent[d] != y.extent[d] || x.dist[d] != y.dist[d]) return false;
+  }
+  return true;
+}
+
+}  // namespace hpfsc::ir

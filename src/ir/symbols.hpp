@@ -1,0 +1,141 @@
+// Symbol table for the normalized intermediate form: scalar symbols
+// (coefficients, size parameters, loop variables) and array symbols with
+// their HPF distributions and compiler-assigned overlap-area widths.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "simpi/layout.hpp"
+#include "support/source_location.hpp"
+
+namespace hpfsc::ir {
+
+using simpi::DistKind;
+using simpi::kMaxRank;
+
+/// An affine bound of the form `param + constant` (param may be absent,
+/// leaving a literal).  Array extents, section bounds, and DO-loop bounds
+/// are all affine in a single size parameter, which is all the paper's
+/// kernels need (e.g. N-1).
+struct AffineBound {
+  std::string param;  ///< empty for a literal
+  int constant = 0;
+
+  AffineBound() = default;
+  explicit AffineBound(int literal) : constant(literal) {}
+  AffineBound(std::string p, int c) : param(std::move(p)), constant(c) {}
+
+  [[nodiscard]] bool is_literal() const { return param.empty(); }
+
+  [[nodiscard]] AffineBound plus(int delta) const {
+    return AffineBound{param, constant + delta};
+  }
+
+  /// lhs - rhs when they share a parameter (or are both literals).
+  [[nodiscard]] static std::optional<int> difference(const AffineBound& lhs,
+                                                     const AffineBound& rhs) {
+    if (lhs.param != rhs.param) return std::nullopt;
+    return lhs.constant - rhs.constant;
+  }
+
+  /// Renders "N-1", "N", "2", "N+1".
+  [[nodiscard]] std::string str() const;
+
+  bool operator==(const AffineBound&) const = default;
+};
+
+/// One dimension of an array section: lo:hi (stride 1; HPF strided
+/// sections are outside the stencil normal form).
+struct SectionRange {
+  AffineBound lo;
+  AffineBound hi;
+
+  bool operator==(const SectionRange&) const = default;
+};
+
+enum class ScalarType { Real, Integer };
+
+/// A scalar symbol: stencil coefficient (Real), size parameter or loop
+/// variable (Integer).
+struct ScalarSymbol {
+  std::string name;
+  ScalarType type = ScalarType::Real;
+  bool is_param = false;  ///< bound at execution time (N, C1, ...)
+  std::optional<double> init;  ///< PARAMETER value or declared initializer
+};
+
+/// An array symbol.  Extents are affine; lower bounds are always 1.
+/// `halo_lo`/`halo_hi` are the overlap-area widths assigned by the
+/// offset-array optimization (0 until then).
+struct ArraySymbol {
+  std::string name;
+  int rank = 2;
+  std::array<AffineBound, kMaxRank> extent;
+  std::array<DistKind, kMaxRank> dist{DistKind::Block, DistKind::Block,
+                                      DistKind::Collapsed};
+  bool is_temp = false;       ///< compiler-generated temporary
+  bool eliminated = false;    ///< storage removed by offset arrays
+  std::array<int, kMaxRank> halo_lo{0, 0, 0};
+  std::array<int, kMaxRank> halo_hi{0, 0, 0};
+
+  /// "(BLOCK,BLOCK)" etc., for declarations and diagnostics.
+  [[nodiscard]] std::string dist_str() const;
+};
+
+/// Ids are indices into the symbol table's vectors; they remain stable
+/// for the lifetime of a Program.
+using ScalarId = int;
+using ArrayId = int;
+
+class SymbolTable {
+ public:
+  ScalarId add_scalar(ScalarSymbol sym);
+  ArrayId add_array(ArraySymbol sym);
+
+  /// Creates a compiler temporary shaped and distributed like `model`.
+  ArrayId make_temp(ArrayId model, const std::string& base = "TMP");
+
+  [[nodiscard]] const ScalarSymbol& scalar(ScalarId id) const {
+    return scalars_.at(static_cast<std::size_t>(id));
+  }
+  [[nodiscard]] ScalarSymbol& scalar(ScalarId id) {
+    return scalars_.at(static_cast<std::size_t>(id));
+  }
+  [[nodiscard]] const ArraySymbol& array(ArrayId id) const {
+    return arrays_.at(static_cast<std::size_t>(id));
+  }
+  [[nodiscard]] ArraySymbol& array(ArrayId id) {
+    return arrays_.at(static_cast<std::size_t>(id));
+  }
+
+  [[nodiscard]] std::optional<ScalarId> find_scalar(
+      const std::string& name) const;
+  [[nodiscard]] std::optional<ArrayId> find_array(
+      const std::string& name) const;
+
+  [[nodiscard]] int num_scalars() const {
+    return static_cast<int>(scalars_.size());
+  }
+  [[nodiscard]] int num_arrays() const {
+    return static_cast<int>(arrays_.size());
+  }
+
+  /// True when the two arrays have identical extents and distributions
+  /// (the paper's alignment precondition for offset arrays and statement
+  /// congruence).
+  [[nodiscard]] bool conformable(ArrayId a, ArrayId b) const;
+
+ private:
+  std::vector<ScalarSymbol> scalars_;
+  std::vector<ArraySymbol> arrays_;
+  std::unordered_map<std::string, ScalarId> scalar_names_;
+  std::unordered_map<std::string, ArrayId> array_names_;
+  int temp_counter_ = 0;
+};
+
+}  // namespace hpfsc::ir

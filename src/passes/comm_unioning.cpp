@@ -1,0 +1,154 @@
+#include "passes/comm_unioning.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+
+namespace hpfsc::passes {
+
+namespace {
+
+/// Accumulated overlap requirements for one (array, shift kind,
+/// boundary) combination within a communication group.
+struct Requirements {
+  // amount[d][0] = largest negative-direction shift, [d][1] = positive.
+  std::array<std::array<int, 2>, ir::kMaxRank> amount{};
+  // rsd[d][dir] = RSD extension carried by the (d, dir) shift.
+  std::array<std::array<ir::Rsd, 2>, ir::kMaxRank> rsd{};
+  ir::ExprPtr boundary;  // representative EOSHIFT boundary (cloned)
+  SourceLoc loc;
+};
+
+/// Group key: array + shift kind + boundary constant (EOSHIFT shifts
+/// with different boundary values must not merge).
+struct GroupKey {
+  ir::ArrayId array;
+  ir::ShiftKind kind;
+  double boundary;
+
+  bool operator<(const GroupKey& o) const {
+    return std::tie(array, kind, boundary) <
+           std::tie(o.array, o.kind, o.boundary);
+  }
+};
+
+double boundary_value(const ir::OverlapShiftStmt& s) {
+  if (s.boundary != nullptr && s.boundary->kind == ir::ExprKind::Constant) {
+    return s.boundary->value;
+  }
+  return 0.0;
+}
+
+void accumulate(Requirements& req, const ir::OverlapShiftStmt& s) {
+  const int dir = s.shift > 0 ? 1 : 0;
+  const int d = s.dim;
+  req.amount[d][dir] = std::max(req.amount[d][dir], std::abs(s.shift));
+  if (req.loc == SourceLoc{}) req.loc = s.loc;
+  if (s.boundary && !req.boundary) req.boundary = s.boundary->clone();
+
+  // A multi-offset source (paper: "we discover four multi-offset
+  // arrays") induces corner requirements between the shifted dimension
+  // and every offset dimension.  The corner data rides on the shift of
+  // the *higher* dimension of each pair as an RSD extension, picking up
+  // values the lower dimension's shift already placed in the overlap
+  // area.  Pre-existing RSDs are merged the same way (larger subsumes).
+  for (int dd = 0; dd < ir::kMaxRank; ++dd) {
+    if (dd == d) continue;
+    const int off = s.src.offset[dd];
+    if (off != 0) {
+      const int odir = off > 0 ? 1 : 0;
+      // Base requirement implied by the annotation.
+      req.amount[dd][odir] = std::max(req.amount[dd][odir], std::abs(off));
+      if (dd < d) {
+        // RSD on our own (d, dir) shift, extended in dimension dd.
+        auto& ext = req.rsd[d][dir];
+        (off > 0 ? ext.hi : ext.lo)[dd] =
+            std::max((off > 0 ? ext.hi : ext.lo)[dd], std::abs(off));
+      } else {
+        // dd > d: commutativity — reorder so the lower dimension (d)
+        // shifts first and the higher (dd) shift carries the corner.
+        auto& ext = req.rsd[dd][odir];
+        (s.shift > 0 ? ext.hi : ext.lo)[d] =
+            std::max((s.shift > 0 ? ext.hi : ext.lo)[d], std::abs(s.shift));
+      }
+    }
+    // Merge any RSD the shift already carries (re-running the pass or
+    // hand-written normal form input).
+    auto& ext = req.rsd[d][dir];
+    ext.lo[dd] = std::max(ext.lo[dd], s.rsd.lo[dd]);
+    ext.hi[dd] = std::max(ext.hi[dd], s.rsd.hi[dd]);
+  }
+}
+
+}  // namespace
+
+CommUnioningStats comm_unioning(ir::Program& program,
+                                DiagnosticEngine& diags) {
+  (void)diags;
+  CommUnioningStats stats;
+
+  // Recursive block rewrite.
+  struct Walker {
+    ir::Program& prog;
+    CommUnioningStats& stats;
+
+    void walk(ir::Block& block) {
+      ir::Block out;
+      std::size_t i = 0;
+      while (i < block.size()) {
+        if (block[i]->kind != ir::StmtKind::OverlapShift) {
+          if (auto* iff = dynamic_cast<ir::IfStmt*>(block[i].get())) {
+            walk(iff->then_block);
+            walk(iff->else_block);
+          } else if (auto* loop =
+                         dynamic_cast<ir::DoStmt*>(block[i].get())) {
+            walk(loop->body);
+          }
+          out.push_back(std::move(block[i]));
+          ++i;
+          continue;
+        }
+        // Maximal run of overlap shifts = one communication group.
+        std::size_t j = i;
+        std::map<GroupKey, Requirements> groups;
+        while (j < block.size() &&
+               block[j]->kind == ir::StmtKind::OverlapShift) {
+          const auto& s =
+              static_cast<const ir::OverlapShiftStmt&>(*block[j]);
+          ++stats.shifts_before;
+          GroupKey key{s.src.array, s.shift_kind, boundary_value(s)};
+          accumulate(groups[key], s);
+          ++j;
+        }
+        // Emit the unioned shifts: dimension ascending, negative first.
+        for (auto& [key, req] : groups) {
+          const int rank = prog.symbols.array(key.array).rank;
+          for (int d = 0; d < rank; ++d) {
+            for (int dir = 0; dir < 2; ++dir) {
+              if (req.amount[d][dir] == 0) continue;
+              auto shift = std::make_unique<ir::OverlapShiftStmt>();
+              shift->loc = req.loc;
+              shift->src.array = key.array;
+              shift->shift =
+                  dir == 1 ? req.amount[d][dir] : -req.amount[d][dir];
+              shift->dim = d;
+              shift->rsd = req.rsd[d][dir];
+              shift->shift_kind = key.kind;
+              shift->boundary =
+                  req.boundary ? req.boundary->clone() : nullptr;
+              out.push_back(std::move(shift));
+              ++stats.shifts_after;
+            }
+          }
+        }
+        i = j;
+      }
+      block = std::move(out);
+    }
+  };
+
+  Walker{program, stats}.walk(program.body);
+  return stats;
+}
+
+}  // namespace hpfsc::passes

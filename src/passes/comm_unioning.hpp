@@ -1,0 +1,28 @@
+// Communication unioning (paper Section 3.3): within each group of
+// adjacent OVERLAP_CSHIFT calls, exploit commutativity and subsumption
+// to reduce interprocessor data movement to a single message per
+// direction per dimension:
+//   * shifts over the same (dimension, direction) are merged, keeping
+//     the largest amount (larger shifts subsume smaller ones), and
+//   * multi-offset arrays ("corner" elements of stencils) are carried by
+//     attaching an RSD to the shift of the higher dimension, which then
+//     forwards data already present in the lower dimension's overlap
+//     areas (Figures 6-10).
+// Emitted shifts are canonically ordered: dimension ascending, negative
+// direction first.
+#pragma once
+
+#include "ir/program.hpp"
+#include "support/diagnostics.hpp"
+
+namespace hpfsc::passes {
+
+struct CommUnioningStats {
+  int shifts_before = 0;
+  int shifts_after = 0;
+};
+
+CommUnioningStats comm_unioning(ir::Program& program,
+                                DiagnosticEngine& diags);
+
+}  // namespace hpfsc::passes

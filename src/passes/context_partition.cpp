@@ -1,0 +1,81 @@
+#include "passes/context_partition.hpp"
+
+#include "analysis/congruence.hpp"
+#include "analysis/ddg.hpp"
+
+namespace hpfsc::passes {
+
+namespace {
+
+bool is_barrier(const ir::Stmt& s) {
+  return s.kind == ir::StmtKind::If || s.kind == ir::StmtKind::Do ||
+         s.kind == ir::StmtKind::LoopNest;
+}
+
+class Partitioner {
+ public:
+  Partitioner(ir::Program& program) : prog_(program) {}
+
+  ContextPartitionStats run() {
+    process_block(prog_.body);
+    return stats_;
+  }
+
+ private:
+  void process_block(ir::Block& block) {
+    ir::Block out;
+    std::size_t i = 0;
+    while (i < block.size()) {
+      if (is_barrier(*block[i])) {
+        if (auto* iff = dynamic_cast<ir::IfStmt*>(block[i].get())) {
+          process_block(iff->then_block);
+          process_block(iff->else_block);
+        } else if (auto* loop = dynamic_cast<ir::DoStmt*>(block[i].get())) {
+          process_block(loop->body);
+        }
+        out.push_back(std::move(block[i]));
+        ++i;
+        continue;
+      }
+      // Maximal run of reorderable statements.
+      std::size_t j = i;
+      while (j < block.size() && !is_barrier(*block[j])) ++j;
+      reorder_run(block, i, j, out);
+      i = j;
+    }
+    block = std::move(out);
+  }
+
+  void reorder_run(ir::Block& block, std::size_t first, std::size_t last,
+                   ir::Block& out) {
+    std::vector<const ir::Stmt*> stmts;
+    stmts.reserve(last - first);
+    for (std::size_t k = first; k < last; ++k) {
+      stmts.push_back(block[k].get());
+    }
+    analysis::Ddg ddg = analysis::Ddg::build(stmts);
+    auto groups = analysis::typed_fusion(stmts, ddg, prog_.symbols);
+    int position = 0;
+    for (const analysis::PartitionGroup& g : groups) {
+      ++stats_.groups_formed;
+      for (int idx : g.stmts) {
+        if (idx != position) ++stats_.statements_moved;
+        ++position;
+        out.push_back(std::move(block[first + static_cast<std::size_t>(idx)]));
+      }
+    }
+  }
+
+  ir::Program& prog_;
+  ContextPartitionStats stats_;
+};
+
+}  // namespace
+
+ContextPartitionStats context_partition(ir::Program& program,
+                                        DiagnosticEngine& diags) {
+  (void)diags;
+  return Partitioner(program).run();
+}
+
+}  // namespace hpfsc::passes

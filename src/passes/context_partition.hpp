@@ -1,0 +1,22 @@
+// Context partitioning (paper Section 3.2): reorder each straight-line
+// run of statements into groups of congruent array statements and
+// groups of communication operations, using Kennedy-McKinley typed
+// fusion on the acyclic statement-level dependence graph.  Grouping
+// compute statements enables maximal (but not over-) loop fusion during
+// scalarization; grouping communication enables communication unioning.
+#pragma once
+
+#include "ir/program.hpp"
+#include "support/diagnostics.hpp"
+
+namespace hpfsc::passes {
+
+struct ContextPartitionStats {
+  int groups_formed = 0;
+  int statements_moved = 0;  ///< statements whose position changed
+};
+
+ContextPartitionStats context_partition(ir::Program& program,
+                                        DiagnosticEngine& diags);
+
+}  // namespace hpfsc::passes

@@ -1,0 +1,32 @@
+#include "passes/memory_opt.hpp"
+
+namespace hpfsc::passes {
+
+MemoryOptStats memory_opt(ir::Program& program, const MemoryOptOptions& opts,
+                          DiagnosticEngine& diags) {
+  (void)diags;
+  MemoryOptStats stats;
+  ir::visit_stmts(program.body, [&](ir::Stmt& s) {
+    if (s.kind != ir::StmtKind::LoopNest) return;
+    auto& nest = static_cast<ir::LoopNestStmt&>(s);
+    if (opts.permute && nest.rank >= 2) {
+      // Outermost-first order {rank-1, ..., 1, 0}: the contiguous
+      // dimension (0) iterates innermost.
+      for (int n = 0; n < nest.rank; ++n) {
+        nest.loop_order[static_cast<std::size_t>(n)] = nest.rank - 1 - n;
+      }
+      ++stats.nests_permuted;
+    }
+    if (opts.unroll_jam && nest.rank >= 2 && opts.unroll_factor > 1) {
+      nest.unroll_jam = opts.unroll_factor;
+      ++stats.nests_unrolled;
+    }
+    if (opts.scalar_replace) {
+      nest.scalar_replaced = true;
+      ++stats.nests_scalar_replaced;
+    }
+  });
+  return stats;
+}
+
+}  // namespace hpfsc::passes

@@ -1,0 +1,259 @@
+#include "passes/normalize.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace hpfsc::passes {
+
+namespace {
+
+using ir::AffineBound;
+using ir::ArrayId;
+
+class Normalizer {
+ public:
+  Normalizer(ir::Program& program, const NormalizeOptions& opts,
+             DiagnosticEngine& diags)
+      : prog_(program), opts_(opts), diags_(diags) {}
+
+  NormalizeStats run() {
+    process_block(prog_.body);
+    return stats_;
+  }
+
+ private:
+  // A per-block pool of reusable temporaries.
+  struct TempPool {
+    std::vector<ArrayId> free;
+    std::vector<ArrayId> all;
+  };
+
+  void process_block(ir::Block& block) {
+    TempPool pool;
+    ir::Block out;
+    for (ir::StmtPtr& sp : block) {
+      switch (sp->kind) {
+        case ir::StmtKind::ArrayAssign:
+          process_assign(static_cast<ir::ArrayAssignStmt&>(*sp), sp, out,
+                         pool);
+          break;
+        case ir::StmtKind::If: {
+          auto& iff = static_cast<ir::IfStmt&>(*sp);
+          process_block(iff.then_block);
+          process_block(iff.else_block);
+          out.push_back(std::move(sp));
+          break;
+        }
+        case ir::StmtKind::Do: {
+          auto& loop = static_cast<ir::DoStmt&>(*sp);
+          process_block(loop.body);
+          out.push_back(std::move(sp));
+          break;
+        }
+        default:
+          out.push_back(std::move(sp));
+          break;
+      }
+    }
+    // Allocate the block's temporaries up front and free them at the
+    // end (the paper's Figure 4 shape).
+    if (!pool.all.empty()) {
+      auto alloc = std::make_unique<ir::AllocStmt>();
+      alloc->arrays = pool.all;
+      out.insert(out.begin(), std::move(alloc));
+      auto free = std::make_unique<ir::FreeStmt>();
+      free->arrays = pool.all;
+      out.push_back(std::move(free));
+    }
+    block = std::move(out);
+  }
+
+  void process_assign(ir::ArrayAssignStmt& stmt, ir::StmtPtr& sp,
+                      ir::Block& out, TempPool& pool) {
+    // Fast path: the statement is already a normal-form singleton
+    //   DST = CSHIFT(SRC, s, d)  with whole-array operands.
+    if (stmt.lhs.whole_array() && stmt.rhs->kind == ir::ExprKind::Shift &&
+        stmt.rhs->lhs->kind == ir::ExprKind::ArrayRefK &&
+        stmt.rhs->lhs->ref.whole_array() && !stmt.rhs->lhs->ref.has_offset()) {
+      out.push_back(make_shift_assign(stmt.lhs.array, stmt.rhs->lhs->ref,
+                                      *stmt.rhs, stmt.loc));
+      return;
+    }
+
+    // Step 1: convert misaligned array-syntax sections to shift chains.
+    align_sections(stmt.rhs, stmt.lhs);
+
+    // Step 2: hoist every shift into a singleton assignment to a
+    // temporary, innermost first.
+    std::vector<ArrayId> consumed;
+    hoist_shifts(stmt.rhs, stmt.lhs, out, pool, consumed,
+                 /*inside_shift=*/false);
+
+    out.push_back(std::move(sp));
+
+    // Temporaries consumed by this statement die here.
+    if (opts_.reuse_temps) {
+      for (ArrayId t : consumed) pool.free.push_back(t);
+    }
+  }
+
+  /// Rewrites every sectioned reference in the tree whose section is
+  /// offset from the LHS section into CSHIFT chains of the whole array.
+  void align_sections(ir::ExprPtr& e, const ir::ArrayRef& lhs) {
+    if (e->lhs) align_sections(e->lhs, lhs);
+    if (e->rhs) align_sections(e->rhs, lhs);
+    if (e->kind != ir::ExprKind::ArrayRefK) return;
+    ir::ArrayRef& ref = e->ref;
+    if (ref.whole_array()) return;
+
+    const ir::ArraySymbol& sym = prog_.symbols.array(ref.array);
+    std::array<int, ir::kMaxRank> delta{0, 0, 0};
+    bool any = false;
+    for (int d = 0; d < sym.rank; ++d) {
+      ir::SectionRange lhs_range;
+      if (lhs.whole_array()) {
+        lhs_range.lo = AffineBound(1);
+        lhs_range.hi = prog_.symbols.array(lhs.array).extent[d];
+      } else {
+        lhs_range = lhs.section[static_cast<std::size_t>(d)];
+      }
+      const ir::SectionRange& r = ref.section[static_cast<std::size_t>(d)];
+      auto dlo = AffineBound::difference(r.lo, lhs_range.lo);
+      auto dhi = AffineBound::difference(r.hi, lhs_range.hi);
+      if (!dlo || !dhi || *dlo != *dhi) {
+        diags_.error(e->loc,
+                     "section of '" + sym.name +
+                         "' does not conform to the assignment's "
+                         "iteration space");
+        return;
+      }
+      delta[d] = *dlo;
+      if (*dlo != 0) any = true;
+    }
+    if (!any) {
+      // Aligned: canonicalize a full-extent section to a whole-array ref.
+      if (lhs.whole_array()) ref.section.clear();
+      return;
+    }
+    ++stats_.sections_converted;
+    // Wrap the (whole-array) reference in one CSHIFT per offset dim.
+    // CSHIFT semantics: TMP = CSHIFT(A, delta, d) gives TMP(i) = A(i+delta),
+    // exactly the offset the section expressed.
+    ir::ArrayRef whole;
+    whole.array = ref.array;
+    ir::ExprPtr inner = ir::make_array_ref(whole, e->loc);
+    for (int d = 0; d < sym.rank; ++d) {
+      if (delta[d] == 0) continue;
+      inner = ir::make_shift(ir::ShiftIntrinsic::CShift, std::move(inner),
+                             delta[d], d, nullptr, e->loc);
+    }
+    e = std::move(inner);
+  }
+
+  /// Hoists shift nodes (post-order) into singleton temporary
+  /// assignments emitted before the statement.
+  void hoist_shifts(ir::ExprPtr& e, const ir::ArrayRef& lhs, ir::Block& out,
+                    TempPool& pool, std::vector<ArrayId>& consumed,
+                    bool inside_shift) {
+    const bool is_shift = e->kind == ir::ExprKind::Shift;
+    if (e->lhs) hoist_shifts(e->lhs, lhs, out, pool, consumed, is_shift);
+    if (e->rhs) hoist_shifts(e->rhs, lhs, out, pool, consumed, false);
+    if (!is_shift) return;
+
+    // The shift argument must be a whole-array reference; materialize
+    // anything else (e.g. CSHIFT(A+B, ...)) into a temporary first.
+    if (e->lhs->kind != ir::ExprKind::ArrayRefK ||
+        !e->lhs->ref.whole_array()) {
+      ArrayId model = model_array(*e->lhs, lhs);
+      ArrayId t = acquire_temp(model, pool);
+      auto assign = std::make_unique<ir::ArrayAssignStmt>();
+      assign->loc = e->loc;
+      assign->lhs.array = t;
+      assign->rhs = std::move(e->lhs);
+      out.push_back(std::move(assign));
+      ir::ArrayRef tref;
+      tref.array = t;
+      e->lhs = ir::make_array_ref(tref, e->loc);
+      // The temp is consumed by the shift we are about to emit.
+    }
+
+    const ir::ArrayRef src = e->lhs->ref;
+    ArrayId t = acquire_temp(src.array, pool);
+    out.push_back(make_shift_assign(t, src, *e, e->loc));
+    ++stats_.shifts_hoisted;
+    // If the shift's source was itself a pool temporary (an inner link
+    // of a chain), it dies right here and can be reused.
+    release_if_temp(src.array, pool, consumed);
+
+    // Replace the shift node with a reference to the temporary.  At the
+    // top level the reference carries the LHS's section so operands stay
+    // aligned (Figure 4); inside an enclosing shift (a chain link) the
+    // reference stays whole-array.
+    ir::ArrayRef tref;
+    tref.array = t;
+    if (!inside_shift) tref.section = lhs.section;
+    e = ir::make_array_ref(tref, e->loc);
+    consumed.push_back(t);
+  }
+
+  ir::StmtPtr make_shift_assign(ArrayId dst, const ir::ArrayRef& src,
+                                const ir::Expr& shift, SourceLoc loc) {
+    auto s = std::make_unique<ir::ShiftAssignStmt>();
+    s->loc = loc;
+    s->dst = dst;
+    s->src = src;
+    s->shift = shift.shift;
+    s->dim = shift.dim;
+    s->intrinsic = shift.intrinsic;
+    s->boundary = shift.boundary ? shift.boundary->clone() : nullptr;
+    return s;
+  }
+
+  /// Picks an array whose shape models a subexpression (first array
+  /// referenced; falls back to the statement LHS).
+  ArrayId model_array(const ir::Expr& e, const ir::ArrayRef& lhs) {
+    auto arrays = ir::referenced_arrays(e);
+    return arrays.empty() ? lhs.array : arrays.front();
+  }
+
+  ArrayId acquire_temp(ArrayId model, TempPool& pool) {
+    if (opts_.reuse_temps) {
+      for (auto it = pool.free.begin(); it != pool.free.end(); ++it) {
+        if (prog_.symbols.conformable(*it, model)) {
+          ArrayId t = *it;
+          pool.free.erase(it);
+          return t;
+        }
+      }
+    }
+    ArrayId t = prog_.symbols.make_temp(model);
+    pool.all.push_back(t);
+    ++stats_.temps_created;
+    return t;
+  }
+
+  void release_if_temp(ArrayId a, TempPool& pool,
+                       std::vector<ArrayId>& consumed) {
+    if (!opts_.reuse_temps) return;
+    if (std::find(pool.all.begin(), pool.all.end(), a) == pool.all.end()) {
+      return;
+    }
+    auto it = std::find(consumed.begin(), consumed.end(), a);
+    if (it != consumed.end()) consumed.erase(it);
+    pool.free.push_back(a);
+  }
+
+  ir::Program& prog_;
+  const NormalizeOptions& opts_;
+  DiagnosticEngine& diags_;
+  NormalizeStats stats_;
+};
+
+}  // namespace
+
+NormalizeStats normalize(ir::Program& program, const NormalizeOptions& opts,
+                         DiagnosticEngine& diags) {
+  return Normalizer(program, opts, diags).run();
+}
+
+}  // namespace hpfsc::passes

@@ -1,0 +1,35 @@
+// Program normalization (paper Section 2.1): translate every stencil —
+// array-syntax or CSHIFT-based, single- or multi-statement — into the
+// normal form:
+//   * every CSHIFT/EOSHIFT occurs as a singleton whole-array assignment
+//     (shift subexpressions are hoisted into compiler temporaries), and
+//   * the remaining compute expressions operate on perfectly aligned
+//     operands (misaligned array-syntax sections become shift chains).
+//
+// This is the CM-Fortran-style translation of Figure 4 and the first
+// step of every compilation level.
+#pragma once
+
+#include "ir/program.hpp"
+#include "support/diagnostics.hpp"
+
+namespace hpfsc::passes {
+
+struct NormalizeOptions {
+  /// Reuse temporaries whose live ranges do not overlap (paper Section
+  /// 4.1: Problem 9 needs one shared compiler temporary).  Disabled in
+  /// the xlhpf-like baseline, which allocates one temporary per CSHIFT
+  /// (the Figure 11 memory blowup).
+  bool reuse_temps = true;
+};
+
+struct NormalizeStats {
+  int shifts_hoisted = 0;      ///< shift subexpressions given temporaries
+  int sections_converted = 0;  ///< misaligned sections turned into shifts
+  int temps_created = 0;       ///< distinct temporaries allocated
+};
+
+NormalizeStats normalize(ir::Program& program, const NormalizeOptions& opts,
+                         DiagnosticEngine& diags);
+
+}  // namespace hpfsc::passes

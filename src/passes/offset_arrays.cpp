@@ -1,0 +1,410 @@
+#include "passes/offset_arrays.hpp"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "analysis/array_ssa.hpp"
+
+namespace hpfsc::passes {
+
+namespace {
+
+using analysis::ArraySsa;
+using analysis::SsaUse;
+using analysis::SsaVersion;
+using ir::ArrayId;
+
+using Offset = std::array<int, ir::kMaxRank>;
+
+/// Per-shift decision produced by the planning phase.
+struct ShiftPlan {
+  bool convert = false;
+  bool drop = false;           ///< dead shift: emit nothing
+  ArrayId base = -1;           ///< underlying offset-array source
+  Offset base_offset{0, 0, 0};
+  Offset result_offset{0, 0, 0};
+  int base_version = -1;       ///< SSA version of base at the shift
+  bool needs_copy = false;     ///< materialize dst after the overlap shift
+  bool needs_src_copy = false; ///< materialize src before an unconverted shift
+  ArrayId src_copy_base = -1;
+  Offset src_copy_offset{0, 0, 0};
+  std::vector<const ir::ArrayRef*> rewrites;
+};
+
+class OffsetArrayPass {
+ public:
+  OffsetArrayPass(ir::Program& program, const OffsetArrayOptions& opts,
+                  DiagnosticEngine& diags)
+      : prog_(program), opts_(opts), diags_(diags) {}
+
+  OffsetArrayStats run() {
+    compute_live_out();
+    ssa_ = std::make_unique<ArraySsa>(ArraySsa::build(prog_));
+    plan();
+    apply_block(prog_.body);
+    rewrite_uses();
+    assign_halo_widths();
+    eliminate_dead_arrays();
+    return stats_;
+  }
+
+ private:
+  void compute_live_out() {
+    if (opts_.live_out.empty()) {
+      for (int a = 0; a < prog_.symbols.num_arrays(); ++a) {
+        if (!prog_.symbols.array(a).is_temp) live_out_.insert(a);
+      }
+      return;
+    }
+    for (const std::string& name : opts_.live_out) {
+      if (auto id = prog_.symbols.find_array(name)) {
+        live_out_.insert(*id);
+      } else {
+        diags_.warning({}, "live-out array '" + name + "' is not declared");
+      }
+    }
+  }
+
+  // ------------------------------------------------------- planning --
+  void plan() {
+    ir::visit_stmts(prog_.body, [&](ir::Stmt& s) {
+      if (s.kind == ir::StmtKind::ShiftAssign) {
+        plan_shift(static_cast<ir::ShiftAssignStmt&>(s));
+      }
+    });
+  }
+
+  void plan_shift(const ir::ShiftAssignStmt& s) {
+    ShiftPlan plan;
+
+    // Resolve the shift source through earlier converted shifts
+    // (multi-offset chains).
+    plan.base = s.src.array;
+    plan.base_offset = s.src.offset;
+    plan.base_version = ssa_->use_version(s.src);
+    // Whether our source is itself a converted shift (multi-offset
+    // chain).  If so, the producer does not materialize its destination
+    // for us, so if we end up unconverted we must insert a copy.
+    bool chain = false;
+    const SsaVersion& src_info =
+        ssa_->version_info(s.src.array, plan.base_version);
+    if (src_info.kind == SsaVersion::Kind::Def && src_info.def != nullptr &&
+        src_info.def->kind == ir::StmtKind::ShiftAssign) {
+      auto it = plans_.find(src_info.def);
+      if (it != plans_.end() && it->second.convert) {
+        const ShiftPlan& producer = it->second;
+        // Follow the chain only when the producer's base still holds the
+        // same value here; otherwise the producer detected the conflict
+        // and already materialized our source via a compensation copy.
+        if (ssa_->version_at(s, producer.base) == producer.base_version) {
+          chain = true;
+          plan.base = producer.base;
+          plan.base_offset = producer.result_offset;
+          plan.base_version = producer.base_version;
+          plan.src_copy_base = producer.base;
+          plan.src_copy_offset = producer.result_offset;
+        }
+      }
+    }
+
+    plan.result_offset = plan.base_offset;
+    plan.result_offset[s.dim] += s.shift;
+
+    // ---- Static criteria ("safe and profitable", paper 3.1) ----------
+    bool static_ok = s.shift != 0 && plan.base != s.dst &&
+                     prog_.symbols.conformable(s.dst, plan.base);
+    for (int d = 0; d < ir::kMaxRank; ++d) {
+      if (std::abs(plan.result_offset[d]) > opts_.max_halo) static_ok = false;
+    }
+    if (s.intrinsic == ir::ShiftIntrinsic::EoShift &&
+        (s.boundary == nullptr ||
+         s.boundary->kind != ir::ExprKind::Constant)) {
+      static_ok = false;  // runtime needs a constant boundary value
+    }
+
+    // ---- Use classification ------------------------------------------
+    const int v_dst = ssa_->def_version(s);
+    int n_rewritable = 0;
+    int n_chain = 0;
+    bool bad_use = false;
+    if (static_ok) {
+      for (const SsaUse& u : ssa_->uses_of(s.dst, v_dst)) {
+        if (u.ref == nullptr) continue;  // phi operand; handled below
+        const bool consistent =
+            ssa_->version_at(*u.stmt, plan.base) == plan.base_version;
+        if (!consistent) {
+          bad_use = true;
+          continue;
+        }
+        switch (u.stmt->kind) {
+          case ir::StmtKind::ArrayAssign: {
+            const auto& use_stmt =
+                static_cast<const ir::ArrayAssignStmt&>(*u.stmt);
+            if (u.ref == &use_stmt.lhs) {
+              bad_use = true;  // partial update reads dst itself
+            } else {
+              plan.rewrites.push_back(u.ref);
+              ++n_rewritable;
+            }
+            break;
+          }
+          case ir::StmtKind::ShiftAssign:
+            ++n_chain;  // the consumer re-resolves through our plan
+            break;
+          default:
+            bad_use = true;
+            break;
+        }
+      }
+    }
+    const bool value_escapes =
+        ssa_->feeds_phi(s.dst, v_dst) ||
+        (live_out_.contains(s.dst) && ssa_->live_at_exit(s.dst, v_dst));
+    plan.needs_copy = bad_use || value_escapes;
+
+    const bool used = !ssa_->uses_of(s.dst, v_dst).empty() || value_escapes;
+    if (static_ok && (n_rewritable + n_chain > 0 || !used)) {
+      plan.convert = true;
+      plan.drop = !used && !plan.needs_copy;
+    } else {
+      plan.convert = false;
+      plan.rewrites.clear();
+      plan.needs_copy = false;
+      // An unconverted shift whose source was converted away needs that
+      // source materialized first.
+      plan.needs_src_copy = chain;
+    }
+    plans_.emplace(&s, std::move(plan));
+  }
+
+  // --------------------------------------------------------- apply ----
+  static ir::ArrayRef offset_ref(ArrayId array, const Offset& off) {
+    ir::ArrayRef ref;
+    ref.array = array;
+    ref.offset = off;
+    return ref;
+  }
+
+  void apply_block(ir::Block& block) {
+    ir::Block out;
+    for (ir::StmtPtr& sp : block) {
+      if (auto* iff = dynamic_cast<ir::IfStmt*>(sp.get())) {
+        apply_block(iff->then_block);
+        apply_block(iff->else_block);
+        out.push_back(std::move(sp));
+        continue;
+      }
+      if (auto* loop = dynamic_cast<ir::DoStmt*>(sp.get())) {
+        apply_block(loop->body);
+        out.push_back(std::move(sp));
+        continue;
+      }
+      if (sp->kind != ir::StmtKind::ShiftAssign) {
+        out.push_back(std::move(sp));
+        continue;
+      }
+      auto& s = static_cast<ir::ShiftAssignStmt&>(*sp);
+      const ShiftPlan& plan = plans_.at(sp.get());
+      if (plan.needs_src_copy) {
+        auto copy = std::make_unique<ir::CopyStmt>();
+        copy->loc = s.loc;
+        copy->dst = s.src.array;
+        copy->src = offset_ref(plan.src_copy_base, plan.src_copy_offset);
+        out.push_back(std::move(copy));
+        ++stats_.copies_inserted;
+      }
+      if (!plan.convert) {
+        ++stats_.shifts_kept;
+        out.push_back(std::move(sp));
+        continue;
+      }
+      if (plan.drop) continue;  // dead shift
+      auto overlap = std::make_unique<ir::OverlapShiftStmt>();
+      overlap->loc = s.loc;
+      overlap->src = offset_ref(plan.base, plan.base_offset);
+      overlap->shift = s.shift;
+      overlap->dim = s.dim;
+      overlap->shift_kind = s.intrinsic == ir::ShiftIntrinsic::CShift
+                                ? ir::ShiftKind::Circular
+                                : ir::ShiftKind::EndOff;
+      overlap->boundary = s.boundary ? s.boundary->clone() : nullptr;
+      out.push_back(std::move(overlap));
+      ++stats_.shifts_converted;
+      if (plan.needs_copy) {
+        auto copy = std::make_unique<ir::CopyStmt>();
+        copy->loc = s.loc;
+        copy->dst = s.dst;
+        copy->src = offset_ref(plan.base, plan.result_offset);
+        out.push_back(std::move(copy));
+        ++stats_.copies_inserted;
+      }
+    }
+    block = std::move(out);
+  }
+
+  void rewrite_uses() {
+    for (auto& [stmt, plan] : plans_) {
+      (void)stmt;
+      if (!plan.convert) continue;
+      for (const ir::ArrayRef* use : plan.rewrites) {
+        // The SSA analysis exposes refs as const; the pass owns the IR
+        // and may mutate them.
+        auto* ref = const_cast<ir::ArrayRef*>(use);
+        ref->array = plan.base;
+        ref->offset = plan.result_offset;
+        ++stats_.uses_rewritten;
+      }
+    }
+  }
+
+  // ----------------------------------------------- post-processing ----
+  void assign_halo_widths() {
+    auto widen = [&](const ir::ArrayRef& ref) {
+      ir::ArraySymbol& sym = prog_.symbols.array(ref.array);
+      for (int d = 0; d < sym.rank; ++d) {
+        if (ref.offset[d] > 0) {
+          sym.halo_hi[d] = std::max(sym.halo_hi[d], ref.offset[d]);
+        } else if (ref.offset[d] < 0) {
+          sym.halo_lo[d] = std::max(sym.halo_lo[d], -ref.offset[d]);
+        }
+      }
+    };
+    ir::visit_stmts(prog_.body, [&](ir::Stmt& s) {
+      switch (s.kind) {
+        case ir::StmtKind::ArrayAssign: {
+          auto& stmt = static_cast<ir::ArrayAssignStmt&>(s);
+          ir::visit_exprs(*stmt.rhs, [&](ir::Expr& e) {
+            if (e.kind == ir::ExprKind::ArrayRefK) widen(e.ref);
+          });
+          break;
+        }
+        case ir::StmtKind::Copy:
+          widen(static_cast<ir::CopyStmt&>(s).src);
+          break;
+        case ir::StmtKind::OverlapShift: {
+          auto& stmt = static_cast<ir::OverlapShiftStmt&>(s);
+          widen(stmt.src);
+          ir::ArraySymbol& sym = prog_.symbols.array(stmt.src.array);
+          if (stmt.shift > 0) {
+            sym.halo_hi[stmt.dim] =
+                std::max(sym.halo_hi[stmt.dim], stmt.shift);
+          } else {
+            sym.halo_lo[stmt.dim] =
+                std::max(sym.halo_lo[stmt.dim], -stmt.shift);
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    });
+  }
+
+  void eliminate_dead_arrays() {
+    std::set<ArrayId> referenced;
+    ir::visit_stmts(prog_.body, [&](ir::Stmt& s) {
+      switch (s.kind) {
+        case ir::StmtKind::ArrayAssign: {
+          auto& stmt = static_cast<ir::ArrayAssignStmt&>(s);
+          referenced.insert(stmt.lhs.array);
+          ir::visit_exprs(*stmt.rhs, [&](ir::Expr& e) {
+            if (e.kind == ir::ExprKind::ArrayRefK) {
+              referenced.insert(e.ref.array);
+            }
+          });
+          break;
+        }
+        case ir::StmtKind::ShiftAssign: {
+          auto& stmt = static_cast<ir::ShiftAssignStmt&>(s);
+          referenced.insert(stmt.dst);
+          referenced.insert(stmt.src.array);
+          break;
+        }
+        case ir::StmtKind::OverlapShift:
+          referenced.insert(
+              static_cast<ir::OverlapShiftStmt&>(s).src.array);
+          break;
+        case ir::StmtKind::Copy: {
+          auto& stmt = static_cast<ir::CopyStmt&>(s);
+          referenced.insert(stmt.dst);
+          referenced.insert(stmt.src.array);
+          break;
+        }
+        case ir::StmtKind::LoopNest: {
+          auto& nest = static_cast<ir::LoopNestStmt&>(s);
+          for (auto& b : nest.body) {
+            referenced.insert(b.lhs.array);
+            ir::visit_exprs(*b.rhs, [&](ir::Expr& e) {
+              if (e.kind == ir::ExprKind::ArrayRefK) {
+                referenced.insert(e.ref.array);
+              }
+            });
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    });
+    std::set<ArrayId> eliminated;
+    for (int a = 0; a < prog_.symbols.num_arrays(); ++a) {
+      ir::ArraySymbol& sym = prog_.symbols.array(a);
+      if (sym.eliminated) continue;
+      if (referenced.contains(a)) continue;
+      if (live_out_.contains(a)) continue;
+      sym.eliminated = true;
+      eliminated.insert(a);
+      ++stats_.arrays_eliminated;
+    }
+    if (eliminated.empty()) return;
+    // Strip eliminated arrays from ALLOCATE/DEALLOCATE lists and drop
+    // statements that became empty.
+    strip_allocs(prog_.body, eliminated);
+  }
+
+  static void strip_allocs(ir::Block& block,
+                           const std::set<ArrayId>& eliminated) {
+    for (ir::StmtPtr& sp : block) {
+      if (auto* alloc = dynamic_cast<ir::AllocStmt*>(sp.get())) {
+        std::erase_if(alloc->arrays,
+                      [&](ArrayId a) { return eliminated.contains(a); });
+      } else if (auto* free = dynamic_cast<ir::FreeStmt*>(sp.get())) {
+        std::erase_if(free->arrays,
+                      [&](ArrayId a) { return eliminated.contains(a); });
+      } else if (auto* iff = dynamic_cast<ir::IfStmt*>(sp.get())) {
+        strip_allocs(iff->then_block, eliminated);
+        strip_allocs(iff->else_block, eliminated);
+      } else if (auto* loop = dynamic_cast<ir::DoStmt*>(sp.get())) {
+        strip_allocs(loop->body, eliminated);
+      }
+    }
+    std::erase_if(block, [](const ir::StmtPtr& sp) {
+      if (const auto* alloc = dynamic_cast<const ir::AllocStmt*>(sp.get())) {
+        return alloc->arrays.empty();
+      }
+      if (const auto* free = dynamic_cast<const ir::FreeStmt*>(sp.get())) {
+        return free->arrays.empty();
+      }
+      return false;
+    });
+  }
+
+  ir::Program& prog_;
+  const OffsetArrayOptions& opts_;
+  DiagnosticEngine& diags_;
+  OffsetArrayStats stats_;
+  std::set<ArrayId> live_out_;
+  std::unique_ptr<ArraySsa> ssa_;
+  std::unordered_map<const ir::Stmt*, ShiftPlan> plans_;
+};
+
+}  // namespace
+
+OffsetArrayStats offset_arrays(ir::Program& program,
+                               const OffsetArrayOptions& opts,
+                               DiagnosticEngine& diags) {
+  return OffsetArrayPass(program, opts, diags).run();
+}
+
+}  // namespace hpfsc::passes

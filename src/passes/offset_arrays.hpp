@@ -1,0 +1,49 @@
+// Offset-array optimization (paper Section 3.1): eliminates the
+// intraprocessor data movement of normal-form shift assignments
+//   DST = CSHIFT(SRC, s, d)
+// by letting DST share SRC's storage.  The shift is replaced by
+//   CALL OVERLAP_CSHIFT(SRC, s, d)
+// which moves only off-processor boundary data into SRC's overlap area,
+// and every use of DST reached by this definition is rewritten to an
+// offset reference SRC<s*e_d>.  Chained shifts compose offsets
+// (multi-offset arrays: U<+1,-1>).
+//
+// The algorithm is optimistic and SSA-based: it validates, per shift
+// definition, that each reached use observes exactly this definition and
+// that SRC's value at the use equals its value at the shift.  Uses that
+// cannot be rewritten (phi merges, values live at exit, sources of
+// unconverted shifts) are served by an inserted compensation copy — the
+// paper's recovery mechanism — so a partially-convertible program is
+// still optimized.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/program.hpp"
+#include "support/diagnostics.hpp"
+
+namespace hpfsc::passes {
+
+struct OffsetArrayOptions {
+  /// Largest |offset| convertible per dimension; bounds overlap width
+  /// ("the shift offset is a small constant").
+  int max_halo = 3;
+  /// Arrays whose final values are observable after the program.  An
+  /// empty list means every non-temporary array is live at exit.
+  std::vector<std::string> live_out;
+};
+
+struct OffsetArrayStats {
+  int shifts_converted = 0;   ///< CSHIFTs turned into OVERLAP_CSHIFTs
+  int shifts_kept = 0;        ///< left as full shifts
+  int copies_inserted = 0;    ///< compensation copies
+  int arrays_eliminated = 0;  ///< storage removed entirely
+  int uses_rewritten = 0;     ///< references redirected to offset arrays
+};
+
+OffsetArrayStats offset_arrays(ir::Program& program,
+                               const OffsetArrayOptions& opts,
+                               DiagnosticEngine& diags);
+
+}  // namespace hpfsc::passes

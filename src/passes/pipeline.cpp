@@ -1,0 +1,54 @@
+#include "passes/pipeline.hpp"
+
+#include "ir/printer.hpp"
+
+namespace hpfsc::passes {
+
+PassOptions PassOptions::level(int n) {
+  PassOptions o;
+  o.offset_arrays = n >= 1;
+  o.context_partition = n >= 2;
+  o.comm_unioning = n >= 3;
+  o.memory_opt = n >= 4;
+  return o;
+}
+
+PipelineResult run_pipeline(ir::Program& program, const PassOptions& opts,
+                            DiagnosticEngine& diags) {
+  PipelineResult result;
+  auto snapshot = [&](const char* phase) {
+    result.listings.push_back(
+        PhaseListing{phase, ir::Printer(program).print_body()});
+  };
+
+  result.normalize = normalize(program, opts.normalize, diags);
+  snapshot("normalize");
+  if (diags.has_errors()) return result;
+
+  if (opts.offset_arrays) {
+    result.offset = offset_arrays(program, opts.offset, diags);
+    snapshot("offset-arrays");
+    if (diags.has_errors()) return result;
+  }
+  if (opts.context_partition) {
+    result.partition = context_partition(program, diags);
+    snapshot("context-partitioning");
+    if (diags.has_errors()) return result;
+  }
+  if (opts.comm_unioning) {
+    result.unioning = comm_unioning(program, diags);
+    snapshot("communication-unioning");
+    if (diags.has_errors()) return result;
+  }
+  result.scalarize = scalarize(program, diags);
+  snapshot("scalarization");
+  if (diags.has_errors()) return result;
+
+  if (opts.memory_opt) {
+    result.memory = memory_opt(program, opts.memory, diags);
+    snapshot("memory-optimization");
+  }
+  return result;
+}
+
+}  // namespace hpfsc::passes

@@ -1,0 +1,59 @@
+// The orchestrated optimization pipeline (paper Section 3): given a
+// lowered program, applies
+//   normalize -> offset arrays -> context partitioning ->
+//   communication unioning -> scalarization -> memory optimizations
+// under a set of options corresponding to the paper's step-wise
+// evaluation levels (Figure 17), capturing a pretty-printed listing
+// after each phase (the paper's Figures 12-16).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/program.hpp"
+#include "passes/comm_unioning.hpp"
+#include "passes/context_partition.hpp"
+#include "passes/memory_opt.hpp"
+#include "passes/normalize.hpp"
+#include "passes/offset_arrays.hpp"
+#include "passes/scalarize.hpp"
+#include "support/diagnostics.hpp"
+
+namespace hpfsc::passes {
+
+struct PassOptions {
+  bool offset_arrays = true;
+  bool context_partition = true;
+  bool comm_unioning = true;
+  bool memory_opt = true;
+
+  NormalizeOptions normalize{};
+  OffsetArrayOptions offset{};
+  MemoryOptOptions memory{};
+
+  /// The paper's step-wise levels:
+  ///   O0 naive translation (normalize + per-statement scalarization)
+  ///   O1 +offset arrays, O2 +context partitioning,
+  ///   O3 +communication unioning, O4 +memory optimizations.
+  static PassOptions level(int n);
+};
+
+struct PhaseListing {
+  std::string phase;  ///< e.g. "normalize"
+  std::string code;   ///< pretty-printed program body after the phase
+};
+
+struct PipelineResult {
+  std::vector<PhaseListing> listings;
+  NormalizeStats normalize;
+  OffsetArrayStats offset;
+  ContextPartitionStats partition;
+  CommUnioningStats unioning;
+  ScalarizeStats scalarize;
+  MemoryOptStats memory;
+};
+
+PipelineResult run_pipeline(ir::Program& program, const PassOptions& opts,
+                            DiagnosticEngine& diags);
+
+}  // namespace hpfsc::passes

@@ -1,0 +1,224 @@
+#include "passes/scalarize.hpp"
+
+#include <map>
+#include <set>
+
+namespace hpfsc::passes {
+
+namespace {
+
+using ir::AffineBound;
+
+class Scalarizer {
+ public:
+  Scalarizer(ir::Program& program, DiagnosticEngine& diags)
+      : prog_(program), diags_(diags) {}
+
+  ScalarizeStats run() {
+    process_block(prog_.body);
+    return stats_;
+  }
+
+ private:
+  /// One candidate loop-nest item derived from a statement.
+  struct Item {
+    int rank = 2;
+    std::array<ir::SectionRange, ir::kMaxRank> bounds;
+    ir::LoopNestStmt::BodyAssign body;
+    std::string dist;  ///< distribution signature for congruence
+    bool valid = false;
+  };
+
+  void process_block(ir::Block& block) {
+    ir::Block out;
+    std::unique_ptr<ir::LoopNestStmt> nest;
+    std::set<ir::ArrayId> nest_writes;
+    std::map<ir::ArrayId, bool> nest_offset_reads;  ///< read w/ offset != 0
+
+    auto flush = [&] {
+      if (nest) {
+        if (nest->body.size() > 1) {
+          stats_.statements_fused += static_cast<int>(nest->body.size());
+        }
+        ++stats_.nests_created;
+        out.push_back(std::move(nest));
+        nest.reset();
+        nest_writes.clear();
+        nest_offset_reads.clear();
+      }
+    };
+
+    for (ir::StmtPtr& sp : block) {
+      Item item;
+      switch (sp->kind) {
+        case ir::StmtKind::ArrayAssign:
+          item = from_assign(static_cast<ir::ArrayAssignStmt&>(*sp));
+          break;
+        case ir::StmtKind::Copy:
+          item = from_copy(static_cast<ir::CopyStmt&>(*sp));
+          break;
+        case ir::StmtKind::If: {
+          auto& iff = static_cast<ir::IfStmt&>(*sp);
+          process_block(iff.then_block);
+          process_block(iff.else_block);
+          flush();
+          out.push_back(std::move(sp));
+          continue;
+        }
+        case ir::StmtKind::Do: {
+          auto& loop = static_cast<ir::DoStmt&>(*sp);
+          process_block(loop.body);
+          flush();
+          out.push_back(std::move(sp));
+          continue;
+        }
+        default:
+          flush();
+          out.push_back(std::move(sp));
+          continue;
+      }
+      if (!item.valid) {
+        flush();
+        out.push_back(std::move(sp));
+        continue;
+      }
+      if (nest && !can_fuse(*nest, item, nest_writes, nest_offset_reads)) {
+        flush();
+      }
+      if (!nest) {
+        nest = std::make_unique<ir::LoopNestStmt>();
+        nest->loc = sp->loc;
+        nest->rank = item.rank;
+        nest->bounds = item.bounds;
+      }
+      // Track fusion-legality state.
+      nest_writes.insert(item.body.lhs.array);
+      ir::visit_exprs(*item.body.rhs, [&](const ir::Expr& e) {
+        if (e.kind == ir::ExprKind::ArrayRefK && e.ref.has_offset()) {
+          nest_offset_reads[e.ref.array] = true;
+        }
+      });
+      nest->body.push_back(std::move(item.body));
+    }
+    flush();
+    block = std::move(out);
+  }
+
+  Item from_assign(ir::ArrayAssignStmt& s) {
+    Item item;
+    const ir::ArraySymbol& sym = prog_.symbols.array(s.lhs.array);
+    item.rank = sym.rank;
+    item.dist = sym.dist_str();
+    for (int d = 0; d < sym.rank; ++d) {
+      if (s.lhs.whole_array()) {
+        item.bounds[d] = ir::SectionRange{AffineBound(1), sym.extent[d]};
+      } else {
+        item.bounds[d] = s.lhs.section[static_cast<std::size_t>(d)];
+      }
+    }
+    // Element-wise body: sections drop (the bounds carry them), offsets
+    // stay.  Misaligned sections should not survive normalization.
+    bool ok = true;
+    ir::ExprPtr rhs = s.rhs->clone();
+    ir::visit_exprs(*rhs, [&](ir::Expr& e) {
+      if (e.kind == ir::ExprKind::Shift) ok = false;
+      if (e.kind != ir::ExprKind::ArrayRefK) return;
+      if (!e.ref.whole_array()) {
+        if (!section_matches(e.ref, s.lhs)) ok = false;
+        e.ref.section.clear();
+      } else if (!s.lhs.whole_array()) {
+        // Whole-array operand under a sectioned LHS only aligns when
+        // the section covers the full extent.
+        if (!covers_whole(s.lhs)) ok = false;
+      }
+    });
+    if (!ok) {
+      diags_.error(s.loc,
+                   "statement is not in normal form; scalarization "
+                   "keeps it unfused");
+      return item;
+    }
+    item.body.lhs = s.lhs;
+    item.body.lhs.section.clear();
+    item.body.rhs = std::move(rhs);
+    item.valid = true;
+    return item;
+  }
+
+  Item from_copy(ir::CopyStmt& s) {
+    Item item;
+    const ir::ArraySymbol& sym = prog_.symbols.array(s.dst);
+    item.rank = sym.rank;
+    item.dist = sym.dist_str();
+    for (int d = 0; d < sym.rank; ++d) {
+      item.bounds[d] = ir::SectionRange{AffineBound(1), sym.extent[d]};
+    }
+    item.body.lhs.array = s.dst;
+    item.body.rhs = ir::make_array_ref(s.src, s.loc);
+    item.valid = true;
+    return item;
+  }
+
+  bool section_matches(const ir::ArrayRef& ref, const ir::ArrayRef& lhs) {
+    if (lhs.whole_array()) return covers_whole(ref);
+    return ref.section == lhs.section;
+  }
+
+  bool covers_whole(const ir::ArrayRef& ref) {
+    if (ref.whole_array()) return true;
+    const ir::ArraySymbol& sym = prog_.symbols.array(ref.array);
+    for (int d = 0; d < sym.rank; ++d) {
+      const ir::SectionRange& r = ref.section[static_cast<std::size_t>(d)];
+      if (!(r.lo == AffineBound(1) && r.hi == sym.extent[d])) return false;
+    }
+    return true;
+  }
+
+  bool can_fuse(const ir::LoopNestStmt& nest, const Item& item,
+                const std::set<ir::ArrayId>& writes,
+                const std::map<ir::ArrayId, bool>& offset_reads) {
+    if (nest.rank != item.rank) return false;
+    for (int d = 0; d < item.rank; ++d) {
+      if (!(nest.bounds[d] == item.bounds[d])) return false;
+    }
+    // Congruence: identical distribution of the written arrays.
+    const ir::ArraySymbol& lhs_sym = prog_.symbols.array(item.body.lhs.array);
+    if (lhs_sym.dist_str() != item.dist) return false;
+    if (!nest.body.empty()) {
+      const ir::ArraySymbol& first =
+          prog_.symbols.array(nest.body.front().lhs.array);
+      if (first.dist_str() != lhs_sym.dist_str() ||
+          first.rank != lhs_sym.rank) {
+        return false;
+      }
+      for (int d = 0; d < first.rank; ++d) {
+        if (!(first.extent[d] == lhs_sym.extent[d])) return false;
+      }
+    }
+    // Legality: no loop-carried dependence may be created.
+    //  (a) reading an array written earlier in the nest at an offset;
+    bool ok = true;
+    ir::visit_exprs(*item.body.rhs, [&](const ir::Expr& e) {
+      if (e.kind == ir::ExprKind::ArrayRefK && e.ref.has_offset() &&
+          writes.contains(e.ref.array)) {
+        ok = false;
+      }
+    });
+    //  (b) writing an array that an earlier statement read at an offset.
+    auto it = offset_reads.find(item.body.lhs.array);
+    if (it != offset_reads.end() && it->second) ok = false;
+    return ok;
+  }
+
+  ir::Program& prog_;
+  DiagnosticEngine& diags_;
+  ScalarizeStats stats_;
+};
+
+}  // namespace
+
+ScalarizeStats scalarize(ir::Program& program, DiagnosticEngine& diags) {
+  return Scalarizer(program, diags).run();
+}
+
+}  // namespace hpfsc::passes

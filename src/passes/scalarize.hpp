@@ -1,0 +1,21 @@
+// Scalarization and loop fusion (paper Sections 2.2 and 3.2): converts
+// array assignments (and compensation copies) into subgrid loop nests,
+// fusing adjacent congruent statements into a single nest when fusion is
+// legal.  Fusion legality prevents over-fusion-induced wrong answers:
+// a statement may join a nest only if every cross-statement dependence
+// inside the nest is at the same iteration point (offset 0).
+#pragma once
+
+#include "ir/program.hpp"
+#include "support/diagnostics.hpp"
+
+namespace hpfsc::passes {
+
+struct ScalarizeStats {
+  int nests_created = 0;
+  int statements_fused = 0;  ///< statements placed into a shared nest
+};
+
+ScalarizeStats scalarize(ir::Program& program, DiagnosticEngine& diags);
+
+}  // namespace hpfsc::passes

@@ -1,0 +1,30 @@
+#include "simpi/arena.hpp"
+
+#include <algorithm>
+
+namespace simpi {
+
+OutOfMemory::OutOfMemory(int pe, std::size_t requested, std::size_t in_use,
+                         std::size_t cap)
+    : std::runtime_error("PE " + std::to_string(pe) +
+                         " out of memory: requested " +
+                         std::to_string(requested) + " bytes with " +
+                         std::to_string(in_use) + " in use (cap " +
+                         std::to_string(cap) + ")"),
+      pe_(pe),
+      requested_(requested),
+      cap_(cap) {}
+
+void MemoryArena::charge(std::size_t bytes) {
+  if (cap_ != 0 && in_use_ + bytes > cap_) {
+    throw OutOfMemory(pe_, bytes, in_use_, cap_);
+  }
+  in_use_ += bytes;
+  peak_ = std::max(peak_, in_use_);
+}
+
+void MemoryArena::release(std::size_t bytes) noexcept {
+  in_use_ = bytes > in_use_ ? 0 : in_use_ - bytes;
+}
+
+}  // namespace simpi

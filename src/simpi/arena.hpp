@@ -1,0 +1,95 @@
+// Per-PE memory arena: tracks the bytes a PE has allocated for array
+// subgrids against an optional cap, with a high-water mark.  The cap lets
+// the benchmarks reproduce the paper's Fig. 11, where a 9-point stencil
+// compiled with one temporary per CSHIFT exhausts per-PE memory.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace simpi {
+
+/// Thrown when an allocation would exceed the PE's heap cap.
+class OutOfMemory : public std::runtime_error {
+ public:
+  OutOfMemory(int pe, std::size_t requested, std::size_t in_use,
+              std::size_t cap);
+
+  int pe() const { return pe_; }
+  std::size_t requested() const { return requested_; }
+  std::size_t cap() const { return cap_; }
+
+ private:
+  int pe_;
+  std::size_t requested_;
+  std::size_t cap_;
+};
+
+/// Byte-accounting arena.  It does not own storage itself (subgrids use
+/// ordinary std::vector); it enforces the cap and records usage.  Not
+/// thread-safe: each PE has its own arena and only touches its own.
+class MemoryArena {
+ public:
+  MemoryArena() = default;
+  MemoryArena(int pe, std::size_t cap_bytes) : pe_(pe), cap_(cap_bytes) {}
+
+  /// Registers an allocation of `bytes`; throws OutOfMemory on overflow.
+  void charge(std::size_t bytes);
+
+  /// Releases a previous charge.
+  void release(std::size_t bytes) noexcept;
+
+  [[nodiscard]] std::size_t in_use() const { return in_use_; }
+  [[nodiscard]] std::size_t peak() const { return peak_; }
+  [[nodiscard]] std::size_t cap() const { return cap_; }
+
+  void reset_peak() { peak_ = in_use_; }
+
+ private:
+  int pe_ = 0;
+  std::size_t cap_ = 0;  // 0 = unlimited
+  std::size_t in_use_ = 0;
+  std::size_t peak_ = 0;
+};
+
+/// RAII charge on an arena; releases on destruction.  Move-only.
+class ArenaCharge {
+ public:
+  ArenaCharge() = default;
+  ArenaCharge(MemoryArena& arena, std::size_t bytes)
+      : arena_(&arena), bytes_(bytes) {
+    arena.charge(bytes);
+  }
+  ArenaCharge(ArenaCharge&& o) noexcept
+      : arena_(o.arena_), bytes_(o.bytes_) {
+    o.arena_ = nullptr;
+    o.bytes_ = 0;
+  }
+  ArenaCharge& operator=(ArenaCharge&& o) noexcept {
+    if (this != &o) {
+      release();
+      arena_ = o.arena_;
+      bytes_ = o.bytes_;
+      o.arena_ = nullptr;
+      o.bytes_ = 0;
+    }
+    return *this;
+  }
+  ArenaCharge(const ArenaCharge&) = delete;
+  ArenaCharge& operator=(const ArenaCharge&) = delete;
+  ~ArenaCharge() { release(); }
+
+  [[nodiscard]] std::size_t bytes() const { return bytes_; }
+
+ private:
+  void release() noexcept {
+    if (arena_ != nullptr) arena_->release(bytes_);
+    arena_ = nullptr;
+  }
+
+  MemoryArena* arena_ = nullptr;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace simpi

@@ -1,0 +1,202 @@
+#include "simpi/dist_array.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+namespace simpi {
+
+std::array<int, kMaxRank> DistArrayDesc::grid_mapping(
+    const ProcGrid& grid) const {
+  std::array<int, kMaxRank> mapping{-1, -1, -1};
+  int next_grid_dim = 0;
+  for (int d = 0; d < rank; ++d) {
+    if (dist[d] == DistKind::Block) {
+      if (next_grid_dim >= 2) {
+        throw std::invalid_argument(
+            "array '" + name + "': more than 2 BLOCK dimensions");
+      }
+      mapping[d] = next_grid_dim++;
+    }
+  }
+  for (int g = next_grid_dim; g < 2; ++g) {
+    if (grid.dim(g) != 1) {
+      throw std::invalid_argument(
+          "array '" + name + "': distribution uses " +
+          std::to_string(next_grid_dim) + " grid dimension(s) but grid " +
+          "dimension " + std::to_string(g) + " has extent " +
+          std::to_string(grid.dim(g)));
+    }
+  }
+  return mapping;
+}
+
+LocalGrid::LocalGrid(const DistArrayDesc& desc, const ProcGrid& grid, int pe,
+                     MemoryArena& arena)
+    : desc_(desc) {
+  const std::array<int, kMaxRank> mapping = desc.grid_mapping(grid);
+  const std::array<int, 2> coords = grid.coords_of(pe);
+
+  bool empty = false;
+  std::size_t total = 1;
+  for (int d = 0; d < desc_.rank; ++d) {
+    if (mapping[d] >= 0) {
+      BlockMap bm(desc_.extent[d], grid.dim(mapping[d]));
+      own_lo_[d] = bm.lo(coords[static_cast<std::size_t>(mapping[d])]);
+      own_hi_[d] = bm.hi(coords[static_cast<std::size_t>(mapping[d])]);
+    } else {
+      own_lo_[d] = 1;
+      own_hi_[d] = desc_.extent[d];
+    }
+    int own = own_hi_[d] - own_lo_[d] + 1;
+    if (own <= 0) {
+      empty = true;
+      break;
+    }
+    lsize_[d] = own + desc_.halo.lo[d] + desc_.halo.hi[d];
+    total *= static_cast<std::size_t>(lsize_[d]);
+  }
+  for (int d = desc_.rank; d < kMaxRank; ++d) {
+    own_lo_[d] = 1;
+    own_hi_[d] = 1;
+    lsize_[d] = 1;
+  }
+
+  if (!empty) {
+    stride_[0] = 1;
+    for (int d = 1; d < kMaxRank; ++d) {
+      stride_[d] = stride_[d - 1] * lsize_[d - 1];
+    }
+    charge_ = ArenaCharge(arena, total * sizeof(double));
+    data_.assign(total, 0.0);
+  } else {
+    // This PE owns nothing; mark the ownership range empty in dim 0.
+    own_hi_[0] = own_lo_[0] - 1;
+  }
+}
+
+Region LocalGrid::owned_region() const {
+  Region r;
+  for (int d = 0; d < desc_.rank; ++d) {
+    r.lo[d] = own_lo_[d];
+    r.hi[d] = own_hi_[d];
+  }
+  return r;
+}
+
+Region LocalGrid::stored_region() const {
+  Region r;
+  for (int d = 0; d < desc_.rank; ++d) {
+    r.lo[d] = own_lo_[d] - desc_.halo.lo[d];
+    r.hi[d] = own_hi_[d] + desc_.halo.hi[d];
+  }
+  return r;
+}
+
+std::size_t LocalGrid::linear_index(std::array<int, kMaxRank> g) const {
+  std::size_t idx = 0;
+  for (int d = 0; d < desc_.rank; ++d) {
+    int local = g[d] - own_lo_[d] + desc_.halo.lo[d];
+    assert(local >= 0 && local < lsize_[d] && "index outside stored region");
+    idx += static_cast<std::size_t>(local) *
+           static_cast<std::size_t>(stride_[d]);
+  }
+  return idx;
+}
+
+void LocalGrid::pack(const Region& region, std::span<double> out) const {
+  assert(out.size() >= region.elements(desc_.rank));
+  const int run = region.hi[0] - region.lo[0] + 1;
+  if (run <= 0) return;
+  std::size_t pos = 0;
+  for (int k = region.lo[2]; k <= (desc_.rank > 2 ? region.hi[2] : region.lo[2]);
+       ++k) {
+    for (int j = region.lo[1];
+         j <= (desc_.rank > 1 ? region.hi[1] : region.lo[1]); ++j) {
+      const double* src = data_.data() + linear_index({region.lo[0], j, k});
+      std::memcpy(out.data() + pos, src,
+                  static_cast<std::size_t>(run) * sizeof(double));
+      pos += static_cast<std::size_t>(run);
+    }
+  }
+}
+
+void LocalGrid::unpack(const Region& region, std::span<const double> in) {
+  assert(in.size() >= region.elements(desc_.rank));
+  const int run = region.hi[0] - region.lo[0] + 1;
+  if (run <= 0) return;
+  std::size_t pos = 0;
+  for (int k = region.lo[2]; k <= (desc_.rank > 2 ? region.hi[2] : region.lo[2]);
+       ++k) {
+    for (int j = region.lo[1];
+         j <= (desc_.rank > 1 ? region.hi[1] : region.lo[1]); ++j) {
+      double* dst = data_.data() + linear_index({region.lo[0], j, k});
+      std::memcpy(dst, in.data() + pos,
+                  static_cast<std::size_t>(run) * sizeof(double));
+      pos += static_cast<std::size_t>(run);
+    }
+  }
+}
+
+std::size_t LocalGrid::copy_shifted_from(const LocalGrid& src,
+                                         const Region& region, int dim,
+                                         int shift) {
+  const int run = region.hi[0] - region.lo[0] + 1;
+  if (run <= 0) return 0;
+  std::size_t bytes = 0;
+  for (int k = region.lo[2]; k <= (desc_.rank > 2 ? region.hi[2] : region.lo[2]);
+       ++k) {
+    for (int j = region.lo[1];
+         j <= (desc_.rank > 1 ? region.hi[1] : region.lo[1]); ++j) {
+      std::array<int, kMaxRank> dst_g{region.lo[0], j, k};
+      std::array<int, kMaxRank> src_g = dst_g;
+      src_g[dim] += shift;
+      double* dst = data_.data() + linear_index(dst_g);
+      const double* s = src.data_.data() + src.linear_index(src_g);
+      std::memcpy(dst, s, static_cast<std::size_t>(run) * sizeof(double));
+      bytes += static_cast<std::size_t>(run) * sizeof(double);
+    }
+  }
+  return bytes;
+}
+
+std::size_t LocalGrid::copy_offset_from(const LocalGrid& src,
+                                        const Region& region,
+                                        std::array<int, kMaxRank> offset) {
+  const int run = region.hi[0] - region.lo[0] + 1;
+  if (run <= 0) return 0;
+  std::size_t bytes = 0;
+  for (int k = region.lo[2]; k <= (desc_.rank > 2 ? region.hi[2] : region.lo[2]);
+       ++k) {
+    for (int j = region.lo[1];
+         j <= (desc_.rank > 1 ? region.hi[1] : region.lo[1]); ++j) {
+      std::array<int, kMaxRank> dst_g{region.lo[0], j, k};
+      std::array<int, kMaxRank> src_g{region.lo[0] + offset[0],
+                                      j + offset[1], k + offset[2]};
+      double* dst = data_.data() + linear_index(dst_g);
+      const double* s = src.data_.data() + src.linear_index(src_g);
+      std::memcpy(dst, s, static_cast<std::size_t>(run) * sizeof(double));
+      bytes += static_cast<std::size_t>(run) * sizeof(double);
+    }
+  }
+  return bytes;
+}
+
+void LocalGrid::fill(double v) {
+  for (double& x : data_) x = v;
+}
+
+void LocalGrid::fill_region(const Region& region, double v) {
+  const int run = region.hi[0] - region.lo[0] + 1;
+  if (run <= 0) return;
+  for (int k = region.lo[2]; k <= (desc_.rank > 2 ? region.hi[2] : region.lo[2]);
+       ++k) {
+    for (int j = region.lo[1];
+         j <= (desc_.rank > 1 ? region.hi[1] : region.lo[1]); ++j) {
+      double* dst = data_.data() + linear_index({region.lo[0], j, k});
+      for (int i = 0; i < run; ++i) dst[i] = v;
+    }
+  }
+}
+
+}  // namespace simpi

@@ -1,0 +1,162 @@
+// BLOCK-distributed arrays: the global descriptor and the per-PE local
+// subgrid.  Each PE's subgrid is stored with surrounding "overlap areas"
+// (ghost cells) of the width requested by the compiler; overlap areas
+// receive the interprocessor portion of shift operations so that offset
+// references like U<+1,0> can be satisfied locally (paper Section 3.1).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "simpi/arena.hpp"
+#include "simpi/layout.hpp"
+
+namespace simpi {
+
+/// Per-dimension halo (overlap area) widths.
+struct HaloSpec {
+  std::array<int, kMaxRank> lo{0, 0, 0};  ///< cells below own_lo
+  std::array<int, kMaxRank> hi{0, 0, 0};  ///< cells above own_hi
+};
+
+/// Global description of a distributed array.  Shared by all PEs.
+struct DistArrayDesc {
+  std::string name;
+  int rank = 2;
+  std::array<int, kMaxRank> extent{1, 1, 1};  ///< global sizes, 1-based
+  std::array<DistKind, kMaxRank> dist{DistKind::Block, DistKind::Block,
+                                      DistKind::Collapsed};
+  HaloSpec halo;
+
+  /// Grid dimension each array dimension maps to (-1 for collapsed).
+  /// BLOCK dims are assigned grid dims in declaration order; any unused
+  /// grid dimension must have extent 1.  Throws std::invalid_argument on
+  /// an incompatible mapping.
+  [[nodiscard]] std::array<int, kMaxRank> grid_mapping(
+      const ProcGrid& grid) const;
+
+  [[nodiscard]] std::size_t global_elements() const {
+    std::size_t n = 1;
+    for (int d = 0; d < rank; ++d) n *= static_cast<std::size_t>(extent[d]);
+    return n;
+  }
+};
+
+/// An inclusive global-index box, used to describe transfer regions.
+/// Bounds may extend past [1, extent] by at most the halo width, in which
+/// case they denote overlap-area cells.
+struct Region {
+  std::array<int, kMaxRank> lo{1, 1, 1};
+  std::array<int, kMaxRank> hi{1, 1, 1};
+
+  [[nodiscard]] std::size_t elements(int rank) const {
+    std::size_t n = 1;
+    for (int d = 0; d < rank; ++d) {
+      int c = hi[d] - lo[d] + 1;
+      if (c <= 0) return 0;
+      n *= static_cast<std::size_t>(c);
+    }
+    return n;
+  }
+  [[nodiscard]] bool empty(int rank) const { return elements(rank) == 0; }
+};
+
+/// One PE's piece of a distributed array: the owned subgrid plus overlap
+/// areas, stored column-major (first dimension contiguous, matching
+/// Fortran).  Storage bytes are charged to the PE's arena.
+class LocalGrid {
+ public:
+  LocalGrid(const DistArrayDesc& desc, const ProcGrid& grid, int pe,
+            MemoryArena& arena);
+
+  [[nodiscard]] const DistArrayDesc& desc() const { return desc_; }
+  [[nodiscard]] int rank() const { return desc_.rank; }
+
+  /// Owned global range in dimension d (1-based inclusive; hi<lo if this
+  /// PE owns nothing in that dimension).
+  [[nodiscard]] int own_lo(int d) const { return own_lo_[d]; }
+  [[nodiscard]] int own_hi(int d) const { return own_hi_[d]; }
+  [[nodiscard]] int own_count(int d) const {
+    int c = own_hi_[d] - own_lo_[d] + 1;
+    return c > 0 ? c : 0;
+  }
+  [[nodiscard]] bool owns_anything() const { return !data_.empty(); }
+
+  /// The box this PE owns, as a Region.
+  [[nodiscard]] Region owned_region() const;
+
+  /// The storage-backed box (owned box extended by halo widths).
+  [[nodiscard]] Region stored_region() const;
+
+  /// Number of addressable local elements (owned + overlap areas).
+  [[nodiscard]] std::size_t local_elements() const { return data_.size(); }
+
+  /// Element access by global index (must lie within stored_region()).
+  [[nodiscard]] double& at(std::array<int, kMaxRank> g) {
+    return data_[linear_index(g)];
+  }
+  [[nodiscard]] double at(std::array<int, kMaxRank> g) const {
+    return data_[linear_index(g)];
+  }
+
+  /// Raw storage access for the kernel interpreter: base pointer is the
+  /// address of global element (own_lo - halo_lo); strides are in
+  /// elements, column-major (stride(0) == 1).
+  [[nodiscard]] double* data() { return data_.data(); }
+  [[nodiscard]] const double* data() const { return data_.data(); }
+  [[nodiscard]] std::ptrdiff_t stride(int d) const { return stride_[d]; }
+
+  /// Pointer to global element g (which must be within stored_region()).
+  [[nodiscard]] double* ptr_to(std::array<int, kMaxRank> g) {
+    return data_.data() + linear_index(g);
+  }
+
+  /// Copies `region` of this grid into a dense buffer (column-major over
+  /// the region).  The region must lie within stored_region(); it may
+  /// include overlap cells — this is how corner data already present in
+  /// lower-dimension overlap areas is forwarded (paper Section 3.3).
+  void pack(const Region& region, std::span<double> out) const;
+
+  /// Scatters a dense buffer into `region` of this grid.
+  void unpack(const Region& region, std::span<const double> in);
+
+  /// Copies `region` from another grid of identical shape/distribution,
+  /// applying a global offset of `shift` in dimension `dim` on the source
+  /// side: this(g) = src(g + shift*e_dim).  Used for the intraprocessor
+  /// component of a full CSHIFT.  Returns the number of bytes moved.
+  std::size_t copy_shifted_from(const LocalGrid& src, const Region& region,
+                                int dim, int shift);
+
+  /// General multi-dimensional offset copy: this(g) = src(g + offset),
+  /// where source positions may reach into src's overlap areas.  Used by
+  /// compensation copies (offset-array pass).  Returns bytes moved.
+  std::size_t copy_offset_from(const LocalGrid& src, const Region& region,
+                               std::array<int, kMaxRank> offset);
+
+  /// Sets every stored element (including overlap areas) to `v`.
+  void fill(double v);
+
+  /// Sets every element of `region` (within stored_region()) to `v`.
+  void fill_region(const Region& region, double v);
+
+  [[nodiscard]] std::size_t storage_bytes() const {
+    return data_.size() * sizeof(double);
+  }
+
+ private:
+  [[nodiscard]] std::size_t linear_index(std::array<int, kMaxRank> g) const;
+
+  DistArrayDesc desc_;
+  std::array<int, kMaxRank> own_lo_{1, 1, 1};
+  std::array<int, kMaxRank> own_hi_{1, 1, 1};
+  std::array<int, kMaxRank> lsize_{1, 1, 1};      ///< stored extent per dim
+  std::array<std::ptrdiff_t, kMaxRank> stride_{1, 1, 1};
+  std::vector<double> data_;
+  ArenaCharge charge_;
+};
+
+}  // namespace simpi

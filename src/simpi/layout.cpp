@@ -1,0 +1,23 @@
+#include "simpi/layout.hpp"
+
+#include <stdexcept>
+
+namespace simpi {
+
+BlockMap::BlockMap(int extent, int nprocs) : n_(extent), p_(nprocs) {
+  if (extent < 1) throw std::invalid_argument("BlockMap: extent must be >= 1");
+  if (nprocs < 1) throw std::invalid_argument("BlockMap: nprocs must be >= 1");
+  b_ = (n_ + p_ - 1) / p_;
+}
+
+std::string to_string(DistKind k) {
+  switch (k) {
+    case DistKind::Block:
+      return "BLOCK";
+    case DistKind::Collapsed:
+      return "*";
+  }
+  return "?";
+}
+
+}  // namespace simpi

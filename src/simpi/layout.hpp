@@ -1,0 +1,87 @@
+// Data layout machinery: HPF BLOCK distribution arithmetic, the 2-D
+// processor grid, and global<->local index mapping.  All global indices
+// are 1-based (Fortran convention); processor coordinates are 0-based.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace simpi {
+
+constexpr int kMaxRank = 3;
+
+/// Wraps a 1-based global index into [1, n] (CSHIFT's circular rule).
+[[nodiscard]] constexpr int wrap_index(int g, int n) {
+  int m = (g - 1) % n;
+  if (m < 0) m += n;
+  return m + 1;
+}
+
+/// HPF BLOCK distribution of a 1-based extent `n` over `p` processors:
+/// block size b = ceil(n/p); processor k owns [k*b+1, min((k+1)*b, n)].
+/// Trailing processors may own an empty range when p*b overshoots n.
+class BlockMap {
+ public:
+  BlockMap() = default;
+  BlockMap(int extent, int nprocs);
+
+  [[nodiscard]] int extent() const { return n_; }
+  [[nodiscard]] int nprocs() const { return p_; }
+  [[nodiscard]] int block_size() const { return b_; }
+
+  /// First global index owned by processor k (may exceed hi(k) if empty).
+  [[nodiscard]] int lo(int k) const { return k * b_ + 1; }
+  /// Last global index owned by processor k.
+  [[nodiscard]] int hi(int k) const {
+    int h = (k + 1) * b_;
+    return h < n_ ? h : n_;
+  }
+  /// Number of elements owned by processor k.
+  [[nodiscard]] int count(int k) const {
+    int c = hi(k) - lo(k) + 1;
+    return c > 0 ? c : 0;
+  }
+  /// Owner of global index g (g must be in [1, n]).
+  [[nodiscard]] int owner(int g) const { return (g - 1) / b_; }
+
+  /// True when any processor owns an empty range (ragged tail).
+  [[nodiscard]] bool has_empty_blocks() const { return count(p_ - 1) <= 0; }
+
+ private:
+  int n_ = 1;
+  int p_ = 1;
+  int b_ = 1;
+};
+
+/// The machine's processor arrangement: a fixed 2-D grid.  Grid dimension
+/// 0 is "rows"; BLOCK-distributed array dimensions are mapped to grid
+/// dimensions in declaration order.
+class ProcGrid {
+ public:
+  ProcGrid() = default;
+  ProcGrid(int rows, int cols) : dims_{rows, cols} {}
+
+  [[nodiscard]] int rows() const { return dims_[0]; }
+  [[nodiscard]] int cols() const { return dims_[1]; }
+  [[nodiscard]] int size() const { return dims_[0] * dims_[1]; }
+  [[nodiscard]] int dim(int d) const { return dims_[d]; }
+
+  [[nodiscard]] int rank_of(int r, int c) const { return r * dims_[1] + c; }
+  [[nodiscard]] std::array<int, 2> coords_of(int pe) const {
+    return {pe / dims_[1], pe % dims_[1]};
+  }
+
+ private:
+  std::array<int, 2> dims_{1, 1};
+};
+
+/// Per-dimension distribution kind of an array.
+enum class DistKind : std::uint8_t {
+  Block,      ///< HPF BLOCK over one grid dimension
+  Collapsed,  ///< '*' — the whole extent lives on every owning PE
+};
+
+[[nodiscard]] std::string to_string(DistKind k);
+
+}  // namespace simpi

@@ -1,0 +1,292 @@
+#include "simpi/machine.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace simpi {
+
+namespace {
+
+/// Busy-wait for `ns` nanoseconds (used for message-cost emulation; a
+/// sleep would be too coarse and too jittery at microsecond scales).
+void spin_for_ns(std::uint64_t ns) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::nanoseconds(ns);
+  while (std::chrono::steady_clock::now() < deadline) {
+    // spin
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Pe --
+
+void Pe::send(int dst, std::span<const double> data) {
+  const std::size_t bytes = data.size_bytes();
+  stats_.messages_sent += 1;
+  stats_.bytes_sent += bytes;
+  const std::uint64_t cost = machine_.config().cost.message_cost_ns(bytes);
+  stats_.modeled_comm_ns += cost;
+  if (machine_.config().cost.emulate) spin_for_ns(cost);
+
+  Machine::Channel& ch = machine_.channel(id_, dst);
+  {
+    std::lock_guard lock(ch.mutex);
+    ch.queue.emplace_back(data.begin(), data.end());
+  }
+  ch.cv.notify_all();
+}
+
+void Pe::charge_intra_copy(std::size_t bytes) {
+  stats_.intra_copy_bytes += bytes;
+  const std::uint64_t cost = machine_.config().cost.copy_cost_ns(bytes);
+  if (cost == 0) return;
+  stats_.modeled_copy_ns += cost;
+  if (machine_.config().cost.emulate) spin_for_ns(cost);
+}
+
+void Pe::charge_kernel_refs(std::size_t bytes) {
+  stats_.kernel_ref_bytes += bytes;
+  const std::uint64_t cost =
+      machine_.config().cost.kernel_ref_cost_ns(bytes);
+  if (cost == 0) return;
+  stats_.modeled_copy_ns += cost;
+  if (machine_.config().cost.emulate) spin_for_ns(cost);
+}
+
+std::vector<double> Pe::recv(int src) {
+  Machine::Channel& ch = machine_.channel(src, id_);
+  std::unique_lock lock(ch.mutex);
+  ch.cv.wait(lock, [&] {
+    return !ch.queue.empty() || machine_.aborted_.load();
+  });
+  if (ch.queue.empty()) throw Aborted();
+  std::vector<double> msg = std::move(ch.queue.front());
+  ch.queue.pop_front();
+  return msg;
+}
+
+void Pe::barrier() { machine_.barrier_wait(); }
+
+LocalGrid& Pe::create_array(int id, const DistArrayDesc& desc) {
+  auto slot = static_cast<std::size_t>(id);
+  if (slot >= slots_.size()) slots_.resize(slot + 1);
+  slots_[slot] = std::make_unique<LocalGrid>(desc, machine_.grid(), id_,
+                                             arena_);
+  stats_.peak_heap_bytes = std::max(stats_.peak_heap_bytes, arena_.peak());
+  return *slots_[slot];
+}
+
+void Pe::free_array(int id) {
+  auto slot = static_cast<std::size_t>(id);
+  if (slot < slots_.size()) slots_[slot].reset();
+}
+
+LocalGrid& Pe::grid(int id) {
+  auto slot = static_cast<std::size_t>(id);
+  if (slot >= slots_.size() || slots_[slot] == nullptr) {
+    throw std::logic_error("PE " + std::to_string(id_) +
+                           ": array slot " + std::to_string(id) +
+                           " is not allocated");
+  }
+  return *slots_[slot];
+}
+
+bool Pe::has_array(int id) const {
+  auto slot = static_cast<std::size_t>(id);
+  return slot < slots_.size() && slots_[slot] != nullptr;
+}
+
+// ----------------------------------------------------------- Machine --
+
+Machine::Machine(const MachineConfig& config)
+    : config_(config), grid_(config.pe_rows, config.pe_cols) {
+  if (config.pe_rows < 1 || config.pe_cols < 1) {
+    throw std::invalid_argument("Machine: PE grid dims must be >= 1");
+  }
+  const int p = grid_.size();
+  pes_.reserve(static_cast<std::size_t>(p));
+  for (int id = 0; id < p; ++id) {
+    auto coords = grid_.coords_of(id);
+    pes_.push_back(std::make_unique<Pe>(*this, id, coords[0], coords[1],
+                                        config.per_pe_heap_bytes));
+  }
+  channels_ = std::vector<Channel>(static_cast<std::size_t>(p * p));
+}
+
+Machine::~Machine() = default;
+
+void Machine::run(const std::function<void(Pe&)>& fn) {
+  const int p = num_pes();
+  aborted_.store(false);
+  {
+    // Reset barrier state left over from an aborted previous run.
+    std::lock_guard lock(barrier_mutex_);
+    barrier_waiting_ = 0;
+    ++barrier_generation_;
+  }
+  // Drain any stale messages from an aborted previous run.
+  for (Channel& ch : channels_) {
+    std::lock_guard lock(ch.mutex);
+    ch.queue.clear();
+  }
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(p));
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(static_cast<std::size_t>(p));
+    for (int id = 0; id < p; ++id) {
+      threads.emplace_back([this, id, &fn, &errors] {
+        try {
+          fn(*pes_[static_cast<std::size_t>(id)]);
+        } catch (...) {
+          errors[static_cast<std::size_t>(id)] = std::current_exception();
+          abort_all();
+        }
+      });
+    }
+  }
+  // Prefer a real failure over the secondary Aborted unwinds.
+  std::exception_ptr first;
+  for (const std::exception_ptr& e : errors) {
+    if (!e) continue;
+    try {
+      std::rethrow_exception(e);
+    } catch (const Aborted&) {
+      if (!first) first = e;
+    } catch (...) {
+      std::rethrow_exception(e);
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+int Machine::create_array(const DistArrayDesc& desc) {
+  // Find the first slot free on PE 0 (slots are SPMD-synchronized).
+  int id = 0;
+  while (pes_[0]->has_array(id)) ++id;
+  create_array_at(id, desc);
+  return id;
+}
+
+void Machine::create_array_at(int id, const DistArrayDesc& desc) {
+  for (auto& pe : pes_) pe->create_array(id, desc);
+}
+
+void Machine::free_array(int id) {
+  for (auto& pe : pes_) pe->free_array(id);
+}
+
+std::vector<double> Machine::gather(int id) {
+  const DistArrayDesc& desc = pes_[0]->grid(id).desc();
+  std::vector<double> global(desc.global_elements(), 0.0);
+  // Column-major global linearization.
+  const std::size_t s0 = 1;
+  const auto s1 = static_cast<std::size_t>(desc.extent[0]);
+  const std::size_t s2 = s1 * static_cast<std::size_t>(desc.extent[1]);
+  for (auto& pe : pes_) {
+    LocalGrid& g = pe->grid(id);
+    if (!g.owns_anything()) continue;
+    for (int k = g.own_lo(2); k <= g.own_hi(2); ++k) {
+      for (int j = g.own_lo(1); j <= g.own_hi(1); ++j) {
+        for (int i = g.own_lo(0); i <= g.own_hi(0); ++i) {
+          global[static_cast<std::size_t>(i - 1) * s0 +
+                 static_cast<std::size_t>(j - 1) * s1 +
+                 static_cast<std::size_t>(k - 1) * s2] = g.at({i, j, k});
+        }
+      }
+    }
+  }
+  return global;
+}
+
+void Machine::scatter(int id, std::span<const double> global) {
+  const DistArrayDesc& desc = pes_[0]->grid(id).desc();
+  const auto s1 = static_cast<std::size_t>(desc.extent[0]);
+  const std::size_t s2 = s1 * static_cast<std::size_t>(desc.extent[1]);
+  for (auto& pe : pes_) {
+    LocalGrid& g = pe->grid(id);
+    if (!g.owns_anything()) continue;
+    for (int k = g.own_lo(2); k <= g.own_hi(2); ++k) {
+      for (int j = g.own_lo(1); j <= g.own_hi(1); ++j) {
+        for (int i = g.own_lo(0); i <= g.own_hi(0); ++i) {
+          g.at({i, j, k}) = global[static_cast<std::size_t>(i - 1) +
+                                   static_cast<std::size_t>(j - 1) * s1 +
+                                   static_cast<std::size_t>(k - 1) * s2];
+        }
+      }
+    }
+  }
+}
+
+void Machine::set_elements(int id,
+                           const std::function<double(int, int, int)>& f) {
+  for (auto& pe : pes_) {
+    LocalGrid& g = pe->grid(id);
+    if (!g.owns_anything()) continue;
+    for (int k = g.own_lo(2); k <= g.own_hi(2); ++k) {
+      for (int j = g.own_lo(1); j <= g.own_hi(1); ++j) {
+        for (int i = g.own_lo(0); i <= g.own_hi(0); ++i) {
+          g.at({i, j, k}) = f(i, j, k);
+        }
+      }
+    }
+  }
+}
+
+MachineStats Machine::stats() const {
+  MachineStats total;
+  for (const auto& pe : pes_) {
+    PeStats s = pe->stats_;
+    // The arena tracks the true high-water mark even when no explicit
+    // allocation happened since the last clear_stats().
+    s.peak_heap_bytes = std::max(s.peak_heap_bytes, pe->arena_.peak());
+    total.accumulate(s);
+  }
+  return total;
+}
+
+void Machine::clear_stats() {
+  for (auto& pe : pes_) {
+    pe->stats_.clear();
+    pe->arena_.reset_peak();
+  }
+}
+
+void Machine::record_transfer(TransferEvent event) {
+  std::lock_guard lock(trace_mutex_);
+  trace_.push_back(std::move(event));
+}
+
+std::vector<TransferEvent> Machine::take_trace() {
+  std::lock_guard lock(trace_mutex_);
+  std::vector<TransferEvent> out = std::move(trace_);
+  trace_.clear();
+  return out;
+}
+
+void Machine::abort_all() {
+  aborted_.store(true);
+  barrier_cv_.notify_all();
+  for (Channel& ch : channels_) ch.cv.notify_all();
+}
+
+void Machine::barrier_wait() {
+  std::unique_lock lock(barrier_mutex_);
+  if (aborted_.load()) throw Aborted();
+  const std::uint64_t my_generation = barrier_generation_;
+  if (++barrier_waiting_ == num_pes()) {
+    barrier_waiting_ = 0;
+    ++barrier_generation_;
+    barrier_cv_.notify_all();
+    return;
+  }
+  barrier_cv_.wait(lock, [&] {
+    return barrier_generation_ != my_generation || aborted_.load();
+  });
+  if (barrier_generation_ == my_generation && aborted_.load()) {
+    throw Aborted();
+  }
+}
+
+}  // namespace simpi

@@ -1,0 +1,182 @@
+// The simulated distributed-memory machine.  PEs are threads; each PE
+// owns a private arena, statistics block, and array registry (its local
+// subgrids).  PEs communicate only through mailboxes (messages) and a
+// machine-wide barrier, mirroring the SPMD + MPI execution model of the
+// paper's target (a 4-processor IBM SP-2).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "simpi/arena.hpp"
+#include "simpi/config.hpp"
+#include "simpi/dist_array.hpp"
+#include "simpi/layout.hpp"
+#include "simpi/stats.hpp"
+#include "simpi/trace.hpp"
+
+namespace simpi {
+
+class Machine;
+
+/// Thrown inside PE threads when another PE has failed, to unwind all
+/// threads cleanly instead of deadlocking at a barrier or recv.
+class Aborted : public std::runtime_error {
+ public:
+  Aborted() : std::runtime_error("machine aborted") {}
+};
+
+/// One processing element.  Created by the Machine; user code receives a
+/// reference inside Machine::run and uses it as the SPMD context.
+class Pe {
+ public:
+  Pe(Machine& machine, int id, int row, int col, std::size_t heap_cap)
+      : machine_(machine), id_(id), row_(row), col_(col),
+        arena_(id, heap_cap) {}
+
+  Pe(const Pe&) = delete;
+  Pe& operator=(const Pe&) = delete;
+
+  [[nodiscard]] int id() const { return id_; }
+  [[nodiscard]] int row() const { return row_; }
+  [[nodiscard]] int col() const { return col_; }
+  [[nodiscard]] Machine& machine() { return machine_; }
+  [[nodiscard]] MemoryArena& arena() { return arena_; }
+  [[nodiscard]] PeStats& stats() { return stats_; }
+
+  /// -- Communication ------------------------------------------------
+  /// Buffered point-to-point send; never blocks.  Charges the modeled
+  /// message cost to this PE and, when cost emulation is on, busy-waits
+  /// for that duration so wall-clock time reflects it.
+  void send(int dst, std::span<const double> data);
+
+  /// Blocking receive of the next message from `src` (FIFO per pair).
+  std::vector<double> recv(int src);
+
+  /// Accounts for `bytes` of intraprocessor data movement (the copies
+  /// the offset-array optimization eliminates).  Charges the modeled
+  /// memory cost and, under cost emulation, busy-waits for it.
+  void charge_intra_copy(std::size_t bytes);
+
+  /// Accounts for `bytes` of subgrid-loop array references (the traffic
+  /// scalar replacement and unroll-and-jam reduce).
+  void charge_kernel_refs(std::size_t bytes);
+
+  /// Machine-wide barrier (all PEs participating in the current run).
+  void barrier();
+
+  /// -- Local array registry ------------------------------------------
+  /// Allocates this PE's subgrid of `desc` in slot `id` (SPMD: every PE
+  /// must perform the same allocation).  Throws OutOfMemory if the
+  /// arena cap would be exceeded.
+  LocalGrid& create_array(int id, const DistArrayDesc& desc);
+  void free_array(int id);
+  [[nodiscard]] LocalGrid& grid(int id);
+  [[nodiscard]] bool has_array(int id) const;
+
+ private:
+  friend class Machine;
+
+  Machine& machine_;
+  int id_;
+  int row_;
+  int col_;
+  MemoryArena arena_;
+  PeStats stats_;
+  std::vector<std::unique_ptr<LocalGrid>> slots_;
+};
+
+/// The machine: a PE grid plus mailboxes and a barrier.  Thread-safe
+/// only in the ways the SPMD model needs: PE-private state is touched
+/// only by its own thread; mailboxes and the barrier are synchronized.
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& config);
+  ~Machine();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  [[nodiscard]] const MachineConfig& config() const { return config_; }
+  [[nodiscard]] const ProcGrid& grid() const { return grid_; }
+  [[nodiscard]] int num_pes() const { return grid_.size(); }
+  [[nodiscard]] Pe& pe(int id) { return *pes_[static_cast<std::size_t>(id)]; }
+
+  /// Runs `fn` on every PE concurrently (one thread per PE) and joins.
+  /// If any PE throws, all others are aborted and the first non-Aborted
+  /// exception is rethrown on the caller's thread.
+  void run(const std::function<void(Pe&)>& fn);
+
+  /// -- Host-side (no PE threads active) conveniences for tests --------
+  /// Allocates an array on all PEs; returns the slot id used.
+  int create_array(const DistArrayDesc& desc);
+  /// Allocates into a specific slot on all PEs.
+  void create_array_at(int id, const DistArrayDesc& desc);
+  void free_array(int id);
+
+  /// Gathers the owned elements of array `id` into a dense column-major
+  /// global vector.
+  [[nodiscard]] std::vector<double> gather(int id);
+  /// Scatters a dense global vector into the owned elements of `id`.
+  void scatter(int id, std::span<const double> global);
+  /// Initializes owned elements with f(i, j, k) (1-based global indices;
+  /// unused trailing indices are 1).
+  void set_elements(int id, const std::function<double(int, int, int)>& f);
+
+  /// Sums the given statistic over PEs / takes maxima as appropriate.
+  [[nodiscard]] MachineStats stats() const;
+  void clear_stats();
+
+  /// True after a run aborted; cleared at the start of each run.
+  [[nodiscard]] bool aborted() const { return aborted_; }
+
+  /// -- Data-movement tracing (paper Figures 5, 7-10) ------------------
+  /// When enabled, shift operations record every region transfer.
+  void enable_tracing(bool on = true) { tracing_ = on; }
+  [[nodiscard]] bool tracing() const { return tracing_; }
+  void record_transfer(TransferEvent event);
+  [[nodiscard]] std::vector<TransferEvent> take_trace();
+
+ private:
+  friend class Pe;
+
+  struct Channel {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<std::vector<double>> queue;
+  };
+
+  [[nodiscard]] Channel& channel(int src, int dst) {
+    return channels_[static_cast<std::size_t>(src * grid_.size() + dst)];
+  }
+
+  void abort_all();
+  void barrier_wait();
+
+  MachineConfig config_;
+  ProcGrid grid_;
+  std::vector<std::unique_ptr<Pe>> pes_;
+  std::vector<Channel> channels_;
+
+  // Abortable barrier state.
+  std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  int barrier_waiting_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+  std::atomic<bool> aborted_{false};
+
+  // Tracing state (mutex-protected; PEs append concurrently).
+  bool tracing_ = false;
+  std::mutex trace_mutex_;
+  std::vector<TransferEvent> trace_;
+};
+
+}  // namespace simpi

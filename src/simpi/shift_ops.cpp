@@ -1,0 +1,226 @@
+#include "simpi/shift_ops.hpp"
+
+#include <cassert>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace simpi {
+
+std::vector<ShiftInterval> split_shift_intervals(int rlo, int rhi, int delta,
+                                                 int n, const BlockMap& bm,
+                                                 bool circular) {
+  std::vector<ShiftInterval> out;
+  int g = rlo;
+  while (g <= rhi) {
+    const int raw = g + delta;
+    if (!circular && (raw < 1 || raw > n)) {
+      // A run of positions outside the array: EOSHIFT boundary fill.
+      // For raw < 1 the run ends where raw reaches 1; for raw > n it
+      // extends to the end (raw only grows with g).
+      const int run_end = raw < 1 ? std::min(rhi, -delta) : rhi;
+      out.push_back(ShiftInterval{g, run_end, 0, -1});
+      g = run_end + 1;
+      continue;
+    }
+    const int sg = circular ? wrap_index(raw, n) : raw;
+    const int owner = bm.owner(sg);
+    int run = rhi - g + 1;
+    run = std::min(run, bm.hi(owner) - sg + 1);  // stop at block boundary
+    run = std::min(run, n - sg + 1);             // stop at wrap point
+    out.push_back(ShiftInterval{g, g + run - 1, sg, owner});
+    g += run;
+  }
+  return out;
+}
+
+namespace {
+
+/// Cross-section of a transfer in all dimensions except `dim`: the PE's
+/// owned ranges, optionally extended into overlap areas per the RSD.
+Region cross_section(const LocalGrid& g, int dim, const RsdExtension& ext) {
+  Region r;  // unused dims default to [1,1]
+  for (int d = 0; d < g.rank(); ++d) {
+    if (d == dim) continue;
+    r.lo[d] = g.own_lo(d) - ext.lo[d];
+    r.hi[d] = g.own_hi(d) + ext.hi[d];
+  }
+  return r;
+}
+
+/// PE id of the processor at coordinate `q` of grid dimension `gdim`,
+/// keeping this PE's coordinate in the other grid dimension.
+int pe_at(const Pe& pe, const ProcGrid& grid, int gdim, int q) {
+  int r = pe.row();
+  int c = pe.col();
+  (gdim == 0 ? r : c) = q;
+  return grid.rank_of(r, c);
+}
+
+void check_halo_width(const DistArrayDesc& desc, int dim, int shift) {
+  const int width = std::abs(shift);
+  const int have = shift > 0 ? desc.halo.hi[dim] : desc.halo.lo[dim];
+  if (have < width) {
+    throw std::logic_error("array '" + desc.name + "': overlap area of " +
+                           std::to_string(have) + " in dim " +
+                           std::to_string(dim + 1) +
+                           " is too narrow for shift " +
+                           std::to_string(shift));
+  }
+}
+
+}  // namespace
+
+void overlap_shift(Pe& pe, int array_id, int shift, int dim,
+                   const RsdExtension& ext, ShiftKind kind, double boundary) {
+  if (shift == 0) return;
+  LocalGrid& g = pe.grid(array_id);
+  const DistArrayDesc& desc = g.desc();
+  check_halo_width(desc, dim, shift);
+  for (int d = 0; d < desc.rank; ++d) {
+    if (d == dim) continue;
+    if (ext.lo[d] > desc.halo.lo[d] || ext.hi[d] > desc.halo.hi[d]) {
+      throw std::logic_error("array '" + desc.name +
+                             "': RSD extension exceeds overlap width");
+    }
+  }
+
+  const ProcGrid& grid = pe.machine().grid();
+  const auto mapping = desc.grid_mapping(grid);
+  const int gdim = mapping[dim];
+  const int nprocs = gdim >= 0 ? grid.dim(gdim) : 1;
+  const int my_coord =
+      gdim >= 0 ? (gdim == 0 ? pe.row() : pe.col()) : 0;
+  const int n = desc.extent[dim];
+  const BlockMap bm(n, nprocs);
+  const bool circular = kind == ShiftKind::Circular;
+
+  if (!g.owns_anything()) return;
+
+  const Region cross = cross_section(g, dim, ext);
+
+  // Overlap cells to fill: beyond own_hi for positive shifts (so that
+  // U<+s> reads succeed), below own_lo for negative shifts.
+  const int halo_lo = shift > 0 ? g.own_hi(dim) + 1 : g.own_lo(dim) + shift;
+  const int halo_hi = shift > 0 ? g.own_hi(dim) + shift : g.own_lo(dim) - 1;
+
+  // -- Send phase: serve every other coordinate's overlap needs. -------
+  for (int q = 0; q < nprocs; ++q) {
+    if (q == my_coord) continue;
+    if (bm.count(q) <= 0) continue;
+    const int q_halo_lo = shift > 0 ? bm.hi(q) + 1 : bm.lo(q) + shift;
+    const int q_halo_hi = shift > 0 ? bm.hi(q) + shift : bm.lo(q) - 1;
+    for (const ShiftInterval& iv :
+         split_shift_intervals(q_halo_lo, q_halo_hi, 0, n, bm, circular)) {
+      if (iv.owner != my_coord) continue;
+      Region send_region = cross;
+      send_region.lo[dim] = iv.src_lo;
+      send_region.hi[dim] = iv.src_lo + (iv.reader_hi - iv.reader_lo);
+      std::vector<double> buf(send_region.elements(desc.rank));
+      g.pack(send_region, buf);
+      pe.send(pe_at(pe, grid, gdim, q), buf);
+    }
+  }
+
+  // -- Receive phase: fill my own overlap cells. -----------------------
+  for (const ShiftInterval& iv :
+       split_shift_intervals(halo_lo, halo_hi, 0, n, bm, circular)) {
+    Region dst_region = cross;
+    dst_region.lo[dim] = iv.reader_lo;
+    dst_region.hi[dim] = iv.reader_hi;
+    int from = -1;
+    if (iv.owner == -1) {
+      g.fill_region(dst_region, boundary);
+    } else if (iv.owner == my_coord) {
+      pe.charge_intra_copy(g.copy_shifted_from(
+          g, dst_region, dim, iv.src_lo - iv.reader_lo));
+      from = pe.id();
+    } else {
+      from = pe_at(pe, grid, gdim, iv.owner);
+      std::vector<double> buf = pe.recv(from);
+      assert(buf.size() == dst_region.elements(desc.rank));
+      g.unpack(dst_region, buf);
+    }
+    if (pe.machine().tracing()) {
+      pe.machine().record_transfer(TransferEvent{
+          from, pe.id(), dst_region, from == pe.id(), iv.owner == -1,
+          desc.name});
+    }
+  }
+}
+
+void full_cshift(Pe& pe, int dst_id, int src_id, int shift, int dim,
+                 ShiftKind kind, double boundary) {
+  LocalGrid& dst = pe.grid(dst_id);
+  LocalGrid& src = pe.grid(src_id);
+  const DistArrayDesc& desc = src.desc();
+  if (dst.desc().rank != desc.rank || dst.desc().extent != desc.extent ||
+      dst.desc().dist != desc.dist) {
+    throw std::logic_error("full_cshift: '" + dst.desc().name + "' and '" +
+                           desc.name + "' have mismatched shape/distribution");
+  }
+
+  const ProcGrid& grid = pe.machine().grid();
+  const auto mapping = desc.grid_mapping(grid);
+  const int gdim = mapping[dim];
+  const int nprocs = gdim >= 0 ? grid.dim(gdim) : 1;
+  const int my_coord = gdim >= 0 ? (gdim == 0 ? pe.row() : pe.col()) : 0;
+  const int n = desc.extent[dim];
+  const BlockMap bm(n, nprocs);
+  const bool circular = kind == ShiftKind::Circular;
+
+  if (!dst.owns_anything()) return;
+
+  const Region cross = cross_section(dst, dim, RsdExtension{});
+
+  // -- Send phase ------------------------------------------------------
+  for (int q = 0; q < nprocs; ++q) {
+    if (q == my_coord) continue;
+    if (bm.count(q) <= 0) continue;
+    for (const ShiftInterval& iv : split_shift_intervals(
+             bm.lo(q), bm.hi(q), shift, n, bm, circular)) {
+      if (iv.owner != my_coord) continue;
+      Region send_region = cross;
+      send_region.lo[dim] = iv.src_lo;
+      send_region.hi[dim] = iv.src_lo + (iv.reader_hi - iv.reader_lo);
+      std::vector<double> buf(send_region.elements(desc.rank));
+      src.pack(send_region, buf);
+      pe.send(pe_at(pe, grid, gdim, q), buf);
+    }
+  }
+
+  // -- Receive phase: produce my owned box of dst. ----------------------
+  for (const ShiftInterval& iv : split_shift_intervals(
+           dst.own_lo(dim), dst.own_hi(dim), shift, n, bm, circular)) {
+    Region dst_region = cross;
+    dst_region.lo[dim] = iv.reader_lo;
+    dst_region.hi[dim] = iv.reader_hi;
+    int from = -1;
+    if (iv.owner == -1) {
+      dst.fill_region(dst_region, boundary);
+    } else if (iv.owner == my_coord) {
+      pe.charge_intra_copy(dst.copy_shifted_from(
+          src, dst_region, dim, iv.src_lo - iv.reader_lo));
+      from = pe.id();
+    } else {
+      from = pe_at(pe, grid, gdim, iv.owner);
+      std::vector<double> buf = pe.recv(from);
+      assert(buf.size() == dst_region.elements(desc.rank));
+      dst.unpack(dst_region, buf);
+    }
+    if (pe.machine().tracing()) {
+      pe.machine().record_transfer(TransferEvent{
+          from, pe.id(), dst_region, from == pe.id(), iv.owner == -1,
+          dst.desc().name});
+    }
+  }
+}
+
+void copy_array(Pe& pe, int dst_id, int src_id) {
+  LocalGrid& dst = pe.grid(dst_id);
+  LocalGrid& src = pe.grid(src_id);
+  if (!dst.owns_anything()) return;
+  pe.charge_intra_copy(dst.copy_shifted_from(src, dst.owned_region(), 0, 0));
+}
+
+}  // namespace simpi

@@ -1,0 +1,86 @@
+// Runtime data-movement operations, executed SPMD (each PE calls the
+// same routine with the same arguments, in the same order).
+//
+//  * full_cshift  — the unoptimized translation of CSHIFT/EOSHIFT into a
+//    distinct destination array: interprocessor transfer of the boundary
+//    strip plus an intraprocessor copy of the subgrid bulk (paper
+//    Section 2.2, Figure 5).
+//  * overlap_shift — the optimized form produced by the offset-array
+//    transformation: moves only off-processor data into the overlap area
+//    of the *source* array; no intraprocessor copying (Section 3.1).
+//    The optional RSD extension widens the transferred cross-section
+//    into neighboring overlap areas so that stencil "corner" elements
+//    arrive without extra diagonal messages (Section 3.3, Figures 6-10).
+//  * copy_array — whole-array local copy (compensation copies inserted
+//    when an offset-array criterion is violated).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "simpi/layout.hpp"
+#include "simpi/machine.hpp"
+
+namespace simpi {
+
+/// Shift boundary behavior: CSHIFT wraps circularly; EOSHIFT fills with
+/// a boundary value.
+enum class ShiftKind { Circular, EndOff };
+
+/// Regular-section-descriptor extension for overlap_shift: how far the
+/// transferred cross-section extends into the overlap areas of each
+/// non-shift dimension (paper notation "[0:N+1,*]" means lo=hi=1 in
+/// dimension 0).  Entries for the shifted dimension are ignored.
+struct RsdExtension {
+  std::array<int, kMaxRank> lo{0, 0, 0};
+  std::array<int, kMaxRank> hi{0, 0, 0};
+
+  [[nodiscard]] bool any() const {
+    for (int d = 0; d < kMaxRank; ++d) {
+      if (lo[d] != 0 || hi[d] != 0) return true;
+    }
+    return false;
+  }
+  constexpr bool operator==(const RsdExtension&) const = default;
+};
+
+/// Fills the overlap area of `array_id` on the side of dimension `dim`
+/// (0-based) that offset references U<...,+shift,...> read from.  After
+/// the call, the overlap cell at global position g holds the value of
+/// global element wrap(g) (Circular) or the boundary value (EndOff, when
+/// g falls outside the array).  Requires halo width >= |shift| on that
+/// side.  `ext` widens the cross-section per the RSD (corner pickup);
+/// it requires the source halo cells it reads to have been filled by
+/// earlier overlap shifts in lower dimensions.
+void overlap_shift(Pe& pe, int array_id, int shift, int dim,
+                   const RsdExtension& ext = {},
+                   ShiftKind kind = ShiftKind::Circular,
+                   double boundary = 0.0);
+
+/// dst(g) = src(g + shift) along `dim` with circular wrap (CSHIFT) or
+/// boundary fill (EOSHIFT).  dst and src must have identical shape and
+/// distribution and be distinct arrays.
+void full_cshift(Pe& pe, int dst_id, int src_id, int shift, int dim,
+                 ShiftKind kind = ShiftKind::Circular, double boundary = 0.0);
+
+/// dst(g) = src(g) over the owned box (local copy; counts intra bytes).
+void copy_array(Pe& pe, int dst_id, int src_id);
+
+/// One maximal run of reader positions [reader_lo, reader_hi] whose
+/// source positions are contiguous (starting at src_lo) and owned by a
+/// single block coordinate `owner` (-1 = outside the array: EOSHIFT
+/// boundary fill).  Exposed for unit testing.
+struct ShiftInterval {
+  int reader_lo;
+  int reader_hi;
+  int src_lo;
+  int owner;
+};
+
+/// Splits reader positions [rlo, rhi] reading source position
+/// wrap(g + delta) into maximal single-owner contiguous intervals.
+/// With `circular` false, positions outside [1, n] yield owner == -1.
+[[nodiscard]] std::vector<ShiftInterval> split_shift_intervals(
+    int rlo, int rhi, int delta, int n, const BlockMap& bm, bool circular);
+
+}  // namespace simpi

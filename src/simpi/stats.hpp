@@ -1,0 +1,50 @@
+// Per-PE and machine-wide execution statistics.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+namespace simpi {
+
+/// Counters maintained by one processing element.  All data movement in
+/// the runtime is attributed to exactly one of these counters, so the
+/// benchmarks can report the quantities the paper's optimizations target:
+/// interprocessor messages/bytes (communication unioning) and
+/// intraprocessor copy bytes (offset arrays).
+struct PeStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t intra_copy_bytes = 0;   ///< local shift/copy traffic
+  std::uint64_t kernel_ref_bytes = 0;   ///< subgrid loop loads+stores
+  std::uint64_t modeled_comm_ns = 0;    ///< sum of modeled message costs
+  std::uint64_t modeled_copy_ns = 0;    ///< sum of modeled copy costs
+  std::size_t peak_heap_bytes = 0;      ///< arena high-water mark
+
+  void clear() { *this = PeStats{}; }
+};
+
+/// Aggregate over all PEs.  Messages/bytes are summed; the modeled
+/// communication time takes the per-PE maximum as a critical-path
+/// approximation (PEs communicate concurrently).
+struct MachineStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t intra_copy_bytes = 0;
+  std::uint64_t kernel_ref_bytes = 0;
+  std::uint64_t modeled_comm_ns = 0;  ///< max over PEs
+  std::uint64_t modeled_copy_ns = 0;  ///< max over PEs
+  std::size_t peak_heap_bytes = 0;    ///< max over PEs
+
+  void accumulate(const PeStats& pe) {
+    messages_sent += pe.messages_sent;
+    bytes_sent += pe.bytes_sent;
+    intra_copy_bytes += pe.intra_copy_bytes;
+    kernel_ref_bytes += pe.kernel_ref_bytes;
+    modeled_comm_ns = std::max(modeled_comm_ns, pe.modeled_comm_ns);
+    modeled_copy_ns = std::max(modeled_copy_ns, pe.modeled_copy_ns);
+    peak_heap_bytes = std::max(peak_heap_bytes, pe.peak_heap_bytes);
+  }
+};
+
+}  // namespace simpi

@@ -1,0 +1,63 @@
+#include "simpi/trace.hpp"
+
+#include "simpi/machine.hpp"
+
+namespace simpi {
+
+std::string TransferEvent::str(int rank) const {
+  std::string out;
+  if (boundary_fill) {
+    out = "PE" + std::to_string(to_pe) + " boundary-fill: ";
+  } else if (intra) {
+    out = "PE" + std::to_string(to_pe) + " local copy: ";
+  } else {
+    out = "PE" + std::to_string(from_pe) + " -> PE" +
+          std::to_string(to_pe) + ": ";
+  }
+  out += array + "[";
+  for (int d = 0; d < rank; ++d) {
+    if (d != 0) out += ", ";
+    out += std::to_string(region.lo[d]) + ":" + std::to_string(region.hi[d]);
+  }
+  out += "]";
+  return out;
+}
+
+std::string render_overlap_state(Machine& machine, int array_id,
+                                 const std::vector<double>& global) {
+  std::string out;
+  const DistArrayDesc& desc = machine.pe(0).grid(array_id).desc();
+  const int n0 = desc.extent[0];
+  const int n1 = desc.extent[1];
+  for (int pe = 0; pe < machine.num_pes(); ++pe) {
+    LocalGrid& g = machine.pe(pe).grid(array_id);
+    if (!g.owns_anything()) continue;
+    Region stored = g.stored_region();
+    out += "PE" + std::to_string(pe) + " (owns [" +
+           std::to_string(g.own_lo(0)) + ":" + std::to_string(g.own_hi(0)) +
+           ", " + std::to_string(g.own_lo(1)) + ":" +
+           std::to_string(g.own_hi(1)) + "])\n";
+    // Rows = dim 0 (i), columns = dim 1 (j), matching the paper's
+    // matrix orientation.
+    for (int i = stored.lo[0]; i <= stored.hi[0]; ++i) {
+      out += "  ";
+      for (int j = stored.lo[1]; j <= stored.hi[1]; ++j) {
+        const bool owned = i >= g.own_lo(0) && i <= g.own_hi(0) &&
+                           j >= g.own_lo(1) && j <= g.own_hi(1);
+        if (owned) {
+          out += 'o';
+          continue;
+        }
+        const double expected =
+            global[static_cast<std::size_t>(wrap_index(i, n0) - 1) +
+                   static_cast<std::size_t>(wrap_index(j, n1) - 1) *
+                       static_cast<std::size_t>(n0)];
+        out += g.at({i, j}) == expected ? '#' : '.';
+      }
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace simpi

@@ -1,0 +1,36 @@
+// Data-movement tracing and visualization: records every region
+// transfer the shift runtime performs and renders the overlap-area
+// state of a distributed array as ASCII diagrams — a textual
+// reproduction of the paper's Figures 5 and 7-10.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "simpi/dist_array.hpp"
+
+namespace simpi {
+
+class Machine;
+
+/// One recorded region transfer.
+struct TransferEvent {
+  int from_pe = -1;     ///< sender (== to_pe for intraprocessor copies)
+  int to_pe = -1;       ///< receiver
+  Region region;        ///< destination region, in global indices
+  bool intra = false;   ///< intraprocessor copy (vs. a message)
+  bool boundary_fill = false;  ///< EOSHIFT boundary-value fill
+  std::string array;    ///< array name
+
+  /// "PE0 -> PE1: SRC[5:5, 1:4]" style rendering.
+  [[nodiscard]] std::string str(int rank) const;
+};
+
+/// Renders per-PE diagrams of `array_id`'s stored region: owned cells
+/// 'o', overlap cells holding the correct (circularly wrapped) global
+/// value '#', stale overlap cells '.'.  `global` is the ground-truth
+/// dense column-major array.  2-D arrays only (the paper's figures).
+[[nodiscard]] std::string render_overlap_state(
+    Machine& machine, int array_id, const std::vector<double>& global);
+
+}  // namespace simpi

@@ -1,0 +1,61 @@
+#include "support/diagnostics.hpp"
+
+#include <utility>
+
+namespace hpfsc {
+
+std::string_view to_string(Severity s) {
+  switch (s) {
+    case Severity::Note:
+      return "note";
+    case Severity::Warning:
+      return "warning";
+    case Severity::Error:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::render() const {
+  std::string out(to_string(severity));
+  if (loc.valid()) {
+    out += " at ";
+    out += to_string(loc);
+  }
+  out += ": ";
+  out += message;
+  return out;
+}
+
+void DiagnosticEngine::error(SourceLoc loc, std::string message) {
+  add(Severity::Error, loc, std::move(message));
+}
+
+void DiagnosticEngine::warning(SourceLoc loc, std::string message) {
+  add(Severity::Warning, loc, std::move(message));
+}
+
+void DiagnosticEngine::note(SourceLoc loc, std::string message) {
+  add(Severity::Note, loc, std::move(message));
+}
+
+std::string DiagnosticEngine::render_all() const {
+  std::string out;
+  for (const Diagnostic& d : diags_) {
+    out += d.render();
+    out += '\n';
+  }
+  return out;
+}
+
+void DiagnosticEngine::clear() {
+  diags_.clear();
+  error_count_ = 0;
+}
+
+void DiagnosticEngine::add(Severity sev, SourceLoc loc, std::string message) {
+  if (sev == Severity::Error) ++error_count_;
+  diags_.push_back(Diagnostic{sev, loc, std::move(message)});
+}
+
+}  // namespace hpfsc

@@ -1,0 +1,52 @@
+// Diagnostic engine: collects errors/warnings/notes emitted by the
+// frontend and the optimization passes, so a driver can report them all
+// at once rather than aborting on the first problem.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/source_location.hpp"
+
+namespace hpfsc {
+
+enum class Severity { Note, Warning, Error };
+
+[[nodiscard]] std::string_view to_string(Severity s);
+
+/// One reported problem.
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  SourceLoc loc;
+  std::string message;
+
+  /// Renders "error at 3:14: message".
+  [[nodiscard]] std::string render() const;
+};
+
+/// Accumulates diagnostics.  Passes take a reference and append; the
+/// driver checks `has_errors()` between phases.
+class DiagnosticEngine {
+ public:
+  void error(SourceLoc loc, std::string message);
+  void warning(SourceLoc loc, std::string message);
+  void note(SourceLoc loc, std::string message);
+
+  [[nodiscard]] bool has_errors() const { return error_count_ > 0; }
+  [[nodiscard]] std::size_t error_count() const { return error_count_; }
+  [[nodiscard]] const std::vector<Diagnostic>& all() const { return diags_; }
+
+  /// All diagnostics rendered one per line (empty string when clean).
+  [[nodiscard]] std::string render_all() const;
+
+  void clear();
+
+ private:
+  void add(Severity sev, SourceLoc loc, std::string message);
+
+  std::vector<Diagnostic> diags_;
+  std::size_t error_count_ = 0;
+};
+
+}  // namespace hpfsc

@@ -1,0 +1,33 @@
+// Source locations and ranges used by the frontend and diagnostics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hpfsc {
+
+/// A position in the input source text.  Lines and columns are 1-based;
+/// a value of 0 means "unknown" (e.g. for compiler-generated statements).
+struct SourceLoc {
+  std::uint32_t line = 0;
+  std::uint32_t column = 0;
+
+  [[nodiscard]] constexpr bool valid() const { return line != 0; }
+  constexpr auto operator<=>(const SourceLoc&) const = default;
+};
+
+/// A half-open range of source text [begin, end).
+struct SourceRange {
+  SourceLoc begin;
+  SourceLoc end;
+
+  constexpr bool operator==(const SourceRange&) const = default;
+};
+
+/// Renders "line:column" (or "<generated>" when unknown).
+inline std::string to_string(SourceLoc loc) {
+  if (!loc.valid()) return "<generated>";
+  return std::to_string(loc.line) + ":" + std::to_string(loc.column);
+}
+
+}  // namespace hpfsc

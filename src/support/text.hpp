@@ -1,0 +1,64 @@
+// Small text utilities shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hpfsc {
+
+/// ASCII upper-casing (Fortran is case-insensitive; the whole toolchain
+/// canonicalizes identifiers and keywords to upper case).
+[[nodiscard]] inline std::string to_upper(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    out.push_back(c >= 'a' && c <= 'z' ? static_cast<char>(c - 'a' + 'A') : c);
+  }
+  return out;
+}
+
+/// Joins elements with a separator: join({"a","b"}, ", ") == "a, b".
+[[nodiscard]] inline std::string join(const std::vector<std::string>& parts,
+                                      std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+/// Signed integer rendered with an explicit sign: "+1", "-2", "0" -> "+0".
+[[nodiscard]] inline std::string signed_str(int v) {
+  return (v >= 0 ? "+" : "") + std::to_string(v);
+}
+
+/// Splits into lines (without trailing newlines); used by golden tests.
+[[nodiscard]] inline std::vector<std::string> split_lines(std::string_view s) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    std::size_t nl = s.find('\n', start);
+    if (nl == std::string_view::npos) {
+      if (start < s.size()) lines.emplace_back(s.substr(start));
+      break;
+    }
+    lines.emplace_back(s.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+/// Strips leading/trailing spaces and tabs.
+[[nodiscard]] inline std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace hpfsc

@@ -1,0 +1,189 @@
+#include "analysis/ddg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "frontend/lower.hpp"
+#include "passes/normalize.hpp"
+#include "passes/offset_arrays.hpp"
+
+namespace hpfsc::analysis {
+namespace {
+
+ir::Program prepare(std::string_view src, bool run_offset = false) {
+  DiagnosticEngine diags;
+  auto r = frontend::lower_source(src, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.render_all();
+  if (run_offset) {
+    passes::normalize(r.program, {}, diags);
+    passes::OffsetArrayOptions opts;
+    opts.live_out = {"T"};
+    passes::offset_arrays(r.program, opts, diags);
+    EXPECT_FALSE(diags.has_errors()) << diags.render_all();
+  }
+  return std::move(r.program);
+}
+
+std::vector<const ir::Stmt*> stmts_of(const ir::Program& p) {
+  std::vector<const ir::Stmt*> out;
+  for (const auto& s : p.body) out.push_back(s.get());
+  return out;
+}
+
+bool has_edge(const Ddg& g, int from, int to, DepKind kind) {
+  for (const DepEdge& e : g.edges()) {
+    if (e.from == from && e.to == to && e.kind == kind) return true;
+  }
+  return false;
+}
+
+TEST(Ddg, TrueDependence) {
+  ir::Program p = prepare(
+      "INTEGER N\nREAL A(N,N), B(N,N), C(N,N)\n"
+      "A = B\n"
+      "C = A\n");
+  Ddg g = Ddg::build(stmts_of(p));
+  EXPECT_TRUE(has_edge(g, 0, 1, DepKind::True));
+  EXPECT_TRUE(g.reaches(0, 1));
+}
+
+TEST(Ddg, AntiDependence) {
+  ir::Program p = prepare(
+      "INTEGER N\nREAL A(N,N), B(N,N), C(N,N)\n"
+      "C = A\n"
+      "A = B\n");
+  Ddg g = Ddg::build(stmts_of(p));
+  EXPECT_TRUE(has_edge(g, 0, 1, DepKind::Anti));
+}
+
+TEST(Ddg, OutputDependence) {
+  ir::Program p = prepare(
+      "INTEGER N\nREAL A(N,N), B(N,N), C(N,N)\n"
+      "A = B\n"
+      "A = C\n");
+  Ddg g = Ddg::build(stmts_of(p));
+  EXPECT_TRUE(has_edge(g, 0, 1, DepKind::Output));
+}
+
+TEST(Ddg, IndependentStatementsHaveNoEdges) {
+  ir::Program p = prepare(
+      "INTEGER N\nREAL A(N,N), B(N,N), C(N,N), D(N,N)\n"
+      "A = B\n"
+      "C = D\n");
+  Ddg g = Ddg::build(stmts_of(p));
+  EXPECT_TRUE(g.edges().empty());
+  EXPECT_FALSE(g.reaches(0, 1));
+}
+
+TEST(Ddg, OverlapShiftFeedsOffsetUse) {
+  ir::Program p = prepare(
+      "INTEGER N\nREAL U(N,N), T(N,N)\n"
+      "T = CSHIFT(U,+1,1) + U\n",
+      /*run_offset=*/true);
+  // Post offset pass: OVERLAP_CSHIFT(U,+1,1); T = U<+1,0> + U.
+  Ddg g = Ddg::build(stmts_of(p));
+  ASSERT_EQ(g.size(), 2);
+  EXPECT_TRUE(has_edge(g, 0, 1, DepKind::True));
+}
+
+TEST(Ddg, IdempotentOverlapRefillHasNoIncomingAntiEdge) {
+  // compute reads the +1 halo of U, then a second overlap shift refills
+  // the same side: no anti dependence (the paper's Figure 14 grouping
+  // depends on this).
+  ir::Program p = prepare(
+      "INTEGER N\nREAL U(N,N), T(N,N), S(N,N)\n"
+      "T = CSHIFT(U,+1,1)\n"
+      "S = CSHIFT(U,+1,1) + T\n",
+      /*run_offset=*/false);
+  DiagnosticEngine diags;
+  passes::normalize(p, {}, diags);
+  passes::OffsetArrayOptions opts;
+  opts.live_out = {"S"};
+  passes::offset_arrays(p, opts, diags);
+  std::vector<const ir::Stmt*> stmts = stmts_of(p);
+  Ddg g = Ddg::build(stmts);
+  for (const DepEdge& e : g.edges()) {
+    if (stmts[static_cast<std::size_t>(e.to)]->kind ==
+        ir::StmtKind::OverlapShift) {
+      EXPECT_EQ(e.kind, DepKind::True)
+          << "non-true edge into an overlap shift";
+    }
+  }
+}
+
+TEST(Ddg, RedefinitionOrdersOverlapShifts) {
+  // U = ... must stay between shifts that read the old and new U.
+  ir::Program p = prepare(
+      "INTEGER N\nREAL U(N,N), V(N,N), T(N,N)\n"
+      "T = CSHIFT(U,+1,1)\n"
+      "U = V\n"
+      "T = T + CSHIFT(U,+1,1)\n");
+  DiagnosticEngine diags;
+  passes::normalize(p, {}, diags);
+  std::vector<const ir::Stmt*> stmts = stmts_of(p);
+  Ddg g = Ddg::build(stmts);
+  // Find the shift statements and the redefinition.
+  int first_shift = -1;
+  int redef = -1;
+  int second_shift = -1;
+  for (int i = 0; i < static_cast<int>(stmts.size()); ++i) {
+    if (stmts[static_cast<std::size_t>(i)]->kind ==
+        ir::StmtKind::ShiftAssign) {
+      (first_shift < 0 ? first_shift : second_shift) = i;
+    }
+    if (stmts[static_cast<std::size_t>(i)]->kind ==
+        ir::StmtKind::ArrayAssign) {
+      const auto& a = static_cast<const ir::ArrayAssignStmt&>(
+          *stmts[static_cast<std::size_t>(i)]);
+      if (p.symbols.array(a.lhs.array).name == "U") redef = i;
+    }
+  }
+  ASSERT_GE(first_shift, 0);
+  ASSERT_GE(redef, 0);
+  ASSERT_GE(second_shift, 0);
+  EXPECT_TRUE(g.reaches(first_shift, redef));   // anti: read before write
+  EXPECT_TRUE(g.reaches(redef, second_shift));  // true: write before read
+}
+
+TEST(Ddg, ScalarDependences) {
+  ir::Program p = prepare(
+      "INTEGER N\nREAL X, Y\nREAL A(N,N), B(N,N)\n"
+      "X = 2.0\n"
+      "A = X * B\n");
+  Ddg g = Ddg::build(stmts_of(p));
+  EXPECT_TRUE(has_edge(g, 0, 1, DepKind::True));
+}
+
+TEST(Ddg, AllocActsAsDefinition) {
+  ir::Program p = prepare(
+      "INTEGER N\nREAL A(N,N), B(N,N)\n"
+      "B = A\n"
+      "ALLOCATE A\n");
+  Ddg g = Ddg::build(stmts_of(p));
+  EXPECT_TRUE(has_edge(g, 0, 1, DepKind::Anti));
+}
+
+TEST(AccessesOf, OverlapShiftWithRsdReadsLowerHalos) {
+  auto stmt = std::make_unique<ir::OverlapShiftStmt>();
+  stmt->src.array = 0;
+  stmt->shift = -1;
+  stmt->dim = 1;
+  stmt->rsd.lo[0] = 1;
+  stmt->rsd.hi[0] = 1;
+  AccessSets sets = accesses_of(*stmt);
+  // Writes the dim-1 negative halo; reads owned + both dim-0 halos.
+  bool writes_halo = false;
+  for (const Access& a : sets.writes) {
+    if (a.kind == Access::Kind::Halo && a.dim == 1 && a.dir == -1) {
+      writes_halo = true;
+    }
+  }
+  EXPECT_TRUE(writes_halo);
+  int halo_reads = 0;
+  for (const Access& a : sets.reads) {
+    if (a.kind == Access::Kind::Halo && a.dim == 0) ++halo_reads;
+  }
+  EXPECT_EQ(halo_reads, 2);
+}
+
+}  // namespace
+}  // namespace hpfsc::analysis

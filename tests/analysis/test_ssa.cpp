@@ -1,0 +1,173 @@
+#include "analysis/array_ssa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "frontend/lower.hpp"
+
+namespace hpfsc::analysis {
+namespace {
+
+ir::Program lower(std::string_view src) {
+  DiagnosticEngine diags;
+  auto r = frontend::lower_source(src, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.render_all();
+  return std::move(r.program);
+}
+
+const ir::ArrayAssignStmt& assign_at(const ir::Program& p, std::size_t i) {
+  return static_cast<const ir::ArrayAssignStmt&>(*p.body[i]);
+}
+
+TEST(ArraySsa, StraightLineVersions) {
+  ir::Program p = lower(
+      "INTEGER N\nREAL A(N,N), B(N,N)\n"
+      "A = B\n"
+      "A = A + B\n");
+  ArraySsa ssa = ArraySsa::build(p);
+  ir::ArrayId a = *p.symbols.find_array("A");
+  // Initial + two defs.
+  EXPECT_EQ(ssa.num_versions(a), 3);
+  int v1 = ssa.def_version(*p.body[0]);
+  int v2 = ssa.def_version(*p.body[1]);
+  EXPECT_NE(v1, v2);
+  // The use of A in statement 2 sees version v1.
+  const auto& stmt2 = assign_at(p, 1);
+  bool found = false;
+  ir::visit_exprs(*stmt2.rhs, [&](const ir::Expr& e) {
+    if (e.kind == ir::ExprKind::ArrayRefK && e.ref.array == a) {
+      EXPECT_EQ(ssa.use_version(e.ref), v1);
+      found = true;
+    }
+  });
+  EXPECT_TRUE(found);
+  EXPECT_TRUE(ssa.live_at_exit(a, v2));
+  EXPECT_FALSE(ssa.live_at_exit(a, v1));
+}
+
+TEST(ArraySsa, UsesAreRecordedPerVersion) {
+  ir::Program p = lower(
+      "INTEGER N\nREAL A(N,N), B(N,N), C(N,N)\n"
+      "A = B\n"
+      "C = A + A\n");
+  ArraySsa ssa = ArraySsa::build(p);
+  ir::ArrayId a = *p.symbols.find_array("A");
+  int v1 = ssa.def_version(*p.body[0]);
+  EXPECT_EQ(ssa.uses_of(a, v1).size(), 2u);
+}
+
+TEST(ArraySsa, SectionAssignReadsOldVersion) {
+  ir::Program p = lower(
+      "INTEGER N\nREAL A(N,N), B(N,N)\n"
+      "A(2:N-1,2:N-1) = B(2:N-1,2:N-1)\n");
+  ArraySsa ssa = ArraySsa::build(p);
+  ir::ArrayId a = *p.symbols.find_array("A");
+  // The partial write both uses version 0 and defines version 1.
+  EXPECT_EQ(ssa.uses_of(a, 0).size(), 1u);
+  EXPECT_EQ(ssa.def_version(*p.body[0]), 1);
+}
+
+TEST(ArraySsa, IfCreatesPhi) {
+  ir::Program p = lower(
+      "INTEGER N, F\nREAL A(N,N), B(N,N), C(N,N)\n"
+      "A = B\n"
+      "IF (F > 0) THEN\n"
+      "  A = C\n"
+      "ENDIF\n"
+      "B = A\n");
+  ArraySsa ssa = ArraySsa::build(p);
+  ir::ArrayId a = *p.symbols.find_array("A");
+  int v1 = ssa.def_version(*p.body[0]);
+  EXPECT_TRUE(ssa.feeds_phi(a, v1));
+  // The use after the merge sees the phi, not either def.
+  const auto& last = assign_at(p, 2);
+  int use_ver = -1;
+  ir::visit_exprs(*last.rhs, [&](const ir::Expr& e) {
+    if (e.kind == ir::ExprKind::ArrayRefK) use_ver = ssa.use_version(e.ref);
+  });
+  EXPECT_NE(use_ver, v1);
+  EXPECT_EQ(ssa.version_info(a, use_ver).kind, SsaVersion::Kind::Phi);
+  EXPECT_EQ(ssa.version_info(a, use_ver).phi_operands.size(), 2u);
+}
+
+TEST(ArraySsa, NoPhiWhenBranchesDoNotRedefine) {
+  ir::Program p = lower(
+      "INTEGER N, F\nREAL A(N,N), B(N,N), C(N,N)\n"
+      "A = B\n"
+      "IF (F > 0) THEN\n"
+      "  C = A\n"
+      "ENDIF\n"
+      "B = A\n");
+  ArraySsa ssa = ArraySsa::build(p);
+  ir::ArrayId a = *p.symbols.find_array("A");
+  int v1 = ssa.def_version(*p.body[0]);
+  EXPECT_FALSE(ssa.feeds_phi(a, v1));
+  EXPECT_EQ(ssa.num_versions(a), 2);  // initial + one def
+}
+
+TEST(ArraySsa, DoLoopHeaderPhi) {
+  ir::Program p = lower(
+      "INTEGER N, S\nREAL A(N,N), B(N,N)\n"
+      "A = B\n"
+      "DO K = 1, S\n"
+      "  A = A + B\n"
+      "ENDDO\n"
+      "B = A\n");
+  ArraySsa ssa = ArraySsa::build(p);
+  ir::ArrayId a = *p.symbols.find_array("A");
+  int v_pre = ssa.def_version(*p.body[0]);
+  EXPECT_TRUE(ssa.feeds_phi(a, v_pre));
+  // The use inside the loop body sees the header phi.
+  const auto& loop = static_cast<const ir::DoStmt&>(*p.body[1]);
+  const auto& body_assign =
+      static_cast<const ir::ArrayAssignStmt&>(*loop.body[0]);
+  int body_use = -1;
+  ir::visit_exprs(*body_assign.rhs, [&](const ir::Expr& e) {
+    if (e.kind == ir::ExprKind::ArrayRefK && e.ref.array == a) {
+      body_use = ssa.use_version(e.ref);
+    }
+  });
+  ASSERT_GE(body_use, 0);
+  const SsaVersion& phi = ssa.version_info(a, body_use);
+  EXPECT_EQ(phi.kind, SsaVersion::Kind::Phi);
+  ASSERT_EQ(phi.phi_operands.size(), 2u);
+  EXPECT_EQ(phi.phi_operands[0], v_pre);
+  // Second operand is the body's def (loop-carried).
+  EXPECT_EQ(phi.phi_operands[1], ssa.def_version(body_assign));
+}
+
+TEST(ArraySsa, VersionAtTracksRedefinitions) {
+  ir::Program p = lower(
+      "INTEGER N\nREAL A(N,N), B(N,N), C(N,N)\n"
+      "C = A\n"
+      "A = B\n"
+      "C = A\n");
+  ArraySsa ssa = ArraySsa::build(p);
+  ir::ArrayId a = *p.symbols.find_array("A");
+  EXPECT_EQ(ssa.version_at(*p.body[0], a), 0);
+  EXPECT_EQ(ssa.version_at(*p.body[1], a), 0);
+  EXPECT_EQ(ssa.version_at(*p.body[2], a), ssa.def_version(*p.body[1]));
+}
+
+TEST(ArraySsa, ShiftAndCopyAndAllocAreDefs) {
+  ir::Program p = lower(
+      "INTEGER N\nREAL A(N,N), B(N,N)\n"
+      "ALLOCATE A\n"
+      "A = CSHIFT(B,+1,1)\n");
+  // Lowered: Alloc + ArrayAssign(rhs=shift).  Both define A.
+  ArraySsa ssa = ArraySsa::build(p);
+  ir::ArrayId a = *p.symbols.find_array("A");
+  EXPECT_EQ(ssa.num_versions(a), 3);
+  EXPECT_GE(ssa.def_version(*p.body[0]), 1);
+}
+
+TEST(ArraySsa, UnknownRefReturnsMinusOne) {
+  ir::Program p = lower("INTEGER N\nREAL A(N,N), B(N,N)\nA = B\n");
+  ArraySsa ssa = ArraySsa::build(p);
+  ir::ArrayRef stray;
+  stray.array = 0;
+  EXPECT_EQ(ssa.use_version(stray), -1);
+  EXPECT_EQ(ssa.def_version(*p.body[0]) >= 0, true);
+}
+
+}  // namespace
+}  // namespace hpfsc::analysis

@@ -1,0 +1,184 @@
+#include "codegen/lower_spmd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "driver/paper_kernels.hpp"
+#include "frontend/lower.hpp"
+#include "passes/pipeline.hpp"
+
+namespace hpfsc::codegen {
+namespace {
+
+spmd::Program lower_level(const char* src, int level,
+                          std::vector<std::string> live_out = {"T"}) {
+  DiagnosticEngine diags;
+  auto lowered = frontend::lower_source(src, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.render_all();
+  passes::PassOptions opts = passes::PassOptions::level(level);
+  opts.offset.live_out = std::move(live_out);
+  passes::run_pipeline(lowered.program, opts, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.render_all();
+  spmd::Program prog = lower_to_spmd(lowered.program, LowerOptions{}, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.render_all();
+  return prog;
+}
+
+spmd::Program lower_xlhpf(const char* src) {
+  DiagnosticEngine diags;
+  auto lowered = frontend::lower_source(src, diags);
+  passes::NormalizeOptions nopts;
+  passes::normalize(lowered.program, nopts, diags);
+  LowerOptions cg;
+  cg.expr_temps = true;
+  spmd::Program prog = lower_to_spmd(lowered.program, cg, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.render_all();
+  return prog;
+}
+
+int count_ops(const std::vector<spmd::Op>& ops, spmd::OpKind kind) {
+  int n = 0;
+  for (const auto& op : ops) {
+    if (op.kind == kind) ++n;
+    n += count_ops(op.then_ops, kind) + count_ops(op.else_ops, kind) +
+         count_ops(op.body, kind);
+  }
+  return n;
+}
+
+TEST(LowerSpmd, Problem9AtO4) {
+  spmd::Program p = lower_level(kernels::kProblem9, 4);
+  EXPECT_EQ(count_ops(p.ops, spmd::OpKind::OverlapShift), 4);
+  EXPECT_EQ(count_ops(p.ops, spmd::OpKind::FullShift), 0);
+  EXPECT_EQ(count_ops(p.ops, spmd::OpKind::LoopNest), 1);
+  auto comm = p.comm_summary();
+  EXPECT_EQ(comm.overlap_shifts, 4);
+  // Scalars and arrays carried over; eliminated arrays marked.
+  EXPECT_GE(p.find_scalar("N"), 0);
+  int rip = p.find_array("RIP");
+  ASSERT_GE(rip, 0);
+  EXPECT_TRUE(p.arrays[static_cast<std::size_t>(rip)].eliminated);
+  int u = p.find_array("U");
+  ASSERT_GE(u, 0);
+  EXPECT_TRUE(p.arrays[static_cast<std::size_t>(u)].prealloc);
+  EXPECT_EQ(p.arrays[static_cast<std::size_t>(u)].halo_lo[0], 1);
+  EXPECT_EQ(p.arrays[static_cast<std::size_t>(u)].halo_hi[1], 1);
+}
+
+TEST(LowerSpmd, NestCarriesAnnotations) {
+  spmd::Program p = lower_level(kernels::kProblem9, 4);
+  const spmd::Op* nest = nullptr;
+  for (const auto& op : p.ops) {
+    if (op.kind == spmd::OpKind::LoopNest) nest = &op;
+  }
+  ASSERT_NE(nest, nullptr);
+  EXPECT_EQ(nest->unroll, 4);
+  EXPECT_TRUE(nest->scalar_replace);
+  EXPECT_EQ(nest->loop_order[0], 1);  // permuted: j outermost
+  EXPECT_EQ(nest->kernels.size(), 7u);
+  // Loads are interned: 9 distinct U refs + 1 T ref.
+  EXPECT_EQ(nest->loads.size(), 10u);
+}
+
+TEST(LowerSpmd, RsdSurvivesToRuntimeOp) {
+  spmd::Program p = lower_level(kernels::kProblem9, 4);
+  int with_rsd = 0;
+  for (const auto& op : p.ops) {
+    if (op.kind == spmd::OpKind::OverlapShift && op.rsd.any()) ++with_rsd;
+  }
+  EXPECT_EQ(with_rsd, 2);  // the two dim-2 shifts carry [0:N+1,*]
+}
+
+TEST(LowerSpmd, OffsetAnnotationFoldsIntoRsdWithoutUnioning) {
+  // At O1 the multi-offset shifts still carry their source annotation;
+  // codegen must translate it into an equivalent RSD for the runtime.
+  spmd::Program p = lower_level(kernels::kProblem9, 1);
+  int with_rsd = 0;
+  for (const auto& op : p.ops) {
+    if (op.kind == spmd::OpKind::OverlapShift && op.rsd.any()) ++with_rsd;
+  }
+  EXPECT_EQ(with_rsd, 4);  // four U<+-1,0> shifts in dim 2
+}
+
+TEST(LowerSpmd, O0KeepsFullShiftsAndTemps) {
+  spmd::Program p = lower_level(kernels::kProblem9, 0);
+  EXPECT_EQ(count_ops(p.ops, spmd::OpKind::FullShift), 8);
+  EXPECT_EQ(count_ops(p.ops, spmd::OpKind::Alloc), 1);
+  EXPECT_EQ(count_ops(p.ops, spmd::OpKind::Free), 1);
+  EXPECT_EQ(count_ops(p.ops, spmd::OpKind::LoopNest), 7);
+}
+
+TEST(LowerSpmd, ControlFlowStructure) {
+  spmd::Program p = lower_level(
+      "INTEGER N, S, F\nREAL U(N,N), T(N,N)\n"
+      "DO K = 1, S\n"
+      "  IF (F > 0) THEN\n"
+      "    T = U\n"
+      "  ELSE\n"
+      "    T = U + 1.0\n"
+      "  ENDIF\n"
+      "ENDDO\n",
+      4);
+  ASSERT_EQ(p.ops.size(), 1u);
+  EXPECT_EQ(p.ops[0].kind, spmd::OpKind::Do);
+  ASSERT_EQ(p.ops[0].body.size(), 1u);
+  const spmd::Op& iff = p.ops[0].body[0];
+  EXPECT_EQ(iff.kind, spmd::OpKind::If);
+  EXPECT_EQ(iff.then_ops.size(), 1u);
+  EXPECT_EQ(iff.else_ops.size(), 1u);
+  EXPECT_FALSE(iff.cond.empty());
+}
+
+TEST(LowerSpmd, XlhpfModeCreatesExpressionTemps) {
+  spmd::Program p = lower_xlhpf(
+      "INTEGER N\nREAL A(N,N), B(N,N), T(N,N)\n"
+      "T = A + B\n");
+  // One expression temp for A+B, one final copy nest into T.
+  EXPECT_EQ(count_ops(p.ops, spmd::OpKind::LoopNest), 2);
+  int etemps = 0;
+  for (const auto& spec : p.arrays) {
+    if (spec.name.rfind("ETMP", 0) == 0) ++etemps;
+  }
+  EXPECT_EQ(etemps, 1);
+  // The temp is allocated and freed around its use.
+  EXPECT_EQ(count_ops(p.ops, spmd::OpKind::Alloc), 1);
+  EXPECT_EQ(count_ops(p.ops, spmd::OpKind::Free), 1);
+}
+
+TEST(LowerSpmd, XlhpfScalarSubexpressionsFoldInline) {
+  spmd::Program p = lower_xlhpf(
+      "INTEGER N\nREAL C1, C2\nREAL A(N,N), T(N,N)\n"
+      "T = C1 * C2 * A\n");
+  // (C1*C2) needs no array temp; only the op against A and the final
+  // assignment.
+  int etemps = 0;
+  for (const auto& spec : p.arrays) {
+    if (spec.name.rfind("ETMP", 0) == 0) ++etemps;
+  }
+  EXPECT_EQ(etemps, 1);
+}
+
+TEST(LowerSpmd, XlhpfUnaryMinus) {
+  spmd::Program p = lower_xlhpf(
+      "INTEGER N\nREAL A(N,N), T(N,N)\n"
+      "T = -A\n");
+  EXPECT_EQ(count_ops(p.ops, spmd::OpKind::LoopNest), 2);
+}
+
+TEST(LowerSpmd, UnscalarizedAssignIsInternalError) {
+  DiagnosticEngine diags;
+  auto lowered = frontend::lower_source(
+      "INTEGER N\nREAL A(N,N), B(N,N)\nA = B\n", diags);
+  LowerOptions cg;  // expr_temps = false, no scalarization ran
+  (void)lower_to_spmd(lowered.program, cg, diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(CommSummary, CountsInsideControlFlow) {
+  spmd::Program p = lower_level(kernels::kJacobiTimeLoop, 4, {"U", "T"});
+  auto comm = p.comm_summary();
+  EXPECT_EQ(comm.overlap_shifts, 4);
+  EXPECT_EQ(comm.full_shifts, 0);
+}
+
+}  // namespace
+}  // namespace hpfsc::codegen

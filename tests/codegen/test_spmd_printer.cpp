@@ -1,0 +1,118 @@
+#include "codegen/spmd_printer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "driver/compiler.hpp"
+#include "driver/paper_kernels.hpp"
+
+namespace hpfsc::codegen {
+namespace {
+
+spmd::Program compile(const char* src, CompilerOptions opts,
+                      std::vector<std::string> live_out = {"T"}) {
+  opts.passes.offset.live_out = std::move(live_out);
+  Compiler compiler;
+  return compiler.compile(src, opts).program;
+}
+
+TEST(SpmdPrinter, Problem9O4NodeProgram) {
+  spmd::Program p = compile(kernels::kProblem9, CompilerOptions::level(4));
+  std::string text = SpmdPrinter(p).print();
+  // Array table: U keeps storage with overlap areas; RIP is eliminated.
+  EXPECT_NE(text.find("* U(N,N) program array, overlap areas [1:1,1:1]"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("* RIP: storage eliminated (offset array)"),
+            std::string::npos);
+  // Communication: boundary exchanges, two with RSDs.
+  EXPECT_NE(text.find("CALL OVERLAP_SHIFT(U, SHIFT=-1, DIM=2, "
+                      "RSD=[0:N+1,*])   ! boundary exchange only"),
+            std::string::npos);
+  // The subgrid loop nest with ownership clamping and annotations.
+  EXPECT_NE(text.find("DO j = max(1, my_lo2), min(N, my_hi2), 4   "
+                      "! unroll-and-jam"),
+            std::string::npos);
+  EXPECT_NE(text.find("T(i,j) = U(i,j) + U(i+1,j) + U(i-1,j)"),
+            std::string::npos);
+  EXPECT_NE(text.find("! scalar replacement applied"), std::string::npos);
+}
+
+TEST(SpmdPrinter, O0ShowsFullShiftsAndTemps) {
+  spmd::Program p = compile(kernels::kProblem9, CompilerOptions::level(0));
+  std::string text = SpmdPrinter(p).print();
+  EXPECT_NE(text.find("CALL MPI_SENDRECV_SHIFT(RIP <- U, SHIFT=+1, DIM=1)"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("ALLOCATE TMP1"), std::string::npos);
+  EXPECT_NE(text.find("DEALLOCATE TMP1"), std::string::npos);
+}
+
+TEST(SpmdPrinter, CompensationCopyFusesIntoTheNest) {
+  // Scalarization turns the compensation copy into a nest statement and
+  // fuses it with the compute loop: RIP materializes inside the single
+  // subgrid loop.
+  spmd::Program p = compile(
+      "INTEGER N\nREAL U(N,N), T(N,N), RIP(N,N)\n"
+      "RIP = CSHIFT(U,SHIFT=+1,DIM=1)\n"
+      "T = U + RIP\n",
+      CompilerOptions::level(4), {"T", "RIP"});
+  std::string text = SpmdPrinter(p).print_ops();
+  EXPECT_NE(text.find("RIP(i,j) = U(i+1,j)"), std::string::npos) << text;
+  EXPECT_NE(text.find("T(i,j) = U(i,j) + U(i+1,j)"), std::string::npos);
+}
+
+TEST(SpmdPrinter, CopyOffsetOpRendering) {
+  // Direct rendering of a CopyOffset op (the unscalarized form).
+  spmd::Program p;
+  p.arrays.push_back(spmd::ArraySpec{.name = "RIP", .rank = 2});
+  p.arrays.push_back(spmd::ArraySpec{.name = "U", .rank = 2});
+  spmd::Op op;
+  op.kind = spmd::OpKind::CopyOffset;
+  op.array = 0;
+  op.src = 1;
+  op.copy_offset = {1, 0, 0};
+  p.ops.push_back(std::move(op));
+  EXPECT_EQ(SpmdPrinter(p).print_ops(),
+            "RIP = U<+1,0>   ! compensation copy\n");
+}
+
+TEST(SpmdPrinter, ControlFlowRendering) {
+  spmd::Program p = compile(
+      "INTEGER N, NSTEPS, F\nREAL U(N,N), T(N,N)\n"
+      "DO K = 1, NSTEPS\n"
+      "  IF (F > 0) THEN\n"
+      "    T = U\n"
+      "  ELSE\n"
+      "    T = U + 1.0\n"
+      "  ENDIF\n"
+      "ENDDO\n",
+      CompilerOptions::level(4));
+  std::string text = SpmdPrinter(p).print_ops();
+  EXPECT_NE(text.find("DO K = 1, NSTEPS"), std::string::npos);
+  EXPECT_NE(text.find("IF (F > 0"), std::string::npos);
+  EXPECT_NE(text.find("ELSE"), std::string::npos);
+  EXPECT_NE(text.find("ENDDO"), std::string::npos);
+}
+
+TEST(SpmdPrinter, EoShiftMarked) {
+  spmd::Program p = compile(
+      "INTEGER N\nREAL U(N,N), T(N,N)\n"
+      "T = EOSHIFT(U,+1,0.0,1)\n",
+      CompilerOptions::level(0));
+  std::string text = SpmdPrinter(p).print_ops();
+  EXPECT_NE(text.find("EOSHIFT"), std::string::npos);
+}
+
+TEST(SpmdPrinter, ExpressionRendering) {
+  spmd::Program p = compile(
+      "INTEGER N\nREAL C1\nREAL U(N,N), T(N,N)\n"
+      "T = C1 * (U + CSHIFT(U,+1,1)) - U / 2.0\n",
+      CompilerOptions::level(4));
+  std::string text = SpmdPrinter(p).print_ops();
+  EXPECT_NE(text.find("C1*(U(i,j) + U(i+1,j)) - U(i,j)/2.0"),
+            std::string::npos)
+      << text;
+}
+
+}  // namespace
+}  // namespace hpfsc::codegen

@@ -1,0 +1,122 @@
+#include "driver/compiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "driver/paper_kernels.hpp"
+
+namespace hpfsc {
+namespace {
+
+TEST(Compiler, CompilesProblem9AtEveryLevel) {
+  Compiler compiler;
+  for (int level = 0; level <= 4; ++level) {
+    CompilerOptions opts = CompilerOptions::level(level);
+    opts.passes.offset.live_out = {"T"};
+    CompiledProgram p = compiler.compile(kernels::kProblem9, opts);
+    EXPECT_FALSE(p.program.ops.empty()) << "level " << level;
+    EXPECT_FALSE(p.listings.empty());
+    EXPECT_EQ(p.listings.front().phase, "normalize");
+  }
+}
+
+TEST(Compiler, ListingsMatchEnabledPhases) {
+  Compiler compiler;
+  CompilerOptions opts = CompilerOptions::level(4);
+  opts.passes.offset.live_out = {"T"};
+  CompiledProgram p = compiler.compile(kernels::kProblem9, opts);
+  std::vector<std::string> phases;
+  for (const auto& l : p.listings) phases.push_back(l.phase);
+  EXPECT_EQ(phases, (std::vector<std::string>{
+                        "normalize", "offset-arrays", "context-partitioning",
+                        "communication-unioning", "scalarization",
+                        "memory-optimization"}));
+  CompiledProgram p0 =
+      compiler.compile(kernels::kProblem9, CompilerOptions::level(0));
+  phases.clear();
+  for (const auto& l : p0.listings) phases.push_back(l.phase);
+  EXPECT_EQ(phases,
+            (std::vector<std::string>{"normalize", "scalarization"}));
+}
+
+TEST(Compiler, XlhpfModeSkipsOptimizations) {
+  Compiler compiler;
+  CompiledProgram p =
+      compiler.compile(kernels::kProblem9, CompilerOptions::xlhpf_like());
+  auto comm = p.program.comm_summary();
+  EXPECT_EQ(comm.overlap_shifts, 0);
+  EXPECT_EQ(comm.full_shifts, 8);
+  ASSERT_EQ(p.listings.size(), 1u);
+  EXPECT_EQ(p.listings[0].phase, "normalize");
+}
+
+TEST(Compiler, SyntaxErrorThrowsCompileError) {
+  Compiler compiler;
+  try {
+    (void)compiler.compile("T = = B\n");
+    FAIL() << "expected CompileError";
+  } catch (const CompileError& e) {
+    EXPECT_NE(std::string(e.what()).find("error"), std::string::npos);
+  }
+}
+
+TEST(Compiler, SemanticErrorThrowsCompileError) {
+  Compiler compiler;
+  EXPECT_THROW((void)compiler.compile("T = U\n"), CompileError);
+}
+
+TEST(Compiler, NormalizeErrorThrowsCompileError) {
+  Compiler compiler;
+  EXPECT_THROW((void)compiler.compile(
+                   "INTEGER N\nREAL A(N,N), B(N,N)\n"
+                   "A(2:N-1,2:N-1) = B(1:N-1,2:N-1)\n"),
+               CompileError);
+}
+
+TEST(Compiler, ProcessorsDirectiveSurfaces) {
+  Compiler compiler;
+  CompiledProgram p = compiler.compile(
+      "!HPF$ PROCESSORS P(2,2)\n"
+      "INTEGER N\nREAL U(N,N), T(N,N)\n"
+      "T = U\n");
+  ASSERT_TRUE(p.processors.has_value());
+  EXPECT_EQ(*p.processors, (std::pair{2, 2}));
+}
+
+TEST(Compiler, WarningsSurfaceWithoutFailing) {
+  Compiler compiler;
+  CompiledProgram p = compiler.compile(
+      "!HPF$ TEMPLATE T0(100)\n"
+      "INTEGER N\nREAL U(N,N), T(N,N)\nT = U\n");
+  EXPECT_NE(p.diagnostics.find("warning"), std::string::npos);
+}
+
+TEST(Compiler, NormalFormInputAcceptedDirectly) {
+  // The paper's Figure 4 (already-normalized CM Fortran output) is a
+  // valid input program.
+  Compiler compiler;
+  CompilerOptions opts = CompilerOptions::level(4);
+  opts.passes.offset.live_out = {"DST"};
+  CompiledProgram p = compiler.compile(
+      "INTEGER N\n"
+      "REAL C1, C2, C3, C4, C5\n"
+      "REAL SRC(N,N), DST(N,N), TMP1(N,N), TMP2(N,N), TMP3(N,N), "
+      "TMP4(N,N)\n"
+      "ALLOCATE TMP1, TMP2, TMP3, TMP4\n"
+      "TMP1 = CSHIFT(SRC, SHIFT=-1, DIM=1)\n"
+      "TMP2 = CSHIFT(SRC, SHIFT=-1, DIM=2)\n"
+      "TMP3 = CSHIFT(SRC, SHIFT=+1, DIM=1)\n"
+      "TMP4 = CSHIFT(SRC, SHIFT=+1, DIM=2)\n"
+      "DST(2:N-1,2:N-1) = C1 * TMP1(2:N-1,2:N-1)  &\n"
+      "                 + C2 * TMP2(2:N-1,2:N-1)  &\n"
+      "                 + C3 * SRC(2:N-1,2:N-1)   &\n"
+      "                 + C4 * TMP3(2:N-1,2:N-1)  &\n"
+      "                 + C5 * TMP4(2:N-1,2:N-1)\n"
+      "DEALLOCATE TMP1, TMP2, TMP3, TMP4\n",
+      opts);
+  auto comm = p.program.comm_summary();
+  EXPECT_EQ(comm.overlap_shifts, 4);
+  EXPECT_EQ(comm.full_shifts, 0);
+}
+
+}  // namespace
+}  // namespace hpfsc

@@ -1,0 +1,141 @@
+// Property-based equivalence: randomly generated stencil programs must
+// produce bitwise-identical results at every optimization level (the
+// pipeline preserves evaluation order, so even floating-point rounding
+// must match), across machine shapes, and the optimized communication
+// must stay within one message per direction per dimension per array.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+#include <sstream>
+
+#include "driver/hpfsc.hpp"
+
+namespace hpfsc {
+namespace {
+
+/// Deterministic pseudo-random stencil program generator.
+struct GeneratedStencil {
+  std::string source;
+  int num_statements = 0;
+};
+
+GeneratedStencil generate(std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> shift_dist(-2, 2);
+  std::uniform_int_distribution<int> dim_dist(1, 2);
+  std::uniform_int_distribution<int> stmt_count(1, 4);
+  std::uniform_int_distribution<int> term_count(1, 3);
+  std::uniform_real_distribution<double> coef(-2.0, 2.0);
+
+  GeneratedStencil out;
+  std::ostringstream src;
+  src << "INTEGER N\nREAL U(N,N), T(N,N)\n"
+      << "!HPF$ DISTRIBUTE U(BLOCK,BLOCK)\n"
+      << "!HPF$ DISTRIBUTE T(BLOCK,BLOCK)\n";
+  const int stmts = stmt_count(rng);
+  out.num_statements = stmts;
+  for (int s = 0; s < stmts; ++s) {
+    src << "T = ";
+    if (s > 0) src << "T + ";
+    const int terms = term_count(rng);
+    for (int t = 0; t < terms; ++t) {
+      if (t > 0) src << " + ";
+      src << coef(rng) << " * ";
+      const int shift = shift_dist(rng);
+      if (shift == 0) {
+        src << "U";
+      } else {
+        src << "CSHIFT(U," << (shift > 0 ? "+" : "") << shift << ","
+            << dim_dist(rng) << ")";
+      }
+    }
+    src << "\n";
+  }
+  out.source = src.str();
+  return out;
+}
+
+class RandomStencilEquivalence
+    : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(RandomStencilEquivalence, AllLevelsProduceIdenticalResults) {
+  GeneratedStencil gen = generate(GetParam());
+  SCOPED_TRACE(gen.source);
+  const int n = 12;
+  std::vector<double> reference;
+  for (int level = 0; level <= 4; ++level) {
+    CompilerOptions opts = CompilerOptions::level(level);
+    opts.passes.offset.live_out = {"T"};
+    Compiler compiler;
+    CompiledProgram compiled = compiler.compile(gen.source, opts);
+    Execution exec(std::move(compiled.program), simpi::MachineConfig{});
+    exec.prepare(Bindings{}.set("N", n));
+    exec.set_array("U", [](int i, int j, int) {
+      return 1.0 / (i + 2 * j) + i * 0.01;
+    });
+    exec.run(1);
+    auto t = exec.get_array("T");
+    if (level == 0) {
+      reference = t;
+    } else {
+      // Bitwise equality: evaluation order is preserved end to end.
+      ASSERT_EQ(t, reference) << "level " << level;
+    }
+  }
+}
+
+TEST_P(RandomStencilEquivalence, MachineShapeDoesNotChangeResults) {
+  GeneratedStencil gen = generate(GetParam() + 1000);
+  SCOPED_TRACE(gen.source);
+  const int n = 12;
+  std::vector<double> reference;
+  for (auto [rows, cols] : {std::pair{1, 1}, {2, 2}, {4, 1}, {1, 4}, {2, 3}}) {
+    CompilerOptions opts = CompilerOptions::level(4);
+    opts.passes.offset.live_out = {"T"};
+    Compiler compiler;
+    CompiledProgram compiled = compiler.compile(gen.source, opts);
+    simpi::MachineConfig mc;
+    mc.pe_rows = rows;
+    mc.pe_cols = cols;
+    Execution exec(std::move(compiled.program), mc);
+    exec.prepare(Bindings{}.set("N", n));
+    exec.set_array("U", [](int i, int j, int) {
+      return 1.0 / (i + 2 * j) + i * 0.01;
+    });
+    exec.run(1);
+    auto t = exec.get_array("T");
+    if (reference.empty()) {
+      reference = t;
+    } else {
+      ASSERT_EQ(t, reference) << rows << "x" << cols;
+    }
+  }
+}
+
+TEST_P(RandomStencilEquivalence, UnionedCommunicationIsMinimal) {
+  GeneratedStencil gen = generate(GetParam() + 2000);
+  SCOPED_TRACE(gen.source);
+  CompilerOptions opts = CompilerOptions::level(4);
+  opts.passes.offset.live_out = {"T"};
+  Compiler compiler;
+  CompiledProgram compiled = compiler.compile(gen.source, opts);
+  // At most one overlap shift per (dimension, direction): <= 4 for 2-D.
+  auto summary = compiled.program.comm_summary();
+  EXPECT_LE(summary.overlap_shifts, 4);
+  // No duplicated (dim, direction) pairs among top-level overlap ops.
+  std::set<std::pair<int, int>> seen;
+  for (const spmd::Op& op : compiled.program.ops) {
+    if (op.kind != spmd::OpKind::OverlapShift) continue;
+    auto key = std::make_pair(op.dim, op.shift > 0 ? 1 : -1);
+    EXPECT_TRUE(seen.insert(key).second)
+        << "duplicate overlap shift dim=" << op.dim
+        << " shift=" << op.shift;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomStencilEquivalence,
+                         ::testing::Range(0u, 20u));
+
+}  // namespace
+}  // namespace hpfsc

@@ -1,0 +1,145 @@
+#include "executor/plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace hpfsc::exec {
+namespace {
+
+using spmd::Instr;
+
+spmd::Op nine_point_nest(bool scalar_replace, int unroll) {
+  // Problem 9's fused body: T = U + 8 neighbor adds, as 7 kernels.
+  spmd::Op op;
+  op.kind = spmd::OpKind::LoopNest;
+  op.rank = 2;
+  op.scalar_replace = scalar_replace;
+  op.unroll = unroll;
+  op.loop_order = {1, 0, 2};
+  auto load = [&](int di, int dj) {
+    spmd::Load l{0, {di, dj, 0}};  // array 0 = U
+    auto it = std::find(op.loads.begin(), op.loads.end(), l);
+    if (it != op.loads.end()) return static_cast<int>(it - op.loads.begin());
+    op.loads.push_back(l);
+    return static_cast<int>(op.loads.size() - 1);
+  };
+  int t_load = -1;
+  {
+    spmd::Load l{1, {0, 0, 0}};  // array 1 = T
+    op.loads.push_back(l);
+    t_load = static_cast<int>(op.loads.size() - 1);
+  }
+  auto push_load = [&](spmd::Kernel& k, int idx) {
+    k.code.push_back(Instr{Instr::Op::PushLoad, idx, 0.0});
+  };
+  auto add = [&](spmd::Kernel& k) {
+    k.code.push_back(Instr{Instr::Op::Add, 0, 0.0});
+  };
+  // Kernel 0: T = U + U<+1,0> + U<-1,0>
+  {
+    spmd::Kernel k;
+    k.lhs_array = 1;
+    push_load(k, load(0, 0));
+    push_load(k, load(1, 0));
+    add(k);
+    push_load(k, load(-1, 0));
+    add(k);
+    op.kernels.push_back(std::move(k));
+  }
+  // Kernels 1..6: T = T + U<di,dj>
+  const int offs[6][2] = {{0, -1}, {0, 1}, {1, -1}, {1, 1}, {-1, -1}, {-1, 1}};
+  for (auto& o : offs) {
+    spmd::Kernel k;
+    k.lhs_array = 1;
+    push_load(k, t_load);
+    push_load(k, load(o[0], o[1]));
+    add(k);
+    op.kernels.push_back(std::move(k));
+  }
+  return op;
+}
+
+int count(const KernelPlan& p, PlanInstr::Op op) {
+  int n = 0;
+  for (const PlanInstr& i : p.instrs) {
+    if (i.op == op) ++n;
+  }
+  return n;
+}
+
+TEST(KernelPlan, NaivePlanLoadsAndStoresEveryReference) {
+  spmd::Op nest = nine_point_nest(false, 1);
+  KernelPlan plan = build_kernel_plan(nest, 1, 1);
+  // 3 loads in kernel 0 + 2 per following kernel = 15 memory loads.
+  EXPECT_EQ(count(plan, PlanInstr::Op::LoadPtr), 15);
+  // Every kernel stores: 7 stores.
+  EXPECT_EQ(count(plan, PlanInstr::Op::PopStore), 7);
+  EXPECT_EQ(plan.num_regs, 0);
+}
+
+TEST(KernelPlan, ScalarReplacementEliminatesRedundancy) {
+  spmd::Op nest = nine_point_nest(true, 1);
+  KernelPlan plan = build_kernel_plan(nest, 1, 1);
+  // Exactly one memory load per distinct reference: 9 U values.  T's
+  // reads are forwarded from the previous kernel's register.
+  EXPECT_EQ(count(plan, PlanInstr::Op::LoadPtrCache), 9);
+  EXPECT_EQ(count(plan, PlanInstr::Op::LoadPtr), 0);
+  // Dead intermediate stores eliminated: a single final store of T.
+  EXPECT_EQ(count(plan, PlanInstr::Op::PopStore), 1);
+  EXPECT_EQ(plan.store_slots.size(), 1u);
+}
+
+TEST(KernelPlan, UnrollAndJamSharesLoadsAcrossInstances) {
+  spmd::Op nest = nine_point_nest(true, 4);
+  KernelPlan plan = build_kernel_plan(nest, 4, 1);
+  EXPECT_EQ(plan.width, 4);
+  // Unrolled naive would need 4*9 = 36 loads; jamming shares columns:
+  // the distinct U columns are j-1 .. j+4 -> 3 rows x 6 cols = 18.
+  EXPECT_EQ(count(plan, PlanInstr::Op::LoadPtrCache), 18);
+  // One store per unrolled instance.
+  EXPECT_EQ(count(plan, PlanInstr::Op::PopStore), 4);
+}
+
+TEST(KernelPlan, UnrollWithoutScalarReplacementJustRepeats) {
+  spmd::Op nest = nine_point_nest(false, 2);
+  KernelPlan plan = build_kernel_plan(nest, 2, 1);
+  EXPECT_EQ(count(plan, PlanInstr::Op::LoadPtr), 30);
+  EXPECT_EQ(count(plan, PlanInstr::Op::PopStore), 14);
+}
+
+TEST(KernelPlan, StackDepthTracked) {
+  spmd::Op nest = nine_point_nest(false, 1);
+  KernelPlan plan = build_kernel_plan(nest, 1, 1);
+  EXPECT_GE(plan.max_stack, 2);
+  EXPECT_LE(plan.max_stack, 4);
+}
+
+TEST(KernelPlan, ForwardingRespectsProgramOrder) {
+  // kernel0: A = B ; kernel1: C = A  — C must see the new A.
+  spmd::Op op;
+  op.kind = spmd::OpKind::LoopNest;
+  op.rank = 2;
+  op.scalar_replace = true;
+  op.loads.push_back(spmd::Load{1, {0, 0, 0}});  // B
+  op.loads.push_back(spmd::Load{0, {0, 0, 0}});  // A
+  {
+    spmd::Kernel k;
+    k.lhs_array = 0;
+    k.code.push_back(Instr{Instr::Op::PushLoad, 0, 0.0});
+    op.kernels.push_back(std::move(k));
+  }
+  {
+    spmd::Kernel k;
+    k.lhs_array = 2;  // C
+    k.code.push_back(Instr{Instr::Op::PushLoad, 1, 0.0});
+    op.kernels.push_back(std::move(k));
+  }
+  KernelPlan plan = build_kernel_plan(op, 1, 1);
+  // A is never loaded from memory: its value is forwarded from kernel 0.
+  for (const spmd::Load& l : plan.load_slots) EXPECT_NE(l.array, 0);
+  EXPECT_EQ(plan.store_slots.size(), 2u);
+}
+
+}  // namespace
+}  // namespace hpfsc::exec

@@ -1,0 +1,160 @@
+#include "frontend/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hpfsc::frontend {
+namespace {
+
+std::vector<Token> lex(std::string_view src) {
+  DiagnosticEngine diags;
+  Lexer lexer(src, diags);
+  auto toks = lexer.tokenize();
+  EXPECT_FALSE(diags.has_errors()) << diags.render_all();
+  return toks;
+}
+
+std::vector<TokenKind> kinds(const std::vector<Token>& toks) {
+  std::vector<TokenKind> out;
+  out.reserve(toks.size());
+  for (const Token& t : toks) out.push_back(t.kind);
+  return out;
+}
+
+TEST(Lexer, SimpleAssignment) {
+  auto toks = lex("T = U + 1");
+  ASSERT_EQ(toks.size(), 7u);  // 5 tokens + synthesized Newline + EOF
+  EXPECT_EQ(toks[0].kind, TokenKind::Ident);
+  EXPECT_EQ(toks[0].text, "T");
+  EXPECT_EQ(toks[1].kind, TokenKind::Assign);
+  EXPECT_EQ(toks[2].text, "U");
+  EXPECT_EQ(toks[3].kind, TokenKind::Plus);
+  EXPECT_EQ(toks[4].kind, TokenKind::IntLit);
+  EXPECT_EQ(toks[4].number, 1.0);
+  EXPECT_EQ(toks[5].kind, TokenKind::Newline);
+  // tokenize() appends EOF after the trailing newline.
+}
+
+TEST(Lexer, IdentifiersAreUpperCased) {
+  auto toks = lex("cshift(src, shift=-1, dim=1)");
+  EXPECT_EQ(toks[0].text, "CSHIFT");
+  EXPECT_EQ(toks[2].text, "SRC");
+  EXPECT_EQ(toks[4].text, "SHIFT");
+}
+
+TEST(Lexer, NumbersIntAndReal) {
+  auto toks = lex("2 2.5 .25 1E-3 1.5D2 3e2");
+  EXPECT_EQ(toks[0].kind, TokenKind::IntLit);
+  EXPECT_EQ(toks[1].kind, TokenKind::RealLit);
+  EXPECT_EQ(toks[1].number, 2.5);
+  EXPECT_EQ(toks[2].kind, TokenKind::RealLit);
+  EXPECT_EQ(toks[2].number, 0.25);
+  EXPECT_EQ(toks[3].kind, TokenKind::RealLit);
+  EXPECT_EQ(toks[3].number, 1e-3);
+  EXPECT_EQ(toks[4].kind, TokenKind::RealLit);
+  EXPECT_EQ(toks[4].number, 150.0);
+  EXPECT_EQ(toks[5].kind, TokenKind::RealLit);
+  EXPECT_EQ(toks[5].number, 300.0);
+}
+
+TEST(Lexer, ContinuationSplicesLines) {
+  auto toks = lex("T = A &\n  + B\nX = 1\n");
+  // No Newline between A and +.
+  std::vector<TokenKind> expect{
+      TokenKind::Ident, TokenKind::Assign, TokenKind::Ident, TokenKind::Plus,
+      TokenKind::Ident, TokenKind::Newline,
+      TokenKind::Ident, TokenKind::Assign, TokenKind::IntLit,
+      TokenKind::Newline, TokenKind::EndOfFile};
+  EXPECT_EQ(kinds(toks), expect);
+}
+
+TEST(Lexer, LeadingAmpersandOnContinuationLine) {
+  auto toks = lex("T = A &\n& + B\n");
+  std::vector<TokenKind> expect{
+      TokenKind::Ident, TokenKind::Assign, TokenKind::Ident, TokenKind::Plus,
+      TokenKind::Ident, TokenKind::Newline, TokenKind::EndOfFile};
+  EXPECT_EQ(kinds(toks), expect);
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  auto toks = lex("T = A  ! trailing comment\n! whole-line comment\nX = 1\n");
+  std::vector<TokenKind> expect{
+      TokenKind::Ident, TokenKind::Assign, TokenKind::Ident,
+      TokenKind::Newline,
+      TokenKind::Ident, TokenKind::Assign, TokenKind::IntLit,
+      TokenKind::Newline, TokenKind::EndOfFile};
+  EXPECT_EQ(kinds(toks), expect);
+}
+
+TEST(Lexer, HpfDirectiveBecomesToken) {
+  auto toks = lex("!HPF$ DISTRIBUTE U(BLOCK,BLOCK)\nT = U\n");
+  ASSERT_EQ(toks[0].kind, TokenKind::Directive);
+  EXPECT_EQ(toks[0].text, " DISTRIBUTE U(BLOCK,BLOCK)");
+  EXPECT_EQ(toks[1].kind, TokenKind::Ident);
+}
+
+TEST(Lexer, DirectiveIsCaseInsensitive) {
+  auto toks = lex("!hpf$ distribute u(block,block)\n");
+  ASSERT_EQ(toks[0].kind, TokenKind::Directive);
+  EXPECT_EQ(toks[0].text, " DISTRIBUTE U(BLOCK,BLOCK)");
+}
+
+TEST(Lexer, RelationalOperators) {
+  auto toks = lex("a < b <= c > d >= e == f /= g");
+  EXPECT_EQ(toks[1].kind, TokenKind::Lt);
+  EXPECT_EQ(toks[3].kind, TokenKind::Le);
+  EXPECT_EQ(toks[5].kind, TokenKind::Gt);
+  EXPECT_EQ(toks[7].kind, TokenKind::Ge);
+  EXPECT_EQ(toks[9].kind, TokenKind::EqEq);
+  EXPECT_EQ(toks[11].kind, TokenKind::Ne);
+}
+
+TEST(Lexer, DottedOperators) {
+  auto toks = lex("a .GT. b .le. c .EQ. d");
+  EXPECT_EQ(toks[1].kind, TokenKind::Gt);
+  EXPECT_EQ(toks[3].kind, TokenKind::Le);
+  EXPECT_EQ(toks[5].kind, TokenKind::EqEq);
+}
+
+TEST(Lexer, DottedLogicalLiterals) {
+  auto toks = lex("x = .TRUE.\ny = .FALSE.\n");
+  EXPECT_EQ(toks[2].kind, TokenKind::IntLit);
+  EXPECT_EQ(toks[2].number, 1.0);
+  EXPECT_EQ(toks[6].number, 0.0);
+}
+
+TEST(Lexer, ColonAndDoubleColon) {
+  auto toks = lex("REAL :: A(2:3)");
+  EXPECT_EQ(toks[1].kind, TokenKind::DoubleColon);
+  EXPECT_EQ(toks[4].kind, TokenKind::IntLit);
+  EXPECT_EQ(toks[5].kind, TokenKind::Colon);
+}
+
+TEST(Lexer, SlashVersusNotEqual) {
+  auto toks = lex("a / b /= c");
+  EXPECT_EQ(toks[1].kind, TokenKind::Slash);
+  EXPECT_EQ(toks[3].kind, TokenKind::Ne);
+}
+
+TEST(Lexer, ReportsUnexpectedCharacter) {
+  DiagnosticEngine diags;
+  Lexer lexer("a = b # c", diags);
+  (void)lexer.tokenize();
+  EXPECT_TRUE(diags.has_errors());
+  EXPECT_NE(diags.render_all().find("unexpected character"),
+            std::string::npos);
+}
+
+TEST(Lexer, EmptyInputYieldsEof) {
+  auto toks = lex("");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, TokenKind::EndOfFile);
+}
+
+TEST(Lexer, TracksLineNumbers) {
+  auto toks = lex("a = 1\nb = 2\n");
+  EXPECT_EQ(toks[0].loc.line, 1u);
+  EXPECT_EQ(toks[4].loc.line, 2u);
+}
+
+}  // namespace
+}  // namespace hpfsc::frontend

@@ -1,0 +1,270 @@
+#include "frontend/lower.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/printer.hpp"
+
+namespace hpfsc::frontend {
+namespace {
+
+LowerResult lower_ok(std::string_view src) {
+  DiagnosticEngine diags;
+  LowerResult r = lower_source(src, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.render_all();
+  return r;
+}
+
+std::string lower_error(std::string_view src) {
+  DiagnosticEngine diags;
+  (void)lower_source(src, diags);
+  EXPECT_TRUE(diags.has_errors());
+  return diags.render_all();
+}
+
+constexpr const char* kFivePoint = R"(
+PROGRAM FIVEPT
+INTEGER, PARAMETER :: N = 8
+REAL C1, C2, C3, C4, C5
+REAL SRC(N,N), DST(N,N)
+!HPF$ DISTRIBUTE SRC(BLOCK,BLOCK)
+!HPF$ DISTRIBUTE DST(BLOCK,BLOCK)
+DST(2:N-1,2:N-1) = C1 * SRC(1:N-2,2:N-1)  &
+                 + C2 * SRC(2:N-1,1:N-2)  &
+                 + C3 * SRC(2:N-1,2:N-1)  &
+                 + C4 * SRC(3:N  ,2:N-1)  &
+                 + C5 * SRC(2:N-1,3:N  )
+END
+)";
+
+TEST(Lower, FivePointStencilBuildsSymbolsAndBody) {
+  LowerResult r = lower_ok(kFivePoint);
+  const ir::Program& p = r.program;
+  EXPECT_EQ(p.name, "FIVEPT");
+  ASSERT_TRUE(p.symbols.find_array("SRC"));
+  ASSERT_TRUE(p.symbols.find_array("DST"));
+  ASSERT_TRUE(p.symbols.find_scalar("N"));
+  const ir::ScalarSymbol& n = p.symbols.scalar(*p.symbols.find_scalar("N"));
+  EXPECT_TRUE(n.is_param);
+  ASSERT_TRUE(n.init.has_value());
+  EXPECT_EQ(*n.init, 8.0);
+  ASSERT_EQ(p.body.size(), 1u);
+  EXPECT_EQ(p.body[0]->kind, ir::StmtKind::ArrayAssign);
+  const auto& assign = static_cast<const ir::ArrayAssignStmt&>(*p.body[0]);
+  ASSERT_EQ(assign.lhs.section.size(), 2u);
+  EXPECT_EQ(assign.lhs.section[0].lo, ir::AffineBound(2));
+  EXPECT_EQ(assign.lhs.section[0].hi, (ir::AffineBound{"N", -1}));
+}
+
+TEST(Lower, FivePointPrintsLikePaperFigure1) {
+  LowerResult r = lower_ok(kFivePoint);
+  ir::Printer printer(r.program);
+  EXPECT_EQ(printer.print_body(),
+            "DST(2:N-1,2:N-1) = C1*SRC(1:N-2,2:N-1) + C2*SRC(2:N-1,1:N-2) + "
+            "C3*SRC(2:N-1,2:N-1) + C4*SRC(3:N,2:N-1) + C5*SRC(2:N-1,3:N)\n");
+}
+
+TEST(Lower, CShiftLowersToShiftExpr) {
+  LowerResult r = lower_ok(
+      "INTEGER, PARAMETER :: N = 8\n"
+      "REAL U(N,N), RIP(N,N)\n"
+      "RIP = CSHIFT(U,SHIFT=+1,DIM=1)\n");
+  const auto& assign =
+      static_cast<const ir::ArrayAssignStmt&>(*r.program.body[0]);
+  ASSERT_EQ(assign.rhs->kind, ir::ExprKind::Shift);
+  EXPECT_EQ(assign.rhs->shift, 1);
+  EXPECT_EQ(assign.rhs->dim, 0);  // DIM=1 is 0-based internally
+  EXPECT_EQ(assign.rhs->intrinsic, ir::ShiftIntrinsic::CShift);
+}
+
+TEST(Lower, CShiftPositionalArgs) {
+  LowerResult r = lower_ok(
+      "INTEGER, PARAMETER :: N = 8\n"
+      "REAL U(N,N), T(N,N)\n"
+      "T = CSHIFT(U,-1,2)\n");
+  const auto& assign =
+      static_cast<const ir::ArrayAssignStmt&>(*r.program.body[0]);
+  EXPECT_EQ(assign.rhs->shift, -1);
+  EXPECT_EQ(assign.rhs->dim, 1);
+}
+
+TEST(Lower, CShiftDefaultDimIsOne) {
+  LowerResult r = lower_ok(
+      "INTEGER, PARAMETER :: N = 8\n"
+      "REAL U(N,N), T(N,N)\n"
+      "T = CSHIFT(U,2)\n");
+  const auto& assign =
+      static_cast<const ir::ArrayAssignStmt&>(*r.program.body[0]);
+  EXPECT_EQ(assign.rhs->shift, 2);
+  EXPECT_EQ(assign.rhs->dim, 0);
+}
+
+TEST(Lower, EoShiftWithBoundary) {
+  LowerResult r = lower_ok(
+      "INTEGER, PARAMETER :: N = 8\n"
+      "REAL U(N,N), T(N,N)\n"
+      "T = EOSHIFT(U,SHIFT=-1,BOUNDARY=0.0,DIM=2)\n");
+  const auto& assign =
+      static_cast<const ir::ArrayAssignStmt&>(*r.program.body[0]);
+  ASSERT_EQ(assign.rhs->kind, ir::ExprKind::Shift);
+  EXPECT_EQ(assign.rhs->intrinsic, ir::ShiftIntrinsic::EoShift);
+  ASSERT_NE(assign.rhs->boundary, nullptr);
+  EXPECT_EQ(assign.rhs->boundary->value, 0.0);
+}
+
+TEST(Lower, DistributeDirectiveApplied) {
+  LowerResult r = lower_ok(
+      "INTEGER, PARAMETER :: N = 8\n"
+      "REAL A(N,N)\n"
+      "!HPF$ DISTRIBUTE A(BLOCK,*)\n");
+  const ir::ArraySymbol& a =
+      r.program.symbols.array(*r.program.symbols.find_array("A"));
+  EXPECT_EQ(a.dist[0], ir::DistKind::Block);
+  EXPECT_EQ(a.dist[1], ir::DistKind::Collapsed);
+}
+
+TEST(Lower, DefaultDistributionIsBlockBlock) {
+  LowerResult r = lower_ok(
+      "INTEGER, PARAMETER :: N = 8\nREAL A(N,N)\n");
+  const ir::ArraySymbol& a =
+      r.program.symbols.array(*r.program.symbols.find_array("A"));
+  EXPECT_EQ(a.dist[0], ir::DistKind::Block);
+  EXPECT_EQ(a.dist[1], ir::DistKind::Block);
+}
+
+TEST(Lower, AlignCopiesDistribution) {
+  LowerResult r = lower_ok(
+      "INTEGER, PARAMETER :: N = 8\n"
+      "REAL A(N,N), B(N,N)\n"
+      "!HPF$ DISTRIBUTE A(BLOCK,*)\n"
+      "!HPF$ ALIGN B WITH A\n");
+  const ir::ArraySymbol& b =
+      r.program.symbols.array(*r.program.symbols.find_array("B"));
+  EXPECT_EQ(b.dist[0], ir::DistKind::Block);
+  EXPECT_EQ(b.dist[1], ir::DistKind::Collapsed);
+}
+
+TEST(Lower, ProcessorsDirectiveReturnsGrid) {
+  LowerResult r = lower_ok("!HPF$ PROCESSORS P(2,2)\n");
+  ASSERT_TRUE(r.processors.has_value());
+  EXPECT_EQ(r.processors->first, 2);
+  EXPECT_EQ(r.processors->second, 2);
+}
+
+TEST(Lower, AllocateResolvesArrays) {
+  LowerResult r = lower_ok(
+      "INTEGER, PARAMETER :: N = 8\n"
+      "REAL TMP(N,N)\n"
+      "ALLOCATE TMP\n"
+      "DEALLOCATE TMP\n");
+  ASSERT_EQ(r.program.body.size(), 2u);
+  EXPECT_EQ(r.program.body[0]->kind, ir::StmtKind::Alloc);
+  EXPECT_EQ(r.program.body[1]->kind, ir::StmtKind::Free);
+}
+
+TEST(Lower, DoLoopAndIfLower) {
+  LowerResult r = lower_ok(
+      "INTEGER, PARAMETER :: N = 8\n"
+      "INTEGER NSTEPS\n"
+      "REAL U(N,N), T(N,N)\n"
+      "DO K = 1, NSTEPS\n"
+      "  IF (K > 1) THEN\n"
+      "    T = U\n"
+      "  ENDIF\n"
+      "ENDDO\n");
+  ASSERT_EQ(r.program.body.size(), 1u);
+  const auto& loop = static_cast<const ir::DoStmt&>(*r.program.body[0]);
+  EXPECT_EQ(loop.hi, (ir::AffineBound{"NSTEPS", 0}));
+  ASSERT_EQ(loop.body.size(), 1u);
+  EXPECT_EQ(loop.body[0]->kind, ir::StmtKind::If);
+}
+
+TEST(Lower, ImplicitLoopVariableDeclared) {
+  LowerResult r = lower_ok(
+      "INTEGER, PARAMETER :: N = 4\nREAL U(N,N)\nDO K = 1, 3\nU = U\nENDDO\n");
+  ASSERT_TRUE(r.program.symbols.find_scalar("K").has_value());
+}
+
+TEST(Lower, Problem9KernelLowersCompletely) {
+  // Paper Figure 3 (Purdue Set problem 9).
+  LowerResult r = lower_ok(
+      "INTEGER, PARAMETER :: N = 8\n"
+      "REAL U(N,N), T(N,N), RIP(N,N), RIN(N,N)\n"
+      "!HPF$ DISTRIBUTE U(BLOCK,BLOCK)\n"
+      "!HPF$ DISTRIBUTE T(BLOCK,BLOCK)\n"
+      "!HPF$ DISTRIBUTE RIP(BLOCK,BLOCK)\n"
+      "!HPF$ DISTRIBUTE RIN(BLOCK,BLOCK)\n"
+      "RIP = CSHIFT(U,SHIFT=+1,DIM=1)\n"
+      "RIN = CSHIFT(U,SHIFT=-1,DIM=1)\n"
+      "T = U + RIP + RIN\n"
+      "T = T + CSHIFT(U,SHIFT=-1,DIM=2)\n"
+      "T = T + CSHIFT(U,SHIFT=+1,DIM=2)\n"
+      "T = T + CSHIFT(RIP,SHIFT=-1,DIM=2)\n"
+      "T = T + CSHIFT(RIP,SHIFT=+1,DIM=2)\n"
+      "T = T + CSHIFT(RIN,SHIFT=-1,DIM=2)\n"
+      "T = T + CSHIFT(RIN,SHIFT=+1,DIM=2)\n");
+  EXPECT_EQ(r.program.body.size(), 9u);
+}
+
+// ----------------------------------------------------------- errors --
+
+TEST(Lower, RejectsUndeclaredNames) {
+  EXPECT_NE(lower_error("T = U\n").find("undeclared"), std::string::npos);
+}
+
+TEST(Lower, RejectsNonConstantShift) {
+  std::string err = lower_error(
+      "INTEGER M\nREAL U(8,8), T(8,8)\nT = CSHIFT(U,M,1)\n");
+  EXPECT_NE(err.find("SHIFT must be an integer constant"), std::string::npos);
+}
+
+TEST(Lower, RejectsCallStatements) {
+  std::string err = lower_error(
+      "REAL U(8,8)\nCALL OVERLAP_CSHIFT(U, 1, 1)\n");
+  EXPECT_NE(err.find("not supported"), std::string::npos);
+}
+
+TEST(Lower, RejectsQuadraticBound) {
+  std::string err = lower_error(
+      "INTEGER, PARAMETER :: N = 8\n"
+      "REAL A(N,N), B(N,N)\n"
+      "A(1:N*N,1:N) = B\n");
+  EXPECT_NE(err.find("affine"), std::string::npos);
+}
+
+TEST(Lower, RejectsRankMismatch) {
+  std::string err = lower_error(
+      "INTEGER, PARAMETER :: N = 8\n"
+      "REAL A(N,N), B(N,N)\n"
+      "A(1:N) = B\n");
+  EXPECT_NE(err.find("rank"), std::string::npos);
+}
+
+TEST(Lower, RejectsIntegerArrays) {
+  std::string err = lower_error("INTEGER A(8,8)\n");
+  EXPECT_NE(err.find("only REAL arrays"), std::string::npos);
+}
+
+TEST(Lower, RejectsDeferredShape) {
+  std::string err =
+      lower_error("REAL, ALLOCATABLE :: A(:,:)\n");
+  EXPECT_NE(err.find("deferred-shape"), std::string::npos);
+}
+
+TEST(Lower, RejectsScalarSubscripted) {
+  std::string err = lower_error("REAL X\nX(1) = 2\n");
+  EXPECT_NE(err.find("scalar but subscripted"), std::string::npos);
+}
+
+TEST(Lower, RejectsArrayInScalarContext) {
+  std::string err = lower_error(
+      "INTEGER, PARAMETER :: N = 8\nREAL A(N,N)\nIF (A > 1) THEN\nENDIF\n");
+  EXPECT_NE(err.find("not a scalar"), std::string::npos);
+}
+
+TEST(Lower, RejectsRedeclaration) {
+  std::string err = lower_error("REAL X\nINTEGER X\n");
+  EXPECT_NE(err.find("redeclaration"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hpfsc::frontend

@@ -1,0 +1,261 @@
+#include "frontend/parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hpfsc::frontend {
+namespace {
+
+ast::Program parse(std::string_view src) {
+  DiagnosticEngine diags;
+  ast::Program p = Parser::parse_source(src, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.render_all();
+  return p;
+}
+
+TEST(Parser, ProgramNameAndEnd) {
+  auto p = parse("PROGRAM STENCIL\nEND PROGRAM STENCIL\n");
+  EXPECT_EQ(p.name, "STENCIL");
+  EXPECT_TRUE(p.stmts.empty());
+}
+
+TEST(Parser, ScalarDeclWithParameter) {
+  auto p = parse("INTEGER, PARAMETER :: N = 512\n");
+  ASSERT_EQ(p.decls.size(), 1u);
+  const ast::Decl& d = p.decls[0];
+  EXPECT_EQ(d.base, ir::ScalarType::Integer);
+  EXPECT_TRUE(d.parameter);
+  ASSERT_EQ(d.entities.size(), 1u);
+  EXPECT_EQ(d.entities[0].name, "N");
+  ASSERT_NE(d.entities[0].init, nullptr);
+  EXPECT_EQ(d.entities[0].init->number, 512.0);
+}
+
+TEST(Parser, ArrayDeclMultipleEntities) {
+  auto p = parse("REAL U(N,N), T(N,N), C1\n");
+  ASSERT_EQ(p.decls.size(), 1u);
+  ASSERT_EQ(p.decls[0].entities.size(), 3u);
+  EXPECT_EQ(p.decls[0].entities[0].dims.size(), 2u);
+  EXPECT_EQ(p.decls[0].entities[2].dims.size(), 0u);
+}
+
+TEST(Parser, DimensionAttribute) {
+  auto p = parse("REAL, DIMENSION(N,N) :: A, B\n");
+  ASSERT_EQ(p.decls.size(), 1u);
+  EXPECT_EQ(p.decls[0].dimension_attr.size(), 2u);
+  EXPECT_EQ(p.decls[0].entities.size(), 2u);
+}
+
+TEST(Parser, DistributeDirective) {
+  auto p = parse("REAL U(8,8)\n!HPF$ DISTRIBUTE U(BLOCK,BLOCK)\n");
+  ASSERT_EQ(p.distributes.size(), 1u);
+  EXPECT_EQ(p.distributes[0].array, "U");
+  EXPECT_EQ(p.distributes[0].dist,
+            (std::vector<std::string>{"BLOCK", "BLOCK"}));
+}
+
+TEST(Parser, DistributeWithCollapsedDimAndOnto) {
+  auto p = parse("!HPF$ PROCESSORS P(2,2)\n!HPF$ DISTRIBUTE A(BLOCK,*) ONTO P\n");
+  ASSERT_EQ(p.processors.size(), 1u);
+  EXPECT_EQ(p.processors[0].name, "P");
+  EXPECT_EQ(p.processors[0].extents, (std::vector<int>{2, 2}));
+  ASSERT_EQ(p.distributes.size(), 1u);
+  EXPECT_EQ(p.distributes[0].dist, (std::vector<std::string>{"BLOCK", "*"}));
+  EXPECT_EQ(p.distributes[0].onto, "P");
+}
+
+TEST(Parser, AlignDirective) {
+  auto p = parse("!HPF$ ALIGN B WITH A\n");
+  ASSERT_EQ(p.aligns.size(), 1u);
+  EXPECT_EQ(p.aligns[0].array, "B");
+  EXPECT_EQ(p.aligns[0].target, "A");
+}
+
+TEST(Parser, UnknownDirectiveWarnsButParses) {
+  DiagnosticEngine diags;
+  auto p = Parser::parse_source("!HPF$ TEMPLATE T(100)\nX = 1\n", diags);
+  EXPECT_FALSE(diags.has_errors());
+  EXPECT_EQ(p.stmts.size(), 1u);
+}
+
+TEST(Parser, WholeArrayAssignment) {
+  auto p = parse("T = U + RIP + RIN\n");
+  ASSERT_EQ(p.stmts.size(), 1u);
+  const ast::Stmt& s = *p.stmts[0];
+  EXPECT_EQ(s.kind, ast::StmtKind::Assign);
+  EXPECT_EQ(s.target, "T");
+  EXPECT_FALSE(s.target_has_parens);
+  EXPECT_EQ(s.rhs->kind, ast::ExprKind::Binary);
+}
+
+TEST(Parser, SectionAssignment) {
+  auto p = parse("DST(2:N-1,2:N-1) = C1 * SRC(1:N-2,2:N-1)\n");
+  const ast::Stmt& s = *p.stmts[0];
+  EXPECT_TRUE(s.target_has_parens);
+  ASSERT_EQ(s.target_args.size(), 2u);
+  EXPECT_EQ(s.target_args[0].value->kind, ast::ExprKind::Range);
+  const ast::Expr& rhs = *s.rhs;
+  EXPECT_EQ(rhs.kind, ast::ExprKind::Binary);
+  EXPECT_EQ(rhs.op, ir::BinaryOp::Mul);
+  EXPECT_EQ(rhs.rhs->kind, ast::ExprKind::Apply);
+  EXPECT_EQ(rhs.rhs->name, "SRC");
+}
+
+TEST(Parser, CShiftWithKeywords) {
+  auto p = parse("RIP = CSHIFT(U,SHIFT=+1,DIM=1)\n");
+  const ast::Expr& rhs = *p.stmts[0]->rhs;
+  ASSERT_EQ(rhs.kind, ast::ExprKind::Apply);
+  EXPECT_EQ(rhs.name, "CSHIFT");
+  ASSERT_EQ(rhs.args.size(), 3u);
+  EXPECT_EQ(rhs.args[0].keyword, "");
+  EXPECT_EQ(rhs.args[1].keyword, "SHIFT");
+  EXPECT_EQ(rhs.args[2].keyword, "DIM");
+}
+
+TEST(Parser, NestedCShift) {
+  auto p = parse("T = CSHIFT(CSHIFT(SRC,-1,1),-1,2)\n");
+  const ast::Expr& rhs = *p.stmts[0]->rhs;
+  ASSERT_EQ(rhs.kind, ast::ExprKind::Apply);
+  ASSERT_EQ(rhs.args.size(), 3u);
+  EXPECT_EQ(rhs.args[0].value->kind, ast::ExprKind::Apply);
+  EXPECT_EQ(rhs.args[0].value->name, "CSHIFT");
+}
+
+TEST(Parser, FullRangeAndHalfOpenSections) {
+  auto p = parse("A(:,1:) = B(:N,2)\n");
+  const ast::Stmt& s = *p.stmts[0];
+  const ast::Expr& r0 = *s.target_args[0].value;
+  EXPECT_EQ(r0.kind, ast::ExprKind::Range);
+  EXPECT_EQ(r0.lhs, nullptr);
+  EXPECT_EQ(r0.rhs, nullptr);
+  const ast::Expr& r1 = *s.target_args[1].value;
+  EXPECT_NE(r1.lhs, nullptr);
+  EXPECT_EQ(r1.rhs, nullptr);
+  const ast::Expr& b = *s.rhs;
+  EXPECT_EQ(b.args[0].value->kind, ast::ExprKind::Range);
+  EXPECT_EQ(b.args[0].value->lhs, nullptr);
+  EXPECT_NE(b.args[0].value->rhs, nullptr);
+  EXPECT_EQ(b.args[1].value->kind, ast::ExprKind::Number);
+}
+
+TEST(Parser, AllocateForms) {
+  auto p = parse("ALLOCATE TMP1, TMP2\nALLOCATE(TMP3)\nDEALLOCATE TMP1\n");
+  ASSERT_EQ(p.stmts.size(), 3u);
+  EXPECT_EQ(p.stmts[0]->kind, ast::StmtKind::Allocate);
+  EXPECT_EQ(p.stmts[0]->names, (std::vector<std::string>{"TMP1", "TMP2"}));
+  EXPECT_EQ(p.stmts[1]->names, (std::vector<std::string>{"TMP3"}));
+  EXPECT_EQ(p.stmts[2]->kind, ast::StmtKind::Deallocate);
+}
+
+TEST(Parser, AllocateWithShape) {
+  auto p = parse("ALLOCATE(TMP(N,N))\n");
+  EXPECT_EQ(p.stmts[0]->names, (std::vector<std::string>{"TMP"}));
+}
+
+TEST(Parser, IfThenElse) {
+  auto p = parse(
+      "IF (K > 1) THEN\n"
+      "  T = U\n"
+      "ELSE\n"
+      "  T = V\n"
+      "ENDIF\n");
+  ASSERT_EQ(p.stmts.size(), 1u);
+  const ast::Stmt& s = *p.stmts[0];
+  EXPECT_EQ(s.kind, ast::StmtKind::If);
+  EXPECT_EQ(s.then_block.size(), 1u);
+  EXPECT_EQ(s.else_block.size(), 1u);
+  EXPECT_EQ(s.cond->op, ir::BinaryOp::Gt);
+}
+
+TEST(Parser, IfEndIfTwoWords) {
+  auto p = parse("IF (K > 1) THEN\nT = U\nEND IF\n");
+  EXPECT_EQ(p.stmts[0]->then_block.size(), 1u);
+}
+
+TEST(Parser, OneLineIf) {
+  auto p = parse("IF (K == 0) T = U\n");
+  const ast::Stmt& s = *p.stmts[0];
+  EXPECT_EQ(s.kind, ast::StmtKind::If);
+  ASSERT_EQ(s.then_block.size(), 1u);
+  EXPECT_TRUE(s.else_block.empty());
+}
+
+TEST(Parser, DoLoop) {
+  auto p = parse("DO K = 1, NSTEPS\nT = U\nENDDO\n");
+  const ast::Stmt& s = *p.stmts[0];
+  EXPECT_EQ(s.kind, ast::StmtKind::Do);
+  EXPECT_EQ(s.do_var, "K");
+  EXPECT_EQ(s.body.size(), 1u);
+}
+
+TEST(Parser, DoEndDoTwoWords) {
+  auto p = parse("DO K = 1, 10\nT = U\nEND DO\n");
+  EXPECT_EQ(p.stmts[0]->body.size(), 1u);
+}
+
+TEST(Parser, NestedControlFlow) {
+  auto p = parse(
+      "DO K = 1, 10\n"
+      "  IF (K > 5) THEN\n"
+      "    T = U\n"
+      "  ENDIF\n"
+      "ENDDO\n");
+  const ast::Stmt& loop = *p.stmts[0];
+  ASSERT_EQ(loop.body.size(), 1u);
+  EXPECT_EQ(loop.body[0]->kind, ast::StmtKind::If);
+}
+
+TEST(Parser, CallStatement) {
+  auto p = parse("CALL FOO(A, B)\n");
+  const ast::Stmt& s = *p.stmts[0];
+  EXPECT_EQ(s.kind, ast::StmtKind::Call);
+  EXPECT_EQ(s.callee, "FOO");
+  EXPECT_EQ(s.call_args.size(), 2u);
+}
+
+TEST(Parser, PrecedenceMulBeforeAdd) {
+  auto p = parse("T = A + B * C\n");
+  const ast::Expr& rhs = *p.stmts[0]->rhs;
+  EXPECT_EQ(rhs.op, ir::BinaryOp::Add);
+  EXPECT_EQ(rhs.rhs->op, ir::BinaryOp::Mul);
+}
+
+TEST(Parser, UnaryMinusAndParens) {
+  auto p = parse("T = -(A + B) * C\n");
+  const ast::Expr& rhs = *p.stmts[0]->rhs;
+  EXPECT_EQ(rhs.op, ir::BinaryOp::Mul);
+  EXPECT_EQ(rhs.lhs->kind, ast::ExprKind::Unary);
+}
+
+TEST(Parser, ContinuedMultiLineStencil) {
+  auto p = parse(
+      "DST(2:N-1,2:N-1) = C1 * SRC(1:N-2,2:N-1)  &\n"
+      "                 + C2 * SRC(2:N-1,1:N-2)  &\n"
+      "                 + C3 * SRC(2:N-1,2:N-1)\n");
+  ASSERT_EQ(p.stmts.size(), 1u);
+  EXPECT_EQ(p.stmts[0]->rhs->kind, ast::ExprKind::Binary);
+}
+
+TEST(Parser, ErrorRecoveryContinuesParsing) {
+  DiagnosticEngine diags;
+  auto p = Parser::parse_source("T = = B\nX = 1\n", diags);
+  EXPECT_TRUE(diags.has_errors());
+  // The second statement still parses.
+  ASSERT_GE(p.stmts.size(), 1u);
+  EXPECT_EQ(p.stmts.back()->target, "X");
+}
+
+TEST(Parser, UnterminatedBlockReported) {
+  DiagnosticEngine diags;
+  (void)Parser::parse_source("DO K = 1, 10\nT = U\n", diags);
+  EXPECT_TRUE(diags.has_errors());
+  EXPECT_NE(diags.render_all().find("unterminated"), std::string::npos);
+}
+
+TEST(Parser, DoStrideRejected) {
+  DiagnosticEngine diags;
+  (void)Parser::parse_source("DO K = 1, 10, 2\nENDDO\n", diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+}  // namespace
+}  // namespace hpfsc::frontend

@@ -1,0 +1,120 @@
+// Robustness: the frontend must never crash — random garbage, truncated
+// programs, deeply nested expressions, and adversarial token sequences
+// must produce diagnostics, not undefined behavior.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+#include "frontend/lower.hpp"
+
+namespace hpfsc::frontend {
+namespace {
+
+void expect_survives(const std::string& src) {
+  DiagnosticEngine diags;
+  (void)lower_source(src, diags);  // must not crash or hang
+}
+
+TEST(Robustness, RandomPrintableGarbage) {
+  std::mt19937 rng(42);
+  std::uniform_int_distribution<int> len(0, 200);
+  std::uniform_int_distribution<int> chr(32, 126);
+  for (int round = 0; round < 200; ++round) {
+    std::string src;
+    const int length = len(rng);
+    for (int i = 0; i < length; ++i) {
+      src.push_back(static_cast<char>(chr(rng)));
+      if (i % 37 == 36) src.push_back('\n');
+    }
+    expect_survives(src);
+  }
+}
+
+TEST(Robustness, RandomTokenSoup) {
+  const char* tokens[] = {"REAL",  "INTEGER", "CSHIFT", "DO",    "IF",
+                          "THEN",  "ENDIF",   "ENDDO",  "(",     ")",
+                          ",",     ":",       "::",     "=",     "+",
+                          "-",     "*",       "/",      "A",     "B",
+                          "N",     "1",       "2.5",    "&",     "\n",
+                          "!HPF$", "BLOCK",   "SHIFT",  "ALLOCATE"};
+  std::mt19937 rng(7);
+  std::uniform_int_distribution<std::size_t> pick(0, std::size(tokens) - 1);
+  for (int round = 0; round < 200; ++round) {
+    std::string src;
+    for (int i = 0; i < 60; ++i) {
+      src += tokens[pick(rng)];
+      src += " ";
+    }
+    expect_survives(src);
+  }
+}
+
+TEST(Robustness, TruncatedRealPrograms) {
+  const std::string full =
+      "PROGRAM P\n"
+      "INTEGER N\n"
+      "REAL U(N,N), T(N,N)\n"
+      "!HPF$ DISTRIBUTE U(BLOCK,BLOCK)\n"
+      "DO K = 1, 10\n"
+      "  IF (K > 1) THEN\n"
+      "    T = T + CSHIFT(U,SHIFT=+1,DIM=1)\n"
+      "  ENDIF\n"
+      "ENDDO\n"
+      "END\n";
+  for (std::size_t cut = 0; cut <= full.size(); cut += 3) {
+    expect_survives(full.substr(0, cut));
+  }
+}
+
+TEST(Robustness, DeepExpressionNesting) {
+  std::string src = "INTEGER N\nREAL A(N,N), T(N,N)\nT = ";
+  for (int i = 0; i < 200; ++i) src += "(A + ";
+  src += "A";
+  for (int i = 0; i < 200; ++i) src += ")";
+  src += "\n";
+  expect_survives(src);
+}
+
+TEST(Robustness, DeepControlFlowNesting) {
+  std::string src = "INTEGER N, F\nREAL A(N,N)\n";
+  for (int i = 0; i < 100; ++i) src += "IF (F > 0) THEN\n";
+  src += "A = A\n";
+  for (int i = 0; i < 100; ++i) src += "ENDIF\n";
+  expect_survives(src);
+}
+
+TEST(Robustness, ManyStatements) {
+  std::string src = "INTEGER N\nREAL A(N,N), B(N,N)\n";
+  for (int i = 0; i < 2000; ++i) src += "A = B\n";
+  DiagnosticEngine diags;
+  auto r = lower_source(src, diags);
+  EXPECT_FALSE(diags.has_errors());
+  EXPECT_EQ(r.program.body.size(), 2000u);
+}
+
+TEST(Robustness, UnterminatedContinuation) {
+  expect_survives("T = A + &");
+  expect_survives("T = A + &\n");
+  expect_survives("&&&&");
+}
+
+TEST(Robustness, MalformedDirectives) {
+  expect_survives("!HPF$\n");
+  expect_survives("!HPF$ DISTRIBUTE\n");
+  expect_survives("!HPF$ DISTRIBUTE A(\n");
+  expect_survives("!HPF$ PROCESSORS (2,2)\n");
+  expect_survives("!HPF$ ALIGN WITH\n");
+  expect_survives("!HPF$ DISTRIBUTE A(CYCLIC(4))\n");
+}
+
+TEST(Robustness, MalformedShifts) {
+  expect_survives("REAL A(8,8), T(8,8)\nT = CSHIFT()\n");
+  expect_survives("REAL A(8,8), T(8,8)\nT = CSHIFT(A)\n");
+  expect_survives("REAL A(8,8), T(8,8)\nT = CSHIFT(A,1,2,3,4)\n");
+  expect_survives("REAL A(8,8), T(8,8)\nT = CSHIFT(A,SHIFT=A,DIM=1)\n");
+  expect_survives("REAL A(8,8), T(8,8)\nT = CSHIFT(A,1,DIM=99)\n");
+}
+
+}  // namespace
+}  // namespace hpfsc::frontend

@@ -1,0 +1,101 @@
+#include "ir/expr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hpfsc::ir {
+namespace {
+
+ExprPtr sample_tree() {
+  // C1 * A<+1,0> + 2.0
+  ArrayRef ref;
+  ref.array = 0;
+  ref.offset = {1, 0, 0};
+  return make_binary(
+      BinaryOp::Add,
+      make_binary(BinaryOp::Mul, make_scalar_ref(3), make_array_ref(ref)),
+      make_const(2.0));
+}
+
+TEST(Expr, CloneIsDeepAndEqual) {
+  ExprPtr a = sample_tree();
+  ExprPtr b = a->clone();
+  EXPECT_TRUE(a->equals(*b));
+  // Mutating the clone does not affect the original.
+  b->rhs->value = 3.0;
+  EXPECT_FALSE(a->equals(*b));
+  EXPECT_EQ(a->rhs->value, 2.0);
+}
+
+TEST(Expr, EqualsDistinguishesKinds) {
+  EXPECT_FALSE(make_const(1.0)->equals(*make_scalar_ref(0)));
+  EXPECT_TRUE(make_const(1.0)->equals(*make_const(1.0)));
+  EXPECT_FALSE(make_const(1.0)->equals(*make_const(2.0)));
+}
+
+TEST(Expr, EqualsComparesShiftFields) {
+  ArrayRef ref;
+  ref.array = 1;
+  ExprPtr s1 = make_shift(ShiftIntrinsic::CShift, make_array_ref(ref), 1, 0);
+  ExprPtr s2 = make_shift(ShiftIntrinsic::CShift, make_array_ref(ref), 1, 0);
+  ExprPtr s3 = make_shift(ShiftIntrinsic::CShift, make_array_ref(ref), 1, 1);
+  ExprPtr s4 = make_shift(ShiftIntrinsic::EoShift, make_array_ref(ref), 1, 0,
+                          make_const(0.0));
+  EXPECT_TRUE(s1->equals(*s2));
+  EXPECT_FALSE(s1->equals(*s3));
+  EXPECT_FALSE(s1->equals(*s4));
+  EXPECT_TRUE(s4->clone()->equals(*s4));
+}
+
+TEST(Expr, VisitReachesAllNodes) {
+  ExprPtr tree = sample_tree();
+  int count = 0;
+  visit_exprs(*tree, [&](const Expr&) { ++count; });
+  EXPECT_EQ(count, 5);  // add, mul, scalar, arrayref, const
+}
+
+TEST(Expr, VisitCanMutate) {
+  ExprPtr tree = sample_tree();
+  visit_exprs(*tree, [](Expr& e) {
+    if (e.kind == ExprKind::Constant) e.value = 9.0;
+  });
+  EXPECT_EQ(tree->rhs->value, 9.0);
+}
+
+TEST(Expr, ReferencedArrays) {
+  ArrayRef r0;
+  r0.array = 2;
+  ArrayRef r1;
+  r1.array = 5;
+  ExprPtr tree = make_binary(BinaryOp::Sub, make_array_ref(r0),
+                             make_array_ref(r1));
+  auto arrays = referenced_arrays(*tree);
+  EXPECT_EQ(arrays, (std::vector<ArrayId>{2, 5}));
+  EXPECT_TRUE(referenced_arrays(*make_const(1.0)).empty());
+}
+
+TEST(Expr, ContainsShift) {
+  ArrayRef ref;
+  ref.array = 0;
+  ExprPtr no_shift = make_binary(BinaryOp::Add, make_array_ref(ref),
+                                 make_const(1.0));
+  EXPECT_FALSE(contains_shift(*no_shift));
+  ExprPtr with_shift = make_binary(
+      BinaryOp::Add,
+      make_shift(ShiftIntrinsic::CShift, make_array_ref(ref), -1, 1),
+      make_const(1.0));
+  EXPECT_TRUE(contains_shift(*with_shift));
+}
+
+TEST(ArrayRef, OffsetAndWholeArrayPredicates) {
+  ArrayRef ref;
+  ref.array = 0;
+  EXPECT_TRUE(ref.whole_array());
+  EXPECT_FALSE(ref.has_offset());
+  ref.offset = {0, -1, 0};
+  EXPECT_TRUE(ref.has_offset());
+  ref.section.push_back(SectionRange{AffineBound(1), AffineBound{"N", 0}});
+  EXPECT_FALSE(ref.whole_array());
+}
+
+}  // namespace
+}  // namespace hpfsc::ir

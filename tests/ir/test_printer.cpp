@@ -1,0 +1,168 @@
+#include "ir/printer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hpfsc::ir {
+namespace {
+
+/// Builds a small program with U(N,N), T(N,N) and coefficient C1.
+struct Fixture {
+  Program program;
+  ScalarId c1;
+  ArrayId u;
+  ArrayId t;
+
+  Fixture() {
+    program.symbols.add_scalar(
+        ScalarSymbol{"N", ScalarType::Integer, true, {}});
+    c1 = program.symbols.add_scalar(
+        ScalarSymbol{"C1", ScalarType::Real, true, {}});
+    ArraySymbol a;
+    a.name = "U";
+    a.rank = 2;
+    a.extent[0] = AffineBound{"N", 0};
+    a.extent[1] = AffineBound{"N", 0};
+    u = program.symbols.add_array(a);
+    a.name = "T";
+    t = program.symbols.add_array(a);
+  }
+};
+
+TEST(Printer, ProgramHeaderWithDeclarations) {
+  Fixture f;
+  std::string text = Printer(f.program).print_program();
+  EXPECT_NE(text.find("REAL U(N,N)\n"), std::string::npos);
+  EXPECT_NE(text.find("!HPF$ DISTRIBUTE U(BLOCK,BLOCK)\n"),
+            std::string::npos);
+}
+
+TEST(Printer, EliminatedArraysNotDeclared) {
+  Fixture f;
+  f.program.symbols.array(f.u).eliminated = true;
+  std::string text = Printer(f.program).print_program();
+  EXPECT_EQ(text.find("REAL U"), std::string::npos);
+}
+
+TEST(Printer, OffsetAnnotationNotation) {
+  Fixture f;
+  ArrayRef ref;
+  ref.array = f.u;
+  ref.offset = {1, -1, 0};
+  EXPECT_EQ(Printer(f.program).print_ref(ref), "U<+1,-1>");
+  ref.offset = {0, 2, 0};
+  EXPECT_EQ(Printer(f.program).print_ref(ref), "U<0,+2>");
+}
+
+TEST(Printer, SectionNotation) {
+  Fixture f;
+  ArrayRef ref;
+  ref.array = f.u;
+  ref.section = {SectionRange{AffineBound(2), AffineBound{"N", -1}},
+                 SectionRange{AffineBound(5), AffineBound(5)}};
+  EXPECT_EQ(Printer(f.program).print_ref(ref), "U(2:N-1,5)");
+}
+
+TEST(Printer, ExpressionPrecedence) {
+  Fixture f;
+  ArrayRef u_ref;
+  u_ref.array = f.u;
+  // C1 * (U + U) needs parens; C1*U + U does not.
+  ExprPtr e1 = make_binary(
+      BinaryOp::Mul, make_scalar_ref(f.c1),
+      make_binary(BinaryOp::Add, make_array_ref(u_ref),
+                  make_array_ref(u_ref)));
+  EXPECT_EQ(Printer(f.program).print_expr(*e1), "C1*(U + U)");
+  ExprPtr e2 = make_binary(
+      BinaryOp::Add,
+      make_binary(BinaryOp::Mul, make_scalar_ref(f.c1),
+                  make_array_ref(u_ref)),
+      make_array_ref(u_ref));
+  EXPECT_EQ(Printer(f.program).print_expr(*e2), "C1*U + U");
+}
+
+TEST(Printer, SubtractionRightOperandParens) {
+  Fixture f;
+  ArrayRef u_ref;
+  u_ref.array = f.u;
+  ExprPtr e = make_binary(
+      BinaryOp::Sub, make_array_ref(u_ref),
+      make_binary(BinaryOp::Sub, make_array_ref(u_ref),
+                  make_array_ref(u_ref)));
+  EXPECT_EQ(Printer(f.program).print_expr(*e), "U - (U - U)");
+}
+
+TEST(Printer, OverlapShiftWithRsdAndBoundary) {
+  Fixture f;
+  auto stmt = std::make_unique<OverlapShiftStmt>();
+  stmt->src.array = f.u;
+  stmt->shift = -1;
+  stmt->dim = 1;
+  stmt->rsd.lo[0] = 1;
+  stmt->rsd.hi[0] = 1;
+  EXPECT_EQ(Printer(f.program).print_stmt(*stmt),
+            "CALL OVERLAP_CSHIFT(U, SHIFT=-1, DIM=2, [0:N+1,*])");
+  stmt->shift_kind = ShiftKind::EndOff;
+  stmt->boundary = make_const(1.5);
+  EXPECT_EQ(Printer(f.program).print_stmt(*stmt),
+            "CALL OVERLAP_EOSHIFT(U, SHIFT=-1, DIM=2, [0:N+1,*], "
+            "BOUNDARY=1.5)");
+}
+
+TEST(Printer, LoopNestWithPermutationAndUnroll) {
+  Fixture f;
+  auto nest = std::make_unique<LoopNestStmt>();
+  nest->rank = 2;
+  nest->bounds[0] = SectionRange{AffineBound(1), AffineBound{"N", 0}};
+  nest->bounds[1] = SectionRange{AffineBound(2), AffineBound{"N", -1}};
+  nest->loop_order = {1, 0, 2};
+  nest->unroll_jam = 4;
+  LoopNestStmt::BodyAssign body;
+  body.lhs.array = f.t;
+  ArrayRef u_ref;
+  u_ref.array = f.u;
+  u_ref.offset = {1, 0, 0};
+  body.rhs = make_array_ref(u_ref);
+  nest->body.push_back(std::move(body));
+  EXPECT_EQ(Printer(f.program).print_stmt(*nest),
+            "DO j = 2, N-1, 4   ! unroll-and-jam\n"
+            "  DO i = 1, N\n"
+            "    T(i,j) = U(i+1,j)\n"
+            "  ENDDO\n"
+            "ENDDO");
+}
+
+TEST(Printer, IfAndDoNesting) {
+  Fixture f;
+  auto loop = std::make_unique<DoStmt>();
+  loop->var = f.program.symbols.add_scalar(
+      ScalarSymbol{"K", ScalarType::Integer, false, {}});
+  loop->lo = AffineBound(1);
+  loop->hi = AffineBound{"N", 0};
+  auto iff = std::make_unique<IfStmt>();
+  iff->cond = make_binary(BinaryOp::Gt, make_scalar_ref(loop->var),
+                          make_const(1.0));
+  auto copy = std::make_unique<CopyStmt>();
+  copy->dst = f.t;
+  copy->src.array = f.u;
+  iff->then_block.push_back(std::move(copy));
+  loop->body.push_back(std::move(iff));
+  EXPECT_EQ(Printer(f.program).print_stmt(*loop),
+            "DO K = 1, N\n"
+            "  IF (K > 1.0) THEN\n"
+            "    T = U\n"
+            "  ENDIF\n"
+            "ENDDO");
+}
+
+TEST(Printer, AllocFreeLists) {
+  Fixture f;
+  auto alloc = std::make_unique<AllocStmt>();
+  alloc->arrays = {f.u, f.t};
+  EXPECT_EQ(Printer(f.program).print_stmt(*alloc), "ALLOCATE U, T");
+  auto free = std::make_unique<FreeStmt>();
+  free->arrays = {f.t};
+  EXPECT_EQ(Printer(f.program).print_stmt(*free), "DEALLOCATE T");
+}
+
+}  // namespace
+}  // namespace hpfsc::ir

@@ -1,0 +1,104 @@
+#include "ir/symbols.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hpfsc::ir {
+namespace {
+
+TEST(AffineBound, LiteralAndParamRendering) {
+  EXPECT_EQ(AffineBound(2).str(), "2");
+  EXPECT_EQ((AffineBound{"N", 0}).str(), "N");
+  EXPECT_EQ((AffineBound{"N", -1}).str(), "N-1");
+  EXPECT_EQ((AffineBound{"N", 2}).str(), "N+2");
+}
+
+TEST(AffineBound, Difference) {
+  EXPECT_EQ(AffineBound::difference(AffineBound{"N", -1}, AffineBound{"N", 1}),
+            -2);
+  EXPECT_EQ(AffineBound::difference(AffineBound(5), AffineBound(2)), 3);
+  EXPECT_EQ(AffineBound::difference(AffineBound{"N", 0}, AffineBound(1)),
+            std::nullopt);
+  EXPECT_EQ(AffineBound::difference(AffineBound{"N", 0}, AffineBound{"M", 0}),
+            std::nullopt);
+}
+
+TEST(AffineBound, Plus) {
+  AffineBound b{"N", -1};
+  EXPECT_EQ(b.plus(2), (AffineBound{"N", 1}));
+  EXPECT_EQ(b.plus(0), b);
+}
+
+ArraySymbol array_2d(const std::string& name) {
+  ArraySymbol a;
+  a.name = name;
+  a.rank = 2;
+  a.extent[0] = AffineBound{"N", 0};
+  a.extent[1] = AffineBound{"N", 0};
+  return a;
+}
+
+TEST(SymbolTable, AddAndFind) {
+  SymbolTable t;
+  ScalarId n = t.add_scalar(ScalarSymbol{"N", ScalarType::Integer, true, {}});
+  ArrayId u = t.add_array(array_2d("U"));
+  EXPECT_EQ(t.find_scalar("N"), n);
+  EXPECT_EQ(t.find_array("U"), u);
+  EXPECT_EQ(t.find_scalar("X"), std::nullopt);
+  EXPECT_EQ(t.find_array("X"), std::nullopt);
+  EXPECT_EQ(t.num_scalars(), 1);
+  EXPECT_EQ(t.num_arrays(), 1);
+}
+
+TEST(SymbolTable, RejectsDuplicates) {
+  SymbolTable t;
+  t.add_array(array_2d("U"));
+  EXPECT_THROW(t.add_array(array_2d("U")), std::invalid_argument);
+}
+
+TEST(SymbolTable, MakeTempCopiesShape) {
+  SymbolTable t;
+  ArraySymbol model = array_2d("U");
+  model.dist[1] = DistKind::Collapsed;
+  model.halo_lo[0] = 2;
+  ArrayId u = t.add_array(model);
+  ArrayId tmp = t.make_temp(u);
+  const ArraySymbol& sym = t.array(tmp);
+  EXPECT_EQ(sym.name, "TMP1");
+  EXPECT_TRUE(sym.is_temp);
+  EXPECT_EQ(sym.dist[1], DistKind::Collapsed);
+  EXPECT_EQ(sym.halo_lo[0], 0);  // halos are not inherited
+  ArrayId tmp2 = t.make_temp(u);
+  EXPECT_EQ(t.array(tmp2).name, "TMP2");
+}
+
+TEST(SymbolTable, MakeTempAvoidsUserNames) {
+  SymbolTable t;
+  ArrayId u = t.add_array(array_2d("TMP1"));
+  ArrayId tmp = t.make_temp(u);
+  EXPECT_EQ(t.array(tmp).name, "TMP2");
+}
+
+TEST(SymbolTable, Conformable) {
+  SymbolTable t;
+  ArrayId a = t.add_array(array_2d("A"));
+  ArrayId b = t.add_array(array_2d("B"));
+  ArraySymbol c_sym = array_2d("C");
+  c_sym.extent[1] = AffineBound{"N", -1};
+  ArrayId c = t.add_array(c_sym);
+  ArraySymbol d_sym = array_2d("D");
+  d_sym.dist[0] = DistKind::Collapsed;
+  ArrayId d = t.add_array(d_sym);
+  EXPECT_TRUE(t.conformable(a, b));
+  EXPECT_FALSE(t.conformable(a, c));  // different extents
+  EXPECT_FALSE(t.conformable(a, d));  // different distribution
+}
+
+TEST(ArraySymbol, DistStr) {
+  ArraySymbol a = array_2d("A");
+  EXPECT_EQ(a.dist_str(), "(BLOCK,BLOCK)");
+  a.dist[1] = DistKind::Collapsed;
+  EXPECT_EQ(a.dist_str(), "(BLOCK,*)");
+}
+
+}  // namespace
+}  // namespace hpfsc::ir

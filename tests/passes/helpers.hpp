@@ -1,0 +1,38 @@
+// Shared helpers for pass tests: parse + lower + run selected passes.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string_view>
+
+#include "frontend/lower.hpp"
+#include "ir/printer.hpp"
+#include "passes/pipeline.hpp"
+
+namespace hpfsc::passes::testing {
+
+inline ir::Program lower_checked(std::string_view src) {
+  DiagnosticEngine diags;
+  frontend::LowerResult r = frontend::lower_source(src, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.render_all();
+  return std::move(r.program);
+}
+
+inline std::string body_text(const ir::Program& p) {
+  return ir::Printer(p).print_body();
+}
+
+/// Runs the pipeline at a given level and returns the program.
+inline ir::Program compile_level(std::string_view src, int level,
+                                 PipelineResult* out_result = nullptr,
+                                 PassOptions* custom = nullptr) {
+  ir::Program p = lower_checked(src);
+  DiagnosticEngine diags;
+  PassOptions opts = custom != nullptr ? *custom : PassOptions::level(level);
+  PipelineResult result = run_pipeline(p, opts, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.render_all();
+  if (out_result != nullptr) *out_result = std::move(result);
+  return p;
+}
+
+}  // namespace hpfsc::passes::testing

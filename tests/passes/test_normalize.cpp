@@ -1,0 +1,182 @@
+#include "passes/normalize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "driver/paper_kernels.hpp"
+#include "helpers.hpp"
+
+namespace hpfsc::passes {
+namespace {
+
+using testing::body_text;
+using testing::lower_checked;
+
+NormalizeStats normalize_program(ir::Program& p, bool reuse = true) {
+  DiagnosticEngine diags;
+  NormalizeOptions opts;
+  opts.reuse_temps = reuse;
+  NormalizeStats stats = normalize(p, opts, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.render_all();
+  return stats;
+}
+
+TEST(Normalize, SingletonShiftNeedsNoTemp) {
+  ir::Program p = lower_checked(
+      "INTEGER N\nREAL U(N,N), RIP(N,N)\nRIP = CSHIFT(U,SHIFT=+1,DIM=1)\n");
+  NormalizeStats stats = normalize_program(p);
+  EXPECT_EQ(stats.temps_created, 0);
+  EXPECT_EQ(body_text(p), "RIP = CSHIFT(U, SHIFT=+1, DIM=1)\n");
+}
+
+TEST(Normalize, HoistsShiftSubexpression) {
+  ir::Program p = lower_checked(
+      "INTEGER N\nREAL U(N,N), T(N,N)\nT = T + CSHIFT(U,-1,2)\n");
+  NormalizeStats stats = normalize_program(p);
+  EXPECT_EQ(stats.shifts_hoisted, 1);
+  EXPECT_EQ(stats.temps_created, 1);
+  EXPECT_EQ(body_text(p),
+            "ALLOCATE TMP1\n"
+            "TMP1 = CSHIFT(U, SHIFT=-1, DIM=2)\n"
+            "T = T + TMP1\n"
+            "DEALLOCATE TMP1\n");
+}
+
+TEST(Normalize, FivePointArraySyntaxMatchesPaperFigure4) {
+  ir::Program p = lower_checked(kernels::kFivePointArraySyntax);
+  NormalizeStats stats = normalize_program(p);
+  EXPECT_EQ(stats.sections_converted, 4);
+  EXPECT_EQ(stats.temps_created, 4);  // all four shift temps live at once
+  EXPECT_EQ(body_text(p),
+            "ALLOCATE TMP1, TMP2, TMP3, TMP4\n"
+            "TMP1 = CSHIFT(SRC, SHIFT=-1, DIM=1)\n"
+            "TMP2 = CSHIFT(SRC, SHIFT=-1, DIM=2)\n"
+            "TMP3 = CSHIFT(SRC, SHIFT=+1, DIM=1)\n"
+            "TMP4 = CSHIFT(SRC, SHIFT=+1, DIM=2)\n"
+            "DST(2:N-1,2:N-1) = C1*TMP1(2:N-1,2:N-1) + C2*TMP2(2:N-1,2:N-1)"
+            " + C3*SRC(2:N-1,2:N-1) + C4*TMP3(2:N-1,2:N-1)"
+            " + C5*TMP4(2:N-1,2:N-1)\n"
+            "DEALLOCATE TMP1, TMP2, TMP3, TMP4\n");
+}
+
+TEST(Normalize, Problem9MatchesPaperFigure12) {
+  ir::Program p = lower_checked(kernels::kProblem9);
+  NormalizeStats stats = normalize_program(p);
+  // Six shift subexpressions hoisted; live ranges do not overlap, so a
+  // single compiler temporary is shared (paper Section 4.1).
+  EXPECT_EQ(stats.shifts_hoisted, 6);
+  EXPECT_EQ(stats.temps_created, 1);
+  EXPECT_EQ(body_text(p),
+            "ALLOCATE TMP1\n"
+            "RIP = CSHIFT(U, SHIFT=+1, DIM=1)\n"
+            "RIN = CSHIFT(U, SHIFT=-1, DIM=1)\n"
+            "T = U + RIP + RIN\n"
+            "TMP1 = CSHIFT(U, SHIFT=-1, DIM=2)\n"
+            "T = T + TMP1\n"
+            "TMP1 = CSHIFT(U, SHIFT=+1, DIM=2)\n"
+            "T = T + TMP1\n"
+            "TMP1 = CSHIFT(RIP, SHIFT=-1, DIM=2)\n"
+            "T = T + TMP1\n"
+            "TMP1 = CSHIFT(RIP, SHIFT=+1, DIM=2)\n"
+            "T = T + TMP1\n"
+            "TMP1 = CSHIFT(RIN, SHIFT=-1, DIM=2)\n"
+            "T = T + TMP1\n"
+            "TMP1 = CSHIFT(RIN, SHIFT=+1, DIM=2)\n"
+            "T = T + TMP1\n"
+            "DEALLOCATE TMP1\n");
+}
+
+TEST(Normalize, NinePointCShiftNeedsTwelveShifts) {
+  ir::Program p = lower_checked(kernels::kNinePointCShift);
+  NormalizeStats stats = normalize_program(p);
+  EXPECT_EQ(stats.shifts_hoisted, 12);  // paper Section 4 count
+  // With liveness-based reuse, inner chain temporaries are recycled.
+  EXPECT_LT(stats.temps_created, 12);
+}
+
+TEST(Normalize, WithoutReuseEachShiftGetsItsOwnTemp) {
+  // "Most Fortran90 compilers will generate 12 temporary arrays, one for
+  // each CSHIFT" (paper Section 4) — the xlhpf-like mode.
+  ir::Program p = lower_checked(kernels::kNinePointCShift);
+  NormalizeStats stats = normalize_program(p, /*reuse=*/false);
+  EXPECT_EQ(stats.shifts_hoisted, 12);
+  EXPECT_EQ(stats.temps_created, 12);
+}
+
+TEST(Normalize, DiagonalSectionBecomesShiftChain) {
+  ir::Program p = lower_checked(
+      "INTEGER N\nREAL A(N,N), B(N,N)\n"
+      "A(2:N-1,2:N-1) = B(1:N-2,3:N)\n");
+  normalize_program(p);
+  EXPECT_EQ(body_text(p),
+            "ALLOCATE TMP1, TMP2\n"
+            "TMP1 = CSHIFT(B, SHIFT=-1, DIM=1)\n"
+            "TMP2 = CSHIFT(TMP1, SHIFT=+1, DIM=2)\n"
+            "A(2:N-1,2:N-1) = TMP2(2:N-1,2:N-1)\n"
+            "DEALLOCATE TMP1, TMP2\n");
+}
+
+TEST(Normalize, EoShiftHoistKeepsBoundary) {
+  ir::Program p = lower_checked(
+      "INTEGER N\nREAL U(N,N), T(N,N)\n"
+      "T = T + EOSHIFT(U,SHIFT=-1,BOUNDARY=7.0,DIM=2)\n");
+  normalize_program(p);
+  EXPECT_NE(body_text(p).find(
+                "TMP1 = EOSHIFT(U, SHIFT=-1, DIM=2, BOUNDARY=7.0)"),
+            std::string::npos);
+}
+
+TEST(Normalize, ShiftOfExpressionMaterializesArgument) {
+  ir::Program p = lower_checked(
+      "INTEGER N\nREAL A(N,N), B(N,N), T(N,N)\n"
+      "T = CSHIFT(A + B, SHIFT=+1, DIM=1) + A\n");
+  normalize_program(p);
+  EXPECT_EQ(body_text(p),
+            "ALLOCATE TMP1, TMP2\n"
+            "TMP1 = A + B\n"
+            "TMP2 = CSHIFT(TMP1, SHIFT=+1, DIM=1)\n"
+            "T = TMP2 + A\n"
+            "DEALLOCATE TMP1, TMP2\n");
+}
+
+TEST(Normalize, NonConformingSectionIsAnError) {
+  ir::Program p = lower_checked(
+      "INTEGER N\nREAL A(N,N), B(N,N)\n"
+      "A(2:N-1,2:N-1) = B(1:N-2,1:N-1)\n");
+  DiagnosticEngine diags;
+  NormalizeOptions opts;
+  normalize(p, opts, diags);
+  EXPECT_TRUE(diags.has_errors());
+  EXPECT_NE(diags.render_all().find("does not conform"), std::string::npos);
+}
+
+TEST(Normalize, TempsInsideControlFlowStayInTheirBlock) {
+  ir::Program p = lower_checked(
+      "INTEGER N, NSTEPS\nREAL U(N,N), T(N,N)\n"
+      "DO K = 1, NSTEPS\n"
+      "  T = T + CSHIFT(U,-1,1)\n"
+      "ENDDO\n");
+  normalize_program(p);
+  std::string text = body_text(p);
+  // ALLOCATE must be inside the DO body (indented), not at top level.
+  EXPECT_NE(text.find("  ALLOCATE TMP1"), std::string::npos);
+  EXPECT_NE(text.find("  DEALLOCATE TMP1"), std::string::npos);
+}
+
+TEST(Normalize, AlignedSectionsLeftAlone) {
+  ir::Program p = lower_checked(
+      "INTEGER N\nREAL A(N,N), B(N,N)\n"
+      "A(2:N-1,2:N-1) = B(2:N-1,2:N-1)\n");
+  NormalizeStats stats = normalize_program(p);
+  EXPECT_EQ(stats.sections_converted, 0);
+  EXPECT_EQ(stats.temps_created, 0);
+}
+
+TEST(Normalize, WholeArrayRefCanonicalized) {
+  ir::Program p = lower_checked(
+      "INTEGER N\nREAL A(N,N), B(N,N)\nA = B(1:N,1:N)\n");
+  normalize_program(p);
+  EXPECT_EQ(body_text(p), "A = B\n");
+}
+
+}  // namespace
+}  // namespace hpfsc::passes

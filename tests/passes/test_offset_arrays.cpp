@@ -1,0 +1,254 @@
+#include "passes/offset_arrays.hpp"
+
+#include <gtest/gtest.h>
+
+#include "driver/paper_kernels.hpp"
+#include "helpers.hpp"
+#include "passes/normalize.hpp"
+
+namespace hpfsc::passes {
+namespace {
+
+using testing::body_text;
+using testing::lower_checked;
+
+struct Prepared {
+  ir::Program program;
+  OffsetArrayStats stats;
+};
+
+Prepared run(std::string_view src, std::vector<std::string> live_out = {},
+             int max_halo = 3) {
+  Prepared out{lower_checked(src), {}};
+  DiagnosticEngine diags;
+  normalize(out.program, NormalizeOptions{}, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.render_all();
+  OffsetArrayOptions opts;
+  opts.live_out = std::move(live_out);
+  opts.max_halo = max_halo;
+  out.stats = offset_arrays(out.program, opts, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.render_all();
+  return out;
+}
+
+TEST(OffsetArrays, SimpleShiftBecomesOverlapAndOffsetRef) {
+  Prepared r = run(
+      "INTEGER N\nREAL U(N,N), T(N,N), RIP(N,N)\n"
+      "RIP = CSHIFT(U,SHIFT=+1,DIM=1)\n"
+      "T = U + RIP\n",
+      {"T"});
+  EXPECT_EQ(r.stats.shifts_converted, 1);
+  EXPECT_EQ(r.stats.uses_rewritten, 1);
+  EXPECT_EQ(r.stats.arrays_eliminated, 1);  // RIP storage removed
+  EXPECT_EQ(body_text(r.program),
+            "CALL OVERLAP_CSHIFT(U, SHIFT=+1, DIM=1)\n"
+            "T = U + U<+1,0>\n");
+  const ir::ArraySymbol& rip =
+      r.program.symbols.array(*r.program.symbols.find_array("RIP"));
+  EXPECT_TRUE(rip.eliminated);
+}
+
+TEST(OffsetArrays, HaloWidthsAssignedFromOffsets) {
+  Prepared r = run(
+      "INTEGER N\nREAL U(N,N), T(N,N)\n"
+      "T = CSHIFT(U,+2,1) + CSHIFT(U,-1,2)\n",
+      {"T"});
+  const ir::ArraySymbol& u =
+      r.program.symbols.array(*r.program.symbols.find_array("U"));
+  EXPECT_EQ(u.halo_hi[0], 2);
+  EXPECT_EQ(u.halo_lo[0], 0);
+  EXPECT_EQ(u.halo_lo[1], 1);
+  EXPECT_EQ(u.halo_hi[1], 0);
+}
+
+TEST(OffsetArrays, Problem9MatchesPaperFigure13) {
+  Prepared r = run(kernels::kProblem9, {"T"});
+  EXPECT_EQ(r.stats.shifts_converted, 8);
+  EXPECT_EQ(r.stats.copies_inserted, 0);
+  // RIP, RIN, and the compiler temp all lose their storage (paper 4.2).
+  EXPECT_EQ(r.stats.arrays_eliminated, 3);
+  EXPECT_EQ(body_text(r.program),
+            "CALL OVERLAP_CSHIFT(U, SHIFT=+1, DIM=1)\n"
+            "CALL OVERLAP_CSHIFT(U, SHIFT=-1, DIM=1)\n"
+            "T = U + U<+1,0> + U<-1,0>\n"
+            "CALL OVERLAP_CSHIFT(U, SHIFT=-1, DIM=2)\n"
+            "T = T + U<0,-1>\n"
+            "CALL OVERLAP_CSHIFT(U, SHIFT=+1, DIM=2)\n"
+            "T = T + U<0,+1>\n"
+            "CALL OVERLAP_CSHIFT(U<+1,0>, SHIFT=-1, DIM=2)\n"
+            "T = T + U<+1,-1>\n"
+            "CALL OVERLAP_CSHIFT(U<+1,0>, SHIFT=+1, DIM=2)\n"
+            "T = T + U<+1,+1>\n"
+            "CALL OVERLAP_CSHIFT(U<-1,0>, SHIFT=-1, DIM=2)\n"
+            "T = T + U<-1,-1>\n"
+            "CALL OVERLAP_CSHIFT(U<-1,0>, SHIFT=+1, DIM=2)\n"
+            "T = T + U<-1,+1>\n");
+}
+
+TEST(OffsetArrays, LiveOutUserArrayGetsCompensationCopy) {
+  // RIP's final value is observable, so its definition must be
+  // materialized even though its uses are rewritten.
+  Prepared r = run(
+      "INTEGER N\nREAL U(N,N), T(N,N), RIP(N,N)\n"
+      "RIP = CSHIFT(U,SHIFT=+1,DIM=1)\n"
+      "T = U + RIP\n",
+      {"T", "RIP"});
+  EXPECT_EQ(r.stats.shifts_converted, 1);
+  EXPECT_EQ(r.stats.copies_inserted, 1);
+  EXPECT_EQ(r.stats.arrays_eliminated, 0);
+  EXPECT_EQ(body_text(r.program),
+            "CALL OVERLAP_CSHIFT(U, SHIFT=+1, DIM=1)\n"
+            "RIP = U<+1,0>\n"
+            "T = U + U<+1,0>\n");
+}
+
+TEST(OffsetArrays, SourceRedefinitionBlocksRewrite) {
+  // U is overwritten between the shift and the use: the use must NOT be
+  // rewritten to an offset reference; a compensation copy materializes
+  // the pre-redefinition value.
+  Prepared r = run(
+      "INTEGER N\nREAL U(N,N), T(N,N), RIP(N,N), V(N,N)\n"
+      "RIP = CSHIFT(U,SHIFT=+1,DIM=1)\n"
+      "U = V\n"
+      "T = U + RIP\n",
+      {"T"});
+  EXPECT_EQ(r.stats.uses_rewritten, 0);
+  std::string text = body_text(r.program);
+  // Either the shift was kept, or a copy preserves RIP before U changes.
+  EXPECT_NE(text.find("RIP"), std::string::npos);
+  if (r.stats.shifts_converted == 1) {
+    EXPECT_EQ(r.stats.copies_inserted, 1);
+    EXPECT_EQ(text,
+              "CALL OVERLAP_CSHIFT(U, SHIFT=+1, DIM=1)\n"
+              "RIP = U<+1,0>\n"
+              "U = V\n"
+              "T = U + RIP\n");
+  }
+}
+
+TEST(OffsetArrays, ShiftBeyondMaxHaloKept) {
+  Prepared r = run(
+      "INTEGER N\nREAL U(N,N), T(N,N)\n"
+      "T = CSHIFT(U,+5,1)\n",
+      {"T"}, /*max_halo=*/3);
+  EXPECT_EQ(r.stats.shifts_converted, 0);
+  EXPECT_EQ(r.stats.shifts_kept, 1);
+  EXPECT_NE(body_text(r.program).find("CSHIFT(U, SHIFT=+5, DIM=1)"),
+            std::string::npos);
+}
+
+TEST(OffsetArrays, SelfShiftKept) {
+  Prepared r = run(
+      "INTEGER N\nREAL U(N,N)\n"
+      "U = CSHIFT(U,+1,1)\n",
+      {"U"});
+  EXPECT_EQ(r.stats.shifts_converted, 0);
+  EXPECT_EQ(r.stats.shifts_kept, 1);
+}
+
+TEST(OffsetArrays, MismatchedDistributionKept) {
+  Prepared r = run(
+      "INTEGER N\nREAL U(N,N), T(N,N), S(N,N)\n"
+      "!HPF$ DISTRIBUTE S(BLOCK,*)\n"
+      "S = CSHIFT(U,+1,1)\n"
+      "T = U + S\n",
+      {"T"});
+  EXPECT_EQ(r.stats.shifts_converted, 0);
+  EXPECT_EQ(r.stats.shifts_kept, 1);
+}
+
+TEST(OffsetArrays, ChainComposesOffsets) {
+  Prepared r = run(
+      "INTEGER N\nREAL U(N,N), T(N,N)\n"
+      "T = CSHIFT(CSHIFT(U,-1,1),+1,2)\n",
+      {"T"});
+  EXPECT_EQ(r.stats.shifts_converted, 2);
+  EXPECT_EQ(body_text(r.program),
+            "CALL OVERLAP_CSHIFT(U, SHIFT=-1, DIM=1)\n"
+            "CALL OVERLAP_CSHIFT(U<-1,0>, SHIFT=+1, DIM=2)\n"
+            "T = U<-1,+1>\n");
+}
+
+TEST(OffsetArrays, UseInsideIfIsRewrittenWhenSafe) {
+  // The definition dominates both uses; control flow between them does
+  // not invalidate the offset array (paper: "even when their definition
+  // and uses are separated by program control flow").
+  Prepared r = run(
+      "INTEGER N, FLAG\nREAL U(N,N), T(N,N), RIP(N,N)\n"
+      "RIP = CSHIFT(U,+1,1)\n"
+      "IF (FLAG > 0) THEN\n"
+      "  T = RIP + U\n"
+      "ELSE\n"
+      "  T = RIP\n"
+      "ENDIF\n",
+      {"T"});
+  EXPECT_EQ(r.stats.shifts_converted, 1);
+  EXPECT_EQ(r.stats.uses_rewritten, 2);
+  EXPECT_EQ(r.stats.arrays_eliminated, 1);
+}
+
+TEST(OffsetArrays, RedefinitionInOneBranchForcesCopy) {
+  // U is redefined in the THEN branch; the use after the merge sees a
+  // phi of U, so the rewrite is invalid there and a copy is needed.
+  Prepared r = run(
+      "INTEGER N, FLAG\nREAL U(N,N), V(N,N), T(N,N), RIP(N,N)\n"
+      "RIP = CSHIFT(U,+1,1)\n"
+      "IF (FLAG > 0) THEN\n"
+      "  U = V\n"
+      "ENDIF\n"
+      "T = RIP\n",
+      {"T"});
+  if (r.stats.shifts_converted == 1) {
+    EXPECT_EQ(r.stats.copies_inserted, 1);
+    EXPECT_EQ(r.stats.uses_rewritten, 0);
+  } else {
+    EXPECT_EQ(r.stats.shifts_kept, 1);
+  }
+}
+
+TEST(OffsetArrays, TimeLoopJacobiConvertsInsideBody) {
+  Prepared r = run(kernels::kJacobiTimeLoop, {"U"});
+  // All four shifts convert; their uses are within the same iteration.
+  EXPECT_EQ(r.stats.shifts_converted, 4);
+  std::string text = body_text(r.program);
+  EXPECT_NE(text.find("CALL OVERLAP_CSHIFT(U, SHIFT=-1, DIM=1)"),
+            std::string::npos);
+  EXPECT_NE(text.find("U<-1,0>"), std::string::npos);
+}
+
+TEST(OffsetArrays, DeadShiftDropped) {
+  Prepared r = run(
+      "INTEGER N\nREAL U(N,N), T(N,N), DEAD(N,N)\n"
+      "DEAD = CSHIFT(U,+1,1)\n"
+      "T = U\n",
+      {"T"});
+  std::string text = body_text(r.program);
+  EXPECT_EQ(text.find("DEAD"), std::string::npos);
+  EXPECT_EQ(r.stats.arrays_eliminated, 1);
+}
+
+TEST(OffsetArrays, EoShiftConvertsWithConstantBoundary) {
+  Prepared r = run(
+      "INTEGER N\nREAL U(N,N), T(N,N)\n"
+      "T = EOSHIFT(U,SHIFT=+1,BOUNDARY=0.0,DIM=1) + U\n",
+      {"T"});
+  EXPECT_EQ(r.stats.shifts_converted, 1);
+  EXPECT_NE(body_text(r.program).find("CALL OVERLAP_EOSHIFT(U, SHIFT=+1, "
+                                      "DIM=1, BOUNDARY=0.0)"),
+            std::string::npos)
+      << body_text(r.program);
+}
+
+TEST(OffsetArrays, SingletonShiftIntoLiveOutWithNoUsesKept) {
+  // Converting would only replace one full data movement with an
+  // overlap shift plus a whole-array copy: not profitable.
+  Prepared r = run(
+      "INTEGER N\nREAL U(N,N), T(N,N)\n"
+      "T = CSHIFT(U,SHIFT=+1,DIM=1)\n",
+      {"T"});
+  EXPECT_EQ(r.stats.shifts_converted, 0);
+  EXPECT_EQ(r.stats.shifts_kept, 1);
+}
+
+}  // namespace
+}  // namespace hpfsc::passes

@@ -1,0 +1,144 @@
+// End-to-end reproduction of the paper's Section 4 walkthrough: the
+// Problem 9 kernel is carried through every phase, and the per-phase
+// listings are checked against Figures 12-16.  Also verifies the
+// paper's central claim (Sections 4.5, 5): all three specifications of
+// the 9-point stencil reach the same optimized communication code.
+#include <gtest/gtest.h>
+
+#include "driver/paper_kernels.hpp"
+#include "helpers.hpp"
+#include "support/text.hpp"
+
+namespace hpfsc::passes {
+namespace {
+
+using testing::compile_level;
+
+const std::string* find_listing(const PipelineResult& r,
+                                const std::string& phase) {
+  for (const PhaseListing& l : r.listings) {
+    if (l.phase == phase) return &l.code;
+  }
+  return nullptr;
+}
+
+TEST(PaperWalkthrough, Problem9PhaseListings) {
+  PipelineResult result;
+  PassOptions opts = PassOptions::level(4);
+  opts.offset.live_out = {"T"};
+  compile_level(kernels::kProblem9, 4, &result, &opts);
+
+  const std::string* normalize = find_listing(result, "normalize");
+  ASSERT_NE(normalize, nullptr);
+  EXPECT_NE(normalize->find("TMP1 = CSHIFT(U, SHIFT=-1, DIM=2)"),
+            std::string::npos);
+
+  const std::string* offset = find_listing(result, "offset-arrays");
+  ASSERT_NE(offset, nullptr);
+  EXPECT_NE(offset->find("T = U + U<+1,0> + U<-1,0>"), std::string::npos);
+  EXPECT_NE(offset->find("CALL OVERLAP_CSHIFT(U<+1,0>, SHIFT=-1, DIM=2)"),
+            std::string::npos);
+
+  const std::string* partitioned =
+      find_listing(result, "context-partitioning");
+  ASSERT_NE(partitioned, nullptr);
+  // All communication precedes all computation.
+  EXPECT_LT(partitioned->rfind("OVERLAP_CSHIFT"), partitioned->find("T ="));
+
+  const std::string* unioned =
+      find_listing(result, "communication-unioning");
+  ASSERT_NE(unioned, nullptr);
+  EXPECT_NE(unioned->find("CALL OVERLAP_CSHIFT(U, SHIFT=-1, DIM=2, "
+                          "[0:N+1,*])"),
+            std::string::npos);
+
+  const std::string* scalarized = find_listing(result, "scalarization");
+  ASSERT_NE(scalarized, nullptr);
+  EXPECT_NE(scalarized->find("T(i,j) = U(i,j) + U(i+1,j) + U(i-1,j)"),
+            std::string::npos);
+
+  EXPECT_EQ(result.unioning.shifts_before, 8);
+  EXPECT_EQ(result.unioning.shifts_after, 4);
+  EXPECT_EQ(result.offset.arrays_eliminated, 3);
+}
+
+/// Extracts the communication prefix (the OVERLAP_CSHIFT lines) of the
+/// optimized body.
+std::string comm_prefix(const ir::Program& p) {
+  std::string text = testing::body_text(p);
+  std::string out;
+  for (const std::string& line : hpfsc::split_lines(text)) {
+    if (line.find("OVERLAP_CSHIFT") != std::string::npos) out += line + "\n";
+  }
+  return out;
+}
+
+TEST(PaperWalkthrough, AllThreeNinePointSpecsReachSameCommunication) {
+  PassOptions opts = PassOptions::level(4);
+  opts.offset.live_out = {"T"};
+  ir::Program multi = compile_level(kernels::kProblem9, 4, nullptr, &opts);
+  ir::Program single =
+      compile_level(kernels::kNinePointCShift, 4, nullptr, &opts);
+
+  const std::string expected =
+      "CALL OVERLAP_CSHIFT(U, SHIFT=-1, DIM=1)\n"
+      "CALL OVERLAP_CSHIFT(U, SHIFT=+1, DIM=1)\n"
+      "CALL OVERLAP_CSHIFT(U, SHIFT=-1, DIM=2, [0:N+1,*])\n"
+      "CALL OVERLAP_CSHIFT(U, SHIFT=+1, DIM=2, [0:N+1,*])\n";
+  EXPECT_EQ(comm_prefix(multi), expected);
+  EXPECT_EQ(comm_prefix(single), expected);
+
+  // The array-syntax interior stencil needs the same four messages.
+  PassOptions as_opts = PassOptions::level(4);
+  as_opts.offset.live_out = {"T"};
+  ir::Program syntax =
+      compile_level(kernels::kNinePointArraySyntax, 4, nullptr, &as_opts);
+  EXPECT_EQ(comm_prefix(syntax), expected);
+}
+
+TEST(PaperWalkthrough, SingleStatementSpecFusesToOneNest) {
+  PipelineResult result;
+  PassOptions opts = PassOptions::level(4);
+  opts.offset.live_out = {"T"};
+  compile_level(kernels::kNinePointCShift, 4, &result, &opts);
+  EXPECT_EQ(result.scalarize.nests_created, 1);
+  // All temporaries vanish: zero storage overhead (paper Section 4.2).
+  EXPECT_EQ(result.offset.arrays_eliminated, result.normalize.temps_created);
+}
+
+TEST(PaperWalkthrough, LevelsFormAMonotonePipeline) {
+  // O0: full shifts remain, no overlap shifts.
+  PipelineResult r0;
+  PassOptions o0 = PassOptions::level(0);
+  o0.offset.live_out = {"T"};
+  ir::Program p0 = compile_level(kernels::kProblem9, 0, &r0, &o0);
+  std::string t0 = testing::body_text(p0);
+  EXPECT_NE(t0.find("CSHIFT"), std::string::npos);
+  EXPECT_EQ(t0.find("OVERLAP"), std::string::npos);
+
+  // O1: overlap shifts, but interleaved with compute (7 nests).
+  PipelineResult r1;
+  PassOptions o1 = PassOptions::level(1);
+  o1.offset.live_out = {"T"};
+  compile_level(kernels::kProblem9, 1, &r1, &o1);
+  EXPECT_EQ(r1.offset.shifts_converted, 8);
+  EXPECT_EQ(r1.scalarize.nests_created, 7);
+
+  // O2: one fused nest, still 8 messages' worth of shifts.
+  PipelineResult r2;
+  PassOptions o2 = PassOptions::level(2);
+  o2.offset.live_out = {"T"};
+  compile_level(kernels::kProblem9, 2, &r2, &o2);
+  EXPECT_EQ(r2.scalarize.nests_created, 1);
+  EXPECT_EQ(r2.unioning.shifts_after, 0);  // unioning disabled
+
+  // O3: four unioned shifts.
+  PipelineResult r3;
+  PassOptions o3 = PassOptions::level(3);
+  o3.offset.live_out = {"T"};
+  compile_level(kernels::kProblem9, 3, &r3, &o3);
+  EXPECT_EQ(r3.unioning.shifts_after, 4);
+}
+
+}  // namespace
+}  // namespace hpfsc::passes

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "driver/paper_kernels.hpp"
+#include "helpers.hpp"
+#include "passes/comm_unioning.hpp"
+#include "passes/context_partition.hpp"
+#include "passes/normalize.hpp"
+#include "passes/offset_arrays.hpp"
+
+namespace hpfsc::passes {
+namespace {
+
+using testing::body_text;
+using testing::lower_checked;
+
+ir::Program prepare(std::string_view src,
+                    std::vector<std::string> live_out = {"T"}) {
+  ir::Program p = lower_checked(src);
+  DiagnosticEngine diags;
+  normalize(p, NormalizeOptions{}, diags);
+  OffsetArrayOptions opts;
+  opts.live_out = std::move(live_out);
+  offset_arrays(p, opts, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.render_all();
+  return p;
+}
+
+TEST(ContextPartition, Problem9MatchesPaperFigure14) {
+  ir::Program p = prepare(kernels::kProblem9);
+  DiagnosticEngine diags;
+  ContextPartitionStats stats = context_partition(p, diags);
+  EXPECT_FALSE(diags.has_errors());
+  // Two perfect groups: communication first, then the congruent array
+  // statements (paper Section 4.3).
+  EXPECT_EQ(stats.groups_formed, 2);
+  EXPECT_EQ(body_text(p),
+            "CALL OVERLAP_CSHIFT(U, SHIFT=+1, DIM=1)\n"
+            "CALL OVERLAP_CSHIFT(U, SHIFT=-1, DIM=1)\n"
+            "CALL OVERLAP_CSHIFT(U, SHIFT=-1, DIM=2)\n"
+            "CALL OVERLAP_CSHIFT(U, SHIFT=+1, DIM=2)\n"
+            "CALL OVERLAP_CSHIFT(U<+1,0>, SHIFT=-1, DIM=2)\n"
+            "CALL OVERLAP_CSHIFT(U<+1,0>, SHIFT=+1, DIM=2)\n"
+            "CALL OVERLAP_CSHIFT(U<-1,0>, SHIFT=-1, DIM=2)\n"
+            "CALL OVERLAP_CSHIFT(U<-1,0>, SHIFT=+1, DIM=2)\n"
+            "T = U + U<+1,0> + U<-1,0>\n"
+            "T = T + U<0,-1>\n"
+            "T = T + U<0,+1>\n"
+            "T = T + U<+1,-1>\n"
+            "T = T + U<+1,+1>\n"
+            "T = T + U<-1,-1>\n"
+            "T = T + U<-1,+1>\n");
+}
+
+TEST(ContextPartition, RespectsTrueDependences) {
+  // A compute statement feeding a later shift cannot be hoisted past it.
+  ir::Program p = lower_checked(
+      "INTEGER N\nREAL U(N,N), V(N,N), T(N,N), S(N,N)\n"
+      "V = U + 1.0\n"
+      "S = CSHIFT(V,+1,1)\n"
+      "T = S + V\n");
+  DiagnosticEngine diags;
+  normalize(p, NormalizeOptions{}, diags);
+  OffsetArrayOptions opts;
+  opts.live_out = {"T"};
+  offset_arrays(p, opts, diags);
+  context_partition(p, diags);
+  EXPECT_FALSE(diags.has_errors());
+  std::string text = body_text(p);
+  // The definition of V must stay before the overlap shift of V.
+  auto def_pos = text.find("V = U + 1.0");
+  auto shift_pos = text.find("OVERLAP_CSHIFT(V");
+  ASSERT_NE(def_pos, std::string::npos);
+  ASSERT_NE(shift_pos, std::string::npos);
+  EXPECT_LT(def_pos, shift_pos);
+}
+
+TEST(ContextPartition, DoesNotCrossControlFlow) {
+  ir::Program p = lower_checked(
+      "INTEGER N, NSTEPS\nREAL U(N,N), T(N,N)\n"
+      "T = U\n"
+      "DO K = 1, NSTEPS\n"
+      "  T = T + U\n"
+      "ENDDO\n"
+      "U = T\n");
+  DiagnosticEngine diags;
+  ContextPartitionStats stats = context_partition(p, diags);
+  EXPECT_EQ(stats.statements_moved, 0);
+  EXPECT_EQ(p.body.size(), 3u);
+  EXPECT_EQ(p.body[1]->kind, ir::StmtKind::Do);
+}
+
+TEST(CommUnioning, Problem9MatchesPaperFigure15) {
+  ir::Program p = prepare(kernels::kProblem9);
+  DiagnosticEngine diags;
+  context_partition(p, diags);
+  CommUnioningStats stats = comm_unioning(p, diags);
+  EXPECT_FALSE(diags.has_errors());
+  EXPECT_EQ(stats.shifts_before, 8);
+  EXPECT_EQ(stats.shifts_after, 4);
+  std::string text = body_text(p);
+  EXPECT_EQ(text.substr(0, text.find("T = ")),
+            "CALL OVERLAP_CSHIFT(U, SHIFT=-1, DIM=1)\n"
+            "CALL OVERLAP_CSHIFT(U, SHIFT=+1, DIM=1)\n"
+            "CALL OVERLAP_CSHIFT(U, SHIFT=-1, DIM=2, [0:N+1,*])\n"
+            "CALL OVERLAP_CSHIFT(U, SHIFT=+1, DIM=2, [0:N+1,*])\n");
+}
+
+TEST(CommUnioning, NinePointCShiftAlsoYieldsFourShifts) {
+  // The twelve CSHIFTs of the single-statement 9-point stencil reduce
+  // to the same four messages (paper Figure 6).
+  ir::Program p = prepare(kernels::kNinePointCShift);
+  DiagnosticEngine diags;
+  context_partition(p, diags);
+  CommUnioningStats stats = comm_unioning(p, diags);
+  EXPECT_EQ(stats.shifts_after, 4);
+}
+
+TEST(CommUnioning, LargerShiftSubsumesSmaller) {
+  ir::Program p = prepare(
+      "INTEGER N\nREAL U(N,N), T(N,N)\n"
+      "T = CSHIFT(U,+1,1) + CSHIFT(U,+2,1)\n");
+  DiagnosticEngine diags;
+  context_partition(p, diags);
+  CommUnioningStats stats = comm_unioning(p, diags);
+  EXPECT_EQ(stats.shifts_after, 1);
+  EXPECT_NE(body_text(p).find("CALL OVERLAP_CSHIFT(U, SHIFT=+2, DIM=1)"),
+            std::string::npos);
+}
+
+TEST(CommUnioning, OppositeDirectionsDoNotMerge) {
+  ir::Program p = prepare(
+      "INTEGER N\nREAL U(N,N), T(N,N)\n"
+      "T = CSHIFT(U,+1,1) + CSHIFT(U,-2,1)\n");
+  DiagnosticEngine diags;
+  context_partition(p, diags);
+  CommUnioningStats stats = comm_unioning(p, diags);
+  EXPECT_EQ(stats.shifts_after, 2);
+}
+
+TEST(CommUnioning, DifferentArraysIndependent) {
+  ir::Program p = prepare(
+      "INTEGER N\nREAL U(N,N), V(N,N), T(N,N)\n"
+      "T = CSHIFT(U,+1,1) + CSHIFT(V,+1,1) + CSHIFT(U,+1,1)\n");
+  DiagnosticEngine diags;
+  context_partition(p, diags);
+  CommUnioningStats stats = comm_unioning(p, diags);
+  EXPECT_EQ(stats.shifts_after, 2);  // one per array
+}
+
+TEST(CommUnioning, HigherDimOffsetMovesCornerToHigherShift) {
+  // CSHIFT(CSHIFT(U,-1,2),+1,1): the offset annotation lives in the
+  // higher dimension; commutativity reorders so the dim-2 shift carries
+  // the corner RSD (paper Section 3.3 step 1).
+  ir::Program p = prepare(
+      "INTEGER N\nREAL U(N,N), T(N,N)\n"
+      "T = CSHIFT(CSHIFT(U,-1,2),+1,1)\n");
+  DiagnosticEngine diags;
+  context_partition(p, diags);
+  CommUnioningStats stats = comm_unioning(p, diags);
+  EXPECT_EQ(stats.shifts_after, 2);
+  EXPECT_EQ(body_text(p),
+            "CALL OVERLAP_CSHIFT(U, SHIFT=+1, DIM=1)\n"
+            "CALL OVERLAP_CSHIFT(U, SHIFT=-1, DIM=2, [1:N+1,*])\n"
+            "T = U<+1,-1>\n");
+}
+
+TEST(CommUnioning, MixedKindsDoNotMerge) {
+  ir::Program p = prepare(
+      "INTEGER N\nREAL U(N,N), T(N,N)\n"
+      "T = CSHIFT(U,+1,1) + EOSHIFT(U,+1,0.0,1)\n");
+  DiagnosticEngine diags;
+  context_partition(p, diags);
+  CommUnioningStats stats = comm_unioning(p, diags);
+  EXPECT_EQ(stats.shifts_after, 2);
+}
+
+}  // namespace
+}  // namespace hpfsc::passes

@@ -1,0 +1,144 @@
+#include "passes/scalarize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "driver/paper_kernels.hpp"
+#include "helpers.hpp"
+#include "passes/memory_opt.hpp"
+
+namespace hpfsc::passes {
+namespace {
+
+using testing::body_text;
+using testing::compile_level;
+
+TEST(Scalarize, Problem9MatchesPaperFigure16) {
+  PipelineResult result;
+  PassOptions opts = PassOptions::level(3);  // no memory opts: Figure 16
+  opts.offset.live_out = {"T"};
+  ir::Program p = compile_level(kernels::kProblem9, 3, &result, &opts);
+  EXPECT_EQ(result.scalarize.nests_created, 1);
+  EXPECT_EQ(result.scalarize.statements_fused, 7);
+  EXPECT_EQ(body_text(p),
+            "CALL OVERLAP_CSHIFT(U, SHIFT=-1, DIM=1)\n"
+            "CALL OVERLAP_CSHIFT(U, SHIFT=+1, DIM=1)\n"
+            "CALL OVERLAP_CSHIFT(U, SHIFT=-1, DIM=2, [0:N+1,*])\n"
+            "CALL OVERLAP_CSHIFT(U, SHIFT=+1, DIM=2, [0:N+1,*])\n"
+            "DO i = 1, N\n"
+            "  DO j = 1, N\n"
+            "    T(i,j) = U(i,j) + U(i+1,j) + U(i-1,j)\n"
+            "    T(i,j) = T(i,j) + U(i,j-1)\n"
+            "    T(i,j) = T(i,j) + U(i,j+1)\n"
+            "    T(i,j) = T(i,j) + U(i+1,j-1)\n"
+            "    T(i,j) = T(i,j) + U(i+1,j+1)\n"
+            "    T(i,j) = T(i,j) + U(i-1,j-1)\n"
+            "    T(i,j) = T(i,j) + U(i-1,j+1)\n"
+            "  ENDDO\n"
+            "ENDDO\n");
+}
+
+TEST(Scalarize, SectionedStencilUsesSectionBounds) {
+  PassOptions opts = PassOptions::level(3);
+  opts.offset.live_out = {"DST"};
+  ir::Program p = compile_level(kernels::kFivePointArraySyntax, 3, nullptr,
+                                &opts);
+  std::string text = body_text(p);
+  EXPECT_NE(text.find("DO i = 2, N-1\n"), std::string::npos);
+  EXPECT_NE(text.find("  DO j = 2, N-1\n"), std::string::npos);
+  EXPECT_NE(text.find("DST(i,j) = C1*SRC(i-1,j)"), std::string::npos) << text;
+}
+
+TEST(Scalarize, WithoutPartitioningLoopsStaySeparate) {
+  // At level O1 the compute statements are interleaved with the shifts,
+  // so scalarization cannot fuse them into one nest.
+  PipelineResult result;
+  PassOptions opts = PassOptions::level(1);
+  opts.offset.live_out = {"T"};
+  compile_level(kernels::kProblem9, 1, &result, &opts);
+  EXPECT_EQ(result.scalarize.nests_created, 7);
+  EXPECT_EQ(result.scalarize.statements_fused, 0);
+}
+
+TEST(Scalarize, OffsetReadOfWrittenArrayBlocksFusion) {
+  // B = A<+1,0>-style fusion hazard: the second statement reads T at an
+  // offset after the first wrote it; fusing would read updated values.
+  PipelineResult result;
+  PassOptions opts = PassOptions::level(3);
+  opts.offset.live_out = {"S", "T"};
+  compile_level(
+      "INTEGER N\nREAL U(N,N), T(N,N), S(N,N)\n"
+      "T = U + 1.0\n"
+      "S = CSHIFT(T,+1,1)\n",
+      3, &result, &opts);
+  // The shift of T cannot convert into a fused offset read (T is being
+  // written in the same group); whatever form it takes, the compute
+  // statements must not fuse into a single nest reading T<+1,0>.
+  for (const auto& listing : result.listings) {
+    if (listing.phase != "scalarization") continue;
+    EXPECT_EQ(listing.code.find("S(i,j) = T(i+1,j)"), std::string::npos)
+        << listing.code;
+  }
+}
+
+TEST(Scalarize, DifferentIterationSpacesDoNotFuse) {
+  PipelineResult result;
+  PassOptions opts = PassOptions::level(3);
+  opts.offset.live_out = {"A", "B"};
+  compile_level(
+      "INTEGER N\nREAL U(N,N), A(N,N), B(N,N)\n"
+      "A(2:N-1,2:N-1) = U(2:N-1,2:N-1)\n"
+      "B = U\n",
+      3, &result, &opts);
+  EXPECT_EQ(result.scalarize.nests_created, 2);
+}
+
+TEST(Scalarize, ZeroOffsetChainFusesLegally) {
+  // T = ...; T = T + ... reads T at offset 0: legal to fuse.
+  PipelineResult result;
+  PassOptions opts = PassOptions::level(3);
+  opts.offset.live_out = {"T"};
+  compile_level(
+      "INTEGER N\nREAL U(N,N), T(N,N)\n"
+      "T = U\n"
+      "T = T + U\n",
+      3, &result, &opts);
+  EXPECT_EQ(result.scalarize.nests_created, 1);
+}
+
+TEST(MemoryOpt, PermutesAndAnnotates) {
+  PipelineResult result;
+  PassOptions opts = PassOptions::level(4);
+  opts.offset.live_out = {"T"};
+  ir::Program p = compile_level(kernels::kProblem9, 4, &result, &opts);
+  EXPECT_EQ(result.memory.nests_permuted, 1);
+  EXPECT_EQ(result.memory.nests_unrolled, 1);
+  EXPECT_EQ(result.memory.nests_scalar_replaced, 1);
+  std::string text = body_text(p);
+  // After permutation j is outermost (unit-stride i innermost), and the
+  // outer loop carries the unroll-and-jam annotation.
+  EXPECT_NE(text.find("DO j = 1, N, 4   ! unroll-and-jam\n"),
+            std::string::npos)
+      << text;
+  auto j_pos = text.find("DO j");
+  auto i_pos = text.find("DO i");
+  EXPECT_LT(j_pos, i_pos);
+}
+
+TEST(MemoryOpt, Rank1NestNotUnrolled) {
+  PipelineResult result;
+  PassOptions opts = PassOptions::level(4);
+  opts.offset.live_out = {"B"};
+  compile_level(
+      "INTEGER N\n"
+      "!HPF$ PROCESSORS P(4,1)\n"
+      "REAL A(N), B(N)\n"
+      "!HPF$ DISTRIBUTE A(BLOCK)\n"
+      "!HPF$ DISTRIBUTE B(BLOCK)\n"
+      "B = A + CSHIFT(A,+1,1)\n",
+      4, &result, &opts);
+  EXPECT_EQ(result.memory.nests_unrolled, 0);
+  EXPECT_EQ(result.memory.nests_permuted, 0);
+}
+
+}  // namespace
+}  // namespace hpfsc::passes

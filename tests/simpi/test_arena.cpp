@@ -1,0 +1,77 @@
+#include "simpi/arena.hpp"
+
+#include <gtest/gtest.h>
+
+namespace simpi {
+namespace {
+
+TEST(MemoryArena, TracksUsageAndPeak) {
+  MemoryArena arena(0, 0);
+  arena.charge(100);
+  arena.charge(50);
+  EXPECT_EQ(arena.in_use(), 150u);
+  EXPECT_EQ(arena.peak(), 150u);
+  arena.release(100);
+  EXPECT_EQ(arena.in_use(), 50u);
+  EXPECT_EQ(arena.peak(), 150u);
+  arena.charge(10);
+  EXPECT_EQ(arena.peak(), 150u);  // below previous high water
+}
+
+TEST(MemoryArena, UnlimitedWhenCapZero) {
+  MemoryArena arena(0, 0);
+  EXPECT_NO_THROW(arena.charge(1'000'000'000));
+}
+
+TEST(MemoryArena, ThrowsWhenCapExceeded) {
+  MemoryArena arena(3, 1000);
+  arena.charge(900);
+  EXPECT_THROW(arena.charge(200), OutOfMemory);
+  // A failed charge must not change accounting.
+  EXPECT_EQ(arena.in_use(), 900u);
+  EXPECT_NO_THROW(arena.charge(100));
+}
+
+TEST(MemoryArena, OutOfMemoryCarriesContext) {
+  MemoryArena arena(7, 64);
+  try {
+    arena.charge(100);
+    FAIL() << "expected OutOfMemory";
+  } catch (const OutOfMemory& oom) {
+    EXPECT_EQ(oom.pe(), 7);
+    EXPECT_EQ(oom.requested(), 100u);
+    EXPECT_EQ(oom.cap(), 64u);
+    EXPECT_NE(std::string(oom.what()).find("PE 7"), std::string::npos);
+  }
+}
+
+TEST(MemoryArena, ReleaseClampsAtZero) {
+  MemoryArena arena(0, 0);
+  arena.charge(10);
+  arena.release(100);
+  EXPECT_EQ(arena.in_use(), 0u);
+}
+
+TEST(ArenaCharge, RaiiReleasesOnDestruction) {
+  MemoryArena arena(0, 0);
+  {
+    ArenaCharge charge(arena, 256);
+    EXPECT_EQ(arena.in_use(), 256u);
+  }
+  EXPECT_EQ(arena.in_use(), 0u);
+}
+
+TEST(ArenaCharge, MoveTransfersOwnership) {
+  MemoryArena arena(0, 0);
+  ArenaCharge a(arena, 128);
+  ArenaCharge b(std::move(a));
+  EXPECT_EQ(arena.in_use(), 128u);
+  ArenaCharge c;
+  c = std::move(b);
+  EXPECT_EQ(arena.in_use(), 128u);
+  c = ArenaCharge(arena, 64);
+  EXPECT_EQ(arena.in_use(), 64u);
+}
+
+}  // namespace
+}  // namespace simpi

@@ -1,0 +1,188 @@
+#include "simpi/dist_array.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace simpi {
+namespace {
+
+DistArrayDesc desc_2d(int n, int halo = 1) {
+  DistArrayDesc d;
+  d.name = "A";
+  d.rank = 2;
+  d.extent = {n, n, 1};
+  d.dist = {DistKind::Block, DistKind::Block, DistKind::Collapsed};
+  d.halo.lo = {halo, halo, 0};
+  d.halo.hi = {halo, halo, 0};
+  return d;
+}
+
+TEST(DistArrayDesc, GridMappingAssignsBlockDimsInOrder) {
+  ProcGrid grid(2, 2);
+  auto mapping = desc_2d(8).grid_mapping(grid);
+  EXPECT_EQ(mapping[0], 0);
+  EXPECT_EQ(mapping[1], 1);
+  EXPECT_EQ(mapping[2], -1);
+}
+
+TEST(DistArrayDesc, CollapsedDimSkipsGridDim) {
+  ProcGrid grid(4, 1);
+  DistArrayDesc d = desc_2d(8);
+  d.dist[1] = DistKind::Collapsed;
+  auto mapping = d.grid_mapping(grid);
+  EXPECT_EQ(mapping[0], 0);
+  EXPECT_EQ(mapping[1], -1);
+}
+
+TEST(DistArrayDesc, RejectsUnusedGridDimWithExtent) {
+  ProcGrid grid(2, 2);
+  DistArrayDesc d = desc_2d(8);
+  d.dist[1] = DistKind::Collapsed;  // only one BLOCK dim but 2x2 grid
+  EXPECT_THROW((void)d.grid_mapping(grid), std::invalid_argument);
+}
+
+TEST(DistArrayDesc, GlobalElements) {
+  EXPECT_EQ(desc_2d(8).global_elements(), 64u);
+}
+
+TEST(LocalGrid, OwnedRangesMatchBlockMap) {
+  ProcGrid grid(2, 2);
+  MemoryArena arena;
+  DistArrayDesc d = desc_2d(8);
+  LocalGrid g0(d, grid, grid.rank_of(0, 0), arena);
+  EXPECT_EQ(g0.own_lo(0), 1);
+  EXPECT_EQ(g0.own_hi(0), 4);
+  EXPECT_EQ(g0.own_lo(1), 1);
+  EXPECT_EQ(g0.own_hi(1), 4);
+  LocalGrid g3(d, grid, grid.rank_of(1, 1), arena);
+  EXPECT_EQ(g3.own_lo(0), 5);
+  EXPECT_EQ(g3.own_hi(0), 8);
+  EXPECT_EQ(g3.own_lo(1), 5);
+  EXPECT_EQ(g3.own_hi(1), 8);
+}
+
+TEST(LocalGrid, StorageIncludesOverlapAreas) {
+  ProcGrid grid(2, 2);
+  MemoryArena arena;
+  LocalGrid g(desc_2d(8, /*halo=*/2), grid, 0, arena);
+  // 4 owned + 2 halo each side = 8 per dim.
+  EXPECT_EQ(g.local_elements(), 64u);
+  EXPECT_EQ(g.storage_bytes(), 64u * sizeof(double));
+  EXPECT_EQ(arena.in_use(), g.storage_bytes());
+}
+
+TEST(LocalGrid, ElementAccessAndStrides) {
+  ProcGrid grid(1, 1);
+  MemoryArena arena;
+  LocalGrid g(desc_2d(4, 1), grid, 0, arena);
+  // Column-major: stride(0)==1, stride(1)==local extent of dim 0 (4+2).
+  EXPECT_EQ(g.stride(0), 1);
+  EXPECT_EQ(g.stride(1), 6);
+  g.at({2, 3}) = 42.0;
+  EXPECT_EQ(g.at({2, 3}), 42.0);
+  EXPECT_EQ(*g.ptr_to({2, 3}), 42.0);
+  // Halo cells are addressable.
+  g.at({0, 0}) = 7.0;
+  g.at({5, 5}) = 8.0;
+  EXPECT_EQ(g.at({0, 0}), 7.0);
+  EXPECT_EQ(g.at({5, 5}), 8.0);
+}
+
+TEST(LocalGrid, PackUnpackRoundTrip) {
+  ProcGrid grid(1, 1);
+  MemoryArena arena;
+  LocalGrid g(desc_2d(4, 1), grid, 0, arena);
+  for (int j = 1; j <= 4; ++j) {
+    for (int i = 1; i <= 4; ++i) g.at({i, j}) = i * 10 + j;
+  }
+  Region r{{2, 1, 1}, {3, 4, 1}};
+  std::vector<double> buf(r.elements(2));
+  g.pack(r, buf);
+  EXPECT_EQ(buf[0], 21.0);  // (2,1)
+  EXPECT_EQ(buf[1], 31.0);  // (3,1) — dim 0 contiguous
+  EXPECT_EQ(buf[2], 22.0);  // (2,2)
+
+  LocalGrid h(desc_2d(4, 1), grid, 0, arena);
+  h.fill(0.0);
+  h.unpack(r, buf);
+  for (int j = 1; j <= 4; ++j) {
+    for (int i = 2; i <= 3; ++i) EXPECT_EQ(h.at({i, j}), i * 10 + j);
+  }
+  EXPECT_EQ(h.at({1, 1}), 0.0);
+}
+
+TEST(LocalGrid, CopyShiftedFrom) {
+  ProcGrid grid(1, 1);
+  MemoryArena arena;
+  LocalGrid src(desc_2d(4, 1), grid, 0, arena);
+  LocalGrid dst(desc_2d(4, 1), grid, 0, arena);
+  for (int j = 1; j <= 4; ++j) {
+    for (int i = 1; i <= 4; ++i) src.at({i, j}) = i * 10 + j;
+  }
+  Region r{{1, 1, 1}, {3, 4, 1}};  // dst(i,j) = src(i+1,j)
+  std::size_t bytes = dst.copy_shifted_from(src, r, 0, +1);
+  EXPECT_EQ(bytes, r.elements(2) * sizeof(double));
+  for (int j = 1; j <= 4; ++j) {
+    for (int i = 1; i <= 3; ++i) EXPECT_EQ(dst.at({i, j}), (i + 1) * 10 + j);
+  }
+}
+
+TEST(LocalGrid, FillRegion) {
+  ProcGrid grid(1, 1);
+  MemoryArena arena;
+  LocalGrid g(desc_2d(4, 1), grid, 0, arena);
+  g.fill(1.0);
+  g.fill_region(Region{{2, 2, 1}, {3, 3, 1}}, 9.0);
+  EXPECT_EQ(g.at({2, 2}), 9.0);
+  EXPECT_EQ(g.at({3, 3}), 9.0);
+  EXPECT_EQ(g.at({1, 1}), 1.0);
+  EXPECT_EQ(g.at({4, 4}), 1.0);
+}
+
+TEST(LocalGrid, EmptySubgridOwnsNothing) {
+  // n=5 over 4 procs: block 2 -> last proc owns nothing.
+  ProcGrid grid(4, 1);
+  MemoryArena arena;
+  DistArrayDesc d;
+  d.name = "V";
+  d.rank = 1;
+  d.extent = {5, 1, 1};
+  d.dist = {DistKind::Block, DistKind::Collapsed, DistKind::Collapsed};
+  d.halo.lo = {1, 0, 0};
+  d.halo.hi = {1, 0, 0};
+  LocalGrid g(d, grid, grid.rank_of(3, 0), arena);
+  EXPECT_FALSE(g.owns_anything());
+  EXPECT_EQ(g.local_elements(), 0u);
+  LocalGrid g2(d, grid, grid.rank_of(2, 0), arena);
+  EXPECT_TRUE(g2.owns_anything());
+  EXPECT_EQ(g2.own_lo(0), 5);
+  EXPECT_EQ(g2.own_hi(0), 5);
+}
+
+TEST(LocalGrid, ChargesAndReleasesArena) {
+  ProcGrid grid(1, 1);
+  MemoryArena arena(0, 0);
+  {
+    LocalGrid g(desc_2d(4, 0), grid, 0, arena);
+    EXPECT_EQ(arena.in_use(), 16u * sizeof(double));
+  }
+  EXPECT_EQ(arena.in_use(), 0u);
+}
+
+TEST(LocalGrid, AllocationRespectsCap) {
+  ProcGrid grid(1, 1);
+  MemoryArena arena(0, 100);  // far too small for 6x6 doubles
+  EXPECT_THROW(LocalGrid(desc_2d(4, 1), grid, 0, arena), OutOfMemory);
+}
+
+TEST(Region, ElementsAndEmptiness) {
+  Region r{{1, 1, 1}, {4, 2, 1}};
+  EXPECT_EQ(r.elements(2), 8u);
+  EXPECT_FALSE(r.empty(2));
+  Region e{{3, 1, 1}, {2, 5, 1}};
+  EXPECT_TRUE(e.empty(2));
+}
+
+}  // namespace
+}  // namespace simpi

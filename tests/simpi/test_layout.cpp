@@ -1,0 +1,108 @@
+#include "simpi/layout.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace simpi {
+namespace {
+
+TEST(WrapIndex, IdentityInRange) {
+  for (int g = 1; g <= 7; ++g) EXPECT_EQ(wrap_index(g, 7), g);
+}
+
+TEST(WrapIndex, WrapsAboveAndBelow) {
+  EXPECT_EQ(wrap_index(8, 7), 1);
+  EXPECT_EQ(wrap_index(9, 7), 2);
+  EXPECT_EQ(wrap_index(0, 7), 7);
+  EXPECT_EQ(wrap_index(-1, 7), 6);
+  EXPECT_EQ(wrap_index(14, 7), 7);
+  EXPECT_EQ(wrap_index(15, 7), 1);
+  EXPECT_EQ(wrap_index(-6, 7), 1);
+}
+
+TEST(WrapIndex, FullNegativePeriod) {
+  for (int g = 1; g <= 5; ++g) {
+    EXPECT_EQ(wrap_index(g - 5, 5), g);
+    EXPECT_EQ(wrap_index(g + 5, 5), g);
+  }
+}
+
+TEST(BlockMap, EvenDivision) {
+  BlockMap bm(8, 4);
+  EXPECT_EQ(bm.block_size(), 2);
+  EXPECT_EQ(bm.lo(0), 1);
+  EXPECT_EQ(bm.hi(0), 2);
+  EXPECT_EQ(bm.lo(3), 7);
+  EXPECT_EQ(bm.hi(3), 8);
+  EXPECT_FALSE(bm.has_empty_blocks());
+}
+
+TEST(BlockMap, RaggedTail) {
+  BlockMap bm(10, 4);  // b = 3: [1-3][4-6][7-9][10-10]
+  EXPECT_EQ(bm.block_size(), 3);
+  EXPECT_EQ(bm.count(3), 1);
+  EXPECT_FALSE(bm.has_empty_blocks());
+}
+
+TEST(BlockMap, EmptyTailBlock) {
+  BlockMap bm(5, 4);  // b = 2: [1-2][3-4][5-5][empty]
+  EXPECT_EQ(bm.count(2), 1);
+  EXPECT_EQ(bm.count(3), 0);
+  EXPECT_TRUE(bm.has_empty_blocks());
+}
+
+TEST(BlockMap, RejectsBadArguments) {
+  EXPECT_THROW(BlockMap(0, 4), std::invalid_argument);
+  EXPECT_THROW(BlockMap(4, 0), std::invalid_argument);
+}
+
+// Property sweep: ownership is a partition of [1, n].
+class BlockMapProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BlockMapProperty, OwnershipPartitionsTheExtent) {
+  auto [n, p] = GetParam();
+  BlockMap bm(n, p);
+  int covered = 0;
+  for (int k = 0; k < p; ++k) {
+    covered += bm.count(k);
+    if (bm.count(k) > 0) {
+      for (int g = bm.lo(k); g <= bm.hi(k); ++g) {
+        EXPECT_EQ(bm.owner(g), k) << "n=" << n << " p=" << p << " g=" << g;
+      }
+    }
+  }
+  EXPECT_EQ(covered, n);
+  for (int g = 1; g <= n; ++g) {
+    int k = bm.owner(g);
+    EXPECT_GE(g, bm.lo(k));
+    EXPECT_LE(g, bm.hi(k));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BlockMapProperty,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 8, 16, 17, 100, 1024),
+                       ::testing::Values(1, 2, 3, 4, 7, 8)));
+
+TEST(ProcGrid, RankAndCoordsRoundTrip) {
+  ProcGrid grid(2, 3);
+  EXPECT_EQ(grid.size(), 6);
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      int id = grid.rank_of(r, c);
+      auto coords = grid.coords_of(id);
+      EXPECT_EQ(coords[0], r);
+      EXPECT_EQ(coords[1], c);
+    }
+  }
+}
+
+TEST(DistKind, ToString) {
+  EXPECT_EQ(to_string(DistKind::Block), "BLOCK");
+  EXPECT_EQ(to_string(DistKind::Collapsed), "*");
+}
+
+}  // namespace
+}  // namespace simpi

@@ -1,0 +1,190 @@
+#include "simpi/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace simpi {
+namespace {
+
+MachineConfig cfg_2x2() {
+  MachineConfig c;
+  c.pe_rows = 2;
+  c.pe_cols = 2;
+  return c;
+}
+
+DistArrayDesc desc_2d(int n, int halo = 1) {
+  DistArrayDesc d;
+  d.name = "A";
+  d.rank = 2;
+  d.extent = {n, n, 1};
+  d.dist = {DistKind::Block, DistKind::Block, DistKind::Collapsed};
+  d.halo.lo = {halo, halo, 0};
+  d.halo.hi = {halo, halo, 0};
+  return d;
+}
+
+TEST(Machine, RunsOnePerPe) {
+  Machine m(cfg_2x2());
+  std::atomic<int> count{0};
+  m.run([&](Pe& pe) {
+    EXPECT_EQ(pe.id(), pe.row() * 2 + pe.col());
+    count.fetch_add(1);
+  });
+  EXPECT_EQ(count.load(), 4);
+}
+
+TEST(Machine, SendRecvRoundTrip) {
+  Machine m(cfg_2x2());
+  m.run([&](Pe& pe) {
+    // Ring: each PE sends its id to the next, receives from previous.
+    int next = (pe.id() + 1) % 4;
+    int prev = (pe.id() + 3) % 4;
+    std::vector<double> msg{static_cast<double>(pe.id())};
+    pe.send(next, msg);
+    auto got = pe.recv(prev);
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0], static_cast<double>(prev));
+  });
+}
+
+TEST(Machine, MessagesArePairFifo) {
+  Machine m(cfg_2x2());
+  m.run([&](Pe& pe) {
+    if (pe.id() == 0) {
+      for (int k = 0; k < 5; ++k) {
+        std::vector<double> msg{static_cast<double>(k)};
+        pe.send(1, msg);
+      }
+    } else if (pe.id() == 1) {
+      for (int k = 0; k < 5; ++k) {
+        auto got = pe.recv(0);
+        EXPECT_EQ(got[0], static_cast<double>(k));
+      }
+    }
+  });
+}
+
+TEST(Machine, BarrierSynchronizes) {
+  Machine m(cfg_2x2());
+  std::atomic<int> phase1{0};
+  std::atomic<bool> saw_partial{false};
+  m.run([&](Pe& pe) {
+    (void)pe;
+    phase1.fetch_add(1);
+    pe.barrier();
+    if (phase1.load() != 4) saw_partial.store(true);
+  });
+  EXPECT_FALSE(saw_partial.load());
+}
+
+TEST(Machine, ExceptionInOnePeAbortsAll) {
+  Machine m(cfg_2x2());
+  EXPECT_THROW(
+      m.run([&](Pe& pe) {
+        if (pe.id() == 2) throw std::runtime_error("boom");
+        // Other PEs block; abort must wake them.
+        pe.barrier();
+        pe.recv(2);
+      }),
+      std::runtime_error);
+  EXPECT_TRUE(m.aborted());
+  // The machine recovers for the next run.
+  std::atomic<int> count{0};
+  m.run([&](Pe& pe) {
+    (void)pe;
+    count.fetch_add(1);
+    pe.barrier();
+  });
+  EXPECT_EQ(count.load(), 4);
+}
+
+TEST(Machine, OutOfMemorySurfacesFromRun) {
+  MachineConfig c = cfg_2x2();
+  c.per_pe_heap_bytes = 128;
+  Machine m(c);
+  EXPECT_THROW(m.run([&](Pe& pe) { pe.create_array(0, desc_2d(64)); }),
+               OutOfMemory);
+}
+
+TEST(Machine, GatherScatterRoundTrip) {
+  Machine m(cfg_2x2());
+  int id = m.create_array(desc_2d(8));
+  std::vector<double> global(64);
+  std::iota(global.begin(), global.end(), 1.0);
+  m.scatter(id, global);
+  EXPECT_EQ(m.gather(id), global);
+}
+
+TEST(Machine, SetElementsUsesGlobalIndices) {
+  Machine m(cfg_2x2());
+  int id = m.create_array(desc_2d(4));
+  m.set_elements(id, [](int i, int j, int) { return i * 100.0 + j; });
+  auto global = m.gather(id);
+  // Column-major: element (i,j) at (i-1) + (j-1)*4.
+  EXPECT_EQ(global[0], 101.0);   // (1,1)
+  EXPECT_EQ(global[3], 401.0);   // (4,1)
+  EXPECT_EQ(global[15], 404.0);  // (4,4)
+}
+
+TEST(Machine, ArraySlotsLifecycle) {
+  Machine m(cfg_2x2());
+  int a = m.create_array(desc_2d(4));
+  int b = m.create_array(desc_2d(4));
+  EXPECT_NE(a, b);
+  m.free_array(a);
+  int c = m.create_array(desc_2d(4));
+  EXPECT_EQ(c, a);  // slot reuse
+  m.run([&](Pe& pe) {
+    EXPECT_TRUE(pe.has_array(b));
+    EXPECT_THROW((void)pe.grid(99), std::logic_error);
+  });
+}
+
+TEST(Machine, StatsAccumulateAndClear) {
+  Machine m(cfg_2x2());
+  m.run([&](Pe& pe) {
+    if (pe.id() == 0) {
+      std::vector<double> msg(16, 1.0);
+      pe.send(1, msg);
+    } else if (pe.id() == 1) {
+      pe.recv(0);
+    }
+  });
+  MachineStats s = m.stats();
+  EXPECT_EQ(s.messages_sent, 1u);
+  EXPECT_EQ(s.bytes_sent, 16u * sizeof(double));
+  EXPECT_GT(s.modeled_comm_ns, 0u);
+  m.clear_stats();
+  s = m.stats();
+  EXPECT_EQ(s.messages_sent, 0u);
+  EXPECT_EQ(s.bytes_sent, 0u);
+}
+
+TEST(Machine, ModeledCostUsesCostModel) {
+  MachineConfig c = cfg_2x2();
+  c.cost.latency_ns = 1000;
+  c.cost.ns_per_byte = 2.0;
+  Machine m(c);
+  m.run([&](Pe& pe) {
+    if (pe.id() == 0) {
+      std::vector<double> msg(10, 0.0);  // 80 bytes
+      pe.send(1, msg);
+    } else if (pe.id() == 1) {
+      pe.recv(0);
+    }
+  });
+  EXPECT_EQ(m.stats().modeled_comm_ns, 1000u + 160u);
+}
+
+TEST(Machine, RejectsBadGrid) {
+  MachineConfig c;
+  c.pe_rows = 0;
+  EXPECT_THROW(Machine{c}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace simpi

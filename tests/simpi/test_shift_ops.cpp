@@ -1,0 +1,394 @@
+#include "simpi/shift_ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+#include "simpi/machine.hpp"
+
+namespace simpi {
+namespace {
+
+DistArrayDesc desc_2d(const std::string& name, int n, int halo) {
+  DistArrayDesc d;
+  d.name = name;
+  d.rank = 2;
+  d.extent = {n, n, 1};
+  d.dist = {DistKind::Block, DistKind::Block, DistKind::Collapsed};
+  d.halo.lo = {halo, halo, 0};
+  d.halo.hi = {halo, halo, 0};
+  return d;
+}
+
+/// Reference CSHIFT on a dense column-major global array.
+std::vector<double> ref_cshift(const std::vector<double>& in, int n, int shift,
+                               int dim, bool circular, double boundary) {
+  std::vector<double> out(in.size());
+  for (int j = 1; j <= n; ++j) {
+    for (int i = 1; i <= n; ++i) {
+      int si = i, sj = j;
+      (dim == 0 ? si : sj) += shift;
+      double v;
+      if (circular) {
+        v = in[static_cast<std::size_t>(wrap_index(dim == 0 ? si : i, n) - 1) +
+               static_cast<std::size_t>(wrap_index(dim == 1 ? sj : j, n) - 1) *
+                   static_cast<std::size_t>(n)];
+      } else if (si >= 1 && si <= n && sj >= 1 && sj <= n) {
+        v = in[static_cast<std::size_t>(si - 1) +
+               static_cast<std::size_t>(sj - 1) * static_cast<std::size_t>(n)];
+      } else {
+        v = boundary;
+      }
+      out[static_cast<std::size_t>(i - 1) +
+          static_cast<std::size_t>(j - 1) * static_cast<std::size_t>(n)] = v;
+    }
+  }
+  return out;
+}
+
+std::vector<double> iota_data(int n) {
+  std::vector<double> v(static_cast<std::size_t>(n) * n);
+  std::iota(v.begin(), v.end(), 1.0);
+  return v;
+}
+
+// ------------------------------------------------ split_shift_intervals --
+
+TEST(SplitShiftIntervals, SingleOwnerNoWrap) {
+  BlockMap bm(8, 4);
+  auto ivs = split_shift_intervals(3, 4, 0, 8, bm, true);
+  ASSERT_EQ(ivs.size(), 1u);
+  EXPECT_EQ(ivs[0].reader_lo, 3);
+  EXPECT_EQ(ivs[0].reader_hi, 4);
+  EXPECT_EQ(ivs[0].src_lo, 3);
+  EXPECT_EQ(ivs[0].owner, 1);
+}
+
+TEST(SplitShiftIntervals, SplitsAtBlockBoundary) {
+  BlockMap bm(8, 4);
+  auto ivs = split_shift_intervals(1, 8, +1, 8, bm, true);
+  // readers 1..8 read sources 2..8,1 — splits at every block edge + wrap.
+  ASSERT_EQ(ivs.size(), 5u);
+  EXPECT_EQ(ivs[0].reader_lo, 1);
+  EXPECT_EQ(ivs[0].src_lo, 2);
+  EXPECT_EQ(ivs[0].owner, 0);
+  EXPECT_EQ(ivs[4].reader_lo, 8);
+  EXPECT_EQ(ivs[4].src_lo, 1);  // wrapped
+  EXPECT_EQ(ivs[4].owner, 0);
+}
+
+TEST(SplitShiftIntervals, WrapBelow) {
+  BlockMap bm(8, 2);
+  auto ivs = split_shift_intervals(1, 2, -2, 8, bm, true);
+  ASSERT_EQ(ivs.size(), 1u);
+  EXPECT_EQ(ivs[0].src_lo, 7);  // wrap_index(-1..0) -> 7..8
+  EXPECT_EQ(ivs[0].owner, 1);
+}
+
+TEST(SplitShiftIntervals, EndOffProducesBoundaryRuns) {
+  BlockMap bm(8, 2);
+  auto ivs = split_shift_intervals(1, 8, -2, 8, bm, false);
+  ASSERT_EQ(ivs.size(), 3u);
+  EXPECT_EQ(ivs[0].owner, -1);  // readers 1..2 read sources -1..0
+  EXPECT_EQ(ivs[0].reader_hi, 2);
+  EXPECT_EQ(ivs[1].reader_lo, 3);
+  EXPECT_EQ(ivs[1].src_lo, 1);
+  EXPECT_EQ(ivs[1].owner, 0);
+  EXPECT_EQ(ivs[2].src_lo, 5);
+  EXPECT_EQ(ivs[2].owner, 1);
+}
+
+TEST(SplitShiftIntervals, EndOffAboveExtent) {
+  BlockMap bm(4, 1);
+  // Readers 3..4 read sources 5..6, entirely past the extent: one
+  // boundary-fill run.
+  auto ivs = split_shift_intervals(3, 4, +2, 4, bm, false);
+  ASSERT_EQ(ivs.size(), 1u);
+  EXPECT_EQ(ivs[0].reader_lo, 3);
+  EXPECT_EQ(ivs[0].reader_hi, 4);
+  EXPECT_EQ(ivs[0].owner, -1);
+}
+
+// --------------------------------------------------------- full_cshift --
+
+struct CShiftCase {
+  int n;
+  int rows;
+  int cols;
+  int shift;
+  int dim;
+};
+
+class FullCShiftProperty : public ::testing::TestWithParam<CShiftCase> {};
+
+TEST_P(FullCShiftProperty, MatchesReference) {
+  const auto& p = GetParam();
+  MachineConfig c;
+  c.pe_rows = p.rows;
+  c.pe_cols = p.cols;
+  Machine m(c);
+  int src = m.create_array(desc_2d("SRC", p.n, 0));
+  int dst = m.create_array(desc_2d("DST", p.n, 0));
+  auto in = iota_data(p.n);
+  m.scatter(src, in);
+  m.run([&](Pe& pe) { full_cshift(pe, dst, src, p.shift, p.dim); });
+  EXPECT_EQ(m.gather(dst), ref_cshift(in, p.n, p.shift, p.dim, true, 0.0))
+      << "n=" << p.n << " grid=" << p.rows << "x" << p.cols
+      << " shift=" << p.shift << " dim=" << p.dim;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FullCShiftProperty,
+    ::testing::Values(
+        CShiftCase{8, 1, 1, +1, 0}, CShiftCase{8, 1, 1, -1, 1},
+        CShiftCase{8, 2, 2, +1, 0}, CShiftCase{8, 2, 2, -1, 0},
+        CShiftCase{8, 2, 2, +1, 1}, CShiftCase{8, 2, 2, -1, 1},
+        CShiftCase{8, 2, 2, +3, 0}, CShiftCase{8, 2, 2, -3, 1},
+        CShiftCase{9, 2, 2, +2, 0}, CShiftCase{9, 2, 2, -2, 1},
+        CShiftCase{8, 4, 1, +1, 0}, CShiftCase{8, 1, 4, -1, 1},
+        CShiftCase{8, 2, 2, +8, 0},   // full rotation = identity
+        CShiftCase{8, 2, 2, +9, 0},   // rotation + 1
+        CShiftCase{8, 2, 2, -11, 1},  // multiple wraps
+        CShiftCase{5, 2, 2, +1, 0},   // ragged blocks
+        CShiftCase{7, 4, 1, +2, 0},   // ragged + distance 2
+        CShiftCase{8, 2, 2, 0, 0}));  // no-op shift = copy
+
+TEST(FullCShift, EndOffFillsBoundary) {
+  Machine m(MachineConfig{.pe_rows = 2, .pe_cols = 2});
+  int src = m.create_array(desc_2d("SRC", 8, 0));
+  int dst = m.create_array(desc_2d("DST", 8, 0));
+  auto in = iota_data(8);
+  m.scatter(src, in);
+  m.run([&](Pe& pe) {
+    full_cshift(pe, dst, src, +2, 1, ShiftKind::EndOff, -5.0);
+  });
+  EXPECT_EQ(m.gather(dst), ref_cshift(in, 8, +2, 1, false, -5.0));
+}
+
+TEST(FullCShift, RejectsMismatchedShapes) {
+  Machine m(MachineConfig{.pe_rows = 1, .pe_cols = 1});
+  int a = m.create_array(desc_2d("A", 8, 0));
+  int b = m.create_array(desc_2d("B", 4, 0));
+  EXPECT_THROW(m.run([&](Pe& pe) { full_cshift(pe, a, b, 1, 0); }),
+               std::logic_error);
+}
+
+TEST(FullCShift, CountsIntraAndInterMovement) {
+  Machine m(MachineConfig{.pe_rows = 2, .pe_cols = 2});
+  int src = m.create_array(desc_2d("SRC", 8, 0));
+  int dst = m.create_array(desc_2d("DST", 8, 0));
+  m.scatter(src, iota_data(8));
+  m.run([&](Pe& pe) { full_cshift(pe, dst, src, +1, 0); });
+  MachineStats s = m.stats();
+  // Each PE sends one 1x4 strip: 4 messages of 4 doubles.
+  EXPECT_EQ(s.messages_sent, 4u);
+  EXPECT_EQ(s.bytes_sent, 4u * 4 * sizeof(double));
+  // Each PE locally copies the remaining 3x4 block of its subgrid.
+  EXPECT_EQ(s.intra_copy_bytes, 4u * 12 * sizeof(double));
+}
+
+// ------------------------------------------------------- overlap_shift --
+
+/// After overlap_shift(U, s, d), every owned element must be able to read
+/// its offset neighbor U<+s*e_d> locally, observing circular semantics.
+void expect_offset_readable(Machine& m, int id,
+                            const std::vector<double>& global, int n,
+                            int shift, int dim) {
+  for (int pe = 0; pe < m.num_pes(); ++pe) {
+    LocalGrid& g = m.pe(pe).grid(id);
+    if (!g.owns_anything()) continue;
+    for (int j = g.own_lo(1); j <= g.own_hi(1); ++j) {
+      for (int i = g.own_lo(0); i <= g.own_hi(0); ++i) {
+        int si = i, sj = j;
+        (dim == 0 ? si : sj) += shift;
+        double expected =
+            global[static_cast<std::size_t>(wrap_index(si, n) - 1) +
+                   static_cast<std::size_t>(wrap_index(sj, n) - 1) *
+                       static_cast<std::size_t>(n)];
+        EXPECT_EQ((g.at({si, sj})), expected)
+            << "pe=" << pe << " i=" << i << " j=" << j << " shift=" << shift
+            << " dim=" << dim;
+      }
+    }
+  }
+}
+
+struct OverlapCase {
+  int n;
+  int rows;
+  int cols;
+  int shift;
+  int dim;
+};
+
+class OverlapShiftProperty : public ::testing::TestWithParam<OverlapCase> {};
+
+TEST_P(OverlapShiftProperty, FillsOverlapAreaCorrectly) {
+  const auto& p = GetParam();
+  MachineConfig c;
+  c.pe_rows = p.rows;
+  c.pe_cols = p.cols;
+  Machine m(c);
+  int id = m.create_array(desc_2d("U", p.n, 2));
+  auto in = iota_data(p.n);
+  m.scatter(id, in);
+  m.run([&](Pe& pe) { overlap_shift(pe, id, p.shift, p.dim); });
+  expect_offset_readable(m, id, in, p.n, p.shift, p.dim);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OverlapShiftProperty,
+    ::testing::Values(OverlapCase{8, 2, 2, +1, 0}, OverlapCase{8, 2, 2, -1, 0},
+                      OverlapCase{8, 2, 2, +1, 1}, OverlapCase{8, 2, 2, -1, 1},
+                      OverlapCase{8, 2, 2, +2, 0}, OverlapCase{8, 2, 2, -2, 1},
+                      OverlapCase{8, 1, 1, +1, 0}, OverlapCase{8, 1, 1, -2, 1},
+                      OverlapCase{9, 2, 2, +1, 0}, OverlapCase{6, 2, 2, +2, 0},
+                      OverlapCase{8, 4, 1, +1, 0},
+                      OverlapCase{8, 1, 4, -1, 1}));
+
+TEST(OverlapShift, MovesOnlyInterprocessorData) {
+  Machine m(MachineConfig{.pe_rows = 2, .pe_cols = 2});
+  int id = m.create_array(desc_2d("U", 8, 1));
+  m.scatter(id, iota_data(8));
+  m.run([&](Pe& pe) { overlap_shift(pe, id, +1, 0); });
+  MachineStats s = m.stats();
+  EXPECT_EQ(s.messages_sent, 4u);  // one strip per PE
+  EXPECT_EQ(s.bytes_sent, 4u * 4 * sizeof(double));
+  EXPECT_EQ(s.intra_copy_bytes, 0u);  // the whole point of offset arrays
+}
+
+TEST(OverlapShift, SinglePeIsPureLocalWrap) {
+  Machine m(MachineConfig{.pe_rows = 1, .pe_cols = 1});
+  int id = m.create_array(desc_2d("U", 8, 1));
+  m.scatter(id, iota_data(8));
+  m.run([&](Pe& pe) { overlap_shift(pe, id, +1, 0); });
+  MachineStats s = m.stats();
+  EXPECT_EQ(s.messages_sent, 0u);
+  EXPECT_GT(s.intra_copy_bytes, 0u);  // circular wrap is a local copy
+}
+
+TEST(OverlapShift, EndOffFillsBoundaryInOverlap) {
+  Machine m(MachineConfig{.pe_rows = 2, .pe_cols = 1});
+  int id = m.create_array(desc_2d("U", 8, 1));
+  m.scatter(id, iota_data(8));
+  m.run([&](Pe& pe) {
+    overlap_shift(pe, id, +1, 0, RsdExtension{}, ShiftKind::EndOff, -7.0);
+  });
+  // PE at the bottom of dim 0 must see boundary values past the edge.
+  LocalGrid& g = m.pe(m.grid().rank_of(1, 0)).grid(id);
+  for (int j = g.own_lo(1); j <= g.own_hi(1); ++j) {
+    EXPECT_EQ((g.at({9, j})), -7.0);
+  }
+  // Interior overlap between PEs is real data.
+  LocalGrid& g0 = m.pe(0).grid(id);
+  auto in = iota_data(8);
+  for (int j = g0.own_lo(1); j <= g0.own_hi(1); ++j) {
+    EXPECT_EQ((g0.at({5, j})),
+              in[4 + static_cast<std::size_t>(j - 1) * 8]);
+  }
+}
+
+TEST(OverlapShift, ThrowsWhenOverlapTooNarrow) {
+  Machine m(MachineConfig{.pe_rows = 2, .pe_cols = 2});
+  int id = m.create_array(desc_2d("U", 8, 1));
+  EXPECT_THROW(m.run([&](Pe& pe) { overlap_shift(pe, id, +2, 0); }),
+               std::logic_error);
+}
+
+TEST(OverlapShift, ZeroShiftIsNoOp) {
+  Machine m(MachineConfig{.pe_rows = 2, .pe_cols = 2});
+  int id = m.create_array(desc_2d("U", 8, 1));
+  m.scatter(id, iota_data(8));
+  m.run([&](Pe& pe) { overlap_shift(pe, id, 0, 0); });
+  EXPECT_EQ(m.stats().messages_sent, 0u);
+}
+
+// The four unioned calls from the paper's Figure 6: after dim-1 shifts
+// run first and dim-2 shifts carry the RSD [0:N+1,*], every overlap cell
+// needed by a 9-point stencil — including all four corners — holds the
+// right value (Figures 7-10).
+TEST(OverlapShift, RsdCornerPickupReproducesFigure6) {
+  const int n = 8;
+  Machine m(MachineConfig{.pe_rows = 2, .pe_cols = 2});
+  int id = m.create_array(desc_2d("U", n, 1));
+  auto in = iota_data(n);
+  m.scatter(id, in);
+  RsdExtension rsd;
+  rsd.lo = {1, 0, 0};
+  rsd.hi = {1, 0, 0};
+  m.run([&](Pe& pe) {
+    overlap_shift(pe, id, -1, 0);
+    overlap_shift(pe, id, +1, 0);
+    overlap_shift(pe, id, -1, 1, rsd);
+    overlap_shift(pe, id, +1, 1, rsd);
+  });
+  // Every owned element can now read all 8 neighbors locally.
+  for (int pe = 0; pe < 4; ++pe) {
+    LocalGrid& g = m.pe(pe).grid(id);
+    for (int j = g.own_lo(1); j <= g.own_hi(1); ++j) {
+      for (int i = g.own_lo(0); i <= g.own_hi(0); ++i) {
+        for (int dj = -1; dj <= 1; ++dj) {
+          for (int di = -1; di <= 1; ++di) {
+            double expected =
+                in[static_cast<std::size_t>(wrap_index(i + di, n) - 1) +
+                   static_cast<std::size_t>(wrap_index(j + dj, n) - 1) *
+                       static_cast<std::size_t>(n)];
+            EXPECT_EQ((g.at({i + di, j + dj})), expected)
+                << "pe=" << pe << " (" << i << "," << j << ") + (" << di
+                << "," << dj << ")";
+          }
+        }
+      }
+    }
+  }
+  // Exactly 4 messages per PE: one per direction per dimension (Fig. 6).
+  EXPECT_EQ(m.stats().messages_sent, 16u);
+}
+
+TEST(OverlapShift, WithoutRsdCornersAreStale) {
+  const int n = 8;
+  Machine m(MachineConfig{.pe_rows = 2, .pe_cols = 2});
+  int id = m.create_array(desc_2d("U", n, 1));
+  auto in = iota_data(n);
+  m.scatter(id, in);
+  m.run([&](Pe& pe) {
+    overlap_shift(pe, id, -1, 0);
+    overlap_shift(pe, id, +1, 0);
+    overlap_shift(pe, id, -1, 1);  // no RSD: corners not carried
+    overlap_shift(pe, id, +1, 1);
+  });
+  // PE0 owns (1..4, 1..4); its (5,5) corner cell should NOT have been
+  // filled with the value of global (5,5).
+  LocalGrid& g = m.pe(0).grid(id);
+  double expected = in[4 + 4 * 8];
+  EXPECT_NE((g.at({5, 5})), expected);
+}
+
+TEST(OverlapShift, RsdExceedingHaloThrows) {
+  Machine m(MachineConfig{.pe_rows = 2, .pe_cols = 2});
+  int id = m.create_array(desc_2d("U", 8, 1));
+  RsdExtension rsd;
+  rsd.lo = {2, 0, 0};
+  EXPECT_THROW(m.run([&](Pe& pe) { overlap_shift(pe, id, +1, 1, rsd); }),
+               std::logic_error);
+}
+
+// ---------------------------------------------------------- copy_array --
+
+TEST(CopyArray, CopiesOwnedBoxLocally) {
+  Machine m(MachineConfig{.pe_rows = 2, .pe_cols = 2});
+  int a = m.create_array(desc_2d("A", 8, 1));
+  int b = m.create_array(desc_2d("B", 8, 1));
+  auto in = iota_data(8);
+  m.scatter(a, in);
+  m.run([&](Pe& pe) { copy_array(pe, b, a); });
+  EXPECT_EQ(m.gather(b), in);
+  MachineStats s = m.stats();
+  EXPECT_EQ(s.messages_sent, 0u);
+  EXPECT_EQ(s.intra_copy_bytes, 64u * sizeof(double));
+}
+
+}  // namespace
+}  // namespace simpi

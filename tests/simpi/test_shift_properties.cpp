@@ -1,0 +1,135 @@
+// Algebraic properties of the runtime shift operations, checked on the
+// machine: composition, inverses, commutativity across dimensions —
+// the identities communication unioning relies on (paper Section 3.3).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "simpi/machine.hpp"
+#include "simpi/shift_ops.hpp"
+
+namespace simpi {
+namespace {
+
+DistArrayDesc desc_2d(const std::string& name, int n, int halo) {
+  DistArrayDesc d;
+  d.name = name;
+  d.rank = 2;
+  d.extent = {n, n, 1};
+  d.dist = {DistKind::Block, DistKind::Block, DistKind::Collapsed};
+  d.halo.lo = {halo, halo, 0};
+  d.halo.hi = {halo, halo, 0};
+  return d;
+}
+
+std::vector<double> iota_data(int n) {
+  std::vector<double> v(static_cast<std::size_t>(n) * n);
+  std::iota(v.begin(), v.end(), 1.0);
+  return v;
+}
+
+class ShiftAlgebra : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShiftAlgebra, CompositionEqualsSumOfShifts) {
+  // CSHIFT(CSHIFT(A, a), b) == CSHIFT(A, a+b) along one dimension.
+  const int n = 12;
+  const int a = GetParam() % 5 - 2;
+  const int b = (GetParam() / 5) % 5 - 2;
+  Machine m(MachineConfig{.pe_rows = 2, .pe_cols = 2});
+  int src = m.create_array(desc_2d("SRC", n, 0));
+  int t1 = m.create_array(desc_2d("T1", n, 0));
+  int t2 = m.create_array(desc_2d("T2", n, 0));
+  int direct = m.create_array(desc_2d("D", n, 0));
+  m.scatter(src, iota_data(n));
+  m.run([&](Pe& pe) {
+    full_cshift(pe, t1, src, a, 0);
+    full_cshift(pe, t2, t1, b, 0);
+    full_cshift(pe, direct, src, a + b, 0);
+  });
+  EXPECT_EQ(m.gather(t2), m.gather(direct)) << "a=" << a << " b=" << b;
+}
+
+TEST_P(ShiftAlgebra, ShiftsCommuteAcrossDimensions) {
+  // CSHIFT(CSHIFT(A, a, 1), b, 2) == CSHIFT(CSHIFT(A, b, 2), a, 1) —
+  // the commutativity communication unioning exploits.
+  const int n = 12;
+  const int a = GetParam() % 5 - 2;
+  const int b = (GetParam() / 5) % 5 - 2;
+  Machine m(MachineConfig{.pe_rows = 2, .pe_cols = 2});
+  int src = m.create_array(desc_2d("SRC", n, 0));
+  int t1 = m.create_array(desc_2d("T1", n, 0));
+  int ab = m.create_array(desc_2d("AB", n, 0));
+  int t2 = m.create_array(desc_2d("T2", n, 0));
+  int ba = m.create_array(desc_2d("BA", n, 0));
+  m.scatter(src, iota_data(n));
+  m.run([&](Pe& pe) {
+    full_cshift(pe, t1, src, a, 0);
+    full_cshift(pe, ab, t1, b, 1);
+    full_cshift(pe, t2, src, b, 1);
+    full_cshift(pe, ba, t2, a, 0);
+  });
+  EXPECT_EQ(m.gather(ab), m.gather(ba)) << "a=" << a << " b=" << b;
+}
+
+TEST_P(ShiftAlgebra, InverseShiftsRestoreTheArray) {
+  const int n = 12;
+  const int a = GetParam() % 5 - 2;
+  Machine m(MachineConfig{.pe_rows = 2, .pe_cols = 2});
+  int src = m.create_array(desc_2d("SRC", n, 0));
+  int t1 = m.create_array(desc_2d("T1", n, 0));
+  int t2 = m.create_array(desc_2d("T2", n, 0));
+  auto in = iota_data(n);
+  m.scatter(src, in);
+  m.run([&](Pe& pe) {
+    full_cshift(pe, t1, src, a, 1);
+    full_cshift(pe, t2, t1, -a, 1);
+  });
+  EXPECT_EQ(m.gather(t2), in);
+}
+
+TEST_P(ShiftAlgebra, LargerOverlapShiftSubsumesSmaller) {
+  // After overlap_shift by +/-2, all offsets of magnitude <= 2 read
+  // correctly: the subsumption rule of Section 3.3.
+  const int n = 12;
+  const int amount = 2;
+  Machine m(MachineConfig{.pe_rows = 2, .pe_cols = 2});
+  int id = m.create_array(desc_2d("U", n, amount));
+  auto in = iota_data(n);
+  m.scatter(id, in);
+  m.run([&](Pe& pe) {
+    overlap_shift(pe, id, +amount, 0);
+    overlap_shift(pe, id, -amount, 0);
+  });
+  for (int pe = 0; pe < 4; ++pe) {
+    LocalGrid& g = m.pe(pe).grid(id);
+    for (int j = g.own_lo(1); j <= g.own_hi(1); ++j) {
+      for (int i = g.own_lo(0); i <= g.own_hi(0); ++i) {
+        for (int off = -amount; off <= amount; ++off) {
+          double expected =
+              in[static_cast<std::size_t>(wrap_index(i + off, n) - 1) +
+                 static_cast<std::size_t>(j - 1) * static_cast<std::size_t>(n)];
+          ASSERT_EQ((g.at({i + off, j})), expected)
+              << "pe=" << pe << " off=" << off;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ShiftAlgebra, ::testing::Range(0, 25));
+
+TEST(ShiftAlgebra, EoShiftDoesNotWrap) {
+  const int n = 8;
+  Machine m(MachineConfig{.pe_rows = 2, .pe_cols = 2});
+  int src = m.create_array(desc_2d("SRC", n, 0));
+  int dst = m.create_array(desc_2d("DST", n, 0));
+  m.scatter(src, iota_data(n));
+  m.run([&](Pe& pe) {
+    full_cshift(pe, dst, src, n, 0, ShiftKind::EndOff, -1.0);
+  });
+  // Shifting by the full extent end-off clears everything.
+  for (double v : m.gather(dst)) EXPECT_EQ(v, -1.0);
+}
+
+}  // namespace
+}  // namespace simpi

@@ -1,0 +1,136 @@
+// Data-movement tracing and the overlap-state renderer (the textual
+// analogue of the paper's Figures 5 and 7-10).
+#include "simpi/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "simpi/machine.hpp"
+#include "simpi/shift_ops.hpp"
+
+namespace simpi {
+namespace {
+
+DistArrayDesc desc_2d(int n, int halo) {
+  DistArrayDesc d;
+  d.name = "SRC";
+  d.rank = 2;
+  d.extent = {n, n, 1};
+  d.dist = {DistKind::Block, DistKind::Block, DistKind::Collapsed};
+  d.halo.lo = {halo, halo, 0};
+  d.halo.hi = {halo, halo, 0};
+  return d;
+}
+
+std::vector<double> iota_data(int n) {
+  std::vector<double> v(static_cast<std::size_t>(n) * n);
+  std::iota(v.begin(), v.end(), 1.0);
+  return v;
+}
+
+TEST(Trace, DisabledByDefault) {
+  Machine m(MachineConfig{.pe_rows = 2, .pe_cols = 2});
+  int id = m.create_array(desc_2d(8, 1));
+  m.scatter(id, iota_data(8));
+  m.run([&](Pe& pe) { overlap_shift(pe, id, +1, 0); });
+  EXPECT_TRUE(m.take_trace().empty());
+}
+
+TEST(Trace, OverlapShiftRecordsOneEventPerReceiver) {
+  Machine m(MachineConfig{.pe_rows = 2, .pe_cols = 2});
+  m.enable_tracing();
+  int id = m.create_array(desc_2d(8, 1));
+  m.scatter(id, iota_data(8));
+  m.run([&](Pe& pe) { overlap_shift(pe, id, +1, 0); });
+  auto events = m.take_trace();
+  ASSERT_EQ(events.size(), 4u);  // one halo fill per PE
+  for (const TransferEvent& e : events) {
+    EXPECT_FALSE(e.intra);
+    EXPECT_FALSE(e.boundary_fill);
+    EXPECT_EQ(e.array, "SRC");
+    // The filled region is a single row strip.
+    EXPECT_EQ(e.region.lo[0], e.region.hi[0]);
+  }
+  // take_trace drains.
+  EXPECT_TRUE(m.take_trace().empty());
+}
+
+TEST(Trace, FullShiftRecordsIntraAndInterEvents) {
+  Machine m(MachineConfig{.pe_rows = 2, .pe_cols = 2});
+  m.enable_tracing();
+  int src = m.create_array(desc_2d(8, 0));
+  DistArrayDesc dd = desc_2d(8, 0);
+  dd.name = "DST";
+  int dst = m.create_array(dd);
+  m.scatter(src, iota_data(8));
+  m.run([&](Pe& pe) { full_cshift(pe, dst, src, +1, 0); });
+  auto events = m.take_trace();
+  int intra = 0;
+  int inter = 0;
+  for (const TransferEvent& e : events) {
+    (e.intra ? intra : inter) += 1;
+    EXPECT_EQ(e.array, "DST");
+  }
+  EXPECT_EQ(intra, 4);  // the bulk local copy on each PE
+  EXPECT_EQ(inter, 4);  // one boundary strip per PE
+}
+
+TEST(Trace, EventStringRendering) {
+  TransferEvent e;
+  e.from_pe = 0;
+  e.to_pe = 1;
+  e.region = Region{{5, 1, 1}, {5, 4, 1}};
+  e.array = "U";
+  EXPECT_EQ(e.str(2), "PE0 -> PE1: U[5:5, 1:4]");
+  e.intra = true;
+  e.from_pe = e.to_pe = 2;
+  EXPECT_EQ(e.str(2), "PE2 local copy: U[5:5, 1:4]");
+  e.intra = false;
+  e.boundary_fill = true;
+  EXPECT_EQ(e.str(2), "PE2 boundary-fill: U[5:5, 1:4]");
+}
+
+TEST(RenderOverlapState, ShowsFilledAndStaleCells) {
+  const int n = 8;
+  Machine m(MachineConfig{.pe_rows = 2, .pe_cols = 2});
+  int id = m.create_array(desc_2d(n, 1));
+  auto in = iota_data(n);
+  m.scatter(id, in);
+  // Only the dim-0 shifts: row halos filled, column halos stale.
+  m.run([&](Pe& pe) {
+    overlap_shift(pe, id, -1, 0);
+    overlap_shift(pe, id, +1, 0);
+  });
+  std::string art = render_overlap_state(m, id, in);
+  // Per PE: 6x6 stored grid; first and last rows are halo rows whose
+  // interior 4 columns are filled ('#') and corners stale ('.').
+  EXPECT_NE(art.find("PE0 (owns [1:4, 1:4])"), std::string::npos) << art;
+  EXPECT_NE(art.find(".####."), std::string::npos);  // filled row halo
+  EXPECT_NE(art.find(".oooo."), std::string::npos);  // stale column halo
+}
+
+TEST(RenderOverlapState, CornersFilledAfterRsdShifts) {
+  const int n = 8;
+  Machine m(MachineConfig{.pe_rows = 2, .pe_cols = 2});
+  int id = m.create_array(desc_2d(n, 1));
+  auto in = iota_data(n);
+  m.scatter(id, in);
+  RsdExtension rsd;
+  rsd.lo = {1, 0, 0};
+  rsd.hi = {1, 0, 0};
+  m.run([&](Pe& pe) {
+    overlap_shift(pe, id, -1, 0);
+    overlap_shift(pe, id, +1, 0);
+    overlap_shift(pe, id, -1, 1, rsd);
+    overlap_shift(pe, id, +1, 1, rsd);
+  });
+  std::string art = render_overlap_state(m, id, in);
+  // Every overlap cell is now correct: no stale marks anywhere
+  // (Figure 10's fully-populated overlap areas).
+  EXPECT_EQ(art.find('.'), std::string::npos) << art;
+  EXPECT_NE(art.find("######"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace simpi

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "support/diagnostics.hpp"
+#include "support/text.hpp"
+
+namespace hpfsc {
+namespace {
+
+TEST(Diagnostics, CollectsAndCountsErrors) {
+  DiagnosticEngine diags;
+  EXPECT_FALSE(diags.has_errors());
+  diags.warning({1, 2}, "careful");
+  EXPECT_FALSE(diags.has_errors());
+  diags.error({3, 4}, "broken");
+  diags.note({}, "context");
+  EXPECT_TRUE(diags.has_errors());
+  EXPECT_EQ(diags.error_count(), 1u);
+  EXPECT_EQ(diags.all().size(), 3u);
+}
+
+TEST(Diagnostics, RenderFormat) {
+  DiagnosticEngine diags;
+  diags.error({3, 14}, "unexpected thing");
+  EXPECT_EQ(diags.render_all(), "error at 3:14: unexpected thing\n");
+  diags.clear();
+  EXPECT_FALSE(diags.has_errors());
+  EXPECT_EQ(diags.render_all(), "");
+}
+
+TEST(Diagnostics, GeneratedLocation) {
+  Diagnostic d{Severity::Warning, {}, "synthesized"};
+  EXPECT_EQ(d.render(), "warning: synthesized");
+}
+
+TEST(Text, ToUpper) {
+  EXPECT_EQ(to_upper("cshift"), "CSHIFT");
+  EXPECT_EQ(to_upper("MiXeD_123"), "MIXED_123");
+  EXPECT_EQ(to_upper(""), "");
+}
+
+TEST(Text, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(join({"x"}, ", "), "x");
+}
+
+TEST(Text, SignedStr) {
+  EXPECT_EQ(signed_str(1), "+1");
+  EXPECT_EQ(signed_str(-2), "-2");
+  EXPECT_EQ(signed_str(0), "+0");
+}
+
+TEST(Text, SplitLines) {
+  EXPECT_EQ(split_lines("a\nb\n"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(split_lines("a\nb"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(split_lines(""), (std::vector<std::string>{}));
+  EXPECT_EQ(split_lines("\n\n"), (std::vector<std::string>{"", ""}));
+}
+
+TEST(Text, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("\t a b \t"), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(SourceLoc, ValidityAndString) {
+  SourceLoc none;
+  EXPECT_FALSE(none.valid());
+  EXPECT_EQ(to_string(none), "<generated>");
+  SourceLoc loc{7, 12};
+  EXPECT_TRUE(loc.valid());
+  EXPECT_EQ(to_string(loc), "7:12");
+}
+
+}  // namespace
+}  // namespace hpfsc
