@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_unroll"
+  "../bench/bench_unroll.pdb"
+  "CMakeFiles/bench_unroll.dir/bench_unroll.cpp.o"
+  "CMakeFiles/bench_unroll.dir/bench_unroll.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_unroll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_movement.dir/data_movement.cpp.o"
+  "CMakeFiles/data_movement.dir/data_movement.cpp.o.d"
+  "data_movement"
+  "data_movement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_movement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

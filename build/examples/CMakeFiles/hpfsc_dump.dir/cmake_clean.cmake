@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpfsc_dump.dir/hpfsc_dump.cpp.o"
+  "CMakeFiles/hpfsc_dump.dir/hpfsc_dump.cpp.o.d"
+  "hpfsc_dump"
+  "hpfsc_dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpfsc_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_smoothing.dir/image_smoothing.cpp.o"
+  "CMakeFiles/image_smoothing.dir/image_smoothing.cpp.o.d"
+  "image_smoothing"
+  "image_smoothing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_smoothing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/problem9_walkthrough.dir/problem9_walkthrough.cpp.o"
+  "CMakeFiles/problem9_walkthrough.dir/problem9_walkthrough.cpp.o.d"
+  "problem9_walkthrough"
+  "problem9_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/problem9_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wave_equation.dir/wave_equation.cpp.o"
+  "CMakeFiles/wave_equation.dir/wave_equation.cpp.o.d"
+  "wave_equation"
+  "wave_equation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wave_equation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

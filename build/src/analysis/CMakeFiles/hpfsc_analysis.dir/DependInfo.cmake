@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/array_ssa.cpp" "src/analysis/CMakeFiles/hpfsc_analysis.dir/array_ssa.cpp.o" "gcc" "src/analysis/CMakeFiles/hpfsc_analysis.dir/array_ssa.cpp.o.d"
+  "/root/repo/src/analysis/congruence.cpp" "src/analysis/CMakeFiles/hpfsc_analysis.dir/congruence.cpp.o" "gcc" "src/analysis/CMakeFiles/hpfsc_analysis.dir/congruence.cpp.o.d"
+  "/root/repo/src/analysis/ddg.cpp" "src/analysis/CMakeFiles/hpfsc_analysis.dir/ddg.cpp.o" "gcc" "src/analysis/CMakeFiles/hpfsc_analysis.dir/ddg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/hpfsc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hpfsc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/simpi/CMakeFiles/hpfsc_simpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

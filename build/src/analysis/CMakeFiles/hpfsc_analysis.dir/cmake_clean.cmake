@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpfsc_analysis.dir/array_ssa.cpp.o"
+  "CMakeFiles/hpfsc_analysis.dir/array_ssa.cpp.o.d"
+  "CMakeFiles/hpfsc_analysis.dir/congruence.cpp.o"
+  "CMakeFiles/hpfsc_analysis.dir/congruence.cpp.o.d"
+  "CMakeFiles/hpfsc_analysis.dir/ddg.cpp.o"
+  "CMakeFiles/hpfsc_analysis.dir/ddg.cpp.o.d"
+  "libhpfsc_analysis.a"
+  "libhpfsc_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpfsc_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

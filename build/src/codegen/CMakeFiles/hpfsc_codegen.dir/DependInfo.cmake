@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegen/lower_spmd.cpp" "src/codegen/CMakeFiles/hpfsc_codegen.dir/lower_spmd.cpp.o" "gcc" "src/codegen/CMakeFiles/hpfsc_codegen.dir/lower_spmd.cpp.o.d"
+  "/root/repo/src/codegen/spmd_printer.cpp" "src/codegen/CMakeFiles/hpfsc_codegen.dir/spmd_printer.cpp.o" "gcc" "src/codegen/CMakeFiles/hpfsc_codegen.dir/spmd_printer.cpp.o.d"
+  "/root/repo/src/codegen/spmd_program.cpp" "src/codegen/CMakeFiles/hpfsc_codegen.dir/spmd_program.cpp.o" "gcc" "src/codegen/CMakeFiles/hpfsc_codegen.dir/spmd_program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/hpfsc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/simpi/CMakeFiles/hpfsc_simpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hpfsc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

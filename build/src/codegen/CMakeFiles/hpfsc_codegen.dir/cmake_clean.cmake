@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpfsc_codegen.dir/lower_spmd.cpp.o"
+  "CMakeFiles/hpfsc_codegen.dir/lower_spmd.cpp.o.d"
+  "CMakeFiles/hpfsc_codegen.dir/spmd_printer.cpp.o"
+  "CMakeFiles/hpfsc_codegen.dir/spmd_printer.cpp.o.d"
+  "CMakeFiles/hpfsc_codegen.dir/spmd_program.cpp.o"
+  "CMakeFiles/hpfsc_codegen.dir/spmd_program.cpp.o.d"
+  "libhpfsc_codegen.a"
+  "libhpfsc_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpfsc_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpfsc_driver.dir/compiler.cpp.o"
+  "CMakeFiles/hpfsc_driver.dir/compiler.cpp.o.d"
+  "libhpfsc_driver.a"
+  "libhpfsc_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpfsc_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhpfsc_driver.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/executor/execution.cpp" "src/executor/CMakeFiles/hpfsc_executor.dir/execution.cpp.o" "gcc" "src/executor/CMakeFiles/hpfsc_executor.dir/execution.cpp.o.d"
+  "/root/repo/src/executor/plan.cpp" "src/executor/CMakeFiles/hpfsc_executor.dir/plan.cpp.o" "gcc" "src/executor/CMakeFiles/hpfsc_executor.dir/plan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/codegen/CMakeFiles/hpfsc_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/simpi/CMakeFiles/hpfsc_simpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hpfsc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/hpfsc_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpfsc_executor.dir/execution.cpp.o"
+  "CMakeFiles/hpfsc_executor.dir/execution.cpp.o.d"
+  "CMakeFiles/hpfsc_executor.dir/plan.cpp.o"
+  "CMakeFiles/hpfsc_executor.dir/plan.cpp.o.d"
+  "libhpfsc_executor.a"
+  "libhpfsc_executor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpfsc_executor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpfsc_frontend.dir/ast.cpp.o"
+  "CMakeFiles/hpfsc_frontend.dir/ast.cpp.o.d"
+  "CMakeFiles/hpfsc_frontend.dir/lexer.cpp.o"
+  "CMakeFiles/hpfsc_frontend.dir/lexer.cpp.o.d"
+  "CMakeFiles/hpfsc_frontend.dir/lower.cpp.o"
+  "CMakeFiles/hpfsc_frontend.dir/lower.cpp.o.d"
+  "CMakeFiles/hpfsc_frontend.dir/parser.cpp.o"
+  "CMakeFiles/hpfsc_frontend.dir/parser.cpp.o.d"
+  "libhpfsc_frontend.a"
+  "libhpfsc_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpfsc_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

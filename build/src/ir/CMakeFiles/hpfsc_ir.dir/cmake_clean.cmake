@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpfsc_ir.dir/expr.cpp.o"
+  "CMakeFiles/hpfsc_ir.dir/expr.cpp.o.d"
+  "CMakeFiles/hpfsc_ir.dir/printer.cpp.o"
+  "CMakeFiles/hpfsc_ir.dir/printer.cpp.o.d"
+  "CMakeFiles/hpfsc_ir.dir/program.cpp.o"
+  "CMakeFiles/hpfsc_ir.dir/program.cpp.o.d"
+  "CMakeFiles/hpfsc_ir.dir/stmt.cpp.o"
+  "CMakeFiles/hpfsc_ir.dir/stmt.cpp.o.d"
+  "CMakeFiles/hpfsc_ir.dir/symbols.cpp.o"
+  "CMakeFiles/hpfsc_ir.dir/symbols.cpp.o.d"
+  "libhpfsc_ir.a"
+  "libhpfsc_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpfsc_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/passes/comm_unioning.cpp" "src/passes/CMakeFiles/hpfsc_passes.dir/comm_unioning.cpp.o" "gcc" "src/passes/CMakeFiles/hpfsc_passes.dir/comm_unioning.cpp.o.d"
+  "/root/repo/src/passes/context_partition.cpp" "src/passes/CMakeFiles/hpfsc_passes.dir/context_partition.cpp.o" "gcc" "src/passes/CMakeFiles/hpfsc_passes.dir/context_partition.cpp.o.d"
+  "/root/repo/src/passes/memory_opt.cpp" "src/passes/CMakeFiles/hpfsc_passes.dir/memory_opt.cpp.o" "gcc" "src/passes/CMakeFiles/hpfsc_passes.dir/memory_opt.cpp.o.d"
+  "/root/repo/src/passes/normalize.cpp" "src/passes/CMakeFiles/hpfsc_passes.dir/normalize.cpp.o" "gcc" "src/passes/CMakeFiles/hpfsc_passes.dir/normalize.cpp.o.d"
+  "/root/repo/src/passes/offset_arrays.cpp" "src/passes/CMakeFiles/hpfsc_passes.dir/offset_arrays.cpp.o" "gcc" "src/passes/CMakeFiles/hpfsc_passes.dir/offset_arrays.cpp.o.d"
+  "/root/repo/src/passes/pipeline.cpp" "src/passes/CMakeFiles/hpfsc_passes.dir/pipeline.cpp.o" "gcc" "src/passes/CMakeFiles/hpfsc_passes.dir/pipeline.cpp.o.d"
+  "/root/repo/src/passes/scalarize.cpp" "src/passes/CMakeFiles/hpfsc_passes.dir/scalarize.cpp.o" "gcc" "src/passes/CMakeFiles/hpfsc_passes.dir/scalarize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/hpfsc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/hpfsc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hpfsc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/simpi/CMakeFiles/hpfsc_simpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpfsc_passes.dir/comm_unioning.cpp.o"
+  "CMakeFiles/hpfsc_passes.dir/comm_unioning.cpp.o.d"
+  "CMakeFiles/hpfsc_passes.dir/context_partition.cpp.o"
+  "CMakeFiles/hpfsc_passes.dir/context_partition.cpp.o.d"
+  "CMakeFiles/hpfsc_passes.dir/memory_opt.cpp.o"
+  "CMakeFiles/hpfsc_passes.dir/memory_opt.cpp.o.d"
+  "CMakeFiles/hpfsc_passes.dir/normalize.cpp.o"
+  "CMakeFiles/hpfsc_passes.dir/normalize.cpp.o.d"
+  "CMakeFiles/hpfsc_passes.dir/offset_arrays.cpp.o"
+  "CMakeFiles/hpfsc_passes.dir/offset_arrays.cpp.o.d"
+  "CMakeFiles/hpfsc_passes.dir/pipeline.cpp.o"
+  "CMakeFiles/hpfsc_passes.dir/pipeline.cpp.o.d"
+  "CMakeFiles/hpfsc_passes.dir/scalarize.cpp.o"
+  "CMakeFiles/hpfsc_passes.dir/scalarize.cpp.o.d"
+  "libhpfsc_passes.a"
+  "libhpfsc_passes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpfsc_passes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simpi/arena.cpp" "src/simpi/CMakeFiles/hpfsc_simpi.dir/arena.cpp.o" "gcc" "src/simpi/CMakeFiles/hpfsc_simpi.dir/arena.cpp.o.d"
+  "/root/repo/src/simpi/dist_array.cpp" "src/simpi/CMakeFiles/hpfsc_simpi.dir/dist_array.cpp.o" "gcc" "src/simpi/CMakeFiles/hpfsc_simpi.dir/dist_array.cpp.o.d"
+  "/root/repo/src/simpi/layout.cpp" "src/simpi/CMakeFiles/hpfsc_simpi.dir/layout.cpp.o" "gcc" "src/simpi/CMakeFiles/hpfsc_simpi.dir/layout.cpp.o.d"
+  "/root/repo/src/simpi/machine.cpp" "src/simpi/CMakeFiles/hpfsc_simpi.dir/machine.cpp.o" "gcc" "src/simpi/CMakeFiles/hpfsc_simpi.dir/machine.cpp.o.d"
+  "/root/repo/src/simpi/shift_ops.cpp" "src/simpi/CMakeFiles/hpfsc_simpi.dir/shift_ops.cpp.o" "gcc" "src/simpi/CMakeFiles/hpfsc_simpi.dir/shift_ops.cpp.o.d"
+  "/root/repo/src/simpi/trace.cpp" "src/simpi/CMakeFiles/hpfsc_simpi.dir/trace.cpp.o" "gcc" "src/simpi/CMakeFiles/hpfsc_simpi.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/hpfsc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

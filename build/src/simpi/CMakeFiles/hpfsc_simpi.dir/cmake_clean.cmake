@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpfsc_simpi.dir/arena.cpp.o"
+  "CMakeFiles/hpfsc_simpi.dir/arena.cpp.o.d"
+  "CMakeFiles/hpfsc_simpi.dir/dist_array.cpp.o"
+  "CMakeFiles/hpfsc_simpi.dir/dist_array.cpp.o.d"
+  "CMakeFiles/hpfsc_simpi.dir/layout.cpp.o"
+  "CMakeFiles/hpfsc_simpi.dir/layout.cpp.o.d"
+  "CMakeFiles/hpfsc_simpi.dir/machine.cpp.o"
+  "CMakeFiles/hpfsc_simpi.dir/machine.cpp.o.d"
+  "CMakeFiles/hpfsc_simpi.dir/shift_ops.cpp.o"
+  "CMakeFiles/hpfsc_simpi.dir/shift_ops.cpp.o.d"
+  "CMakeFiles/hpfsc_simpi.dir/trace.cpp.o"
+  "CMakeFiles/hpfsc_simpi.dir/trace.cpp.o.d"
+  "libhpfsc_simpi.a"
+  "libhpfsc_simpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpfsc_simpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpfsc_support.dir/diagnostics.cpp.o"
+  "CMakeFiles/hpfsc_support.dir/diagnostics.cpp.o.d"
+  "libhpfsc_support.a"
+  "libhpfsc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpfsc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

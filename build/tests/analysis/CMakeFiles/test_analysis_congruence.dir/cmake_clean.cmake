@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_congruence.dir/test_congruence.cpp.o"
+  "CMakeFiles/test_analysis_congruence.dir/test_congruence.cpp.o.d"
+  "test_analysis_congruence"
+  "test_analysis_congruence.pdb"
+  "test_analysis_congruence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_congruence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

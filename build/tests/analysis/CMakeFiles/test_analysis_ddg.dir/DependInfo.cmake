@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/test_ddg.cpp" "tests/analysis/CMakeFiles/test_analysis_ddg.dir/test_ddg.cpp.o" "gcc" "tests/analysis/CMakeFiles/test_analysis_ddg.dir/test_ddg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/hpfsc_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/executor/CMakeFiles/hpfsc_executor.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/hpfsc_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/passes/CMakeFiles/hpfsc_passes.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/hpfsc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/hpfsc_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/hpfsc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/simpi/CMakeFiles/hpfsc_simpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hpfsc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_ssa.dir/test_ssa.cpp.o"
+  "CMakeFiles/test_analysis_ssa.dir/test_ssa.cpp.o.d"
+  "test_analysis_ssa"
+  "test_analysis_ssa.pdb"
+  "test_analysis_ssa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_ssa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_codegen_lower.dir/test_lower_spmd.cpp.o"
+  "CMakeFiles/test_codegen_lower.dir/test_lower_spmd.cpp.o.d"
+  "test_codegen_lower"
+  "test_codegen_lower.pdb"
+  "test_codegen_lower[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_codegen_lower.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

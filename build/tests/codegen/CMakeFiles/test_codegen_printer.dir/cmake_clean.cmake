@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_codegen_printer.dir/test_spmd_printer.cpp.o"
+  "CMakeFiles/test_codegen_printer.dir/test_spmd_printer.cpp.o.d"
+  "test_codegen_printer"
+  "test_codegen_printer.pdb"
+  "test_codegen_printer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_codegen_printer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_driver_integration.dir/test_integration.cpp.o"
+  "CMakeFiles/test_driver_integration.dir/test_integration.cpp.o.d"
+  "test_driver_integration"
+  "test_driver_integration.pdb"
+  "test_driver_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_driver_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

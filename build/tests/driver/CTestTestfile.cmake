@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/driver
+# Build directory: /root/repo/build/tests/driver
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/driver/test_driver_compiler[1]_include.cmake")
+include("/root/repo/build/tests/driver/test_driver_integration[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_executor_equivalence.dir/test_equivalence.cpp.o"
+  "CMakeFiles/test_executor_equivalence.dir/test_equivalence.cpp.o.d"
+  "test_executor_equivalence"
+  "test_executor_equivalence.pdb"
+  "test_executor_equivalence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_executor_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_executor_execution.dir/test_execution.cpp.o"
+  "CMakeFiles/test_executor_execution.dir/test_execution.cpp.o.d"
+  "test_executor_execution"
+  "test_executor_execution.pdb"
+  "test_executor_execution[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_executor_execution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

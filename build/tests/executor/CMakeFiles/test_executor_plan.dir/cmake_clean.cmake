@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_executor_plan.dir/test_plan.cpp.o"
+  "CMakeFiles/test_executor_plan.dir/test_plan.cpp.o.d"
+  "test_executor_plan"
+  "test_executor_plan.pdb"
+  "test_executor_plan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_executor_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

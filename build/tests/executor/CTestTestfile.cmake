@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/executor
+# Build directory: /root/repo/build/tests/executor
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/executor/test_executor_plan[1]_include.cmake")
+include("/root/repo/build/tests/executor/test_executor_execution[1]_include.cmake")
+include("/root/repo/build/tests/executor/test_executor_equivalence[1]_include.cmake")

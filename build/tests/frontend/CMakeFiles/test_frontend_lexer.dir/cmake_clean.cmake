@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_frontend_lexer.dir/test_lexer.cpp.o"
+  "CMakeFiles/test_frontend_lexer.dir/test_lexer.cpp.o.d"
+  "test_frontend_lexer"
+  "test_frontend_lexer.pdb"
+  "test_frontend_lexer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_frontend_lexer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

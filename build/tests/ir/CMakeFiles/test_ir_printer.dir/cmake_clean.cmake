@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ir_printer.dir/test_printer.cpp.o"
+  "CMakeFiles/test_ir_printer.dir/test_printer.cpp.o.d"
+  "test_ir_printer"
+  "test_ir_printer.pdb"
+  "test_ir_printer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ir_printer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

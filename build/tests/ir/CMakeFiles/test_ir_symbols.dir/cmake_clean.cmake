@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ir_symbols.dir/test_symbols.cpp.o"
+  "CMakeFiles/test_ir_symbols.dir/test_symbols.cpp.o.d"
+  "test_ir_symbols"
+  "test_ir_symbols.pdb"
+  "test_ir_symbols[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ir_symbols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

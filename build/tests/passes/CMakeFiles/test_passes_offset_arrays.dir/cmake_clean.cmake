@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_passes_offset_arrays.dir/test_offset_arrays.cpp.o"
+  "CMakeFiles/test_passes_offset_arrays.dir/test_offset_arrays.cpp.o.d"
+  "test_passes_offset_arrays"
+  "test_passes_offset_arrays.pdb"
+  "test_passes_offset_arrays[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_passes_offset_arrays.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

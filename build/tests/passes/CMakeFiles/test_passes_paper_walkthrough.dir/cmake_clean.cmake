@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_passes_paper_walkthrough.dir/test_paper_walkthrough.cpp.o"
+  "CMakeFiles/test_passes_paper_walkthrough.dir/test_paper_walkthrough.cpp.o.d"
+  "test_passes_paper_walkthrough"
+  "test_passes_paper_walkthrough.pdb"
+  "test_passes_paper_walkthrough[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_passes_paper_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

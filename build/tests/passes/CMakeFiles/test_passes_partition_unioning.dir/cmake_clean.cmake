@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_passes_partition_unioning.dir/test_partition_unioning.cpp.o"
+  "CMakeFiles/test_passes_partition_unioning.dir/test_partition_unioning.cpp.o.d"
+  "test_passes_partition_unioning"
+  "test_passes_partition_unioning.pdb"
+  "test_passes_partition_unioning[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_passes_partition_unioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_passes_partition_unioning.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_passes_scalarize.dir/test_scalarize.cpp.o"
+  "CMakeFiles/test_passes_scalarize.dir/test_scalarize.cpp.o.d"
+  "test_passes_scalarize"
+  "test_passes_scalarize.pdb"
+  "test_passes_scalarize[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_passes_scalarize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/passes
+# Build directory: /root/repo/build/tests/passes
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/passes/test_passes_normalize[1]_include.cmake")
+include("/root/repo/build/tests/passes/test_passes_offset_arrays[1]_include.cmake")
+include("/root/repo/build/tests/passes/test_passes_partition_unioning[1]_include.cmake")
+include("/root/repo/build/tests/passes/test_passes_scalarize[1]_include.cmake")
+include("/root/repo/build/tests/passes/test_passes_paper_walkthrough[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simpi_arena.dir/test_arena.cpp.o"
+  "CMakeFiles/test_simpi_arena.dir/test_arena.cpp.o.d"
+  "test_simpi_arena"
+  "test_simpi_arena.pdb"
+  "test_simpi_arena[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simpi_arena.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

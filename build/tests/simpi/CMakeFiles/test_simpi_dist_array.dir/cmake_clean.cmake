@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simpi_dist_array.dir/test_dist_array.cpp.o"
+  "CMakeFiles/test_simpi_dist_array.dir/test_dist_array.cpp.o.d"
+  "test_simpi_dist_array"
+  "test_simpi_dist_array.pdb"
+  "test_simpi_dist_array[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simpi_dist_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

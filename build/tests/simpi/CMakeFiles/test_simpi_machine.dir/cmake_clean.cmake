@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simpi_machine.dir/test_machine.cpp.o"
+  "CMakeFiles/test_simpi_machine.dir/test_machine.cpp.o.d"
+  "test_simpi_machine"
+  "test_simpi_machine.pdb"
+  "test_simpi_machine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simpi_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

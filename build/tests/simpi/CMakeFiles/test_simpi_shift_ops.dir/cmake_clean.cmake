@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simpi_shift_ops.dir/test_shift_ops.cpp.o"
+  "CMakeFiles/test_simpi_shift_ops.dir/test_shift_ops.cpp.o.d"
+  "test_simpi_shift_ops"
+  "test_simpi_shift_ops.pdb"
+  "test_simpi_shift_ops[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simpi_shift_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

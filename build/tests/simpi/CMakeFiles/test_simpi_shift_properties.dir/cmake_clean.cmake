@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simpi_shift_properties.dir/test_shift_properties.cpp.o"
+  "CMakeFiles/test_simpi_shift_properties.dir/test_shift_properties.cpp.o.d"
+  "test_simpi_shift_properties"
+  "test_simpi_shift_properties.pdb"
+  "test_simpi_shift_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simpi_shift_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

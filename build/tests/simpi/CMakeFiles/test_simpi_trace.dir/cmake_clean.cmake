@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simpi_trace.dir/test_trace.cpp.o"
+  "CMakeFiles/test_simpi_trace.dir/test_trace.cpp.o.d"
+  "test_simpi_trace"
+  "test_simpi_trace.pdb"
+  "test_simpi_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simpi_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

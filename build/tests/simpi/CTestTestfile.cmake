@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/simpi
+# Build directory: /root/repo/build/tests/simpi
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/simpi/test_simpi_layout[1]_include.cmake")
+include("/root/repo/build/tests/simpi/test_simpi_arena[1]_include.cmake")
+include("/root/repo/build/tests/simpi/test_simpi_dist_array[1]_include.cmake")
+include("/root/repo/build/tests/simpi/test_simpi_machine[1]_include.cmake")
+include("/root/repo/build/tests/simpi/test_simpi_shift_ops[1]_include.cmake")
+include("/root/repo/build/tests/simpi/test_simpi_shift_properties[1]_include.cmake")
+include("/root/repo/build/tests/simpi/test_simpi_trace[1]_include.cmake")
