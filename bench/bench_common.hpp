@@ -10,9 +10,15 @@
 // way.
 #pragma once
 
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <memory>
 #include <utility>
 
 #include "driver/hpfsc.hpp"
+#include "obs/sinks.hpp"
 
 namespace hpfsc::bench {
 
@@ -31,15 +37,19 @@ inline simpi::MachineConfig sp2_machine(int rows = 2, int cols = 2) {
   return mc;
 }
 
+inline obs::TraceSession* env_trace_session();
+
 /// Compile `kernel` with the given options (plus live-out set) and
 /// prepare an Execution at problem size N with a deterministic input.
 inline Execution make_execution(const char* kernel, CompilerOptions opts,
                                 const simpi::MachineConfig& mc, int n,
                                 std::vector<std::string> live_out = {"T"}) {
   opts.passes.offset.live_out = std::move(live_out);
+  opts.trace = env_trace_session();
   Compiler compiler;
   CompiledProgram compiled = compiler.compile(kernel, opts);
   Execution exec(std::move(compiled.program), mc);
+  exec.set_trace(env_trace_session());
   exec.prepare(Bindings{}.set("N", n));
   // Initialize the canonical input array when the kernel has one (the
   // 5-point kernel uses SRC and coefficient bindings instead; its
@@ -65,6 +75,55 @@ inline const char* level_name(int level) {
 inline CompilerOptions options_for(int level) {
   return level < 0 ? CompilerOptions::xlhpf_like()
                    : CompilerOptions::level(level);
+}
+
+/// Process-wide obs session driven by the HPFSC_TRACE environment
+/// variable: when set, a Chrome-trace sink on the default session
+/// captures every instrumented run of the bench binary (closed at
+/// process exit).  Returns nullptr when HPFSC_TRACE is unset.
+inline obs::TraceSession* env_trace_session() {
+  static obs::TraceSession* session = [] {
+    const char* path = obs::env_trace_path();
+    if (!path) return static_cast<obs::TraceSession*>(nullptr);
+    obs::TraceSession& d = obs::default_session();
+    d.add_sink(std::make_unique<obs::ChromeTraceSink>(path));
+    return &d;
+  }();
+  return session;
+}
+
+/// Publishes the machine statistics of the last measured run as
+/// benchmark counters, so `--benchmark_format=json` output carries the
+/// paper's quantities alongside wall time.
+inline void report_machine_counters(benchmark::State& state,
+                                    const simpi::MachineStats& m) {
+  state.counters["messages"] = static_cast<double>(m.messages_sent);
+  state.counters["bytes_sent"] = static_cast<double>(m.bytes_sent);
+  state.counters["intra_bytes"] = static_cast<double>(m.intra_copy_bytes);
+  state.counters["kernel_ref_bytes"] =
+      static_cast<double>(m.kernel_ref_bytes);
+  state.counters["modeled_comm_ms"] =
+      static_cast<double>(m.modeled_comm_ns) / 1e6;
+  state.counters["modeled_copy_ms"] =
+      static_cast<double>(m.modeled_copy_ns) / 1e6;
+  state.counters["peak_heap_bytes"] =
+      static_cast<double>(m.peak_heap_bytes);
+}
+
+/// Appends one machine-readable metrics record (JSON lines) to the file
+/// named by HPFSC_BENCH_JSON, tagging it with the bench name, the
+/// phase/level label, and the problem size — the feed for the
+/// BENCH_*.json trajectory.  No-op when the variable is unset.
+inline void write_phase_metrics(const char* bench, const char* phase, int n,
+                                const Execution::RunStats& stats) {
+  const char* path = std::getenv("HPFSC_BENCH_JSON");
+  if (!path || !*path) return;
+  std::ofstream f(path, std::ios::app);
+  if (!f) return;
+  f << "{\"bench\":\"" << obs::json_escape(bench) << "\",\"phase\":\""
+    << obs::json_escape(phase) << "\",\"n\":" << n << ",\"wall_seconds\":"
+    << obs::json_number(stats.wall_seconds)
+    << ",\"machine\":" << stats.machine.to_json() << "}\n";
 }
 
 }  // namespace hpfsc::bench

@@ -42,6 +42,9 @@ int main() {
         Execution exec = make_execution(kernel, CompilerOptions::xlhpf_like(),
                                         mc, n);
         auto stats = exec.run(3);
+        write_phase_metrics("fig11_xlhpf_baseline",
+                            kernel == kernels::kProblem9 ? "multi" : "single",
+                            n, stats);
         std::printf("  %22.2f", stats.wall_seconds / 3 * 1e3);
       } catch (const simpi::OutOfMemory&) {
         std::printf("  %22s", "OUT OF MEMORY");

@@ -26,15 +26,12 @@ void BM_Problem9(benchmark::State& state) {
   Execution exec = make_execution(kernels::kProblem9, options_for(level),
                                   sp2_machine(), n);
   exec.run(1);  // warm-up
-  std::uint64_t msgs = 0;
-  std::uint64_t intra = 0;
+  Execution::RunStats last;
   for (auto _ : state) {
-    auto stats = exec.run(1);
-    msgs = stats.machine.messages_sent;
-    intra = stats.machine.intra_copy_bytes;
+    last = exec.run(1);
   }
-  state.counters["messages"] = static_cast<double>(msgs);
-  state.counters["intra_bytes"] = static_cast<double>(intra);
+  report_machine_counters(state, last.machine);
+  write_phase_metrics("fig17_problem9", level_name(level), n, last);
   state.SetLabel(level_name(level));
 }
 

@@ -62,12 +62,12 @@ void BM_NinePointSpecs(benchmark::State& state) {
   }
   Execution exec = make_execution(kernel, opts, sp2_machine(), n);
   exec.run(1);  // warm-up
-  std::uint64_t msgs = 0;
+  Execution::RunStats last;
   for (auto _ : state) {
-    auto stats = exec.run(1);
-    msgs = stats.machine.messages_sent;
+    last = exec.run(1);
   }
-  state.counters["messages"] = static_cast<double>(msgs);
+  report_machine_counters(state, last.machine);
+  write_phase_metrics("fig18_ninepoint_specs", label, n, last);
   state.SetLabel(label);
 }
 

@@ -1,17 +1,33 @@
 // hpfsc_dump: command-line front door to the compiler.  Reads an HPF
-// program from a file (or a named built-in paper kernel) and prints the
-// per-phase listings at the requested optimization level.
+// program from a file (or a named built-in paper kernel), prints the
+// per-phase listings at the requested optimization level, and — when
+// observability output is requested — executes the program on the
+// simulated machine so the trace carries per-PE runtime spans.
 //
-//   hpfsc_dump [-O0..-O4|--xlhpf] [--live-out A,B] (FILE | @problem9 |
-//              @ninept | @ninept-array | @fivept | @jacobi)
+//   hpfsc_dump [-O0..-O4|--xlhpf] [--live-out A,B]
+//              [--trace-out=FILE] [--jsonl-out=FILE] [--obs-summary]
+//              [--run] [--n=N] [--iters=K] [--emulate]
+//              (FILE | @problem9 | @ninept | @ninept-array | @fivept |
+//               @jacobi)
+//
+// --trace-out writes a Chrome trace-event file (chrome://tracing,
+// Perfetto): one span per compiler pass with IR-delta args, plus one
+// span per plan step per PE with message/byte/modeled-cost attribution.
+// The HPFSC_TRACE environment variable supplies a default path when
+// --trace-out is not given.  --obs-summary prints an aggregate table
+// to stderr.  Any of these imply --run.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "codegen/spmd_printer.hpp"
 #include "driver/hpfsc.hpp"
+#include "obs/sinks.hpp"
 
 namespace {
 
@@ -28,8 +44,21 @@ const char* builtin(const std::string& name) {
 void usage() {
   std::fprintf(stderr,
                "usage: hpfsc_dump [-O0..-O4|--xlhpf] [--live-out A,B] "
+               "[--trace-out=FILE] [--jsonl-out=FILE] [--obs-summary] "
+               "[--run] [--n=N] [--iters=K] [--emulate] "
                "(FILE | @problem9 | @ninept | @ninept-array | @fivept | "
-               "@jacobi)\n");
+               "@jacobi)\n"
+               "  HPFSC_TRACE=<file> in the environment acts as a default "
+               "--trace-out.\n");
+}
+
+/// Value of "--flag=X" or nullptr when `arg` is not that flag.
+const char* flag_value(const std::string& arg, const char* flag) {
+  const std::size_t n = std::strlen(flag);
+  if (arg.compare(0, n, flag) != 0 || arg.size() <= n || arg[n] != '=') {
+    return nullptr;
+  }
+  return arg.c_str() + n + 1;
 }
 
 }  // namespace
@@ -39,9 +68,17 @@ int main(int argc, char** argv) {
   CompilerOptions options = CompilerOptions::level(4);
   std::string input;
   std::vector<std::string> live_out;
+  std::string trace_out;
+  std::string jsonl_out;
+  bool obs_summary = false;
+  bool run = false;
+  bool emulate = false;
+  int n = 64;
+  int iters = 1;
 
   for (int a = 1; a < argc; ++a) {
     std::string arg = argv[a];
+    const char* v = nullptr;
     if (arg.size() == 3 && arg.rfind("-O", 0) == 0 && arg[2] >= '0' &&
         arg[2] <= '4') {
       options = CompilerOptions::level(arg[2] - '0');
@@ -51,6 +88,20 @@ int main(int argc, char** argv) {
       std::stringstream ss(argv[++a]);
       std::string item;
       while (std::getline(ss, item, ',')) live_out.push_back(item);
+    } else if ((v = flag_value(arg, "--trace-out"))) {
+      trace_out = v;
+    } else if ((v = flag_value(arg, "--jsonl-out"))) {
+      jsonl_out = v;
+    } else if (arg == "--obs-summary") {
+      obs_summary = true;
+    } else if (arg == "--run") {
+      run = true;
+    } else if ((v = flag_value(arg, "--n"))) {
+      n = std::atoi(v);
+    } else if ((v = flag_value(arg, "--iters"))) {
+      iters = std::atoi(v);
+    } else if (arg == "--emulate") {
+      emulate = true;
     } else if (arg == "-h" || arg == "--help") {
       usage();
       return 0;
@@ -78,6 +129,32 @@ int main(int argc, char** argv) {
   }
   options.passes.offset.live_out = live_out;
 
+  // Observability: install the requested sinks.  HPFSC_TRACE supplies a
+  // default Chrome-trace path.  Any sink implies execution (the trace
+  // should show runtime spans, not just the compiler).
+  if (trace_out.empty() && obs::env_trace_path()) {
+    trace_out = obs::env_trace_path();
+  }
+  obs::TraceSession session;
+  try {
+    if (!trace_out.empty()) {
+      session.add_sink(std::make_unique<obs::ChromeTraceSink>(trace_out));
+    }
+    if (!jsonl_out.empty()) {
+      session.add_sink(std::make_unique<obs::JsonlSink>(jsonl_out));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "hpfsc_dump: %s\n", e.what());
+    return 2;
+  }
+  if (obs_summary) {
+    session.add_sink(std::make_unique<obs::SummarySink>(std::cerr));
+  }
+  if (session.enabled()) {
+    options.trace = &session;
+    run = true;
+  }
+
   try {
     Compiler compiler;
     CompiledProgram compiled = compiler.compile(source, options);
@@ -97,8 +174,40 @@ int main(int argc, char** argv) {
     std::printf("arrays eliminated: %d, copies inserted: %d\n",
                 compiled.pipeline.offset.arrays_eliminated,
                 compiled.pipeline.offset.copies_inserted);
+
+    if (run) {
+      simpi::MachineConfig mc;
+      if (compiled.processors) {
+        mc.pe_rows = compiled.processors->first;
+        mc.pe_cols = compiled.processors->second;
+      }
+      // SP-2-like cost model (see bench/bench_common.hpp) so modeled
+      // costs in the trace are meaningful; busy-wait only on request.
+      mc.cost.latency_ns = 100'000;
+      mc.cost.ns_per_byte = 28.0;
+      mc.cost.memory_ns_per_byte = 2.0;
+      mc.cost.cache_ns_per_byte = 0.2;
+      mc.cost.emulate = emulate;
+
+      Execution exec(std::move(compiled.program), mc);
+      exec.set_trace(session.enabled() ? &session : nullptr);
+      exec.prepare(Bindings{}.set("N", n));
+      if (exec.program().find_array("U") >= 0) {
+        exec.set_array("U",
+                       [](int i, int j, int) { return i * 0.25 + j * 0.5; });
+      }
+      auto stats = exec.run(iters);
+      std::printf("--- run (N=%d, %dx%d PEs, %d iter%s) ---\n", n,
+                  mc.pe_rows, mc.pe_cols, iters, iters == 1 ? "" : "s");
+      std::printf("wall: %.3f ms\n", stats.wall_seconds * 1e3);
+      std::printf("machine: %s\n", stats.machine.to_json().c_str());
+      session.flush();
+    }
   } catch (const CompileError& e) {
     std::fprintf(stderr, "compilation failed:\n%s", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "execution failed: %s\n", e.what());
     return 1;
   }
   return 0;

@@ -1,14 +1,30 @@
 #include "driver/compiler.hpp"
 
 #include "frontend/lower.hpp"
+#include "frontend/parser.hpp"
 #include "ir/printer.hpp"
 
 namespace hpfsc {
 
 CompiledProgram Compiler::compile(std::string_view source,
                                   const CompilerOptions& options) const {
+  obs::TraceSession* trace = options.trace;
+  obs::Span compile_span(trace, "compile", "compile");
+  compile_span.arg("source_bytes", static_cast<double>(source.size()));
+
   DiagnosticEngine diags;
-  frontend::LowerResult lowered = frontend::lower_source(source, diags);
+  frontend::ast::Program tree;
+  {
+    obs::Span span(trace, "frontend/lex+parse", "compile");
+    tree = frontend::Parser::parse_source(source, diags);
+  }
+  if (diags.has_errors()) throw CompileError(diags.render_all());
+
+  frontend::LowerResult lowered;
+  {
+    obs::Span span(trace, "frontend/lower", "compile");
+    lowered = frontend::lower(tree, diags);
+  }
   if (diags.has_errors()) throw CompileError(diags.render_all());
 
   CompiledProgram out;
@@ -24,19 +40,30 @@ CompiledProgram Compiler::compile(std::string_view source,
 
   if (options.xlhpf_mode) {
     // Run normalization alone (run_pipeline would also scalarize).
+    obs::Span span(trace, "pass/normalize", "compile");
     out.pipeline.normalize = passes::normalize(lowered.program,
                                                pass_opts.normalize, diags);
     out.listings.push_back(passes::PhaseListing{
         "normalize", ir::Printer(lowered.program).print_body()});
   } else {
-    out.pipeline = passes::run_pipeline(lowered.program, pass_opts, diags);
+    out.pipeline =
+        passes::run_pipeline(lowered.program, pass_opts, diags, trace);
     out.listings = out.pipeline.listings;
   }
   if (diags.has_errors()) throw CompileError(diags.render_all());
 
-  codegen::LowerOptions cg;
-  cg.expr_temps = options.xlhpf_mode;
-  out.program = codegen::lower_to_spmd(lowered.program, cg, diags);
+  {
+    obs::Span span(trace, "codegen/lower-spmd", "compile");
+    codegen::LowerOptions cg;
+    cg.expr_temps = options.xlhpf_mode;
+    out.program = codegen::lower_to_spmd(lowered.program, cg, diags);
+    if (span.active()) {
+      const auto comm = out.program.comm_summary();
+      span.arg("ops", static_cast<double>(out.program.ops.size()));
+      span.arg("full_shifts", comm.full_shifts);
+      span.arg("overlap_shifts", comm.overlap_shifts);
+    }
+  }
   if (diags.has_errors()) throw CompileError(diags.render_all());
 
   out.diagnostics = diags.render_all();

@@ -11,6 +11,7 @@
 
 #include "codegen/lower_spmd.hpp"
 #include "codegen/spmd_program.hpp"
+#include "obs/obs.hpp"
 #include "passes/pipeline.hpp"
 #include "support/diagnostics.hpp"
 
@@ -29,6 +30,12 @@ struct CompilerOptions {
   /// CSHIFT and one loop+temporary per expression operation; none of
   /// the paper's optimizations run.
   bool xlhpf_mode = false;
+
+  /// Observability session (not owned).  When set and enabled, the
+  /// driver emits spans for every compilation stage — lex+parse, lower,
+  /// each optimization pass (with IR deltas), SPMD code generation —
+  /// on the host track.  Null = no instrumentation overhead.
+  obs::TraceSession* trace = nullptr;
 
   /// The paper's step-wise optimization levels O0..O4 (Figure 17).
   static CompilerOptions level(int n) {

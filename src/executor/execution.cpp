@@ -6,6 +6,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "simpi/obs_span.hpp"
 #include "simpi/shift_ops.hpp"
 
 namespace hpfsc {
@@ -185,6 +186,8 @@ std::vector<double> Execution::get_array(const std::string& name) {
 Execution::RunStats Execution::run(int iterations) {
   if (!prepared_) throw std::logic_error("Execution::prepare not called");
   machine_->clear_stats();
+  obs::Span span(trace_, "execute", "runtime");
+  span.arg("iterations", iterations);
   const auto start = std::chrono::steady_clock::now();
   machine_->run([&](simpi::Pe& pe) {
     std::vector<double> env = initial_env_;
@@ -196,6 +199,16 @@ Execution::RunStats Execution::run(int iterations) {
   RunStats stats;
   stats.wall_seconds = std::chrono::duration<double>(end - start).count();
   stats.machine = machine_->stats();
+  if (span.active()) {
+    span.arg("messages", stats.machine.messages_sent);
+    span.arg("bytes_sent", stats.machine.bytes_sent);
+    span.arg("intra_copy_bytes", stats.machine.intra_copy_bytes);
+    span.arg("kernel_ref_bytes", stats.machine.kernel_ref_bytes);
+    span.arg("modeled_comm_ns", stats.machine.modeled_comm_ns);
+    span.arg("modeled_copy_ns", stats.machine.modeled_copy_ns);
+    span.arg("peak_heap_bytes",
+             static_cast<double>(stats.machine.peak_heap_bytes));
+  }
   return stats;
 }
 
@@ -220,15 +233,28 @@ void Execution::exec_ops(simpi::Pe& pe, const std::vector<spmd::Op>& ops,
                              op.shift_kind, eval_scalar(op.boundary, env));
         break;
       case spmd::OpKind::CopyOffset: {
+        simpi::StepSpan span(
+            pe, "COPY_OFFSET",
+            prog_.arrays[static_cast<std::size_t>(op.array)].name);
         simpi::LocalGrid& dst = pe.grid(op.array);
         if (!dst.owns_anything()) break;
         pe.charge_intra_copy(dst.copy_offset_from(
             pe.grid(op.src), dst.owned_region(), op.copy_offset));
         break;
       }
-      case spmd::OpKind::LoopNest:
+      case spmd::OpKind::LoopNest: {
+        simpi::StepSpan span(
+            pe, "KERNEL",
+            prog_.arrays[static_cast<std::size_t>(
+                             op.kernels.front().lhs_array)]
+                .name);
+        if (span.active()) {
+          span.arg("statements", static_cast<int>(op.kernels.size()));
+          span.arg("unroll", op.unroll);
+        }
         exec_nest(pe, op, env);
         break;
+      }
       case spmd::OpKind::ScalarAssign:
         env[static_cast<std::size_t>(op.scalar)] = eval_scalar(op.expr, env);
         break;

@@ -15,6 +15,7 @@
 
 #include "codegen/spmd_program.hpp"
 #include "executor/plan.hpp"
+#include "obs/obs.hpp"
 #include "simpi/machine.hpp"
 
 namespace hpfsc {
@@ -54,6 +55,17 @@ class Execution {
   /// PE).  prepare() must have been called.
   RunStats run(int iterations = 1);
 
+  /// Attaches an observability session (not owned; must outlive this
+  /// Execution or be detached with nullptr).  When enabled, run() emits
+  /// a host-track "execute" span and every plan step (shift, offset
+  /// copy, kernel loop) emits a per-PE span carrying its statistics
+  /// delta — messages, bytes, and modeled-cost nanoseconds.
+  void set_trace(obs::TraceSession* session) {
+    trace_ = session;
+    machine_->set_obs_session(session);
+  }
+  [[nodiscard]] obs::TraceSession* trace() const { return trace_; }
+
   [[nodiscard]] const spmd::Program& program() const { return prog_; }
   [[nodiscard]] simpi::Machine& machine() { return *machine_; }
 
@@ -88,6 +100,7 @@ class Execution {
 
   spmd::Program prog_;
   std::unique_ptr<simpi::Machine> machine_;
+  obs::TraceSession* trace_ = nullptr;
   std::vector<double> initial_env_;
   std::vector<std::optional<simpi::DistArrayDesc>> descs_;
   std::unordered_map<const spmd::Op*, NestPlans> plans_;

@@ -1,0 +1,55 @@
+#include "obs/obs.hpp"
+
+#include <cstdlib>
+
+namespace hpfsc::obs {
+
+void TraceSession::add_sink(std::unique_ptr<Sink> sink) {
+  std::lock_guard lock(mutex_);
+  sinks_.push_back(std::move(sink));
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void TraceSession::clear_sinks() {
+  std::lock_guard lock(mutex_);
+  for (auto& s : sinks_) s->flush();
+  sinks_.clear();
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+void TraceSession::emit_span(SpanRecord rec) {
+  std::lock_guard lock(mutex_);
+  for (auto& s : sinks_) s->span(rec);
+}
+
+void TraceSession::emit_counter(CounterRecord rec) {
+  std::lock_guard lock(mutex_);
+  for (auto& s : sinks_) s->counter(rec);
+}
+
+void TraceSession::counter(const char* name, double value, int track) {
+  if (!enabled()) return;
+  emit_counter(CounterRecord{name, track, now_ns(), value});
+}
+
+void TraceSession::set_track_name(int track, std::string_view name) {
+  std::lock_guard lock(mutex_);
+  for (auto& s : sinks_) s->track_name(track, name);
+}
+
+void TraceSession::flush() {
+  std::lock_guard lock(mutex_);
+  for (auto& s : sinks_) s->flush();
+}
+
+TraceSession& default_session() {
+  static TraceSession session;
+  return session;
+}
+
+const char* env_trace_path() {
+  const char* p = std::getenv("HPFSC_TRACE");
+  return (p && *p) ? p : nullptr;
+}
+
+}  // namespace hpfsc::obs

@@ -1,0 +1,181 @@
+// Observability core: scoped spans, named counters, and a session that
+// dispatches them to pluggable sinks (human-readable summary, JSON
+// lines, Chrome trace-event format — see obs/sinks.hpp).
+//
+// The layer is threaded through the whole stack: the driver times each
+// frontend/codegen stage, the pass pipeline records per-pass wall time
+// and IR deltas, and the executor + simpi runtime emit per-PE spans for
+// every plan step (shift, copy, kernel loop) carrying the modeled-cost
+// and message/byte attribution the paper's figures are built from.
+//
+// Overhead discipline: a `Span` constructed against a null session, or
+// a session with no sinks, is inert — it performs no heap allocation
+// and no locking (a single relaxed atomic load decides).  Producers
+// therefore instrument unconditionally and pay nothing when tracing is
+// off; tests assert the zero-allocation property.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hpfsc::obs {
+
+/// One span/counter argument.  Keys are string literals (producers pass
+/// `const char*`); values are numeric (the common case: byte counts,
+/// modeled nanoseconds, IR statement counts) or short strings.
+struct Arg {
+  const char* key = "";
+  bool numeric = true;
+  double num = 0.0;
+  std::string str;
+};
+
+/// Timeline track identifiers: track 0 is the host (compiler/driver)
+/// thread; PE `p` reports on track `p + 1`.
+inline constexpr int kHostTrack = 0;
+[[nodiscard]] constexpr int pe_track(int pe_id) { return pe_id + 1; }
+
+/// A completed span: [start_ns, start_ns + dur_ns) on track `track`.
+struct SpanRecord {
+  std::string name;
+  std::string category;  ///< "compile" | "runtime" | caller-defined
+  int track = kHostTrack;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::vector<Arg> args;
+};
+
+/// A point-in-time counter sample.
+struct CounterRecord {
+  std::string name;
+  int track = kHostTrack;
+  std::uint64_t ts_ns = 0;
+  double value = 0.0;
+};
+
+/// Consumer interface.  The session serializes all calls under one
+/// mutex, so implementations need no locking of their own.
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  virtual void span(const SpanRecord& rec) = 0;
+  virtual void counter(const CounterRecord& rec) { (void)rec; }
+  /// Human-readable name for a track (e.g. "PE0"); optional.
+  virtual void track_name(int track, std::string_view name) {
+    (void)track;
+    (void)name;
+  }
+  /// Called at session flush and before sink destruction.
+  virtual void flush() {}
+};
+
+/// A tracing session: an epoch, a sink list, and an enabled flag that
+/// producers check on the fast path.  Thread-safe; PE threads emit
+/// concurrently.
+class TraceSession {
+ public:
+  TraceSession() : epoch_(std::chrono::steady_clock::now()) {}
+  ~TraceSession() { flush(); }
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// Enabled iff at least one sink is installed.
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Nanoseconds since session construction (monotonic).
+  [[nodiscard]] std::uint64_t now_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  void add_sink(std::unique_ptr<Sink> sink);
+  void clear_sinks();
+
+  void emit_span(SpanRecord rec);
+  void emit_counter(CounterRecord rec);
+  /// Convenience: sample counter `name` = `value` now.
+  void counter(const char* name, double value, int track = kHostTrack);
+  void set_track_name(int track, std::string_view name);
+  void flush();
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<bool> enabled_{false};
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<Sink>> sinks_;
+};
+
+/// RAII scoped span.  Constructed against a null/disabled session it is
+/// inert: no allocation, no clock read, and `arg()` is a no-op, so
+/// instrumentation sites need no `if (tracing)` guards.
+class Span {
+ public:
+  Span(TraceSession* session, const char* name,
+       const char* category = "", int track = kHostTrack)
+      : session_(session && session->enabled() ? session : nullptr) {
+    if (!session_) return;
+    rec_.name = name;
+    rec_.category = category;
+    rec_.track = track;
+    rec_.start_ns = session_->now_ns();
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  ~Span() {
+    if (!session_) return;
+    rec_.dur_ns = session_->now_ns() - rec_.start_ns;
+    session_->emit_span(std::move(rec_));
+  }
+
+  /// True when the span will be emitted (lets callers skip expensive
+  /// argument computation).
+  [[nodiscard]] bool active() const { return session_ != nullptr; }
+
+  /// Replaces the span name (e.g. to append a dynamic suffix that the
+  /// caller only computes when the span is active).
+  void rename(std::string_view name) {
+    if (session_) rec_.name = std::string(name);
+  }
+
+  void arg(const char* key, double v) {
+    if (session_) rec_.args.push_back(Arg{key, true, v, {}});
+  }
+  void arg(const char* key, std::int64_t v) {
+    arg(key, static_cast<double>(v));
+  }
+  void arg(const char* key, std::uint64_t v) {
+    arg(key, static_cast<double>(v));
+  }
+  void arg(const char* key, int v) { arg(key, static_cast<double>(v)); }
+  void arg_str(const char* key, std::string_view v) {
+    if (session_) rec_.args.push_back(Arg{key, false, 0.0, std::string(v)});
+  }
+
+ private:
+  TraceSession* session_;
+  SpanRecord rec_;
+};
+
+/// Process-wide default session.  Starts with no sinks (disabled); the
+/// CLI and benches install sinks based on flags / the HPFSC_TRACE
+/// environment variable.
+[[nodiscard]] TraceSession& default_session();
+
+/// Value of the HPFSC_TRACE environment variable (a Chrome-trace output
+/// path), or nullptr when unset/empty.
+[[nodiscard]] const char* env_trace_path();
+
+}  // namespace hpfsc::obs

@@ -1,0 +1,193 @@
+#include "obs/sinks.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace hpfsc::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "0";
+  if (v == std::floor(v) && std::abs(v) < 9.0e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string json_args(const std::vector<Arg>& args) {
+  std::string out;
+  for (const Arg& a : args) {
+    if (!out.empty()) out += ",";
+    out += "\"" + json_escape(a.key) + "\":";
+    out += a.numeric ? json_number(a.num)
+                     : "\"" + json_escape(a.str) + "\"";
+  }
+  return out;
+}
+
+namespace {
+
+/// Microsecond timestamp with nanosecond resolution (Chrome's `ts` and
+/// `dur` fields are in microseconds).
+std::string us(std::uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  return buf;
+}
+
+std::unique_ptr<std::ofstream> open_or_throw(const std::string& path) {
+  auto f = std::make_unique<std::ofstream>(path, std::ios::trunc);
+  if (!*f) throw std::runtime_error("obs: cannot open '" + path + "'");
+  return f;
+}
+
+}  // namespace
+
+// ------------------------------------------------- ChromeTraceSink --
+
+ChromeTraceSink::ChromeTraceSink(std::ostream& out) : out_(&out) {
+  write_prefix();
+}
+
+ChromeTraceSink::ChromeTraceSink(const std::string& path)
+    : owned_(open_or_throw(path)), out_(owned_.get()) {
+  write_prefix();
+}
+
+ChromeTraceSink::~ChromeTraceSink() {
+  if (!closed_) {
+    *out_ << "\n]}\n";
+    out_->flush();
+    closed_ = true;
+  }
+}
+
+void ChromeTraceSink::write_prefix() {
+  *out_ << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+}
+
+void ChromeTraceSink::emit(const std::string& event_json) {
+  if (closed_) return;
+  *out_ << (first_ ? "\n" : ",\n") << event_json;
+  first_ = false;
+}
+
+void ChromeTraceSink::span(const SpanRecord& rec) {
+  std::string e = "{\"name\":\"" + json_escape(rec.name) + "\"";
+  if (!rec.category.empty()) {
+    e += ",\"cat\":\"" + json_escape(rec.category) + "\"";
+  }
+  e += ",\"ph\":\"X\",\"pid\":1,\"tid\":" + std::to_string(rec.track);
+  e += ",\"ts\":" + us(rec.start_ns) + ",\"dur\":" + us(rec.dur_ns);
+  if (!rec.args.empty()) e += ",\"args\":{" + json_args(rec.args) + "}";
+  e += "}";
+  emit(e);
+}
+
+void ChromeTraceSink::counter(const CounterRecord& rec) {
+  emit("{\"name\":\"" + json_escape(rec.name) +
+       "\",\"ph\":\"C\",\"pid\":1,\"tid\":" + std::to_string(rec.track) +
+       ",\"ts\":" + us(rec.ts_ns) + ",\"args\":{\"value\":" +
+       json_number(rec.value) + "}}");
+}
+
+void ChromeTraceSink::track_name(int track, std::string_view name) {
+  emit("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
+       std::to_string(track) + ",\"args\":{\"name\":\"" +
+       json_escape(name) + "\"}}");
+}
+
+void ChromeTraceSink::flush() { out_->flush(); }
+
+// ------------------------------------------------------- JsonlSink --
+
+JsonlSink::JsonlSink(const std::string& path)
+    : owned_(open_or_throw(path)), out_(owned_.get()) {}
+
+void JsonlSink::span(const SpanRecord& rec) {
+  *out_ << "{\"kind\":\"span\",\"name\":\"" << json_escape(rec.name)
+        << "\",\"cat\":\"" << json_escape(rec.category)
+        << "\",\"track\":" << rec.track << ",\"start_ns\":" << rec.start_ns
+        << ",\"dur_ns\":" << rec.dur_ns;
+  if (!rec.args.empty()) *out_ << ",\"args\":{" << json_args(rec.args) << "}";
+  *out_ << "}\n";
+}
+
+void JsonlSink::counter(const CounterRecord& rec) {
+  *out_ << "{\"kind\":\"counter\",\"name\":\"" << json_escape(rec.name)
+        << "\",\"track\":" << rec.track << ",\"ts_ns\":" << rec.ts_ns
+        << ",\"value\":" << json_number(rec.value) << "}\n";
+}
+
+void JsonlSink::flush() { out_->flush(); }
+
+// ----------------------------------------------------- SummarySink --
+
+SummarySink::~SummarySink() {
+  if (print_to_) *print_to_ << render();
+}
+
+void SummarySink::span(const SpanRecord& rec) {
+  Agg& a = by_name_[rec.name];
+  a.count += 1;
+  a.total_ns += rec.dur_ns;
+  a.max_ns = std::max(a.max_ns, rec.dur_ns);
+  for (const Arg& arg : rec.args) {
+    if (arg.numeric) a.arg_sums[arg.key] += arg.num;
+  }
+}
+
+std::string SummarySink::render() const {
+  std::vector<std::pair<std::string, const Agg*>> rows;
+  rows.reserve(by_name_.size());
+  for (const auto& [name, agg] : by_name_) rows.emplace_back(name, &agg);
+  std::sort(rows.begin(), rows.end(), [](const auto& x, const auto& y) {
+    return x.second->total_ns > y.second->total_ns;
+  });
+
+  std::string out = "--- obs summary ---\n";
+  char buf[256];
+  for (const auto& [name, agg] : rows) {
+    std::snprintf(buf, sizeof buf, "%-36s x%-6llu total %10.3f ms  max %8.3f ms\n",
+                  name.c_str(), static_cast<unsigned long long>(agg->count),
+                  static_cast<double>(agg->total_ns) / 1e6,
+                  static_cast<double>(agg->max_ns) / 1e6);
+    out += buf;
+    for (const auto& [key, sum] : agg->arg_sums) {
+      std::snprintf(buf, sizeof buf, "    %-32s %s\n", key.c_str(),
+                    json_number(sum).c_str());
+      out += buf;
+    }
+  }
+  return out;
+}
+
+}  // namespace hpfsc::obs

@@ -1,0 +1,112 @@
+// Standard sinks for the observability layer:
+//
+//  * ChromeTraceSink — Chrome trace-event format ("X" complete events
+//    plus "M" thread-name metadata), loadable in chrome://tracing,
+//    Perfetto, or speedscope.  Streams events as they arrive; the
+//    enclosing JSON document is closed when the sink is destroyed.
+//  * JsonlSink — one self-contained JSON object per line, for ad-hoc
+//    processing (jq, pandas) and the bench metric trajectory.
+//  * SummarySink — aggregates spans by name into a human-readable
+//    table (count, total/mean wall time, summed numeric args).
+//  * CollectSink — in-memory record buffer for tests and programmatic
+//    consumers.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace hpfsc::obs {
+
+/// Escapes `s` for inclusion inside a JSON string literal.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Formats a double as JSON: integral values print without a decimal
+/// point ("42"), others with enough digits to round-trip.
+[[nodiscard]] std::string json_number(double v);
+
+/// Renders the `"args":{...}` object body (no braces) for a record.
+[[nodiscard]] std::string json_args(const std::vector<Arg>& args);
+
+class ChromeTraceSink final : public Sink {
+ public:
+  /// Streams to an external stream (must outlive the sink).
+  explicit ChromeTraceSink(std::ostream& out);
+  /// Opens (truncates) `path` and streams to it.
+  explicit ChromeTraceSink(const std::string& path);
+  ~ChromeTraceSink() override;
+
+  void span(const SpanRecord& rec) override;
+  void counter(const CounterRecord& rec) override;
+  void track_name(int track, std::string_view name) override;
+  void flush() override;
+
+ private:
+  void write_prefix();
+  void emit(const std::string& event_json);
+
+  std::unique_ptr<std::ofstream> owned_;
+  std::ostream* out_;
+  bool first_ = true;
+  bool closed_ = false;
+};
+
+class JsonlSink final : public Sink {
+ public:
+  explicit JsonlSink(std::ostream& out) : out_(&out) {}
+  explicit JsonlSink(const std::string& path);
+
+  void span(const SpanRecord& rec) override;
+  void counter(const CounterRecord& rec) override;
+  void flush() override;
+
+ private:
+  std::unique_ptr<std::ofstream> owned_;
+  std::ostream* out_;
+};
+
+class SummarySink final : public Sink {
+ public:
+  SummarySink() = default;
+  /// Prints the rendered table to `out` when the sink is destroyed.
+  explicit SummarySink(std::ostream& out) : print_to_(&out) {}
+  ~SummarySink() override;
+
+  void span(const SpanRecord& rec) override;
+
+  /// The aggregate table, sorted by total time descending.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  struct Agg {
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+    std::uint64_t max_ns = 0;
+    std::map<std::string, double> arg_sums;
+  };
+  std::map<std::string, Agg> by_name_;
+  std::ostream* print_to_ = nullptr;
+};
+
+class CollectSink final : public Sink {
+ public:
+  void span(const SpanRecord& rec) override { spans.push_back(rec); }
+  void counter(const CounterRecord& rec) override {
+    counters.push_back(rec);
+  }
+  void track_name(int track, std::string_view name) override {
+    track_names[track] = std::string(name);
+  }
+
+  std::vector<SpanRecord> spans;
+  std::vector<CounterRecord> counters;
+  std::map<int, std::string> track_names;
+};
+
+}  // namespace hpfsc::obs

@@ -13,39 +13,98 @@ PassOptions PassOptions::level(int n) {
   return o;
 }
 
+namespace {
+
+int count_stmts(const ir::Program& program) {
+  int n = 0;
+  ir::visit_stmts(program.body, [&](const ir::Stmt&) { ++n; });
+  return n;
+}
+
+/// Wraps one pass invocation: a "pass/<name>" span carrying wall time
+/// and the statement-count delta; the callback adds pass-specific args.
+template <typename Fn>
+void timed_pass(obs::TraceSession* trace, const char* name,
+                ir::Program& program, Fn&& fn) {
+  obs::Span span(trace, name, "compile");
+  const int before = span.active() ? count_stmts(program) : 0;
+  fn(span);
+  if (span.active()) {
+    span.arg("stmts_in", before);
+    span.arg("stmts_out", count_stmts(program));
+  }
+}
+
+}  // namespace
+
 PipelineResult run_pipeline(ir::Program& program, const PassOptions& opts,
-                            DiagnosticEngine& diags) {
+                            DiagnosticEngine& diags,
+                            obs::TraceSession* trace) {
   PipelineResult result;
   auto snapshot = [&](const char* phase) {
     result.listings.push_back(
         PhaseListing{phase, ir::Printer(program).print_body()});
   };
 
-  result.normalize = normalize(program, opts.normalize, diags);
+  timed_pass(trace, "pass/normalize", program, [&](obs::Span& span) {
+    result.normalize = normalize(program, opts.normalize, diags);
+    span.arg("shifts_hoisted", result.normalize.shifts_hoisted);
+    span.arg("sections_converted", result.normalize.sections_converted);
+    span.arg("temps_created", result.normalize.temps_created);
+  });
   snapshot("normalize");
   if (diags.has_errors()) return result;
 
   if (opts.offset_arrays) {
-    result.offset = offset_arrays(program, opts.offset, diags);
+    timed_pass(trace, "pass/offset-arrays", program, [&](obs::Span& span) {
+      result.offset = offset_arrays(program, opts.offset, diags);
+      span.arg("shifts_converted", result.offset.shifts_converted);
+      span.arg("shifts_kept", result.offset.shifts_kept);
+      span.arg("copies_inserted", result.offset.copies_inserted);
+      span.arg("arrays_eliminated", result.offset.arrays_eliminated);
+      span.arg("uses_rewritten", result.offset.uses_rewritten);
+    });
     snapshot("offset-arrays");
     if (diags.has_errors()) return result;
   }
   if (opts.context_partition) {
-    result.partition = context_partition(program, diags);
+    timed_pass(trace, "pass/context-partitioning", program,
+               [&](obs::Span& span) {
+      result.partition = context_partition(program, diags);
+      span.arg("groups_formed", result.partition.groups_formed);
+      span.arg("statements_moved", result.partition.statements_moved);
+    });
     snapshot("context-partitioning");
     if (diags.has_errors()) return result;
   }
   if (opts.comm_unioning) {
-    result.unioning = comm_unioning(program, diags);
+    timed_pass(trace, "pass/communication-unioning", program,
+               [&](obs::Span& span) {
+      result.unioning = comm_unioning(program, diags);
+      span.arg("shifts_before", result.unioning.shifts_before);
+      span.arg("shifts_after", result.unioning.shifts_after);
+      span.arg("shifts_eliminated",
+               result.unioning.shifts_before - result.unioning.shifts_after);
+    });
     snapshot("communication-unioning");
     if (diags.has_errors()) return result;
   }
-  result.scalarize = scalarize(program, diags);
+  timed_pass(trace, "pass/scalarization", program, [&](obs::Span& span) {
+    result.scalarize = scalarize(program, diags);
+    span.arg("nests_created", result.scalarize.nests_created);
+    span.arg("statements_fused", result.scalarize.statements_fused);
+  });
   snapshot("scalarization");
   if (diags.has_errors()) return result;
 
   if (opts.memory_opt) {
-    result.memory = memory_opt(program, opts.memory, diags);
+    timed_pass(trace, "pass/memory-optimization", program,
+               [&](obs::Span& span) {
+      result.memory = memory_opt(program, opts.memory, diags);
+      span.arg("nests_permuted", result.memory.nests_permuted);
+      span.arg("nests_unrolled", result.memory.nests_unrolled);
+      span.arg("nests_scalar_replaced", result.memory.nests_scalar_replaced);
+    });
     snapshot("memory-optimization");
   }
   return result;

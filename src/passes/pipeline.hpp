@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "ir/program.hpp"
+#include "obs/obs.hpp"
 #include "passes/comm_unioning.hpp"
 #include "passes/context_partition.hpp"
 #include "passes/memory_opt.hpp"
@@ -53,7 +54,13 @@ struct PipelineResult {
   MemoryOptStats memory;
 };
 
+/// Runs the pipeline.  When `trace` is an enabled obs session, each
+/// pass is wrapped in a "pass/<name>" span on the host track carrying
+/// wall time plus the pass's IR delta (statements in/out, shifts
+/// converted/eliminated, temporaries created/removed, ...) — the
+/// -ftime-trace analogue for this compiler.
 PipelineResult run_pipeline(ir::Program& program, const PassOptions& opts,
-                            DiagnosticEngine& diags);
+                            DiagnosticEngine& diags,
+                            obs::TraceSession* trace = nullptr);
 
 }  // namespace hpfsc::passes

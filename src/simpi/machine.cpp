@@ -138,6 +138,8 @@ void Machine::run(const std::function<void(Pe&)>& fn) {
     for (int id = 0; id < p; ++id) {
       threads.emplace_back([this, id, &fn, &errors] {
         try {
+          hpfsc::obs::Span span(obs_session_, "pe-run", "runtime",
+                                hpfsc::obs::pe_track(id));
           fn(*pes_[static_cast<std::size_t>(id)]);
         } catch (...) {
           errors[static_cast<std::size_t>(id)] = std::current_exception();
@@ -250,6 +252,16 @@ void Machine::clear_stats() {
   for (auto& pe : pes_) {
     pe->stats_.clear();
     pe->arena_.reset_peak();
+  }
+}
+
+void Machine::set_obs_session(hpfsc::obs::TraceSession* session) {
+  obs_session_ = session;
+  if (!session || !session->enabled()) return;
+  session->set_track_name(hpfsc::obs::kHostTrack, "host");
+  for (int id = 0; id < num_pes(); ++id) {
+    session->set_track_name(hpfsc::obs::pe_track(id),
+                            "PE" + std::to_string(id));
   }
 }
 

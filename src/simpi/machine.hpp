@@ -16,6 +16,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "simpi/arena.hpp"
 #include "simpi/config.hpp"
 #include "simpi/dist_array.hpp"
@@ -138,6 +139,17 @@ class Machine {
   /// True after a run aborted; cleared at the start of each run.
   [[nodiscard]] bool aborted() const { return aborted_; }
 
+  /// -- Observability -------------------------------------------------
+  /// Attaches a tracing session: Machine::run emits a per-PE "pe-run"
+  /// span and the shift runtime emits one span per plan step (with
+  /// message/byte/modeled-cost attribution).  Also names the timeline
+  /// tracks on the session's sinks.  Pass nullptr to detach; the
+  /// session must outlive the machine (or be detached first).
+  void set_obs_session(hpfsc::obs::TraceSession* session);
+  [[nodiscard]] hpfsc::obs::TraceSession* obs_session() const {
+    return obs_session_;
+  }
+
   /// -- Data-movement tracing (paper Figures 5, 7-10) ------------------
   /// When enabled, shift operations record every region transfer.
   void enable_tracing(bool on = true) { tracing_ = on; }
@@ -172,6 +184,8 @@ class Machine {
   int barrier_waiting_ = 0;
   std::uint64_t barrier_generation_ = 0;
   std::atomic<bool> aborted_{false};
+
+  hpfsc::obs::TraceSession* obs_session_ = nullptr;
 
   // Tracing state (mutex-protected; PEs append concurrently).
   bool tracing_ = false;

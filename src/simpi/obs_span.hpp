@@ -1,0 +1,54 @@
+// Per-PE plan-step span: an obs::Span on the PE's timeline track that,
+// on close, attributes the statistics delta the step caused — messages,
+// bytes, intraprocessor copy bytes, kernel reference bytes, and the
+// modeled communication/copy nanoseconds.  Used by the shift runtime
+// (OVERLAP_SHIFT / CSHIFT) and the executor (COPY_OFFSET, KERNEL).
+// Inert (no allocation) when the machine has no enabled obs session.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/obs.hpp"
+#include "simpi/machine.hpp"
+
+namespace simpi {
+
+class StepSpan {
+ public:
+  /// `what` is the step kind ("OVERLAP_SHIFT", "KERNEL", ...); `array`
+  /// the operand array name, folded into the span name "what(array)".
+  StepSpan(Pe& pe, const char* what, std::string_view array)
+      : span_(pe.machine().obs_session(), what, "runtime",
+              hpfsc::obs::pe_track(pe.id())),
+        pe_(pe) {
+    if (!span_.active()) return;
+    span_.rename(std::string(what) + "(" + std::string(array) + ")");
+    before_ = pe.stats();
+  }
+
+  ~StepSpan() {
+    if (!span_.active()) return;
+    const PeStats d = pe_.stats().delta_since(before_);
+    span_.arg("messages", d.messages_sent);
+    span_.arg("bytes_sent", d.bytes_sent);
+    span_.arg("intra_copy_bytes", d.intra_copy_bytes);
+    span_.arg("kernel_ref_bytes", d.kernel_ref_bytes);
+    span_.arg("modeled_comm_ns", d.modeled_comm_ns);
+    span_.arg("modeled_copy_ns", d.modeled_copy_ns);
+  }
+
+  StepSpan(const StepSpan&) = delete;
+  StepSpan& operator=(const StepSpan&) = delete;
+
+  [[nodiscard]] bool active() const { return span_.active(); }
+  void arg(const char* key, double v) { span_.arg(key, v); }
+  void arg(const char* key, int v) { span_.arg(key, v); }
+
+ private:
+  hpfsc::obs::Span span_;
+  Pe& pe_;
+  PeStats before_;
+};
+
+}  // namespace simpi

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "simpi/obs_span.hpp"
+
 namespace simpi {
 
 std::vector<ShiftInterval> split_shift_intervals(int rlo, int rhi, int delta,
@@ -76,6 +78,11 @@ void overlap_shift(Pe& pe, int array_id, int shift, int dim,
   if (shift == 0) return;
   LocalGrid& g = pe.grid(array_id);
   const DistArrayDesc& desc = g.desc();
+  StepSpan span(pe, "OVERLAP_SHIFT", desc.name);
+  if (span.active()) {
+    span.arg("shift", shift);
+    span.arg("dim", dim + 1);
+  }
   check_halo_width(desc, dim, shift);
   for (int d = 0; d < desc.rank; ++d) {
     if (d == dim) continue;
@@ -154,6 +161,11 @@ void full_cshift(Pe& pe, int dst_id, int src_id, int shift, int dim,
   LocalGrid& dst = pe.grid(dst_id);
   LocalGrid& src = pe.grid(src_id);
   const DistArrayDesc& desc = src.desc();
+  StepSpan span(pe, "FULL_SHIFT", dst.desc().name);
+  if (span.active()) {
+    span.arg("shift", shift);
+    span.arg("dim", dim + 1);
+  }
   if (dst.desc().rank != desc.rank || dst.desc().extent != desc.extent ||
       dst.desc().dist != desc.dist) {
     throw std::logic_error("full_cshift: '" + dst.desc().name + "' and '" +
@@ -219,6 +231,7 @@ void full_cshift(Pe& pe, int dst_id, int src_id, int shift, int dim,
 void copy_array(Pe& pe, int dst_id, int src_id) {
   LocalGrid& dst = pe.grid(dst_id);
   LocalGrid& src = pe.grid(src_id);
+  StepSpan span(pe, "COPY_ARRAY", dst.desc().name);
   if (!dst.owns_anything()) return;
   pe.charge_intra_copy(dst.copy_shifted_from(src, dst.owned_region(), 0, 0));
 }

@@ -4,8 +4,27 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 namespace simpi {
+
+namespace detail {
+inline std::string stats_json(std::uint64_t messages_sent,
+                              std::uint64_t bytes_sent,
+                              std::uint64_t intra_copy_bytes,
+                              std::uint64_t kernel_ref_bytes,
+                              std::uint64_t modeled_comm_ns,
+                              std::uint64_t modeled_copy_ns,
+                              std::size_t peak_heap_bytes) {
+  return "{\"messages_sent\":" + std::to_string(messages_sent) +
+         ",\"bytes_sent\":" + std::to_string(bytes_sent) +
+         ",\"intra_copy_bytes\":" + std::to_string(intra_copy_bytes) +
+         ",\"kernel_ref_bytes\":" + std::to_string(kernel_ref_bytes) +
+         ",\"modeled_comm_ns\":" + std::to_string(modeled_comm_ns) +
+         ",\"modeled_copy_ns\":" + std::to_string(modeled_copy_ns) +
+         ",\"peak_heap_bytes\":" + std::to_string(peak_heap_bytes) + "}";
+}
+}  // namespace detail
 
 /// Counters maintained by one processing element.  All data movement in
 /// the runtime is attributed to exactly one of these counters, so the
@@ -22,6 +41,40 @@ struct PeStats {
   std::size_t peak_heap_bytes = 0;      ///< arena high-water mark
 
   void clear() { *this = PeStats{}; }
+
+  /// Merges another sample from the *same* PE (e.g. accumulating over
+  /// iterations/phases): counters sum, the heap high-water mark maxes.
+  PeStats& operator+=(const PeStats& o) {
+    messages_sent += o.messages_sent;
+    bytes_sent += o.bytes_sent;
+    intra_copy_bytes += o.intra_copy_bytes;
+    kernel_ref_bytes += o.kernel_ref_bytes;
+    modeled_comm_ns += o.modeled_comm_ns;
+    modeled_copy_ns += o.modeled_copy_ns;
+    peak_heap_bytes = std::max(peak_heap_bytes, o.peak_heap_bytes);
+    return *this;
+  }
+
+  /// Pointwise difference of two samples of the same monotone counters
+  /// (window attribution: `after - before`).  The heap field is the
+  /// later high-water mark.
+  [[nodiscard]] PeStats delta_since(const PeStats& before) const {
+    PeStats d;
+    d.messages_sent = messages_sent - before.messages_sent;
+    d.bytes_sent = bytes_sent - before.bytes_sent;
+    d.intra_copy_bytes = intra_copy_bytes - before.intra_copy_bytes;
+    d.kernel_ref_bytes = kernel_ref_bytes - before.kernel_ref_bytes;
+    d.modeled_comm_ns = modeled_comm_ns - before.modeled_comm_ns;
+    d.modeled_copy_ns = modeled_copy_ns - before.modeled_copy_ns;
+    d.peak_heap_bytes = peak_heap_bytes;
+    return d;
+  }
+
+  [[nodiscard]] std::string to_json() const {
+    return detail::stats_json(messages_sent, bytes_sent, intra_copy_bytes,
+                              kernel_ref_bytes, modeled_comm_ns,
+                              modeled_copy_ns, peak_heap_bytes);
+  }
 };
 
 /// Aggregate over all PEs.  Messages/bytes are summed; the modeled
@@ -44,6 +97,25 @@ struct MachineStats {
     modeled_comm_ns = std::max(modeled_comm_ns, pe.modeled_comm_ns);
     modeled_copy_ns = std::max(modeled_copy_ns, pe.modeled_copy_ns);
     peak_heap_bytes = std::max(peak_heap_bytes, pe.peak_heap_bytes);
+  }
+
+  /// Merges aggregates from consecutive (sequential) runs/phases:
+  /// counters and critical-path times sum, the heap high-water maxes.
+  MachineStats& operator+=(const MachineStats& o) {
+    messages_sent += o.messages_sent;
+    bytes_sent += o.bytes_sent;
+    intra_copy_bytes += o.intra_copy_bytes;
+    kernel_ref_bytes += o.kernel_ref_bytes;
+    modeled_comm_ns += o.modeled_comm_ns;
+    modeled_copy_ns += o.modeled_copy_ns;
+    peak_heap_bytes = std::max(peak_heap_bytes, o.peak_heap_bytes);
+    return *this;
+  }
+
+  [[nodiscard]] std::string to_json() const {
+    return detail::stats_json(messages_sent, bytes_sent, intra_copy_bytes,
+                              kernel_ref_bytes, modeled_comm_ns,
+                              modeled_copy_ns, peak_heap_bytes);
   }
 };
 

@@ -1,0 +1,447 @@
+// The observability core: span nesting, counter attribution, sink
+// output well-formedness (Chrome trace JSON parsed back with a real
+// parser), and the disabled-path zero-allocation guarantee.
+#include "obs/obs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <new>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/sinks.hpp"
+
+// ---- Global allocation counter (for the zero-allocation test) -------
+// Only the *difference* across a region is inspected; the tests using
+// it are single-threaded while the region runs.
+namespace {
+std::atomic<std::size_t> g_alloc_calls{0};
+}
+
+void* operator new(std::size_t size) {
+  g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace hpfsc::obs {
+namespace {
+
+// ---- Minimal JSON parser (the parse-back half of the contract) ------
+
+struct JValue {
+  enum Kind { Null, Bool, Num, Str, Arr, Obj } kind = Null;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<JValue> arr;
+  std::map<std::string, JValue> obj;
+
+  const JValue& at(const std::string& key) const {
+    auto it = obj.find(key);
+    if (it == obj.end()) throw std::runtime_error("missing key " + key);
+    return it->second;
+  }
+  bool has(const std::string& key) const { return obj.count(key) != 0; }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view s) : s_(s) {}
+
+  JValue parse() {
+    JValue v = value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) {
+    throw std::runtime_error("JSON error at " + std::to_string(pos_) + ": " +
+                             why);
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end");
+    return s_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+  bool accept(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  JValue value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_value();
+      case 't': literal("true"); return make_bool(true);
+      case 'f': literal("false"); return make_bool(false);
+      case 'n': literal("null"); return JValue{};
+      default: return number();
+    }
+  }
+  static JValue make_bool(bool b) {
+    JValue v;
+    v.kind = JValue::Bool;
+    v.b = b;
+    return v;
+  }
+  void literal(const char* lit) {
+    for (const char* p = lit; *p; ++p) {
+      if (pos_ >= s_.size() || s_[pos_] != *p) fail("bad literal");
+      ++pos_;
+    }
+  }
+  JValue object() {
+    expect('{');
+    JValue v;
+    v.kind = JValue::Obj;
+    skip_ws();
+    if (accept('}')) return v;
+    while (true) {
+      skip_ws();
+      JValue key = string_value();
+      skip_ws();
+      expect(':');
+      v.obj.emplace(key.str, value());
+      skip_ws();
+      if (accept('}')) return v;
+      expect(',');
+    }
+  }
+  JValue array() {
+    expect('[');
+    JValue v;
+    v.kind = JValue::Arr;
+    skip_ws();
+    if (accept(']')) return v;
+    while (true) {
+      v.arr.push_back(value());
+      skip_ws();
+      if (accept(']')) return v;
+      expect(',');
+    }
+  }
+  JValue string_value() {
+    expect('"');
+    JValue v;
+    v.kind = JValue::Str;
+    while (true) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      char c = s_[pos_++];
+      if (c == '"') return v;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) fail("bad escape");
+        char e = s_[pos_++];
+        switch (e) {
+          case '"': v.str += '"'; break;
+          case '\\': v.str += '\\'; break;
+          case '/': v.str += '/'; break;
+          case 'n': v.str += '\n'; break;
+          case 't': v.str += '\t'; break;
+          case 'r': v.str += '\r'; break;
+          case 'b': v.str += '\b'; break;
+          case 'f': v.str += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) fail("bad \\u escape");
+            unsigned code = static_cast<unsigned>(
+                std::strtoul(std::string(s_.substr(pos_, 4)).c_str(),
+                             nullptr, 16));
+            pos_ += 4;
+            // Test traces only contain ASCII escapes.
+            v.str += static_cast<char>(code);
+            break;
+          }
+          default: fail("unknown escape");
+        }
+      } else {
+        v.str += c;
+      }
+    }
+  }
+  JValue number() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected value");
+    JValue v;
+    v.kind = JValue::Num;
+    v.num = std::strtod(std::string(s_.substr(start, pos_ - start)).c_str(),
+                        nullptr);
+    return v;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------- core behavior --
+
+TEST(Span, NestingIsReflectedInTimestamps) {
+  TraceSession session;
+  auto sink = std::make_unique<CollectSink>();
+  CollectSink* collect = sink.get();
+  session.add_sink(std::move(sink));
+
+  {
+    Span outer(&session, "outer", "test");
+    {
+      Span inner(&session, "inner", "test");
+      inner.arg("depth", 2);
+    }
+    {
+      Span inner2(&session, "inner2", "test");
+    }
+  }
+
+  // Spans close inside-out.
+  ASSERT_EQ(collect->spans.size(), 3u);
+  const SpanRecord& inner = collect->spans[0];
+  const SpanRecord& inner2 = collect->spans[1];
+  const SpanRecord& outer = collect->spans[2];
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(inner2.name, "inner2");
+  EXPECT_EQ(outer.name, "outer");
+  // Containment: both inner intervals lie within the outer interval.
+  for (const SpanRecord* s : {&inner, &inner2}) {
+    EXPECT_GE(s->start_ns, outer.start_ns);
+    EXPECT_LE(s->start_ns + s->dur_ns, outer.start_ns + outer.dur_ns);
+  }
+  // Ordering: inner2 starts at/after inner ends.
+  EXPECT_GE(inner2.start_ns, inner.start_ns + inner.dur_ns);
+}
+
+TEST(Span, ArgsAndRename) {
+  TraceSession session;
+  auto sink = std::make_unique<CollectSink>();
+  CollectSink* collect = sink.get();
+  session.add_sink(std::move(sink));
+
+  {
+    Span span(&session, "raw", "test", pe_track(2));
+    span.rename("renamed(U)");
+    span.arg("count", 42);
+    span.arg("ns", std::uint64_t{1234567890123});
+    span.arg_str("array", "U");
+  }
+  ASSERT_EQ(collect->spans.size(), 1u);
+  const SpanRecord& rec = collect->spans[0];
+  EXPECT_EQ(rec.name, "renamed(U)");
+  EXPECT_EQ(rec.track, 3);  // pe_track(2)
+  ASSERT_EQ(rec.args.size(), 3u);
+  EXPECT_STREQ(rec.args[0].key, "count");
+  EXPECT_EQ(rec.args[0].num, 42.0);
+  EXPECT_EQ(rec.args[1].num, 1234567890123.0);
+  EXPECT_FALSE(rec.args[2].numeric);
+  EXPECT_EQ(rec.args[2].str, "U");
+}
+
+TEST(Counter, AttributionAndMonotonicTimestamps) {
+  TraceSession session;
+  auto sink = std::make_unique<CollectSink>();
+  CollectSink* collect = sink.get();
+  session.add_sink(std::move(sink));
+
+  session.counter("heap", 100.0);
+  session.counter("heap", 250.0, pe_track(1));
+  session.counter("messages", 3.0, pe_track(0));
+
+  ASSERT_EQ(collect->counters.size(), 3u);
+  EXPECT_EQ(collect->counters[0].name, "heap");
+  EXPECT_EQ(collect->counters[0].value, 100.0);
+  EXPECT_EQ(collect->counters[0].track, kHostTrack);
+  EXPECT_EQ(collect->counters[1].track, pe_track(1));
+  EXPECT_EQ(collect->counters[2].name, "messages");
+  EXPECT_LE(collect->counters[0].ts_ns, collect->counters[1].ts_ns);
+  EXPECT_LE(collect->counters[1].ts_ns, collect->counters[2].ts_ns);
+}
+
+TEST(Session, TrackNamesReachSinks) {
+  TraceSession session;
+  auto sink = std::make_unique<CollectSink>();
+  CollectSink* collect = sink.get();
+  session.add_sink(std::move(sink));
+  session.set_track_name(kHostTrack, "host");
+  session.set_track_name(pe_track(0), "PE0");
+  EXPECT_EQ(collect->track_names.at(0), "host");
+  EXPECT_EQ(collect->track_names.at(1), "PE0");
+}
+
+// ------------------------------------------------ disabled-path cost --
+
+TEST(Span, NullSessionIsInert) {
+  Span span(nullptr, "nothing");
+  EXPECT_FALSE(span.active());
+  span.arg("k", 1.0);
+  span.arg_str("s", "v");
+  span.rename("other");
+}
+
+TEST(Span, SessionWithoutSinksIsDisabled) {
+  TraceSession session;
+  EXPECT_FALSE(session.enabled());
+  Span span(&session, "nothing");
+  EXPECT_FALSE(span.active());
+}
+
+TEST(Span, DisabledPathPerformsZeroHeapAllocations) {
+  TraceSession session;  // no sinks -> disabled
+  const std::size_t before = g_alloc_calls.load();
+  for (int i = 0; i < 100; ++i) {
+    Span a(nullptr, "null-session", "cat", 7);
+    a.arg("bytes", 4096.0);
+    a.arg_str("array", "U");
+    Span b(&session, "disabled-session");
+    b.arg("messages", 2.0);
+    b.rename("never-used");
+    session.counter("never", 1.0);
+  }
+  EXPECT_EQ(g_alloc_calls.load(), before);
+}
+
+// ------------------------------------------------------ sink output --
+
+TEST(ChromeTraceSink, ProducesParseableTraceEventJson) {
+  std::ostringstream out;
+  {
+    TraceSession session;
+    session.add_sink(std::make_unique<ChromeTraceSink>(out));
+    session.set_track_name(pe_track(0), "PE0");
+    {
+      Span outer(&session, "compile", "compile");
+      Span inner(&session, "pass/normalize", "compile");
+      inner.arg("stmts_in", 9);
+      inner.arg_str("note", "quote\" and \\backslash");
+    }
+    session.counter("heap_bytes", 1024.0, pe_track(0));
+    session.clear_sinks();  // destroys the sink, closing the document
+  }
+
+  JValue doc = JsonParser(out.str()).parse();
+  ASSERT_EQ(doc.kind, JValue::Obj);
+  const JValue& events = doc.at("traceEvents");
+  ASSERT_EQ(events.kind, JValue::Arr);
+  ASSERT_EQ(events.arr.size(), 4u);  // M + 2 X + C
+
+  const JValue& meta = events.arr[0];
+  EXPECT_EQ(meta.at("ph").str, "M");
+  EXPECT_EQ(meta.at("name").str, "thread_name");
+  EXPECT_EQ(meta.at("args").at("name").str, "PE0");
+
+  // Spans close inside-out: pass/normalize first, then compile.
+  const JValue& pass = events.arr[1];
+  EXPECT_EQ(pass.at("ph").str, "X");
+  EXPECT_EQ(pass.at("name").str, "pass/normalize");
+  EXPECT_EQ(pass.at("cat").str, "compile");
+  EXPECT_EQ(pass.at("args").at("stmts_in").num, 9.0);
+  EXPECT_EQ(pass.at("args").at("note").str, "quote\" and \\backslash");
+  EXPECT_TRUE(pass.has("ts"));
+  EXPECT_TRUE(pass.has("dur"));
+
+  const JValue& compile = events.arr[2];
+  EXPECT_EQ(compile.at("name").str, "compile");
+  // Containment in microsecond timestamps.
+  EXPECT_LE(compile.at("ts").num, pass.at("ts").num);
+  EXPECT_GE(compile.at("ts").num + compile.at("dur").num,
+            pass.at("ts").num + pass.at("dur").num);
+
+  const JValue& counter = events.arr[3];
+  EXPECT_EQ(counter.at("ph").str, "C");
+  EXPECT_EQ(counter.at("args").at("value").num, 1024.0);
+  EXPECT_EQ(counter.at("tid").num, 1.0);
+}
+
+TEST(JsonlSink, EachLineIsASelfContainedObject) {
+  std::ostringstream out;
+  TraceSession session;
+  session.add_sink(std::make_unique<JsonlSink>(out));
+  {
+    Span span(&session, "KERNEL(T)", "runtime", pe_track(3));
+    span.arg("modeled_comm_ns", 429568.0);
+  }
+  session.counter("messages", 16.0);
+  session.flush();
+
+  std::istringstream lines(out.str());
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) {
+    ++count;
+    JValue v = JsonParser(line).parse();
+    ASSERT_EQ(v.kind, JValue::Obj);
+    EXPECT_TRUE(v.has("kind"));
+    EXPECT_TRUE(v.has("name"));
+  }
+  EXPECT_EQ(count, 2);
+
+  JValue span_line = JsonParser(out.str().substr(0, out.str().find('\n')))
+                         .parse();
+  EXPECT_EQ(span_line.at("kind").str, "span");
+  EXPECT_EQ(span_line.at("name").str, "KERNEL(T)");
+  EXPECT_EQ(span_line.at("track").num, 4.0);
+  EXPECT_EQ(span_line.at("args").at("modeled_comm_ns").num, 429568.0);
+}
+
+TEST(SummarySink, AggregatesCountsAndArgSums) {
+  TraceSession session;
+  auto sink = std::make_unique<SummarySink>();
+  SummarySink* summary = sink.get();
+  session.add_sink(std::move(sink));
+  for (int i = 0; i < 3; ++i) {
+    Span span(&session, "OVERLAP_SHIFT(U)", "runtime", pe_track(i));
+    span.arg("bytes_sent", 100.0);
+  }
+  {
+    Span span(&session, "KERNEL(T)", "runtime");
+  }
+  std::string table = summary->render();
+  EXPECT_NE(table.find("OVERLAP_SHIFT(U)"), std::string::npos) << table;
+  EXPECT_NE(table.find("x3"), std::string::npos) << table;
+  EXPECT_NE(table.find("KERNEL(T)"), std::string::npos);
+  EXPECT_NE(table.find("bytes_sent"), std::string::npos);
+  EXPECT_NE(table.find("300"), std::string::npos);
+}
+
+TEST(JsonHelpers, EscapeAndNumberFormatting) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+  EXPECT_EQ(json_number(42.0), "42");
+  EXPECT_EQ(json_number(-7.0), "-7");
+  EXPECT_EQ(json_number(0.5), "0.5");
+  // Non-integral magnitudes round-trip through the printed form.
+  EXPECT_EQ(std::strtod(json_number(1e300).c_str(), nullptr), 1e300);
+  EXPECT_EQ(std::strtod(json_number(3.14159).c_str(), nullptr), 3.14159);
+}
+
+}  // namespace
+}  // namespace hpfsc::obs

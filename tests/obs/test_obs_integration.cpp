@@ -1,0 +1,192 @@
+// End-to-end instrumentation contract (mirrors the PR's acceptance
+// criterion): compiling and running Problem 9 with a trace session
+// attached yields exactly one span per compiler pass carrying IR
+// deltas, and per-PE runtime spans whose summed modeled-communication
+// nanoseconds reproduce MachineStats::modeled_comm_ns.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "driver/hpfsc.hpp"
+#include "driver/paper_kernels.hpp"
+#include "obs/sinks.hpp"
+
+namespace hpfsc {
+namespace {
+
+const obs::Arg* find_arg(const obs::SpanRecord& rec, const std::string& key) {
+  for (const obs::Arg& a : rec.args) {
+    if (key == a.key) return &a;
+  }
+  return nullptr;
+}
+
+std::vector<const obs::SpanRecord*> spans_named(const obs::CollectSink& sink,
+                                                const std::string& name) {
+  std::vector<const obs::SpanRecord*> out;
+  for (const obs::SpanRecord& rec : sink.spans) {
+    if (rec.name == name) out.push_back(&rec);
+  }
+  return out;
+}
+
+struct Traced {
+  obs::TraceSession session;
+  obs::CollectSink* collect = nullptr;
+  CompiledProgram compiled;
+  Execution::RunStats stats;
+  std::unique_ptr<Execution> exec;
+};
+
+void compile_and_run_problem9(Traced& t, int level, int n, int iterations) {
+  auto sink = std::make_unique<obs::CollectSink>();
+  t.collect = sink.get();
+  t.session.add_sink(std::move(sink));
+
+  CompilerOptions options = CompilerOptions::level(level);
+  options.passes.offset.live_out = {"T"};
+  options.trace = &t.session;
+  t.compiled = Compiler().compile(kernels::kProblem9, options);
+
+  simpi::MachineConfig mc;  // 2x2 grid
+  mc.cost.latency_ns = 100'000;  // SP-2-like model, no emulation
+  mc.cost.ns_per_byte = 28.0;
+  mc.cost.memory_ns_per_byte = 2.0;
+  mc.cost.cache_ns_per_byte = 0.2;
+  t.exec = std::make_unique<Execution>(std::move(t.compiled.program), mc);
+  t.exec->set_trace(&t.session);
+  t.exec->prepare(Bindings{}.set("N", n));
+  t.exec->set_array("U", [](int i, int j, int) { return i * 0.25 + j * 0.5; });
+  t.stats = t.exec->run(iterations);
+}
+
+TEST(ObsIntegration, OneSpanPerCompilerPassWithIrDeltas) {
+  Traced t;
+  compile_and_run_problem9(t, /*level=*/4, /*n=*/32, /*iterations=*/1);
+  const obs::CollectSink& sink = *t.collect;
+
+  for (const char* pass :
+       {"pass/normalize", "pass/offset-arrays", "pass/context-partitioning",
+        "pass/communication-unioning", "pass/scalarization",
+        "pass/memory-optimization"}) {
+    auto spans = spans_named(sink, pass);
+    ASSERT_EQ(spans.size(), 1u) << pass;
+    const obs::SpanRecord& rec = *spans.front();
+    EXPECT_EQ(rec.category, "compile") << pass;
+    EXPECT_EQ(rec.track, obs::kHostTrack) << pass;
+    const obs::Arg* in = find_arg(rec, "stmts_in");
+    const obs::Arg* out = find_arg(rec, "stmts_out");
+    ASSERT_NE(in, nullptr) << pass;
+    ASSERT_NE(out, nullptr) << pass;
+    EXPECT_GT(in->num, 0.0) << pass;
+    EXPECT_GT(out->num, 0.0) << pass;
+  }
+
+  // Pass-specific IR deltas surface as span args.
+  {
+    const obs::SpanRecord& unioning =
+        *spans_named(sink, "pass/communication-unioning").front();
+    const obs::Arg* eliminated = find_arg(unioning, "shifts_eliminated");
+    ASSERT_NE(eliminated, nullptr);
+    EXPECT_EQ(eliminated->num,
+              static_cast<double>(t.compiled.pipeline.unioning.shifts_before -
+                                  t.compiled.pipeline.unioning.shifts_after));
+    EXPECT_GT(eliminated->num, 0.0);  // O4 unions Problem 9's shifts
+  }
+
+  // Frontend + codegen stages are timed, nested inside one "compile".
+  auto compile_spans = spans_named(sink, "compile");
+  ASSERT_EQ(compile_spans.size(), 1u);
+  for (const char* stage :
+       {"frontend/lex+parse", "frontend/lower", "codegen/lower-spmd"}) {
+    auto spans = spans_named(sink, stage);
+    ASSERT_EQ(spans.size(), 1u) << stage;
+    EXPECT_GE(spans.front()->start_ns, compile_spans.front()->start_ns);
+    EXPECT_LE(spans.front()->start_ns + spans.front()->dur_ns,
+              compile_spans.front()->start_ns + compile_spans.front()->dur_ns);
+  }
+}
+
+TEST(ObsIntegration, PerPeSpanCommSumsMatchMachineStats) {
+  Traced t;
+  compile_and_run_problem9(t, /*level=*/4, /*n=*/32, /*iterations=*/2);
+  const obs::CollectSink& sink = *t.collect;
+
+  // Sum the modeled-comm attribution of every runtime step span, per PE
+  // track.  MachineStats::modeled_comm_ns is the max over PEs (critical
+  // path), so the max of the per-track sums must reproduce it exactly.
+  std::map<int, std::uint64_t> comm_by_track;
+  std::map<int, std::uint64_t> bytes_by_track;
+  int runtime_steps = 0;
+  for (const obs::SpanRecord& rec : sink.spans) {
+    if (rec.track == obs::kHostTrack) continue;
+    const obs::Arg* comm = find_arg(rec, "modeled_comm_ns");
+    if (comm == nullptr) continue;  // e.g. the whole-PE "pe-run" span
+    ++runtime_steps;
+    comm_by_track[rec.track] += static_cast<std::uint64_t>(comm->num);
+    const obs::Arg* bytes = find_arg(rec, "bytes_sent");
+    ASSERT_NE(bytes, nullptr) << rec.name;
+    bytes_by_track[rec.track] += static_cast<std::uint64_t>(bytes->num);
+  }
+  ASSERT_EQ(comm_by_track.size(), 4u);  // one track per PE on the 2x2 grid
+  EXPECT_GT(runtime_steps, 0);
+
+  std::uint64_t max_comm = 0;
+  std::uint64_t total_bytes = 0;
+  for (const auto& [track, sum] : comm_by_track) max_comm = std::max(max_comm, sum);
+  for (const auto& [track, sum] : bytes_by_track) total_bytes += sum;
+  EXPECT_EQ(max_comm, t.stats.machine.modeled_comm_ns);
+  EXPECT_EQ(total_bytes, t.stats.machine.bytes_sent);
+
+  // O4 runs shifts: every PE track must carry at least one OVERLAP_SHIFT
+  // span and one KERNEL span.
+  for (const auto& [track, sum] : comm_by_track) {
+    bool has_shift = false;
+    bool has_kernel = false;
+    for (const obs::SpanRecord& rec : sink.spans) {
+      if (rec.track != track) continue;
+      if (rec.name.rfind("OVERLAP_SHIFT(", 0) == 0) has_shift = true;
+      if (rec.name.rfind("KERNEL(", 0) == 0) has_kernel = true;
+    }
+    EXPECT_TRUE(has_shift) << "track " << track;
+    EXPECT_TRUE(has_kernel) << "track " << track;
+  }
+
+  // The host-track "execute" span reports the machine totals.
+  auto exec_spans = spans_named(sink, "execute");
+  ASSERT_EQ(exec_spans.size(), 1u);
+  const obs::Arg* messages = find_arg(*exec_spans.front(), "messages");
+  ASSERT_NE(messages, nullptr);
+  EXPECT_EQ(messages->num,
+            static_cast<double>(t.stats.machine.messages_sent));
+
+  // Track names were registered for host + all PEs.
+  EXPECT_EQ(sink.track_names.at(obs::kHostTrack), "host");
+  EXPECT_EQ(sink.track_names.at(obs::pe_track(0)), "PE0");
+  EXPECT_EQ(sink.track_names.at(obs::pe_track(3)), "PE3");
+}
+
+TEST(ObsIntegration, UntracedRunStillWorksAndMatchesTraced) {
+  // Same program without any session: results identical, no spans
+  // required anywhere (the disabled path must not change semantics).
+  Traced traced;
+  compile_and_run_problem9(traced, 4, 16, 1);
+  auto traced_t = traced.exec->get_array("T");
+
+  CompilerOptions options = CompilerOptions::level(4);
+  options.passes.offset.live_out = {"T"};
+  CompiledProgram compiled = Compiler().compile(kernels::kProblem9, options);
+  Execution exec(std::move(compiled.program), simpi::MachineConfig{});
+  exec.prepare(Bindings{}.set("N", 16));
+  exec.set_array("U", [](int i, int j, int) { return i * 0.25 + j * 0.5; });
+  exec.run(1);
+  EXPECT_EQ(exec.get_array("T"), traced_t);
+}
+
+}  // namespace
+}  // namespace hpfsc

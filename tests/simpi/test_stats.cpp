@@ -1,0 +1,114 @@
+// PeStats / MachineStats arithmetic and JSON export.
+#include "simpi/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace simpi {
+namespace {
+
+PeStats sample_pe(std::uint64_t base, std::size_t heap) {
+  PeStats s;
+  s.messages_sent = base;
+  s.bytes_sent = base * 10;
+  s.intra_copy_bytes = base * 100;
+  s.kernel_ref_bytes = base * 1000;
+  s.modeled_comm_ns = base * 7;
+  s.modeled_copy_ns = base * 3;
+  s.peak_heap_bytes = heap;
+  return s;
+}
+
+TEST(PeStats, PlusEqualsSumsCountersAndMaxesHeap) {
+  PeStats a = sample_pe(2, 500);
+  PeStats b = sample_pe(3, 400);
+  a += b;
+  EXPECT_EQ(a.messages_sent, 5u);
+  EXPECT_EQ(a.bytes_sent, 50u);
+  EXPECT_EQ(a.intra_copy_bytes, 500u);
+  EXPECT_EQ(a.kernel_ref_bytes, 5000u);
+  EXPECT_EQ(a.modeled_comm_ns, 35u);
+  EXPECT_EQ(a.modeled_copy_ns, 15u);
+  EXPECT_EQ(a.peak_heap_bytes, 500u);  // max, not sum
+}
+
+TEST(PeStats, DeltaSinceIsPointwiseWithLaterHighWater) {
+  PeStats before = sample_pe(2, 300);
+  PeStats after = sample_pe(5, 800);
+  PeStats d = after.delta_since(before);
+  EXPECT_EQ(d.messages_sent, 3u);
+  EXPECT_EQ(d.bytes_sent, 30u);
+  EXPECT_EQ(d.intra_copy_bytes, 300u);
+  EXPECT_EQ(d.kernel_ref_bytes, 3000u);
+  EXPECT_EQ(d.modeled_comm_ns, 21u);
+  EXPECT_EQ(d.modeled_copy_ns, 9u);
+  EXPECT_EQ(d.peak_heap_bytes, 800u);  // the later high-water mark
+
+  // Identity: before + delta reproduces after's counters.
+  PeStats rebuilt = before;
+  rebuilt += d;
+  EXPECT_EQ(rebuilt.messages_sent, after.messages_sent);
+  EXPECT_EQ(rebuilt.modeled_comm_ns, after.modeled_comm_ns);
+
+  // A window with no activity is all-zero (heap aside).
+  PeStats empty = after.delta_since(after);
+  EXPECT_EQ(empty.messages_sent, 0u);
+  EXPECT_EQ(empty.bytes_sent, 0u);
+  EXPECT_EQ(empty.modeled_comm_ns, 0u);
+}
+
+TEST(PeStats, ClearResetsEverything) {
+  PeStats s = sample_pe(9, 1234);
+  s.clear();
+  EXPECT_EQ(s.messages_sent, 0u);
+  EXPECT_EQ(s.peak_heap_bytes, 0u);
+}
+
+TEST(MachineStats, AccumulateSumsTrafficAndMaxesModeledTimes) {
+  MachineStats m;
+  m.accumulate(sample_pe(2, 100));
+  m.accumulate(sample_pe(5, 50));
+  EXPECT_EQ(m.messages_sent, 7u);
+  EXPECT_EQ(m.bytes_sent, 70u);
+  // Critical path: max over PEs, not sum.
+  EXPECT_EQ(m.modeled_comm_ns, 35u);
+  EXPECT_EQ(m.modeled_copy_ns, 15u);
+  EXPECT_EQ(m.peak_heap_bytes, 100u);
+}
+
+TEST(MachineStats, PlusEqualsSumsAcrossSequentialRuns) {
+  MachineStats phase1;
+  phase1.accumulate(sample_pe(2, 100));
+  MachineStats phase2;
+  phase2.accumulate(sample_pe(3, 200));
+  MachineStats total = phase1;
+  total += phase2;
+  EXPECT_EQ(total.messages_sent, 5u);
+  // Sequential phases: critical-path times add (unlike across-PE max).
+  EXPECT_EQ(total.modeled_comm_ns, 35u);
+  EXPECT_EQ(total.modeled_copy_ns, 15u);
+  EXPECT_EQ(total.peak_heap_bytes, 200u);
+}
+
+TEST(Stats, ToJsonCarriesEveryCounter) {
+  PeStats s = sample_pe(4, 4096);
+  const std::string json = s.to_json();
+  EXPECT_EQ(json,
+            "{\"messages_sent\":4,\"bytes_sent\":40,"
+            "\"intra_copy_bytes\":400,\"kernel_ref_bytes\":4000,"
+            "\"modeled_comm_ns\":28,\"modeled_copy_ns\":12,"
+            "\"peak_heap_bytes\":4096}");
+
+  MachineStats m;
+  m.accumulate(s);
+  EXPECT_EQ(m.to_json(), json);  // single-PE aggregate is the PE sample
+
+  EXPECT_EQ(MachineStats{}.to_json(),
+            "{\"messages_sent\":0,\"bytes_sent\":0,\"intra_copy_bytes\":0,"
+            "\"kernel_ref_bytes\":0,\"modeled_comm_ns\":0,"
+            "\"modeled_copy_ns\":0,\"peak_heap_bytes\":0}");
+}
+
+}  // namespace
+}  // namespace simpi
