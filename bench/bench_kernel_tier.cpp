@@ -1,0 +1,75 @@
+// A/B benchmark for the two-tier kernel executor: the same compiled
+// program run with the per-element bytecode interpreter
+// (KernelTier::InterpreterOnly) versus the compiled weighted-sum
+// microkernels (KernelTier::Auto).
+//
+// Unlike the figure benchmarks this uses a *non-emulating* machine
+// (modeled costs are counted but not busy-waited), so wall time
+// measures the host's real compute speed — the quantity the compiled
+// tier improves.  Acceptance target: >= 2x on the fig17/fig18 kernels
+// at large subgrid sizes.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace hpfsc;
+using namespace hpfsc::bench;
+
+simpi::MachineConfig compute_machine() {
+  simpi::MachineConfig mc = sp2_machine();
+  mc.cost.emulate = false;  // measure host compute, not modeled waits
+  return mc;
+}
+
+const char* tier_name(int tier) {
+  return tier == 0 ? "interpreter" : "compiled";
+}
+
+void run_tier_bench(benchmark::State& state, const char* bench_name,
+                    const char* kernel) {
+  const int tier = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  Execution exec = make_execution(kernel, CompilerOptions::level(4),
+                                  compute_machine(), n);
+  exec.set_kernel_tier(tier == 0 ? KernelTier::InterpreterOnly
+                                 : KernelTier::Auto);
+  exec.run(1);  // warm-up
+  Execution::RunStats last;
+  for (auto _ : state) {
+    last = exec.run(1);
+  }
+  report_machine_counters(state, last.machine);
+  state.counters["compiled_elements"] =
+      static_cast<double>(last.tier.compiled_elements);
+  state.counters["interpreter_elements"] =
+      static_cast<double>(last.tier.interpreter_elements);
+  write_phase_metrics(bench_name, tier_name(tier), n, last);
+  state.SetLabel(tier_name(tier));
+}
+
+void BM_Problem9Tier(benchmark::State& state) {
+  run_tier_bench(state, "kernel_tier_problem9", kernels::kProblem9);
+}
+
+void BM_NinePointCShiftTier(benchmark::State& state) {
+  run_tier_bench(state, "kernel_tier_ninepoint_cshift",
+                 kernels::kNinePointCShift);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Problem9Tier)
+    ->ArgNames({"tier", "N"})
+    ->ArgsProduct({{0, 1}, {256, 512, 1024}})
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.3);
+
+BENCHMARK(BM_NinePointCShiftTier)
+    ->ArgNames({"tier", "N"})
+    ->ArgsProduct({{0, 1}, {256, 512, 1024}})
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.3);
+
+BENCHMARK_MAIN();

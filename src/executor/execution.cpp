@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 #include <stdexcept>
+#include <string_view>
 
 #include "simpi/obs_span.hpp"
 #include "simpi/shift_ops.hpp"
@@ -21,6 +23,12 @@ Execution::Execution(spmd::Program program, const simpi::MachineConfig& config)
   for (std::size_t i = 0; i < prog_.scalars.size(); ++i) {
     scalar_ids_.emplace(prog_.scalars[i].name, static_cast<int>(i));
   }
+  if (const char* tier = std::getenv("HPFSC_KERNEL_TIER")) {
+    const std::string_view v = tier;
+    if (v == "interpreter" || v == "interp") {
+      tier_ = KernelTier::InterpreterOnly;
+    }
+  }
   descs_.resize(prog_.arrays.size());
   compile_plans(prog_.ops);
 }
@@ -31,10 +39,16 @@ void Execution::compile_plans(const std::vector<spmd::Op>& ops) {
       case spmd::OpKind::LoopNest: {
         NestPlans plans;
         const int unroll_dim = op.loop_order[0];
+        const int inner_dim =
+            op.loop_order[static_cast<std::size_t>(op.rank - 1)];
         const int width = op.rank >= 2 ? op.unroll : 1;
         plans.main = exec::build_kernel_plan(op, width, unroll_dim);
+        plans.main_micro =
+            exec::classify_weighted_sum(plans.main, inner_dim, unroll_dim);
         if (width > 1) {
           plans.epilogue = exec::build_kernel_plan(op, 1, unroll_dim);
+          plans.epilogue_micro = exec::classify_weighted_sum(
+              *plans.epilogue, inner_dim, unroll_dim);
         }
         if (plans.main.max_stack > kMaxStack) {
           throw std::logic_error("kernel expression too deep");
@@ -186,6 +200,10 @@ std::vector<double> Execution::get_array(const std::string& name) {
 Execution::RunStats Execution::run(int iterations) {
   if (!prepared_) throw std::logic_error("Execution::prepare not called");
   machine_->clear_stats();
+  tally_->compiled_elements.store(0, std::memory_order_relaxed);
+  tally_->interpreter_elements.store(0, std::memory_order_relaxed);
+  tally_->compiled_plan_runs.store(0, std::memory_order_relaxed);
+  tally_->interpreter_plan_runs.store(0, std::memory_order_relaxed);
   obs::Span span(trace_, "execute", "runtime");
   span.arg("iterations", iterations);
   const auto start = std::chrono::steady_clock::now();
@@ -199,6 +217,14 @@ Execution::RunStats Execution::run(int iterations) {
   RunStats stats;
   stats.wall_seconds = std::chrono::duration<double>(end - start).count();
   stats.machine = machine_->stats();
+  stats.tier.compiled_elements =
+      tally_->compiled_elements.load(std::memory_order_relaxed);
+  stats.tier.interpreter_elements =
+      tally_->interpreter_elements.load(std::memory_order_relaxed);
+  stats.tier.compiled_plan_runs =
+      tally_->compiled_plan_runs.load(std::memory_order_relaxed);
+  stats.tier.interpreter_plan_runs =
+      tally_->interpreter_plan_runs.load(std::memory_order_relaxed);
   if (span.active()) {
     span.arg("messages", stats.machine.messages_sent);
     span.arg("bytes_sent", stats.machine.bytes_sent);
@@ -208,6 +234,19 @@ Execution::RunStats Execution::run(int iterations) {
     span.arg("modeled_copy_ns", stats.machine.modeled_copy_ns);
     span.arg("peak_heap_bytes",
              static_cast<double>(stats.machine.peak_heap_bytes));
+    span.arg("kernel.tier.compiled_elements", stats.tier.compiled_elements);
+    span.arg("kernel.tier.interpreter_elements",
+             stats.tier.interpreter_elements);
+  }
+  if (trace_ != nullptr && trace_->enabled()) {
+    trace_->counter("kernel.tier.compiled_elements",
+                    static_cast<double>(stats.tier.compiled_elements));
+    trace_->counter("kernel.tier.interpreter_elements",
+                    static_cast<double>(stats.tier.interpreter_elements));
+    trace_->counter("kernel.tier.compiled_plan_runs",
+                    static_cast<double>(stats.tier.compiled_plan_runs));
+    trace_->counter("kernel.tier.interpreter_plan_runs",
+                    static_cast<double>(stats.tier.interpreter_plan_runs));
   }
   return stats;
 }
@@ -251,6 +290,13 @@ void Execution::exec_ops(simpi::Pe& pe, const std::vector<spmd::Op>& ops,
         if (span.active()) {
           span.arg("statements", static_cast<int>(op.kernels.size()));
           span.arg("unroll", op.unroll);
+          const NestPlans& plans = plans_.at(&op);
+          const char* tier = "interpreter";
+          if (tier_ == KernelTier::Auto && plans.main_micro) {
+            tier = !plans.epilogue || plans.epilogue_micro ? "compiled"
+                                                          : "mixed";
+          }
+          span.arg_str("kernel.tier", tier);
         }
         exec_nest(pe, op, env);
         break;
@@ -297,8 +343,12 @@ void Execution::exec_nest(simpi::Pe& pe, const spmd::Op& op,
   const NestPlans& plans = plans_.at(&op);
   const int inner = op.loop_order[static_cast<std::size_t>(op.rank - 1)];
 
+  const exec::MicroKernel* main_micro =
+      plans.main_micro ? &*plans.main_micro : nullptr;
+
   if (op.rank == 1) {
-    run_plan(pe, op, plans.main, box_lo, box_hi, box_lo, inner, env);
+    run_plan(pe, op, plans.main, main_micro, box_lo, box_hi, box_lo, inner,
+             env);
     return;
   }
 
@@ -306,16 +356,20 @@ void Execution::exec_nest(simpi::Pe& pe, const spmd::Op& op,
   const int mid = op.rank == 3 ? op.loop_order[1] : -1;
   for (int o = box_lo[ud]; o <= box_hi[ud];) {
     const exec::KernelPlan* plan = &plans.main;
-    if (o + plan->width - 1 > box_hi[ud]) plan = &*plans.epilogue;
+    const exec::MicroKernel* micro = main_micro;
+    if (o + plan->width - 1 > box_hi[ud]) {
+      plan = &*plans.epilogue;
+      micro = plans.epilogue_micro ? &*plans.epilogue_micro : nullptr;
+    }
     std::array<int, ir::kMaxRank> idx{1, 1, 1};
     idx[ud] = o;
     if (op.rank == 3) {
       for (int m = box_lo[mid]; m <= box_hi[mid]; ++m) {
         idx[mid] = m;
-        run_plan(pe, op, *plan, box_lo, box_hi, idx, inner, env);
+        run_plan(pe, op, *plan, micro, box_lo, box_hi, idx, inner, env);
       }
     } else {
-      run_plan(pe, op, *plan, box_lo, box_hi, idx, inner, env);
+      run_plan(pe, op, *plan, micro, box_lo, box_hi, idx, inner, env);
     }
     o += plan->width;
   }
@@ -323,6 +377,7 @@ void Execution::exec_nest(simpi::Pe& pe, const spmd::Op& op,
 
 void Execution::run_plan(simpi::Pe& pe, const spmd::Op& op,
                          const exec::KernelPlan& plan,
+                         const exec::MicroKernel* micro,
                          const std::array<int, ir::kMaxRank>& box_lo,
                          const std::array<int, ir::kMaxRank>& box_hi,
                          std::array<int, ir::kMaxRank> idx, int inner_dim,
@@ -330,6 +385,17 @@ void Execution::run_plan(simpi::Pe& pe, const spmd::Op& op,
   (void)op;
   const int count = box_hi[inner_dim] - box_lo[inner_dim] + 1;
   idx[inner_dim] = box_lo[inner_dim];
+
+  const std::uint64_t elems = static_cast<std::uint64_t>(count) *
+                              static_cast<std::uint64_t>(plan.width);
+  if (micro != nullptr && tier_ == KernelTier::Auto) {
+    run_micro(pe, plan, *micro, idx, inner_dim, count, env);
+    tally_->compiled_elements.fetch_add(elems, std::memory_order_relaxed);
+    tally_->compiled_plan_runs.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  tally_->interpreter_elements.fetch_add(elems, std::memory_order_relaxed);
+  tally_->interpreter_plan_runs.fetch_add(1, std::memory_order_relaxed);
 
   thread_local std::vector<double*> load_ptrs;
   thread_local std::vector<std::ptrdiff_t> load_strides;
@@ -445,6 +511,59 @@ void Execution::run_plan(simpi::Pe& pe, const spmd::Op& op,
   }
   // Account the subgrid-loop memory traffic this plan performed (the
   // quantity the Section 3.4 memory optimizations reduce).
+  pe.charge_kernel_refs(static_cast<std::size_t>(count) *
+                        static_cast<std::size_t>(plan.mem_refs) *
+                        sizeof(double));
+}
+
+void Execution::run_micro(simpi::Pe& pe, const exec::KernelPlan& plan,
+                          const exec::MicroKernel& micro,
+                          const std::array<int, ir::kMaxRank>& idx,
+                          int inner_dim, int count,
+                          const std::vector<double>& env) {
+  thread_local std::vector<exec::ResolvedTerm> terms;
+  const double* scalars = env.data();
+
+  for (const exec::MicroStore& store : micro.stores) {
+    const spmd::Load& dslot =
+        plan.store_slots[static_cast<std::size_t>(store.store_slot)];
+    simpi::LocalGrid& dg = pe.grid(dslot.array);
+    std::array<int, ir::kMaxRank> dpos{idx[0] + dslot.offset[0],
+                                       idx[1] + dslot.offset[1],
+                                       idx[2] + dslot.offset[2]};
+    double* dst = dg.ptr_to(dpos);
+    const std::ptrdiff_t dstride = dg.stride(inner_dim);
+
+    terms.resize(store.terms.size());
+    for (std::size_t t = 0; t < store.terms.size(); ++t) {
+      const exec::MicroTerm& mt = store.terms[t];
+      exec::ResolvedTerm& rt = terms[t];
+      if (mt.load_slot >= 0) {
+        const spmd::Load& slot =
+            plan.load_slots[static_cast<std::size_t>(mt.load_slot)];
+        simpi::LocalGrid& g = pe.grid(slot.array);
+        std::array<int, ir::kMaxRank> pos{idx[0] + slot.offset[0],
+                                          idx[1] + slot.offset[1],
+                                          idx[2] + slot.offset[2]};
+        rt.ptr = g.ptr_to(pos);
+        rt.stride = g.stride(inner_dim);
+      } else {
+        rt.ptr = nullptr;
+        rt.stride = 0;
+      }
+      rt.has_coeff = !mt.coeff.empty();
+      rt.coeff = rt.has_coeff ? exec::eval_coeff(mt.coeff, scalars) : 0.0;
+      rt.coeff_on_left = mt.coeff_on_left;
+      rt.subtract = mt.subtract;
+    }
+
+    exec::run_weighted_sum(dst, dstride, terms.data(),
+                           static_cast<int>(terms.size()), count,
+                           micro.alias_free);
+  }
+
+  // Same accounting identity as the interpreter: both tiers charge the
+  // plan's per-element reference count, so MachineStats are tier-invariant.
   pe.charge_kernel_refs(static_cast<std::size_t>(count) *
                         static_cast<std::size_t>(plan.mem_refs) *
                         sizeof(double));

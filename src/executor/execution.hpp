@@ -4,6 +4,8 @@
 // statistics.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
@@ -14,11 +16,29 @@
 #include <vector>
 
 #include "codegen/spmd_program.hpp"
+#include "executor/kernels.hpp"
 #include "executor/plan.hpp"
 #include "obs/obs.hpp"
 #include "simpi/machine.hpp"
 
 namespace hpfsc {
+
+/// Kernel dispatch policy.  Auto runs every loop nest whose plan
+/// classified as a weighted-sum microkernel through the compiled tier
+/// and everything else through the bytecode interpreter;
+/// InterpreterOnly forces the interpreter for all nests (the semantics
+/// oracle — used by the equivalence tests and for A/B benchmarking).
+enum class KernelTier { Auto, InterpreterOnly };
+
+/// Per-run tally of which execution tier handled the loop nests.  Not
+/// part of MachineStats: both tiers produce identical machine
+/// statistics, the tally only describes how the work was dispatched.
+struct KernelTierStats {
+  std::uint64_t compiled_elements = 0;
+  std::uint64_t interpreter_elements = 0;
+  std::uint64_t compiled_plan_runs = 0;
+  std::uint64_t interpreter_plan_runs = 0;
+};
 
 /// Runtime values for program parameters (N, coefficients, ...).
 struct Bindings {
@@ -49,6 +69,7 @@ class Execution {
   struct RunStats {
     double wall_seconds = 0.0;
     simpi::MachineStats machine;
+    KernelTierStats tier;
   };
 
   /// Executes the whole op list `iterations` times (SPMD, one thread per
@@ -66,6 +87,11 @@ class Execution {
   }
   [[nodiscard]] obs::TraceSession* trace() const { return trace_; }
 
+  /// Selects the kernel dispatch policy (default Auto; also settable via
+  /// the HPFSC_KERNEL_TIER environment variable, value "interpreter").
+  void set_kernel_tier(KernelTier tier) { tier_ = tier; }
+  [[nodiscard]] KernelTier kernel_tier() const { return tier_; }
+
   [[nodiscard]] const spmd::Program& program() const { return prog_; }
   [[nodiscard]] simpi::Machine& machine() { return *machine_; }
 
@@ -76,6 +102,20 @@ class Execution {
   struct NestPlans {
     exec::KernelPlan main;
     std::optional<exec::KernelPlan> epilogue;  ///< width-1 remainder plan
+    /// Compiled forms, present when the plan classified as a
+    /// weighted-sum microkernel (tier selection happens per plan, so a
+    /// nest can run a compiled main plan with an interpreted epilogue).
+    std::optional<exec::MicroKernel> main_micro;
+    std::optional<exec::MicroKernel> epilogue_micro;
+  };
+
+  /// Thread-safe per-run tier tally (PE threads increment concurrently).
+  /// Held by pointer so Execution stays movable.
+  struct TierTally {
+    std::atomic<std::uint64_t> compiled_elements{0};
+    std::atomic<std::uint64_t> interpreter_elements{0};
+    std::atomic<std::uint64_t> compiled_plan_runs{0};
+    std::atomic<std::uint64_t> interpreter_plan_runs{0};
   };
 
   void compile_plans(const std::vector<spmd::Op>& ops);
@@ -93,14 +133,21 @@ class Execution {
                  std::vector<double>& env);
   void run_plan(simpi::Pe& pe, const spmd::Op& op,
                 const exec::KernelPlan& plan,
+                const exec::MicroKernel* micro,
                 const std::array<int, ir::kMaxRank>& box_lo,
                 const std::array<int, ir::kMaxRank>& box_hi,
                 std::array<int, ir::kMaxRank> idx, int inner_dim,
                 const std::vector<double>& env);
+  void run_micro(simpi::Pe& pe, const exec::KernelPlan& plan,
+                 const exec::MicroKernel& micro,
+                 const std::array<int, ir::kMaxRank>& idx, int inner_dim,
+                 int count, const std::vector<double>& env);
 
   spmd::Program prog_;
   std::unique_ptr<simpi::Machine> machine_;
   obs::TraceSession* trace_ = nullptr;
+  KernelTier tier_ = KernelTier::Auto;
+  std::unique_ptr<TierTally> tally_ = std::make_unique<TierTally>();
   std::vector<double> initial_env_;
   std::vector<std::optional<simpi::DistArrayDesc>> descs_;
   std::unordered_map<const spmd::Op*, NestPlans> plans_;

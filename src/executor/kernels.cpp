@@ -1,0 +1,399 @@
+#include "executor/kernels.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+
+namespace hpfsc::exec {
+
+namespace {
+
+constexpr int kMaxStoresPerPlan = 16;
+constexpr int kMaxTermsPerStore = 64;
+
+/// Symbolic value tracked during classification: either a pure scalar
+/// expression (no load references, represented by its RPN program) or an
+/// ordered, left-associated term list.
+struct SymValue {
+  bool pure = false;
+  std::vector<PlanInstr> code;   ///< valid when pure
+  std::vector<MicroTerm> terms;  ///< valid when !pure
+};
+
+bool is_scalar_op(PlanInstr::Op op) {
+  switch (op) {
+    case PlanInstr::Op::Add:
+    case PlanInstr::Op::Sub:
+    case PlanInstr::Op::Mul:
+    case PlanInstr::Op::Div:
+    case PlanInstr::Op::Neg:
+    case PlanInstr::Op::Lt:
+    case PlanInstr::Op::Le:
+    case PlanInstr::Op::Gt:
+    case PlanInstr::Op::Ge:
+    case PlanInstr::Op::Eq:
+    case PlanInstr::Op::Ne:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Converts a value into a single addend term, or fails: a pure scalar
+/// becomes a load-less term, a one-term list is passed through.  Lists
+/// of two or more terms would not be left-associated under the enclosing
+/// Add/Sub, so they are rejected (evaluation order must match the
+/// interpreter bitwise).
+bool as_single_term(SymValue&& v, MicroTerm& out) {
+  if (v.pure) {
+    out = MicroTerm{};
+    out.load_slot = -1;
+    out.coeff = std::move(v.code);
+    return true;
+  }
+  if (v.terms.size() == 1 && !v.terms.front().subtract) {
+    out = std::move(v.terms.front());
+    return true;
+  }
+  return false;
+}
+
+/// The left operand of an Add/Sub as the running accumulation list.
+std::vector<MicroTerm> as_term_list(SymValue&& v) {
+  if (!v.pure) return std::move(v.terms);
+  MicroTerm t;
+  t.load_slot = -1;
+  t.coeff = std::move(v.code);
+  return {std::move(t)};
+}
+
+bool is_unit_load(const SymValue& v) {
+  return !v.pure && v.terms.size() == 1 && !v.terms.front().subtract &&
+         v.terms.front().load_slot >= 0 && v.terms.front().coeff.empty();
+}
+
+/// Multi-store plans run store-major (one inner sweep per store), which
+/// reorders writes relative to the interpreter's element-major order.
+/// That is invisible exactly when (a) no load reads a stored array and
+/// (b) stores on the same array write provably disjoint locations: their
+/// offsets differ only along the unrolled (non-inner) dimension by less
+/// than the plan width, the shape unroll-and-jam produces.
+bool multi_store_safe(const KernelPlan& plan, const MicroKernel& k,
+                      int inner_dim, int unroll_dim) {
+  for (const MicroStore& s : k.stores) {
+    const spmd::Load& st = plan.store_slots[static_cast<std::size_t>(
+        s.store_slot)];
+    for (const spmd::Load& ld : plan.load_slots) {
+      if (ld.array == st.array) return false;
+    }
+  }
+  for (std::size_t a = 0; a < k.stores.size(); ++a) {
+    for (std::size_t b = a + 1; b < k.stores.size(); ++b) {
+      const spmd::Load& sa = plan.store_slots[static_cast<std::size_t>(
+          k.stores[a].store_slot)];
+      const spmd::Load& sb = plan.store_slots[static_cast<std::size_t>(
+          k.stores[b].store_slot)];
+      if (sa.array != sb.array) continue;
+      for (int d = 0; d < ir::kMaxRank; ++d) {
+        if (d != unroll_dim && sa.offset[d] != sb.offset[d]) return false;
+      }
+      const int delta = std::abs(sa.offset[unroll_dim] - sb.offset[unroll_dim]);
+      if (unroll_dim == inner_dim || delta == 0 || delta >= plan.width) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool loads_alias_stores(const KernelPlan& plan) {
+  for (const spmd::Load& st : plan.store_slots) {
+    for (const spmd::Load& ld : plan.load_slots) {
+      if (ld.array == st.array) return true;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------
+// Microkernel templates.  K is the term count; the stride-1 variants
+// index contiguous arrays (auto-vectorizable), the generic variant walks
+// per-term pointers.  All preserve the interpreter's per-element
+// left-to-right evaluation order.
+
+template <int K>
+void unit_sum_stride1(double* __restrict dst, const ResolvedTerm* terms,
+                      int count) {
+  std::array<const double*, static_cast<std::size_t>(K)> p;
+  for (int t = 0; t < K; ++t) p[static_cast<std::size_t>(t)] = terms[t].ptr;
+  for (int c = 0; c < count; ++c) {
+    double acc = p[0][c];
+    for (int t = 1; t < K; ++t) acc += p[static_cast<std::size_t>(t)][c];
+    dst[c] = acc;
+  }
+}
+
+template <int K>
+double term_value(const ResolvedTerm& t, const double* p, int c) {
+  if (!t.has_coeff) return p[c];
+  if (t.ptr == nullptr) return t.coeff;
+  return t.coeff_on_left ? t.coeff * p[c] : p[c] * t.coeff;
+}
+
+template <int K>
+void weighted_sum_stride1(double* __restrict dst, const ResolvedTerm* terms,
+                          int count) {
+  std::array<const double*, static_cast<std::size_t>(K)> p;
+  for (int t = 0; t < K; ++t) p[static_cast<std::size_t>(t)] = terms[t].ptr;
+  for (int c = 0; c < count; ++c) {
+    double acc = term_value<K>(terms[0], p[0], c);
+    for (int t = 1; t < K; ++t) {
+      const double v =
+          term_value<K>(terms[t], p[static_cast<std::size_t>(t)], c);
+      acc = terms[t].subtract ? acc - v : acc + v;
+    }
+    dst[c] = acc;
+  }
+}
+
+/// Generic strided / possibly aliasing path: still straight-line native
+/// code per element, but without the restrict promise.
+void weighted_sum_generic(double* dst, std::ptrdiff_t dst_stride,
+                          const ResolvedTerm* terms, int k, int count) {
+  std::array<const double*, kMaxTermsPerStore> p{};
+  for (int t = 0; t < k; ++t) p[static_cast<std::size_t>(t)] = terms[t].ptr;
+  for (int c = 0; c < count; ++c) {
+    const ResolvedTerm& t0 = terms[0];
+    double acc = !t0.has_coeff  ? *p[0]
+                 : t0.ptr == nullptr ? t0.coeff
+                 : t0.coeff_on_left  ? t0.coeff * *p[0]
+                                     : *p[0] * t0.coeff;
+    for (int t = 1; t < k; ++t) {
+      const ResolvedTerm& tt = terms[t];
+      const double* q = p[static_cast<std::size_t>(t)];
+      const double v = !tt.has_coeff  ? *q
+                       : tt.ptr == nullptr ? tt.coeff
+                       : tt.coeff_on_left  ? tt.coeff * *q
+                                           : *q * tt.coeff;
+      acc = tt.subtract ? acc - v : acc + v;
+    }
+    *dst = acc;
+    dst += dst_stride;
+    for (int t = 0; t < k; ++t) {
+      if (terms[t].ptr != nullptr) {
+        p[static_cast<std::size_t>(t)] += terms[t].stride;
+      }
+    }
+  }
+}
+
+using Stride1Fn = void (*)(double*, const ResolvedTerm*, int);
+
+constexpr int kMaxSpecializedK = 16;
+
+template <int... K>
+constexpr std::array<Stride1Fn, sizeof...(K) + 1> make_unit_table(
+    std::integer_sequence<int, K...>) {
+  return {nullptr, &unit_sum_stride1<K + 1>...};
+}
+
+template <int... K>
+constexpr std::array<Stride1Fn, sizeof...(K) + 1> make_weighted_table(
+    std::integer_sequence<int, K...>) {
+  return {nullptr, &weighted_sum_stride1<K + 1>...};
+}
+
+constexpr auto kUnitTable =
+    make_unit_table(std::make_integer_sequence<int, kMaxSpecializedK>{});
+constexpr auto kWeightedTable =
+    make_weighted_table(std::make_integer_sequence<int, kMaxSpecializedK>{});
+
+}  // namespace
+
+double eval_coeff(const std::vector<PlanInstr>& code,
+                  const double* scalar_env) {
+  double stack[kMaxTermsPerStore];
+  int sp = 0;
+  for (const PlanInstr& in : code) {
+    switch (in.op) {
+      case PlanInstr::Op::PushConst: stack[sp++] = in.value; break;
+      case PlanInstr::Op::PushScalar: stack[sp++] = scalar_env[in.idx]; break;
+      case PlanInstr::Op::Add: --sp; stack[sp - 1] += stack[sp]; break;
+      case PlanInstr::Op::Sub: --sp; stack[sp - 1] -= stack[sp]; break;
+      case PlanInstr::Op::Mul: --sp; stack[sp - 1] *= stack[sp]; break;
+      case PlanInstr::Op::Div: --sp; stack[sp - 1] /= stack[sp]; break;
+      case PlanInstr::Op::Neg: stack[sp - 1] = -stack[sp - 1]; break;
+      case PlanInstr::Op::Lt:
+        --sp; stack[sp - 1] = stack[sp - 1] < stack[sp] ? 1.0 : 0.0; break;
+      case PlanInstr::Op::Le:
+        --sp; stack[sp - 1] = stack[sp - 1] <= stack[sp] ? 1.0 : 0.0; break;
+      case PlanInstr::Op::Gt:
+        --sp; stack[sp - 1] = stack[sp - 1] > stack[sp] ? 1.0 : 0.0; break;
+      case PlanInstr::Op::Ge:
+        --sp; stack[sp - 1] = stack[sp - 1] >= stack[sp] ? 1.0 : 0.0; break;
+      case PlanInstr::Op::Eq:
+        --sp; stack[sp - 1] = stack[sp - 1] == stack[sp] ? 1.0 : 0.0; break;
+      case PlanInstr::Op::Ne:
+        --sp; stack[sp - 1] = stack[sp - 1] != stack[sp] ? 1.0 : 0.0; break;
+      default: return 0.0;  // unreachable for classified programs
+    }
+  }
+  return sp == 1 ? stack[0] : 0.0;
+}
+
+std::optional<MicroKernel> classify_weighted_sum(const KernelPlan& plan,
+                                                 int inner_dim,
+                                                 int unroll_dim) {
+  std::vector<SymValue> stack;
+  std::map<int, SymValue> regs;
+  MicroKernel out;
+
+  auto pop = [&]() -> SymValue {
+    SymValue v = std::move(stack.back());
+    stack.pop_back();
+    return v;
+  };
+
+  for (const PlanInstr& in : plan.instrs) {
+    switch (in.op) {
+      case PlanInstr::Op::PushConst:
+      case PlanInstr::Op::PushScalar: {
+        SymValue v;
+        v.pure = true;
+        v.code.push_back(in);
+        stack.push_back(std::move(v));
+        break;
+      }
+      case PlanInstr::Op::LoadPtr:
+      case PlanInstr::Op::LoadPtrCache: {
+        SymValue v;
+        MicroTerm t;
+        t.load_slot = in.idx;
+        v.terms.push_back(std::move(t));
+        if (in.op == PlanInstr::Op::LoadPtrCache) regs[in.reg] = v;
+        stack.push_back(std::move(v));
+        break;
+      }
+      case PlanInstr::Op::PushReg: {
+        auto it = regs.find(in.reg);
+        if (it == regs.end()) return std::nullopt;
+        stack.push_back(it->second);
+        break;
+      }
+      case PlanInstr::Op::PopReg: {
+        regs[in.reg] = pop();
+        break;
+      }
+      case PlanInstr::Op::PopStore: {
+        SymValue v = pop();
+        MicroStore store;
+        store.store_slot = in.idx;
+        store.terms = as_term_list(std::move(v));
+        if (store.terms.empty() ||
+            store.terms.size() > kMaxTermsPerStore ||
+            store.terms.front().subtract) {
+          return std::nullopt;
+        }
+        out.stores.push_back(std::move(store));
+        if (out.stores.size() > kMaxStoresPerPlan) return std::nullopt;
+        break;
+      }
+      case PlanInstr::Op::Add:
+      case PlanInstr::Op::Sub: {
+        SymValue b = pop();
+        SymValue a = pop();
+        if (a.pure && b.pure) {
+          a.code.insert(a.code.end(), b.code.begin(), b.code.end());
+          a.code.push_back(PlanInstr{in.op, 0, 0, 0.0});
+          stack.push_back(std::move(a));
+          break;
+        }
+        MicroTerm addend;
+        if (!as_single_term(std::move(b), addend)) return std::nullopt;
+        addend.subtract = in.op == PlanInstr::Op::Sub;
+        SymValue r;
+        r.terms = as_term_list(std::move(a));
+        if (r.terms.size() >= kMaxTermsPerStore) return std::nullopt;
+        r.terms.push_back(std::move(addend));
+        stack.push_back(std::move(r));
+        break;
+      }
+      case PlanInstr::Op::Mul: {
+        SymValue b = pop();
+        SymValue a = pop();
+        if (a.pure && b.pure) {
+          a.code.insert(a.code.end(), b.code.begin(), b.code.end());
+          a.code.push_back(PlanInstr{PlanInstr::Op::Mul, 0, 0, 0.0});
+          stack.push_back(std::move(a));
+          break;
+        }
+        SymValue r;
+        MicroTerm t;
+        if (a.pure && is_unit_load(b)) {
+          t = std::move(b.terms.front());
+          t.coeff = std::move(a.code);
+          t.coeff_on_left = true;
+        } else if (b.pure && is_unit_load(a)) {
+          t = std::move(a.terms.front());
+          t.coeff = std::move(b.code);
+          t.coeff_on_left = false;
+        } else {
+          return std::nullopt;
+        }
+        r.terms.push_back(std::move(t));
+        stack.push_back(std::move(r));
+        break;
+      }
+      case PlanInstr::Op::Div:
+      case PlanInstr::Op::Neg:
+      case PlanInstr::Op::Lt:
+      case PlanInstr::Op::Le:
+      case PlanInstr::Op::Gt:
+      case PlanInstr::Op::Ge:
+      case PlanInstr::Op::Eq:
+      case PlanInstr::Op::Ne: {
+        // Pure scalar operands fold into the coefficient program; any
+        // load operand is a shape the microkernels cannot reproduce.
+        const bool unary = in.op == PlanInstr::Op::Neg;
+        SymValue b;
+        if (!unary) b = pop();
+        SymValue a = pop();
+        if (!a.pure || (!unary && !b.pure)) return std::nullopt;
+        a.code.insert(a.code.end(), b.code.begin(), b.code.end());
+        a.code.push_back(PlanInstr{in.op, 0, 0, 0.0});
+        stack.push_back(std::move(a));
+        break;
+      }
+    }
+  }
+
+  if (!stack.empty() || out.stores.empty()) return std::nullopt;
+  if (out.stores.size() > 1 &&
+      !multi_store_safe(plan, out, inner_dim, unroll_dim)) {
+    return std::nullopt;
+  }
+  out.alias_free = !loads_alias_stores(plan);
+  return out;
+}
+
+void run_weighted_sum(double* dst, std::ptrdiff_t dst_stride,
+                      const ResolvedTerm* terms, int k, int count,
+                      bool alias_free) {
+  if (alias_free && dst_stride == 1 && k <= kMaxSpecializedK) {
+    bool stride1 = true;
+    bool unit = true;
+    for (int t = 0; t < k; ++t) {
+      if (terms[t].ptr == nullptr || terms[t].stride != 1) stride1 = false;
+      if (terms[t].has_coeff || terms[t].subtract) unit = false;
+    }
+    if (stride1) {
+      (unit ? kUnitTable : kWeightedTable)[static_cast<std::size_t>(k)](
+          dst, terms, count);
+      return;
+    }
+  }
+  weighted_sum_generic(dst, dst_stride, terms, k, count);
+}
+
+}  // namespace hpfsc::exec

@@ -1,0 +1,89 @@
+// Compiled stencil microkernels: the fast dispatch tier under the plan
+// IR (paper Sections 3.4 and 4; ROADMAP "as fast as the hardware
+// allows").
+//
+// At plan-compile time, `classify_weighted_sum` recognizes the dominant
+// plan shape every pass funnels stencils into — per store, a
+// left-associated weighted sum of K offset loads,
+//
+//     dst(i) = t1 (+|-) t2 (+|-) ... (+|-) tK,
+//     tk in { load_k, coeff_k * load_k, load_k * coeff_k, coeff_k }
+//
+// where each coeff_k is a pure scalar expression (constants and scalar
+// parameters only, loop-invariant).  Both the plain and the
+// scalar-replacement/unroll-and-jam plan forms normalize to it: register
+// forwarding flattens a chain of fused statements into one term list
+// without changing the interpreter's left-leaning evaluation order.
+//
+// Classified plans execute through native C++ microkernel templates
+// (specialized over K, with a stride-1 fast path) whose inner loops walk
+// raw pointers with the contiguous dimension innermost — no bytecode
+// dispatch per element.  Evaluation order, memory-access order, and the
+// kernel-reference accounting are identical to the interpreter, so
+// results are bitwise-equal and the interpreter remains the semantics
+// oracle (and the fallback for every other plan shape).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "executor/plan.hpp"
+
+namespace hpfsc::exec {
+
+/// One term of a weighted sum.  `coeff` is a pure-scalar RPN program
+/// (PushConst/PushScalar/arithmetic only); empty means unit coefficient.
+struct MicroTerm {
+  int load_slot = -1;            ///< plan load slot; -1 = pure-scalar term
+  std::vector<PlanInstr> coeff;  ///< loop-invariant coefficient program
+  bool coeff_on_left = true;     ///< coeff*load vs load*coeff
+  bool subtract = false;         ///< applied with `-` instead of `+`
+};
+
+/// One store of the microkernel: dst[store_slot] = sum(terms).
+struct MicroStore {
+  int store_slot = -1;
+  std::vector<MicroTerm> terms;
+};
+
+/// A classified plan: the stores in emission order.  `alias_free` is
+/// true when no load slot touches a stored array (enables the
+/// vectorizable restrict-qualified fast path).
+struct MicroKernel {
+  std::vector<MicroStore> stores;
+  bool alias_free = false;
+};
+
+/// Attempts to classify `plan` as a weighted-sum microkernel.  Returns
+/// nullopt for any shape the compiled tier cannot reproduce bitwise
+/// (negation, comparisons, non-scalar divisors, multi-store plans whose
+/// store-major execution could reorder aliased accesses).  `inner_dim`
+/// and `unroll_dim` are the nest's innermost / unrolled dimensions, used
+/// for the multi-store disjointness proof.
+[[nodiscard]] std::optional<MicroKernel> classify_weighted_sum(
+    const KernelPlan& plan, int inner_dim, int unroll_dim);
+
+/// Runtime form of one term after pointer/coefficient resolution.
+struct ResolvedTerm {
+  const double* ptr = nullptr;  ///< null for pure-scalar terms
+  std::ptrdiff_t stride = 0;
+  double coeff = 0.0;           ///< evaluated, loop-invariant
+  bool has_coeff = false;       ///< false = unit coefficient
+  bool coeff_on_left = true;
+  bool subtract = false;
+};
+
+/// Evaluates a pure-scalar RPN program against the scalar environment.
+[[nodiscard]] double eval_coeff(const std::vector<PlanInstr>& code,
+                                const double* scalar_env);
+
+/// Executes one store's weighted sum over `count` inner-loop elements.
+/// Dispatches to a microkernel template specialized over `k` (and a
+/// stride-1 / unit-coefficient fast path when `alias_free` holds and all
+/// strides are 1).  Pointers in `terms` are NOT advanced by the call.
+void run_weighted_sum(double* dst, std::ptrdiff_t dst_stride,
+                      const ResolvedTerm* terms, int k, int count,
+                      bool alias_free);
+
+}  // namespace hpfsc::exec

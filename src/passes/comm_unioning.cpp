@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <map>
+#include <vector>
 
 namespace hpfsc::passes {
 
@@ -19,24 +20,34 @@ struct Requirements {
   SourceLoc loc;
 };
 
-/// Group key: array + shift kind + boundary constant (EOSHIFT shifts
-/// with different boundary values must not merge).
+/// Group key: array + shift kind + boundary equivalence class (EOSHIFT
+/// shifts with different boundary expressions must not merge, or one
+/// fill value would silently overwrite the other).
 struct GroupKey {
   ir::ArrayId array;
   ir::ShiftKind kind;
-  double boundary;
+  int boundary_class;
 
   bool operator<(const GroupKey& o) const {
-    return std::tie(array, kind, boundary) <
-           std::tie(o.array, o.kind, o.boundary);
+    return std::tie(array, kind, boundary_class) <
+           std::tie(o.array, o.kind, o.boundary_class);
   }
 };
 
-double boundary_value(const ir::OverlapShiftStmt& s) {
-  if (s.boundary != nullptr && s.boundary->kind == ir::ExprKind::Constant) {
-    return s.boundary->value;
+/// Assigns boundary expressions to classes by structural equality, in
+/// first-appearance order within one communication group (keeps the
+/// emission order deterministic).  A missing boundary (CSHIFT) is its
+/// own class.
+int boundary_class(const ir::Expr* b, std::vector<const ir::Expr*>& reps) {
+  for (std::size_t k = 0; k < reps.size(); ++k) {
+    const ir::Expr* rep = reps[k];
+    if (b == nullptr ? rep == nullptr
+                     : rep != nullptr && b->equals(*rep)) {
+      return static_cast<int>(k);
+    }
   }
-  return 0.0;
+  reps.push_back(b);
+  return static_cast<int>(reps.size()) - 1;
 }
 
 void accumulate(Requirements& req, const ir::OverlapShiftStmt& s) {
@@ -111,12 +122,14 @@ CommUnioningStats comm_unioning(ir::Program& program,
         // Maximal run of overlap shifts = one communication group.
         std::size_t j = i;
         std::map<GroupKey, Requirements> groups;
+        std::vector<const ir::Expr*> boundary_reps;
         while (j < block.size() &&
                block[j]->kind == ir::StmtKind::OverlapShift) {
           const auto& s =
               static_cast<const ir::OverlapShiftStmt&>(*block[j]);
           ++stats.shifts_before;
-          GroupKey key{s.src.array, s.shift_kind, boundary_value(s)};
+          GroupKey key{s.src.array, s.shift_kind,
+                       boundary_class(s.boundary.get(), boundary_reps)};
           accumulate(groups[key], s);
           ++j;
         }

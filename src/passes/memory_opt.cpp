@@ -1,6 +1,48 @@
 #include "passes/memory_opt.hpp"
 
+#include <array>
+#include <set>
+#include <utility>
+
 namespace hpfsc::passes {
+
+namespace {
+
+using Location = std::pair<ir::ArrayId, std::array<int, ir::kMaxRank>>;
+
+/// True when scalar replacement can actually forward at least one value
+/// in this nest.  Mirrors the executor's register-forwarding rules
+/// (build_kernel_plan): walking the unroll copies in order, a load of an
+/// (array, absolute offset) location that was already loaded or stored
+/// is forwarded from a register, and a repeated store to the same
+/// location eliminates the earlier (dead) store.  Unroll-and-jam
+/// replication shifts every offset along the unrolled (outermost)
+/// dimension, so reuse between unroll copies counts too.
+bool nest_can_forward(const ir::LoopNestStmt& nest) {
+  const int width = nest.unroll_jam > 1 ? nest.unroll_jam : 1;
+  const int unroll_dim = nest.loop_order[0];
+  std::set<Location> seen;    // loaded or stored locations
+  std::set<Location> stored;  // stored locations
+  for (int u = 0; u < width; ++u) {
+    for (const ir::LoopNestStmt::BodyAssign& assign : nest.body) {
+      bool reuse = false;
+      ir::visit_exprs(*assign.rhs, [&](const ir::Expr& e) {
+        if (e.kind != ir::ExprKind::ArrayRefK) return;
+        auto off = e.ref.offset;
+        off[unroll_dim] += u;
+        if (!seen.insert({e.ref.array, off}).second) reuse = true;
+      });
+      if (reuse) return true;
+      auto off = assign.lhs.offset;
+      off[unroll_dim] += u;
+      if (!stored.insert({assign.lhs.array, off}).second) return true;
+      seen.insert({assign.lhs.array, off});
+    }
+  }
+  return false;
+}
+
+}  // namespace
 
 MemoryOptStats memory_opt(ir::Program& program, const MemoryOptOptions& opts,
                           DiagnosticEngine& diags) {
@@ -11,17 +53,23 @@ MemoryOptStats memory_opt(ir::Program& program, const MemoryOptOptions& opts,
     auto& nest = static_cast<ir::LoopNestStmt&>(s);
     if (opts.permute && nest.rank >= 2) {
       // Outermost-first order {rank-1, ..., 1, 0}: the contiguous
-      // dimension (0) iterates innermost.
+      // dimension (0) iterates innermost.  Only counted as an
+      // optimization when the order actually changes (re-running the
+      // pass must not inflate the statistics).
+      auto order = nest.loop_order;
       for (int n = 0; n < nest.rank; ++n) {
-        nest.loop_order[static_cast<std::size_t>(n)] = nest.rank - 1 - n;
+        order[static_cast<std::size_t>(n)] = nest.rank - 1 - n;
       }
-      ++stats.nests_permuted;
+      if (order != nest.loop_order) {
+        nest.loop_order = order;
+        ++stats.nests_permuted;
+      }
     }
     if (opts.unroll_jam && nest.rank >= 2 && opts.unroll_factor > 1) {
       nest.unroll_jam = opts.unroll_factor;
       ++stats.nests_unrolled;
     }
-    if (opts.scalar_replace) {
+    if (opts.scalar_replace && nest_can_forward(nest)) {
       nest.scalar_replaced = true;
       ++stats.nests_scalar_replaced;
     }

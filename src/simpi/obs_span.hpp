@@ -44,6 +44,7 @@ class StepSpan {
   [[nodiscard]] bool active() const { return span_.active(); }
   void arg(const char* key, double v) { span_.arg(key, v); }
   void arg(const char* key, int v) { span_.arg(key, v); }
+  void arg_str(const char* key, std::string_view v) { span_.arg_str(key, v); }
 
  private:
   hpfsc::obs::Span span_;

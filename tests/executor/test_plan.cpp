@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "executor/kernels.hpp"
+
 #include <algorithm>
 
 namespace hpfsc::exec {
@@ -139,6 +141,158 @@ TEST(KernelPlan, ForwardingRespectsProgramOrder) {
   // A is never loaded from memory: its value is forwarded from kernel 0.
   for (const spmd::Load& l : plan.load_slots) EXPECT_NE(l.array, 0);
   EXPECT_EQ(plan.store_slots.size(), 2u);
+}
+
+// -- Microkernel classification (compiled dispatch tier) ---------------
+// nine_point_nest uses loop_order {1,0,2}: dimension 0 is innermost,
+// dimension 1 is the unrolled outer dimension.
+
+TEST(MicroKernel, ClassifiesScalarReplacedNinePoint) {
+  spmd::Op nest = nine_point_nest(true, 1);
+  KernelPlan plan = build_kernel_plan(nest, 1, 1);
+  auto micro = classify_weighted_sum(plan, 0, 1);
+  ASSERT_TRUE(micro.has_value());
+  // Register forwarding flattens the 7 fused statements into one store
+  // of a 9-term unit-coefficient sum.
+  ASSERT_EQ(micro->stores.size(), 1u);
+  EXPECT_EQ(micro->stores[0].terms.size(), 9u);
+  for (const MicroTerm& t : micro->stores[0].terms) {
+    EXPECT_GE(t.load_slot, 0);
+    EXPECT_TRUE(t.coeff.empty());
+    EXPECT_FALSE(t.subtract);
+  }
+  // T is stored but never loaded (forwarded): no aliasing.
+  EXPECT_TRUE(micro->alias_free);
+}
+
+TEST(MicroKernel, ClassifiesUnrolledMultiStore) {
+  spmd::Op nest = nine_point_nest(true, 4);
+  KernelPlan plan = build_kernel_plan(nest, 4, 1);
+  auto micro = classify_weighted_sum(plan, 0, 1);
+  ASSERT_TRUE(micro.has_value());
+  // One store per unroll instance, provably disjoint along dimension 1.
+  ASSERT_EQ(micro->stores.size(), 4u);
+  for (const MicroStore& s : micro->stores) {
+    EXPECT_EQ(s.terms.size(), 9u);
+  }
+}
+
+TEST(MicroKernel, RejectsMultiStoreReadingStoredArray) {
+  // The naive (non-scalar-replaced) plan re-loads T between its seven
+  // stores of T: store-major execution would reorder those accesses, so
+  // the plan must fall back to the interpreter.
+  spmd::Op nest = nine_point_nest(false, 1);
+  KernelPlan plan = build_kernel_plan(nest, 1, 1);
+  EXPECT_FALSE(classify_weighted_sum(plan, 0, 1).has_value());
+}
+
+TEST(MicroKernel, SingleStoreInPlaceClassifiesWithoutAliasFreedom) {
+  // A = A + A<+1,0>: single store, loads alias the stored array.  The
+  // per-element order matches the interpreter, so it classifies, but
+  // without the restrict-qualified fast path.
+  spmd::Op op;
+  op.kind = spmd::OpKind::LoopNest;
+  op.rank = 2;
+  op.loads.push_back(spmd::Load{0, {0, 0, 0}});
+  op.loads.push_back(spmd::Load{0, {1, 0, 0}});
+  spmd::Kernel k;
+  k.lhs_array = 0;
+  k.code.push_back(Instr{Instr::Op::PushLoad, 0, 0.0});
+  k.code.push_back(Instr{Instr::Op::PushLoad, 1, 0.0});
+  k.code.push_back(Instr{Instr::Op::Add, 0, 0.0});
+  op.kernels.push_back(std::move(k));
+  KernelPlan plan = build_kernel_plan(op, 1, 1);
+  auto micro = classify_weighted_sum(plan, 0, 1);
+  ASSERT_TRUE(micro.has_value());
+  EXPECT_EQ(micro->stores.size(), 1u);
+  EXPECT_FALSE(micro->alias_free);
+}
+
+TEST(MicroKernel, CoefficientTermsCarryScalarPrograms) {
+  // B = 2.0 * A - A<+1,0> * C0: coefficient programs on both sides.
+  spmd::Op op;
+  op.kind = spmd::OpKind::LoopNest;
+  op.rank = 2;
+  op.loads.push_back(spmd::Load{0, {0, 0, 0}});
+  op.loads.push_back(spmd::Load{0, {1, 0, 0}});
+  spmd::Kernel k;
+  k.lhs_array = 1;
+  k.code.push_back(Instr{Instr::Op::PushConst, 0, 2.0});
+  k.code.push_back(Instr{Instr::Op::PushLoad, 0, 0.0});
+  k.code.push_back(Instr{Instr::Op::Mul, 0, 0.0});
+  k.code.push_back(Instr{Instr::Op::PushLoad, 1, 0.0});
+  k.code.push_back(Instr{Instr::Op::PushScalar, 3, 0.0});
+  k.code.push_back(Instr{Instr::Op::Mul, 0, 0.0});
+  k.code.push_back(Instr{Instr::Op::Sub, 0, 0.0});
+  op.kernels.push_back(std::move(k));
+  KernelPlan plan = build_kernel_plan(op, 1, 1);
+  auto micro = classify_weighted_sum(plan, 0, 1);
+  ASSERT_TRUE(micro.has_value());
+  ASSERT_EQ(micro->stores.size(), 1u);
+  const auto& terms = micro->stores[0].terms;
+  ASSERT_EQ(terms.size(), 2u);
+  EXPECT_TRUE(terms[0].coeff_on_left);
+  EXPECT_FALSE(terms[0].subtract);
+  EXPECT_FALSE(terms[1].coeff_on_left);
+  EXPECT_TRUE(terms[1].subtract);
+  double env[8] = {0, 0, 0, 5.0};
+  EXPECT_EQ(eval_coeff(terms[0].coeff, env), 2.0);
+  EXPECT_EQ(eval_coeff(terms[1].coeff, env), 5.0);
+}
+
+TEST(MicroKernel, RejectsShapesTheTemplatesCannotReproduce) {
+  auto one_kernel_plan = [](std::vector<Instr> code) {
+    spmd::Op op;
+    op.kind = spmd::OpKind::LoopNest;
+    op.rank = 2;
+    op.loads.push_back(spmd::Load{0, {0, 0, 0}});
+    op.loads.push_back(spmd::Load{0, {1, 0, 0}});
+    spmd::Kernel k;
+    k.lhs_array = 1;
+    k.code = std::move(code);
+    op.kernels.push_back(std::move(k));
+    return build_kernel_plan(op, 1, 1);
+  };
+  // Division by a load.
+  KernelPlan div = one_kernel_plan({Instr{Instr::Op::PushLoad, 0, 0.0},
+                                    Instr{Instr::Op::PushLoad, 1, 0.0},
+                                    Instr{Instr::Op::Div, 0, 0.0}});
+  EXPECT_FALSE(classify_weighted_sum(div, 0, 1).has_value());
+  // Negated load.
+  KernelPlan neg = one_kernel_plan({Instr{Instr::Op::PushLoad, 0, 0.0},
+                                    Instr{Instr::Op::Neg, 0, 0.0}});
+  EXPECT_FALSE(classify_weighted_sum(neg, 0, 1).has_value());
+  // Comparison against a load.
+  KernelPlan cmp = one_kernel_plan({Instr{Instr::Op::PushLoad, 0, 0.0},
+                                    Instr{Instr::Op::PushLoad, 1, 0.0},
+                                    Instr{Instr::Op::Lt, 0, 0.0}});
+  EXPECT_FALSE(classify_weighted_sum(cmp, 0, 1).has_value());
+  // Load * load (no pure-scalar side).
+  KernelPlan mul = one_kernel_plan({Instr{Instr::Op::PushLoad, 0, 0.0},
+                                    Instr{Instr::Op::PushLoad, 1, 0.0},
+                                    Instr{Instr::Op::Mul, 0, 0.0}});
+  EXPECT_FALSE(classify_weighted_sum(mul, 0, 1).has_value());
+}
+
+TEST(MicroKernel, RejectsRightLeaningSum) {
+  // a + (b + c): the right operand is a two-term list, so the shape is
+  // not the interpreter's left-leaning accumulation order.
+  spmd::Op op;
+  op.kind = spmd::OpKind::LoopNest;
+  op.rank = 2;
+  op.loads.push_back(spmd::Load{0, {0, 0, 0}});
+  op.loads.push_back(spmd::Load{0, {1, 0, 0}});
+  op.loads.push_back(spmd::Load{0, {-1, 0, 0}});
+  spmd::Kernel k;
+  k.lhs_array = 1;
+  k.code.push_back(Instr{Instr::Op::PushLoad, 0, 0.0});
+  k.code.push_back(Instr{Instr::Op::PushLoad, 1, 0.0});
+  k.code.push_back(Instr{Instr::Op::PushLoad, 2, 0.0});
+  k.code.push_back(Instr{Instr::Op::Add, 0, 0.0});
+  k.code.push_back(Instr{Instr::Op::Add, 0, 0.0});
+  op.kernels.push_back(std::move(k));
+  KernelPlan plan = build_kernel_plan(op, 1, 1);
+  EXPECT_FALSE(classify_weighted_sum(plan, 0, 1).has_value());
 }
 
 }  // namespace

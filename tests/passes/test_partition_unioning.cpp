@@ -174,5 +174,102 @@ TEST(CommUnioning, MixedKindsDoNotMerge) {
   EXPECT_EQ(stats.shifts_after, 2);
 }
 
+/// Builds a normal-form program whose body is a run of EOSHIFT overlap
+/// shifts on U(N,N) with the given (shift, boundary) pairs.  The
+/// frontend only produces constant-boundary overlap shifts, so the
+/// non-constant cases exercise the IR-level normal form (re-run passes,
+/// programmatically built programs).
+ir::Program eoshift_program(
+    std::vector<std::pair<int, ir::ExprPtr>> shifts) {
+  ir::Program p;
+  p.symbols.add_scalar(
+      ir::ScalarSymbol{"N", ir::ScalarType::Integer, true, {}});
+  p.symbols.add_scalar(
+      ir::ScalarSymbol{"ALPHA", ir::ScalarType::Real, true, {}});
+  ir::ArraySymbol a;
+  a.name = "U";
+  a.rank = 2;
+  a.extent[0] = ir::AffineBound{"N", 0};
+  a.extent[1] = ir::AffineBound{"N", 0};
+  ir::ArrayId u = p.symbols.add_array(a);
+  for (auto& [shift, boundary] : shifts) {
+    auto s = std::make_unique<ir::OverlapShiftStmt>();
+    s->src.array = u;
+    s->shift = shift;
+    s->dim = 0;
+    s->shift_kind = ir::ShiftKind::EndOff;
+    s->boundary = std::move(boundary);
+    p.body.push_back(std::move(s));
+  }
+  return p;
+}
+
+TEST(CommUnioning, DifferentEoShiftBoundariesDoNotMerge) {
+  // Regression: every non-constant boundary used to collapse to the
+  // class of constant 0.0, merging EOSHIFTs with different fill
+  // expressions into one group whose single representative boundary
+  // overwrote the other fill.  Boundaries must group by structural
+  // expression equality.
+  std::vector<std::pair<int, ir::ExprPtr>> shifts;
+  shifts.emplace_back(+1, ir::make_scalar_ref(1));  // BOUNDARY=ALPHA
+  shifts.emplace_back(-1, ir::make_const(0.0));     // BOUNDARY=0.0
+  ir::Program p = eoshift_program(std::move(shifts));
+  DiagnosticEngine diags;
+  CommUnioningStats stats = comm_unioning(p, diags);
+  EXPECT_EQ(stats.shifts_after, 2);
+  std::string text = body_text(p);
+  // Each emitted shift must keep its own boundary expression.
+  EXPECT_NE(text.find("SHIFT=+1, DIM=1, BOUNDARY=ALPHA"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("SHIFT=-1, DIM=1, BOUNDARY=0"), std::string::npos)
+      << text;
+}
+
+TEST(CommUnioning, StructurallyEqualBoundariesStillMerge) {
+  // Two EOSHIFTs in the same direction with the same (non-constant)
+  // boundary expression union into a single larger shift.
+  std::vector<std::pair<int, ir::ExprPtr>> shifts;
+  shifts.emplace_back(+1, ir::make_scalar_ref(1));
+  shifts.emplace_back(+2, ir::make_scalar_ref(1));
+  ir::Program p = eoshift_program(std::move(shifts));
+  DiagnosticEngine diags;
+  CommUnioningStats stats = comm_unioning(p, diags);
+  EXPECT_EQ(stats.shifts_after, 1);
+  EXPECT_NE(body_text(p).find("SHIFT=+2, DIM=1, BOUNDARY=ALPHA"),
+            std::string::npos)
+      << body_text(p);
+}
+
+TEST(CommUnioning, PassIsIdempotent) {
+  // Re-running the pass on its own output must change nothing: the
+  // unioned shifts (including RSD corner extensions) are a fixed point.
+  ir::Program p = prepare(kernels::kProblem9);
+  DiagnosticEngine diags;
+  context_partition(p, diags);
+  comm_unioning(p, diags);
+  std::string first = body_text(p);
+  CommUnioningStats again = comm_unioning(p, diags);
+  EXPECT_EQ(again.shifts_before, again.shifts_after);
+  EXPECT_EQ(body_text(p), first);
+}
+
+TEST(CommUnioning, DiagonalShiftsCarryCornersOnHigherDim) {
+  // Two opposite diagonal references: four messages total, with the
+  // dim-2 shifts carrying the corner RSDs for both diagonal directions.
+  ir::Program p = prepare(
+      "INTEGER N\nREAL U(N,N), T(N,N)\n"
+      "T = CSHIFT(CSHIFT(U,+1,1),+1,2) + CSHIFT(CSHIFT(U,-1,1),-1,2)\n");
+  DiagnosticEngine diags;
+  context_partition(p, diags);
+  CommUnioningStats stats = comm_unioning(p, diags);
+  EXPECT_EQ(stats.shifts_after, 4);
+  std::string text = body_text(p);
+  // Both dim-2 shifts must carry an RSD section (corner pickup).
+  auto neg2 = text.find("OVERLAP_CSHIFT(U, SHIFT=-1, DIM=2, [");
+  auto pos2 = text.find("OVERLAP_CSHIFT(U, SHIFT=+1, DIM=2, [");
+  EXPECT_NE(neg2, std::string::npos) << text;
+  EXPECT_NE(pos2, std::string::npos) << text;
+}
+
 }  // namespace
 }  // namespace hpfsc::passes

@@ -138,6 +138,51 @@ TEST(MemoryOpt, Rank1NestNotUnrolled) {
       4, &result, &opts);
   EXPECT_EQ(result.memory.nests_unrolled, 0);
   EXPECT_EQ(result.memory.nests_permuted, 0);
+  // No location is referenced twice in the nest, so scalar replacement
+  // has nothing to forward and must not report the nest as optimized.
+  EXPECT_EQ(result.memory.nests_scalar_replaced, 0);
+}
+
+TEST(MemoryOpt, ScalarReplaceCountsOnlyForwardingNests) {
+  // Distinct offsets at width 1, but unroll-and-jam replication makes
+  // the u=1 copy of A<-1> coincide with the u=0 copy of A<+1> along the
+  // unrolled dimension: forwarding applies, the nest counts.
+  PipelineResult result;
+  PassOptions opts = PassOptions::level(4);
+  opts.offset.live_out = {"B"};
+  compile_level(
+      "INTEGER N\nREAL A(N,N), B(N,N)\n"
+      "!HPF$ DISTRIBUTE A(BLOCK,BLOCK)\n"
+      "!HPF$ DISTRIBUTE B(BLOCK,BLOCK)\n"
+      "B = CSHIFT(A,-1,2) + CSHIFT(A,+1,2)\n",
+      4, &result, &opts);
+  EXPECT_EQ(result.memory.nests_unrolled, 1);
+  EXPECT_EQ(result.memory.nests_scalar_replaced, 1);
+
+  // The same stencil along the *inner* dimension has no reuse across
+  // unroll copies of the outer loop: nothing to forward.
+  PipelineResult no_reuse;
+  compile_level(
+      "INTEGER N\nREAL A(N,N), B(N,N)\n"
+      "!HPF$ DISTRIBUTE A(BLOCK,BLOCK)\n"
+      "!HPF$ DISTRIBUTE B(BLOCK,BLOCK)\n"
+      "B = CSHIFT(A,-1,1) + CSHIFT(A,+1,1)\n",
+      4, &no_reuse, &opts);
+  EXPECT_EQ(no_reuse.memory.nests_unrolled, 1);
+  EXPECT_EQ(no_reuse.memory.nests_scalar_replaced, 0);
+}
+
+TEST(MemoryOpt, PermuteCountedOnlyWhenOrderChanges) {
+  // Running memory_opt twice must not report the second (no-op)
+  // permutation: the loop order is already outermost-first.
+  PipelineResult result;
+  PassOptions opts = PassOptions::level(4);
+  opts.offset.live_out = {"T"};
+  ir::Program p = compile_level(kernels::kProblem9, 4, &result, &opts);
+  EXPECT_EQ(result.memory.nests_permuted, 1);
+  DiagnosticEngine diags;
+  MemoryOptStats again = memory_opt(p, opts.memory, diags);
+  EXPECT_EQ(again.nests_permuted, 0);
 }
 
 }  // namespace
