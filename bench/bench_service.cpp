@@ -1,0 +1,176 @@
+// Service-layer benchmarks: what compile-once/run-many buys.
+//
+//   BM_ServiceRequestCold — a fresh service per request: full compile
+//     (lex -> lower -> passes -> SPMD codegen), plan/prepare, one step.
+//   BM_ServiceRequestWarm — steady state: every request hits the plan
+//     cache and reuses the session's prepared Execution; only the step
+//     itself runs.  The ISSUE acceptance bar is warm >= 10x faster than
+//     cold at N=256.
+//   BM_ServiceThroughput — requests/second through one shared service
+//     at 1/4/8 client threads, all asking for the same plan (pure
+//     cache-hit contention on the single-flight path).
+//   BM_ServiceThroughputMixedKeys — same, but threads rotate over five
+//     distinct (kernel, level) keys, so the cache serves several
+//     resident plans concurrently.
+//
+// The machine does not emulate modeled costs (emulate=false): these
+// benchmarks measure the service layer itself — cache, single flight,
+// prepare reuse — not the simulated SP-2.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "bench_common.hpp"
+#include "service/service.hpp"
+
+namespace hpfsc::bench {
+namespace {
+
+simpi::MachineConfig service_machine() {
+  simpi::MachineConfig mc = sp2_machine();
+  mc.cost.emulate = false;  // measure the service, not the modeled SP-2
+  return mc;
+}
+
+service::ServiceRequest problem9_request(int n, int level = 4) {
+  service::ServiceRequest req;
+  req.source = kernels::kProblem9;
+  req.options = options_for(level);
+  req.options.passes.offset.live_out = {"T"};
+  req.bindings = Bindings{}.set("N", n).set("NSTEPS", 1);
+  req.steps = 1;
+  req.init = [](Execution& exec) {
+    if (exec.program().find_array("U") >= 0) {
+      exec.set_array("U",
+                     [](int i, int j, int) { return i * 0.25 + j * 0.5; });
+    }
+  };
+  return req;
+}
+
+void run_once(service::Session& session, const service::ServiceRequest& req) {
+  service::RunRequest run;
+  run.plan = session.compile(req.source, req.options);
+  run.bindings = req.bindings;
+  run.steps = req.steps;
+  run.init = req.init;
+  benchmark::DoNotOptimize(session.run(run));
+}
+
+/// Cold request: a brand-new service and session per iteration, so the
+/// compile pipeline, the plan cache insert, and Execution::prepare all
+/// run inside the timed region.
+void BM_ServiceRequestCold(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const service::ServiceRequest req = problem9_request(n);
+  for (auto _ : state) {
+    service::ServiceConfig cfg;
+    cfg.machine = service_machine();
+    service::StencilService svc(cfg);
+    service::Session session(svc);
+    run_once(session, req);
+  }
+  state.SetLabel("fresh service: compile + prepare + 1 step");
+}
+BENCHMARK(BM_ServiceRequestCold)->Arg(64)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+/// Warm request: the service and session persist, so every timed
+/// iteration is a cache hit against a prepared Execution.
+void BM_ServiceRequestWarm(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const service::ServiceRequest req = problem9_request(n);
+  service::ServiceConfig cfg;
+  cfg.machine = service_machine();
+  service::StencilService svc(cfg);
+  service::Session session(svc);
+  run_once(session, req);  // cold request outside the timed region
+  for (auto _ : state) {
+    run_once(session, req);
+  }
+  const service::CacheCounters c = svc.cache_counters();
+  state.counters["cache_hits"] = static_cast<double>(c.hits);
+  state.counters["cache_misses"] = static_cast<double>(c.misses);
+  state.SetLabel("steady state: cache hit + reused execution");
+}
+BENCHMARK(BM_ServiceRequestWarm)->Arg(64)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+/// Shared state for the threaded throughput benchmarks.  Benchmark
+/// re-enters the function once per thread; thread 0 sets up.
+struct SharedService {
+  std::unique_ptr<service::StencilService> svc;
+};
+SharedService g_shared;  // NOLINT: benchmark fixture state
+
+void BM_ServiceThroughput(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  if (state.thread_index() == 0) {
+    service::ServiceConfig cfg;
+    cfg.machine = service_machine();
+    g_shared.svc = std::make_unique<service::StencilService>(cfg);
+  }
+  const service::ServiceRequest req = problem9_request(n);
+  // Each client thread owns a Session (independent simpi::Machine);
+  // all sessions share the service's plan cache.  Constructed inside
+  // the loop: only the first iteration's barrier orders this thread
+  // after thread 0's setup above.
+  std::unique_ptr<service::Session> session;
+  for (auto _ : state) {
+    if (!session) {
+      session = std::make_unique<service::Session>(*g_shared.svc);
+    }
+    run_once(*session, req);
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    const service::CacheCounters c = g_shared.svc->cache_counters();
+    state.counters["cache_hits"] = static_cast<double>(c.hits);
+    state.counters["cache_misses"] = static_cast<double>(c.misses);
+    state.counters["coalesced"] = static_cast<double>(c.coalesced);
+    g_shared.svc.reset();
+  }
+}
+BENCHMARK(BM_ServiceThroughput)->Arg(256)
+    ->Threads(1)->Threads(4)->Threads(8)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+
+void BM_ServiceThroughputMixedKeys(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  if (state.thread_index() == 0) {
+    service::ServiceConfig cfg;
+    cfg.machine = service_machine();
+    g_shared.svc = std::make_unique<service::StencilService>(cfg);
+  }
+  // Five distinct cache keys: two kernels at mixed optimization levels.
+  const service::ServiceRequest variants[5] = {
+      problem9_request(n, 4), problem9_request(n, 2),
+      problem9_request(n, 0), problem9_request(n, 3),
+      problem9_request(n, 1)};
+  std::unique_ptr<service::Session> session;  // see BM_ServiceThroughput
+  std::size_t i = static_cast<std::size_t>(state.thread_index());
+  for (auto _ : state) {
+    if (!session) {
+      session = std::make_unique<service::Session>(*g_shared.svc);
+    }
+    run_once(*session, variants[i % 5]);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    const service::CacheCounters c = g_shared.svc->cache_counters();
+    state.counters["cache_hits"] = static_cast<double>(c.hits);
+    state.counters["cache_misses"] = static_cast<double>(c.misses);
+    state.counters["coalesced"] = static_cast<double>(c.coalesced);
+    g_shared.svc.reset();
+  }
+}
+BENCHMARK(BM_ServiceThroughputMixedKeys)->Arg(256)
+    ->Threads(1)->Threads(4)->Threads(8)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace hpfsc::bench
+
+BENCHMARK_MAIN();

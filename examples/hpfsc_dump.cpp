@@ -6,7 +6,8 @@
 //
 //   hpfsc_dump [-O0..-O4|--xlhpf] [--live-out A,B]
 //              [--trace-out=FILE] [--jsonl-out=FILE] [--obs-summary]
-//              [--run] [--n=N] [--iters=K] [--emulate]
+//              [--run] [--n=N] [--iters=K] [--steps=K] [--emulate]
+//              [--serve-batch=FILE] [--workers=K]
 //              (FILE | @problem9 | @ninept | @ninept-array | @fivept |
 //               @jacobi)
 //
@@ -16,6 +17,15 @@
 // The HPFSC_TRACE environment variable supplies a default path when
 // --trace-out is not given.  --obs-summary prints an aggregate table
 // to stderr.  Any of these imply --run.
+//
+// --steps=K issues K identical requests through the service layer:
+// request 0 compiles (cold), requests 1..K-1 hit the plan cache and
+// reuse the prepared execution — the warm-path speedup, measured from
+// the CLI.  --serve-batch=FILE serves a request file (one request per
+// line: INPUT LEVEL N STEPS, '#' comments) through a --workers=K pool
+// sharing one plan cache, and reports per-request latencies plus cache
+// hit/miss/coalesced counters.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -28,6 +38,7 @@
 #include "codegen/spmd_printer.hpp"
 #include "driver/hpfsc.hpp"
 #include "obs/sinks.hpp"
+#include "service/service.hpp"
 
 namespace {
 
@@ -45,11 +56,16 @@ void usage() {
   std::fprintf(stderr,
                "usage: hpfsc_dump [-O0..-O4|--xlhpf] [--live-out A,B] "
                "[--trace-out=FILE] [--jsonl-out=FILE] [--obs-summary] "
-               "[--run] [--n=N] [--iters=K] [--emulate] "
+               "[--run] [--n=N] [--iters=K] [--steps=K] [--emulate] "
+               "[--serve-batch=FILE] [--workers=K] "
                "(FILE | @problem9 | @ninept | @ninept-array | @fivept | "
                "@jacobi)\n"
                "  HPFSC_TRACE=<file> in the environment acts as a default "
-               "--trace-out.\n");
+               "--trace-out.\n"
+               "  --steps=K repeats the request K times through the plan "
+               "cache (cold vs. warm latency).\n"
+               "  --serve-batch=FILE serves 'INPUT LEVEL N STEPS' request "
+               "lines through a worker pool.\n");
 }
 
 /// Value of "--flag=X" or nullptr when `arg` is not that flag.
@@ -59,6 +75,150 @@ const char* flag_value(const std::string& arg, const char* flag) {
     return nullptr;
   }
   return arg.c_str() + n + 1;
+}
+
+/// Reads a built-in kernel name or a file into `out`.
+bool load_source(const std::string& input, std::string* out) {
+  if (const char* k = builtin(input)) {
+    *out = k;
+    return true;
+  }
+  std::ifstream file(input);
+  if (!file) return false;
+  std::stringstream buf;
+  buf << file.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+/// Parses "O0".."O4" / "-O0".."-O4" / "xlhpf" / "--xlhpf".
+bool parse_level(std::string word, hpfsc::CompilerOptions* out) {
+  while (!word.empty() && word.front() == '-') word.erase(word.begin());
+  if (word == "xlhpf") {
+    *out = hpfsc::CompilerOptions::xlhpf_like();
+    return true;
+  }
+  if (word.size() == 2 && word[0] == 'O' && word[1] >= '0' &&
+      word[1] <= '4') {
+    *out = hpfsc::CompilerOptions::level(word[1] - '0');
+    return true;
+  }
+  return false;
+}
+
+hpfsc::Bindings bindings_for(int n) {
+  // NSTEPS serves the @jacobi time loop; programs without it ignore
+  // the extra binding.
+  return hpfsc::Bindings{}.set("N", n).set("NSTEPS", 1);
+}
+
+void init_input_arrays(hpfsc::Execution& exec) {
+  if (exec.program().find_array("U") >= 0) {
+    exec.set_array("U",
+                   [](int i, int j, int) { return i * 0.25 + j * 0.5; });
+  }
+}
+
+/// --serve-batch: parse 'INPUT LEVEL N STEPS' request lines, serve them
+/// through a worker pool sharing one plan cache, report latencies and
+/// cache counters.
+int serve_batch(const std::string& path, int workers, int default_n,
+                const std::vector<std::string>& live_out,
+                const simpi::MachineConfig& mc,
+                hpfsc::obs::TraceSession* trace) {
+  using namespace hpfsc;
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "hpfsc_dump: cannot open batch file '%s'\n",
+                 path.c_str());
+    return 2;
+  }
+
+  struct Line {
+    std::string input;
+    std::string level;
+    int n;
+    int steps;
+  };
+  std::vector<Line> lines;
+  std::string text;
+  while (std::getline(file, text)) {
+    std::stringstream ss(text);
+    Line line{"", "O4", default_n, 1};
+    if (!(ss >> line.input) || line.input[0] == '#') continue;
+    ss >> line.level >> line.n >> line.steps;
+    lines.push_back(line);
+  }
+  if (lines.empty()) {
+    std::fprintf(stderr, "hpfsc_dump: batch file '%s' has no requests\n",
+                 path.c_str());
+    return 2;
+  }
+
+  service::ServiceConfig cfg;
+  cfg.machine = mc;
+  cfg.trace = trace;
+  service::StencilService svc(cfg);
+  service::ServicePool pool(svc, workers);
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::future<service::ServiceResponse>> futures;
+  for (const Line& line : lines) {
+    service::ServiceRequest req;
+    if (!load_source(line.input, &req.source)) {
+      std::fprintf(stderr, "hpfsc_dump: cannot open '%s'\n",
+                   line.input.c_str());
+      return 2;
+    }
+    if (!parse_level(line.level, &req.options)) {
+      std::fprintf(stderr, "hpfsc_dump: bad level '%s' in batch file\n",
+                   line.level.c_str());
+      return 2;
+    }
+    req.options.passes.offset.live_out = live_out;
+    req.bindings = bindings_for(line.n);
+    req.steps = line.steps;
+    req.init = init_input_arrays;
+    futures.push_back(pool.submit(std::move(req)));
+  }
+
+  std::printf("--- serve-batch (%zu requests, %d workers) ---\n",
+              lines.size(), pool.workers());
+  std::printf("%4s  %-16s %-6s %6s %6s  %-9s %10s\n", "#", "input", "level",
+              "n", "steps", "cache", "latency");
+  int failures = 0;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const Line& line = lines[i];
+    try {
+      service::ServiceResponse r = futures[i].get();
+      std::printf("%4zu  %-16s %-6s %6d %6d  %-9s %8.3f ms\n", i,
+                  line.input.c_str(), line.level.c_str(), line.n, line.steps,
+                  service::to_string(r.outcome), r.latency_seconds * 1e3);
+    } catch (const std::exception& e) {
+      ++failures;
+      std::printf("%4zu  %-16s %-6s %6d %6d  error: %s\n", i,
+                  line.input.c_str(), line.level.c_str(), line.n, line.steps,
+                  e.what());
+    }
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  pool.shutdown();
+
+  const service::CacheCounters c = svc.cache_counters();
+  std::printf("--- cache ---\n");
+  std::printf(
+      "hits: %llu, misses: %llu, coalesced: %llu, evictions: %llu, "
+      "resident: %zu\n",
+      static_cast<unsigned long long>(c.hits),
+      static_cast<unsigned long long>(c.misses),
+      static_cast<unsigned long long>(c.coalesced),
+      static_cast<unsigned long long>(c.evictions), svc.cache_size());
+  std::printf("wall: %.3f ms, throughput: %.1f requests/s\n", wall * 1e3,
+              static_cast<double>(futures.size()) / wall);
+  if (trace != nullptr) trace->flush();
+  return failures == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -75,6 +235,9 @@ int main(int argc, char** argv) {
   bool emulate = false;
   int n = 64;
   int iters = 1;
+  int steps = 1;
+  int workers = 4;
+  std::string serve_batch_path;
 
   for (int a = 1; a < argc; ++a) {
     std::string arg = argv[a];
@@ -100,6 +263,13 @@ int main(int argc, char** argv) {
       n = std::atoi(v);
     } else if ((v = flag_value(arg, "--iters"))) {
       iters = std::atoi(v);
+    } else if ((v = flag_value(arg, "--steps"))) {
+      steps = std::atoi(v);
+      run = true;
+    } else if ((v = flag_value(arg, "--serve-batch"))) {
+      serve_batch_path = v;
+    } else if ((v = flag_value(arg, "--workers"))) {
+      workers = std::atoi(v);
     } else if (arg == "--emulate") {
       emulate = true;
     } else if (arg == "-h" || arg == "--help") {
@@ -109,23 +279,15 @@ int main(int argc, char** argv) {
       input = arg;
     }
   }
-  if (input.empty()) {
+  if (input.empty() && serve_batch_path.empty()) {
     usage();
     return 2;
   }
 
   std::string source;
-  if (const char* k = builtin(input)) {
-    source = k;
-  } else {
-    std::ifstream file(input);
-    if (!file) {
-      std::fprintf(stderr, "hpfsc_dump: cannot open '%s'\n", input.c_str());
-      return 2;
-    }
-    std::stringstream buf;
-    buf << file.rdbuf();
-    source = buf.str();
+  if (!input.empty() && !load_source(input, &source)) {
+    std::fprintf(stderr, "hpfsc_dump: cannot open '%s'\n", input.c_str());
+    return 2;
   }
   options.passes.offset.live_out = live_out;
 
@@ -149,6 +311,19 @@ int main(int argc, char** argv) {
   }
   if (obs_summary) {
     session.add_sink(std::make_unique<obs::SummarySink>(std::cerr));
+  }
+  // SP-2-like cost model (see bench/bench_common.hpp) so modeled costs
+  // in the trace are meaningful; busy-wait only on request.
+  simpi::MachineConfig mc;
+  mc.cost.latency_ns = 100'000;
+  mc.cost.ns_per_byte = 28.0;
+  mc.cost.memory_ns_per_byte = 2.0;
+  mc.cost.cache_ns_per_byte = 0.2;
+  mc.cost.emulate = emulate;
+
+  if (!serve_batch_path.empty()) {
+    return serve_batch(serve_batch_path, workers, n, live_out, mc,
+                       session.enabled() ? &session : nullptr);
   }
   if (session.enabled()) {
     options.trace = &session;
@@ -175,19 +350,50 @@ int main(int argc, char** argv) {
                 compiled.pipeline.offset.arrays_eliminated,
                 compiled.pipeline.offset.copies_inserted);
 
-    if (run) {
-      simpi::MachineConfig mc;
+    if (run && steps > 1) {
+      // Repeat the request through the service layer: request 0 misses
+      // the plan cache and compiles (cold); requests 1..K-1 hit it and
+      // reuse the one prepared Execution (warm).
+      service::ServiceConfig cfg;
+      cfg.machine = mc;
+      cfg.trace = session.enabled() ? &session : nullptr;
+      service::StencilService svc(cfg);
+      service::Session client(svc);
+      std::vector<double> latencies;
+      for (int r = 0; r < steps; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        service::RunRequest req;
+        req.plan = client.compile(source, options);
+        req.bindings = bindings_for(n);
+        req.steps = iters;
+        req.init = init_input_arrays;
+        client.run(req);
+        latencies.push_back(
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count());
+      }
+      double warm = 0.0;
+      for (std::size_t r = 1; r < latencies.size(); ++r) warm += latencies[r];
+      warm /= static_cast<double>(latencies.size() - 1);
+      const service::CacheCounters c = svc.cache_counters();
+      std::printf("--- service (N=%d, %d request%s of %d iter%s) ---\n", n,
+                  steps, steps == 1 ? "" : "s", iters, iters == 1 ? "" : "s");
+      std::printf("cold (request 0):  %8.3f ms\n", latencies[0] * 1e3);
+      std::printf("warm (mean 1..%d): %8.3f ms\n", steps - 1, warm * 1e3);
+      std::printf("warm speedup: %.1fx\n", latencies[0] / warm);
+      std::printf("cache: %llu hit%s, %llu miss%s, %zu prepared execution%s\n",
+                  static_cast<unsigned long long>(c.hits),
+                  c.hits == 1 ? "" : "s",
+                  static_cast<unsigned long long>(c.misses),
+                  c.misses == 1 ? "" : "es", client.num_executions(),
+                  client.num_executions() == 1 ? "" : "s");
+      session.flush();
+    } else if (run) {
       if (compiled.processors) {
         mc.pe_rows = compiled.processors->first;
         mc.pe_cols = compiled.processors->second;
       }
-      // SP-2-like cost model (see bench/bench_common.hpp) so modeled
-      // costs in the trace are meaningful; busy-wait only on request.
-      mc.cost.latency_ns = 100'000;
-      mc.cost.ns_per_byte = 28.0;
-      mc.cost.memory_ns_per_byte = 2.0;
-      mc.cost.cache_ns_per_byte = 0.2;
-      mc.cost.emulate = emulate;
 
       Execution exec(std::move(compiled.program), mc);
       exec.set_trace(session.enabled() ? &session : nullptr);

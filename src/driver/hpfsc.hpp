@@ -7,6 +7,9 @@
 //                               distributed-memory machine
 //   hpfsc::Bindings           — runtime parameter values (N, C1, ...)
 //   simpi::MachineConfig      — PE grid shape, heap cap, message costs
+//   hpfsc::service::*         — compile-once/run-many serving layer
+//                               (plan cache, sessions, worker pool);
+//                               include "service/service.hpp"
 //
 // Quickstart:
 //   hpfsc::Compiler compiler;

@@ -1,0 +1,99 @@
+#include "service/cache_key.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "frontend/lower.hpp"
+#include "frontend/parser.hpp"
+#include "ir/printer.hpp"
+
+namespace hpfsc::service {
+
+std::uint64_t fnv1a(std::string_view data) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+namespace {
+
+void field(std::string& out, const char* name, double v) {
+  out += name;
+  out += '=';
+  out += std::to_string(v);
+  out += ';';
+}
+
+void field(std::string& out, const char* name, bool v) {
+  out += name;
+  out += v ? "=1;" : "=0;";
+}
+
+}  // namespace
+
+std::string fingerprint(const CompilerOptions& options) {
+  std::string out = "opts{";
+  const passes::PassOptions& p = options.passes;
+  field(out, "xlhpf", options.xlhpf_mode);
+  field(out, "offset_arrays", p.offset_arrays);
+  field(out, "context_partition", p.context_partition);
+  field(out, "comm_unioning", p.comm_unioning);
+  field(out, "memory_opt", p.memory_opt);
+  field(out, "reuse_temps", p.normalize.reuse_temps);
+  field(out, "max_halo", static_cast<double>(p.offset.max_halo));
+  field(out, "permute", p.memory.permute);
+  field(out, "unroll_jam", p.memory.unroll_jam);
+  field(out, "scalar_replace", p.memory.scalar_replace);
+  field(out, "unroll_factor", static_cast<double>(p.memory.unroll_factor));
+  // live_out is semantically a set: canonicalize order and duplicates.
+  std::vector<std::string> live = p.offset.live_out;
+  std::sort(live.begin(), live.end());
+  live.erase(std::unique(live.begin(), live.end()), live.end());
+  out += "live_out=";
+  for (const std::string& name : live) {
+    out += name;
+    out += ',';
+  }
+  out += ";}";
+  return out;
+}
+
+std::string fingerprint(const simpi::MachineConfig& machine) {
+  std::string out = "machine{";
+  field(out, "pe_rows", static_cast<double>(machine.pe_rows));
+  field(out, "pe_cols", static_cast<double>(machine.pe_cols));
+  field(out, "heap_cap", static_cast<double>(machine.per_pe_heap_bytes));
+  field(out, "latency_ns", static_cast<double>(machine.cost.latency_ns));
+  field(out, "ns_per_byte", machine.cost.ns_per_byte);
+  field(out, "memory_ns_per_byte", machine.cost.memory_ns_per_byte);
+  field(out, "cache_ns_per_byte", machine.cost.cache_ns_per_byte);
+  field(out, "emulate", machine.cost.emulate);
+  out += '}';
+  return out;
+}
+
+CacheKey make_cache_key(std::string_view source,
+                        const CompilerOptions& options,
+                        const simpi::MachineConfig& machine) {
+  DiagnosticEngine diags;
+  frontend::LowerResult lowered = frontend::lower_source(source, diags);
+  if (diags.has_errors()) throw CompileError(diags.render_all());
+
+  CacheKey key;
+  key.canonical = ir::Printer(lowered.program).print_program();
+  if (lowered.processors) {
+    key.canonical += "!HPF$ PROCESSORS(" +
+                     std::to_string(lowered.processors->first) + "," +
+                     std::to_string(lowered.processors->second) + ")\n";
+  }
+  key.canonical += '\n';
+  key.canonical += fingerprint(options);
+  key.canonical += fingerprint(machine);
+  key.hash = fnv1a(key.canonical);
+  return key;
+}
+
+}  // namespace hpfsc::service

@@ -1,0 +1,51 @@
+// Content-addressed cache keys for compiled plans.  A key canonicalizes
+// the *meaning* of a request, not its bytes: the source text is parsed
+// and lowered to IR and the pretty-printed IR (declarations +
+// directives + body) is hashed, so programs differing only in
+// whitespace, comments, or line continuations map to the same entry.
+// The compiler options and the machine configuration are folded in as
+// stable textual fingerprints — any field that changes generated code
+// or execution layout changes the key.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "driver/compiler.hpp"
+#include "simpi/config.hpp"
+
+namespace hpfsc::service {
+
+struct CacheKey {
+  /// Full canonical request text (IR printing + fingerprints).  Cache
+  /// lookups compare this string, so hash collisions cannot alias
+  /// distinct programs.
+  std::string canonical;
+  /// FNV-1a of `canonical`, for logging/span args.
+  std::uint64_t hash = 0;
+
+  bool operator==(const CacheKey& other) const {
+    return canonical == other.canonical;
+  }
+};
+
+/// 64-bit FNV-1a.
+[[nodiscard]] std::uint64_t fnv1a(std::string_view data);
+
+/// Stable textual fingerprint of every code-affecting compiler option.
+[[nodiscard]] std::string fingerprint(const CompilerOptions& options);
+
+/// Stable textual fingerprint of the machine shape and cost model.
+[[nodiscard]] std::string fingerprint(const simpi::MachineConfig& machine);
+
+/// Builds the key for (source, options, machine).  Runs the frontend
+/// (lex + parse + lower) to obtain the canonical IR printing; throws
+/// CompileError on frontend/semantic errors.  Deliberately does *not*
+/// run any optimization pass — key computation on the warm path must
+/// stay cheap and emit no pass spans.
+[[nodiscard]] CacheKey make_cache_key(std::string_view source,
+                                      const CompilerOptions& options,
+                                      const simpi::MachineConfig& machine);
+
+}  // namespace hpfsc::service

@@ -1,0 +1,129 @@
+#include "service/plan_cache.hpp"
+
+namespace hpfsc::service {
+
+const char* to_string(CacheOutcome outcome) {
+  switch (outcome) {
+    case CacheOutcome::Hit: return "hit";
+    case CacheOutcome::Miss: return "miss";
+    case CacheOutcome::Coalesced: return "coalesced";
+  }
+  return "?";
+}
+
+PlanCache::PlanCache(std::size_t capacity, obs::TraceSession* trace)
+    : capacity_(capacity == 0 ? 1 : capacity), trace_(trace) {}
+
+void PlanCache::emit_counter(const char* name,
+                             const std::atomic<std::uint64_t>& value) {
+  obs::TraceSession* trace = trace_;
+  if (trace != nullptr && trace->enabled()) {
+    trace->counter(
+        name, static_cast<double>(value.load(std::memory_order_relaxed)));
+  }
+}
+
+PlanHandle PlanCache::lookup(const CacheKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key.canonical);
+  return it == entries_.end() ? nullptr : it->second.plan;
+}
+
+void PlanCache::insert_locked(const CacheKey& key, PlanHandle plan) {
+  lru_.push_front(key.canonical);
+  entries_[key.canonical] = Entry{std::move(plan), lru_.begin()};
+  while (entries_.size() > capacity_) {
+    const std::string& victim = lru_.back();
+    entries_.erase(victim);
+    lru_.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    emit_counter("service.cache.evict", evictions_);
+  }
+}
+
+PlanHandle PlanCache::get_or_compile(const CacheKey& key,
+                                     const std::function<PlanHandle()>& make,
+                                     CacheOutcome* outcome) {
+  std::shared_ptr<Flight> flight;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key.canonical);
+    if (it != entries_.end()) {
+      // Touch: move to the front of the LRU list.
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      if (outcome != nullptr) *outcome = CacheOutcome::Hit;
+      emit_counter("service.cache.hit", hits_);
+      return it->second.plan;
+    }
+    auto fit = flights_.find(key.canonical);
+    if (fit != flights_.end()) {
+      flight = fit->second;
+      coalesced_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      flight = std::make_shared<Flight>();
+      flights_.emplace(key.canonical, flight);
+      leader = true;
+      misses_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  if (!leader) {
+    if (outcome != nullptr) *outcome = CacheOutcome::Coalesced;
+    emit_counter("service.singleflight.coalesced", coalesced_);
+    std::unique_lock<std::mutex> flock(flight->mutex);
+    flight->cv.wait(flock, [&] { return flight->done; });
+    if (flight->error) std::rethrow_exception(flight->error);
+    return flight->result;
+  }
+
+  if (outcome != nullptr) *outcome = CacheOutcome::Miss;
+  emit_counter("service.cache.miss", misses_);
+
+  PlanHandle plan;
+  std::exception_ptr error;
+  try {
+    plan = make();
+  } catch (...) {
+    error = std::current_exception();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!error) insert_locked(key, plan);
+    flights_.erase(key.canonical);
+  }
+  {
+    std::lock_guard<std::mutex> flock(flight->mutex);
+    flight->result = plan;
+    flight->error = error;
+    flight->done = true;
+  }
+  flight->cv.notify_all();
+
+  if (error) std::rethrow_exception(error);
+  return plan;
+}
+
+CacheCounters PlanCache::counters() const {
+  CacheCounters c;
+  c.hits = hits_.load(std::memory_order_relaxed);
+  c.misses = misses_.load(std::memory_order_relaxed);
+  c.evictions = evictions_.load(std::memory_order_relaxed);
+  c.coalesced = coalesced_.load(std::memory_order_relaxed);
+  return c;
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void PlanCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  lru_.clear();
+}
+
+}  // namespace hpfsc::service

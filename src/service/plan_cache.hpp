@@ -1,0 +1,133 @@
+// The content-addressed plan cache: canonical key -> shared compiled
+// plan, with LRU capacity eviction and single-flight compilation.
+//
+// Concurrency protocol (the "single flight"): the first thread to miss
+// on a key becomes that key's *leader* and runs the compile functor
+// outside the cache lock; every other thread that requests the same key
+// while the compile is in flight blocks on the flight's condition
+// variable and receives the leader's result (or its exception) — N
+// concurrent requests for one key cost exactly one compilation.
+// Distinct keys compile fully in parallel.
+//
+// Eviction only removes the cache's reference: plans are handed out as
+// shared_ptr, so executions running against an evicted plan stay valid.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "codegen/spmd_program.hpp"
+#include "obs/obs.hpp"
+#include "passes/pipeline.hpp"
+#include "service/cache_key.hpp"
+
+namespace hpfsc::service {
+
+/// An immutable compiled plan shared by every session/run that hits its
+/// key.  Holds everything Execution construction needs.
+struct CachedPlan {
+  CacheKey key;
+  spmd::Program program;
+  std::optional<std::pair<int, int>> processors;
+  passes::PipelineResult pipeline;
+  std::string diagnostics;
+};
+
+using PlanHandle = std::shared_ptr<const CachedPlan>;
+
+/// How a request was served.
+enum class CacheOutcome {
+  Hit,       ///< found in the cache
+  Miss,      ///< this request was the leader and compiled the plan
+  Coalesced  ///< joined another request's in-flight compilation
+};
+
+[[nodiscard]] const char* to_string(CacheOutcome outcome);
+
+/// Monotonic counters; `hits + misses + coalesced` equals the number of
+/// get_or_compile calls, and `misses` equals the number of times the
+/// compile functor ran (successful or not).
+struct CacheCounters {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t coalesced = 0;
+};
+
+class PlanCache {
+ public:
+  /// `capacity` is the maximum number of resident plans (>= 1; 0 is
+  /// clamped to 1).  The trace session (optional, not owned) receives
+  /// cumulative service.cache.{hit,miss,evict} and
+  /// service.singleflight.coalesced counter samples.
+  explicit PlanCache(std::size_t capacity,
+                     obs::TraceSession* trace = nullptr);
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Returns the plan for `key`, compiling it via `make` if absent.
+  /// Thread-safe; see the single-flight protocol above.  If `make`
+  /// throws, the exception propagates to the leader and every coalesced
+  /// waiter, and nothing is cached.  `outcome`, when non-null, reports
+  /// how this particular call was served.
+  PlanHandle get_or_compile(const CacheKey& key,
+                            const std::function<PlanHandle()>& make,
+                            CacheOutcome* outcome = nullptr);
+
+  /// Peeks without compiling or counting; nullptr on miss.
+  [[nodiscard]] PlanHandle lookup(const CacheKey& key);
+
+  [[nodiscard]] CacheCounters counters() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Drops every resident entry (in-flight compilations are unaffected
+  /// and will insert their results afterwards).  Does not reset
+  /// counters; evictions are not counted.
+  void clear();
+
+  void set_trace(obs::TraceSession* trace) { trace_ = trace; }
+
+ private:
+  struct Flight {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    PlanHandle result;
+    std::exception_ptr error;
+  };
+
+  struct Entry {
+    PlanHandle plan;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  void emit_counter(const char* name,
+                    const std::atomic<std::uint64_t>& value);
+  void insert_locked(const CacheKey& key, PlanHandle plan);
+
+  const std::size_t capacity_;
+  obs::TraceSession* trace_;
+
+  mutable std::mutex mutex_;
+  std::list<std::string> lru_;  ///< canonical keys, most recent first
+  std::unordered_map<std::string, Entry> entries_;
+  std::unordered_map<std::string, std::shared_ptr<Flight>> flights_;
+
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
+};
+
+}  // namespace hpfsc::service

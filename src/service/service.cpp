@@ -1,0 +1,205 @@
+#include "service/service.hpp"
+
+#include <chrono>
+
+namespace hpfsc::service {
+
+StencilService::StencilService(ServiceConfig config)
+    : config_(std::move(config)),
+      cache_(config_.cache_capacity, config_.trace) {}
+
+CacheKey StencilService::memoized_key(std::string_view source,
+                                      const CompilerOptions& options) {
+  std::string exact = fingerprint(options);
+  exact += '\x1f';
+  exact += fingerprint(config_.machine);
+  exact += '\x1f';
+  exact += source;
+  {
+    std::lock_guard<std::mutex> lock(memo_mutex_);
+    auto it = key_memo_.find(exact);
+    if (it != key_memo_.end()) return it->second;
+  }
+  CacheKey key = make_cache_key(source, options, config_.machine);
+  std::lock_guard<std::mutex> lock(memo_mutex_);
+  if (key_memo_.size() >= 4096) key_memo_.clear();  // crude bound; rare
+  key_memo_.emplace(std::move(exact), key);
+  return key;
+}
+
+PlanHandle StencilService::compile(std::string_view source,
+                                   const CompilerOptions& options,
+                                   CacheOutcome* outcome) {
+  obs::TraceSession* trace = config_.trace;
+  obs::Span span(trace, "service.compile", "service");
+  span.arg("source_bytes", static_cast<double>(source.size()));
+
+  CacheKey key = memoized_key(source, options);
+  span.arg("key_hash", key.hash);
+
+  CacheOutcome how = CacheOutcome::Miss;
+  PlanHandle plan = cache_.get_or_compile(
+      key,
+      [&]() -> PlanHandle {
+        CompilerOptions opts = options;
+        if (trace != nullptr) opts.trace = trace;
+        Compiler compiler;
+        CompiledProgram compiled = compiler.compile(source, opts);
+        auto cached = std::make_shared<CachedPlan>();
+        cached->key = key;
+        cached->program = std::move(compiled.program);
+        cached->processors = compiled.processors;
+        cached->pipeline = std::move(compiled.pipeline);
+        cached->diagnostics = std::move(compiled.diagnostics);
+        return cached;
+      },
+      &how);
+  if (outcome != nullptr) *outcome = how;
+  span.arg_str("cache", to_string(how));
+  return plan;
+}
+
+// ---- Session ---------------------------------------------------------
+
+namespace {
+
+std::string bindings_fingerprint(const Bindings& bindings) {
+  std::string out;
+  for (const auto& [name, value] : bindings.values) {
+    out += name;
+    out += '=';
+    out += std::to_string(value);
+    out += ';';
+  }
+  return out;
+}
+
+}  // namespace
+
+Session::Session(StencilService& service) : service_(&service) {}
+
+PlanHandle Session::compile(std::string_view source,
+                            const CompilerOptions& options,
+                            CacheOutcome* outcome) {
+  return service_->compile(source, options, outcome);
+}
+
+Session::ExecEntry& Session::entry_for(
+    const PlanHandle& plan, const Bindings& bindings,
+    const std::function<void(Execution&)>& init, bool* created) {
+  const std::pair<const CachedPlan*, std::string> key{
+      plan.get(), bindings_fingerprint(bindings)};
+  auto it = executions_.find(key);
+  if (created != nullptr) *created = it == executions_.end();
+  if (it == executions_.end()) {
+    simpi::MachineConfig mc = service_->config().machine;
+    if (plan->processors) {
+      mc.pe_rows = plan->processors->first;
+      mc.pe_cols = plan->processors->second;
+    }
+    ExecEntry entry;
+    entry.exec = std::make_unique<Execution>(plan->program, mc);
+    entry.exec->set_trace(service_->trace());
+    entry.exec->prepare(bindings);
+    if (init) init(*entry.exec);
+    it = executions_.emplace(key, std::move(entry)).first;
+  }
+  return it->second;
+}
+
+Execution::RunStats Session::run(const RunRequest& req) {
+  obs::Span span(service_->trace(), "service.run", "service");
+  span.arg("steps", req.steps);
+  span.arg("key_hash", req.plan->key.hash);
+  bool created = false;
+  ExecEntry& entry = entry_for(req.plan, req.bindings, req.init, &created);
+  span.arg("prepared", created ? 1 : 0);
+  return entry.exec->run(req.steps);
+}
+
+Execution& Session::execution(const PlanHandle& plan,
+                              const Bindings& bindings) {
+  return *entry_for(plan, bindings, nullptr, nullptr).exec;
+}
+
+// ---- ServicePool -----------------------------------------------------
+
+ServicePool::ServicePool(StencilService& service, int workers)
+    : service_(service) {
+  if (workers < 1) workers = 1;
+  threads_.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    threads_.emplace_back([this, w] { worker_main(w); });
+  }
+}
+
+ServicePool::~ServicePool() { shutdown(); }
+
+std::future<ServiceResponse> ServicePool::submit(ServiceRequest request) {
+  Item item;
+  item.request = std::move(request);
+  std::future<ServiceResponse> future = item.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      throw std::logic_error("ServicePool::submit after shutdown");
+    }
+    queue_.push_back(std::move(item));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ServicePool::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void ServicePool::worker_main(int index) {
+  Session session(service_);
+  for (;;) {
+    Item item;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      item = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    obs::Span span(service_.trace(), "service.request", "service");
+    span.arg("worker", index);
+    try {
+      const auto start = std::chrono::steady_clock::now();
+      ServiceResponse response;
+      response.worker = index;
+      PlanHandle plan = service_.compile(item.request.source,
+                                         item.request.options,
+                                         &response.outcome);
+      RunRequest run;
+      run.plan = std::move(plan);
+      run.bindings = item.request.bindings;
+      run.steps = item.request.steps;
+      run.init = item.request.init;
+      response.stats = session.run(run);
+      response.latency_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      span.arg_str("cache", to_string(response.outcome));
+      span.arg("latency_ms", response.latency_seconds * 1e3);
+      item.promise.set_value(std::move(response));
+    } catch (...) {
+      span.arg_str("cache", "error");
+      item.promise.set_exception(std::current_exception());
+    }
+  }
+}
+
+}  // namespace hpfsc::service

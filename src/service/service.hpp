@@ -1,0 +1,205 @@
+// The compile-once/run-many service layer: turns the one-shot
+// Compiler -> Execution driver into a server that amortizes compilation
+// across time steps, callers, and threads.
+//
+//   StencilService — owns the content-addressed PlanCache.  compile()
+//     canonicalizes the request into a CacheKey, serves it from cache,
+//     or runs the full pipeline exactly once per distinct key no matter
+//     how many threads ask concurrently (single flight).
+//   Session — one client's executor state.  run() reuses one prepared
+//     Execution (and its simpi::Machine) per (plan, bindings) across
+//     any number of run calls, so steady-state requests do no
+//     compilation, no planning, and no allocation.  A Session is NOT
+//     thread-safe; give each client thread its own (sessions share the
+//     service's cache, which is).
+//   ServicePool — a worker pool serving ServiceRequests concurrently,
+//     one Session (hence independent simpi::Machine instances) per
+//     worker.
+//
+// Observability: when the service holds a trace session, every request
+// emits a "service.compile" / "service.run" / "service.request" span
+// (category "service") tagged with the key hash and cache outcome, and
+// the cache emits cumulative service.cache.{hit,miss,evict} and
+// service.singleflight.coalesced counters.  On a cache hit no
+// compilation pass runs, so a hit emits *zero* "pass/..." spans — the
+// warm path's defining property, asserted in tests/service/.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "driver/compiler.hpp"
+#include "executor/execution.hpp"
+#include "obs/obs.hpp"
+#include "service/plan_cache.hpp"
+#include "simpi/config.hpp"
+
+namespace hpfsc::service {
+
+struct ServiceConfig {
+  /// Maximum resident compiled plans (LRU beyond this).
+  std::size_t cache_capacity = 32;
+  /// Default machine for sessions and cache keying.  A program's
+  /// !HPF$ PROCESSORS directive still overrides the PE grid at run
+  /// time (as in hpfsc_dump).
+  simpi::MachineConfig machine;
+  /// Observability session (not owned; may be null).  Must outlive the
+  /// service and every Session/ServicePool created from it.
+  obs::TraceSession* trace = nullptr;
+};
+
+class StencilService {
+ public:
+  explicit StencilService(ServiceConfig config);
+
+  StencilService(const StencilService&) = delete;
+  StencilService& operator=(const StencilService&) = delete;
+
+  /// Compile-or-fetch.  Thread-safe.  Throws CompileError exactly as
+  /// Compiler::compile does (every coalesced waiter of a failing
+  /// compile receives the same error; failures are not cached).
+  PlanHandle compile(std::string_view source,
+                     const CompilerOptions& options,
+                     CacheOutcome* outcome = nullptr);
+
+  [[nodiscard]] const ServiceConfig& config() const { return config_; }
+  [[nodiscard]] CacheCounters cache_counters() const {
+    return cache_.counters();
+  }
+  [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
+  [[nodiscard]] PlanCache& cache() { return cache_; }
+  [[nodiscard]] obs::TraceSession* trace() const { return config_.trace; }
+
+ private:
+  /// The memoized CacheKey for an exact (source bytes, options) repeat.
+  /// Canonicalizing a request (lex -> parse -> lower -> IR print) costs
+  /// more than a warm run does, so the steady-state path must not pay
+  /// it: byte-identical requests reuse the key and go straight to the
+  /// cache lookup.  Textually-different-but-IR-identical requests miss
+  /// the memo, canonicalize, and still land on the same cache entry, so
+  /// this is purely a fast path — hit/miss/eviction semantics are
+  /// unchanged.
+  CacheKey memoized_key(std::string_view source,
+                        const CompilerOptions& options);
+
+  ServiceConfig config_;
+  PlanCache cache_;
+  std::mutex memo_mutex_;
+  std::unordered_map<std::string, CacheKey> key_memo_;
+};
+
+/// One run request against a compiled plan.
+struct RunRequest {
+  PlanHandle plan;
+  Bindings bindings;
+  /// Time steps: Execution::run(steps) iterations of the op list.
+  int steps = 1;
+  /// Called once, when the (plan, bindings) Execution is first
+  /// prepared — the place to set input arrays.  Subsequent runs reuse
+  /// the machine state (time-stepping semantics).
+  std::function<void(Execution&)> init;
+};
+
+class Session {
+ public:
+  explicit Session(StencilService& service);
+
+  Session(Session&&) = default;
+
+  /// Forwards to the service (shared cache, single flight).
+  PlanHandle compile(std::string_view source, const CompilerOptions& options,
+                     CacheOutcome* outcome = nullptr);
+
+  /// Runs `req.steps` iterations, creating and preparing the Execution
+  /// for (plan, bindings) on first use and reusing it afterwards.
+  Execution::RunStats run(const RunRequest& req);
+
+  /// The prepared Execution for (plan, bindings) — creates it (and
+  /// calls no init) if absent.  For result inspection in tests/tools.
+  Execution& execution(const PlanHandle& plan, const Bindings& bindings);
+
+  /// Number of live prepared executions held by this session.
+  [[nodiscard]] std::size_t num_executions() const {
+    return executions_.size();
+  }
+
+ private:
+  struct ExecEntry {
+    std::unique_ptr<Execution> exec;
+  };
+
+  ExecEntry& entry_for(const PlanHandle& plan, const Bindings& bindings,
+                       const std::function<void(Execution&)>& init,
+                       bool* created);
+
+  StencilService* service_;
+  std::map<std::pair<const CachedPlan*, std::string>, ExecEntry> executions_;
+};
+
+/// A compile+run request submitted to the pool.
+struct ServiceRequest {
+  std::string source;
+  CompilerOptions options;
+  Bindings bindings;
+  int steps = 1;
+  std::function<void(Execution&)> init;
+};
+
+struct ServiceResponse {
+  Execution::RunStats stats;
+  CacheOutcome outcome = CacheOutcome::Miss;
+  /// Wall-clock request latency (compile-or-fetch + run), seconds.
+  double latency_seconds = 0.0;
+  int worker = -1;
+};
+
+/// Fixed worker pool.  Each worker owns a Session, so concurrent
+/// requests execute on independent simpi::Machine instances while
+/// sharing the service's plan cache.  Errors propagate through the
+/// returned future.
+class ServicePool {
+ public:
+  ServicePool(StencilService& service, int workers);
+  ~ServicePool();
+
+  ServicePool(const ServicePool&) = delete;
+  ServicePool& operator=(const ServicePool&) = delete;
+
+  std::future<ServiceResponse> submit(ServiceRequest request);
+
+  /// Stops accepting work, drains the queue, joins the workers.
+  /// Called by the destructor.
+  void shutdown();
+
+  [[nodiscard]] int workers() const {
+    return static_cast<int>(threads_.size());
+  }
+
+ private:
+  struct Item {
+    ServiceRequest request;
+    std::promise<ServiceResponse> promise;
+  };
+
+  void worker_main(int index);
+
+  StencilService& service_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Item> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace hpfsc::service

@@ -115,7 +115,53 @@ Machine::Machine(const MachineConfig& config)
   channels_ = std::vector<Channel>(static_cast<std::size_t>(p * p));
 }
 
-Machine::~Machine() = default;
+Machine::~Machine() {
+  {
+    std::lock_guard lock(pool_mutex_);
+    pool_stopping_ = true;
+  }
+  pool_cv_.notify_all();
+  // workers_ are jthreads: joined on destruction.
+}
+
+void Machine::ensure_workers() {
+  if (!workers_.empty()) return;
+  const int p = num_pes();
+  workers_.reserve(static_cast<std::size_t>(p));
+  for (int id = 0; id < p; ++id) {
+    workers_.emplace_back([this, id] { worker_loop(id); });
+  }
+}
+
+void Machine::worker_loop(int id) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(Pe&)>* fn = nullptr;
+    {
+      std::unique_lock lock(pool_mutex_);
+      pool_cv_.wait(lock, [&] {
+        return pool_stopping_ || pool_run_generation_ != seen_generation;
+      });
+      if (pool_stopping_) return;
+      seen_generation = pool_run_generation_;
+      fn = pool_fn_;
+    }
+    std::exception_ptr error;
+    try {
+      hpfsc::obs::Span span(obs_session_, "pe-run", "runtime",
+                            hpfsc::obs::pe_track(id));
+      (*fn)(*pes_[static_cast<std::size_t>(id)]);
+    } catch (...) {
+      error = std::current_exception();
+      abort_all();
+    }
+    {
+      std::lock_guard lock(pool_mutex_);
+      pool_errors_[static_cast<std::size_t>(id)] = std::move(error);
+      if (--pool_remaining_ == 0) pool_done_cv_.notify_all();
+    }
+  }
+}
 
 void Machine::run(const std::function<void(Pe&)>& fn) {
   const int p = num_pes();
@@ -131,22 +177,18 @@ void Machine::run(const std::function<void(Pe&)>& fn) {
     std::lock_guard lock(ch.mutex);
     ch.queue.clear();
   }
-  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(p));
+  ensure_workers();
+  std::vector<std::exception_ptr> errors;
   {
-    std::vector<std::jthread> threads;
-    threads.reserve(static_cast<std::size_t>(p));
-    for (int id = 0; id < p; ++id) {
-      threads.emplace_back([this, id, &fn, &errors] {
-        try {
-          hpfsc::obs::Span span(obs_session_, "pe-run", "runtime",
-                                hpfsc::obs::pe_track(id));
-          fn(*pes_[static_cast<std::size_t>(id)]);
-        } catch (...) {
-          errors[static_cast<std::size_t>(id)] = std::current_exception();
-          abort_all();
-        }
-      });
-    }
+    std::unique_lock lock(pool_mutex_);
+    pool_errors_.assign(static_cast<std::size_t>(p), nullptr);
+    pool_fn_ = &fn;
+    pool_remaining_ = p;
+    ++pool_run_generation_;
+    pool_cv_.notify_all();
+    pool_done_cv_.wait(lock, [&] { return pool_remaining_ == 0; });
+    pool_fn_ = nullptr;
+    errors = std::move(pool_errors_);
   }
   // Prefer a real failure over the secondary Aborted unwinds.
   std::exception_ptr first;

@@ -14,6 +14,7 @@
 #include <mutex>
 #include <span>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "obs/obs.hpp"
@@ -111,9 +112,13 @@ class Machine {
   [[nodiscard]] int num_pes() const { return grid_.size(); }
   [[nodiscard]] Pe& pe(int id) { return *pes_[static_cast<std::size_t>(id)]; }
 
-  /// Runs `fn` on every PE concurrently (one thread per PE) and joins.
-  /// If any PE throws, all others are aborted and the first non-Aborted
-  /// exception is rethrown on the caller's thread.
+  /// Runs `fn` on every PE concurrently (one worker thread per PE) and
+  /// waits for all of them.  If any PE throws, all others are aborted
+  /// and the first non-Aborted exception is rethrown on the caller's
+  /// thread.  The workers are persistent: the first run() starts them
+  /// and later runs just wake them, so a machine serving many small
+  /// runs (the service layer's warm path, time-stepped kernels) pays no
+  /// per-run thread spawn/join.
   void run(const std::function<void(Pe&)>& fn);
 
   /// -- Host-side (no PE threads active) conveniences for tests --------
@@ -173,6 +178,9 @@ class Machine {
   void abort_all();
   void barrier_wait();
 
+  void ensure_workers();
+  void worker_loop(int id);
+
   MachineConfig config_;
   ProcGrid grid_;
   std::vector<std::unique_ptr<Pe>> pes_;
@@ -186,6 +194,20 @@ class Machine {
   std::atomic<bool> aborted_{false};
 
   hpfsc::obs::TraceSession* obs_session_ = nullptr;
+
+  // Persistent PE worker pool, started lazily by the first run().
+  // Workers park on pool_cv_ between runs; run() publishes the next
+  // generation's task and waits on pool_done_cv_ until every worker
+  // has finished it.
+  std::vector<std::jthread> workers_;
+  std::mutex pool_mutex_;
+  std::condition_variable pool_cv_;
+  std::condition_variable pool_done_cv_;
+  const std::function<void(Pe&)>* pool_fn_ = nullptr;
+  std::uint64_t pool_run_generation_ = 0;
+  int pool_remaining_ = 0;
+  bool pool_stopping_ = false;
+  std::vector<std::exception_ptr> pool_errors_;
 
   // Tracing state (mutex-protected; PEs append concurrently).
   bool tracing_ = false;

@@ -1,0 +1,114 @@
+// Cache-key canonicalization: keys address content (lowered IR +
+// options + machine), not source bytes.
+#include "service/cache_key.hpp"
+
+#include <gtest/gtest.h>
+
+#include "driver/paper_kernels.hpp"
+
+namespace hpfsc::service {
+namespace {
+
+simpi::MachineConfig machine_2x2() {
+  simpi::MachineConfig mc;
+  mc.pe_rows = 2;
+  mc.pe_cols = 2;
+  return mc;
+}
+
+TEST(CacheKey, WhitespaceAndCommentDifferencesShareAKey) {
+  // The same 5-point stencil, written three ways: reference formatting,
+  // extra blank lines + indentation + a comment, and different line
+  // continuation splits.  All lower to identical IR.
+  const char* reference = kernels::kFivePointArraySyntax;
+  const char* reformatted = R"(
+PROGRAM FIVEPT
+INTEGER N
+
+REAL C1, C2, C3, C4, C5
+REAL SRC(N,N), DST(N,N)
+!HPF$ DISTRIBUTE SRC(BLOCK,BLOCK)
+!HPF$ DISTRIBUTE DST(BLOCK,BLOCK)
+
+DST(2:N-1,2:N-1) = C1 * SRC(1:N-2,2:N-1) + C2 * SRC(2:N-1,1:N-2)  &
+    + C3 * SRC(2:N-1,2:N-1)  &
+    + C4 * SRC(3:N  ,2:N-1) + C5 * SRC(2:N-1,3:N  )
+END
+)";
+  const CompilerOptions opts = CompilerOptions::level(4);
+  const simpi::MachineConfig mc = machine_2x2();
+  const CacheKey a = make_cache_key(reference, opts, mc);
+  const CacheKey b = make_cache_key(reformatted, opts, mc);
+  EXPECT_EQ(a.canonical, b.canonical);
+  EXPECT_EQ(a.hash, b.hash);
+  EXPECT_EQ(a, b);
+}
+
+TEST(CacheKey, DifferentProgramsDiffer) {
+  const CompilerOptions opts = CompilerOptions::level(4);
+  const simpi::MachineConfig mc = machine_2x2();
+  const CacheKey a = make_cache_key(kernels::kProblem9, opts, mc);
+  const CacheKey b = make_cache_key(kernels::kNinePointCShift, opts, mc);
+  EXPECT_NE(a.canonical, b.canonical);
+}
+
+TEST(CacheKey, OptionsAffectTheKey) {
+  const simpi::MachineConfig mc = machine_2x2();
+  const CacheKey o4 =
+      make_cache_key(kernels::kProblem9, CompilerOptions::level(4), mc);
+  const CacheKey o0 =
+      make_cache_key(kernels::kProblem9, CompilerOptions::level(0), mc);
+  const CacheKey xl =
+      make_cache_key(kernels::kProblem9, CompilerOptions::xlhpf_like(), mc);
+  EXPECT_NE(o4.canonical, o0.canonical);
+  EXPECT_NE(o4.canonical, xl.canonical);
+  EXPECT_NE(o0.canonical, xl.canonical);
+
+  CompilerOptions live = CompilerOptions::level(4);
+  live.passes.offset.live_out = {"T"};
+  const CacheKey with_live = make_cache_key(kernels::kProblem9, live, mc);
+  EXPECT_NE(o4.canonical, with_live.canonical);
+}
+
+TEST(CacheKey, LiveOutIsCanonicalizedAsASet) {
+  const simpi::MachineConfig mc = machine_2x2();
+  CompilerOptions a = CompilerOptions::level(4);
+  a.passes.offset.live_out = {"T", "U", "T"};
+  CompilerOptions b = CompilerOptions::level(4);
+  b.passes.offset.live_out = {"U", "T"};
+  EXPECT_EQ(make_cache_key(kernels::kProblem9, a, mc).canonical,
+            make_cache_key(kernels::kProblem9, b, mc).canonical);
+}
+
+TEST(CacheKey, MachineConfigAffectsTheKey) {
+  const CompilerOptions opts = CompilerOptions::level(4);
+  simpi::MachineConfig a = machine_2x2();
+  simpi::MachineConfig b = machine_2x2();
+  b.pe_cols = 4;
+  EXPECT_NE(make_cache_key(kernels::kProblem9, opts, a).canonical,
+            make_cache_key(kernels::kProblem9, opts, b).canonical);
+  simpi::MachineConfig c = machine_2x2();
+  c.cost.emulate = true;
+  EXPECT_NE(make_cache_key(kernels::kProblem9, opts, a).canonical,
+            make_cache_key(kernels::kProblem9, opts, c).canonical);
+}
+
+TEST(CacheKey, TraceSessionDoesNotAffectTheKey) {
+  obs::TraceSession session;
+  CompilerOptions with_trace = CompilerOptions::level(4);
+  with_trace.trace = &session;
+  const simpi::MachineConfig mc = machine_2x2();
+  EXPECT_EQ(
+      make_cache_key(kernels::kProblem9, CompilerOptions::level(4), mc)
+          .canonical,
+      make_cache_key(kernels::kProblem9, with_trace, mc).canonical);
+}
+
+TEST(CacheKey, FrontendErrorThrowsCompileError) {
+  EXPECT_THROW(make_cache_key("T = = B\n", CompilerOptions::level(4),
+                              machine_2x2()),
+               CompileError);
+}
+
+}  // namespace
+}  // namespace hpfsc::service

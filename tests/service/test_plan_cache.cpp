@@ -1,0 +1,143 @@
+// PlanCache unit tests: hit/miss accounting, LRU eviction, exception
+// propagation, and obs counter emission.  (Concurrency is covered by
+// test_service_stress.cpp.)
+#include "service/plan_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "obs/sinks.hpp"
+
+namespace hpfsc::service {
+namespace {
+
+CacheKey key_of(const std::string& canonical) {
+  CacheKey k;
+  k.canonical = canonical;
+  k.hash = fnv1a(canonical);
+  return k;
+}
+
+PlanHandle plan_of(const CacheKey& key) {
+  auto plan = std::make_shared<CachedPlan>();
+  plan->key = key;
+  return plan;
+}
+
+TEST(PlanCache, MissThenHitReturnsSameHandle) {
+  PlanCache cache(4);
+  const CacheKey k = key_of("A");
+  int compiles = 0;
+  auto make = [&] {
+    ++compiles;
+    return plan_of(k);
+  };
+  CacheOutcome outcome;
+  PlanHandle first = cache.get_or_compile(k, make, &outcome);
+  EXPECT_EQ(outcome, CacheOutcome::Miss);
+  PlanHandle second = cache.get_or_compile(k, make, &outcome);
+  EXPECT_EQ(outcome, CacheOutcome::Hit);
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(compiles, 1);
+  const CacheCounters c = cache.counters();
+  EXPECT_EQ(c.hits, 1u);
+  EXPECT_EQ(c.misses, 1u);
+  EXPECT_EQ(c.evictions, 0u);
+  EXPECT_EQ(c.coalesced, 0u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(PlanCache, LruEvictsLeastRecentlyUsed) {
+  PlanCache cache(2);
+  const CacheKey a = key_of("A"), b = key_of("B"), c = key_of("C");
+  auto make = [](const CacheKey& k) { return [k] { return plan_of(k); }; };
+  (void)cache.get_or_compile(a, make(a));
+  (void)cache.get_or_compile(b, make(b));
+  // Touch A so B is the least recently used.
+  (void)cache.get_or_compile(a, make(a));
+  PlanHandle evicted_b = cache.lookup(b);
+  ASSERT_NE(evicted_b, nullptr);
+  (void)cache.get_or_compile(c, make(c));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_NE(cache.lookup(a), nullptr);
+  EXPECT_EQ(cache.lookup(b), nullptr);
+  EXPECT_NE(cache.lookup(c), nullptr);
+  EXPECT_EQ(cache.counters().evictions, 1u);
+  // The evicted plan stays alive through outstanding handles.
+  EXPECT_EQ(evicted_b->key.canonical, "B");
+  // Re-requesting B recompiles.
+  CacheOutcome outcome;
+  (void)cache.get_or_compile(b, make(b), &outcome);
+  EXPECT_EQ(outcome, CacheOutcome::Miss);
+}
+
+TEST(PlanCache, CapacityZeroClampsToOne) {
+  PlanCache cache(0);
+  EXPECT_EQ(cache.capacity(), 1u);
+  const CacheKey a = key_of("A"), b = key_of("B");
+  (void)cache.get_or_compile(a, [&] { return plan_of(a); });
+  (void)cache.get_or_compile(b, [&] { return plan_of(b); });
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(PlanCache, LookupDoesNotCountOrCompile) {
+  PlanCache cache(4);
+  EXPECT_EQ(cache.lookup(key_of("A")), nullptr);
+  const CacheCounters c = cache.counters();
+  EXPECT_EQ(c.hits, 0u);
+  EXPECT_EQ(c.misses, 0u);
+}
+
+TEST(PlanCache, FactoryExceptionPropagatesAndIsNotCached) {
+  PlanCache cache(4);
+  const CacheKey k = key_of("A");
+  EXPECT_THROW(
+      (void)cache.get_or_compile(
+          k, []() -> PlanHandle { throw std::runtime_error("boom"); }),
+      std::runtime_error);
+  EXPECT_EQ(cache.size(), 0u);
+  // The key is retryable: the next request compiles again.
+  CacheOutcome outcome;
+  (void)cache.get_or_compile(k, [&] { return plan_of(k); }, &outcome);
+  EXPECT_EQ(outcome, CacheOutcome::Miss);
+  EXPECT_EQ(cache.counters().misses, 2u);
+}
+
+TEST(PlanCache, ClearDropsEntriesWithoutCountingEvictions) {
+  PlanCache cache(4);
+  const CacheKey a = key_of("A");
+  (void)cache.get_or_compile(a, [&] { return plan_of(a); });
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.counters().evictions, 0u);
+  EXPECT_EQ(cache.counters().misses, 1u);
+}
+
+TEST(PlanCache, EmitsCumulativeObsCounters) {
+  obs::TraceSession session;
+  auto sink = std::make_unique<obs::CollectSink>();
+  obs::CollectSink* collect = sink.get();
+  session.add_sink(std::move(sink));
+
+  PlanCache cache(1, &session);
+  const CacheKey a = key_of("A"), b = key_of("B");
+  (void)cache.get_or_compile(a, [&] { return plan_of(a); });  // miss
+  (void)cache.get_or_compile(a, [&] { return plan_of(a); });  // hit
+  (void)cache.get_or_compile(b, [&] { return plan_of(b); });  // miss+evict
+  session.flush();
+
+  double last_hit = -1, last_miss = -1, last_evict = -1;
+  for (const obs::CounterRecord& rec : collect->counters) {
+    if (rec.name == "service.cache.hit") last_hit = rec.value;
+    if (rec.name == "service.cache.miss") last_miss = rec.value;
+    if (rec.name == "service.cache.evict") last_evict = rec.value;
+  }
+  EXPECT_EQ(last_hit, 1.0);
+  EXPECT_EQ(last_miss, 2.0);
+  EXPECT_EQ(last_evict, 1.0);
+}
+
+}  // namespace
+}  // namespace hpfsc::service

@@ -1,0 +1,287 @@
+// StencilService + Session: cache sharing across textually different
+// sources, the zero-pass-span warm path, execution reuse across run
+// calls, and result equivalence with the direct Compiler/Execution API.
+#include "service/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "driver/paper_kernels.hpp"
+#include "obs/sinks.hpp"
+
+namespace hpfsc::service {
+namespace {
+
+// Problem 9 with cosmetic differences only (blank lines, indentation,
+// spacing): must share a cache entry with kernels::kProblem9.
+const char* kProblem9Reformatted = R"(
+PROGRAM PROBLEM9
+INTEGER N
+
+REAL U(N,N), T(N,N), RIP(N,N), RIN(N,N)
+!HPF$ DISTRIBUTE U(BLOCK,BLOCK)
+!HPF$ DISTRIBUTE T(BLOCK,BLOCK)
+!HPF$ DISTRIBUTE RIP(BLOCK,BLOCK)
+!HPF$ DISTRIBUTE RIN(BLOCK,BLOCK)
+
+RIP = CSHIFT(U,SHIFT=+1,DIM=1)
+RIN = CSHIFT(U,SHIFT=-1,DIM=1)
+T = U + RIP + RIN
+T = T + CSHIFT(U,SHIFT=-1,DIM=2)
+T = T + CSHIFT(U,SHIFT=+1,DIM=2)
+T = T + CSHIFT(RIP,SHIFT=-1,DIM=2)
+T = T + CSHIFT(RIP,SHIFT=+1,DIM=2)
+T = T + CSHIFT(RIN,SHIFT=-1,DIM=2)
+T = T + CSHIFT(RIN,SHIFT=+1,DIM=2)
+END
+)";
+
+CompilerOptions o4_live_t() {
+  CompilerOptions opts = CompilerOptions::level(4);
+  opts.passes.offset.live_out = {"T"};
+  return opts;
+}
+
+ServiceConfig basic_config(obs::TraceSession* trace = nullptr) {
+  ServiceConfig cfg;
+  cfg.machine.pe_rows = 2;
+  cfg.machine.pe_cols = 2;
+  cfg.trace = trace;
+  return cfg;
+}
+
+void init_u(Execution& exec) {
+  exec.set_array("U", [](int i, int j, int) { return i * 0.25 + j * 0.5; });
+}
+
+TEST(Service, TextuallyDifferentIrIdenticalProgramsShareOneEntry) {
+  StencilService service(basic_config());
+  PlanHandle a = service.compile(kernels::kProblem9, o4_live_t());
+  CacheOutcome outcome;
+  PlanHandle b = service.compile(kProblem9Reformatted, o4_live_t(), &outcome);
+  EXPECT_EQ(a.get(), b.get()) << "expected one shared cache entry";
+  EXPECT_EQ(outcome, CacheOutcome::Hit);
+  EXPECT_EQ(service.cache_size(), 1u);
+  const CacheCounters c = service.cache_counters();
+  EXPECT_EQ(c.misses, 1u);
+  EXPECT_EQ(c.hits, 1u);
+}
+
+TEST(Service, WarmCompileEmitsZeroPassSpans) {
+  obs::TraceSession session;
+  auto sink = std::make_unique<obs::CollectSink>();
+  obs::CollectSink* collect = sink.get();
+  session.add_sink(std::move(sink));
+
+  StencilService service(basic_config(&session));
+
+  // Cold: the full pipeline runs and is traced.
+  (void)service.compile(kernels::kProblem9, o4_live_t());
+  bool cold_saw_pass = false;
+  for (const obs::SpanRecord& rec : collect->spans) {
+    if (rec.name.rfind("pass/", 0) == 0) cold_saw_pass = true;
+  }
+  EXPECT_TRUE(cold_saw_pass) << "cold compile must run (and trace) passes";
+
+  // Warm: a textually different but IR-identical request.  No compiler
+  // stage may run — zero pass/frontend/codegen/compile spans.
+  collect->spans.clear();
+  CacheOutcome outcome;
+  (void)service.compile(kProblem9Reformatted, o4_live_t(), &outcome);
+  EXPECT_EQ(outcome, CacheOutcome::Hit);
+  bool saw_service_compile = false;
+  for (const obs::SpanRecord& rec : collect->spans) {
+    EXPECT_TRUE(rec.name.rfind("pass/", 0) != 0 &&
+                rec.name.rfind("frontend/", 0) != 0 &&
+                rec.name.rfind("codegen/", 0) != 0 && rec.name != "compile")
+        << "compiler stage ran on a cache hit: " << rec.name;
+    if (rec.name == "service.compile") {
+      saw_service_compile = true;
+      bool labeled_hit = false;
+      for (const obs::Arg& arg : rec.args) {
+        if (std::string(arg.key) == "cache") {
+          labeled_hit = arg.str == "hit";
+        }
+      }
+      EXPECT_TRUE(labeled_hit);
+    }
+  }
+  EXPECT_TRUE(saw_service_compile);
+}
+
+TEST(Service, SessionRunMatchesDirectExecution) {
+  // Direct path.
+  Compiler compiler;
+  CompiledProgram compiled = compiler.compile(kernels::kProblem9, o4_live_t());
+  simpi::MachineConfig mc = basic_config().machine;
+  Execution direct(std::move(compiled.program), mc);
+  direct.prepare(Bindings{}.set("N", 16));
+  init_u(direct);
+  (void)direct.run(1);
+  const std::vector<double> expect = direct.get_array("T");
+
+  // Service path.
+  StencilService service(basic_config());
+  Session session(service);
+  RunRequest req;
+  req.plan = session.compile(kernels::kProblem9, o4_live_t());
+  req.bindings = Bindings{}.set("N", 16);
+  req.steps = 1;
+  req.init = init_u;
+  (void)session.run(req);
+  const std::vector<double> got =
+      session.execution(req.plan, req.bindings).get_array("T");
+  EXPECT_EQ(expect, got);
+}
+
+TEST(Service, SessionReusesOnePreparedExecutionAcrossRuns) {
+  StencilService service(basic_config());
+  Session session(service);
+  RunRequest req;
+  req.plan = session.compile(kernels::kProblem9, o4_live_t());
+  req.bindings = Bindings{}.set("N", 16);
+  req.init = init_u;
+  (void)session.run(req);
+  (void)session.run(req);
+  (void)session.run(req);
+  EXPECT_EQ(session.num_executions(), 1u);
+  // Distinct bindings get a distinct prepared execution.
+  RunRequest other = req;
+  other.bindings = Bindings{}.set("N", 24);
+  (void)session.run(other);
+  EXPECT_EQ(session.num_executions(), 2u);
+}
+
+TEST(Service, TimeSteppingStateCarriesAcrossRuns) {
+  // Two warm service runs of one Jacobi step each must equal one direct
+  // execution of two iterations: the session reuses machine state, so
+  // run-many really is time-stepping, not re-initialization.
+  CompilerOptions opts = CompilerOptions::level(4);
+  opts.passes.offset.live_out = {"U", "T"};
+  const Bindings bindings = Bindings{}.set("N", 12).set("NSTEPS", 1);
+
+  Compiler compiler;
+  CompiledProgram compiled =
+      compiler.compile(kernels::kJacobiTimeLoop, opts);
+  Execution direct(std::move(compiled.program), basic_config().machine);
+  direct.prepare(bindings);
+  init_u(direct);
+  (void)direct.run(2);
+  const std::vector<double> expect = direct.get_array("U");
+
+  StencilService service(basic_config());
+  Session session(service);
+  RunRequest req;
+  req.plan = session.compile(kernels::kJacobiTimeLoop, opts);
+  req.bindings = bindings;
+  req.init = init_u;
+  (void)session.run(req);
+  (void)session.run(req);
+  const std::vector<double> got =
+      session.execution(req.plan, req.bindings).get_array("U");
+  EXPECT_EQ(expect, got);
+}
+
+TEST(Service, ProcessorsDirectiveOverridesTheSessionGrid) {
+  const char* source = R"(
+PROGRAM P
+INTEGER N
+REAL U(N,N), T(N,N)
+!HPF$ PROCESSORS P(1,2)
+!HPF$ DISTRIBUTE U(BLOCK,BLOCK)
+!HPF$ DISTRIBUTE T(BLOCK,BLOCK)
+T = CSHIFT(U,1,1)
+END
+)";
+  StencilService service(basic_config());
+  Session session(service);
+  RunRequest req;
+  req.plan = session.compile(source, o4_live_t());
+  ASSERT_TRUE(req.plan->processors.has_value());
+  req.bindings = Bindings{}.set("N", 8);
+  req.init = init_u;
+  (void)session.run(req);
+  Execution& exec = session.execution(req.plan, req.bindings);
+  EXPECT_EQ(exec.machine().config().pe_rows, 1);
+  EXPECT_EQ(exec.machine().config().pe_cols, 2);
+}
+
+TEST(Service, CompileErrorPropagatesAndIsNotCached) {
+  StencilService service(basic_config());
+  EXPECT_THROW((void)service.compile("T = = B\n", o4_live_t()),
+               CompileError);
+  EXPECT_EQ(service.cache_size(), 0u);
+}
+
+TEST(Service, LruEvictionAcrossOptionLevels) {
+  ServiceConfig cfg = basic_config();
+  cfg.cache_capacity = 2;
+  StencilService service(cfg);
+  for (int level = 0; level <= 4; ++level) {
+    (void)service.compile(kernels::kProblem9, CompilerOptions::level(level));
+  }
+  EXPECT_EQ(service.cache_size(), 2u);
+  EXPECT_EQ(service.cache_counters().evictions, 3u);
+  EXPECT_EQ(service.cache_counters().misses, 5u);
+}
+
+TEST(ServicePool, ServesRequestsAndReportsOutcomes) {
+  StencilService service(basic_config());
+  ServicePool pool(service, 2);
+  std::vector<std::future<ServiceResponse>> futures;
+  for (int i = 0; i < 6; ++i) {
+    ServiceRequest req;
+    req.source = kernels::kProblem9;
+    req.options = o4_live_t();
+    req.bindings = Bindings{}.set("N", 16);
+    req.steps = 1;
+    req.init = init_u;
+    futures.push_back(pool.submit(std::move(req)));
+  }
+  int compiles = 0;
+  for (auto& f : futures) {
+    ServiceResponse r = f.get();
+    EXPECT_GE(r.worker, 0);
+    EXPECT_LT(r.worker, 2);
+    if (r.outcome == CacheOutcome::Miss) ++compiles;
+  }
+  EXPECT_EQ(compiles, 1) << "single flight: one compilation for one key";
+  const CacheCounters c = service.cache_counters();
+  EXPECT_EQ(c.misses, 1u);
+  EXPECT_EQ(c.hits + c.coalesced, 5u);
+}
+
+TEST(ServicePool, ErrorsPropagateThroughFutures) {
+  StencilService service(basic_config());
+  ServicePool pool(service, 2);
+  ServiceRequest req;
+  req.source = "T = = B\n";
+  req.options = o4_live_t();
+  auto future = pool.submit(std::move(req));
+  EXPECT_THROW((void)future.get(), CompileError);
+}
+
+TEST(ServicePool, ShutdownDrainsPendingWork) {
+  StencilService service(basic_config());
+  std::vector<std::future<ServiceResponse>> futures;
+  {
+    ServicePool pool(service, 1);
+    for (int i = 0; i < 4; ++i) {
+      ServiceRequest req;
+      req.source = kernels::kNinePointCShift;
+      req.options = o4_live_t();
+      req.bindings = Bindings{}.set("N", 12);
+      req.init = init_u;
+      futures.push_back(pool.submit(std::move(req)));
+    }
+  }  // destructor drains + joins
+  for (auto& f : futures) {
+    EXPECT_NO_THROW((void)f.get());
+  }
+}
+
+}  // namespace
+}  // namespace hpfsc::service

@@ -1,0 +1,237 @@
+// Concurrency stress for the service layer: ≥ 8 client threads issuing
+// mixed duplicate/distinct requests must trigger exactly one
+// compilation per distinct key (single flight), keep every cache
+// counter consistent, and emit trace records without corruption.  The
+// TSan CI job runs these tests under -fsanitize=thread.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "driver/paper_kernels.hpp"
+#include "obs/sinks.hpp"
+#include "service/service.hpp"
+
+namespace hpfsc::service {
+namespace {
+
+CacheKey key_of(const std::string& canonical) {
+  CacheKey k;
+  k.canonical = canonical;
+  k.hash = fnv1a(canonical);
+  return k;
+}
+
+TEST(ServiceStress, SingleFlightCoalescesAllConcurrentRequests) {
+  // Deterministic coalescing: the leader's compile blocks until every
+  // other thread has joined the flight (they must coalesce — the entry
+  // is not in the cache until the factory returns), so the counters
+  // are exact, not racy lower bounds.
+  constexpr int kThreads = 8;
+  PlanCache cache(4);
+  const CacheKey key = key_of("K");
+  std::atomic<int> compiles{0};
+  auto factory = [&]() -> PlanHandle {
+    compiles.fetch_add(1);
+    while (cache.counters().coalesced <
+           static_cast<std::uint64_t>(kThreads - 1)) {
+      std::this_thread::yield();
+    }
+    auto plan = std::make_shared<CachedPlan>();
+    plan->key = key;
+    return plan;
+  };
+
+  std::vector<PlanHandle> results(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back(
+        [&, t] { results[static_cast<std::size_t>(t)] =
+                     cache.get_or_compile(key, factory); });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(compiles.load(), 1);
+  const CacheCounters c = cache.counters();
+  EXPECT_EQ(c.misses, 1u);
+  EXPECT_EQ(c.coalesced, static_cast<std::uint64_t>(kThreads - 1));
+  EXPECT_EQ(c.hits, 0u);
+  for (const PlanHandle& h : results) {
+    EXPECT_EQ(h.get(), results[0].get());
+  }
+}
+
+struct Variant {
+  const char* source;
+  int level;
+};
+
+std::vector<Variant> mixed_variants() {
+  return {
+      {kernels::kProblem9, 4},        {kernels::kProblem9, 2},
+      {kernels::kNinePointCShift, 4}, {kernels::kNinePointArraySyntax, 4},
+      {kernels::kJacobiTimeLoop, 4},
+  };
+}
+
+CompilerOptions options_for(const Variant& v) {
+  CompilerOptions opts = CompilerOptions::level(v.level);
+  opts.passes.offset.live_out = {"T"};
+  return opts;
+}
+
+ServiceConfig stress_config(obs::TraceSession* trace) {
+  ServiceConfig cfg;
+  cfg.machine.pe_rows = 1;
+  cfg.machine.pe_cols = 2;
+  cfg.trace = trace;
+  return cfg;
+}
+
+ServiceRequest request_for(const Variant& v) {
+  ServiceRequest req;
+  req.source = v.source;
+  req.options = options_for(v);
+  req.bindings = Bindings{}.set("N", 12).set("NSTEPS", 1);
+  req.steps = 1;
+  req.init = [](Execution& exec) {
+    exec.set_array("U",
+                   [](int i, int j, int) { return i * 0.25 + j * 0.5; });
+  };
+  return req;
+}
+
+TEST(ServiceStress, EightClientThreadsMixedDuplicateDistinct) {
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 3;
+
+  obs::TraceSession session;
+  auto sink = std::make_unique<obs::CollectSink>();
+  obs::CollectSink* collect = sink.get();
+  session.add_sink(std::move(sink));
+
+  StencilService service(stress_config(&session));
+  const std::vector<Variant> variants = mixed_variants();
+  const std::size_t distinct = variants.size();
+
+  std::vector<std::vector<PlanHandle>> seen(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Session client(service);
+      for (int round = 0; round < kRounds; ++round) {
+        for (const Variant& v : variants) {
+          ServiceRequest req = request_for(v);
+          RunRequest run;
+          run.plan = client.compile(req.source, req.options);
+          run.bindings = req.bindings;
+          run.steps = req.steps;
+          run.init = req.init;
+          const Execution::RunStats stats = client.run(run);
+          EXPECT_GE(stats.wall_seconds, 0.0);
+          if (round == 0) {
+            seen[static_cast<std::size_t>(t)].push_back(run.plan);
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  session.flush();
+
+  // Exactly one compilation per distinct key.
+  const CacheCounters c = service.cache_counters();
+  const std::uint64_t total = kThreads * kRounds * distinct;
+  EXPECT_EQ(c.misses, distinct);
+  EXPECT_EQ(c.hits + c.coalesced, total - distinct);
+  EXPECT_EQ(service.cache_size(), distinct);
+
+  // Every thread received the same handle per variant.
+  for (int t = 1; t < kThreads; ++t) {
+    ASSERT_EQ(seen[static_cast<std::size_t>(t)].size(), distinct);
+    for (std::size_t v = 0; v < distinct; ++v) {
+      EXPECT_EQ(seen[static_cast<std::size_t>(t)][v].get(),
+                seen[0][v].get());
+    }
+  }
+
+  // The trace corroborates the single-flight guarantee: one "compile"
+  // span per distinct key, and the cumulative cache counters on the
+  // trace agree with the service's own tallies.
+  std::size_t compile_spans = 0;
+  double last_coalesced = 0, last_hits = 0, last_misses = 0;
+  for (const obs::SpanRecord& rec : collect->spans) {
+    if (rec.name == "compile") ++compile_spans;
+  }
+  for (const obs::CounterRecord& rec : collect->counters) {
+    if (rec.name == "service.singleflight.coalesced") {
+      last_coalesced = std::max(last_coalesced, rec.value);
+    }
+    if (rec.name == "service.cache.hit") {
+      last_hits = std::max(last_hits, rec.value);
+    }
+    if (rec.name == "service.cache.miss") {
+      last_misses = std::max(last_misses, rec.value);
+    }
+  }
+  EXPECT_EQ(compile_spans, distinct);
+  EXPECT_EQ(static_cast<std::uint64_t>(last_misses), c.misses);
+  EXPECT_EQ(static_cast<std::uint64_t>(last_coalesced), c.coalesced);
+  EXPECT_EQ(static_cast<std::uint64_t>(last_hits), c.hits);
+}
+
+TEST(ServiceStress, PoolWithEightWorkersMixedRequests) {
+  constexpr int kWorkers = 8;
+  constexpr int kRequestsPerVariant = 16;
+
+  StencilService service(stress_config(nullptr));
+  const std::vector<Variant> variants = mixed_variants();
+  const std::size_t distinct = variants.size();
+
+  ServicePool pool(service, kWorkers);
+  std::vector<std::future<ServiceResponse>> futures;
+  for (int i = 0; i < kRequestsPerVariant; ++i) {
+    for (const Variant& v : variants) {
+      futures.push_back(pool.submit(request_for(v)));
+    }
+  }
+  std::uint64_t miss_outcomes = 0;
+  for (auto& f : futures) {
+    ServiceResponse r = f.get();
+    EXPECT_GE(r.latency_seconds, 0.0);
+    if (r.outcome == CacheOutcome::Miss) ++miss_outcomes;
+  }
+  pool.shutdown();
+
+  const CacheCounters c = service.cache_counters();
+  EXPECT_EQ(c.misses, distinct);
+  EXPECT_EQ(miss_outcomes, distinct);
+  EXPECT_EQ(c.hits + c.coalesced,
+            static_cast<std::uint64_t>(futures.size()) - distinct);
+  EXPECT_EQ(service.cache_size(), distinct);
+}
+
+TEST(ServiceStress, ConcurrentCompileErrorsAllPropagate) {
+  constexpr int kThreads = 8;
+  StencilService service(stress_config(nullptr));
+  std::atomic<int> caught{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      try {
+        (void)service.compile("T = = B\n", CompilerOptions::level(4));
+      } catch (const CompileError&) {
+        caught.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(caught.load(), kThreads);
+  EXPECT_EQ(service.cache_size(), 0u);
+}
+
+}  // namespace
+}  // namespace hpfsc::service
