@@ -16,7 +16,7 @@ PlanCache::PlanCache(std::size_t capacity, obs::TraceSession* trace)
 
 void PlanCache::emit_counter(const char* name,
                              const std::atomic<std::uint64_t>& value) {
-  obs::TraceSession* trace = trace_;
+  obs::TraceSession* trace = trace_.load(std::memory_order_acquire);
   if (trace != nullptr && trace->enabled()) {
     trace->counter(
         name, static_cast<double>(value.load(std::memory_order_relaxed)));
@@ -29,16 +29,18 @@ PlanHandle PlanCache::lookup(const CacheKey& key) {
   return it == entries_.end() ? nullptr : it->second.plan;
 }
 
-void PlanCache::insert_locked(const CacheKey& key, PlanHandle plan) {
+std::size_t PlanCache::insert_locked(const CacheKey& key, PlanHandle plan) {
   lru_.push_front(key.canonical);
   entries_[key.canonical] = Entry{std::move(plan), lru_.begin()};
+  std::size_t evicted = 0;
   while (entries_.size() > capacity_) {
     const std::string& victim = lru_.back();
     entries_.erase(victim);
     lru_.pop_back();
     evictions_.fetch_add(1, std::memory_order_relaxed);
-    emit_counter("service.cache.evict", evictions_);
+    ++evicted;
   }
+  return evicted;
 }
 
 PlanHandle PlanCache::get_or_compile(const CacheKey& key,
@@ -46,6 +48,7 @@ PlanHandle PlanCache::get_or_compile(const CacheKey& key,
                                      CacheOutcome* outcome) {
   std::shared_ptr<Flight> flight;
   bool leader = false;
+  PlanHandle hit;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = entries_.find(key.canonical);
@@ -53,20 +56,25 @@ PlanHandle PlanCache::get_or_compile(const CacheKey& key,
       // Touch: move to the front of the LRU list.
       lru_.splice(lru_.begin(), lru_, it->second.lru_it);
       hits_.fetch_add(1, std::memory_order_relaxed);
-      if (outcome != nullptr) *outcome = CacheOutcome::Hit;
-      emit_counter("service.cache.hit", hits_);
-      return it->second.plan;
-    }
-    auto fit = flights_.find(key.canonical);
-    if (fit != flights_.end()) {
-      flight = fit->second;
-      coalesced_.fetch_add(1, std::memory_order_relaxed);
+      hit = it->second.plan;
     } else {
-      flight = std::make_shared<Flight>();
-      flights_.emplace(key.canonical, flight);
-      leader = true;
-      misses_.fetch_add(1, std::memory_order_relaxed);
+      auto fit = flights_.find(key.canonical);
+      if (fit != flights_.end()) {
+        flight = fit->second;
+        coalesced_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        flight = std::make_shared<Flight>();
+        flights_.emplace(key.canonical, flight);
+        leader = true;
+        misses_.fetch_add(1, std::memory_order_relaxed);
+      }
     }
+  }
+
+  if (hit) {
+    if (outcome != nullptr) *outcome = CacheOutcome::Hit;
+    emit_counter("service.cache.hit", hits_);
+    return hit;
   }
 
   if (!leader) {
@@ -89,11 +97,13 @@ PlanHandle PlanCache::get_or_compile(const CacheKey& key,
     error = std::current_exception();
   }
 
+  std::size_t evicted = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (!error) insert_locked(key, plan);
+    if (!error) evicted = insert_locked(key, plan);
     flights_.erase(key.canonical);
   }
+  if (evicted > 0) emit_counter("service.cache.evict", evictions_);
   {
     std::lock_guard<std::mutex> flock(flight->mutex);
     flight->result = plan;

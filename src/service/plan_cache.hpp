@@ -96,7 +96,9 @@ class PlanCache {
   /// counters; evictions are not counted.
   void clear();
 
-  void set_trace(obs::TraceSession* trace) { trace_ = trace; }
+  void set_trace(obs::TraceSession* trace) {
+    trace_.store(trace, std::memory_order_release);
+  }
 
  private:
   struct Flight {
@@ -112,12 +114,19 @@ class PlanCache {
     std::list<std::string>::iterator lru_it;
   };
 
+  /// Samples a cumulative counter into the trace session.  Never call
+  /// while holding mutex_: the sink has its own lock and user-supplied
+  /// behavior.
   void emit_counter(const char* name,
                     const std::atomic<std::uint64_t>& value);
-  void insert_locked(const CacheKey& key, PlanHandle plan);
+  /// Inserts and evicts beyond capacity; returns how many entries were
+  /// evicted (caller emits the counter after unlocking).
+  std::size_t insert_locked(const CacheKey& key, PlanHandle plan);
 
   const std::size_t capacity_;
-  obs::TraceSession* trace_;
+  /// set_trace may race with emit_counter from request threads; atomic
+  /// so the swap is data-race-free.
+  std::atomic<obs::TraceSession*> trace_;
 
   mutable std::mutex mutex_;
   std::list<std::string> lru_;  ///< canonical keys, most recent first

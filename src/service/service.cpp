@@ -1,6 +1,9 @@
 #include "service/service.hpp"
 
 #include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
 
 namespace hpfsc::service {
 
@@ -66,9 +69,17 @@ namespace {
 std::string bindings_fingerprint(const Bindings& bindings) {
   std::string out;
   for (const auto& [name, value] : bindings.values) {
+    // The exact 64-bit pattern: std::to_string's fixed 6 decimals would
+    // collide values closer than 1e-6 and silently reuse an Execution
+    // prepared with different bindings.
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof bits);
+    char hex[17];
+    std::snprintf(hex, sizeof hex, "%016llx",
+                  static_cast<unsigned long long>(bits));
     out += name;
     out += '=';
-    out += std::to_string(value);
+    out += hex;
     out += ';';
   }
   return out;
@@ -87,22 +98,33 @@ PlanHandle Session::compile(std::string_view source,
 Session::ExecEntry& Session::entry_for(
     const PlanHandle& plan, const Bindings& bindings,
     const std::function<void(Execution&)>& init, bool* created) {
-  const std::pair<const CachedPlan*, std::string> key{
-      plan.get(), bindings_fingerprint(bindings)};
+  ExecKey key{plan->key.canonical, bindings_fingerprint(bindings)};
   auto it = executions_.find(key);
   if (created != nullptr) *created = it == executions_.end();
-  if (it == executions_.end()) {
-    simpi::MachineConfig mc = service_->config().machine;
-    if (plan->processors) {
-      mc.pe_rows = plan->processors->first;
-      mc.pe_cols = plan->processors->second;
-    }
-    ExecEntry entry;
-    entry.exec = std::make_unique<Execution>(plan->program, mc);
-    entry.exec->set_trace(service_->trace());
-    entry.exec->prepare(bindings);
-    if (init) init(*entry.exec);
-    it = executions_.emplace(key, std::move(entry)).first;
+  if (it != executions_.end()) {
+    exec_lru_.splice(exec_lru_.begin(), exec_lru_, it->second.lru_it);
+    return it->second;
+  }
+  simpi::MachineConfig mc = service_->config().machine;
+  if (plan->processors) {
+    mc.pe_rows = plan->processors->first;
+    mc.pe_cols = plan->processors->second;
+  }
+  ExecEntry entry;
+  entry.plan = plan;
+  entry.exec = std::make_unique<Execution>(plan->program, mc);
+  entry.exec->set_trace(service_->trace());
+  entry.exec->prepare(bindings);
+  if (init) init(*entry.exec);
+  exec_lru_.push_front(key);
+  entry.lru_it = exec_lru_.begin();
+  it = executions_.emplace(std::move(key), std::move(entry)).first;
+  std::size_t capacity = service_->config().session_capacity;
+  if (capacity == 0) capacity = 1;
+  while (executions_.size() > capacity) {
+    const ExecKey& victim = exec_lru_.back();
+    executions_.erase(victim);
+    exec_lru_.pop_back();
   }
   return it->second;
 }

@@ -9,9 +9,12 @@
 //   Session — one client's executor state.  run() reuses one prepared
 //     Execution (and its simpi::Machine) per (plan, bindings) across
 //     any number of run calls, so steady-state requests do no
-//     compilation, no planning, and no allocation.  A Session is NOT
-//     thread-safe; give each client thread its own (sessions share the
-//     service's cache, which is).
+//     compilation, no planning, and no allocation.  At most
+//     ServiceConfig::session_capacity prepared executions are retained;
+//     the least recently run beyond that are torn down (machine and PE
+//     threads included).  A Session is NOT thread-safe; give each
+//     client thread its own (sessions share the service's cache, which
+//     is).
 //   ServicePool — a worker pool serving ServiceRequests concurrently,
 //     one Session (hence independent simpi::Machine instances) per
 //     worker.
@@ -29,6 +32,7 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -50,6 +54,10 @@ namespace hpfsc::service {
 struct ServiceConfig {
   /// Maximum resident compiled plans (LRU beyond this).
   std::size_t cache_capacity = 32;
+  /// Maximum prepared Executions (each owning a simpi::Machine and its
+  /// PE worker threads) retained per Session; least-recently-run
+  /// entries beyond this are torn down (0 is clamped to 1).
+  std::size_t session_capacity = 16;
   /// Default machine for sessions and cache keying.  A program's
   /// !HPF$ PROCESSORS directive still overrides the PE grid at run
   /// time (as in hpfsc_dump).
@@ -135,8 +143,18 @@ class Session {
   }
 
  private:
+  /// (canonical plan key, bindings fingerprint).  Keyed by content, not
+  /// by CachedPlan*, so a plan recompiled after cache eviction maps back
+  /// to the same prepared Execution instead of aliasing a freed
+  /// pointer's address (ABA).
+  using ExecKey = std::pair<std::string, std::string>;
+
   struct ExecEntry {
+    /// Pins the plan for as long as the Execution prepared from it
+    /// lives, independent of cache eviction.
+    PlanHandle plan;
     std::unique_ptr<Execution> exec;
+    std::list<ExecKey>::iterator lru_it;
   };
 
   ExecEntry& entry_for(const PlanHandle& plan, const Bindings& bindings,
@@ -144,7 +162,8 @@ class Session {
                        bool* created);
 
   StencilService* service_;
-  std::map<std::pair<const CachedPlan*, std::string>, ExecEntry> executions_;
+  std::map<ExecKey, ExecEntry> executions_;
+  std::list<ExecKey> exec_lru_;  ///< most recently run first
 };
 
 /// A compile+run request submitted to the pool.

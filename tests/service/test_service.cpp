@@ -155,6 +155,87 @@ TEST(Service, SessionReusesOnePreparedExecutionAcrossRuns) {
   EXPECT_EQ(session.num_executions(), 2u);
 }
 
+TEST(Service, SessionSurvivesPlanCacheEvictionAndRecompile) {
+  // After the plan cache evicts a plan and it is recompiled, a fresh
+  // CachedPlan may be allocated at the old one's address.  Executions
+  // are keyed by plan content (canonical key), not by pointer, so the
+  // recompiled plan maps back to the same prepared execution — and the
+  // entry pins its plan, so the old program stays alive regardless.
+  ServiceConfig cfg = basic_config();
+  cfg.cache_capacity = 1;
+  StencilService service(cfg);
+  Session session(service);
+
+  RunRequest req;
+  req.plan = session.compile(kernels::kProblem9, o4_live_t());
+  req.bindings = Bindings{}.set("N", 16);
+  req.init = init_u;
+  (void)session.run(req);
+  const std::vector<double> expect =
+      session.execution(req.plan, req.bindings).get_array("T");
+  EXPECT_EQ(session.num_executions(), 1u);
+
+  // Evict Problem9 (capacity 1), drop our handle, recompile it.
+  (void)session.compile(kernels::kJacobiTimeLoop, o4_live_t());
+  req.plan.reset();
+  CacheOutcome outcome;
+  req.plan = session.compile(kernels::kProblem9, o4_live_t(), &outcome);
+  EXPECT_EQ(outcome, CacheOutcome::Miss) << "plan must have been evicted";
+
+  // Same bindings: the session reuses the original prepared execution
+  // (init is NOT rerun) and its results are intact.
+  bool init_reran = false;
+  req.init = [&](Execution&) { init_reran = true; };
+  (void)session.run(req);
+  EXPECT_EQ(session.num_executions(), 1u);
+  EXPECT_FALSE(init_reran);
+  EXPECT_EQ(expect, session.execution(req.plan, req.bindings).get_array("T"));
+}
+
+TEST(Service, SessionEvictsLeastRecentlyRunExecution) {
+  ServiceConfig cfg = basic_config();
+  cfg.session_capacity = 2;
+  StencilService service(cfg);
+  Session session(service);
+  RunRequest req;
+  req.plan = session.compile(kernels::kProblem9, o4_live_t());
+  req.init = init_u;
+  for (int n : {8, 12, 16}) {
+    req.bindings = Bindings{}.set("N", n);
+    (void)session.run(req);
+  }
+  EXPECT_EQ(session.num_executions(), 2u);
+  // N=12 and N=16 are resident; rerunning N=12 must not prepare anew.
+  bool init_reran = false;
+  req.init = [&](Execution&) { init_reran = true; };
+  req.bindings = Bindings{}.set("N", 12);
+  (void)session.run(req);
+  EXPECT_FALSE(init_reran);
+  // N=8 was evicted (least recently run): rerunning it re-prepares and
+  // evicts N=16.
+  req.bindings = Bindings{}.set("N", 8);
+  (void)session.run(req);
+  EXPECT_TRUE(init_reran);
+  EXPECT_EQ(session.num_executions(), 2u);
+}
+
+TEST(Service, BindingsFingerprintDistinguishesCloseValues) {
+  // std::to_string(double) keeps 6 decimals; the fingerprint must not,
+  // or two binding sets differing by <1e-6 would silently share one
+  // prepared execution.  EPS is unused by the program (prepare ignores
+  // unknown names) but participates in the fingerprint.
+  StencilService service(basic_config());
+  Session session(service);
+  RunRequest req;
+  req.plan = session.compile(kernels::kProblem9, o4_live_t());
+  req.init = init_u;
+  req.bindings = Bindings{}.set("N", 16).set("EPS", 1.0);
+  (void)session.run(req);
+  req.bindings = Bindings{}.set("N", 16).set("EPS", 1.0 + 1e-9);
+  (void)session.run(req);
+  EXPECT_EQ(session.num_executions(), 2u);
+}
+
 TEST(Service, TimeSteppingStateCarriesAcrossRuns) {
   // Two warm service runs of one Jacobi step each must equal one direct
   // execution of two iterations: the session reuses machine state, so
