@@ -18,6 +18,7 @@
 #include <utility>
 
 #include "driver/hpfsc.hpp"
+#include "obs/metrics.hpp"
 #include "obs/sinks.hpp"
 
 namespace hpfsc::bench {
@@ -124,6 +125,20 @@ inline void write_phase_metrics(const char* bench, const char* phase, int n,
     << obs::json_escape(phase) << "\",\"n\":" << n << ",\"wall_seconds\":"
     << obs::json_number(stats.wall_seconds)
     << ",\"machine\":" << stats.machine.to_json() << "}\n";
+}
+
+/// Appends a metrics-registry record (latency histograms, counters) to
+/// the HPFSC_BENCH_JSON feed, tagged "metrics" so trajectory tooling
+/// can tell it apart from phase records.  No-op when the variable is
+/// unset.
+inline void write_metrics_jsonl(const char* bench,
+                                const obs::MetricsRegistry& metrics) {
+  const char* path = std::getenv("HPFSC_BENCH_JSON");
+  if (!path || !*path) return;
+  std::ofstream f(path, std::ios::app);
+  if (!f) return;
+  f << "{\"bench\":\"" << obs::json_escape(bench)
+    << "\",\"metrics\":" << metrics.to_json() << "}\n";
 }
 
 }  // namespace hpfsc::bench

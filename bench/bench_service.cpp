@@ -64,13 +64,21 @@ void run_once(service::Session& session, const service::ServiceRequest& req) {
 void BM_ServiceRequestCold(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   const service::ServiceRequest req = problem9_request(n);
+  obs::MetricsRegistry agg;  // per-iteration services fold in here
   for (auto _ : state) {
     service::ServiceConfig cfg;
     cfg.machine = service_machine();
     service::StencilService svc(cfg);
     service::Session session(svc);
     run_once(session, req);
+    state.PauseTiming();
+    agg.merge_from(svc.metrics());
+    state.ResumeTiming();
   }
+  const obs::Histogram cold = agg.histogram("service.compile.cold_ms");
+  state.counters["cold_compile_ms_p50"] = cold.p50();
+  state.counters["cold_compile_ms_p99"] = cold.p99();
+  write_metrics_jsonl("bench_service/cold", agg);
   state.SetLabel("fresh service: compile + prepare + 1 step");
 }
 BENCHMARK(BM_ServiceRequestCold)->Arg(64)->Arg(256)->Arg(1024)
@@ -92,6 +100,10 @@ void BM_ServiceRequestWarm(benchmark::State& state) {
   const service::CacheCounters c = svc.cache_counters();
   state.counters["cache_hits"] = static_cast<double>(c.hits);
   state.counters["cache_misses"] = static_cast<double>(c.misses);
+  const obs::Histogram warm = svc.metrics().histogram("service.run_ms");
+  state.counters["run_ms_p50"] = warm.p50();
+  state.counters["run_ms_p99"] = warm.p99();
+  write_metrics_jsonl("bench_service/warm", svc.metrics());
   state.SetLabel("steady state: cache hit + reused execution");
 }
 BENCHMARK(BM_ServiceRequestWarm)->Arg(64)->Arg(256)->Arg(1024)
@@ -129,6 +141,7 @@ void BM_ServiceThroughput(benchmark::State& state) {
     state.counters["cache_hits"] = static_cast<double>(c.hits);
     state.counters["cache_misses"] = static_cast<double>(c.misses);
     state.counters["coalesced"] = static_cast<double>(c.coalesced);
+    write_metrics_jsonl("bench_service/throughput", g_shared.svc->metrics());
     g_shared.svc.reset();
   }
 }

@@ -6,6 +6,7 @@
 //
 //   hpfsc_dump [-O0..-O4|--xlhpf] [--live-out A,B]
 //              [--trace-out=FILE] [--jsonl-out=FILE] [--obs-summary]
+//              [--metrics-out=FILE] [--prom-out=FILE]
 //              [--run] [--n=N] [--iters=K] [--steps=K] [--emulate]
 //              [--serve-batch=FILE] [--workers=K]
 //              (FILE | @problem9 | @ninept | @ninept-array | @fivept |
@@ -15,8 +16,12 @@
 // Perfetto): one span per compiler pass with IR-delta args, plus one
 // span per plan step per PE with message/byte/modeled-cost attribution.
 // The HPFSC_TRACE environment variable supplies a default path when
-// --trace-out is not given.  --obs-summary prints an aggregate table
-// to stderr.  Any of these imply --run.
+// --trace-out is not given.  --obs-summary prints an aggregate table to
+// stderr, plus one line per latency histogram (count/p50/p90/p99/max).
+// --metrics-out / --prom-out write the merged metrics registry (trace
+// counters teed through the default registry plus the service-layer
+// latency histograms) as JSON / Prometheus text.  Any of these imply
+// --run.
 //
 // --steps=K issues K identical requests through the service layer:
 // request 0 compiles (cold), requests 1..K-1 hit the plan cache and
@@ -37,6 +42,7 @@
 
 #include "codegen/spmd_printer.hpp"
 #include "driver/hpfsc.hpp"
+#include "obs/metrics.hpp"
 #include "obs/sinks.hpp"
 #include "service/service.hpp"
 
@@ -56,6 +62,7 @@ void usage() {
   std::fprintf(stderr,
                "usage: hpfsc_dump [-O0..-O4|--xlhpf] [--live-out A,B] "
                "[--trace-out=FILE] [--jsonl-out=FILE] [--obs-summary] "
+               "[--metrics-out=FILE] [--prom-out=FILE] "
                "[--run] [--n=N] [--iters=K] [--steps=K] [--emulate] "
                "[--serve-batch=FILE] [--workers=K] "
                "(FILE | @problem9 | @ninept | @ninept-array | @fivept | "
@@ -65,7 +72,10 @@ void usage() {
                "  --steps=K repeats the request K times through the plan "
                "cache (cold vs. warm latency).\n"
                "  --serve-batch=FILE serves 'INPUT LEVEL N STEPS' request "
-               "lines through a worker pool.\n");
+               "lines through a worker pool.\n"
+               "  --metrics-out / --prom-out write the metrics registry "
+               "(counters, gauges, latency histograms) as JSON / "
+               "Prometheus text.\n");
 }
 
 /// Value of "--flag=X" or nullptr when `arg` is not that flag.
@@ -119,13 +129,61 @@ void init_input_arrays(hpfsc::Execution& exec) {
   }
 }
 
+/// Where to put aggregate metrics at exit (--metrics-out, --prom-out,
+/// --obs-summary histogram lines).
+struct MetricsOutput {
+  std::string json_path;
+  std::string prom_path;
+  bool summary = false;
+  [[nodiscard]] bool wanted() const {
+    return summary || !json_path.empty() || !prom_path.empty();
+  }
+};
+
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (out) out << text;
+  if (!out) {
+    std::fprintf(stderr, "hpfsc_dump: cannot write '%s'\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Merges the process-wide registry (trace-counter tee) with the
+/// service's latency histograms (when a service ran) and writes the
+/// requested outputs.  Returns false on I/O failure.
+bool emit_metrics(const MetricsOutput& out,
+                  const hpfsc::obs::MetricsRegistry* service_metrics) {
+  using namespace hpfsc;
+  if (!out.wanted()) return true;
+  obs::MetricsRegistry merged;
+  merged.merge_from(obs::default_registry());
+  if (service_metrics != nullptr) merged.merge_from(*service_metrics);
+  if (out.summary) {
+    const std::string lines = merged.summary();
+    if (!lines.empty()) {
+      std::fprintf(stderr, "--- latency histograms ---\n%s", lines.c_str());
+    }
+  }
+  bool ok = true;
+  if (!out.json_path.empty()) {
+    ok &= write_text_file(out.json_path, merged.to_json() + "\n");
+  }
+  if (!out.prom_path.empty()) {
+    ok &= write_text_file(out.prom_path, merged.to_prometheus());
+  }
+  return ok;
+}
+
 /// --serve-batch: parse 'INPUT LEVEL N STEPS' request lines, serve them
 /// through a worker pool sharing one plan cache, report latencies and
 /// cache counters.
 int serve_batch(const std::string& path, int workers, int default_n,
                 const std::vector<std::string>& live_out,
                 const simpi::MachineConfig& mc,
-                hpfsc::obs::TraceSession* trace) {
+                hpfsc::obs::TraceSession* trace,
+                const MetricsOutput& metrics_out) {
   using namespace hpfsc;
   std::ifstream file(path);
   if (!file) {
@@ -218,6 +276,7 @@ int serve_batch(const std::string& path, int workers, int default_n,
   std::printf("wall: %.3f ms, throughput: %.1f requests/s\n", wall * 1e3,
               static_cast<double>(futures.size()) / wall);
   if (trace != nullptr) trace->flush();
+  if (!emit_metrics(metrics_out, &svc.metrics())) return 2;
   return failures == 0 ? 0 : 1;
 }
 
@@ -230,6 +289,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> live_out;
   std::string trace_out;
   std::string jsonl_out;
+  MetricsOutput metrics_out;
   bool obs_summary = false;
   bool run = false;
   bool emulate = false;
@@ -255,8 +315,15 @@ int main(int argc, char** argv) {
       trace_out = v;
     } else if ((v = flag_value(arg, "--jsonl-out"))) {
       jsonl_out = v;
+    } else if ((v = flag_value(arg, "--metrics-out"))) {
+      metrics_out.json_path = v;
+      run = true;
+    } else if ((v = flag_value(arg, "--prom-out"))) {
+      metrics_out.prom_path = v;
+      run = true;
     } else if (arg == "--obs-summary") {
       obs_summary = true;
+      metrics_out.summary = true;
     } else if (arg == "--run") {
       run = true;
     } else if ((v = flag_value(arg, "--n"))) {
@@ -312,6 +379,11 @@ int main(int argc, char** argv) {
   if (obs_summary) {
     session.add_sink(std::make_unique<obs::SummarySink>(std::cerr));
   }
+  // Tee trace counters into the process-wide registry so --metrics-out /
+  // --prom-out carry them (as gauges) alongside the latency histograms.
+  if (metrics_out.wanted()) {
+    session.set_metrics(&obs::default_registry());
+  }
   // SP-2-like cost model (see bench/bench_common.hpp) so modeled costs
   // in the trace are meaningful; busy-wait only on request.
   simpi::MachineConfig mc;
@@ -321,12 +393,16 @@ int main(int argc, char** argv) {
   mc.cost.cache_ns_per_byte = 0.2;
   mc.cost.emulate = emulate;
 
+  // A session with no sinks still tees counters into the registry, so
+  // metrics output alone is enough reason to attach it everywhere.
+  obs::TraceSession* trace_ptr =
+      session.enabled() || metrics_out.wanted() ? &session : nullptr;
   if (!serve_batch_path.empty()) {
-    return serve_batch(serve_batch_path, workers, n, live_out, mc,
-                       session.enabled() ? &session : nullptr);
+    return serve_batch(serve_batch_path, workers, n, live_out, mc, trace_ptr,
+                       metrics_out);
   }
-  if (session.enabled()) {
-    options.trace = &session;
+  if (trace_ptr != nullptr) {
+    options.trace = trace_ptr;
     run = true;
   }
 
@@ -356,7 +432,7 @@ int main(int argc, char** argv) {
       // reuse the one prepared Execution (warm).
       service::ServiceConfig cfg;
       cfg.machine = mc;
-      cfg.trace = session.enabled() ? &session : nullptr;
+      cfg.trace = trace_ptr;
       service::StencilService svc(cfg);
       service::Session client(svc);
       std::vector<double> latencies;
@@ -389,6 +465,7 @@ int main(int argc, char** argv) {
                   c.misses == 1 ? "" : "es", client.num_executions(),
                   client.num_executions() == 1 ? "" : "s");
       session.flush();
+      if (!emit_metrics(metrics_out, &svc.metrics())) return 2;
     } else if (run) {
       if (compiled.processors) {
         mc.pe_rows = compiled.processors->first;
@@ -396,7 +473,7 @@ int main(int argc, char** argv) {
       }
 
       Execution exec(std::move(compiled.program), mc);
-      exec.set_trace(session.enabled() ? &session : nullptr);
+      exec.set_trace(trace_ptr);
       exec.prepare(Bindings{}.set("N", n));
       if (exec.program().find_array("U") >= 0) {
         exec.set_array("U",
@@ -408,6 +485,7 @@ int main(int argc, char** argv) {
       std::printf("wall: %.3f ms\n", stats.wall_seconds * 1e3);
       std::printf("machine: %s\n", stats.machine.to_json().c_str());
       session.flush();
+      if (!emit_metrics(metrics_out, nullptr)) return 2;
     }
   } catch (const CompileError& e) {
     std::fprintf(stderr, "compilation failed:\n%s", e.what());

@@ -208,6 +208,7 @@ Execution::RunStats Execution::run(int iterations) {
   span.arg("iterations", iterations);
   const auto start = std::chrono::steady_clock::now();
   machine_->run([&](simpi::Pe& pe) {
+    pe.reset_comm_context();
     std::vector<double> env = initial_env_;
     for (int it = 0; it < iterations; ++it) {
       exec_ops(pe, prog_.ops, env);
@@ -299,6 +300,9 @@ void Execution::exec_ops(simpi::Pe& pe, const std::vector<spmd::Op>& ops,
           span.arg_str("kernel.tier", tier);
         }
         exec_nest(pe, op, env);
+        // A kernel nest closes the executed statement context: the next
+        // statement's shifts get a fresh per-direction message budget.
+        pe.reset_comm_context();
         break;
       }
       case spmd::OpKind::ScalarAssign:

@@ -1,0 +1,249 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/sinks.hpp"
+
+namespace hpfsc::obs {
+
+// ------------------------------------------------------------ Histogram
+
+int Histogram::bucket_index(double value) {
+  if (!(value > 0.0)) return 0;  // zero, negative, NaN
+  int e = 0;
+  const double f = std::frexp(value, &e);  // value = f * 2^e, f in [0.5, 1)
+  const int p = e - 1;                     // 2^p <= value < 2^(p+1)
+  if (p < kMinExp) return 1;
+  if (p >= kMaxExp) return kBucketCount - 1;
+  int sub = static_cast<int>((f - 0.5) * 2.0 * kSubBuckets);
+  sub = std::clamp(sub, 0, kSubBuckets - 1);
+  return (p - kMinExp) * kSubBuckets + sub + 1;
+}
+
+double Histogram::bucket_upper_bound(int index) {
+  if (index <= 0) return 0.0;
+  const int decade = (index - 1) / kSubBuckets;
+  const int sub = (index - 1) % kSubBuckets;
+  return std::ldexp(1.0 + static_cast<double>(sub + 1) / kSubBuckets,
+                    kMinExp + decade);
+}
+
+void Histogram::record(double value) {
+  if (value < 0.0 || std::isnan(value)) value = 0.0;
+  buckets_[static_cast<std::size_t>(bucket_index(value))] += 1;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t cum = 0;
+  for (int i = 0; i < kBucketCount; ++i) {
+    cum += buckets_[static_cast<std::size_t>(i)];
+    if (cum < rank) continue;
+    double rep;
+    if (i == 0) {
+      rep = 0.0;
+    } else if (i == kBucketCount - 1) {
+      rep = max_;
+    } else {
+      // Geometric-ish midpoint of the bucket's value range.
+      const int decade = (i - 1) / kSubBuckets;
+      const int sub = (i - 1) % kSubBuckets;
+      rep = std::ldexp(1.0 + (static_cast<double>(sub) + 0.5) / kSubBuckets,
+                       kMinExp + decade);
+    }
+    return std::clamp(rep, min_, max_);
+  }
+  return max_;
+}
+
+std::string Histogram::to_json() const {
+  std::string out = "{\"count\":" + std::to_string(count_);
+  out += ",\"sum\":" + json_number(sum_);
+  out += ",\"min\":" + json_number(min());
+  out += ",\"max\":" + json_number(max());
+  out += ",\"mean\":" + json_number(mean());
+  out += ",\"p50\":" + json_number(p50());
+  out += ",\"p90\":" + json_number(p90());
+  out += ",\"p99\":" + json_number(p99());
+  out += "}";
+  return out;
+}
+
+// ------------------------------------------------------ MetricsRegistry
+
+void MetricsRegistry::add(const std::string& name, double delta) {
+  std::lock_guard lock(mutex_);
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::set_gauge(const std::string& name, double value) {
+  std::lock_guard lock(mutex_);
+  gauges_[name] = value;
+}
+
+void MetricsRegistry::observe(const std::string& name, double value) {
+  std::lock_guard lock(mutex_);
+  histograms_[name].record(value);
+}
+
+double MetricsRegistry::counter(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0.0 : it->second;
+}
+
+double MetricsRegistry::gauge(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+Histogram MetricsRegistry::histogram(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? Histogram{} : it->second;
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  // Copy out under the source lock, then fold in under ours, so the two
+  // locks are never held together (no ordering constraint to violate).
+  std::map<std::string, double> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Histogram> histograms;
+  {
+    std::lock_guard lock(other.mutex_);
+    counters = other.counters_;
+    gauges = other.gauges_;
+    histograms = other.histograms_;
+  }
+  std::lock_guard lock(mutex_);
+  for (const auto& [name, v] : counters) counters_[name] += v;
+  for (const auto& [name, v] : gauges) gauges_[name] = v;
+  for (const auto& [name, h] : histograms) histograms_[name].merge(h);
+}
+
+void MetricsRegistry::clear() {
+  std::lock_guard lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard lock(mutex_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + json_escape(name) + "\":" + json_number(v);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + json_escape(name) + "\":" + json_number(v);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + json_escape(name) + "\":" + h.to_json();
+  }
+  out += "}}";
+  return out;
+}
+
+namespace {
+
+/// Prometheus metric name: "hpfsc_" + name with [^a-zA-Z0-9_] -> '_'.
+std::string prom_name(const std::string& name) {
+  std::string out = "hpfsc_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_prometheus() const {
+  std::lock_guard lock(mutex_);
+  std::string out;
+  for (const auto& [name, v] : counters_) {
+    const std::string p = prom_name(name);
+    out += "# TYPE " + p + " counter\n";
+    out += p + " " + json_number(v) + "\n";
+  }
+  for (const auto& [name, v] : gauges_) {
+    const std::string p = prom_name(name);
+    out += "# TYPE " + p + " gauge\n";
+    out += p + " " + json_number(v) + "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string p = prom_name(name);
+    out += "# TYPE " + p + " summary\n";
+    out += p + "{quantile=\"0.5\"} " + json_number(h.p50()) + "\n";
+    out += p + "{quantile=\"0.9\"} " + json_number(h.p90()) + "\n";
+    out += p + "{quantile=\"0.99\"} " + json_number(h.p99()) + "\n";
+    out += p + "_sum " + json_number(h.sum()) + "\n";
+    out += p + "_count " + std::to_string(h.count()) + "\n";
+    out += "# TYPE " + p + "_max gauge\n";
+    out += p + "_max " + json_number(h.max()) + "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::summary() const {
+  std::lock_guard lock(mutex_);
+  std::string out;
+  for (const auto& [name, h] : histograms_) {
+    out += name + ": count=" + std::to_string(h.count());
+    out += " p50=" + json_number(h.p50());
+    out += " p90=" + json_number(h.p90());
+    out += " p99=" + json_number(h.p99());
+    out += " max=" + json_number(h.max());
+    out += "\n";
+  }
+  return out;
+}
+
+MetricsRegistry& default_registry() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never dies
+  return *registry;
+}
+
+}  // namespace hpfsc::obs

@@ -1,0 +1,143 @@
+// Aggregate metrics on top of the span/counter trace layer: named
+// counters (monotone sums), gauges (last-write-wins samples), and
+// log-linear latency histograms with percentile queries.
+//
+// Where the trace layer answers "what happened, when, on which PE",
+// this layer answers "how is the service doing": request-latency
+// distributions (p50/p90/p99/max), cumulative cache traffic, message
+// budgets — the quantities a regression gate or a dashboard consumes.
+//
+//   Histogram       — single-writer value-distribution recorder.
+//                     Log-linear (HDR-style) buckets: each power of two
+//                     is split into kSubBuckets linear sub-buckets, so
+//                     the relative quantile error is bounded (~3%)
+//                     across twelve decades.  merge() combines
+//                     histograms bucket-wise (e.g. per-worker recorders
+//                     into a service-wide one).
+//   MetricsRegistry — thread-safe name -> metric map with JSON export
+//                     and Prometheus text exposition.  All mutation
+//                     goes through the registry lock; Histogram itself
+//                     stays lock-free/plain so single-owner uses (a
+//                     bench loop) pay nothing.
+//   default_registry() — process-wide registry.  TraceSession can tee
+//                     its counter samples into a registry (as gauges,
+//                     since trace counters are cumulative samples), so
+//                     existing instrumentation feeds the metrics layer
+//                     without new call sites.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hpfsc::obs {
+
+/// Value-distribution recorder with bounded relative error.  Values are
+/// non-negative doubles (negatives clamp to 0).  Not thread-safe on its
+/// own; MetricsRegistry serializes access to registry-owned histograms.
+class Histogram {
+ public:
+  /// Linear sub-buckets per power of two.  16 gives a worst-case
+  /// relative quantile error of 1/32 (~3%).
+  static constexpr int kSubBuckets = 16;
+  /// Covered binary exponent range: values in [2^-20, 2^43) land in
+  /// log-linear buckets (~1e-6 .. ~8e12 — microseconds to terabytes);
+  /// smaller/larger values clamp into the first/last bucket.  The exact
+  /// min/max/sum are tracked separately, so clamping only affects
+  /// mid-range percentiles of out-of-range data.
+  static constexpr int kMinExp = -20;
+  static constexpr int kMaxExp = 43;
+  static constexpr int kBucketCount =
+      (kMaxExp - kMinExp) * kSubBuckets + 2;  ///< +1 zero, +1 overflow
+
+  void record(double value);
+
+  /// Bucket-wise sum of another histogram into this one.
+  void merge(const Histogram& other);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double mean() const {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+
+  /// Value at quantile `q` in [0, 1]: the representative value of the
+  /// bucket containing the ceil(q * count)-th sample, clamped to the
+  /// exact [min, max].  0 when the histogram is empty.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double p50() const { return quantile(0.50); }
+  [[nodiscard]] double p90() const { return quantile(0.90); }
+  [[nodiscard]] double p99() const { return quantile(0.99); }
+
+  void clear() { *this = Histogram{}; }
+
+  /// {"count":..,"sum":..,"min":..,"max":..,"mean":..,"p50":..,...}
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  static int bucket_index(double value);
+  [[nodiscard]] static double bucket_upper_bound(int index);
+
+  std::array<std::uint64_t, kBucketCount> buckets_{};
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Thread-safe named-metric registry.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Adds `delta` to counter `name` (created at 0).
+  void add(const std::string& name, double delta = 1.0);
+  /// Sets gauge `name` to `value` (last write wins).
+  void set_gauge(const std::string& name, double value);
+  /// Records `value` into histogram `name` (created empty).
+  void observe(const std::string& name, double value);
+
+  [[nodiscard]] double counter(const std::string& name) const;
+  [[nodiscard]] double gauge(const std::string& name) const;
+  /// Copy of histogram `name` (empty histogram when absent).
+  [[nodiscard]] Histogram histogram(const std::string& name) const;
+
+  /// Sums counters, overwrites gauges, and merges histograms from
+  /// `other` into this registry.
+  void merge_from(const MetricsRegistry& other);
+
+  void clear();
+
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{...}}}
+  [[nodiscard]] std::string to_json() const;
+
+  /// Prometheus text exposition (version 0.0.4).  Metric names are
+  /// sanitized ('.' and '-' -> '_') and prefixed "hpfsc_"; histograms
+  /// export as summaries (quantile 0.5/0.9/0.99 + _sum/_count) plus a
+  /// `<name>_max` gauge.
+  [[nodiscard]] std::string to_prometheus() const;
+
+  /// One line per histogram — "name: count=N p50=... p90=... p99=...
+  /// max=... (unit-free)" — for --obs-summary-style CLI output.
+  /// Empty string when no histograms were recorded.
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, double> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+/// Process-wide registry (created on first use, never destroyed before
+/// other statics that might record into it at exit).
+[[nodiscard]] MetricsRegistry& default_registry();
+
+}  // namespace hpfsc::obs

@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "obs/metrics.hpp"
+
 namespace hpfsc::obs {
 
 void TraceSession::add_sink(std::unique_ptr<Sink> sink) {
@@ -23,12 +25,15 @@ void TraceSession::emit_span(SpanRecord rec) {
 }
 
 void TraceSession::emit_counter(CounterRecord rec) {
+  // Tee outside the sink lock: the registry has its own mutex and no
+  // lock-ordering relationship with sinks.
+  if (MetricsRegistry* reg = metrics()) reg->set_gauge(rec.name, rec.value);
   std::lock_guard lock(mutex_);
   for (auto& s : sinks_) s->counter(rec);
 }
 
 void TraceSession::counter(const char* name, double value, int track) {
-  if (!enabled()) return;
+  if (!enabled() && metrics() == nullptr) return;
   emit_counter(CounterRecord{name, track, now_ns(), value});
 }
 

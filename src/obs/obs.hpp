@@ -26,6 +26,8 @@
 
 namespace hpfsc::obs {
 
+class MetricsRegistry;
+
 /// One span/counter argument.  Keys are string literals (producers pass
 /// `const char*`); values are numeric (the common case: byte counts,
 /// modeled nanoseconds, IR statement counts) or short strings.
@@ -102,6 +104,18 @@ class TraceSession {
   void add_sink(std::unique_ptr<Sink> sink);
   void clear_sinks();
 
+  /// Tees every counter sample into `registry` as a gauge (trace
+  /// counters are cumulative samples, so last-write-wins is the right
+  /// aggregation).  The registry is not owned and must outlive the
+  /// session or be detached with nullptr.  Counters tee even when no
+  /// sink is installed; spans still require a sink (enabled()).
+  void set_metrics(MetricsRegistry* registry) {
+    metrics_.store(registry, std::memory_order_release);
+  }
+  [[nodiscard]] MetricsRegistry* metrics() const {
+    return metrics_.load(std::memory_order_acquire);
+  }
+
   void emit_span(SpanRecord rec);
   void emit_counter(CounterRecord rec);
   /// Convenience: sample counter `name` = `value` now.
@@ -112,6 +126,7 @@ class TraceSession {
  private:
   std::chrono::steady_clock::time_point epoch_;
   std::atomic<bool> enabled_{false};
+  std::atomic<MetricsRegistry*> metrics_{nullptr};
   std::mutex mutex_;
   std::vector<std::unique_ptr<Sink>> sinks_;
 };

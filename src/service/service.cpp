@@ -7,6 +7,16 @@
 
 namespace hpfsc::service {
 
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
 StencilService::StencilService(ServiceConfig config)
     : config_(std::move(config)),
       cache_(config_.cache_capacity, config_.trace) {}
@@ -36,6 +46,7 @@ PlanHandle StencilService::compile(std::string_view source,
   obs::TraceSession* trace = config_.trace;
   obs::Span span(trace, "service.compile", "service");
   span.arg("source_bytes", static_cast<double>(source.size()));
+  const auto start = std::chrono::steady_clock::now();
 
   CacheKey key = memoized_key(source, options);
   span.arg("key_hash", key.hash);
@@ -59,6 +70,9 @@ PlanHandle StencilService::compile(std::string_view source,
       &how);
   if (outcome != nullptr) *outcome = how;
   span.arg_str("cache", to_string(how));
+  metrics_.observe(how == CacheOutcome::Miss ? "service.compile.cold_ms"
+                                             : "service.compile.warm_ms",
+                   ms_since(start));
   return plan;
 }
 
@@ -133,10 +147,13 @@ Execution::RunStats Session::run(const RunRequest& req) {
   obs::Span span(service_->trace(), "service.run", "service");
   span.arg("steps", req.steps);
   span.arg("key_hash", req.plan->key.hash);
+  const auto start = std::chrono::steady_clock::now();
   bool created = false;
   ExecEntry& entry = entry_for(req.plan, req.bindings, req.init, &created);
   span.arg("prepared", created ? 1 : 0);
-  return entry.exec->run(req.steps);
+  Execution::RunStats stats = entry.exec->run(req.steps);
+  service_->metrics().observe("service.run_ms", ms_since(start));
+  return stats;
 }
 
 Execution& Session::execution(const PlanHandle& plan,
@@ -216,6 +233,8 @@ void ServicePool::worker_main(int index) {
               .count();
       span.arg_str("cache", to_string(response.outcome));
       span.arg("latency_ms", response.latency_seconds * 1e3);
+      service_.metrics().observe("service.request_ms",
+                                 response.latency_seconds * 1e3);
       item.promise.set_value(std::move(response));
     } catch (...) {
       span.arg_str("cache", "error");

@@ -45,6 +45,7 @@
 
 #include "driver/compiler.hpp"
 #include "executor/execution.hpp"
+#include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "service/plan_cache.hpp"
 #include "simpi/config.hpp"
@@ -89,6 +90,19 @@ class StencilService {
   [[nodiscard]] PlanCache& cache() { return cache_; }
   [[nodiscard]] obs::TraceSession* trace() const { return config_.trace; }
 
+  /// Service-level latency histograms (milliseconds), shared by every
+  /// Session and ServicePool built on this service:
+  ///   service.compile.cold_ms — compile() calls that ran the pipeline
+  ///   service.compile.warm_ms — compile() calls served by cache hit
+  ///                             or coalesced onto an in-flight compile
+  ///   service.run_ms          — Session::run wall time
+  ///   service.request_ms      — end-to-end ServicePool request time
+  /// Thread-safe (the registry serializes internally).
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const {
+    return metrics_;
+  }
+
  private:
   /// The memoized CacheKey for an exact (source bytes, options) repeat.
   /// Canonicalizing a request (lex -> parse -> lower -> IR print) costs
@@ -103,6 +117,7 @@ class StencilService {
 
   ServiceConfig config_;
   PlanCache cache_;
+  obs::MetricsRegistry metrics_;
   std::mutex memo_mutex_;
   std::unordered_map<std::string, CacheKey> key_memo_;
 };

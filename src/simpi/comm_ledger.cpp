@@ -1,0 +1,90 @@
+#include "simpi/comm_ledger.hpp"
+
+namespace simpi {
+
+const char* to_string(CommKind kind) {
+  switch (kind) {
+    case CommKind::OverlapShift: return "overlap_shift";
+    case CommKind::FullShift: return "full_shift";
+    case CommKind::CornerRsd: return "corner_rsd";
+  }
+  return "?";
+}
+
+CommCell CommLedger::dir_total(int dim, int dir) const {
+  CommCell out;
+  for (int k = 0; k < kCommKinds; ++k) out += cells[dim][dir][k];
+  return out;
+}
+
+CommCell CommLedger::kind_total(CommKind kind) const {
+  CommCell out;
+  for (int d = 0; d < kCommDims; ++d) {
+    for (int s = 0; s < kCommDirs; ++s) {
+      out += cells[d][s][static_cast<int>(kind)];
+    }
+  }
+  return out;
+}
+
+CommCell CommLedger::total() const {
+  CommCell out;
+  for (int d = 0; d < kCommDims; ++d) {
+    for (int s = 0; s < kCommDirs; ++s) {
+      for (int k = 0; k < kCommKinds; ++k) out += cells[d][s][k];
+    }
+  }
+  return out;
+}
+
+CommLedger& CommLedger::operator+=(const CommLedger& o) {
+  for (int d = 0; d < kCommDims; ++d) {
+    for (int s = 0; s < kCommDirs; ++s) {
+      for (int k = 0; k < kCommKinds; ++k) cells[d][s][k] += o.cells[d][s][k];
+    }
+  }
+  return *this;
+}
+
+CommLedger CommLedger::delta_since(const CommLedger& before) const {
+  CommLedger out;
+  for (int d = 0; d < kCommDims; ++d) {
+    for (int s = 0; s < kCommDirs; ++s) {
+      for (int k = 0; k < kCommKinds; ++k) {
+        out.cells[d][s][k].messages =
+            cells[d][s][k].messages - before.cells[d][s][k].messages;
+        out.cells[d][s][k].bytes =
+            cells[d][s][k].bytes - before.cells[d][s][k].bytes;
+      }
+    }
+  }
+  return out;
+}
+
+std::string CommLedger::to_json() const {
+  std::string out = "{\"per_direction\":[";
+  bool first = true;
+  for (int d = 0; d < kCommDims; ++d) {
+    for (int s = 0; s < kCommDirs; ++s) {
+      for (int k = 0; k < kCommKinds; ++k) {
+        const CommCell& c = cells[d][s][k];
+        if (c.messages == 0 && c.bytes == 0) continue;
+        if (!first) out += ",";
+        first = false;
+        out += "{\"dim\":" + std::to_string(d + 1);
+        out += ",\"dir\":\"";
+        out += (s == 1 ? '+' : '-');
+        out += "\",\"kind\":\"";
+        out += to_string(static_cast<CommKind>(k));
+        out += "\",\"messages\":" + std::to_string(c.messages);
+        out += ",\"bytes\":" + std::to_string(c.bytes) + "}";
+      }
+    }
+  }
+  const CommCell t = total();
+  out += "],\"messages\":" + std::to_string(t.messages);
+  out += ",\"bytes\":" + std::to_string(t.bytes) + "}";
+  return out;
+}
+
+}  // namespace simpi

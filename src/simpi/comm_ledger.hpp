@@ -1,0 +1,105 @@
+// Per-direction communication ledger: attributes every interprocessor
+// transfer to (array dimension, shift direction, kind).  This is the
+// instrument for the paper's central communication claim (§3.3): after
+// communication unioning, a stencil statement needs at most **one
+// message per direction per dimension**, with corner data carried
+// inside those messages via the RSD fourth argument rather than as
+// extra corner messages.
+//
+// Kinds:
+//   OverlapShift — a halo-fill message from the overlap-area runtime
+//                  (what unioned, offset-array code executes)
+//   FullShift    — a whole-subgrid CSHIFT/EOSHIFT message (what the
+//                  original, temporary-materializing code executes)
+//   CornerRsd    — the *byte surcharge* of the RSD extension on an
+//                  overlap-shift message: the corner/edge data riding
+//                  along.  Never carries a message count — that is the
+//                  claim being measured.
+//
+// The ledger is embedded in PeStats (single-writer, PE-private) and
+// aggregated into MachineStats, so it inherits the existing
+// clear/accumulate/delta_since attribution windows used by spans and
+// benchmarks.
+//
+// Strict invariant mode (Machine::set_comm_invariant or
+// HPFSC_COMM_INVARIANT=1) arms a fail-fast check: within one executed
+// statement context (the executor resets the window after every kernel
+// loop nest), a PE sending a second message in the same (dimension,
+// direction) throws CommInvariantViolation — the unioning guarantee,
+// enforced at run time.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace simpi {
+
+inline constexpr int kCommDims = 3;   ///< array dimensions (rank <= 3)
+inline constexpr int kCommDirs = 2;   ///< 0 = negative shift, 1 = positive
+inline constexpr int kCommKinds = 3;
+
+enum class CommKind { OverlapShift = 0, FullShift = 1, CornerRsd = 2 };
+
+[[nodiscard]] const char* to_string(CommKind kind);
+
+/// Direction index for a shift amount (shift != 0).
+[[nodiscard]] constexpr int comm_dir(int shift) { return shift > 0 ? 1 : 0; }
+
+struct CommCell {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+
+  CommCell& operator+=(const CommCell& o) {
+    messages += o.messages;
+    bytes += o.bytes;
+    return *this;
+  }
+};
+
+/// Thrown (in strict mode) by the PE that exceeds the one-message-per-
+/// direction-per-dimension budget inside a single statement context.
+class CommInvariantViolation : public std::logic_error {
+ public:
+  explicit CommInvariantViolation(const std::string& what)
+      : std::logic_error(what) {}
+};
+
+struct CommLedger {
+  CommCell cells[kCommDims][kCommDirs][kCommKinds];
+
+  void record(int dim, int dir, CommKind kind, std::uint64_t messages,
+              std::uint64_t bytes) {
+    CommCell& c = cells[dim][dir][static_cast<int>(kind)];
+    c.messages += messages;
+    c.bytes += bytes;
+  }
+
+  [[nodiscard]] const CommCell& cell(int dim, int dir, CommKind kind) const {
+    return cells[dim][dir][static_cast<int>(kind)];
+  }
+
+  /// Sum over kinds for one (dimension, direction).
+  [[nodiscard]] CommCell dir_total(int dim, int dir) const;
+  /// Sum over dimensions and directions for one kind.
+  [[nodiscard]] CommCell kind_total(CommKind kind) const;
+  /// Grand total.
+  [[nodiscard]] CommCell total() const;
+
+  [[nodiscard]] bool empty() const { return total().messages == 0 &&
+                                            total().bytes == 0; }
+
+  CommLedger& operator+=(const CommLedger& o);
+  /// Cell-wise monotone-counter difference (`after - before`).
+  [[nodiscard]] CommLedger delta_since(const CommLedger& before) const;
+
+  void clear() { *this = CommLedger{}; }
+
+  /// {"per_direction":[{"dim":1,"dir":"-","kind":"overlap_shift",
+  ///   "messages":N,"bytes":N},...],"messages":N,"bytes":N}
+  /// Only non-empty cells appear in the array; dims are 1-based to
+  /// match the paper's notation.
+  [[nodiscard]] std::string to_json() const;
+};
+
+}  // namespace simpi

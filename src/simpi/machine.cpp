@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <thread>
 
 namespace simpi {
@@ -55,6 +56,25 @@ void Pe::charge_kernel_refs(std::size_t bytes) {
   if (machine_.config().cost.emulate) spin_for_ns(cost);
 }
 
+void Pe::note_context_message(int dim, int dir, const char* kind) {
+  const std::uint32_t n = ++context_messages_[dim][dir];
+  if (n > 1 && machine_.comm_invariant()) {
+    throw CommInvariantViolation(
+        "PE " + std::to_string(id_) + ": " + std::string(kind) +
+        " message #" + std::to_string(n) + " in dim " +
+        std::to_string(dim + 1) + ", direction " +
+        (dir == 1 ? std::string("+") : std::string("-")) +
+        " within one statement context (unioning guarantees one message "
+        "per direction per dimension)");
+  }
+}
+
+void Pe::reset_comm_context() {
+  for (auto& dims : context_messages_) {
+    for (auto& count : dims) count = 0;
+  }
+}
+
 std::vector<double> Pe::recv(int src) {
   Machine::Channel& ch = machine_.channel(src, id_);
   std::unique_lock lock(ch.mutex);
@@ -104,6 +124,9 @@ Machine::Machine(const MachineConfig& config)
     : config_(config), grid_(config.pe_rows, config.pe_cols) {
   if (config.pe_rows < 1 || config.pe_cols < 1) {
     throw std::invalid_argument("Machine: PE grid dims must be >= 1");
+  }
+  if (const char* env = std::getenv("HPFSC_COMM_INVARIANT")) {
+    comm_invariant_ = *env != '\0' && !(env[0] == '0' && env[1] == '\0');
   }
   const int p = grid_.size();
   pes_.reserve(static_cast<std::size_t>(p));
@@ -295,6 +318,12 @@ void Machine::clear_stats() {
     pe->stats_.clear();
     pe->arena_.reset_peak();
   }
+}
+
+CommLedger Machine::comm_ledger() const {
+  CommLedger total;
+  for (const auto& pe : pes_) total += pe->stats_.comm;
+  return total;
 }
 
 void Machine::set_obs_session(hpfsc::obs::TraceSession* session) {

@@ -72,6 +72,19 @@ class Pe {
   /// scalar replacement and unroll-and-jam reduce).
   void charge_kernel_refs(std::size_t bytes);
 
+  /// -- Communication-invariant window --------------------------------
+  /// Notes one interprocessor message in (dim, dir) against the current
+  /// statement context.  In strict mode (Machine::set_comm_invariant /
+  /// HPFSC_COMM_INVARIANT=1) a second message in the same (dim, dir)
+  /// within one context throws CommInvariantViolation — the §3.3
+  /// unioning guarantee (one message per direction per dimension),
+  /// enforced at run time.  `kind` labels the offending transfer in the
+  /// error message.
+  void note_context_message(int dim, int dir, const char* kind);
+  /// Marks a statement-context boundary (the executor calls this after
+  /// every kernel loop nest and at run start).
+  void reset_comm_context();
+
   /// Machine-wide barrier (all PEs participating in the current run).
   void barrier();
 
@@ -94,6 +107,9 @@ class Pe {
   MemoryArena arena_;
   PeStats stats_;
   std::vector<std::unique_ptr<LocalGrid>> slots_;
+  /// Messages sent per (dim, dir) since the last context boundary
+  /// (PE-private; only consulted when the invariant mode is armed).
+  std::uint32_t context_messages_[kCommDims][kCommDirs] = {};
 };
 
 /// The machine: a PE grid plus mailboxes and a barrier.  Thread-safe
@@ -140,6 +156,16 @@ class Machine {
   /// Sums the given statistic over PEs / takes maxima as appropriate.
   [[nodiscard]] MachineStats stats() const;
   void clear_stats();
+
+  /// Machine-wide communication ledger (summed over PEs); equivalent to
+  /// stats().comm.
+  [[nodiscard]] CommLedger comm_ledger() const;
+
+  /// Strict per-direction communication invariant (see
+  /// Pe::note_context_message).  Defaults to the HPFSC_COMM_INVARIANT
+  /// environment variable (any value other than empty/"0" arms it).
+  void set_comm_invariant(bool on) { comm_invariant_ = on; }
+  [[nodiscard]] bool comm_invariant() const { return comm_invariant_; }
 
   /// True after a run aborted; cleared at the start of each run.
   [[nodiscard]] bool aborted() const { return aborted_; }
@@ -194,6 +220,7 @@ class Machine {
   std::atomic<bool> aborted_{false};
 
   hpfsc::obs::TraceSession* obs_session_ = nullptr;
+  bool comm_invariant_ = false;
 
   // Persistent PE worker pool, started lazily by the first run().
   // Workers park on pool_cv_ between runs; run() publishes the next

@@ -106,6 +106,14 @@ void overlap_shift(Pe& pe, int array_id, int shift, int dim,
 
   const Region cross = cross_section(g, dim, ext);
 
+  // Ledger attribution: the RSD extension widens the cross-section, so
+  // the byte surcharge over the unextended cross-section is the corner
+  // data riding along (kind corner_rsd — bytes, never messages).
+  const std::size_t cross_elems = cross.elements(desc.rank);
+  const std::size_t base_elems =
+      cross_section(g, dim, RsdExtension{}).elements(desc.rank);
+  const int dir = comm_dir(shift);
+
   // Overlap cells to fill: beyond own_hi for positive shifts (so that
   // U<+s> reads succeed), below own_lo for negative shifts.
   const int halo_lo = shift > 0 ? g.own_hi(dim) + 1 : g.own_lo(dim) + shift;
@@ -126,6 +134,17 @@ void overlap_shift(Pe& pe, int array_id, int shift, int dim,
       std::vector<double> buf(send_region.elements(desc.rank));
       g.pack(send_region, buf);
       pe.send(pe_at(pe, grid, gdim, q), buf);
+      const std::size_t len =
+          static_cast<std::size_t>(iv.reader_hi - iv.reader_lo + 1);
+      const std::uint64_t corner_bytes =
+          len * (cross_elems - base_elems) * sizeof(double);
+      pe.stats().comm.record(dim, dir, CommKind::OverlapShift, 1,
+                             buf.size() * sizeof(double) - corner_bytes);
+      if (corner_bytes > 0) {
+        pe.stats().comm.record(dim, dir, CommKind::CornerRsd, 0,
+                               corner_bytes);
+      }
+      pe.note_context_message(dim, dir, "OVERLAP_SHIFT");
     }
   }
 
@@ -184,6 +203,7 @@ void full_cshift(Pe& pe, int dst_id, int src_id, int shift, int dim,
   if (!dst.owns_anything()) return;
 
   const Region cross = cross_section(dst, dim, RsdExtension{});
+  const int dir = comm_dir(shift);
 
   // -- Send phase ------------------------------------------------------
   for (int q = 0; q < nprocs; ++q) {
@@ -198,6 +218,9 @@ void full_cshift(Pe& pe, int dst_id, int src_id, int shift, int dim,
       std::vector<double> buf(send_region.elements(desc.rank));
       src.pack(send_region, buf);
       pe.send(pe_at(pe, grid, gdim, q), buf);
+      pe.stats().comm.record(dim, dir, CommKind::FullShift, 1,
+                             buf.size() * sizeof(double));
+      pe.note_context_message(dim, dir, "FULL_SHIFT");
     }
   }
 

@@ -6,23 +6,37 @@
 #include <cstdint>
 #include <string>
 
+#include "simpi/comm_ledger.hpp"
+
 namespace simpi {
 
 namespace detail {
+/// Stats JSON schema version.  v1 was the flat counter object; v2 adds
+/// the "schema_version" marker and, when any per-direction traffic was
+/// recorded, a "comm" ledger object.  All v1 keys are emitted
+/// unchanged, in the same order, so v1 consumers keep working.
+inline constexpr int kStatsSchemaVersion = 2;
+
 inline std::string stats_json(std::uint64_t messages_sent,
                               std::uint64_t bytes_sent,
                               std::uint64_t intra_copy_bytes,
                               std::uint64_t kernel_ref_bytes,
                               std::uint64_t modeled_comm_ns,
                               std::uint64_t modeled_copy_ns,
-                              std::size_t peak_heap_bytes) {
-  return "{\"messages_sent\":" + std::to_string(messages_sent) +
-         ",\"bytes_sent\":" + std::to_string(bytes_sent) +
-         ",\"intra_copy_bytes\":" + std::to_string(intra_copy_bytes) +
-         ",\"kernel_ref_bytes\":" + std::to_string(kernel_ref_bytes) +
-         ",\"modeled_comm_ns\":" + std::to_string(modeled_comm_ns) +
-         ",\"modeled_copy_ns\":" + std::to_string(modeled_copy_ns) +
-         ",\"peak_heap_bytes\":" + std::to_string(peak_heap_bytes) + "}";
+                              std::size_t peak_heap_bytes,
+                              const CommLedger& comm) {
+  std::string out =
+      "{\"messages_sent\":" + std::to_string(messages_sent) +
+      ",\"bytes_sent\":" + std::to_string(bytes_sent) +
+      ",\"intra_copy_bytes\":" + std::to_string(intra_copy_bytes) +
+      ",\"kernel_ref_bytes\":" + std::to_string(kernel_ref_bytes) +
+      ",\"modeled_comm_ns\":" + std::to_string(modeled_comm_ns) +
+      ",\"modeled_copy_ns\":" + std::to_string(modeled_copy_ns) +
+      ",\"peak_heap_bytes\":" + std::to_string(peak_heap_bytes) +
+      ",\"schema_version\":" + std::to_string(kStatsSchemaVersion);
+  if (!comm.empty()) out += ",\"comm\":" + comm.to_json();
+  out += "}";
+  return out;
 }
 }  // namespace detail
 
@@ -39,6 +53,11 @@ struct PeStats {
   std::uint64_t modeled_comm_ns = 0;    ///< sum of modeled message costs
   std::uint64_t modeled_copy_ns = 0;    ///< sum of modeled copy costs
   std::size_t peak_heap_bytes = 0;      ///< arena high-water mark
+  /// Per-(dimension, direction, kind) attribution of the interprocessor
+  /// traffic counted above.  comm.total().messages can be less than
+  /// messages_sent: only the shift runtime attributes its sends (raw
+  /// Pe::send calls have no direction).
+  CommLedger comm;
 
   void clear() { *this = PeStats{}; }
 
@@ -52,6 +71,7 @@ struct PeStats {
     modeled_comm_ns += o.modeled_comm_ns;
     modeled_copy_ns += o.modeled_copy_ns;
     peak_heap_bytes = std::max(peak_heap_bytes, o.peak_heap_bytes);
+    comm += o.comm;
     return *this;
   }
 
@@ -67,13 +87,14 @@ struct PeStats {
     d.modeled_comm_ns = modeled_comm_ns - before.modeled_comm_ns;
     d.modeled_copy_ns = modeled_copy_ns - before.modeled_copy_ns;
     d.peak_heap_bytes = peak_heap_bytes;
+    d.comm = comm.delta_since(before.comm);
     return d;
   }
 
   [[nodiscard]] std::string to_json() const {
     return detail::stats_json(messages_sent, bytes_sent, intra_copy_bytes,
                               kernel_ref_bytes, modeled_comm_ns,
-                              modeled_copy_ns, peak_heap_bytes);
+                              modeled_copy_ns, peak_heap_bytes, comm);
   }
 };
 
@@ -88,6 +109,7 @@ struct MachineStats {
   std::uint64_t modeled_comm_ns = 0;  ///< max over PEs
   std::uint64_t modeled_copy_ns = 0;  ///< max over PEs
   std::size_t peak_heap_bytes = 0;    ///< max over PEs
+  CommLedger comm;                    ///< summed over PEs
 
   void accumulate(const PeStats& pe) {
     messages_sent += pe.messages_sent;
@@ -97,6 +119,7 @@ struct MachineStats {
     modeled_comm_ns = std::max(modeled_comm_ns, pe.modeled_comm_ns);
     modeled_copy_ns = std::max(modeled_copy_ns, pe.modeled_copy_ns);
     peak_heap_bytes = std::max(peak_heap_bytes, pe.peak_heap_bytes);
+    comm += pe.comm;
   }
 
   /// Merges aggregates from consecutive (sequential) runs/phases:
@@ -109,13 +132,14 @@ struct MachineStats {
     modeled_comm_ns += o.modeled_comm_ns;
     modeled_copy_ns += o.modeled_copy_ns;
     peak_heap_bytes = std::max(peak_heap_bytes, o.peak_heap_bytes);
+    comm += o.comm;
     return *this;
   }
 
   [[nodiscard]] std::string to_json() const {
     return detail::stats_json(messages_sent, bytes_sent, intra_copy_bytes,
                               kernel_ref_bytes, modeled_comm_ns,
-                              modeled_copy_ns, peak_heap_bytes);
+                              modeled_copy_ns, peak_heap_bytes, comm);
   }
 };
 

@@ -1,0 +1,89 @@
+// End-to-end check of the paper's unioning guarantee: with the strict
+// communication invariant armed, an O3+/O4 run of any 9-point kernel
+// executes cleanly (one message per direction per dimension per
+// statement), while the pre-unioning levels violate it — which is
+// exactly why the invariant exists as a regression tripwire.
+#include <gtest/gtest.h>
+
+#include "driver/hpfsc.hpp"
+#include "simpi/comm_ledger.hpp"
+
+namespace hpfsc {
+namespace {
+
+Execution compile_and_prepare(const char* kernel, int level, int n,
+                              bool strict) {
+  Compiler compiler;
+  CompilerOptions opts = CompilerOptions::level(level);
+  opts.passes.offset.live_out = {"T"};
+  CompiledProgram compiled = compiler.compile(kernel, opts);
+  Execution exec(std::move(compiled.program), simpi::MachineConfig{});
+  exec.machine().set_comm_invariant(strict);
+  exec.prepare(Bindings{}.set("N", n));
+  exec.set_array("U", [](int i, int j, int) { return i * 1.5 + j; });
+  return exec;
+}
+
+TEST(CommInvariantE2E, UnionedLevelsRunCleanUnderStrictMode) {
+  for (const char* kernel :
+       {kernels::kProblem9, kernels::kNinePointCShift,
+        kernels::kNinePointArraySyntax}) {
+    for (int level : {3, 4}) {
+      Execution exec = compile_and_prepare(kernel, level, 16, true);
+      auto stats = exec.run(1);
+      // One overlap message per direction per dimension per sending PE
+      // (2x2 grid: 4 senders per direction machine-wide).
+      const simpi::CommLedger& ledger = stats.machine.comm;
+      for (int dim = 0; dim < 2; ++dim) {
+        for (int dir = 0; dir < simpi::kCommDirs; ++dir) {
+          EXPECT_EQ(ledger.dir_total(dim, dir).messages, 4u)
+              << "level " << level << " dim " << dim << " dir " << dir;
+        }
+      }
+    }
+  }
+}
+
+TEST(CommInvariantE2E, PreUnioningLevelViolatesStrictMode) {
+  // The single-statement 9-point kernel at O1: twelve CSHIFTs become
+  // eight overlap shifts, three per direction, all inside one statement
+  // context — strict mode must trip.  (problem9 at O0/O1 is legitimately
+  // clean: its hand-done CSE puts one shift per direction per statement.)
+  Execution exec = compile_and_prepare(kernels::kNinePointCShift, 1, 16,
+                                       true);
+  EXPECT_THROW(exec.run(1), simpi::CommInvariantViolation);
+}
+
+TEST(CommInvariantE2E, PreUnioningLevelRunsWhenDisarmed) {
+  Execution exec = compile_and_prepare(kernels::kNinePointCShift, 1, 16,
+                                       false);
+  auto stats = exec.run(1);
+  // 3x the unioned count in every direction (Figure 6's 12 -> 4).
+  for (int dim = 0; dim < 2; ++dim) {
+    for (int dir = 0; dir < simpi::kCommDirs; ++dir) {
+      EXPECT_EQ(stats.machine.comm.dir_total(dim, dir).messages, 12u);
+    }
+  }
+}
+
+TEST(CommInvariantE2E, LedgerSurvivesIntoStatsJson) {
+  Execution exec = compile_and_prepare(kernels::kProblem9, 4, 16, false);
+  auto stats = exec.run(1);
+  const std::string json = stats.machine.to_json();
+  EXPECT_NE(json.find("\"schema_version\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"comm\":{"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"overlap_shift\""), std::string::npos) << json;
+}
+
+TEST(CommInvariantE2E, MultiStepRunResetsContextBetweenIterations) {
+  // Two iterations double the ledger but never trip the invariant: the
+  // executor closes the statement context after every kernel nest and
+  // at each run start.
+  Execution exec =
+      compile_and_prepare(kernels::kNinePointArraySyntax, 4, 16, true);
+  auto stats = exec.run(2);
+  EXPECT_EQ(stats.machine.comm.dir_total(0, 1).messages, 8u);
+}
+
+}  // namespace
+}  // namespace hpfsc

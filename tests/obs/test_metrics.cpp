@@ -1,0 +1,248 @@
+// Histogram bucket math and MetricsRegistry export formats.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "obs/sinks.hpp"
+
+namespace hpfsc::obs {
+namespace {
+
+TEST(Histogram, EmptyIsAllZeros) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.quantile(0.0), 0.0);
+  EXPECT_EQ(h.p50(), 0.0);
+  EXPECT_EQ(h.p99(), 0.0);
+}
+
+TEST(Histogram, SingleSampleIsExactAtEveryQuantile) {
+  Histogram h;
+  h.record(42.25);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 42.25);
+  EXPECT_EQ(h.max(), 42.25);
+  EXPECT_EQ(h.mean(), 42.25);
+  // The representative is clamped to [min, max], so a single sample is
+  // reported exactly at every quantile.
+  EXPECT_EQ(h.quantile(0.0), 42.25);
+  EXPECT_EQ(h.p50(), 42.25);
+  EXPECT_EQ(h.p90(), 42.25);
+  EXPECT_EQ(h.p99(), 42.25);
+  EXPECT_EQ(h.quantile(1.0), 42.25);
+}
+
+TEST(Histogram, ZeroAndNegativeLandInTheZeroBucket) {
+  Histogram h;
+  h.record(0.0);
+  h.record(-5.0);  // clamped to 0
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.p50(), 0.0);
+}
+
+TEST(Histogram, QuantilesAreWithinRelativeErrorBound) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(static_cast<double>(i));
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(h.min(), 1.0);
+  EXPECT_EQ(h.max(), 1000.0);
+  // Worst-case relative error of a log-linear bucket with 16 sub-buckets
+  // is 1/32; allow 5% for quantile-rank discreteness on top.
+  EXPECT_NEAR(h.p50(), 500.0, 500.0 * 0.05);
+  EXPECT_NEAR(h.p90(), 900.0, 900.0 * 0.05);
+  EXPECT_NEAR(h.p99(), 990.0, 990.0 * 0.05);
+}
+
+TEST(Histogram, MergeOfDisjointRangesKeepsBothTails) {
+  Histogram lo;
+  lo.record(1.0);
+  lo.record(2.0);
+  lo.record(4.0);
+  Histogram hi;
+  hi.record(1000.0);
+  hi.record(2000.0);
+  hi.record(4000.0);
+  lo.merge(hi);
+  EXPECT_EQ(lo.count(), 6u);
+  EXPECT_EQ(lo.min(), 1.0);
+  EXPECT_EQ(lo.max(), 4000.0);
+  EXPECT_EQ(lo.sum(), 7007.0);
+  // Rank ceil(0.5*6)=3 falls on the last low sample, rank 6 on the
+  // highest one.
+  EXPECT_NEAR(lo.p50(), 4.0, 4.0 * 0.05);
+  EXPECT_NEAR(lo.quantile(1.0), 4000.0, 4000.0 * 0.05);
+
+  // Merging an empty histogram changes nothing.
+  Histogram empty;
+  lo.merge(empty);
+  EXPECT_EQ(lo.count(), 6u);
+  EXPECT_EQ(lo.min(), 1.0);
+
+  // Merging *into* an empty histogram adopts the source's extrema.
+  Histogram fresh;
+  fresh.merge(lo);
+  EXPECT_EQ(fresh.count(), 6u);
+  EXPECT_EQ(fresh.min(), 1.0);
+  EXPECT_EQ(fresh.max(), 4000.0);
+}
+
+TEST(Histogram, OutOfRangeValuesClampButKeepExactExtrema) {
+  Histogram h;
+  h.record(1e-9);  // below 2^-20
+  h.record(1e15);  // above 2^43
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.min(), 1e-9);
+  EXPECT_EQ(h.max(), 1e15);
+  // The top bucket's representative is the exact max.
+  EXPECT_EQ(h.quantile(1.0), 1e15);
+}
+
+TEST(Histogram, ClearResetsToEmpty) {
+  Histogram h;
+  h.record(7.0);
+  h.clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.p50(), 0.0);
+}
+
+TEST(MetricsRegistry, CountersGaugesAndHistogramsAreIndependent) {
+  MetricsRegistry reg;
+  reg.add("requests");
+  reg.add("requests", 2.0);
+  reg.set_gauge("depth", 5.0);
+  reg.set_gauge("depth", 3.0);  // last write wins
+  reg.observe("latency_ms", 10.0);
+  reg.observe("latency_ms", 20.0);
+  EXPECT_EQ(reg.counter("requests"), 3.0);
+  EXPECT_EQ(reg.gauge("depth"), 3.0);
+  EXPECT_EQ(reg.histogram("latency_ms").count(), 2u);
+  EXPECT_EQ(reg.counter("absent"), 0.0);
+  EXPECT_EQ(reg.gauge("absent"), 0.0);
+  EXPECT_EQ(reg.histogram("absent").count(), 0u);
+}
+
+TEST(MetricsRegistry, MergeFromSumsCountersAndMergesHistograms) {
+  MetricsRegistry a;
+  a.add("n", 1.0);
+  a.observe("h", 1.0);
+  MetricsRegistry b;
+  b.add("n", 2.0);
+  b.set_gauge("g", 9.0);
+  b.observe("h", 1000.0);
+  a.merge_from(b);
+  EXPECT_EQ(a.counter("n"), 3.0);
+  EXPECT_EQ(a.gauge("g"), 9.0);
+  EXPECT_EQ(a.histogram("h").count(), 2u);
+  EXPECT_EQ(a.histogram("h").max(), 1000.0);
+}
+
+TEST(MetricsRegistry, JsonExportCarriesAllThreeKinds) {
+  MetricsRegistry reg;
+  reg.add("c", 2.0);
+  reg.set_gauge("g", 7.0);
+  reg.observe("h", 4.0);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"counters\":{\"c\":2}"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"gauges\":{\"g\":7}"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"h\":{\"count\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99\":4"), std::string::npos) << json;
+}
+
+TEST(MetricsRegistry, PrometheusGoldenText) {
+  MetricsRegistry reg;
+  reg.add("service.cache.miss", 3.0);
+  reg.set_gauge("pool-depth", 2.0);
+  reg.observe("request_ms", 2.0);
+  EXPECT_EQ(reg.to_prometheus(),
+            "# TYPE hpfsc_service_cache_miss counter\n"
+            "hpfsc_service_cache_miss 3\n"
+            "# TYPE hpfsc_pool_depth gauge\n"
+            "hpfsc_pool_depth 2\n"
+            "# TYPE hpfsc_request_ms summary\n"
+            "hpfsc_request_ms{quantile=\"0.5\"} 2\n"
+            "hpfsc_request_ms{quantile=\"0.9\"} 2\n"
+            "hpfsc_request_ms{quantile=\"0.99\"} 2\n"
+            "hpfsc_request_ms_sum 2\n"
+            "hpfsc_request_ms_count 1\n"
+            "# TYPE hpfsc_request_ms_max gauge\n"
+            "hpfsc_request_ms_max 2\n");
+}
+
+TEST(MetricsRegistry, SummaryHasOneLinePerHistogram) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.summary(), "");
+  reg.add("ignored.counter", 1.0);
+  EXPECT_EQ(reg.summary(), "");  // counters don't produce lines
+  reg.observe("a_ms", 4.0);
+  reg.observe("b_ms", 8.0);
+  EXPECT_EQ(reg.summary(),
+            "a_ms: count=1 p50=4 p90=4 p99=4 max=4\n"
+            "b_ms: count=1 p50=8 p90=8 p99=8 max=8\n");
+}
+
+TEST(TraceSessionTee, CountersTeeIntoRegistryAsGauges) {
+  MetricsRegistry reg;
+  TraceSession session;
+  session.set_metrics(&reg);
+  // No sinks installed: spans are inert, but counter samples still tee.
+  EXPECT_FALSE(session.enabled());
+  session.counter("cache.hits", 5.0);
+  session.counter("cache.hits", 8.0);  // cumulative sample: last wins
+  EXPECT_EQ(reg.gauge("cache.hits"), 8.0);
+  session.set_metrics(nullptr);
+  session.counter("cache.hits", 11.0);
+  EXPECT_EQ(reg.gauge("cache.hits"), 8.0);  // detached
+}
+
+// Suite name starts with "ObsConcurrent" so the CI TSan job picks these
+// up via its -R regex.
+TEST(ObsConcurrentMetrics, ParallelRecordingIsRaceFree) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        reg.add("ops");
+        reg.set_gauge("last", static_cast<double>(t));
+        reg.observe("lat_ms", static_cast<double>(i % 100) + 1.0);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(reg.counter("ops"), kThreads * kPerThread);
+  EXPECT_EQ(reg.histogram("lat_ms").count(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_GE(reg.gauge("last"), 0.0);
+  EXPECT_LT(reg.gauge("last"), kThreads);
+}
+
+TEST(ObsConcurrentMetrics, MergeFromWhileRecording) {
+  MetricsRegistry source;
+  MetricsRegistry sink;
+  std::thread writer([&source] {
+    for (int i = 0; i < 5000; ++i) source.observe("h", 1.0);
+  });
+  for (int i = 0; i < 50; ++i) sink.merge_from(source);
+  writer.join();
+  sink.clear();
+  sink.merge_from(source);
+  EXPECT_EQ(sink.histogram("h").count(), 5000u);
+}
+
+}  // namespace
+}  // namespace hpfsc::obs

@@ -1,0 +1,115 @@
+// Service-level latency histograms: cold/warm compile, run, and
+// end-to-end request durations recorded into StencilService::metrics().
+#include "service/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <string>
+#include <vector>
+
+#include "driver/paper_kernels.hpp"
+#include "obs/metrics.hpp"
+
+namespace hpfsc::service {
+namespace {
+
+ServiceConfig tiny_config() {
+  ServiceConfig cfg;
+  cfg.machine.pe_rows = 2;
+  cfg.machine.pe_cols = 2;
+  return cfg;
+}
+
+CompilerOptions o4() {
+  CompilerOptions opts = CompilerOptions::level(4);
+  opts.passes.offset.live_out = {"T"};
+  return opts;
+}
+
+TEST(ServiceMetrics, ColdAndWarmCompilesLandInSeparateHistograms) {
+  StencilService svc(tiny_config());
+  EXPECT_EQ(svc.metrics().histogram("service.compile.cold_ms").count(), 0u);
+
+  svc.compile(kernels::kProblem9, o4());  // miss -> cold
+  svc.compile(kernels::kProblem9, o4());  // hit -> warm
+  svc.compile(kernels::kProblem9, o4());  // hit -> warm
+
+  const obs::Histogram cold =
+      svc.metrics().histogram("service.compile.cold_ms");
+  const obs::Histogram warm =
+      svc.metrics().histogram("service.compile.warm_ms");
+  EXPECT_EQ(cold.count(), 1u);
+  EXPECT_EQ(warm.count(), 2u);
+  EXPECT_GT(cold.max(), 0.0);
+  // A warm hit skips the whole compile pipeline; it must not be slower
+  // than the cold compile that built the plan.
+  EXPECT_LE(warm.p50(), cold.p50());
+}
+
+TEST(ServiceMetrics, SessionRunRecordsRunHistogram) {
+  StencilService svc(tiny_config());
+  Session session(svc);
+  RunRequest req;
+  req.plan = session.compile(kernels::kProblem9, o4());
+  req.bindings = Bindings{}.set("N", 16);
+  req.steps = 1;
+  req.init = [](Execution& exec) {
+    exec.set_array("U", [](int i, int j, int) { return i + 2.0 * j; });
+  };
+  session.run(req);
+  session.run(req);
+  EXPECT_EQ(svc.metrics().histogram("service.run_ms").count(), 2u);
+}
+
+TEST(ServiceMetrics, PoolRequestsRecordEndToEndHistogram) {
+  StencilService svc(tiny_config());
+  {
+    ServicePool pool(svc, 2);
+    std::vector<std::future<ServiceResponse>> futures;
+    for (int i = 0; i < 4; ++i) {
+      ServiceRequest req;
+      req.source = kernels::kProblem9;
+      req.options = o4();
+      req.bindings = Bindings{}.set("N", 16);
+      req.steps = 1;
+      req.init = [](Execution& exec) {
+        exec.set_array("U", [](int i, int j, int) { return i + 2.0 * j; });
+      };
+      futures.push_back(pool.submit(std::move(req)));
+    }
+    for (auto& f : futures) f.get();
+  }
+  const obs::Histogram request =
+      svc.metrics().histogram("service.request_ms");
+  EXPECT_EQ(request.count(), 4u);
+  // The request span covers compile-or-fetch + run, so its slowest
+  // sample dominates the slowest bare run.
+  EXPECT_GE(request.max(),
+            svc.metrics().histogram("service.run_ms").max());
+  EXPECT_EQ(svc.metrics().histogram("service.compile.cold_ms").count(), 1u);
+}
+
+TEST(ServiceMetrics, FailedCompileRecordsNothing) {
+  StencilService svc(tiny_config());
+  EXPECT_THROW(svc.compile("PROGRAM BAD\nsyntax error here\n", o4()),
+               CompileError);
+  EXPECT_EQ(svc.metrics().histogram("service.compile.cold_ms").count(), 0u);
+  EXPECT_EQ(svc.metrics().histogram("service.compile.warm_ms").count(), 0u);
+}
+
+TEST(ServiceMetrics, RegistryExportsCarryServiceNames) {
+  StencilService svc(tiny_config());
+  svc.compile(kernels::kProblem9, o4());
+  const std::string json = svc.metrics().to_json();
+  EXPECT_NE(json.find("service.compile.cold_ms"), std::string::npos);
+  const std::string prom = svc.metrics().to_prometheus();
+  EXPECT_NE(prom.find("hpfsc_service_compile_cold_ms{quantile=\"0.99\"}"),
+            std::string::npos);
+  const std::string summary = svc.metrics().summary();
+  EXPECT_NE(summary.find("service.compile.cold_ms: count=1"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace hpfsc::service

@@ -1,0 +1,234 @@
+// CommLedger arithmetic and the per-(dimension, direction, kind)
+// attribution of real shift traffic.
+#include "simpi/comm_ledger.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "simpi/machine.hpp"
+#include "simpi/shift_ops.hpp"
+
+namespace simpi {
+namespace {
+
+TEST(CommLedger, RecordAndTotals) {
+  CommLedger ledger;
+  EXPECT_TRUE(ledger.empty());
+  ledger.record(0, 1, CommKind::OverlapShift, 1, 800);
+  ledger.record(0, 1, CommKind::OverlapShift, 1, 800);
+  ledger.record(1, 0, CommKind::FullShift, 2, 160);
+  ledger.record(0, 1, CommKind::CornerRsd, 0, 16);  // bytes, no message
+  EXPECT_FALSE(ledger.empty());
+  EXPECT_EQ(ledger.cell(0, 1, CommKind::OverlapShift).messages, 2u);
+  EXPECT_EQ(ledger.cell(0, 1, CommKind::OverlapShift).bytes, 1600u);
+  EXPECT_EQ(ledger.dir_total(0, 1).messages, 2u);
+  EXPECT_EQ(ledger.dir_total(0, 1).bytes, 1616u);  // corner bytes ride along
+  EXPECT_EQ(ledger.dir_total(1, 0).messages, 2u);
+  EXPECT_EQ(ledger.kind_total(CommKind::CornerRsd).messages, 0u);
+  EXPECT_EQ(ledger.kind_total(CommKind::CornerRsd).bytes, 16u);
+  EXPECT_EQ(ledger.total().messages, 4u);
+  EXPECT_EQ(ledger.total().bytes, 1776u);
+}
+
+TEST(CommLedger, PlusEqualsAndDeltaAreInverse) {
+  CommLedger before;
+  before.record(0, 0, CommKind::OverlapShift, 3, 300);
+  CommLedger after = before;
+  after.record(0, 0, CommKind::OverlapShift, 2, 200);
+  after.record(2, 1, CommKind::FullShift, 1, 50);
+
+  CommLedger delta = after.delta_since(before);
+  EXPECT_EQ(delta.cell(0, 0, CommKind::OverlapShift).messages, 2u);
+  EXPECT_EQ(delta.cell(2, 1, CommKind::FullShift).bytes, 50u);
+
+  CommLedger rebuilt = before;
+  rebuilt += delta;
+  EXPECT_EQ(rebuilt.total().messages, after.total().messages);
+  EXPECT_EQ(rebuilt.total().bytes, after.total().bytes);
+
+  after.clear();
+  EXPECT_TRUE(after.empty());
+}
+
+TEST(CommLedger, DirectionFromShiftSign) {
+  EXPECT_EQ(comm_dir(+1), 1);
+  EXPECT_EQ(comm_dir(+3), 1);
+  EXPECT_EQ(comm_dir(-1), 0);
+  EXPECT_EQ(comm_dir(-2), 0);
+}
+
+TEST(CommLedger, ToJsonListsOnlyNonEmptyCells) {
+  CommLedger ledger;
+  EXPECT_EQ(ledger.to_json(),
+            "{\"per_direction\":[],\"messages\":0,\"bytes\":0}");
+  ledger.record(1, 0, CommKind::FullShift, 1, 40);
+  const std::string json = ledger.to_json();
+  EXPECT_NE(json.find("\"dim\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dir\":\"-\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"kind\":\"full_shift\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"messages\":1,\"bytes\":40"), std::string::npos)
+      << json;
+}
+
+// ---- Attribution from real shifts ------------------------------------
+
+DistArrayDesc desc_2d(int n, int halo) {
+  DistArrayDesc d;
+  d.name = "U";
+  d.rank = 2;
+  d.extent = {n, n, 1};
+  d.dist = {DistKind::Block, DistKind::Block, DistKind::Collapsed};
+  d.halo.lo = {halo, halo, 0};
+  d.halo.hi = {halo, halo, 0};
+  return d;
+}
+
+TEST(CommLedgerAttribution, OverlapShiftChargesDimensionAndDirection) {
+  Machine machine(MachineConfig{});  // 2x2 by default
+  const int id = machine.create_array(desc_2d(8, 1));
+  machine.run([&](Pe& pe) {
+    overlap_shift(pe, id, +1, 0, RsdExtension{}, ShiftKind::Circular, 0.0);
+  });
+  const CommLedger ledger = machine.comm_ledger();
+  // Positive shift in dim 0: every PE sends once to its row neighbor.
+  EXPECT_EQ(ledger.dir_total(0, 1).messages, 4u);
+  EXPECT_EQ(ledger.dir_total(0, 0).messages, 0u);
+  EXPECT_EQ(ledger.dir_total(1, 0).messages, 0u);
+  EXPECT_EQ(ledger.dir_total(1, 1).messages, 0u);
+  EXPECT_EQ(ledger.kind_total(CommKind::OverlapShift).messages, 4u);
+  // 4-element cross-section (no RSD extension), width-1 halo.
+  EXPECT_EQ(ledger.kind_total(CommKind::OverlapShift).bytes,
+            4u * 4u * sizeof(double));
+  EXPECT_EQ(ledger.kind_total(CommKind::CornerRsd).bytes, 0u);
+  // Ledger agrees with the raw machine counters for pure shift traffic.
+  EXPECT_EQ(machine.stats().messages_sent, ledger.total().messages);
+  EXPECT_EQ(machine.stats().bytes_sent, ledger.total().bytes);
+}
+
+TEST(CommLedgerAttribution, RsdExtensionBytesAreCornerKind) {
+  Machine machine(MachineConfig{});
+  const int id = machine.create_array(desc_2d(8, 1));
+  RsdExtension ext;
+  ext.lo = {0, 1, 0};  // extend the cross-section into the dim-1 halo
+  ext.hi = {0, 1, 0};
+  machine.run([&](Pe& pe) {
+    overlap_shift(pe, id, +1, 0, ext, ShiftKind::Circular, 0.0);
+  });
+  const CommLedger ledger = machine.comm_ledger();
+  // Corner traffic carries bytes but *no* messages: the corners ride
+  // along inside the face messages (the paper's one-message-per-
+  // direction claim).
+  const CommCell corners = ledger.kind_total(CommKind::CornerRsd);
+  EXPECT_EQ(corners.messages, 0u);
+  // Cross-section widens 4 -> 6 elements: 2 extra per interval element.
+  EXPECT_EQ(corners.bytes, 4u * 2u * sizeof(double));
+  EXPECT_EQ(ledger.total().messages, 4u);
+  // Face + corner bytes equal the raw bytes on the wire.
+  EXPECT_EQ(machine.stats().bytes_sent, ledger.total().bytes);
+}
+
+TEST(CommLedgerAttribution, FullShiftIsItsOwnKind) {
+  Machine machine(MachineConfig{});
+  const int src = machine.create_array(desc_2d(8, 0));
+  const int dst = machine.create_array(desc_2d(8, 0));
+  machine.run([&](Pe& pe) {
+    full_cshift(pe, dst, src, -1, 1, ShiftKind::Circular, 0.0);
+  });
+  const CommLedger ledger = machine.comm_ledger();
+  EXPECT_EQ(ledger.kind_total(CommKind::FullShift).messages, 4u);
+  EXPECT_EQ(ledger.kind_total(CommKind::OverlapShift).messages, 0u);
+  EXPECT_EQ(ledger.dir_total(1, 0).messages, 4u);
+  EXPECT_EQ(ledger.dir_total(1, 1).messages, 0u);
+}
+
+// ---- Strict invariant mode -------------------------------------------
+
+TEST(CommInvariant, SecondMessageSameDirectionThrowsWhenArmed) {
+  Machine machine(MachineConfig{});
+  machine.set_comm_invariant(true);
+  EXPECT_TRUE(machine.comm_invariant());
+  const int id = machine.create_array(desc_2d(8, 2));
+  EXPECT_THROW(machine.run([&](Pe& pe) {
+    // Two overlap shifts in the same (dim, dir) without a context
+    // boundary: exactly what communication unioning eliminates.
+    overlap_shift(pe, id, +1, 0, RsdExtension{}, ShiftKind::Circular, 0.0);
+    overlap_shift(pe, id, +2, 0, RsdExtension{}, ShiftKind::Circular, 0.0);
+  }),
+               CommInvariantViolation);
+}
+
+TEST(CommInvariant, ContextResetSeparatesStatements) {
+  Machine machine(MachineConfig{});
+  machine.set_comm_invariant(true);
+  const int id = machine.create_array(desc_2d(8, 2));
+  machine.run([&](Pe& pe) {
+    pe.reset_comm_context();
+    overlap_shift(pe, id, +1, 0, RsdExtension{}, ShiftKind::Circular, 0.0);
+    pe.reset_comm_context();  // statement boundary
+    overlap_shift(pe, id, +2, 0, RsdExtension{}, ShiftKind::Circular, 0.0);
+  });
+  EXPECT_EQ(machine.comm_ledger().dir_total(0, 1).messages, 8u);
+}
+
+TEST(CommInvariant, DistinctDirectionsDoNotConflict) {
+  Machine machine(MachineConfig{});
+  machine.set_comm_invariant(true);
+  const int id = machine.create_array(desc_2d(8, 1));
+  machine.run([&](Pe& pe) {
+    pe.reset_comm_context();
+    overlap_shift(pe, id, +1, 0, RsdExtension{}, ShiftKind::Circular, 0.0);
+    overlap_shift(pe, id, -1, 0, RsdExtension{}, ShiftKind::Circular, 0.0);
+    overlap_shift(pe, id, +1, 1, RsdExtension{}, ShiftKind::Circular, 0.0);
+    overlap_shift(pe, id, -1, 1, RsdExtension{}, ShiftKind::Circular, 0.0);
+  });
+  const CommLedger ledger = machine.comm_ledger();
+  for (int dim = 0; dim < 2; ++dim) {
+    for (int dir = 0; dir < kCommDirs; ++dir) {
+      EXPECT_EQ(ledger.dir_total(dim, dir).messages, 4u);
+    }
+  }
+}
+
+TEST(CommInvariant, DisarmedModeOnlyCounts) {
+  Machine machine(MachineConfig{});
+  EXPECT_FALSE(machine.comm_invariant());  // default off (env unset)
+  const int id = machine.create_array(desc_2d(8, 2));
+  machine.run([&](Pe& pe) {
+    overlap_shift(pe, id, +1, 0, RsdExtension{}, ShiftKind::Circular, 0.0);
+    overlap_shift(pe, id, +2, 0, RsdExtension{}, ShiftKind::Circular, 0.0);
+  });
+  EXPECT_EQ(machine.comm_ledger().dir_total(0, 1).messages, 8u);
+}
+
+TEST(CommInvariant, EnvironmentVariableArmsNewMachines) {
+  ::setenv("HPFSC_COMM_INVARIANT", "1", 1);
+  Machine armed(MachineConfig{});
+  EXPECT_TRUE(armed.comm_invariant());
+  ::setenv("HPFSC_COMM_INVARIANT", "0", 1);
+  Machine off(MachineConfig{});
+  EXPECT_FALSE(off.comm_invariant());
+  ::unsetenv("HPFSC_COMM_INVARIANT");
+  Machine unset(MachineConfig{});
+  EXPECT_FALSE(unset.comm_invariant());
+}
+
+TEST(CommInvariant, ViolationMessageNamesTheOffender) {
+  Machine machine(MachineConfig{});
+  machine.set_comm_invariant(true);
+  const int id = machine.create_array(desc_2d(8, 2));
+  try {
+    machine.run([&](Pe& pe) {
+      overlap_shift(pe, id, +1, 0, RsdExtension{}, ShiftKind::Circular, 0.0);
+      overlap_shift(pe, id, +2, 0, RsdExtension{}, ShiftKind::Circular, 0.0);
+    });
+    FAIL() << "expected CommInvariantViolation";
+  } catch (const CommInvariantViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("OVERLAP_SHIFT"), std::string::npos) << what;
+    EXPECT_NE(what.find("dim 1"), std::string::npos) << what;
+  }
+}
+
+}  // namespace
+}  // namespace simpi

@@ -1,0 +1,451 @@
+// bench_gate: the CI perf-regression gate.  Compares a fresh benchmark
+// snapshot against a committed baseline and fails (exit 1) when
+//
+//   * a benchmark present in the baseline is missing from the current
+//     run (a silently-dropped benchmark is a regression in coverage),
+//   * real_time grew by more than --latency-threshold (relative, default
+//     0.25 = 25%), or
+//   * any "messages*" counter increased at all — message counts on the
+//     simulated machine are deterministic, so *any* growth means the
+//     compiler started communicating more (the paper's headline metric
+//     moving backwards).
+//
+// Benchmarks only present in the current run are reported but never
+// fail the gate (new coverage is welcome).
+//
+//   bench_gate --baseline=FILE --current=FILE
+//              [--latency-threshold=0.25] [--report=FILE]
+//
+// Both inputs may be raw google-benchmark JSON ("benchmarks" is an
+// array) or the curated bench/snapshots/ format ("benchmarks" is an
+// object mapping suite name -> array).  Aggregate rows (run_type !=
+// "iteration") are ignored.  --report writes a machine-readable diff
+// (the CI job uploads it as an artifact).
+//
+// Self-contained on purpose: the hand-rolled JSON parser below avoids a
+// third-party dependency for a 300-line tool.
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// ---------------------------------------------------------------- JSON
+
+struct JsonValue;
+using JsonPtr = std::shared_ptr<JsonValue>;
+
+struct JsonValue {
+  enum class Type { Null, Bool, Number, String, Array, Object };
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonPtr> array;
+  // Vector-of-pairs keeps insertion order (irrelevant here) and allows
+  // duplicate keys without surprises.
+  std::vector<std::pair<std::string, JsonPtr>> object;
+
+  [[nodiscard]] const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return v.get();
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonPtr parse() {
+    JsonPtr v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("JSON parse error at byte " +
+                             std::to_string(pos_) + ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  JsonPtr value() {
+    const char c = peek();
+    auto v = std::make_shared<JsonValue>();
+    if (c == '{') {
+      v->type = JsonValue::Type::Object;
+      ++pos_;
+      if (peek() == '}') {
+        ++pos_;
+        return v;
+      }
+      for (;;) {
+        expect('"');
+        --pos_;  // re-read the quote inside string()
+        std::string key = string_body();
+        expect(':');
+        v->object.emplace_back(std::move(key), value());
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect('}');
+        return v;
+      }
+    }
+    if (c == '[') {
+      v->type = JsonValue::Type::Array;
+      ++pos_;
+      if (peek() == ']') {
+        ++pos_;
+        return v;
+      }
+      for (;;) {
+        v->array.push_back(value());
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect(']');
+        return v;
+      }
+    }
+    if (c == '"') {
+      v->type = JsonValue::Type::String;
+      v->string = string_body();
+      return v;
+    }
+    if (c == 't' || c == 'f') {
+      const char* word = c == 't' ? "true" : "false";
+      if (text_.compare(pos_, std::strlen(word), word) != 0) {
+        fail("bad literal");
+      }
+      pos_ += std::strlen(word);
+      v->type = JsonValue::Type::Bool;
+      v->boolean = c == 't';
+      return v;
+    }
+    if (c == 'n') {
+      if (text_.compare(pos_, 4, "null") != 0) fail("bad literal");
+      pos_ += 4;
+      return v;  // Null
+    }
+    // Number.
+    const std::size_t start = pos_;
+    if (text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    v->type = JsonValue::Type::Number;
+    v->number = std::strtod(text_.c_str() + start, nullptr);
+    return v;
+  }
+
+  std::string string_body() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u':
+            // Benchmark names are ASCII; keep the escape verbatim.
+            out += "\\u";
+            break;
+          default: fail("bad escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    if (pos_ >= text_.size()) fail("unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// --------------------------------------------------- benchmark records
+
+struct BenchRecord {
+  double real_time_ms = 0.0;
+  /// Numeric fields other than the google-benchmark bookkeeping ones —
+  /// the per-benchmark counters (messages, bytes_sent, ...).
+  std::map<std::string, double> counters;
+};
+
+double to_ms(double value, const std::string& unit) {
+  if (unit == "ns") return value / 1e6;
+  if (unit == "us") return value / 1e3;
+  if (unit == "s") return value * 1e3;
+  return value;  // "ms" or absent
+}
+
+void add_record(const JsonValue& bench,
+                std::map<std::string, BenchRecord>* out) {
+  const JsonValue* run_type = bench.find("run_type");
+  if (run_type != nullptr && run_type->string != "iteration") return;
+  const JsonValue* name = bench.find("name");
+  const JsonValue* real_time = bench.find("real_time");
+  if (name == nullptr || real_time == nullptr) return;
+  BenchRecord rec;
+  const JsonValue* unit = bench.find("time_unit");
+  rec.real_time_ms =
+      to_ms(real_time->number, unit != nullptr ? unit->string : "ms");
+  static const char* kBookkeeping[] = {
+      "real_time",       "cpu_time",   "iterations",
+      "repetition_index", "threads",   "repetitions",
+      "family_index",    "per_family_instance_index"};
+  for (const auto& [key, v] : bench.object) {
+    if (v->type != JsonValue::Type::Number) continue;
+    bool skip = false;
+    for (const char* b : kBookkeeping) skip |= key == b;
+    if (!skip) rec.counters[key] = v->number;
+  }
+  out->emplace(name->string, std::move(rec));
+}
+
+/// Loads either raw google-benchmark JSON ("benchmarks": [...]) or the
+/// curated snapshot format ("benchmarks": {suite: [...]}).
+std::map<std::string, BenchRecord> load_snapshot(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("cannot open '" + path + "'");
+  std::stringstream buf;
+  buf << file.rdbuf();
+  const std::string text = buf.str();
+  JsonPtr root = JsonParser(text).parse();
+  if (root->type != JsonValue::Type::Object) {
+    throw std::runtime_error("'" + path + "': top level is not an object");
+  }
+  const JsonValue* benchmarks = root->find("benchmarks");
+  if (benchmarks == nullptr) {
+    throw std::runtime_error("'" + path + "': no \"benchmarks\" key");
+  }
+  std::map<std::string, BenchRecord> out;
+  if (benchmarks->type == JsonValue::Type::Array) {
+    for (const JsonPtr& b : benchmarks->array) add_record(*b, &out);
+  } else if (benchmarks->type == JsonValue::Type::Object) {
+    for (const auto& [suite, arr] : benchmarks->object) {
+      (void)suite;
+      for (const JsonPtr& b : arr->array) add_record(*b, &out);
+    }
+  } else {
+    throw std::runtime_error("'" + path + "': \"benchmarks\" is neither an "
+                             "array nor an object");
+  }
+  if (out.empty()) {
+    throw std::runtime_error("'" + path + "': no benchmark records");
+  }
+  return out;
+}
+
+// ------------------------------------------------------------- compare
+
+struct Finding {
+  std::string benchmark;
+  std::string what;   ///< "latency" | "counter" | "missing" | "new"
+  std::string detail;
+  double baseline = 0.0;
+  double current = 0.0;
+  bool fails = false;
+};
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+void write_report(const std::string& path, const std::vector<Finding>& all,
+                  bool passed) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench_gate: cannot write report '%s'\n",
+                 path.c_str());
+    return;
+  }
+  out << "{\"passed\":" << (passed ? "true" : "false") << ",\"findings\":[";
+  bool first = true;
+  for (const Finding& f : all) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"benchmark\":\"" << json_escape(f.benchmark) << "\",\"what\":\""
+        << f.what << "\",\"detail\":\"" << json_escape(f.detail)
+        << "\",\"baseline\":" << f.baseline << ",\"current\":" << f.current
+        << ",\"fails\":" << (f.fails ? "true" : "false") << "}";
+  }
+  out << "]}\n";
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: bench_gate --baseline=FILE --current=FILE "
+               "[--latency-threshold=F] [--report=FILE]\n"
+               "  Exit 0 when the current snapshot is within threshold of "
+               "the baseline,\n"
+               "  1 on regression (latency > threshold, any messages* "
+               "counter increase,\n"
+               "  or a benchmark missing from the current run), 2 on usage/"
+               "I/O errors.\n");
+}
+
+const char* flag_value(const char* arg, const char* flag) {
+  const std::size_t n = std::strlen(flag);
+  if (std::strncmp(arg, flag, n) != 0 || arg[n] != '=') return nullptr;
+  return arg + n + 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  std::string current_path;
+  std::string report_path;
+  double threshold = 0.25;
+
+  for (int a = 1; a < argc; ++a) {
+    const char* v = nullptr;
+    if ((v = flag_value(argv[a], "--baseline"))) {
+      baseline_path = v;
+    } else if ((v = flag_value(argv[a], "--current"))) {
+      current_path = v;
+    } else if ((v = flag_value(argv[a], "--report"))) {
+      report_path = v;
+    } else if ((v = flag_value(argv[a], "--latency-threshold"))) {
+      threshold = std::strtod(v, nullptr);
+    } else if (std::strcmp(argv[a], "-h") == 0 ||
+               std::strcmp(argv[a], "--help") == 0) {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "bench_gate: unknown argument '%s'\n", argv[a]);
+      usage();
+      return 2;
+    }
+  }
+  if (baseline_path.empty() || current_path.empty()) {
+    usage();
+    return 2;
+  }
+  if (!(threshold >= 0.0)) {
+    std::fprintf(stderr, "bench_gate: bad --latency-threshold\n");
+    return 2;
+  }
+
+  std::map<std::string, BenchRecord> baseline;
+  std::map<std::string, BenchRecord> current;
+  try {
+    baseline = load_snapshot(baseline_path);
+    current = load_snapshot(current_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_gate: %s\n", e.what());
+    return 2;
+  }
+
+  std::vector<Finding> findings;
+  int failures = 0;
+  for (const auto& [name, base] : baseline) {
+    auto it = current.find(name);
+    if (it == current.end()) {
+      findings.push_back({name, "missing",
+                          "present in baseline, absent from current run",
+                          base.real_time_ms, 0.0, true});
+      ++failures;
+      continue;
+    }
+    const BenchRecord& cur = it->second;
+    if (base.real_time_ms > 0.0) {
+      const double rel =
+          (cur.real_time_ms - base.real_time_ms) / base.real_time_ms;
+      if (rel > threshold) {
+        char detail[128];
+        std::snprintf(detail, sizeof detail,
+                      "real_time +%.1f%% (threshold %.1f%%)", rel * 100.0,
+                      threshold * 100.0);
+        findings.push_back({name, "latency", detail, base.real_time_ms,
+                            cur.real_time_ms, true});
+        ++failures;
+      }
+    }
+    for (const auto& [counter, base_value] : base.counters) {
+      if (counter.rfind("messages", 0) != 0) continue;
+      auto cit = cur.counters.find(counter);
+      if (cit == cur.counters.end()) continue;
+      if (cit->second > base_value) {
+        findings.push_back({name, "counter",
+                            counter + " increased (any growth fails)",
+                            base_value, cit->second, true});
+        ++failures;
+      }
+    }
+  }
+  for (const auto& [name, cur] : current) {
+    if (baseline.find(name) == baseline.end()) {
+      findings.push_back({name, "new", "not in baseline (informational)",
+                          0.0, cur.real_time_ms, false});
+    }
+  }
+
+  const bool passed = failures == 0;
+  for (const Finding& f : findings) {
+    std::printf("%s  %-28s %-8s %s", f.fails ? "FAIL" : "info",
+                f.benchmark.c_str(), f.what.c_str(), f.detail.c_str());
+    if (f.what == "latency" || f.what == "counter") {
+      std::printf("  [%.6g -> %.6g]", f.baseline, f.current);
+    }
+    std::printf("\n");
+  }
+  std::printf("bench_gate: %zu baseline benchmark%s, %d failure%s (latency "
+              "threshold %.0f%%)\n",
+              baseline.size(), baseline.size() == 1 ? "" : "s", failures,
+              failures == 1 ? "" : "s", threshold * 100.0);
+  if (!report_path.empty()) write_report(report_path, findings, passed);
+  return passed ? 0 : 1;
+}
