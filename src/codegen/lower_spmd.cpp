@@ -164,6 +164,14 @@ class Lowerer {
         op.kind = OpKind::OverlapShift;
         op.array = stmt.src.array;
         op.shift = stmt.shift;
+        // A chained shift operates on an already-shifted view: its new
+        // overlap cells sit beyond the base offset, so the fill depth
+        // is base + shift (when they point the same way; a shift back
+        // toward the interior needs no cells the chain hasn't filled).
+        {
+          const int base = stmt.src.offset[stmt.dim];
+          if (base != 0 && (base > 0) == (stmt.shift > 0)) op.shift += base;
+        }
         op.dim = stmt.dim;
         op.rsd = stmt.rsd;
         op.shift_kind = stmt.shift_kind;

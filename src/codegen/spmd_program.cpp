@@ -1,5 +1,7 @@
 #include "codegen/spmd_program.hpp"
 
+#include <unordered_map>
+
 namespace hpfsc::spmd {
 
 int Program::find_array(const std::string& name) const {
@@ -43,6 +45,59 @@ void summarize(const std::vector<Op>& ops, Program::CommSummary& out) {
 Program::CommSummary Program::comm_summary() const {
   CommSummary out;
   summarize(ops, out);
+  return out;
+}
+
+namespace {
+
+using NameMap = std::unordered_map<std::string, std::string>;
+
+void rename_bound(ir::AffineBound& b, const NameMap& map) {
+  if (b.param.empty()) return;
+  auto it = map.find(b.param);
+  if (it != map.end()) b.param = it->second;
+}
+
+void rename_op_bounds(std::vector<Op>& ops, const NameMap& map) {
+  for (Op& op : ops) {
+    for (ir::SectionRange& r : op.bounds) {
+      rename_bound(r.lo, map);
+      rename_bound(r.hi, map);
+    }
+    rename_bound(op.lo, map);
+    rename_bound(op.hi, map);
+    rename_op_bounds(op.then_ops, map);
+    rename_op_bounds(op.else_ops, map);
+    rename_op_bounds(op.body, map);
+  }
+}
+
+}  // namespace
+
+Program rename_interface(const Program& prog,
+                         const std::string& program_name,
+                         const std::vector<std::string>& scalar_names,
+                         const std::vector<std::string>& array_names) {
+  Program out = prog;
+  out.name = program_name;
+  NameMap scalar_map;
+  for (std::size_t i = 0;
+       i < scalar_names.size() && i < out.scalars.size(); ++i) {
+    if (out.scalars[i].name != scalar_names[i]) {
+      scalar_map.emplace(out.scalars[i].name, scalar_names[i]);
+      out.scalars[i].name = scalar_names[i];
+    }
+  }
+  for (std::size_t i = 0; i < array_names.size() && i < out.arrays.size();
+       ++i) {
+    out.arrays[i].name = array_names[i];
+  }
+  if (!scalar_map.empty()) {
+    for (ArraySpec& a : out.arrays) {
+      for (ir::AffineBound& b : a.extent) rename_bound(b, scalar_map);
+    }
+    rename_op_bounds(out.ops, scalar_map);
+  }
   return out;
 }
 

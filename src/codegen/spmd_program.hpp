@@ -151,4 +151,17 @@ struct Program {
   [[nodiscard]] CommSummary comm_summary() const;
 };
 
+/// Returns a copy of `prog` with its user-visible interface renamed
+/// positionally: scalars[i] takes scalar_names[i], arrays[i] takes
+/// array_names[i] (entries beyond the given lists — pipeline-generated
+/// temporaries — keep their names), the program takes `program_name`,
+/// and every AffineBound parameter referring to a renamed scalar is
+/// rewritten to match.  Ops are untouched (they address symbols by
+/// index).  The service layer uses this to hand one cached plan to
+/// alpha-renamed requesters under each requester's own names.
+[[nodiscard]] Program rename_interface(
+    const Program& prog, const std::string& program_name,
+    const std::vector<std::string>& scalar_names,
+    const std::vector<std::string>& array_names);
+
 }  // namespace hpfsc::spmd

@@ -1,0 +1,259 @@
+#include "difftest/generator.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "difftest/rng.hpp"
+
+namespace hpfsc::difftest {
+
+namespace {
+
+/// Exact binary fractions: products and sums stay bit-reproducible and
+/// far from overflow/underflow for any realistic step count.
+const std::vector<double> kCoeffPalette = {1.0, 0.5,  0.25, 0.125,
+                                           0.75, 2.0, 1.5};
+const std::vector<double> kBoundaryPalette = {0.0, 0.5, 1.0, 2.0};
+
+std::string render_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  std::string out = buf;
+  if (out.find('.') == std::string::npos &&
+      out.find('e') == std::string::npos) {
+    out += ".0";
+  }
+  return out;
+}
+
+}  // namespace
+
+int ProgramSpec::num_values() const {
+  return static_cast<int>(persona.size());
+}
+
+int ProgramSpec::num_fresh() const { return num_values() - num_inputs; }
+
+int ProgramSpec::fresh_value(int s) const { return num_inputs + s; }
+
+ProgramSpec generate(std::uint64_t seed, const GeneratorConfig& config) {
+  Rng rng(seed);
+  ProgramSpec spec;
+  spec.seed = seed;
+
+  const int rank_roll = rng.range(1, 4);
+  spec.rank = rank_roll == 1 ? 1 : (rank_roll == 4 ? 3 : 2);
+  spec.num_inputs = rng.range(1, config.max_inputs);
+  spec.num_coeffs = rng.range(0, 2);
+  for (int c = 0; c < spec.num_coeffs; ++c) {
+    spec.coeff_values.push_back(rng.pick(kCoeffPalette));
+  }
+  spec.do_loop = rng.chance(35) ? rng.range(2, 3) : 0;
+
+  auto add_persona = [&] {
+    if (rng.chance(30)) {
+      spec.persona.push_back(ShiftPersona::EoShift);
+      spec.boundary.push_back(rng.pick(kBoundaryPalette));
+    } else {
+      spec.persona.push_back(ShiftPersona::CShift);
+      spec.boundary.push_back(0.0);
+    }
+  };
+  for (int i = 0; i < spec.num_inputs; ++i) add_persona();
+
+  const int num_stmts = rng.range(1, config.max_stmts);
+  for (int s = 0; s < num_stmts; ++s) {
+    SpecStmt stmt;
+    const int values = spec.num_values();
+    // Updates (including jacobi-style write-back to an input and
+    // self-referencing V = f(V)) only after at least one fresh value
+    // exists; fresh statements keep the live_out set non-trivial.
+    if (s > 0 && spec.num_fresh() > 0 && rng.chance(25)) {
+      stmt.target = rng.range(0, values - 1);
+      stmt.guarded = spec.do_loop > 0 && rng.chance(40);
+    }
+    const int num_terms = rng.range(1, config.max_terms);
+    for (int t = 0; t < num_terms; ++t) {
+      Term term;
+      term.src = rng.range(0, values - 1);
+      for (int d = 0; d < spec.rank; ++d) {
+        if (rng.chance(55)) {
+          int off = rng.range(1, config.max_offset);
+          if (rng.chance(50)) off = -off;
+          term.offset[static_cast<std::size_t>(d)] = off;
+        }
+      }
+      for (int d = 0; d < spec.rank; ++d) {
+        if (std::abs(term.offset[static_cast<std::size_t>(d)]) >= 2 &&
+            rng.chance(40)) {
+          term.split_dim = d;
+          break;
+        }
+      }
+      term.coeff = rng.pick(kCoeffPalette);
+      if (spec.num_coeffs > 0 && rng.chance(25)) {
+        term.coeff_sym = rng.range(0, spec.num_coeffs - 1);
+      }
+      term.negate = t > 0 && rng.chance(25);
+      stmt.terms.push_back(term);
+    }
+    if (stmt.target < 0) add_persona();
+    spec.stmts.push_back(std::move(stmt));
+  }
+  return spec;
+}
+
+std::string size_param_name(bool alt) { return alt ? "M" : "N"; }
+
+std::string input_name(int i, bool alt) {
+  return (alt ? "X" : "U") + std::to_string(i);
+}
+
+std::string value_name(int i, bool alt) {
+  return (alt ? "Y" : "V") + std::to_string(i);
+}
+
+std::string coeff_name(int i, bool alt) {
+  return (alt ? "D" : "C") + std::to_string(i);
+}
+
+std::vector<std::string> live_out_names(const ProgramSpec& spec, bool alt) {
+  std::vector<std::string> out;
+  for (int s = 0; s < spec.num_fresh(); ++s) {
+    out.push_back(value_name(s, alt));
+  }
+  return out;
+}
+
+namespace {
+
+std::string array_name(const ProgramSpec& spec, int value, bool alt) {
+  if (value < spec.num_inputs) return input_name(value, alt);
+  return value_name(value - spec.num_inputs, alt);
+}
+
+std::string render_shift_link(const ProgramSpec& spec, int src,
+                              std::string inner, int off, int dim) {
+  const auto v = static_cast<std::size_t>(src);
+  if (spec.persona[v] == ShiftPersona::EoShift) {
+    return "EOSHIFT(" + std::move(inner) + "," + std::to_string(off) + "," +
+           render_double(spec.boundary[v]) + "," + std::to_string(dim + 1) +
+           ")";
+  }
+  return "CSHIFT(" + std::move(inner) + "," + std::to_string(off) + "," +
+         std::to_string(dim + 1) + ")";
+}
+
+std::string render_term(const ProgramSpec& spec, const Term& term,
+                        bool alt) {
+  std::string expr = array_name(spec, term.src, alt);
+  for (int d = 0; d < spec.rank; ++d) {
+    const int off = term.offset[static_cast<std::size_t>(d)];
+    if (off == 0) continue;
+    if (d == term.split_dim && std::abs(off) >= 2) {
+      const int step = off > 0 ? 1 : -1;
+      expr = render_shift_link(spec, term.src, std::move(expr), off - step,
+                               d);
+      expr = render_shift_link(spec, term.src, std::move(expr), step, d);
+    } else {
+      expr = render_shift_link(spec, term.src, std::move(expr), off, d);
+    }
+  }
+  std::string coeff;
+  if (term.coeff_sym >= 0) {
+    coeff = coeff_name(term.coeff_sym, alt) + " * ";
+  } else if (term.coeff != 1.0) {
+    coeff = render_double(term.coeff) + " * ";
+  }
+  return coeff + expr;
+}
+
+}  // namespace
+
+std::string render(const ProgramSpec& spec, bool alt) {
+  const std::string n = size_param_name(alt);
+  std::string shape = "(" + n;
+  std::string dist = "(BLOCK";
+  for (int d = 1; d < spec.rank; ++d) {
+    shape += "," + n;
+    dist += spec.rank == 3 && d == 2 ? ",*" : ",BLOCK";
+  }
+  shape += ")";
+  dist += ")";
+
+  std::string src = "PROGRAM ";
+  src += alt ? "ZZUF" : "FUZZ";
+  src += "\nINTEGER " + n + "\n";
+  for (int c = 0; c < spec.num_coeffs; ++c) {
+    src += "REAL " + coeff_name(c, alt) + "\n";
+  }
+  std::vector<std::string> arrays;
+  for (int i = 0; i < spec.num_inputs; ++i) {
+    arrays.push_back(input_name(i, alt));
+  }
+  for (int s = 0; s < spec.num_fresh(); ++s) {
+    arrays.push_back(value_name(s, alt));
+  }
+  for (const std::string& a : arrays) src += "REAL " + a + shape + "\n";
+  for (const std::string& a : arrays) {
+    src += "!HPF$ DISTRIBUTE " + a + dist + "\n";
+  }
+
+  const std::string loop_var = alt ? "L" : "K";
+  std::string indent;
+  if (spec.do_loop > 0) {
+    src += "DO " + loop_var + " = 1, " + std::to_string(spec.do_loop) + "\n";
+    indent = "  ";
+  }
+  int fresh = 0;
+  for (const SpecStmt& stmt : spec.stmts) {
+    const int lhs_value =
+        stmt.target >= 0 ? stmt.target : spec.num_inputs + fresh++;
+    std::string body_indent = indent;
+    if (stmt.guarded) {
+      src += indent + "IF (" + loop_var + " > 1) THEN\n";
+      body_indent += "  ";
+    }
+    std::string line =
+        body_indent + array_name(spec, lhs_value, alt) + " = ";
+    for (std::size_t t = 0; t < stmt.terms.size(); ++t) {
+      if (t > 0) {
+        line += "  &\n" + body_indent + "  ";
+        line += stmt.terms[t].negate ? "- " : "+ ";
+      }
+      line += render_term(spec, stmt.terms[t], alt);
+    }
+    src += line + "\n";
+    if (stmt.guarded) src += indent + "ENDIF\n";
+  }
+  if (spec.do_loop > 0) src += "ENDDO\n";
+  src += "END\n";
+  return src;
+}
+
+bool invariant_eligible(const ProgramSpec& spec, int max_halo) {
+  // (value, dim, dir) -> index of the one statement allowed to shift it.
+  // Comm unioning merges same-direction shifts *within* a statement, but
+  // a statement context can span several statements, and each statement
+  // keeps its own overlap transfer — so a second statement shifting the
+  // same array the same way legitimately sends a second message.
+  std::vector<std::array<std::array<int, 2>, 3>> owner(
+      static_cast<std::size_t>(spec.num_values()),
+      {{{-1, -1}, {-1, -1}, {-1, -1}}});
+  for (std::size_t s = 0; s < spec.stmts.size(); ++s) {
+    for (const Term& term : spec.stmts[s].terms) {
+      for (int d = 0; d < spec.rank; ++d) {
+        const int off = term.offset[static_cast<std::size_t>(d)];
+        if (off == 0) continue;
+        if (std::abs(off) > max_halo) return false;
+        int& slot = owner[static_cast<std::size_t>(term.src)]
+                         [static_cast<std::size_t>(d)][off > 0 ? 1 : 0];
+        if (slot >= 0 && slot != static_cast<int>(s)) return false;
+        slot = static_cast<int>(s);
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace hpfsc::difftest

@@ -1,0 +1,113 @@
+// Seeded generator of random-but-valid stencil programs over the
+// frontend's surface syntax.  A program is held as a structured
+// ProgramSpec — the unit the reducer shrinks — and rendered to HPF
+// source text on demand.
+//
+// The generated shape mirrors the paper's kernel family: a set of input
+// arrays, then a chain of array-syntax statements combining
+// CSHIFT/EOSHIFT factors of earlier values with literal or bound-scalar
+// coefficients, optionally wrapped in a time-step DO loop with an
+// IF-guarded update (WHERE-free control).  Every value array has one
+// shift "persona" (CSHIFT, or EOSHIFT with one boundary constant), so
+// all shifts of one array are unionable — the property the §3.3
+// communication invariant rests on.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hpfsc::difftest {
+
+/// One factor of a statement: coeff * shifted(value).  The shift is the
+/// net per-dimension offset; `split_dim`, when set, renders that
+/// dimension's offset as a two-link chain (CSHIFT(CSHIFT(x,s-1,d),1,d))
+/// to exercise the offset-array pass's chain collapsing.
+struct Term {
+  int src = 0;  ///< value index: inputs first, then fresh statement results
+  std::array<int, 3> offset{0, 0, 0};
+  int split_dim = -1;   ///< dimension rendered as a chain, or -1
+  double coeff = 1.0;
+  int coeff_sym = -1;   ///< >= 0: use bound scalar C<i> instead of `coeff`
+  bool negate = false;  ///< combined with '-' instead of '+'
+};
+
+/// One array assignment.  target < 0 defines a fresh value V<k>;
+/// target >= 0 re-assigns an existing value (time-stepping update, may
+/// self-reference — RHS is fully evaluated first, as array syntax
+/// requires).  `guarded` wraps the statement in IF (K > 1), valid only
+/// inside a DO loop.
+struct SpecStmt {
+  int target = -1;
+  bool guarded = false;
+  std::vector<Term> terms;
+};
+
+enum class ShiftPersona { CShift, EoShift };
+
+struct ProgramSpec {
+  std::uint64_t seed = 0;
+  int rank = 2;
+  int num_inputs = 1;
+  int num_coeffs = 0;  ///< bound scalar coefficients C0..
+  /// Runtime values for the bound coefficients (the oracle's bindings).
+  std::vector<double> coeff_values;
+  int do_loop = 0;     ///< > 0: wrap the body in DO K = 1, do_loop
+  std::vector<SpecStmt> stmts;
+  /// Per value array (inputs, then fresh statements in order).
+  std::vector<ShiftPersona> persona;
+  std::vector<double> boundary;  ///< EOSHIFT boundary per value
+
+  [[nodiscard]] int num_values() const;
+  /// Number of fresh (value-defining) statements.
+  [[nodiscard]] int num_fresh() const;
+  /// Value index defined by fresh statement s (s counted over fresh
+  /// statements only).
+  [[nodiscard]] int fresh_value(int s) const;
+};
+
+struct GeneratorConfig {
+  int max_stmts = 6;
+  int max_terms = 4;
+  int max_inputs = 3;
+  int max_offset = 4;  ///< beyond max_halo=3 sometimes, to hit full shifts
+};
+
+/// Deterministically generates the spec for `seed`.
+[[nodiscard]] ProgramSpec generate(std::uint64_t seed,
+                                   const GeneratorConfig& config = {});
+
+/// Renders the spec as HPF source text.  `alt_names` renders the
+/// alpha-renamed twin: same program modulo identifier spelling (program
+/// name, array names, scalar names) — the two must share one PlanCache
+/// entry.
+[[nodiscard]] std::string render(const ProgramSpec& spec,
+                                 bool alt_names = false);
+
+/// Name of the size parameter / input i / fresh value i / coefficient i
+/// under the given naming scheme (the oracle uses these for bindings
+/// and result comparison).
+[[nodiscard]] std::string size_param_name(bool alt_names);
+[[nodiscard]] std::string input_name(int i, bool alt_names);
+[[nodiscard]] std::string value_name(int i, bool alt_names);
+[[nodiscard]] std::string coeff_name(int i, bool alt_names);
+
+/// Names of the arrays the oracle compares (every fresh statement's
+/// array), i.e. the live_out set.
+[[nodiscard]] std::vector<std::string> live_out_names(
+    const ProgramSpec& spec, bool alt_names = false);
+
+/// True when the program is statically guaranteed to satisfy the §3.3
+/// communication invariant at O3+: every net offset fits inside the
+/// overlap area (|offset| <= max_halo, so no full-shift fallback), all
+/// shifts of one array share one (kind, boundary) — by construction of
+/// the persona model — and no (array, dim, direction) is shifted by two
+/// different statements (unioning merges shifts within a statement;
+/// across statements each keeps its own transfer even when context
+/// partitioning fuses them).  The oracle arms HPFSC_COMM_INVARIANT only
+/// for eligible specs.
+[[nodiscard]] bool invariant_eligible(const ProgramSpec& spec,
+                                      int max_halo = 3);
+
+}  // namespace hpfsc::difftest

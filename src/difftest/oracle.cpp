@@ -1,0 +1,266 @@
+#include "difftest/oracle.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+
+#include "difftest/rng.hpp"
+#include "driver/compiler.hpp"
+#include "service/cache_key.hpp"
+#include "simpi/comm_ledger.hpp"
+
+namespace hpfsc::difftest {
+
+std::string OracleCell::str() const {
+  return "O" + std::to_string(level) + " grid " + std::to_string(pe_rows) +
+         "x" + std::to_string(pe_cols) +
+         (tier == KernelTier::Auto ? " tier=auto" : " tier=interp");
+}
+
+std::string Divergence::str() const {
+  std::string out = cell.str();
+  if (!detail.empty()) {
+    out += ": " + detail;
+    return out;
+  }
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "[%zu] expect %.17g got %.17g", index,
+                expect, got);
+  out += ": " + array + buf;
+  return out;
+}
+
+std::int64_t ulp_distance(double a, double b) {
+  if (a == b) return 0;
+  if (std::isnan(a) || std::isnan(b)) {
+    return std::numeric_limits<std::int64_t>::max();
+  }
+  auto ordered = [](double v) {
+    std::int64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof bits);
+    // Map the sign-magnitude float ordering onto the integer line so
+    // adjacent doubles differ by 1 across the whole range (incl. zero).
+    return bits < 0 ? std::numeric_limits<std::int64_t>::min() + 1 - bits
+                    : bits;
+  };
+  const std::int64_t ia = ordered(a);
+  const std::int64_t ib = ordered(b);
+  const std::int64_t d = ia > ib ? ia - ib : ib - ia;
+  return d;
+}
+
+namespace {
+
+/// Deterministic input data: a pure function of (seed, input, global
+/// index), so every PE grid sees the same global array.
+double input_value(std::uint64_t seed, int input, int i, int j, int k) {
+  Rng rng(seed ^
+          (static_cast<std::uint64_t>(input + 1) * 0x9e3779b97f4a7c15ull) ^
+          (static_cast<std::uint64_t>(i) << 42) ^
+          (static_cast<std::uint64_t>(j) << 21) ^
+          static_cast<std::uint64_t>(k));
+  return rng.unit();
+}
+
+Bindings make_bindings(const ProgramSpec& spec, const OracleConfig& cfg) {
+  Bindings b;
+  b.set(size_param_name(false), cfg.n);
+  for (int c = 0; c < spec.num_coeffs; ++c) {
+    b.set(coeff_name(c, false), spec.coeff_values[static_cast<std::size_t>(c)]);
+  }
+  return b;
+}
+
+struct CellRun {
+  std::vector<std::vector<double>> arrays;  ///< one per live_out name
+  Execution::RunStats stats;
+};
+
+/// Every program array is live: Execution::run re-executes the body
+/// `steps` times, so any array's final value feeds the next iteration —
+/// dropping a "dead" last write would be observable.  The compare set
+/// is the same list, which also covers updates to input arrays.
+std::vector<std::string> oracle_live(const ProgramSpec& spec, bool alt) {
+  std::vector<std::string> names;
+  for (int i = 0; i < spec.num_inputs; ++i) {
+    names.push_back(input_name(i, alt));
+  }
+  for (const std::string& name : live_out_names(spec, alt)) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+CellRun execute_cell(const ProgramSpec& spec, const spmd::Program& program,
+                     const OracleConfig& cfg, const OracleCell& cell,
+                     bool armed) {
+  simpi::MachineConfig mc;
+  mc.pe_rows = cell.pe_rows;
+  mc.pe_cols = cell.pe_cols;
+  Execution exec(program, mc);
+  if (armed) exec.machine().set_comm_invariant(true);
+  exec.set_kernel_tier(cell.tier);
+  exec.prepare(make_bindings(spec, cfg));
+  for (int i = 0; i < spec.num_inputs; ++i) {
+    const std::string name = input_name(i, false);
+    // Inputs are in live_out, so the optimizer must keep them; if one
+    // is missing anyway, let the gather below report it as an error.
+    const int id = program.find_array(name);
+    if (id < 0 ||
+        program.arrays[static_cast<std::size_t>(id)].eliminated) {
+      continue;
+    }
+    exec.set_array(name, [&](int x, int y, int z) {
+      return input_value(spec.seed, i, x, y, z);
+    });
+  }
+  CellRun run;
+  run.stats = exec.run(cfg.steps);
+  for (const std::string& name : oracle_live(spec, false)) {
+    run.arrays.push_back(exec.get_array(name));
+  }
+  return run;
+}
+
+}  // namespace
+
+OracleResult run_oracle(const ProgramSpec& spec, const OracleConfig& cfg) {
+  OracleResult result;
+  const std::string source = render(spec);
+
+  auto opts_for = [&](int level) {
+    CompilerOptions o = CompilerOptions::level(level);
+    o.passes.offset.live_out = oracle_live(spec, false);
+    return o;
+  };
+  std::vector<CompilerOptions> variants;
+  variants.push_back(opts_for(0));
+  for (int level : cfg.levels) variants.push_back(opts_for(level));
+
+  Compiler compiler;
+  const std::vector<CompiledProgram> compiled =
+      compiler.compile_batch(source, variants);
+
+  auto add = [&](Divergence d) {
+    if (result.divergences.size() < cfg.max_divergences) {
+      result.divergences.push_back(std::move(d));
+    }
+  };
+
+  auto check_stats = [&](const OracleCell& cell,
+                         const Execution::RunStats& stats) {
+    const simpi::CommCell ledger = stats.machine.comm.total();
+    // Every send in this executor flows through the shift runtime, so
+    // the per-direction ledger must reconcile exactly with the raw
+    // machine counter.
+    if (ledger.messages != stats.machine.messages_sent) {
+      add({cell, "", 0, 0.0, 0.0,
+           "CommLedger reconciliation: ledger " +
+               std::to_string(ledger.messages) + " messages != raw " +
+               std::to_string(stats.machine.messages_sent)});
+    }
+    if (cell.pe_rows * cell.pe_cols == 1 &&
+        stats.machine.messages_sent != 0) {
+      add({cell, "", 0, 0.0, 0.0,
+           "single-PE machine sent " +
+               std::to_string(stats.machine.messages_sent) + " messages"});
+    }
+  };
+
+  const OracleCell ref_cell{0, 1, 1, KernelTier::InterpreterOnly};
+  CellRun ref = execute_cell(spec, compiled[0].program, cfg, ref_cell, false);
+  ++result.cells_run;
+  check_stats(ref_cell, ref.stats);
+
+  const std::vector<std::string> live = oracle_live(spec, false);
+  const bool eligible = invariant_eligible(spec);
+
+  // Rank-1 arrays distribute over one grid dimension, so fold each
+  // requested grid onto a column of the same PE count.
+  std::vector<std::pair<int, int>> grids;
+  for (const auto& grid : cfg.grids) {
+    std::pair<int, int> g = grid;
+    if (spec.rank == 1) g = {grid.first * grid.second, 1};
+    bool dup = false;
+    for (const auto& seen : grids) dup = dup || seen == g;
+    if (!dup) grids.push_back(g);
+  }
+
+  for (std::size_t li = 0; li < cfg.levels.size(); ++li) {
+    const int level = cfg.levels[li];
+    const spmd::Program& program = compiled[li + 1].program;
+    for (const auto& grid : grids) {
+      for (int t = 0; t < (cfg.both_tiers ? 2 : 1); ++t) {
+        const OracleCell cell{level, grid.first, grid.second,
+                              t == 0 ? KernelTier::Auto
+                                     : KernelTier::InterpreterOnly};
+        const bool armed = eligible && level >= cfg.invariant_min_level;
+        try {
+          CellRun run = execute_cell(spec, program, cfg, cell, armed);
+          ++result.cells_run;
+          check_stats(cell, run.stats);
+          for (std::size_t a = 0; a < live.size(); ++a) {
+            std::vector<double> got = std::move(run.arrays[a]);
+            if (cfg.fault) cfg.fault(spec, cell, live[a], got);
+            if (got.size() != ref.arrays[a].size()) {
+              add({cell, live[a], 0, 0.0, 0.0,
+                   live[a] + " size mismatch: " +
+                       std::to_string(got.size()) + " vs " +
+                       std::to_string(ref.arrays[a].size())});
+              continue;
+            }
+            for (std::size_t e = 0; e < got.size(); ++e) {
+              const double x = ref.arrays[a][e];
+              const double y = got[e];
+              bool equal = x == y || (std::isnan(x) && std::isnan(y));
+              if (!equal && cfg.max_ulps > 0) {
+                equal = ulp_distance(x, y) <= cfg.max_ulps;
+              }
+              if (!equal) {
+                add({cell, live[a], e, x, y, ""});
+                break;
+              }
+            }
+          }
+        } catch (const simpi::CommInvariantViolation& e) {
+          add({cell, "", 0, 0.0, 0.0,
+               std::string("comm invariant violated: ") + e.what()});
+        } catch (const std::exception& e) {
+          add({cell, "", 0, 0.0, 0.0,
+               std::string("execution error: ") + e.what()});
+        }
+      }
+    }
+  }
+
+  if (cfg.check_cache_key && !cfg.levels.empty()) {
+    const int level = cfg.levels.back();
+    const OracleCell key_cell{level, 1, 1, KernelTier::Auto};
+    simpi::MachineConfig mc;
+    try {
+      CompilerOptions alt_opts = CompilerOptions::level(level);
+      alt_opts.passes.offset.live_out = oracle_live(spec, true);
+      const service::CacheKey plain =
+          service::make_cache_key(source, opts_for(level), mc);
+      const service::CacheKey twin =
+          service::make_cache_key(render(spec, true), alt_opts, mc);
+      if (plain.canonical != twin.canonical) {
+        add({key_cell, "", 0, 0.0, 0.0,
+             "cache key unstable across alpha renaming (hash " +
+                 std::to_string(plain.hash) + " vs " +
+                 std::to_string(twin.hash) + ")"});
+      } else if (plain.iface == twin.iface) {
+        add({key_cell, "", 0, 0.0, 0.0,
+             "alpha twin reported an identical interface"});
+      }
+    } catch (const std::exception& e) {
+      add({key_cell, "", 0, 0.0, 0.0,
+           std::string("cache key computation failed: ") + e.what()});
+    }
+  }
+
+  return result;
+}
+
+}  // namespace hpfsc::difftest

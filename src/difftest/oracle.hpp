@@ -1,0 +1,92 @@
+// The differential oracle: O0 on a 1x1 machine with the interpreter
+// tier is the reference semantics; every other point of the
+// (optimization level x kernel tier x PE grid) matrix must agree
+// bitwise (or within a configured ULP bound) on every live-out array,
+// and must additionally satisfy the runtime invariants —
+// CommLedger/raw-counter reconciliation, zero messages on one PE, the
+// §3.3 communication invariant armed at O3+ for eligible programs, and
+// PlanCache key stability across textual renamings.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "difftest/generator.hpp"
+#include "executor/execution.hpp"
+
+namespace hpfsc::difftest {
+
+/// One candidate point of the oracle matrix.
+struct OracleCell {
+  int level = 0;
+  int pe_rows = 1;
+  int pe_cols = 1;
+  KernelTier tier = KernelTier::Auto;
+
+  [[nodiscard]] std::string str() const;
+};
+
+/// One confirmed disagreement with the reference (or a violated
+/// invariant, in which case `detail` carries the story and the element
+/// fields are zero).
+struct Divergence {
+  OracleCell cell;
+  std::string array;
+  std::size_t index = 0;
+  double expect = 0.0;
+  double got = 0.0;
+  std::string detail;
+
+  [[nodiscard]] std::string str() const;
+};
+
+/// Test-only fault hook: mutates a candidate cell's gathered array
+/// before comparison.  Used to plant a "miscompile" and prove the
+/// harness catches it and the reducer shrinks it.
+using FaultHook = std::function<void(
+    const ProgramSpec& spec, const OracleCell& cell,
+    const std::string& array, std::vector<double>& values)>;
+
+struct OracleConfig {
+  int n = 12;      ///< size parameter binding
+  int steps = 2;   ///< Execution::run iterations
+  std::vector<int> levels = {1, 2, 3, 4};
+  std::vector<std::pair<int, int>> grids = {{1, 1}, {1, 2}, {2, 2}};
+  bool both_tiers = true;  ///< Auto and InterpreterOnly (else Auto only)
+  /// 0 = exact equality (the repo's cross-level guarantee); > 0 allows
+  /// that many ULPs per element.
+  int max_ulps = 0;
+  /// Arm HPFSC_COMM_INVARIANT at this level and above (for
+  /// invariant-eligible specs).
+  int invariant_min_level = 3;
+  /// Check that the alpha-renamed twin produces the same canonical
+  /// cache key (and a different interface).
+  bool check_cache_key = true;
+  /// Cap on recorded divergences per oracle run (the first one already
+  /// fails the program; more only help diagnostics).
+  std::size_t max_divergences = 4;
+  FaultHook fault;
+};
+
+struct OracleResult {
+  std::vector<Divergence> divergences;
+  int cells_run = 0;
+
+  [[nodiscard]] bool ok() const { return divergences.empty(); }
+};
+
+/// Runs the full matrix for one generated program.  Throws
+/// CompileError only if the *reference* compile fails (a generator
+/// bug); everything downstream is reported as a Divergence.
+[[nodiscard]] OracleResult run_oracle(const ProgramSpec& spec,
+                                      const OracleConfig& config = {});
+
+/// ULP distance between two doubles of the same sign regime;
+/// std::numeric_limits<std::int64_t>::max() when incomparable (NaN vs
+/// number, opposite infinities...).
+[[nodiscard]] std::int64_t ulp_distance(double a, double b);
+
+}  // namespace hpfsc::difftest

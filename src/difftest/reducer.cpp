@@ -1,0 +1,242 @@
+#include "difftest/reducer.hpp"
+
+#include <cmath>
+#include <cstddef>
+#include <optional>
+
+namespace hpfsc::difftest {
+
+namespace {
+
+bool value_used_elsewhere(const ProgramSpec& spec, int value,
+                          std::size_t skip_stmt) {
+  for (std::size_t i = 0; i < spec.stmts.size(); ++i) {
+    if (i == skip_stmt) continue;
+    if (spec.stmts[i].target == value) return true;
+    for (const Term& t : spec.stmts[i].terms) {
+      if (t.src == value) return true;
+    }
+  }
+  return false;
+}
+
+void drop_value_slot(ProgramSpec& spec, int value) {
+  spec.persona.erase(spec.persona.begin() + value);
+  spec.boundary.erase(spec.boundary.begin() + value);
+  for (SpecStmt& stmt : spec.stmts) {
+    if (stmt.target > value) --stmt.target;
+    for (Term& t : stmt.terms) {
+      if (t.src > value) --t.src;
+    }
+  }
+}
+
+/// Removing an update statement is free; removing a fresh statement is
+/// legal only when its value has no other reader or writer and it is
+/// not the last live-out array.
+std::optional<ProgramSpec> without_stmt(const ProgramSpec& spec,
+                                        std::size_t s) {
+  if (spec.stmts[s].target >= 0) {
+    ProgramSpec out = spec;
+    out.stmts.erase(out.stmts.begin() +
+                    static_cast<std::ptrdiff_t>(s));
+    return out;
+  }
+  if (spec.num_fresh() <= 1) return std::nullopt;
+  int fresh = 0;
+  for (std::size_t i = 0; i < s; ++i) {
+    if (spec.stmts[i].target < 0) ++fresh;
+  }
+  const int value = spec.num_inputs + fresh;
+  if (value_used_elsewhere(spec, value, s)) return std::nullopt;
+  ProgramSpec out = spec;
+  out.stmts.erase(out.stmts.begin() + static_cast<std::ptrdiff_t>(s));
+  drop_value_slot(out, value);
+  return out;
+}
+
+std::optional<ProgramSpec> without_input(const ProgramSpec& spec,
+                                         int value) {
+  if (spec.num_inputs <= 1) return std::nullopt;
+  if (value_used_elsewhere(spec, value, spec.stmts.size())) {
+    return std::nullopt;
+  }
+  ProgramSpec out = spec;
+  --out.num_inputs;
+  drop_value_slot(out, value);
+  return out;
+}
+
+std::optional<ProgramSpec> without_dim(const ProgramSpec& spec, int d) {
+  if (spec.rank <= 1) return std::nullopt;
+  ProgramSpec out = spec;
+  --out.rank;
+  for (SpecStmt& stmt : out.stmts) {
+    for (Term& t : stmt.terms) {
+      for (int x = d; x < out.rank; ++x) {
+        t.offset[static_cast<std::size_t>(x)] =
+            t.offset[static_cast<std::size_t>(x + 1)];
+      }
+      t.offset[static_cast<std::size_t>(out.rank)] = 0;
+      if (t.split_dim == d) {
+        t.split_dim = -1;
+      } else if (t.split_dim > d) {
+        --t.split_dim;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ReduceResult reduce(ProgramSpec spec, const StillFails& still_fails) {
+  ReduceResult result;
+
+  auto attempt = [&](const ProgramSpec& cand) {
+    ++result.checks;
+    if (!still_fails(cand)) return false;
+    spec = cand;
+    ++result.shrinks;
+    return true;
+  };
+  auto attempt_opt = [&](const std::optional<ProgramSpec>& cand) {
+    return cand.has_value() && attempt(*cand);
+  };
+
+  bool progress = true;
+  while (progress) {
+    progress = false;
+
+    // Statement removal, back to front: consumers disappear before the
+    // values they read, so producer removal unblocks next scan.
+    for (std::size_t s = spec.stmts.size(); s-- > 0;) {
+      if (s >= spec.stmts.size()) continue;
+      if (attempt_opt(without_stmt(spec, s))) progress = true;
+    }
+    for (int v = spec.num_inputs; v-- > 0;) {
+      if (v >= spec.num_inputs) continue;
+      if (attempt_opt(without_input(spec, v))) progress = true;
+    }
+    for (int d = spec.rank; d-- > 0;) {
+      if (d >= spec.rank) continue;
+      if (attempt_opt(without_dim(spec, d))) progress = true;
+    }
+
+    // Term removal (keep one term per statement).
+    for (std::size_t s = 0; s < spec.stmts.size(); ++s) {
+      for (std::size_t t = spec.stmts[s].terms.size(); t-- > 0;) {
+        if (t >= spec.stmts[s].terms.size() ||
+            spec.stmts[s].terms.size() <= 1) {
+          continue;
+        }
+        ProgramSpec cand = spec;
+        cand.stmts[s].terms.erase(cand.stmts[s].terms.begin() +
+                                  static_cast<std::ptrdiff_t>(t));
+        cand.stmts[s].terms.front().negate = false;
+        if (attempt(cand)) progress = true;
+      }
+    }
+
+    // Offset zeroing, then magnitude shrinking toward zero.
+    for (std::size_t s = 0; s < spec.stmts.size(); ++s) {
+      for (std::size_t t = 0; t < spec.stmts[s].terms.size(); ++t) {
+        for (int d = 0; d < spec.rank; ++d) {
+          const int off =
+              spec.stmts[s].terms[t].offset[static_cast<std::size_t>(d)];
+          if (off == 0) continue;
+          {
+            ProgramSpec cand = spec;
+            Term& ct = cand.stmts[s].terms[t];
+            ct.offset[static_cast<std::size_t>(d)] = 0;
+            if (ct.split_dim == d) ct.split_dim = -1;
+            if (attempt(cand)) {
+              progress = true;
+              continue;
+            }
+          }
+          if (std::abs(off) > 1) {
+            ProgramSpec cand = spec;
+            Term& ct = cand.stmts[s].terms[t];
+            ct.offset[static_cast<std::size_t>(d)] =
+                off > 0 ? off - 1 : off + 1;
+            if (std::abs(ct.offset[static_cast<std::size_t>(d)]) < 2 &&
+                ct.split_dim == d) {
+              ct.split_dim = -1;
+            }
+            if (attempt(cand)) progress = true;
+          }
+        }
+      }
+    }
+
+    // Structural simplifications: un-split chains, drop guards and the
+    // DO loop, literal coefficients, CSHIFT personas, unused scalars.
+    for (std::size_t s = 0; s < spec.stmts.size(); ++s) {
+      for (std::size_t t = 0; t < spec.stmts[s].terms.size(); ++t) {
+        if (spec.stmts[s].terms[t].split_dim >= 0) {
+          ProgramSpec cand = spec;
+          cand.stmts[s].terms[t].split_dim = -1;
+          if (attempt(cand)) progress = true;
+        }
+        if (spec.stmts[s].terms[t].coeff_sym >= 0) {
+          ProgramSpec cand = spec;
+          cand.stmts[s].terms[t].coeff_sym = -1;
+          if (attempt(cand)) progress = true;
+        } else if (spec.stmts[s].terms[t].coeff != 1.0) {
+          ProgramSpec cand = spec;
+          cand.stmts[s].terms[t].coeff = 1.0;
+          if (attempt(cand)) progress = true;
+        }
+      }
+      if (spec.stmts[s].guarded) {
+        ProgramSpec cand = spec;
+        cand.stmts[s].guarded = false;
+        if (attempt(cand)) progress = true;
+      }
+    }
+    if (spec.do_loop > 0) {
+      ProgramSpec cand = spec;
+      cand.do_loop = 0;
+      for (SpecStmt& stmt : cand.stmts) stmt.guarded = false;
+      if (attempt(cand)) {
+        progress = true;
+      } else if (spec.do_loop > 2) {
+        cand = spec;
+        cand.do_loop = 2;
+        if (attempt(cand)) progress = true;
+      }
+    }
+    for (std::size_t v = 0; v < spec.persona.size(); ++v) {
+      if (spec.persona[v] != ShiftPersona::EoShift) continue;
+      ProgramSpec cand = spec;
+      cand.persona[v] = ShiftPersona::CShift;
+      cand.boundary[v] = 0.0;
+      if (attempt(cand)) progress = true;
+    }
+    for (int c = spec.num_coeffs; c-- > 0;) {
+      if (c >= spec.num_coeffs) continue;
+      bool used = false;
+      for (const SpecStmt& stmt : spec.stmts) {
+        for (const Term& t : stmt.terms) {
+          if (t.coeff_sym == c) used = true;
+        }
+      }
+      if (used) continue;
+      ProgramSpec cand = spec;
+      --cand.num_coeffs;
+      cand.coeff_values.erase(cand.coeff_values.begin() + c);
+      for (SpecStmt& stmt : cand.stmts) {
+        for (Term& t : stmt.terms) {
+          if (t.coeff_sym > c) --t.coeff_sym;
+        }
+      }
+      if (attempt(cand)) progress = true;
+    }
+  }
+
+  result.spec = spec;
+  return result;
+}
+
+}  // namespace hpfsc::difftest

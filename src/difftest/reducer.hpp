@@ -1,0 +1,33 @@
+// Test-case reducer: shrinks a failing ProgramSpec while a caller
+// predicate keeps reproducing the failure.  Works on the structured
+// spec (not the rendered text) so every candidate is valid by
+// construction — no wasted compiles on syntax errors.
+#pragma once
+
+#include <functional>
+
+#include "difftest/generator.hpp"
+
+namespace hpfsc::difftest {
+
+/// Returns true when the candidate still exhibits the failure under
+/// investigation.  The reducer only keeps shrinks the predicate
+/// accepts.
+using StillFails = std::function<bool(const ProgramSpec&)>;
+
+struct ReduceResult {
+  ProgramSpec spec;  ///< the minimal still-failing program
+  int checks = 0;    ///< predicate invocations
+  int shrinks = 0;   ///< accepted shrink steps
+};
+
+/// Fixpoint reduction: repeatedly tries, in order, removing update
+/// statements, removing unreferenced fresh statements and inputs,
+/// dropping whole array dimensions, removing terms, zeroing/shrinking
+/// offsets, un-splitting shift chains, dropping IF guards and the DO
+/// loop, and simplifying coefficients and shift personas — until a full
+/// round makes no progress.  The input spec must satisfy `still_fails`.
+[[nodiscard]] ReduceResult reduce(ProgramSpec spec,
+                                  const StillFails& still_fails);
+
+}  // namespace hpfsc::difftest

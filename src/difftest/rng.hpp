@@ -1,0 +1,51 @@
+// Deterministic RNG for the differential-testing generator.  The C++
+// standard distributions (uniform_int_distribution et al.) are
+// implementation-defined — the same seed yields different programs
+// under libstdc++ and libc++ — so the generator rolls its own
+// splitmix64 stream: one seed must reproduce one program on every
+// platform CI runs on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hpfsc::difftest {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// splitmix64 step: fast, full-period, and fully specified.
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int range(int lo, int hi) {
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int>(next() % span);
+  }
+
+  /// True with probability percent/100.
+  bool chance(int percent) { return range(0, 99) < percent; }
+
+  /// Uniform element of a non-empty list.
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    return items[static_cast<std::size_t>(range(
+        0, static_cast<int>(items.size()) - 1))];
+  }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double unit() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace hpfsc::difftest

@@ -6,12 +6,64 @@
 
 namespace hpfsc {
 
-CompiledProgram Compiler::compile(std::string_view source,
-                                  const CompilerOptions& options) const {
-  obs::TraceSession* trace = options.trace;
-  obs::Span compile_span(trace, "compile", "compile");
-  compile_span.arg("source_bytes", static_cast<double>(source.size()));
+namespace {
 
+/// Pipeline + SPMD codegen over an already-lowered program (consumed).
+/// `frontend_diagnostics` (rendered frontend warnings) is prepended to
+/// the result's diagnostics.
+CompiledProgram run_backend(ir::Program& program,
+                            std::optional<std::pair<int, int>> processors,
+                            const CompilerOptions& options,
+                            const std::string& frontend_diagnostics) {
+  obs::TraceSession* trace = options.trace;
+  DiagnosticEngine diags;
+  CompiledProgram out;
+  out.processors = processors;
+
+  passes::PassOptions pass_opts = options.passes;
+  if (options.xlhpf_mode) {
+    // Baseline mode: normalization only; code generation materializes
+    // expression temporaries.
+    pass_opts = passes::PassOptions::level(0);
+    pass_opts.normalize = options.passes.normalize;
+  }
+
+  if (options.xlhpf_mode) {
+    // Run normalization alone (run_pipeline would also scalarize).
+    obs::Span span(trace, "pass/normalize", "compile");
+    out.pipeline.normalize =
+        passes::normalize(program, pass_opts.normalize, diags);
+    out.listings.push_back(
+        passes::PhaseListing{"normalize", ir::Printer(program).print_body()});
+  } else {
+    out.pipeline = passes::run_pipeline(program, pass_opts, diags, trace);
+    out.listings = out.pipeline.listings;
+  }
+  if (diags.has_errors()) throw CompileError(diags.render_all());
+
+  {
+    obs::Span span(trace, "codegen/lower-spmd", "compile");
+    codegen::LowerOptions cg;
+    cg.expr_temps = options.xlhpf_mode;
+    out.program = codegen::lower_to_spmd(program, cg, diags);
+    if (span.active()) {
+      const auto comm = out.program.comm_summary();
+      span.arg("ops", static_cast<double>(out.program.ops.size()));
+      span.arg("full_shifts", comm.full_shifts);
+      span.arg("overlap_shifts", comm.overlap_shifts);
+    }
+  }
+  if (diags.has_errors()) throw CompileError(diags.render_all());
+
+  out.diagnostics = frontend_diagnostics + diags.render_all();
+  return out;
+}
+
+/// Lex + parse + lower; throws on any frontend error.  Rendered
+/// frontend warnings are appended to `warnings`.
+frontend::LowerResult run_frontend(std::string_view source,
+                                   obs::TraceSession* trace,
+                                   std::string& warnings) {
   DiagnosticEngine diags;
   frontend::ast::Program tree;
   {
@@ -26,47 +78,47 @@ CompiledProgram Compiler::compile(std::string_view source,
     lowered = frontend::lower(tree, diags);
   }
   if (diags.has_errors()) throw CompileError(diags.render_all());
+  warnings += diags.render_all();
+  return lowered;
+}
 
-  CompiledProgram out;
-  out.processors = lowered.processors;
+}  // namespace
 
-  passes::PassOptions pass_opts = options.passes;
-  if (options.xlhpf_mode) {
-    // Baseline mode: normalization only; code generation materializes
-    // expression temporaries.
-    pass_opts = passes::PassOptions::level(0);
-    pass_opts.normalize = options.passes.normalize;
-  }
+CompiledProgram Compiler::compile(std::string_view source,
+                                  const CompilerOptions& options) const {
+  obs::TraceSession* trace = options.trace;
+  obs::Span compile_span(trace, "compile", "compile");
+  compile_span.arg("source_bytes", static_cast<double>(source.size()));
 
-  if (options.xlhpf_mode) {
-    // Run normalization alone (run_pipeline would also scalarize).
-    obs::Span span(trace, "pass/normalize", "compile");
-    out.pipeline.normalize = passes::normalize(lowered.program,
-                                               pass_opts.normalize, diags);
-    out.listings.push_back(passes::PhaseListing{
-        "normalize", ir::Printer(lowered.program).print_body()});
-  } else {
-    out.pipeline =
-        passes::run_pipeline(lowered.program, pass_opts, diags, trace);
-    out.listings = out.pipeline.listings;
-  }
-  if (diags.has_errors()) throw CompileError(diags.render_all());
+  std::string warnings;
+  frontend::LowerResult lowered = run_frontend(source, trace, warnings);
+  return run_backend(lowered.program, lowered.processors, options, warnings);
+}
 
-  {
-    obs::Span span(trace, "codegen/lower-spmd", "compile");
-    codegen::LowerOptions cg;
-    cg.expr_temps = options.xlhpf_mode;
-    out.program = codegen::lower_to_spmd(lowered.program, cg, diags);
-    if (span.active()) {
-      const auto comm = out.program.comm_summary();
-      span.arg("ops", static_cast<double>(out.program.ops.size()));
-      span.arg("full_shifts", comm.full_shifts);
-      span.arg("overlap_shifts", comm.overlap_shifts);
+std::vector<CompiledProgram> Compiler::compile_batch(
+    std::string_view source,
+    const std::vector<CompilerOptions>& variants) const {
+  obs::TraceSession* trace =
+      variants.empty() ? nullptr : variants.front().trace;
+  obs::Span batch_span(trace, "compile.batch", "compile");
+  batch_span.arg("variants", static_cast<double>(variants.size()));
+
+  std::string warnings;
+  frontend::LowerResult lowered = run_frontend(source, trace, warnings);
+
+  std::vector<CompiledProgram> out;
+  out.reserve(variants.size());
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    if (i + 1 == variants.size()) {
+      // Last variant consumes the lowered program directly.
+      out.push_back(run_backend(lowered.program, lowered.processors,
+                                variants[i], warnings));
+    } else {
+      ir::Program copy = lowered.program.clone();
+      out.push_back(
+          run_backend(copy, lowered.processors, variants[i], warnings));
     }
   }
-  if (diags.has_errors()) throw CompileError(diags.render_all());
-
-  out.diagnostics = diags.render_all();
   return out;
 }
 

@@ -74,6 +74,17 @@ class Compiler {
   [[nodiscard]] CompiledProgram compile(
       std::string_view source,
       const CompilerOptions& options = CompilerOptions::level(4)) const;
+
+  /// Compiles one source under several option sets, running the
+  /// frontend (lex + parse + lower) exactly once and cloning the
+  /// lowered IR per variant.  Result i corresponds to variants[i].
+  /// This is the differential-testing entry point: an oracle that
+  /// compiles each program at O0..O4 x tiers would otherwise pay the
+  /// frontend once per cell of the matrix.  Throws CompileError on any
+  /// error (a frontend error aborts the whole batch).
+  [[nodiscard]] std::vector<CompiledProgram> compile_batch(
+      std::string_view source,
+      const std::vector<CompilerOptions>& variants) const;
 };
 
 }  // namespace hpfsc

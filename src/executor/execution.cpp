@@ -267,6 +267,10 @@ void Execution::exec_ops(simpi::Pe& pe, const std::vector<spmd::Op>& ops,
       case spmd::OpKind::FullShift:
         simpi::full_cshift(pe, op.array, op.src, op.shift, op.dim,
                            op.shift_kind, eval_scalar(op.boundary, env));
+        // A full shift is never unioned, so it closes its own context
+        // charge: a shift-assign statement has no kernel nest to do it,
+        // and multi-shift statements fall outside the invariant anyway.
+        pe.reset_comm_context();
         break;
       case spmd::OpKind::OverlapShift:
         simpi::overlap_shift(pe, op.array, op.shift, op.dim, op.rsd,

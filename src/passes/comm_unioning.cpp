@@ -50,10 +50,39 @@ int boundary_class(const ir::Expr* b, std::vector<const ir::Expr*>& reps) {
   return static_cast<int>(reps.size()) - 1;
 }
 
-void accumulate(Requirements& req, const ir::OverlapShiftStmt& s) {
+/// Overlap depth each (dim, dir) of one array already receives from the
+/// shifts of a communication group run, regardless of shift kind.  Used
+/// to decide whether a chained view's cross-dimension base offset needs
+/// its own shift: normally the producing shift is in the same run and
+/// covers it, and charging it again here would use *this* shift's kind
+/// and boundary — an EOSHIFT fill clobbering a CSHIFT's circular halo.
+struct Coverage {
+  std::array<std::array<int, 2>, ir::kMaxRank> depth{};
+
+  void note(const ir::OverlapShiftStmt& s) {
+    const int dir = s.shift > 0 ? 1 : 0;
+    int d = std::abs(s.shift);
+    const int base = s.src.offset[s.dim];
+    if (base != 0 && (base > 0) == (s.shift > 0)) d += std::abs(base);
+    depth[s.dim][dir] = std::max(depth[s.dim][dir], d);
+  }
+
+  bool covers(int dim, int dir, int amount) const {
+    return depth[dim][dir] >= amount;
+  }
+};
+
+void accumulate(Requirements& req, const ir::OverlapShiftStmt& s,
+                const Coverage& cover) {
   const int dir = s.shift > 0 ? 1 : 0;
   const int d = s.dim;
-  req.amount[d][dir] = std::max(req.amount[d][dir], std::abs(s.shift));
+  // A chained shift's own-dimension base offset deepens the overlap
+  // requirement: shifting a view already displaced by `base` needs
+  // cells out to base + shift.
+  int depth = std::abs(s.shift);
+  const int base = s.src.offset[d];
+  if (base != 0 && (base > 0) == (s.shift > 0)) depth += std::abs(base);
+  req.amount[d][dir] = std::max(req.amount[d][dir], depth);
   if (req.loc == SourceLoc{}) req.loc = s.loc;
   if (s.boundary && !req.boundary) req.boundary = s.boundary->clone();
 
@@ -68,8 +97,12 @@ void accumulate(Requirements& req, const ir::OverlapShiftStmt& s) {
     const int off = s.src.offset[dd];
     if (off != 0) {
       const int odir = off > 0 ? 1 : 0;
-      // Base requirement implied by the annotation.
-      req.amount[dd][odir] = std::max(req.amount[dd][odir], std::abs(off));
+      // Base requirement implied by the annotation — unless another
+      // shift in this run (typically the one that produced the view)
+      // already fills that overlap area.
+      if (!cover.covers(dd, odir, std::abs(off))) {
+        req.amount[dd][odir] = std::max(req.amount[dd][odir], std::abs(off));
+      }
       if (dd < d) {
         // RSD on our own (d, dir) shift, extended in dimension dd.
         auto& ext = req.rsd[d][dir];
@@ -121,17 +154,25 @@ CommUnioningStats comm_unioning(ir::Program& program,
         }
         // Maximal run of overlap shifts = one communication group.
         std::size_t j = i;
-        std::map<GroupKey, Requirements> groups;
-        std::vector<const ir::Expr*> boundary_reps;
         while (j < block.size() &&
                block[j]->kind == ir::StmtKind::OverlapShift) {
+          ++j;
+        }
+        std::map<ir::ArrayId, Coverage> cover;
+        for (std::size_t k = i; k < j; ++k) {
           const auto& s =
-              static_cast<const ir::OverlapShiftStmt&>(*block[j]);
+              static_cast<const ir::OverlapShiftStmt&>(*block[k]);
+          cover[s.src.array].note(s);
+        }
+        std::map<GroupKey, Requirements> groups;
+        std::vector<const ir::Expr*> boundary_reps;
+        for (std::size_t k = i; k < j; ++k) {
+          const auto& s =
+              static_cast<const ir::OverlapShiftStmt&>(*block[k]);
           ++stats.shifts_before;
           GroupKey key{s.src.array, s.shift_kind,
                        boundary_class(s.boundary.get(), boundary_reps)};
-          accumulate(groups[key], s);
-          ++j;
+          accumulate(groups[key], s, cover[s.src.array]);
         }
         // Emit the unioned shifts: dimension ascending, negative first.
         for (auto& [key, req] : groups) {

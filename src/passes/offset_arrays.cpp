@@ -1,7 +1,9 @@
 #include "passes/offset_arrays.hpp"
 
 #include <algorithm>
+#include <map>
 #include <set>
+#include <tuple>
 #include <unordered_map>
 
 #include "analysis/array_ssa.hpp"
@@ -26,7 +28,8 @@ struct ShiftPlan {
   Offset result_offset{0, 0, 0};
   int base_version = -1;       ///< SSA version of base at the shift
   bool needs_copy = false;     ///< materialize dst after the overlap shift
-  bool needs_src_copy = false; ///< materialize src before an unconverted shift
+  const ir::Stmt* producer = nullptr;  ///< shift defining our source
+  bool chained = false;        ///< base resolved through the producer
   ArrayId src_copy_base = -1;
   Offset src_copy_offset{0, 0, 0};
   std::vector<const ir::ArrayRef*> rewrites;
@@ -42,6 +45,7 @@ class OffsetArrayPass {
     compute_live_out();
     ssa_ = std::make_unique<ArraySsa>(ArraySsa::build(prog_));
     plan();
+    resolve_halo_conflicts();
     apply_block(prog_.body);
     rewrite_uses();
     assign_halo_widths();
@@ -86,7 +90,7 @@ class OffsetArrayPass {
     // Whether our source is itself a converted shift (multi-offset
     // chain).  If so, the producer does not materialize its destination
     // for us, so if we end up unconverted we must insert a copy.
-    bool chain = false;
+    bool cross_kind_chain = false;
     const SsaVersion& src_info =
         ssa_->version_info(s.src.array, plan.base_version);
     if (src_info.kind == SsaVersion::Kind::Def && src_info.def != nullptr &&
@@ -98,10 +102,24 @@ class OffsetArrayPass {
         // same value here; otherwise the producer detected the conflict
         // and already materialized our source via a compensation copy.
         if (ssa_->version_at(s, producer.base) == producer.base_version) {
-          chain = true;
-          plan.base = producer.base;
-          plan.base_offset = producer.result_offset;
-          plan.base_version = producer.base_version;
+          const auto& producer_stmt =
+              static_cast<const ir::ShiftAssignStmt&>(*src_info.def);
+          plan.producer = src_info.def;
+          // Offset composition is exact only for circular shifts: an
+          // EOSHIFT link puts boundary values at positions the composed
+          // view maps to *owned* cells when offsets cancel, and the
+          // halo fill kind of one link cannot reproduce the other's
+          // values.  A mixed chain keeps the full shift and reads its
+          // source through a compensation copy instead.
+          if (s.intrinsic == ir::ShiftIntrinsic::CShift &&
+              producer_stmt.intrinsic == ir::ShiftIntrinsic::CShift) {
+            plan.chained = true;
+            plan.base = producer.base;
+            plan.base_offset = producer.result_offset;
+            plan.base_version = producer.base_version;
+          } else {
+            cross_kind_chain = true;
+          }
           plan.src_copy_base = producer.base;
           plan.src_copy_offset = producer.result_offset;
         }
@@ -143,6 +161,12 @@ class OffsetArrayPass {
                 static_cast<const ir::ArrayAssignStmt&>(*u.stmt);
             if (u.ref == &use_stmt.lhs) {
               bad_use = true;  // partial update reads dst itself
+            } else if (use_stmt.lhs.array == plan.base) {
+              // Rewriting would scalarize into a loop that reads
+              // base<offset> while writing base — a loop-carried
+              // dependence whenever the offset points against the
+              // (backend-variant) iteration order.  Keep the temp.
+              bad_use = true;
             } else {
               plan.rewrites.push_back(u.ref);
               ++n_rewritable;
@@ -164,18 +188,73 @@ class OffsetArrayPass {
     plan.needs_copy = bad_use || value_escapes;
 
     const bool used = !ssa_->uses_of(s.dst, v_dst).empty() || value_escapes;
-    if (static_ok && (n_rewritable + n_chain > 0 || !used)) {
+    if (static_ok && !cross_kind_chain &&
+        (n_rewritable + n_chain > 0 || !used)) {
       plan.convert = true;
       plan.drop = !used && !plan.needs_copy;
     } else {
       plan.convert = false;
       plan.rewrites.clear();
       plan.needs_copy = false;
-      // An unconverted shift whose source was converted away needs that
-      // source materialized first.
-      plan.needs_src_copy = chain;
     }
     plans_.emplace(&s, std::move(plan));
+  }
+
+  /// An array has ONE overlap area per (dimension, direction), so two
+  /// converted shifts that fill the same area with different kinds (a
+  /// circular wrap vs. an EOSHIFT boundary constant, or two different
+  /// boundary constants) cannot coexist once context partitioning fuses
+  /// their statement contexts into one communication group.  First
+  /// claim in program order wins; later conflicting shifts stay full
+  /// shifts.
+  void resolve_halo_conflicts() {
+    struct Claim {
+      ir::ShiftIntrinsic intrinsic;
+      const ir::Expr* boundary;
+    };
+    std::map<std::tuple<ArrayId, int, int, int>, Claim> claims;
+    ir::visit_stmts(prog_.body, [&](ir::Stmt& stmt) {
+      if (stmt.kind != ir::StmtKind::ShiftAssign) return;
+      auto& s = static_cast<ir::ShiftAssignStmt&>(stmt);
+      auto it = plans_.find(&stmt);
+      if (it == plans_.end() || !it->second.convert) return;
+      ShiftPlan& plan = it->second;
+      const auto key = std::make_tuple(plan.base, s.dim,
+                                       s.shift > 0 ? 1 : 0,
+                                       plan.base_version);
+      auto [cit, inserted] =
+          claims.emplace(key, Claim{s.intrinsic, s.boundary.get()});
+      if (inserted) return;
+      const Claim& c = cit->second;
+      const bool same_boundary =
+          c.boundary == nullptr
+              ? s.boundary == nullptr
+              : s.boundary != nullptr && c.boundary->equals(*s.boundary);
+      if (c.intrinsic == s.intrinsic && same_boundary) return;
+      plan.convert = false;
+      plan.drop = false;
+      plan.rewrites.clear();
+      plan.needs_copy = false;
+    });
+    // Demotion cascades: a consumer that resolved its base through a
+    // now-demoted producer would read halo cells the producer no longer
+    // fills (the conflicting first claim fills them with the *other*
+    // kind).  The demoted producer materializes its destination, so the
+    // consumer simply keeps its full shift over that.
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (auto& [stmt, plan] : plans_) {
+        (void)stmt;
+        if (!plan.convert || !plan.chained) continue;
+        if (plans_.at(plan.producer).convert) continue;
+        plan.convert = false;
+        plan.drop = false;
+        plan.rewrites.clear();
+        plan.needs_copy = false;
+        progress = true;
+      }
+    }
   }
 
   // --------------------------------------------------------- apply ----
@@ -206,7 +285,15 @@ class OffsetArrayPass {
       }
       auto& s = static_cast<ir::ShiftAssignStmt&>(*sp);
       const ShiftPlan& plan = plans_.at(sp.get());
-      if (plan.needs_src_copy) {
+      // An unconverted shift whose source was converted away (and not
+      // already materialized by the producer's own compensation copy)
+      // needs that source materialized first.
+      bool needs_src_copy = false;
+      if (!plan.convert && plan.producer != nullptr) {
+        const ShiftPlan& producer = plans_.at(plan.producer);
+        needs_src_copy = producer.convert && !producer.needs_copy;
+      }
+      if (needs_src_copy) {
         auto copy = std::make_unique<ir::CopyStmt>();
         copy->loc = s.loc;
         copy->dst = s.src.array;

@@ -1,10 +1,12 @@
 #include "service/cache_key.hpp"
 
 #include <algorithm>
+#include <unordered_map>
 #include <vector>
 
 #include "frontend/lower.hpp"
 #include "frontend/parser.hpp"
+#include "ir/program.hpp"
 #include "ir/printer.hpp"
 
 namespace hpfsc::service {
@@ -32,7 +34,144 @@ void field(std::string& out, const char* name, bool v) {
   out += v ? "=1;" : "=0;";
 }
 
+using NameMap = std::unordered_map<std::string, std::string>;
+
+void rename_bound(ir::AffineBound& b, const NameMap& map) {
+  if (b.param.empty()) return;
+  auto it = map.find(b.param);
+  if (it != map.end()) b.param = it->second;
+}
+
+void rename_sections(std::vector<ir::SectionRange>& section,
+                     const NameMap& map) {
+  for (ir::SectionRange& r : section) {
+    rename_bound(r.lo, map);
+    rename_bound(r.hi, map);
+  }
+}
+
+void rename_expr(ir::ExprPtr& e, const NameMap& map) {
+  if (!e) return;
+  ir::visit_exprs(*e, [&](ir::Expr& node) {
+    if (node.kind == ir::ExprKind::ArrayRefK) {
+      rename_sections(node.ref.section, map);
+    }
+  });
+}
+
+/// Alpha-renames user-visible names to positional placeholders
+/// (program -> P, scalar i -> Si, array i -> Ai) in place, recording the
+/// original names.  Identifiers occur only in the symbol table and in
+/// AffineBound parameters (section/loop/extent bounds); expressions and
+/// statements reference symbols by integer id.
+InterfaceNames canonicalize_names(ir::Program& prog) {
+  InterfaceNames iface;
+  NameMap scalar_map;
+  iface.program = prog.name;
+  prog.name = "P";
+  for (int i = 0; i < prog.symbols.num_scalars(); ++i) {
+    ir::ScalarSymbol& sym = prog.symbols.scalar(i);
+    iface.scalars.push_back(sym.name);
+    scalar_map.emplace(sym.name, "S" + std::to_string(i));
+    sym.name = "S" + std::to_string(i);
+  }
+  for (int i = 0; i < prog.symbols.num_arrays(); ++i) {
+    ir::ArraySymbol& sym = prog.symbols.array(i);
+    iface.arrays.push_back(sym.name);
+    sym.name = "A" + std::to_string(i);
+    for (ir::AffineBound& b : sym.extent) rename_bound(b, scalar_map);
+  }
+  ir::visit_stmts(prog.body, [&](ir::Stmt& s) {
+    switch (s.kind) {
+      case ir::StmtKind::ArrayAssign: {
+        auto& a = static_cast<ir::ArrayAssignStmt&>(s);
+        rename_sections(a.lhs.section, scalar_map);
+        rename_expr(a.rhs, scalar_map);
+        break;
+      }
+      case ir::StmtKind::ShiftAssign: {
+        auto& a = static_cast<ir::ShiftAssignStmt&>(s);
+        rename_sections(a.src.section, scalar_map);
+        rename_expr(a.boundary, scalar_map);
+        break;
+      }
+      case ir::StmtKind::OverlapShift: {
+        auto& a = static_cast<ir::OverlapShiftStmt&>(s);
+        rename_sections(a.src.section, scalar_map);
+        rename_expr(a.boundary, scalar_map);
+        break;
+      }
+      case ir::StmtKind::Copy:
+        rename_sections(static_cast<ir::CopyStmt&>(s).src.section,
+                        scalar_map);
+        break;
+      case ir::StmtKind::ScalarAssign:
+        rename_expr(static_cast<ir::ScalarAssignStmt&>(s).rhs, scalar_map);
+        break;
+      case ir::StmtKind::If:
+        rename_expr(static_cast<ir::IfStmt&>(s).cond, scalar_map);
+        break;
+      case ir::StmtKind::Do: {
+        auto& d = static_cast<ir::DoStmt&>(s);
+        rename_bound(d.lo, scalar_map);
+        rename_bound(d.hi, scalar_map);
+        break;
+      }
+      case ir::StmtKind::LoopNest: {
+        auto& n = static_cast<ir::LoopNestStmt&>(s);
+        for (ir::SectionRange& r : n.bounds) {
+          rename_bound(r.lo, scalar_map);
+          rename_bound(r.hi, scalar_map);
+        }
+        for (auto& body : n.body) {
+          rename_sections(body.lhs.section, scalar_map);
+          rename_expr(body.rhs, scalar_map);
+        }
+        break;
+      }
+      case ir::StmtKind::Alloc:
+      case ir::StmtKind::Free:
+        break;
+    }
+  });
+  return iface;
+}
+
 }  // namespace
+
+std::string InterfaceNames::encode() const {
+  std::string out = program;
+  out += '\x1e';
+  for (const std::string& s : scalars) {
+    out += s;
+    out += '\x1f';
+  }
+  out += '\x1e';
+  for (const std::string& a : arrays) {
+    out += a;
+    out += '\x1f';
+  }
+  return out;
+}
+
+InterfaceNames InterfaceNames::decode(std::string_view text) {
+  InterfaceNames out;
+  const std::size_t p1 = text.find('\x1e');
+  const std::size_t p2 = text.find('\x1e', p1 + 1);
+  out.program = std::string(text.substr(0, p1));
+  auto split = [](std::string_view part, std::vector<std::string>& into) {
+    std::size_t start = 0;
+    for (std::size_t i = 0; i < part.size(); ++i) {
+      if (part[i] == '\x1f') {
+        into.emplace_back(part.substr(start, i - start));
+        start = i + 1;
+      }
+    }
+  };
+  split(text.substr(p1 + 1, p2 - p1 - 1), out.scalars);
+  split(text.substr(p2 + 1), out.arrays);
+  return out;
+}
 
 std::string fingerprint(const CompilerOptions& options) {
   std::string out = "opts{";
@@ -83,6 +222,8 @@ CacheKey make_cache_key(std::string_view source,
   if (diags.has_errors()) throw CompileError(diags.render_all());
 
   CacheKey key;
+  InterfaceNames iface = canonicalize_names(lowered.program);
+  key.iface = iface.encode();
   key.canonical = ir::Printer(lowered.program).print_program();
   if (lowered.processors) {
     key.canonical += "!HPF$ PROCESSORS(" +
@@ -90,7 +231,18 @@ CacheKey make_cache_key(std::string_view source,
                      std::to_string(lowered.processors->second) + ")\n";
   }
   key.canonical += '\n';
-  key.canonical += fingerprint(options);
+  // live_out names participate in the options fingerprint; map them
+  // through the same renaming so alpha twins agree on it.
+  CompilerOptions canon_opts = options;
+  for (std::string& name : canon_opts.passes.offset.live_out) {
+    for (std::size_t i = 0; i < iface.arrays.size(); ++i) {
+      if (iface.arrays[i] == name) {
+        name = "A" + std::to_string(i);
+        break;
+      }
+    }
+  }
+  key.canonical += fingerprint(canon_opts);
   key.canonical += fingerprint(machine);
   key.hash = fnv1a(key.canonical);
   return key;

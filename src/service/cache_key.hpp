@@ -1,29 +1,54 @@
 // Content-addressed cache keys for compiled plans.  A key canonicalizes
 // the *meaning* of a request, not its bytes: the source text is parsed
-// and lowered to IR and the pretty-printed IR (declarations +
-// directives + body) is hashed, so programs differing only in
-// whitespace, comments, or line continuations map to the same entry.
-// The compiler options and the machine configuration are folded in as
-// stable textual fingerprints — any field that changes generated code
-// or execution layout changes the key.
+// and lowered to IR, the user-visible symbol names are alpha-renamed to
+// positional placeholders (program -> P, scalars -> S0.., arrays ->
+// A0..), and the pretty-printed IR (declarations + directives + body)
+// is hashed — so programs differing only in whitespace, comments, line
+// continuations, or *identifier spelling* map to the same entry.  The
+// compiler options (with live_out names canonicalized through the same
+// renaming) and the machine configuration are folded in as stable
+// textual fingerprints — any field that changes generated code or
+// execution layout changes the key.  The requester's original names
+// ride along as the key's *interface*, so the service can rename a
+// cached plan back into any alias's vocabulary on a hit.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "driver/compiler.hpp"
 #include "simpi/config.hpp"
 
 namespace hpfsc::service {
 
+/// The user-visible symbol names of one request, in symbol-table order
+/// (position i names the i-th scalar/array of the lowered program).
+/// Two alpha-renamed twins share a canonical key and differ only here.
+struct InterfaceNames {
+  std::string program;
+  std::vector<std::string> scalars;
+  std::vector<std::string> arrays;
+
+  /// Stable single-string form (identifiers cannot contain the
+  /// separators), suitable for map keys and equality checks.
+  [[nodiscard]] std::string encode() const;
+  [[nodiscard]] static InterfaceNames decode(std::string_view text);
+};
+
 struct CacheKey {
-  /// Full canonical request text (IR printing + fingerprints).  Cache
-  /// lookups compare this string, so hash collisions cannot alias
-  /// distinct programs.
+  /// Full canonical request text (alpha-renamed IR printing +
+  /// fingerprints).  Cache lookups compare this string, so hash
+  /// collisions cannot alias distinct programs.
   std::string canonical;
   /// FNV-1a of `canonical`, for logging/span args.
   std::uint64_t hash = 0;
+  /// Encoded InterfaceNames of *this requester* (not canonicalized).
+  /// Deliberately excluded from equality: alias requests must land on
+  /// one cache entry; the service renames the plan on the way out when
+  /// the interfaces differ.
+  std::string iface;
 
   bool operator==(const CacheKey& other) const {
     return canonical == other.canonical;
@@ -40,7 +65,8 @@ struct CacheKey {
 [[nodiscard]] std::string fingerprint(const simpi::MachineConfig& machine);
 
 /// Builds the key for (source, options, machine).  Runs the frontend
-/// (lex + parse + lower) to obtain the canonical IR printing; throws
+/// (lex + parse + lower) to obtain the canonical (alpha-renamed) IR
+/// printing and records the requester's interface names; throws
 /// CompileError on frontend/semantic errors.  Deliberately does *not*
 /// run any optimization pass — key computation on the warm path must
 /// stay cheap and emit no pass spans.

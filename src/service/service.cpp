@@ -69,6 +69,22 @@ PlanHandle StencilService::compile(std::string_view source,
       },
       &how);
   if (outcome != nullptr) *outcome = how;
+  if (plan->key.iface != key.iface) {
+    // Alias hit: an alpha-renamed twin of the cached program.  Serve a
+    // copy whose interface (program/scalar/array names) matches this
+    // requester, so set_array/Bindings keep working under the caller's
+    // own vocabulary.  Ops are index-based, so only specs and affine
+    // parameters are rewritten.
+    InterfaceNames want = InterfaceNames::decode(key.iface);
+    auto renamed = std::make_shared<CachedPlan>();
+    renamed->key = key;
+    renamed->program = spmd::rename_interface(plan->program, want.program,
+                                              want.scalars, want.arrays);
+    renamed->processors = plan->processors;
+    renamed->pipeline = plan->pipeline;
+    renamed->diagnostics = plan->diagnostics;
+    plan = renamed;
+  }
   span.arg_str("cache", to_string(how));
   metrics_.observe(how == CacheOutcome::Miss ? "service.compile.cold_ms"
                                              : "service.compile.warm_ms",
@@ -112,7 +128,11 @@ PlanHandle Session::compile(std::string_view source,
 Session::ExecEntry& Session::entry_for(
     const PlanHandle& plan, const Bindings& bindings,
     const std::function<void(Execution&)>& init, bool* created) {
-  ExecKey key{plan->key.canonical, bindings_fingerprint(bindings)};
+  // The interface is part of the key: two alpha-renamed twins share a
+  // canonical key but need distinct prepared Executions (their array
+  // and binding names differ).
+  ExecKey key{plan->key.canonical + '\x1f' + plan->key.iface,
+              bindings_fingerprint(bindings)};
   auto it = executions_.find(key);
   if (created != nullptr) *created = it == executions_.end();
   if (it != executions_.end()) {

@@ -56,22 +56,26 @@ void Pe::charge_kernel_refs(std::size_t bytes) {
   if (machine_.config().cost.emulate) spin_for_ns(cost);
 }
 
-void Pe::note_context_message(int dim, int dir, const char* kind) {
-  const std::uint32_t n = ++context_messages_[dim][dir];
+void Pe::note_context_transfer(int array_id, const char* array_name, int dim,
+                               int dir, const char* kind) {
+  const auto slot = static_cast<std::size_t>(array_id);
+  if (slot >= context_transfers_.size()) context_transfers_.resize(slot + 1);
+  const std::uint32_t n = ++context_transfers_[slot][static_cast<std::size_t>(
+      dim)][static_cast<std::size_t>(dir)];
   if (n > 1 && machine_.comm_invariant()) {
     throw CommInvariantViolation(
         "PE " + std::to_string(id_) + ": " + std::string(kind) +
-        " message #" + std::to_string(n) + " in dim " +
-        std::to_string(dim + 1) + ", direction " +
-        (dir == 1 ? std::string("+") : std::string("-")) +
+        " transfer #" + std::to_string(n) + " of array " +
+        std::string(array_name) + " in dim " + std::to_string(dim + 1) +
+        ", direction " + (dir == 1 ? std::string("+") : std::string("-")) +
         " within one statement context (unioning guarantees one message "
-        "per direction per dimension)");
+        "per direction per dimension per array)");
   }
 }
 
 void Pe::reset_comm_context() {
-  for (auto& dims : context_messages_) {
-    for (auto& count : dims) count = 0;
+  for (auto& per_array : context_transfers_) {
+    for (auto& dims : per_array) dims.fill(0);
   }
 }
 

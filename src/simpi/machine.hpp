@@ -5,6 +5,7 @@
 // paper's target (a 4-processor IBM SP-2).
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -73,14 +74,18 @@ class Pe {
   void charge_kernel_refs(std::size_t bytes);
 
   /// -- Communication-invariant window --------------------------------
-  /// Notes one interprocessor message in (dim, dir) against the current
-  /// statement context.  In strict mode (Machine::set_comm_invariant /
-  /// HPFSC_COMM_INVARIANT=1) a second message in the same (dim, dir)
-  /// within one context throws CommInvariantViolation — the §3.3
-  /// unioning guarantee (one message per direction per dimension),
-  /// enforced at run time.  `kind` labels the offending transfer in the
-  /// error message.
-  void note_context_message(int dim, int dir, const char* kind);
+  /// Notes one *communicating shift operation* of `array_id` in
+  /// (dim, dir) against the current statement context (the runtime calls
+  /// this once per shift op that sent at least one message; wrap-around
+  /// splits within one op count once).  In strict mode
+  /// (Machine::set_comm_invariant / HPFSC_COMM_INVARIANT=1) a second
+  /// communicating shift of the same array in the same (dim, dir) within
+  /// one context throws CommInvariantViolation — the §3.3 unioning
+  /// guarantee (one message per direction per dimension per array),
+  /// enforced at run time.  `kind` and `array_name` label the offending
+  /// transfer in the error message.
+  void note_context_transfer(int array_id, const char* array_name, int dim,
+                             int dir, const char* kind);
   /// Marks a statement-context boundary (the executor calls this after
   /// every kernel loop nest and at run start).
   void reset_comm_context();
@@ -107,9 +112,11 @@ class Pe {
   MemoryArena arena_;
   PeStats stats_;
   std::vector<std::unique_ptr<LocalGrid>> slots_;
-  /// Messages sent per (dim, dir) since the last context boundary
-  /// (PE-private; only consulted when the invariant mode is armed).
-  std::uint32_t context_messages_[kCommDims][kCommDirs] = {};
+  /// Communicating shift ops per (array, dim, dir) since the last
+  /// context boundary (PE-private; only consulted when the invariant
+  /// mode is armed).  Indexed by array slot id, grown on demand.
+  std::vector<std::array<std::array<std::uint32_t, kCommDirs>, kCommDims>>
+      context_transfers_;
 };
 
 /// The machine: a PE grid plus mailboxes and a barrier.  Thread-safe
@@ -162,7 +169,7 @@ class Machine {
   [[nodiscard]] CommLedger comm_ledger() const;
 
   /// Strict per-direction communication invariant (see
-  /// Pe::note_context_message).  Defaults to the HPFSC_COMM_INVARIANT
+  /// Pe::note_context_transfer).  Defaults to the HPFSC_COMM_INVARIANT
   /// environment variable (any value other than empty/"0" arms it).
   void set_comm_invariant(bool on) { comm_invariant_ = on; }
   [[nodiscard]] bool comm_invariant() const { return comm_invariant_; }

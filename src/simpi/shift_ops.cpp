@@ -120,6 +120,7 @@ void overlap_shift(Pe& pe, int array_id, int shift, int dim,
   const int halo_hi = shift > 0 ? g.own_hi(dim) + shift : g.own_lo(dim) - 1;
 
   // -- Send phase: serve every other coordinate's overlap needs. -------
+  int sent = 0;
   for (int q = 0; q < nprocs; ++q) {
     if (q == my_coord) continue;
     if (bm.count(q) <= 0) continue;
@@ -144,8 +145,15 @@ void overlap_shift(Pe& pe, int array_id, int shift, int dim,
         pe.stats().comm.record(dim, dir, CommKind::CornerRsd, 0,
                                corner_bytes);
       }
-      pe.note_context_message(dim, dir, "OVERLAP_SHIFT");
+      ++sent;
     }
+  }
+  // One *shift operation* per (array, dim, dir) per statement context is
+  // what unioning guarantees; a circular wrap may split one op into
+  // several wire messages, so the context charge is per op, not per send.
+  if (sent > 0) {
+    pe.note_context_transfer(array_id, desc.name.c_str(), dim, dir,
+                             "OVERLAP_SHIFT");
   }
 
   // -- Receive phase: fill my own overlap cells. -----------------------
@@ -206,6 +214,7 @@ void full_cshift(Pe& pe, int dst_id, int src_id, int shift, int dim,
   const int dir = comm_dir(shift);
 
   // -- Send phase ------------------------------------------------------
+  int sent = 0;
   for (int q = 0; q < nprocs; ++q) {
     if (q == my_coord) continue;
     if (bm.count(q) <= 0) continue;
@@ -220,13 +229,37 @@ void full_cshift(Pe& pe, int dst_id, int src_id, int shift, int dim,
       pe.send(pe_at(pe, grid, gdim, q), buf);
       pe.stats().comm.record(dim, dir, CommKind::FullShift, 1,
                              buf.size() * sizeof(double));
-      pe.note_context_message(dim, dir, "FULL_SHIFT");
+      ++sent;
     }
+  }
+  if (sent > 0) {
+    pe.note_context_transfer(src_id, desc.name.c_str(), dim, dir,
+                             "FULL_SHIFT");
   }
 
   // -- Receive phase: produce my owned box of dst. ----------------------
-  for (const ShiftInterval& iv : split_shift_intervals(
-           dst.own_lo(dim), dst.own_hi(dim), shift, n, bm, circular)) {
+  const auto intervals = split_shift_intervals(
+      dst.own_lo(dim), dst.own_hi(dim), shift, n, bm, circular);
+
+  // An in-place shift (dst is src) must read pre-shift values: writing
+  // one interval would clobber cells a later interval (or the same
+  // copy, element by element) still reads.  Snapshot every
+  // locally-sourced interval before the first write.
+  std::vector<std::vector<double>> local_srcs;
+  if (dst_id == src_id) {
+    for (const ShiftInterval& iv : intervals) {
+      if (iv.owner != my_coord) continue;
+      Region src_region = cross;
+      src_region.lo[dim] = iv.src_lo;
+      src_region.hi[dim] = iv.src_lo + (iv.reader_hi - iv.reader_lo);
+      std::vector<double> buf(src_region.elements(desc.rank));
+      src.pack(src_region, buf);
+      local_srcs.push_back(std::move(buf));
+    }
+  }
+
+  std::size_t next_local = 0;
+  for (const ShiftInterval& iv : intervals) {
     Region dst_region = cross;
     dst_region.lo[dim] = iv.reader_lo;
     dst_region.hi[dim] = iv.reader_hi;
@@ -234,8 +267,14 @@ void full_cshift(Pe& pe, int dst_id, int src_id, int shift, int dim,
     if (iv.owner == -1) {
       dst.fill_region(dst_region, boundary);
     } else if (iv.owner == my_coord) {
-      pe.charge_intra_copy(dst.copy_shifted_from(
-          src, dst_region, dim, iv.src_lo - iv.reader_lo));
+      if (dst_id == src_id) {
+        const std::vector<double>& buf = local_srcs[next_local++];
+        dst.unpack(dst_region, buf);
+        pe.charge_intra_copy(buf.size() * sizeof(double));
+      } else {
+        pe.charge_intra_copy(dst.copy_shifted_from(
+            src, dst_region, dim, iv.src_lo - iv.reader_lo));
+      }
       from = pe.id();
     } else {
       from = pe_at(pe, grid, gdim, iv.owner);

@@ -85,5 +85,49 @@ TEST(CommInvariantE2E, MultiStepRunResetsContextBetweenIterations) {
   EXPECT_EQ(stats.machine.comm.dir_total(0, 1).messages, 8u);
 }
 
+TEST(CommInvariantE2E, ViolationMessageNamesDimensionAndDirection) {
+  // The diagnostic must pin the offending transfer precisely enough to
+  // act on: array, 1-based dimension, and direction sign.
+  Execution exec = compile_and_prepare(kernels::kNinePointCShift, 1, 16,
+                                       true);
+  try {
+    exec.run(1);
+    FAIL() << "expected CommInvariantViolation";
+  } catch (const simpi::CommInvariantViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("in dim "), std::string::npos) << what;
+    EXPECT_TRUE(what.find("in dim 1") != std::string::npos ||
+                what.find("in dim 2") != std::string::npos)
+        << what;
+    EXPECT_TRUE(what.find("direction +") != std::string::npos ||
+                what.find("direction -") != std::string::npos)
+        << what;
+    EXPECT_NE(what.find("array U"), std::string::npos) << what;
+    EXPECT_NE(what.find("statement context"), std::string::npos) << what;
+  }
+}
+
+TEST(CommInvariantE2E, ContextIsClosedAfterCaughtViolation) {
+  // A caught violation must not poison the machine: the statement
+  // context, barrier state, and channels are all reset, so the same
+  // Execution re-runs disarmed with the full (pre-unioning) message
+  // count, and re-armed it trips again deterministically rather than
+  // staying silent on stale counters.
+  Execution exec = compile_and_prepare(kernels::kNinePointCShift, 1, 16,
+                                       true);
+  EXPECT_THROW(exec.run(1), simpi::CommInvariantViolation);
+
+  exec.machine().set_comm_invariant(false);
+  auto stats = exec.run(1);
+  for (int dim = 0; dim < 2; ++dim) {
+    for (int dir = 0; dir < simpi::kCommDirs; ++dir) {
+      EXPECT_EQ(stats.machine.comm.dir_total(dim, dir).messages, 12u);
+    }
+  }
+
+  exec.machine().set_comm_invariant(true);
+  EXPECT_THROW(exec.run(1), simpi::CommInvariantViolation);
+}
+
 }  // namespace
 }  // namespace hpfsc

@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""Asserts normalize_obs.py is idempotent on already-normalized goldens.
+
+Usage: check_idempotent.py NORMALIZER [GOLDEN MODE]...
+
+Feeds each golden back through the normalizer in its mode; the output
+must equal the input byte-for-byte.  A regression here means the
+normalizer rewrites stable content, which would make goldens drift.
+"""
+
+import subprocess
+import sys
+
+
+def main():
+    if len(sys.argv) < 4 or (len(sys.argv) - 2) % 2 != 0:
+        sys.exit(__doc__)
+    normalizer = sys.argv[1]
+    failures = 0
+    pairs = list(zip(sys.argv[2::2], sys.argv[3::2]))
+    for golden, mode in pairs:
+        with open(golden) as f:
+            text = f.read()
+        result = subprocess.run(
+            [sys.executable, normalizer, f"--mode={mode}"],
+            input=text, capture_output=True, text=True, check=True)
+        if result.stdout != text:
+            print(f"FAIL: normalizing {golden} (mode={mode}) changed it")
+            failures += 1
+        else:
+            print(f"ok: {golden} is a fixed point (mode={mode})")
+    sys.exit(1 if failures else 0)
+
+
+if __name__ == "__main__":
+    main()

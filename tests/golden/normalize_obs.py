@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Normalizes hpfsc_dump observability output for golden-file diffing.
+
+Two modes, selected by --mode:
+
+  summary  stderr of `hpfsc_dump --obs-summary`: latency-histogram lines
+           and per-block timing summaries.  Wall-clock digits are replaced
+           with <T>, the content-hash counter with <HASH>, column padding
+           collapses to single spaces, and summary blocks are re-sorted by
+           name (the tool orders them by total time, which is not stable).
+  prom     a `--prom-out` file: quantile/_sum/_max sample values of *_ms
+           summaries are replaced with <T>.  Gauges and _count samples are
+           deterministic and kept verbatim.
+
+Reads stdin, writes stdout.  Everything that survives normalization is a
+real invariant: message/byte counts, cost-model values, pass statistics,
+cache hit/miss totals, and histogram counts.
+"""
+
+import re
+import sys
+
+TIME = "<T>"
+
+HIST_RE = re.compile(r"^(\S+): count=(\d+) p50=\S+ p90=\S+ p99=\S+ max=\S+$")
+BLOCK_RE = re.compile(r"^(\S+)\s+x(\d+)\s+total\s+\S+ ms\s+max\s+\S+ ms\s*$")
+PROM_MS_RE = re.compile(
+    r'^(\S+_ms(?:\{quantile="[0-9.]+"\}|_sum|_max)?) [-+0-9.eE]+$'
+)
+
+
+def normalize_summary(lines):
+    head = []
+    blocks = []
+    current = None
+    in_blocks = False
+    for line in lines:
+        line = line.rstrip("\n")
+        if line.strip() == "--- obs summary ---":
+            in_blocks = True
+            head.append(line)
+            continue
+        if not in_blocks:
+            m = HIST_RE.match(line)
+            if m:
+                line = (
+                    f"{m.group(1)}: count={m.group(2)} "
+                    f"p50={TIME} p90={TIME} p99={TIME} max={TIME}"
+                )
+            head.append(line)
+            continue
+        if line.startswith(" "):
+            key, _, value = line.strip().partition(" ")
+            value = "<HASH>" if key == "key_hash" else value.strip()
+            current.append(f"    {key} {value}")
+            continue
+        m = BLOCK_RE.match(line)
+        current = (
+            [f"{m.group(1)} x{m.group(2)} total {TIME} ms max {TIME} ms"]
+            if m
+            else [line]
+        )
+        blocks.append(current)
+    blocks.sort(key=lambda block: block[0])
+    return head + [line for block in blocks for line in block]
+
+
+def normalize_prom(lines):
+    out = []
+    for line in lines:
+        line = line.rstrip("\n")
+        m = PROM_MS_RE.match(line)
+        if m:
+            line = f"{m.group(1)} {TIME}"
+        out.append(line)
+    return out
+
+
+def main():
+    mode = None
+    for arg in sys.argv[1:]:
+        if arg.startswith("--mode="):
+            mode = arg.split("=", 1)[1]
+    if mode not in ("summary", "prom"):
+        sys.exit("usage: normalize_obs.py --mode=summary|prom < input > output")
+    lines = sys.stdin.readlines()
+    normalize = normalize_summary if mode == "summary" else normalize_prom
+    sys.stdout.write("\n".join(normalize(lines)) + "\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Golden-file test driver for hpfsc_dump observability output.
+
+Runs hpfsc_dump on a fixed source with --obs-summary and --prom-out,
+normalizes both outputs with normalize_obs.py (strips wall-clock digits,
+sorts time-ordered blocks), and diffs them against committed goldens.
+Everything left after normalization — message and byte counts, cost-model
+values, pass statistics, plan-cache hit/miss totals — must match exactly.
+
+    run_golden.py --dump=BIN --source=FILE --work-dir=DIR \
+        --golden-summary=FILE --golden-prom=FILE [--update]
+
+--update regenerates the goldens in place instead of diffing.
+"""
+
+import difflib
+import os
+import subprocess
+import sys
+
+DUMP_ARGS = ["-O3", "--run", "--n=16", "--steps=3", "--obs-summary"]
+
+
+def parse_args(argv):
+    opts = {"update": False}
+    for arg in argv:
+        if arg == "--update":
+            opts["update"] = True
+        elif arg.startswith("--") and "=" in arg:
+            key, _, value = arg[2:].partition("=")
+            opts[key.replace("-", "_")] = value
+        else:
+            sys.exit(f"unknown argument: {arg}")
+    for required in ("dump", "source", "work_dir", "golden_summary",
+                     "golden_prom"):
+        if required not in opts:
+            sys.exit(f"missing --{required.replace('_', '-')}")
+    return opts
+
+
+def normalize(text, mode):
+    script = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                          "normalize_obs.py")
+    result = subprocess.run(
+        [sys.executable, script, f"--mode={mode}"],
+        input=text, capture_output=True, text=True, check=True)
+    return result.stdout
+
+
+def check(name, got, golden_path, update):
+    if update:
+        with open(golden_path, "w") as f:
+            f.write(got)
+        print(f"updated {golden_path}")
+        return True
+    with open(golden_path) as f:
+        want = f.read()
+    if got == want:
+        print(f"ok: {name} matches {os.path.basename(golden_path)}")
+        return True
+    diff = difflib.unified_diff(
+        want.splitlines(keepends=True), got.splitlines(keepends=True),
+        fromfile=f"golden/{os.path.basename(golden_path)}",
+        tofile=f"normalized {name}")
+    sys.stdout.writelines(diff)
+    print(f"FAIL: {name} differs from {golden_path}")
+    return False
+
+
+def main():
+    opts = parse_args(sys.argv[1:])
+    os.makedirs(opts["work_dir"], exist_ok=True)
+    prom_path = os.path.join(opts["work_dir"], "obs.prom")
+
+    cmd = [opts["dump"], *DUMP_ARGS, f"--prom-out={prom_path}",
+           opts["source"]]
+    result = subprocess.run(cmd, capture_output=True, text=True)
+    if result.returncode != 0:
+        sys.stderr.write(result.stderr)
+        sys.exit(f"hpfsc_dump exited {result.returncode}: {' '.join(cmd)}")
+
+    summary = normalize(result.stderr, "summary")
+    with open(prom_path) as f:
+        prom = normalize(f.read(), "prom")
+
+    ok = check("--obs-summary", summary, opts["golden_summary"],
+               opts["update"])
+    ok = check("--prom-out", prom, opts["golden_prom"], opts["update"]) and ok
+    sys.exit(0 if ok else 1)
+
+
+if __name__ == "__main__":
+    main()

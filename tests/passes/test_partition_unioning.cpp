@@ -164,14 +164,22 @@ TEST(CommUnioning, HigherDimOffsetMovesCornerToHigherShift) {
             "T = U<+1,-1>\n");
 }
 
-TEST(CommUnioning, MixedKindsDoNotMerge) {
+TEST(OffsetArrays, MixedKindsSameHaloKeepFullShift) {
+  // CSHIFT and EOSHIFT both pulling U's (dim 1, +) halo cannot both
+  // convert: the overlap area is one buffer and the two fills disagree
+  // at the global edge (circular wrap vs. boundary constant).  The
+  // first shift in program order converts; the conflicting one stays a
+  // full shift.
   ir::Program p = prepare(
       "INTEGER N\nREAL U(N,N), T(N,N)\n"
       "T = CSHIFT(U,+1,1) + EOSHIFT(U,+1,0.0,1)\n");
-  DiagnosticEngine diags;
-  context_partition(p, diags);
-  CommUnioningStats stats = comm_unioning(p, diags);
-  EXPECT_EQ(stats.shifts_after, 2);
+  const std::string text = body_text(p);
+  EXPECT_NE(text.find("CALL OVERLAP_CSHIFT(U, SHIFT=+1, DIM=1)"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("EOSHIFT(U, SHIFT=+1, DIM=1"), std::string::npos)
+      << text;
+  EXPECT_EQ(text.find("CALL OVERLAP_EOSHIFT"), std::string::npos) << text;
 }
 
 /// Builds a normal-form program whose body is a run of EOSHIFT overlap
@@ -202,6 +210,46 @@ ir::Program eoshift_program(
     p.body.push_back(std::move(s));
   }
   return p;
+}
+
+TEST(OffsetArrays, HaloConflictDemotionCascadesToChainedConsumers) {
+  // The EOSHIFT claims U's (dim 1, +) halo, so the CSHIFT of the same
+  // region is demoted to a full shift — and the shift chained through
+  // it must follow: its composed view would read halo cells now filled
+  // with the EOSHIFT's boundary rather than the circular wrap.
+  ir::Program p = prepare(
+      "INTEGER N\nREAL U(N,N), A(N,N), B(N,N), C(N,N), T(N,N)\n"
+      "A = 2.0 * EOSHIFT(U,1,0.5,1)\n"
+      "B = CSHIFT(U,1,1)\n"
+      "C = CSHIFT(B,1,2)\n"
+      "T = A + C\n",
+      {"T"});
+  EXPECT_EQ(body_text(p),
+            "CALL OVERLAP_EOSHIFT(U, SHIFT=+1, DIM=1, BOUNDARY=0.5)\n"
+            "A = 2.0*U<+1,0>\n"
+            "B = CSHIFT(U, SHIFT=+1, DIM=1)\n"
+            "C = CSHIFT(B, SHIFT=+1, DIM=2)\n"
+            "T = A + C\n");
+}
+
+TEST(CommUnioning, MixedKindsDoNotMerge) {
+  // IR-level normal form: a circular and an end-off shift of the same
+  // (array, dim, dir) must stay in separate groups — merging would pick
+  // one fill for both.  (The offset pass no longer produces this form
+  // from surface programs; see MixedKindsSameHaloKeepFullShift.)
+  std::vector<std::pair<int, ir::ExprPtr>> shifts;
+  shifts.emplace_back(+1, ir::make_const(0.0));
+  ir::Program p = eoshift_program(std::move(shifts));
+  auto circ = std::make_unique<ir::OverlapShiftStmt>();
+  circ->src.array =
+      static_cast<const ir::OverlapShiftStmt&>(*p.body.front()).src.array;
+  circ->shift = +1;
+  circ->dim = 0;
+  circ->shift_kind = ir::ShiftKind::Circular;
+  p.body.push_back(std::move(circ));
+  DiagnosticEngine diags;
+  CommUnioningStats stats = comm_unioning(p, diags);
+  EXPECT_EQ(stats.shifts_after, 2);
 }
 
 TEST(CommUnioning, DifferentEoShiftBoundariesDoNotMerge) {

@@ -1,0 +1,181 @@
+// PlanCache property tests driven by the difftest generator: instead of
+// hand-picked sources, a batch of seeded random stencil programs checks
+// the cache's two load-bearing promises over the whole program family —
+//   1. content addressing quotients out identifier spelling: a program
+//      and its alpha-renamed twin share exactly one cache entry, and
+//   2. LRU eviction followed by re-request round-trips the plan under
+//      single-flight: each re-insert costs exactly one compilation no
+//      matter how many threads race for it.
+// Extends the hand-written suites in test_plan_cache.cpp and
+// test_service_stress.cpp.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "difftest/generator.hpp"
+#include "service/cache_key.hpp"
+#include "service/plan_cache.hpp"
+#include "service/service.hpp"
+#include "simpi/config.hpp"
+
+namespace hpfsc::service {
+namespace {
+
+/// Oracle-equivalent options: every program array is live so the
+/// optimizer keeps all state, and the set's *spelling* follows the
+/// naming scheme — the cache key must canonicalize it away.
+CompilerOptions opts_for(const difftest::ProgramSpec& spec, int level,
+                         bool alt) {
+  CompilerOptions o = CompilerOptions::level(level);
+  for (int i = 0; i < spec.num_inputs; ++i) {
+    o.passes.offset.live_out.push_back(difftest::input_name(i, alt));
+  }
+  for (const std::string& name : difftest::live_out_names(spec, alt)) {
+    o.passes.offset.live_out.push_back(name);
+  }
+  return o;
+}
+
+TEST(PlanCacheProperties, AlphaRenamedTwinsShareOneCacheEntry) {
+  constexpr int kSeeds = 24;
+  ServiceConfig config;
+  config.cache_capacity = kSeeds + 1;
+  StencilService service(std::move(config));
+
+  std::uint64_t expected_misses = 0;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    const difftest::ProgramSpec spec = difftest::generate(seed);
+    CacheOutcome plain_outcome;
+    PlanHandle plain =
+        service.compile(difftest::render(spec, false),
+                        opts_for(spec, 3, false), &plain_outcome);
+    // Distinct seeds may (rarely) generate identical programs; only a
+    // genuinely new program costs a compilation.
+    if (plain_outcome == CacheOutcome::Miss) ++expected_misses;
+
+    const std::size_t size_before_twin = service.cache_size();
+    CacheOutcome twin_outcome;
+    PlanHandle twin =
+        service.compile(difftest::render(spec, true),
+                        opts_for(spec, 3, true), &twin_outcome);
+    // The twin lands on the plain program's entry: a hit, the same
+    // canonical key, and no new resident plan.  (The handle itself is a
+    // copy renamed into the twin's vocabulary, so pointers differ; a
+    // same-vocabulary repeat below shares the handle outright.)
+    EXPECT_EQ(twin_outcome, CacheOutcome::Hit)
+        << "seed " << seed << ": alpha twin missed the cache";
+    EXPECT_EQ(twin->key.canonical, plain->key.canonical) << "seed " << seed;
+    EXPECT_NE(twin->key.iface, plain->key.iface) << "seed " << seed;
+    EXPECT_EQ(service.cache_size(), size_before_twin)
+        << "seed " << seed << ": twin inserted a second entry";
+
+    CacheOutcome repeat_outcome;
+    PlanHandle repeat =
+        service.compile(difftest::render(spec, false),
+                        opts_for(spec, 3, false), &repeat_outcome);
+    EXPECT_EQ(repeat_outcome, CacheOutcome::Hit) << "seed " << seed;
+    EXPECT_EQ(repeat.get(), plain.get())
+        << "seed " << seed << ": same-vocabulary repeat must share the "
+        << "cached handle";
+  }
+
+  const CacheCounters c = service.cache_counters();
+  EXPECT_EQ(c.misses, expected_misses);
+  EXPECT_EQ(c.hits + c.misses, 3u * kSeeds);
+  EXPECT_EQ(c.coalesced, 0u);
+  EXPECT_EQ(c.evictions, 0u);
+  EXPECT_EQ(service.cache_size(), expected_misses);
+}
+
+TEST(PlanCacheProperties, LruEvictReinsertRoundTripsUnderSingleFlight) {
+  // Three generated programs cycled through a capacity-2 cache: every
+  // burst of concurrent requests for the evicted key must re-insert it
+  // with exactly one compilation (leader), everyone else coalescing or
+  // hitting, and the re-inserted plan must carry the requested key.
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 6;
+  const simpi::MachineConfig mc;
+
+  std::vector<CacheKey> keys;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const difftest::ProgramSpec spec = difftest::generate(seed);
+    keys.push_back(make_cache_key(difftest::render(spec, false),
+                                  opts_for(spec, 3, false), mc));
+  }
+  ASSERT_NE(keys[0].canonical, keys[1].canonical);
+  ASSERT_NE(keys[1].canonical, keys[2].canonical);
+  ASSERT_NE(keys[0].canonical, keys[2].canonical);
+
+  PlanCache cache(2);
+  std::atomic<std::uint64_t> compiles{0};
+  std::uint64_t total_calls = 0;
+
+  for (int round = 0; round < kRounds; ++round) {
+    for (const CacheKey& key : keys) {
+      const bool resident_before = cache.lookup(key) != nullptr;
+      const CacheCounters before = cache.counters();
+
+      std::vector<PlanHandle> handles(kThreads);
+      std::vector<CacheOutcome> outcomes(kThreads);
+      std::vector<std::thread> threads;
+      threads.reserve(kThreads);
+      for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+          handles[t] = cache.get_or_compile(
+              key,
+              [&] {
+                compiles.fetch_add(1, std::memory_order_relaxed);
+                std::this_thread::sleep_for(std::chrono::milliseconds(2));
+                auto plan = std::make_shared<CachedPlan>();
+                plan->key = key;
+                return PlanHandle(plan);
+              },
+              &outcomes[t]);
+        });
+      }
+      for (std::thread& thread : threads) thread.join();
+      total_calls += kThreads;
+
+      const CacheCounters after = cache.counters();
+      const std::uint64_t burst_misses = after.misses - before.misses;
+      if (resident_before) {
+        EXPECT_EQ(burst_misses, 0u) << "round " << round;
+      } else {
+        EXPECT_EQ(burst_misses, 1u)
+            << "round " << round << ": eviction round-trip must cost "
+            << "exactly one leader compilation";
+      }
+      // Single flight: every request got the one leader's plan.
+      for (int t = 1; t < kThreads; ++t) {
+        EXPECT_EQ(handles[t].get(), handles[0].get());
+      }
+      ASSERT_NE(handles[0], nullptr);
+      EXPECT_EQ(handles[0]->key.canonical, key.canonical);
+      // The key is resident again after the burst (most recently used,
+      // so the *other* two keys are the eviction candidates).
+      EXPECT_NE(cache.lookup(key), nullptr);
+      EXPECT_LE(cache.size(), 2u);
+    }
+  }
+
+  const CacheCounters c = cache.counters();
+  // The compile functor ran exactly once per miss, ever.
+  EXPECT_EQ(compiles.load(), c.misses);
+  // Every call is accounted for as exactly one of hit/miss/coalesced
+  // (lookup() peeks are uncounted by contract).
+  EXPECT_EQ(c.hits + c.misses + c.coalesced, total_calls);
+  // First round inserts 3 keys into capacity 2, and every later round
+  // begins with the burst key evicted (cycling 3 keys through 2 slots
+  // evicts the oldest each time), so misses = one per key per round.
+  EXPECT_EQ(c.misses, static_cast<std::uint64_t>(3 * kRounds));
+  EXPECT_EQ(c.evictions, c.misses - 2u);
+}
+
+}  // namespace
+}  // namespace hpfsc::service

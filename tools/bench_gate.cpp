@@ -304,14 +304,16 @@ std::string json_escape(const std::string& s) {
 }
 
 void write_report(const std::string& path, const std::vector<Finding>& all,
-                  bool passed) {
+                  bool passed, int failures, int warnings) {
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "bench_gate: cannot write report '%s'\n",
                  path.c_str());
     return;
   }
-  out << "{\"passed\":" << (passed ? "true" : "false") << ",\"findings\":[";
+  out << "{\"passed\":" << (passed ? "true" : "false")
+      << ",\"failures\":" << failures << ",\"warnings\":" << warnings
+      << ",\"findings\":[";
   bool first = true;
   for (const Finding& f : all) {
     if (!first) out << ",";
@@ -426,26 +428,38 @@ int main(int argc, char** argv) {
       }
     }
   }
+  // The flip side of "missing" is a current benchmark the baseline does
+  // not track.  It must not fail the gate (new coverage is welcome) but
+  // it must not pass silently either — a renamed benchmark shows up as
+  // one FAIL and one of these, and the warning is what points at the
+  // rename.
+  int warnings = 0;
   for (const auto& [name, cur] : current) {
     if (baseline.find(name) == baseline.end()) {
-      findings.push_back({name, "new", "not in baseline (informational)",
+      findings.push_back({name, "new",
+                          "absent from baseline; refresh the snapshot to "
+                          "track it",
                           0.0, cur.real_time_ms, false});
+      ++warnings;
     }
   }
 
   const bool passed = failures == 0;
   for (const Finding& f : findings) {
-    std::printf("%s  %-28s %-8s %s", f.fails ? "FAIL" : "info",
+    std::printf("%s  %-28s %-8s %s", f.fails ? "FAIL" : "warn",
                 f.benchmark.c_str(), f.what.c_str(), f.detail.c_str());
     if (f.what == "latency" || f.what == "counter") {
       std::printf("  [%.6g -> %.6g]", f.baseline, f.current);
     }
     std::printf("\n");
   }
-  std::printf("bench_gate: %zu baseline benchmark%s, %d failure%s (latency "
-              "threshold %.0f%%)\n",
+  std::printf("bench_gate: %zu baseline benchmark%s, %d failure%s, "
+              "%d warning%s (latency threshold %.0f%%)\n",
               baseline.size(), baseline.size() == 1 ? "" : "s", failures,
-              failures == 1 ? "" : "s", threshold * 100.0);
-  if (!report_path.empty()) write_report(report_path, findings, passed);
+              failures == 1 ? "" : "s", warnings, warnings == 1 ? "" : "s",
+              threshold * 100.0);
+  if (!report_path.empty()) {
+    write_report(report_path, findings, passed, failures, warnings);
+  }
   return passed ? 0 : 1;
 }

@@ -1,0 +1,273 @@
+// stencil_fuzz: differential-testing driver.
+//
+//   stencil_fuzz --seeds=200                 # 200 fresh seeds from --seed-base
+//   stencil_fuzz --seed=42                   # one seed, prints the program
+//   stencil_fuzz --corpus=tests/difftest/corpus
+//   stencil_fuzz --emit-corpus=DIR --seeds=8 # regenerate committed corpus
+//   stencil_fuzz --self-test                 # planted-miscompile + reducer
+//
+// Every failing seed is reduced to a minimal still-failing program and
+// printed (and written under --out, if given) with the seed needed to
+// reproduce:  stencil_fuzz --seed=<S>.
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "difftest/generator.hpp"
+#include "difftest/oracle.hpp"
+#include "difftest/reducer.hpp"
+
+namespace fs = std::filesystem;
+using namespace hpfsc::difftest;
+
+namespace {
+
+struct Args {
+  int seeds = 0;
+  std::uint64_t seed_base = 1;
+  std::uint64_t single_seed = 0;
+  bool has_single_seed = false;
+  std::string corpus;
+  std::string emit_corpus;
+  std::string out;
+  bool self_test = false;
+  int n = 12;
+  int steps = 2;
+};
+
+bool parse_u64(const char* s, std::uint64_t& out) {
+  char* end = nullptr;
+  out = std::strtoull(s, &end, 10);
+  return end && *end == '\0';
+}
+
+bool parse_args(int argc, char** argv, Args& args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      const std::size_t n = std::strlen(flag);
+      return a.compare(0, n, flag) == 0 ? a.c_str() + n : nullptr;
+    };
+    std::uint64_t u = 0;
+    if (const char* v = value("--seeds=")) {
+      args.seeds = std::atoi(v);
+    } else if (const char* v = value("--seed-base=")) {
+      if (!parse_u64(v, args.seed_base)) return false;
+    } else if (const char* v = value("--seed=")) {
+      if (!parse_u64(v, args.single_seed)) return false;
+      args.has_single_seed = true;
+    } else if (const char* v = value("--corpus=")) {
+      args.corpus = v;
+    } else if (const char* v = value("--emit-corpus=")) {
+      args.emit_corpus = v;
+    } else if (const char* v = value("--out=")) {
+      args.out = v;
+    } else if (const char* v = value("--n=")) {
+      args.n = std::atoi(v);
+    } else if (const char* v = value("--steps=")) {
+      args.steps = std::atoi(v);
+    } else if (a == "--self-test") {
+      args.self_test = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", a.c_str());
+      (void)u;
+      return false;
+    }
+  }
+  return args.seeds > 0 || args.has_single_seed || !args.corpus.empty() ||
+         !args.emit_corpus.empty() || args.self_test;
+}
+
+OracleConfig make_config(const Args& args) {
+  OracleConfig cfg;
+  cfg.n = args.n;
+  cfg.steps = args.steps;
+  return cfg;
+}
+
+void print_repro(const ProgramSpec& spec, const char* banner) {
+  std::printf("%s (seed %" PRIu64 ", %zu statement%s)\n", banner, spec.seed,
+              spec.stmts.size(), spec.stmts.size() == 1 ? "" : "s");
+  std::printf("--- reproduce with: stencil_fuzz --seed=%" PRIu64 " ---\n%s",
+              spec.seed, render(spec).c_str());
+  std::printf("---\n");
+}
+
+/// Runs one seed through the oracle; on failure reduces it, prints the
+/// minimal repro, and (optionally) writes it under out_dir.
+bool run_seed(std::uint64_t seed, const OracleConfig& cfg,
+              const std::string& out_dir) {
+  const ProgramSpec spec = generate(seed);
+  const OracleResult result = run_oracle(spec, cfg);
+  if (result.ok()) return true;
+
+  std::printf("FAIL seed %" PRIu64 " (%d cells):\n", seed, result.cells_run);
+  for (const Divergence& d : result.divergences) {
+    std::printf("  %s\n", d.str().c_str());
+  }
+  const ReduceResult reduced = reduce(
+      spec, [&](const ProgramSpec& cand) { return !run_oracle(cand, cfg).ok(); });
+  print_repro(reduced.spec, "minimal repro");
+  for (const Divergence& d : run_oracle(reduced.spec, cfg).divergences) {
+    std::printf("  %s\n", d.str().c_str());
+  }
+
+  if (!out_dir.empty()) {
+    fs::create_directories(out_dir);
+    const fs::path path =
+        fs::path(out_dir) / ("repro_seed_" + std::to_string(seed) + ".f");
+    std::ofstream os(path);
+    os << "! seed: " << seed << "\n"
+       << "! minimal repro, " << reduced.spec.stmts.size() << " statement(s)\n";
+    for (const Divergence& d : result.divergences) {
+      os << "! divergence: " << d.str() << "\n";
+    }
+    os << render(reduced.spec);
+    std::printf("wrote %s\n", path.string().c_str());
+  }
+  return false;
+}
+
+/// Corpus files carry the seed in a leading "! seed: <n>" comment; the
+/// program text below it is for human readers — the seed regenerates it.
+bool corpus_seed(const fs::path& file, std::uint64_t& seed) {
+  std::ifstream is(file);
+  std::string line;
+  while (std::getline(is, line)) {
+    const auto pos = line.find("seed:");
+    if (pos == std::string::npos) continue;
+    return parse_u64(line.substr(pos + 5).c_str() +
+                         std::strspn(line.substr(pos + 5).c_str(), " \t"),
+                     seed);
+  }
+  return false;
+}
+
+int emit_corpus(const Args& args) {
+  fs::create_directories(args.emit_corpus);
+  for (int i = 0; i < args.seeds; ++i) {
+    const std::uint64_t seed = args.seed_base + static_cast<std::uint64_t>(i);
+    const ProgramSpec spec = generate(seed);
+    const fs::path path = fs::path(args.emit_corpus) /
+                          ("seed_" + std::to_string(seed) + ".f");
+    std::ofstream os(path);
+    os << "! seed: " << seed << "\n" << render(spec);
+    std::printf("wrote %s\n", path.string().c_str());
+  }
+  return 0;
+}
+
+/// Plants a miscompile via the test-only fault hook, checks the oracle
+/// catches it, and checks the reducer shrinks the program to at most 5
+/// statements while the planted divergence reproduces.
+int self_test(const Args& args) {
+  OracleConfig cfg = make_config(args);
+  // A narrow matrix keeps the fixpoint reduction fast; the fault fires
+  // at the highest level only, so the O1 column must stay clean.
+  cfg.levels = {1, 4};
+  cfg.grids = {{1, 1}, {2, 2}};
+  cfg.both_tiers = false;
+  cfg.fault = [](const ProgramSpec& spec, const OracleCell& cell,
+                 const std::string& array, std::vector<double>& values) {
+    if (cell.level == 4 && array == live_out_names(spec).front() &&
+        !values.empty()) {
+      values.front() += 0.5;
+    }
+  };
+
+  const std::uint64_t seed = 20260806;
+  const ProgramSpec spec = generate(seed);
+  const OracleResult planted = run_oracle(spec, cfg);
+  if (planted.ok()) {
+    std::printf("self-test FAILED: planted miscompile was not caught\n");
+    return 1;
+  }
+  bool o4_divergence = false;
+  for (const Divergence& d : planted.divergences) {
+    if (d.cell.level == 4 && d.detail.empty()) o4_divergence = true;
+    if (d.cell.level == 1) {
+      std::printf("self-test FAILED: clean O1 column diverged: %s\n",
+                  d.str().c_str());
+      return 1;
+    }
+  }
+  if (!o4_divergence) {
+    std::printf("self-test FAILED: no element divergence at O4\n");
+    return 1;
+  }
+
+  const ReduceResult reduced = reduce(
+      spec, [&](const ProgramSpec& cand) { return !run_oracle(cand, cfg).ok(); });
+  print_repro(reduced.spec, "self-test minimal repro");
+  if (reduced.spec.stmts.size() > 5) {
+    std::printf("self-test FAILED: reduced to %zu statements (want <= 5)\n",
+                reduced.spec.stmts.size());
+    return 1;
+  }
+  std::printf(
+      "self-test OK: planted fault caught and reduced to %zu statement(s) "
+      "in %d checks\n",
+      reduced.spec.stmts.size(), reduced.checks);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, args)) {
+    std::fprintf(
+        stderr,
+        "usage: stencil_fuzz [--seeds=N] [--seed-base=S] [--seed=S]\n"
+        "                    [--corpus=DIR] [--emit-corpus=DIR] [--out=DIR]\n"
+        "                    [--n=12] [--steps=2] [--self-test]\n");
+    return 2;
+  }
+  if (!args.emit_corpus.empty()) return emit_corpus(args);
+  if (args.self_test) return self_test(args);
+
+  const OracleConfig cfg = make_config(args);
+  int failures = 0;
+  int total = 0;
+
+  if (args.has_single_seed) {
+    const ProgramSpec spec = generate(args.single_seed);
+    std::printf("%s", render(spec).c_str());
+    ++total;
+    if (!run_seed(args.single_seed, cfg, args.out)) ++failures;
+  }
+  if (!args.corpus.empty()) {
+    std::vector<fs::path> files;
+    for (const auto& entry : fs::directory_iterator(args.corpus)) {
+      if (entry.path().extension() == ".f") files.push_back(entry.path());
+    }
+    std::sort(files.begin(), files.end());
+    for (const fs::path& file : files) {
+      std::uint64_t seed = 0;
+      if (!corpus_seed(file, seed)) {
+        std::printf("FAIL %s: no \"! seed: <n>\" header\n",
+                    file.string().c_str());
+        ++failures;
+        continue;
+      }
+      ++total;
+      if (!run_seed(seed, cfg, args.out)) ++failures;
+    }
+  }
+  for (int i = 0; i < args.seeds; ++i) {
+    ++total;
+    if (!run_seed(args.seed_base + static_cast<std::uint64_t>(i), cfg,
+                  args.out)) {
+      ++failures;
+    }
+  }
+
+  std::printf("%d/%d programs passed the oracle matrix\n", total - failures,
+              total);
+  return failures == 0 ? 0 : 1;
+}
