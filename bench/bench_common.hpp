@@ -121,10 +121,19 @@ inline void write_phase_metrics(const char* bench, const char* phase, int n,
   if (!path || !*path) return;
   std::ofstream f(path, std::ios::app);
   if (!f) return;
+  const double flops = static_cast<double>(stats.tier.flops);
+  const double bytes = static_cast<double>(stats.machine.kernel_ref_bytes +
+                                           stats.machine.bytes_sent);
   f << "{\"bench\":\"" << obs::json_escape(bench) << "\",\"phase\":\""
     << obs::json_escape(phase) << "\",\"n\":" << n << ",\"wall_seconds\":"
     << obs::json_number(stats.wall_seconds)
-    << ",\"machine\":" << stats.machine.to_json() << "}\n";
+    << ",\"roofline\":{\"flops\":" << obs::json_number(flops)
+    << ",\"bytes_per_flop\":"
+    << obs::json_number(flops > 0.0 ? bytes / flops : 0.0) << ",\"gflops\":"
+    << obs::json_number(stats.wall_seconds > 0.0
+                            ? flops / stats.wall_seconds / 1e9
+                            : 0.0)
+    << "},\"machine\":" << stats.machine.to_json() << "}\n";
 }
 
 /// Appends a metrics-registry record (latency histograms, counters) to

@@ -10,7 +10,11 @@
 // at large subgrid sizes.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "bench_common.hpp"
+#include "obs/flight_recorder.hpp"
 
 namespace {
 
@@ -45,8 +49,63 @@ void run_tier_bench(benchmark::State& state, const char* bench_name,
       static_cast<double>(last.tier.compiled_elements);
   state.counters["interpreter_elements"] =
       static_cast<double>(last.tier.interpreter_elements);
+  // Roofline coordinates: bytes moved = kernel loop traffic + network
+  // traffic (both tier-invariant counted statistics), flops from the
+  // plan-derived tally.  GFLOP/s uses the benchmark's own timing so it
+  // reflects the measured loop, not just the last run.
+  const double flops = static_cast<double>(last.tier.flops);
+  const double bytes = static_cast<double>(last.machine.kernel_ref_bytes +
+                                           last.machine.bytes_sent);
+  state.counters["flops"] = flops;
+  state.counters["bytes_per_flop"] = flops > 0.0 ? bytes / flops : 0.0;
+  // From the run's own wall clock (the benchmark's CPU-time counters
+  // exclude the PE worker threads, which is where the flops happen).
+  state.counters["gflops"] =
+      last.wall_seconds > 0.0 ? flops / last.wall_seconds / 1e9 : 0.0;
   write_phase_metrics(bench_name, tier_name(tier), n, last);
   state.SetLabel(tier_name(tier));
+}
+
+double median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+// Flight-recorder cost check: the same run with the recorder enabled
+// versus disabled, interleaved within one benchmark so host drift hits
+// both arms equally.  Reports recorder_overhead_ratio (median-on /
+// median-off); the CI bench-smoke job asserts it stays under 1.03.
+void BM_FlightRecorderOverhead(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Execution exec = make_execution(kernels::kProblem9,
+                                  CompilerOptions::level(4),
+                                  compute_machine(), n);
+  exec.run(1);  // warm-up
+  auto& rec = obs::FlightRecorder::instance();
+  const bool was_enabled = rec.enabled();
+  std::vector<double> on_walls;
+  std::vector<double> off_walls;
+  for (auto _ : state) {
+    rec.set_enabled(true);
+    on_walls.push_back(exec.run(1).wall_seconds);
+    rec.set_enabled(false);
+    off_walls.push_back(exec.run(1).wall_seconds);
+  }
+  rec.set_enabled(was_enabled);
+  const double off = median(off_walls);
+  const double ratio = off > 0.0 ? median(on_walls) / off : 1.0;
+  state.counters["recorder_overhead_ratio"] = ratio;
+  const char* path = std::getenv("HPFSC_BENCH_JSON");
+  if (path && *path) {
+    std::ofstream f(path, std::ios::app);
+    if (f) {
+      f << "{\"bench\":\"flight_recorder_overhead\",\"n\":" << n
+        << ",\"recorder_overhead_ratio\":" << obs::json_number(ratio)
+        << "}\n";
+    }
+  }
+  state.SetLabel("on-vs-off");
 }
 
 void BM_Problem9Tier(benchmark::State& state) {
@@ -69,6 +128,12 @@ BENCHMARK(BM_Problem9Tier)
 BENCHMARK(BM_NinePointCShiftTier)
     ->ArgNames({"tier", "N"})
     ->ArgsProduct({{0, 1}, {256, 512, 1024}})
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.3);
+
+BENCHMARK(BM_FlightRecorderOverhead)
+    ->ArgNames({"N"})
+    ->Arg(512)
     ->Unit(benchmark::kMillisecond)
     ->MinTime(0.3);
 

@@ -7,6 +7,7 @@
 //   hpfsc_dump [-O0..-O4|--xlhpf] [--live-out A,B]
 //              [--trace-out=FILE] [--jsonl-out=FILE] [--obs-summary]
 //              [--metrics-out=FILE] [--prom-out=FILE]
+//              [--roofline-out=FILE] [--postmortem-out=FILE]
 //              [--run] [--n=N] [--iters=K] [--steps=K] [--emulate]
 //              [--serve-batch=FILE] [--workers=K]
 //              (FILE | @problem9 | @ninept | @ninept-array | @fivept |
@@ -29,7 +30,17 @@
 // the CLI.  --serve-batch=FILE serves a request file (one request per
 // line: INPUT LEVEL N STEPS, '#' comments) through a --workers=K pool
 // sharing one plan cache, and reports per-request latencies plus cache
-// hit/miss/coalesced counters.
+// hit/miss/coalesced counters, followed by a per-request reassembly
+// table (request id, queue wait, compile-or-hit, run, comm bytes) built
+// from the request-scoped trace context.
+//
+// --roofline-out=FILE (implies --run) writes the run's roofline point —
+// FLOPs, bytes moved (kernel references + messages), arithmetic
+// intensity, achieved GFLOP/s — as JSON, and publishes the same values
+// as labeled gauges (roofline.*{stencil=...,tier=...,n=...}) through
+// the metrics registry.  --postmortem-out=FILE dumps the flight
+// recorder's last events per thread as a text postmortem at exit —
+// including after a compile/run failure, which is the flag's point.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -37,11 +48,14 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "codegen/spmd_printer.hpp"
 #include "driver/hpfsc.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sinks.hpp"
 #include "service/service.hpp"
@@ -63,6 +77,7 @@ void usage() {
                "usage: hpfsc_dump [-O0..-O4|--xlhpf] [--live-out A,B] "
                "[--trace-out=FILE] [--jsonl-out=FILE] [--obs-summary] "
                "[--metrics-out=FILE] [--prom-out=FILE] "
+               "[--roofline-out=FILE] [--postmortem-out=FILE] "
                "[--run] [--n=N] [--iters=K] [--steps=K] [--emulate] "
                "[--serve-batch=FILE] [--workers=K] "
                "(FILE | @problem9 | @ninept | @ninept-array | @fivept | "
@@ -75,7 +90,11 @@ void usage() {
                "lines through a worker pool.\n"
                "  --metrics-out / --prom-out write the metrics registry "
                "(counters, gauges, latency histograms) as JSON / "
-               "Prometheus text.\n");
+               "Prometheus text.\n"
+               "  --roofline-out=FILE writes the run's FLOPs, bytes "
+               "moved, arithmetic intensity, and GFLOP/s as JSON.\n"
+               "  --postmortem-out=FILE dumps the flight recorder as a "
+               "text postmortem at exit (works after failures too).\n");
 }
 
 /// Value of "--flag=X" or nullptr when `arg` is not that flag.
@@ -176,6 +195,77 @@ bool emit_metrics(const MetricsOutput& out,
   return ok;
 }
 
+/// --roofline-out / roofline gauges: one roofline point for a completed
+/// run.  Bytes moved = subgrid kernel references + interprocessor
+/// message bytes (the two traffic classes the paper's optimizations
+/// target); arithmetic intensity = FLOPs / bytes moved; achieved
+/// GFLOP/s = FLOPs / wall seconds / 1e9.  The same values publish as
+/// labeled gauges (roofline.*{stencil=..,tier=..,n=..}) into the
+/// process registry, so --prom-out carries per-(stencil, tier, N)
+/// series.
+bool write_roofline(const std::string& path, const std::string& stencil,
+                    const std::string& level, int n, int iters,
+                    const hpfsc::Execution::RunStats& stats) {
+  using namespace hpfsc;
+  const double flops = static_cast<double>(stats.tier.flops);
+  const double kernel_bytes =
+      static_cast<double>(stats.machine.kernel_ref_bytes);
+  const double comm_bytes = static_cast<double>(stats.machine.bytes_sent);
+  const double bytes = kernel_bytes + comm_bytes;
+  const double bytes_per_flop = flops > 0.0 ? bytes / flops : 0.0;
+  const double intensity = bytes > 0.0 ? flops / bytes : 0.0;
+  const double gflops = stats.wall_seconds > 0.0
+                            ? flops / stats.wall_seconds / 1e9
+                            : 0.0;
+  const char* tier =
+      stats.tier.interpreter_elements > stats.tier.compiled_elements
+          ? "interpreter"
+          : "compiled";
+
+  obs::MetricsRegistry& reg = obs::default_registry();
+  const std::string nstr = std::to_string(n);
+  const auto gauge = [&](const char* base, double value) {
+    reg.set_gauge(obs::labeled_metric(
+                      base, {{"stencil", stencil}, {"tier", tier},
+                             {"n", nstr}}),
+                  value);
+  };
+  gauge("roofline.flops", flops);
+  gauge("roofline.bytes_per_flop", bytes_per_flop);
+  gauge("roofline.gflops", gflops);
+
+  std::printf("--- roofline (N=%d, tier=%s) ---\n", n, tier);
+  std::printf(
+      "flops: %.0f, kernel bytes: %.0f, comm bytes: %.0f, "
+      "bytes/flop: %.3f, intensity: %.3f flop/byte, %.4f GFLOP/s\n",
+      flops, kernel_bytes, comm_bytes, bytes_per_flop, intensity, gflops);
+
+  if (path.empty()) return true;
+  std::string json = "{";
+  json += "\"stencil\":\"" + obs::json_escape(stencil) + "\"";
+  json += ",\"level\":\"" + obs::json_escape(level) + "\"";
+  json += ",\"n\":" + std::to_string(n);
+  json += ",\"iters\":" + std::to_string(iters);
+  json += ",\"tier\":\"" + std::string(tier) + "\"";
+  json += ",\"flops\":" + obs::json_number(flops);
+  json += ",\"kernel_ref_bytes\":" + obs::json_number(kernel_bytes);
+  json += ",\"comm_bytes\":" + obs::json_number(comm_bytes);
+  json += ",\"bytes_per_flop\":" + obs::json_number(bytes_per_flop);
+  json += ",\"arithmetic_intensity\":" + obs::json_number(intensity);
+  json += ",\"gflops\":" + obs::json_number(gflops);
+  json += ",\"wall_seconds\":" + obs::json_number(stats.wall_seconds);
+  json += "}\n";
+  // Append, not truncate: repeated invocations (e.g. one per tier or
+  // per kernel) accumulate a JSONL roofline table in one file.
+  std::ofstream f(path, std::ios::app);
+  if (!f) {
+    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+    return false;
+  }
+  f << json;
+  return true;
+}
+
 /// --serve-batch: parse 'INPUT LEVEL N STEPS' request lines, serve them
 /// through a worker pool sharing one plan cache, report latencies and
 /// cache counters.
@@ -245,6 +335,8 @@ int serve_batch(const std::string& path, int workers, int default_n,
   std::printf("%4s  %-16s %-6s %6s %6s  %-9s %10s\n", "#", "input", "level",
               "n", "steps", "cache", "latency");
   int failures = 0;
+  std::vector<std::optional<service::ServiceResponse>> responses(
+      futures.size());
   for (std::size_t i = 0; i < futures.size(); ++i) {
     const Line& line = lines[i];
     try {
@@ -252,6 +344,7 @@ int serve_batch(const std::string& path, int workers, int default_n,
       std::printf("%4zu  %-16s %-6s %6d %6d  %-9s %8.3f ms\n", i,
                   line.input.c_str(), line.level.c_str(), line.n, line.steps,
                   service::to_string(r.outcome), r.latency_seconds * 1e3);
+      responses[i] = std::move(r);
     } catch (const std::exception& e) {
       ++failures;
       std::printf("%4zu  %-16s %-6s %6d %6d  error: %s\n", i,
@@ -263,6 +356,27 @@ int serve_batch(const std::string& path, int workers, int default_n,
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
   pool.shutdown();
+
+  // Per-request reassembly: the phase breakdown the request-scoped
+  // trace context carries — queue wait, compile-or-hit, run, and the
+  // run's communication volume — keyed by the request id that links
+  // this row to every span the request produced in --jsonl-out.
+  std::printf("--- per-request reassembly ---\n");
+  std::printf("%4s  %-8s %-9s %11s %11s %11s %12s\n", "#", "req", "cache",
+              "queue", "compile", "run", "comm-bytes");
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    if (!responses[i]) {
+      std::printf("%4zu  %-8s %-9s\n", i, "-", "error");
+      continue;
+    }
+    const service::ServiceResponse& r = *responses[i];
+    std::string req = "req#" + std::to_string(r.request_id);
+    std::printf("%4zu  %-8s %-9s %8.3f ms %8.3f ms %8.3f ms %12llu\n", i,
+                req.c_str(), service::to_string(r.outcome),
+                r.queue_seconds * 1e3, r.compile_seconds * 1e3,
+                r.run_seconds * 1e3,
+                static_cast<unsigned long long>(r.stats.machine.bytes_sent));
+  }
 
   const service::CacheCounters c = svc.cache_counters();
   std::printf("--- cache ---\n");
@@ -298,6 +412,9 @@ int main(int argc, char** argv) {
   int steps = 1;
   int workers = 4;
   std::string serve_batch_path;
+  std::string roofline_out;
+  std::string postmortem_out;
+  std::string level_name = "O4";
 
   for (int a = 1; a < argc; ++a) {
     std::string arg = argv[a];
@@ -305,8 +422,10 @@ int main(int argc, char** argv) {
     if (arg.size() == 3 && arg.rfind("-O", 0) == 0 && arg[2] >= '0' &&
         arg[2] <= '4') {
       options = CompilerOptions::level(arg[2] - '0');
+      level_name = arg.substr(1);
     } else if (arg == "--xlhpf") {
       options = CompilerOptions::xlhpf_like();
+      level_name = "xlhpf";
     } else if (arg == "--live-out" && a + 1 < argc) {
       std::stringstream ss(argv[++a]);
       std::string item;
@@ -333,6 +452,11 @@ int main(int argc, char** argv) {
     } else if ((v = flag_value(arg, "--steps"))) {
       steps = std::atoi(v);
       run = true;
+    } else if ((v = flag_value(arg, "--roofline-out"))) {
+      roofline_out = v;
+      run = true;
+    } else if ((v = flag_value(arg, "--postmortem-out"))) {
+      postmortem_out = v;
     } else if ((v = flag_value(arg, "--serve-batch"))) {
       serve_batch_path = v;
     } else if ((v = flag_value(arg, "--workers"))) {
@@ -350,6 +474,20 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
+
+  // --postmortem-out dumps on every exit path — the interesting dumps
+  // are the ones after a CompileError or a runtime abort, where the
+  // flight recorder holds the events leading up to the incident.
+  struct PostmortemAtExit {
+    std::string path;
+    ~PostmortemAtExit() {
+      if (path.empty()) return;
+      if (!hpfsc::obs::FlightRecorder::instance().dump_postmortem(path)) {
+        std::fprintf(stderr, "hpfsc_dump: cannot write '%s'\n",
+                     path.c_str());
+      }
+    }
+  } postmortem{postmortem_out};
 
   std::string source;
   if (!input.empty() && !load_source(input, &source)) {
@@ -436,6 +574,7 @@ int main(int argc, char** argv) {
       service::StencilService svc(cfg);
       service::Session client(svc);
       std::vector<double> latencies;
+      Execution::RunStats last_stats;
       for (int r = 0; r < steps; ++r) {
         const auto t0 = std::chrono::steady_clock::now();
         service::RunRequest req;
@@ -443,7 +582,7 @@ int main(int argc, char** argv) {
         req.bindings = bindings_for(n);
         req.steps = iters;
         req.init = init_input_arrays;
-        client.run(req);
+        last_stats = client.run(req);
         latencies.push_back(
             std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                           t0)
@@ -464,6 +603,11 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(c.misses),
                   c.misses == 1 ? "" : "es", client.num_executions(),
                   client.num_executions() == 1 ? "" : "s");
+      if (!roofline_out.empty() &&
+          !write_roofline(roofline_out, input, level_name, n, iters,
+                          last_stats)) {
+        return 2;
+      }
       session.flush();
       if (!emit_metrics(metrics_out, &svc.metrics())) return 2;
     } else if (run) {
@@ -484,6 +628,11 @@ int main(int argc, char** argv) {
                   mc.pe_rows, mc.pe_cols, iters, iters == 1 ? "" : "s");
       std::printf("wall: %.3f ms\n", stats.wall_seconds * 1e3);
       std::printf("machine: %s\n", stats.machine.to_json().c_str());
+      if (!roofline_out.empty() &&
+          !write_roofline(roofline_out, input, level_name, n, iters,
+                          stats)) {
+        return 2;
+      }
       session.flush();
       if (!emit_metrics(metrics_out, nullptr)) return 2;
     }

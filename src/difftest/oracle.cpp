@@ -7,6 +7,7 @@
 
 #include "difftest/rng.hpp"
 #include "driver/compiler.hpp"
+#include "obs/flight_recorder.hpp"
 #include "service/cache_key.hpp"
 #include "simpi/comm_ledger.hpp"
 
@@ -143,6 +144,10 @@ OracleResult run_oracle(const ProgramSpec& spec, const OracleConfig& cfg) {
       compiler.compile_batch(source, variants);
 
   auto add = [&](Divergence d) {
+    // An oracle mismatch is an incident: snapshot-worthy evidence (the
+    // cells and spans that led here) is still in the flight recorder.
+    hpfsc::obs::FlightRecorder::instance().note_incident(
+        "difftest-divergence", d.str());
     if (result.divergences.size() < cfg.max_divergences) {
       result.divergences.push_back(std::move(d));
     }

@@ -18,10 +18,16 @@
 namespace hpfsc {
 
 /// Compilation failed; `what()` carries all rendered diagnostics.
+/// Construction notes a "plan-compile-failure" incident on the flight
+/// recorder, so the spans of the failing pipeline are preserved for a
+/// postmortem before the unwind discards them.
 class CompileError : public std::runtime_error {
  public:
   explicit CompileError(std::string diagnostics)
-      : std::runtime_error(diagnostics) {}
+      : std::runtime_error(diagnostics) {
+    obs::FlightRecorder::instance().note_incident("plan-compile-failure",
+                                                  what());
+  }
 };
 
 struct CompilerOptions {

@@ -204,6 +204,7 @@ Execution::RunStats Execution::run(int iterations) {
   tally_->interpreter_elements.store(0, std::memory_order_relaxed);
   tally_->compiled_plan_runs.store(0, std::memory_order_relaxed);
   tally_->interpreter_plan_runs.store(0, std::memory_order_relaxed);
+  tally_->flops.store(0, std::memory_order_relaxed);
   obs::Span span(trace_, "execute", "runtime");
   span.arg("iterations", iterations);
   const auto start = std::chrono::steady_clock::now();
@@ -226,6 +227,7 @@ Execution::RunStats Execution::run(int iterations) {
       tally_->compiled_plan_runs.load(std::memory_order_relaxed);
   stats.tier.interpreter_plan_runs =
       tally_->interpreter_plan_runs.load(std::memory_order_relaxed);
+  stats.tier.flops = tally_->flops.load(std::memory_order_relaxed);
   if (span.active()) {
     span.arg("messages", stats.machine.messages_sent);
     span.arg("bytes_sent", stats.machine.bytes_sent);
@@ -238,6 +240,7 @@ Execution::RunStats Execution::run(int iterations) {
     span.arg("kernel.tier.compiled_elements", stats.tier.compiled_elements);
     span.arg("kernel.tier.interpreter_elements",
              stats.tier.interpreter_elements);
+    span.arg("kernel.flops", stats.tier.flops);
   }
   if (trace_ != nullptr && trace_->enabled()) {
     trace_->counter("kernel.tier.compiled_elements",
@@ -248,6 +251,8 @@ Execution::RunStats Execution::run(int iterations) {
                     static_cast<double>(stats.tier.compiled_plan_runs));
     trace_->counter("kernel.tier.interpreter_plan_runs",
                     static_cast<double>(stats.tier.interpreter_plan_runs));
+    trace_->counter("kernel.flops",
+                    static_cast<double>(stats.tier.flops));
   }
   return stats;
 }
@@ -396,6 +401,12 @@ void Execution::run_plan(simpi::Pe& pe, const spmd::Op& op,
 
   const std::uint64_t elems = static_cast<std::uint64_t>(count) *
                               static_cast<std::uint64_t>(plan.width);
+  // Charged ahead of the tier split: the microkernel evaluates exactly
+  // the plan's operation list, so both tiers perform plan.flops
+  // floating-point operations per inner-loop iteration.
+  tally_->flops.fetch_add(static_cast<std::uint64_t>(count) *
+                              static_cast<std::uint64_t>(plan.flops),
+                          std::memory_order_relaxed);
   if (micro != nullptr && tier_ == KernelTier::Auto) {
     run_micro(pe, plan, *micro, idx, inner_dim, count, env);
     tally_->compiled_elements.fetch_add(elems, std::memory_order_relaxed);

@@ -38,6 +38,12 @@ struct KernelTierStats {
   std::uint64_t interpreter_elements = 0;
   std::uint64_t compiled_plan_runs = 0;
   std::uint64_t interpreter_plan_runs = 0;
+  /// Floating-point operations executed by the kernel loops (both
+  /// tiers; plan-derived, so tier-invariant like kernel_ref_bytes).
+  /// Together with kernel_ref_bytes and the comm ledger this yields the
+  /// roofline coordinates: arithmetic intensity = flops / bytes moved,
+  /// achieved GFLOP/s = flops / wall_seconds / 1e9.
+  std::uint64_t flops = 0;
 };
 
 /// Runtime values for program parameters (N, coefficients, ...).
@@ -116,6 +122,7 @@ class Execution {
     std::atomic<std::uint64_t> interpreter_elements{0};
     std::atomic<std::uint64_t> compiled_plan_runs{0};
     std::atomic<std::uint64_t> interpreter_plan_runs{0};
+    std::atomic<std::uint64_t> flops{0};
   };
 
   void compile_plans(const std::vector<spmd::Op>& ops);

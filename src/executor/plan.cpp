@@ -136,10 +136,27 @@ KernelPlan build_kernel_plan(const spmd::Op& nest, int width,
   }
 
   for (const PlanInstr& in : plan.instrs) {
-    if (in.op == PlanInstr::Op::LoadPtr ||
-        in.op == PlanInstr::Op::LoadPtrCache ||
-        in.op == PlanInstr::Op::PopStore) {
-      ++plan.mem_refs;
+    switch (in.op) {
+      case PlanInstr::Op::LoadPtr:
+      case PlanInstr::Op::LoadPtrCache:
+      case PlanInstr::Op::PopStore:
+        ++plan.mem_refs;
+        break;
+      case PlanInstr::Op::Add:
+      case PlanInstr::Op::Sub:
+      case PlanInstr::Op::Mul:
+      case PlanInstr::Op::Div:
+      case PlanInstr::Op::Neg:
+      case PlanInstr::Op::Lt:
+      case PlanInstr::Op::Le:
+      case PlanInstr::Op::Gt:
+      case PlanInstr::Op::Ge:
+      case PlanInstr::Op::Eq:
+      case PlanInstr::Op::Ne:
+        ++plan.flops;
+        break;
+      default:
+        break;
     }
   }
 

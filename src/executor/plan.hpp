@@ -60,6 +60,11 @@ struct KernelPlan {
   /// Memory-touching instructions (loads + stores) per plan application
   /// — the quantity scalar replacement and unroll-and-jam minimize.
   int mem_refs = 0;
+  /// Floating-point operations (arithmetic + comparisons) per plan
+  /// application.  Tier-invariant by construction — the microkernel tier
+  /// evaluates exactly the plan's operation list — so the roofline
+  /// profiler can charge `count * flops` regardless of dispatch tier.
+  int flops = 0;
 };
 
 /// Compiles the body of a LoopNest op into a plan covering `width`

@@ -1,0 +1,339 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "obs/sinks.hpp"
+
+namespace hpfsc::obs {
+
+// ------------------------------------------------------------ FlightRing
+
+FlightRing::FlightRing(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      slots_(new Slot[capacity == 0 ? 1 : capacity]) {}
+
+void FlightRing::emit(const FlightEvent& ev) {
+  const std::uint64_t k = head_.load(std::memory_order_relaxed);
+  Slot& slot = slots_[k % capacity_];
+  // Seqlock write: odd stamp marks the slot busy; readers that observe
+  // anything other than the final even stamp discard the slot.
+  slot.seq.store(2 * k + 1, std::memory_order_release);
+  std::uint64_t words[kFlightEventWords];
+  std::memcpy(words, &ev, sizeof ev);
+  for (std::size_t w = 0; w < kFlightEventWords; ++w) {
+    slot.words[w].store(words[w], std::memory_order_relaxed);
+  }
+  slot.seq.store(2 * k + 2, std::memory_order_release);
+  head_.store(k + 1, std::memory_order_release);
+}
+
+void FlightRing::snapshot(std::vector<FlightEvent>* out) const {
+  const std::uint64_t h = head_.load(std::memory_order_acquire);
+  const std::uint64_t lo = h > capacity_ ? h - capacity_ : 0;
+  for (std::uint64_t k = lo; k < h; ++k) {
+    const Slot& slot = slots_[k % capacity_];
+    const std::uint64_t want = 2 * k + 2;
+    if (slot.seq.load(std::memory_order_acquire) != want) continue;
+    std::uint64_t words[kFlightEventWords];
+    for (std::size_t w = 0; w < kFlightEventWords; ++w) {
+      words[w] = slot.words[w].load(std::memory_order_relaxed);
+    }
+    // Re-check after the payload reads: if the writer lapped us the
+    // stamp moved on and the words above may be torn.
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_acquire) != want) continue;
+    FlightEvent ev;
+    std::memcpy(&ev, words, sizeof ev);
+    ev.name[sizeof ev.name - 1] = '\0';  // belt and braces for dumps
+    out->push_back(ev);
+  }
+}
+
+// -------------------------------------------------------- FlightRecorder
+
+FlightRecorder::FlightRecorder() {
+  epoch_steady_ns_ = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  if (const char* env = std::getenv("HPFSC_FLIGHT_RECORDER")) {
+    if (env[0] == '0' && env[1] == '\0') {
+      enabled_.store(false, std::memory_order_relaxed);
+    }
+  }
+}
+
+FlightRecorder& FlightRecorder::instance() {
+  static FlightRecorder* recorder = new FlightRecorder();  // never dies
+  return *recorder;
+}
+
+std::uint64_t FlightRecorder::now_ns() const {
+  const auto now = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  return now - epoch_steady_ns_;
+}
+
+namespace {
+
+/// Thread-local ring handle: keeps the registry entry alive for the
+/// thread's lifetime and flips `live` off when the thread exits, so the
+/// registry can bound how many dead rings it retains.
+struct TlsRing {
+  std::shared_ptr<FlightThread> entry;
+  ~TlsRing() {
+    if (entry) entry->live.store(false, std::memory_order_release);
+  }
+};
+
+thread_local TlsRing tls_ring;
+
+thread_local std::uint64_t tls_request_id = 0;
+
+}  // namespace
+
+FlightRing& FlightRecorder::ring() {
+  if (!tls_ring.entry) {
+    std::lock_guard lock(mutex_);
+    // Bound memory under thread churn: drop the oldest retired rings
+    // beyond the retention cap before registering a new one.
+    std::size_t retired = 0;
+    for (const auto& t : threads_) {
+      if (!t->live.load(std::memory_order_acquire)) ++retired;
+    }
+    if (retired >= kMaxRetiredRings) {
+      for (auto it = threads_.begin();
+           it != threads_.end() && retired >= kMaxRetiredRings;) {
+        if (!(*it)->live.load(std::memory_order_acquire)) {
+          it = threads_.erase(it);
+          --retired;
+        } else {
+          ++it;
+        }
+      }
+    }
+    tls_ring.entry =
+        std::make_shared<FlightThread>(next_thread_id_++, kDefaultCapacity);
+    threads_.push_back(tls_ring.entry);
+  }
+  return tls_ring.entry->ring;
+}
+
+void FlightRecorder::emit(const FlightEvent& ev) { ring().emit(ev); }
+
+void FlightRecorder::mark(std::string_view name, int track) {
+  if (!enabled()) return;
+  FlightEvent ev;
+  ev.kind = FlightEvent::Kind::Mark;
+  ev.ts_ns = now_ns();
+  ev.track = track;
+  ev.request_id = current_request_id();
+  ev.set_name(name);
+  emit(ev);
+}
+
+void FlightRecorder::note_incident(std::string_view kind,
+                                   std::string_view detail) {
+  if (!enabled()) return;
+  {
+    FlightEvent ev;
+    ev.kind = FlightEvent::Kind::Mark;
+    ev.ts_ns = now_ns();
+    ev.request_id = current_request_id();
+    std::string name = "INCIDENT:";
+    name += kind;
+    ev.set_name(name);
+    emit(ev);
+  }
+  {
+    std::lock_guard lock(mutex_);
+    incident_.kind = std::string(kind);
+    incident_.detail = std::string(detail);
+    incident_.ts_ns = now_ns();
+    ++incident_.count;
+  }
+  if (const char* path = std::getenv("HPFSC_POSTMORTEM")) {
+    if (*path != '\0') dump_postmortem(path);
+  }
+}
+
+FlightIncident FlightRecorder::last_incident() const {
+  std::lock_guard lock(mutex_);
+  return incident_;
+}
+
+std::vector<FlightThreadSnapshot> FlightRecorder::snapshot_all() const {
+  std::vector<std::shared_ptr<FlightThread>> threads;
+  {
+    std::lock_guard lock(mutex_);
+    threads = threads_;
+  }
+  std::vector<FlightThreadSnapshot> out;
+  out.reserve(threads.size());
+  for (const auto& t : threads) {
+    FlightThreadSnapshot snap;
+    snap.thread_id = t->thread_id;
+    snap.live = t->live.load(std::memory_order_acquire);
+    t->ring.snapshot(&snap.events);
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+std::size_t FlightRecorder::num_threads() const {
+  std::lock_guard lock(mutex_);
+  return threads_.size();
+}
+
+namespace {
+
+const char* kind_name(FlightEvent::Kind k) {
+  switch (k) {
+    case FlightEvent::Kind::SpanBegin: return "BEGIN";
+    case FlightEvent::Kind::SpanEnd: return "END";
+    case FlightEvent::Kind::Counter: return "COUNTER";
+    case FlightEvent::Kind::Mark: return "MARK";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string FlightRecorder::chrome_trace() const {
+  const std::vector<FlightThreadSnapshot> threads = snapshot_all();
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out += ",";
+    first = false;
+  };
+  auto us = [](std::uint64_t ns) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.3f", static_cast<double>(ns) / 1e3);
+    return std::string(buf);
+  };
+  for (const FlightThreadSnapshot& t : threads) {
+    sep();
+    out += "{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(t.thread_id) +
+           ",\"name\":\"thread_name\",\"args\":{\"name\":\"flight-thread-" +
+           std::to_string(t.thread_id) + "\"}}";
+    for (const FlightEvent& ev : t.events) {
+      const std::string common =
+          "\"pid\":1,\"tid\":" + std::to_string(t.thread_id) +
+          ",\"ts\":" + us(ev.ts_ns);
+      const std::string args =
+          "{\"track\":" + std::to_string(ev.track) +
+          ",\"request_id\":" + std::to_string(ev.request_id) + "}";
+      switch (ev.kind) {
+        case FlightEvent::Kind::SpanEnd:
+          sep();
+          out += "{\"ph\":\"X\",\"name\":\"" + json_escape(ev.name) +
+                 "\",\"cat\":\"flight\"," + common;
+          // Complete events anchor at the start time.
+          out += ",\"dur\":" + us(ev.dur_ns) + ",\"args\":" + args + "}";
+          break;
+        case FlightEvent::Kind::Counter:
+          sep();
+          out += "{\"ph\":\"C\",\"name\":\"" + json_escape(ev.name) + "\"," +
+                 common + ",\"args\":{\"value\":" + json_number(ev.value) +
+                 "}}";
+          break;
+        case FlightEvent::Kind::Mark:
+          sep();
+          out += "{\"ph\":\"i\",\"s\":\"g\",\"name\":\"" +
+                 json_escape(ev.name) + "\",\"cat\":\"flight\"," + common +
+                 ",\"args\":" + args + "}";
+          break;
+        case FlightEvent::Kind::SpanBegin:
+          // The matching SpanEnd carries the full interval; begins are
+          // only needed for spans still open at dump time.
+          sep();
+          out += "{\"ph\":\"i\",\"s\":\"t\",\"name\":\"begin:" +
+                 json_escape(ev.name) + "\",\"cat\":\"flight\"," + common +
+                 ",\"args\":" + args + "}";
+          break;
+      }
+    }
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::string FlightRecorder::postmortem_text(std::size_t per_thread) const {
+  const FlightIncident incident = last_incident();
+  const std::vector<FlightThreadSnapshot> threads = snapshot_all();
+  std::size_t total = 0;
+  for (const FlightThreadSnapshot& t : threads) total += t.events.size();
+
+  std::string out = "=== flight recorder postmortem ===\n";
+  if (incident.count > 0) {
+    out += "incident: " + incident.kind + "\n";
+    out += "detail: " + incident.detail + "\n";
+    out += "incidents so far: " + std::to_string(incident.count) + "\n";
+  } else {
+    out += "incident: none (on-demand dump)\n";
+  }
+  out += "threads: " + std::to_string(threads.size()) +
+         ", events: " + std::to_string(total) + "\n";
+  char line[192];
+  for (const FlightThreadSnapshot& t : threads) {
+    std::snprintf(line, sizeof line, "--- thread %d%s ---\n", t.thread_id,
+                  t.live ? "" : " (exited)");
+    out += line;
+    const std::size_t n = t.events.size();
+    const std::size_t lo = n > per_thread ? n - per_thread : 0;
+    if (lo > 0) {
+      out += "  ... " + std::to_string(lo) + " older events elided ...\n";
+    }
+    for (std::size_t i = lo; i < n; ++i) {
+      const FlightEvent& ev = t.events[i];
+      std::snprintf(line, sizeof line, "  [%12llu ns] %-7s track=%d %s",
+                    static_cast<unsigned long long>(ev.ts_ns),
+                    kind_name(ev.kind), ev.track, ev.name);
+      out += line;
+      if (ev.kind == FlightEvent::Kind::SpanEnd) {
+        std::snprintf(line, sizeof line, " dur=%lluns",
+                      static_cast<unsigned long long>(ev.dur_ns));
+        out += line;
+      }
+      if (ev.kind == FlightEvent::Kind::Counter) {
+        out += " = " + json_number(ev.value);
+      }
+      if (ev.request_id != 0) {
+        out += " req=" + std::to_string(ev.request_id);
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+bool FlightRecorder::dump_postmortem(const std::string& path) const {
+  std::ofstream f(path, std::ios::app);
+  if (!f) return false;
+  f << postmortem_text();
+  return static_cast<bool>(f);
+}
+
+// -------------------------------------------------------- request scope
+
+std::uint64_t current_request_id() { return tls_request_id; }
+
+std::uint64_t next_request_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+RequestScope::RequestScope(std::uint64_t id) : saved_(tls_request_id) {
+  if (id != 0) tls_request_id = id;
+}
+
+RequestScope::~RequestScope() { tls_request_id = saved_; }
+
+}  // namespace hpfsc::obs

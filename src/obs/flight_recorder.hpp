@@ -1,0 +1,216 @@
+// Always-on flight recorder: a lock-free, fixed-memory ring of binary
+// event records per thread, fed by every Span/counter emit regardless
+// of whether a trace sink is attached.  Where the TraceSession answers
+// "record everything while I watch", the flight recorder answers "what
+// just happened" *after the fact*: when a CommInvariantViolation, a
+// plan-compile failure, or a difftest divergence fires, the last-N
+// events of every thread are still in memory and can be dumped as a
+// merged Chrome trace plus a human-readable text postmortem.
+//
+// Concurrency: each thread owns one ring (single writer); dumps read
+// concurrently.  Every slot is a seqlock whose payload is stored as
+// relaxed atomic words bracketed by acquire/release sequence stamps,
+// so concurrent emit/dump is data-race-free (TSan-clean) and a dump
+// simply discards slots it caught mid-write.  Memory is bounded:
+// kDefaultCapacity events per thread, and rings of exited threads are
+// retained only up to a small cap (newest first) so their final events
+// survive into a postmortem.
+//
+// Request context: a thread-local 64-bit request id (see RequestScope)
+// stamps every recorded event and is auto-attached to sink-visible
+// spans, which is what lets one service request be reassembled across
+// the ServicePool worker that served it and the PE threads that ran it.
+//
+// Cost discipline: with the recorder disabled (HPFSC_FLIGHT_RECORDER=0
+// or set_enabled(false)) a Span pays one relaxed atomic load; enabled,
+// an emit is a dozen relaxed stores into preallocated memory — no
+// locks, no allocation, no system calls.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hpfsc::obs {
+
+/// Fixed-size binary event record.  Exactly kFlightEventWords 64-bit
+/// words so a slot can store it as an array of atomic words.
+struct FlightEvent {
+  enum class Kind : std::uint32_t {
+    SpanBegin = 0,  ///< span constructed (name = static ctor name)
+    SpanEnd = 1,    ///< span destroyed (name = final name, dur_ns set)
+    Counter = 2,    ///< counter sample (value set)
+    Mark = 3,       ///< point event (incidents, annotations)
+  };
+
+  std::uint64_t ts_ns = 0;       ///< steady-clock ns since recorder epoch
+  std::uint64_t dur_ns = 0;      ///< SpanEnd only
+  std::uint64_t request_id = 0;  ///< 0 = no request context
+  double value = 0.0;            ///< Counter only
+  std::int32_t track = 0;        ///< obs track (host 0, PE p -> p+1)
+  Kind kind = Kind::Mark;
+  char name[56] = {};            ///< NUL-terminated, truncated
+
+  void set_name(std::string_view n) {
+    const std::size_t len = n.size() < sizeof name - 1 ? n.size()
+                                                       : sizeof name - 1;
+    std::memcpy(name, n.data(), len);
+    name[len] = '\0';
+  }
+};
+
+inline constexpr std::size_t kFlightEventWords =
+    sizeof(FlightEvent) / sizeof(std::uint64_t);
+static_assert(sizeof(FlightEvent) % sizeof(std::uint64_t) == 0);
+
+/// One thread's ring.  Single writer (the owning thread); any number of
+/// concurrent snapshot readers.
+class FlightRing {
+ public:
+  explicit FlightRing(std::size_t capacity);
+
+  /// Owner thread only.  Never blocks, never allocates.
+  void emit(const FlightEvent& ev);
+
+  /// Appends the newest <= capacity events, oldest first, skipping any
+  /// slot overwritten or caught mid-write during the read.  Safe from
+  /// any thread.
+  void snapshot(std::vector<FlightEvent>* out) const;
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Total events ever emitted (not the resident count).
+  [[nodiscard]] std::uint64_t emitted() const {
+    return head_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Slot {
+    /// 2*(index+1) when event `index` is fully written; odd mid-write.
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<std::uint64_t> words[kFlightEventWords];
+  };
+
+  const std::size_t capacity_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::uint64_t> head_{0};  ///< next event index
+};
+
+/// A ring plus its registry bookkeeping.
+struct FlightThread {
+  FlightThread(int id, std::size_t capacity) : thread_id(id), ring(capacity) {}
+  int thread_id;                  ///< registration order, 0-based
+  std::atomic<bool> live{true};   ///< false once the owning thread exited
+  FlightRing ring;
+};
+
+/// A dump of one thread's ring.
+struct FlightThreadSnapshot {
+  int thread_id = 0;
+  bool live = true;
+  std::vector<FlightEvent> events;  ///< oldest first
+};
+
+/// Details of the most recent incident noted on the recorder.
+struct FlightIncident {
+  std::string kind;    ///< "comm-invariant", "plan-compile-failure", ...
+  std::string detail;  ///< the exception/divergence message
+  std::uint64_t ts_ns = 0;
+  int count = 0;       ///< total incidents noted so far
+};
+
+/// Process-wide recorder: owns the per-thread rings.
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1024;  ///< events/thread
+  /// Rings of exited threads retained beyond this are dropped (oldest
+  /// registration first), bounding memory under thread churn.
+  static constexpr std::size_t kMaxRetiredRings = 16;
+
+  [[nodiscard]] static FlightRecorder& instance();
+
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Nanoseconds since recorder construction (steady clock).
+  [[nodiscard]] std::uint64_t now_ns() const;
+
+  /// The calling thread's ring (registered on first use — the only
+  /// call that may allocate).
+  [[nodiscard]] FlightRing& ring();
+
+  /// Records one fully-formed event on the calling thread's ring.
+  void emit(const FlightEvent& ev);
+  /// Convenience: records a Mark named `name` now.
+  void mark(std::string_view name, int track = 0);
+
+  /// Records the incident as a Mark, remembers it for postmortem
+  /// headers, and — when the HPFSC_POSTMORTEM environment variable
+  /// names a file — appends a text postmortem there so the evidence
+  /// survives the process (CI uploads it on failure).
+  void note_incident(std::string_view kind, std::string_view detail);
+  [[nodiscard]] FlightIncident last_incident() const;
+
+  /// Per-thread dumps, registration order, each oldest-first.
+  [[nodiscard]] std::vector<FlightThreadSnapshot> snapshot_all() const;
+
+  /// Merged Chrome trace-event JSON of all rings (spans as complete
+  /// events, counters as counter events, marks as instants; tid = the
+  /// recorder's thread id).
+  [[nodiscard]] std::string chrome_trace() const;
+
+  /// Human-readable dump: incident header (when any) plus the newest
+  /// <= `per_thread` events of every thread.
+  [[nodiscard]] std::string postmortem_text(std::size_t per_thread = 64) const;
+
+  /// Writes postmortem_text() to `path` (append).  Returns false on
+  /// I/O failure.
+  bool dump_postmortem(const std::string& path) const;
+
+  /// Number of registered rings (live + retired); for tests.
+  [[nodiscard]] std::size_t num_threads() const;
+
+ private:
+  FlightRecorder();
+
+  std::atomic<bool> enabled_{true};
+  std::uint64_t epoch_steady_ns_ = 0;
+
+  mutable std::mutex mutex_;  ///< guards threads_ and incident_
+  std::vector<std::shared_ptr<FlightThread>> threads_;
+  int next_thread_id_ = 0;
+  FlightIncident incident_;
+};
+
+/// -- Request-scoped trace context -------------------------------------
+/// A 64-bit request id carried in a thread-local: every flight event
+/// records it, and Span auto-attaches it (arg "request_id") to sink
+/// output, so one request's spans can be joined across threads.
+
+/// The calling thread's current request id (0 = none).
+[[nodiscard]] std::uint64_t current_request_id();
+/// Fresh process-unique request id (monotonic from 1).
+[[nodiscard]] std::uint64_t next_request_id();
+
+/// RAII: sets the calling thread's request id, restoring the previous
+/// one on destruction.  Passing 0 is a no-op scope (keeps the current).
+class RequestScope {
+ public:
+  explicit RequestScope(std::uint64_t id);
+  ~RequestScope();
+  RequestScope(const RequestScope&) = delete;
+  RequestScope& operator=(const RequestScope&) = delete;
+
+ private:
+  std::uint64_t saved_;
+};
+
+}  // namespace hpfsc::obs

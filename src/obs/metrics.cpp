@@ -185,6 +185,40 @@ std::string MetricsRegistry::to_json() const {
   return out;
 }
 
+std::string prom_escape_label(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c; break;
+    }
+  }
+  return out;
+}
+
+std::string labeled_metric(
+    std::string_view base,
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        labels) {
+  std::string out(base);
+  if (labels.size() == 0) return out;
+  out += '{';
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += "=\"";
+    out += prom_escape_label(value);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
 namespace {
 
 /// Prometheus metric name: "hpfsc_" + name with [^a-zA-Z0-9_] -> '_'.
@@ -198,31 +232,81 @@ std::string prom_name(const std::string& name) {
   return out;
 }
 
+/// A registry key split into a sanitized exposition name and the label
+/// list (brace-free, already escaped by labeled_metric).  A key without
+/// a well-formed trailing `{...}` block is all name: its braces, if
+/// any, sanitize to underscores exactly as before.
+struct PromKey {
+  std::string name;
+  std::string labels;
+};
+
+PromKey split_prom_key(const std::string& key) {
+  const std::size_t brace = key.find('{');
+  if (brace == std::string::npos || key.back() != '}') {
+    return PromKey{prom_name(key), ""};
+  }
+  return PromKey{prom_name(key.substr(0, brace)),
+                 key.substr(brace + 1, key.size() - brace - 2)};
+}
+
+/// One exposition series: name[suffix]{labels[,extra]} value.  `extra`
+/// is a preformatted label pair (the histogram quantile) merged into the
+/// key's own label block.
+std::string prom_series(const PromKey& k, const char* suffix,
+                        const char* extra, const std::string& value) {
+  std::string out = k.name + suffix;
+  if (!k.labels.empty() || extra[0] != '\0') {
+    out += '{';
+    out += k.labels;
+    if (!k.labels.empty() && extra[0] != '\0') out += ',';
+    out += extra;
+    out += '}';
+  }
+  out += ' ';
+  out += value;
+  out += '\n';
+  return out;
+}
+
 }  // namespace
 
 std::string MetricsRegistry::to_prometheus() const {
   std::lock_guard lock(mutex_);
   std::string out;
+  // One TYPE line per exposition name: labeled series sharing a base
+  // (adjacent, since the maps are name-sorted) declare it once.
+  std::string last_type;
+  const auto type_line = [&](const std::string& name, const char* type) {
+    if (name == last_type) return;
+    last_type = name;
+    out += "# TYPE " + name + " " + type + "\n";
+  };
   for (const auto& [name, v] : counters_) {
-    const std::string p = prom_name(name);
-    out += "# TYPE " + p + " counter\n";
-    out += p + " " + json_number(v) + "\n";
+    const PromKey k = split_prom_key(name);
+    type_line(k.name, "counter");
+    out += prom_series(k, "", "", json_number(v));
   }
   for (const auto& [name, v] : gauges_) {
-    const std::string p = prom_name(name);
-    out += "# TYPE " + p + " gauge\n";
-    out += p + " " + json_number(v) + "\n";
+    const PromKey k = split_prom_key(name);
+    type_line(k.name, "gauge");
+    out += prom_series(k, "", "", json_number(v));
   }
   for (const auto& [name, h] : histograms_) {
-    const std::string p = prom_name(name);
-    out += "# TYPE " + p + " summary\n";
-    out += p + "{quantile=\"0.5\"} " + json_number(h.p50()) + "\n";
-    out += p + "{quantile=\"0.9\"} " + json_number(h.p90()) + "\n";
-    out += p + "{quantile=\"0.99\"} " + json_number(h.p99()) + "\n";
-    out += p + "_sum " + json_number(h.sum()) + "\n";
-    out += p + "_count " + std::to_string(h.count()) + "\n";
-    out += "# TYPE " + p + "_max gauge\n";
-    out += p + "_max " + json_number(h.max()) + "\n";
+    const PromKey k = split_prom_key(name);
+    type_line(k.name, "summary");
+    out += prom_series(k, "", "quantile=\"0.5\"", json_number(h.p50()));
+    out += prom_series(k, "", "quantile=\"0.9\"", json_number(h.p90()));
+    out += prom_series(k, "", "quantile=\"0.99\"", json_number(h.p99()));
+    out += prom_series(k, "_sum", "", json_number(h.sum()));
+    out += prom_series(k, "_count", "", std::to_string(h.count()));
+  }
+  // The _max gauges form their own metric family; a second pass keeps
+  // each family's series contiguous under one TYPE line.
+  for (const auto& [name, h] : histograms_) {
+    const PromKey k = split_prom_key(name);
+    type_line(k.name + "_max", "gauge");
+    out += prom_series(k, "_max", "", json_number(h.max()));
   }
   return out;
 }

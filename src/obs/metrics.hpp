@@ -28,12 +28,30 @@
 
 #include <array>
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <mutex>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 namespace hpfsc::obs {
+
+/// Escapes a Prometheus label value: backslash, double-quote, and
+/// newline become `\\`, `\"`, and `\n` (exposition format 0.0.4).
+[[nodiscard]] std::string prom_escape_label(std::string_view value);
+
+/// Builds a labeled registry key, `base{k1="v1",k2="v2"}`, escaping each
+/// label value.  MetricsRegistry treats keys containing a label block as
+/// dimensioned metrics: to_prometheus() sanitizes only the base name and
+/// emits the label block (merging in its own labels, e.g. `quantile` for
+/// histogram summaries) instead of flattening the braces to underscores.
+/// Used by the roofline exporter for per-(stencil, tier, N) series.
+[[nodiscard]] std::string labeled_metric(
+    std::string_view base,
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        labels);
 
 /// Value-distribution recorder with bounded relative error.  Values are
 /// non-negative doubles (negatives clamp to 0).  Not thread-safe on its
@@ -121,7 +139,10 @@ class MetricsRegistry {
   /// Prometheus text exposition (version 0.0.4).  Metric names are
   /// sanitized ('.' and '-' -> '_') and prefixed "hpfsc_"; histograms
   /// export as summaries (quantile 0.5/0.9/0.99 + _sum/_count) plus a
-  /// `<name>_max` gauge.
+  /// `<name>_max` gauge.  Keys of the labeled_metric() form keep their
+  /// label block (only the base name is sanitized); the histogram
+  /// quantile label is merged into an existing block rather than
+  /// appended after it, so the output stays parseable.
   [[nodiscard]] std::string to_prometheus() const;
 
   /// One line per histogram — "name: count=N p50=... p90=... p99=...

@@ -33,6 +33,19 @@ void TraceSession::emit_counter(CounterRecord rec) {
 }
 
 void TraceSession::counter(const char* name, double value, int track) {
+  // Tee into the flight recorder first: counter samples should be in a
+  // postmortem even when no sink/registry is attached.
+  FlightRecorder& fr = FlightRecorder::instance();
+  if (fr.enabled()) {
+    FlightEvent ev;
+    ev.kind = FlightEvent::Kind::Counter;
+    ev.ts_ns = fr.now_ns();
+    ev.track = track;
+    ev.request_id = current_request_id();
+    ev.value = value;
+    ev.set_name(name);
+    fr.emit(ev);
+  }
   if (!enabled() && metrics() == nullptr) return;
   emit_counter(CounterRecord{name, track, now_ns(), value});
 }

@@ -9,10 +9,17 @@
 // and message/byte attribution the paper's figures are built from.
 //
 // Overhead discipline: a `Span` constructed against a null session, or
-// a session with no sinks, is inert — it performs no heap allocation
-// and no locking (a single relaxed atomic load decides).  Producers
-// therefore instrument unconditionally and pay nothing when tracing is
-// off; tests assert the zero-allocation property.
+// a session with no sinks, is inert on the sink path — it performs no
+// heap allocation and no locking (a single relaxed atomic load
+// decides).  Producers therefore instrument unconditionally and pay
+// nothing when tracing is off; tests assert the zero-allocation
+// property.
+//
+// Independent of the sink path, every span and counter also tees a
+// fixed-size binary record into the always-on flight recorder
+// (obs/flight_recorder.hpp) — lock-free, allocation-free after the
+// per-thread ring exists — so the last events of every thread are
+// available for a postmortem even when no sink was attached.
 #pragma once
 
 #include <atomic>
@@ -23,6 +30,8 @@
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "obs/flight_recorder.hpp"
 
 namespace hpfsc::obs {
 
@@ -132,13 +141,32 @@ class TraceSession {
 };
 
 /// RAII scoped span.  Constructed against a null/disabled session it is
-/// inert: no allocation, no clock read, and `arg()` is a no-op, so
-/// instrumentation sites need no `if (tracing)` guards.
+/// inert on the sink path: no allocation, and `arg()` is a no-op, so
+/// instrumentation sites need no `if (tracing)` guards.  Every span
+/// additionally tees begin/end records into the flight recorder (when
+/// that is enabled) using a fixed on-stack name buffer — still
+/// allocation-free.  When the calling thread carries a request id
+/// (RequestScope), the sink record gets a "request_id" arg and the
+/// flight records are stamped with it.
 class Span {
  public:
   Span(TraceSession* session, const char* name,
        const char* category = "", int track = kHostTrack)
       : session_(session && session->enabled() ? session : nullptr) {
+    FlightRecorder& fr = FlightRecorder::instance();
+    if (fr.enabled()) {
+      flight_ = true;
+      flight_track_ = track;
+      set_flight_name(name);
+      FlightEvent ev;
+      ev.kind = FlightEvent::Kind::SpanBegin;
+      ev.ts_ns = fr.now_ns();
+      ev.track = track;
+      ev.request_id = current_request_id();
+      ev.set_name(name);
+      fr.emit(ev);
+      flight_start_ = ev.ts_ns;
+    }
     if (!session_) return;
     rec_.name = name;
     rec_.category = category;
@@ -150,7 +178,22 @@ class Span {
   Span& operator=(const Span&) = delete;
 
   ~Span() {
+    if (flight_) {
+      FlightRecorder& fr = FlightRecorder::instance();
+      FlightEvent ev;
+      ev.kind = FlightEvent::Kind::SpanEnd;
+      ev.ts_ns = fr.now_ns();
+      ev.dur_ns = ev.ts_ns - flight_start_;
+      ev.track = flight_track_;
+      ev.request_id = current_request_id();
+      ev.set_name(flight_name_);
+      fr.emit(ev);
+    }
     if (!session_) return;
+    if (const std::uint64_t rid = current_request_id()) {
+      rec_.args.push_back(
+          Arg{"request_id", true, static_cast<double>(rid), {}});
+    }
     rec_.dur_ns = session_->now_ns() - rec_.start_ns;
     session_->emit_span(std::move(rec_));
   }
@@ -163,6 +206,7 @@ class Span {
   /// caller only computes when the span is active).
   void rename(std::string_view name) {
     if (session_) rec_.name = std::string(name);
+    if (flight_) set_flight_name(name);
   }
 
   void arg(const char* key, double v) {
@@ -180,8 +224,20 @@ class Span {
   }
 
  private:
+  void set_flight_name(std::string_view name) {
+    const std::size_t len = name.size() < sizeof flight_name_ - 1
+                                ? name.size()
+                                : sizeof flight_name_ - 1;
+    std::memcpy(flight_name_, name.data(), len);
+    flight_name_[len] = '\0';
+  }
+
   TraceSession* session_;
   SpanRecord rec_;
+  bool flight_ = false;
+  std::int32_t flight_track_ = 0;
+  std::uint64_t flight_start_ = 0;
+  char flight_name_[sizeof(FlightEvent{}.name)] = {};
 };
 
 /// Process-wide default session.  Starts with no sinks (disabled); the

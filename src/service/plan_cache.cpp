@@ -45,7 +45,8 @@ std::size_t PlanCache::insert_locked(const CacheKey& key, PlanHandle plan) {
 
 PlanHandle PlanCache::get_or_compile(const CacheKey& key,
                                      const std::function<PlanHandle()>& make,
-                                     CacheOutcome* outcome) {
+                                     CacheOutcome* outcome,
+                                     std::uint64_t* leader_request_id) {
   std::shared_ptr<Flight> flight;
   bool leader = false;
   PlanHandle hit;
@@ -64,6 +65,7 @@ PlanHandle PlanCache::get_or_compile(const CacheKey& key,
         coalesced_.fetch_add(1, std::memory_order_relaxed);
       } else {
         flight = std::make_shared<Flight>();
+        flight->leader_request_id = obs::current_request_id();
         flights_.emplace(key.canonical, flight);
         leader = true;
         misses_.fetch_add(1, std::memory_order_relaxed);
@@ -79,6 +81,9 @@ PlanHandle PlanCache::get_or_compile(const CacheKey& key,
 
   if (!leader) {
     if (outcome != nullptr) *outcome = CacheOutcome::Coalesced;
+    if (leader_request_id != nullptr) {
+      *leader_request_id = flight->leader_request_id;
+    }
     emit_counter("service.singleflight.coalesced", coalesced_);
     std::unique_lock<std::mutex> flock(flight->mutex);
     flight->cv.wait(flock, [&] { return flight->done; });

@@ -79,10 +79,14 @@ class PlanCache {
   /// Thread-safe; see the single-flight protocol above.  If `make`
   /// throws, the exception propagates to the leader and every coalesced
   /// waiter, and nothing is cached.  `outcome`, when non-null, reports
-  /// how this particular call was served.
+  /// how this particular call was served.  `leader_request_id`, when
+  /// non-null and the call coalesced, receives the request id the
+  /// leading compile ran under (0 when the leader had none), so a
+  /// waiter's trace can point at the compile spans it piggy-backed on.
   PlanHandle get_or_compile(const CacheKey& key,
                             const std::function<PlanHandle()>& make,
-                            CacheOutcome* outcome = nullptr);
+                            CacheOutcome* outcome = nullptr,
+                            std::uint64_t* leader_request_id = nullptr);
 
   /// Peeks without compiling or counting; nullptr on miss.
   [[nodiscard]] PlanHandle lookup(const CacheKey& key);
@@ -107,6 +111,9 @@ class PlanCache {
     bool done = false;
     PlanHandle result;
     std::exception_ptr error;
+    /// Request id of the leading compile (set at flight creation, under
+    /// the cache lock, before any waiter can observe the flight).
+    std::uint64_t leader_request_id = 0;
   };
 
   struct Entry {

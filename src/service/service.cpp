@@ -43,6 +43,14 @@ CacheKey StencilService::memoized_key(std::string_view source,
 PlanHandle StencilService::compile(std::string_view source,
                                    const CompilerOptions& options,
                                    CacheOutcome* outcome) {
+  // Adopt the caller's request id (ServicePool sets one per request) or
+  // mint a fresh one, so every compile span — and the pass spans the
+  // pipeline emits below it — is attributable to exactly one request.
+  const std::uint64_t rid = obs::current_request_id() != 0
+                                ? obs::current_request_id()
+                                : obs::next_request_id();
+  obs::RequestScope rscope(rid);
+
   obs::TraceSession* trace = config_.trace;
   obs::Span span(trace, "service.compile", "service");
   span.arg("source_bytes", static_cast<double>(source.size()));
@@ -52,6 +60,7 @@ PlanHandle StencilService::compile(std::string_view source,
   span.arg("key_hash", key.hash);
 
   CacheOutcome how = CacheOutcome::Miss;
+  std::uint64_t leader_rid = 0;
   PlanHandle plan = cache_.get_or_compile(
       key,
       [&]() -> PlanHandle {
@@ -67,8 +76,13 @@ PlanHandle StencilService::compile(std::string_view source,
         cached->diagnostics = std::move(compiled.diagnostics);
         return cached;
       },
-      &how);
+      &how, &leader_rid);
   if (outcome != nullptr) *outcome = how;
+  if (how == CacheOutcome::Coalesced) {
+    // The compile spans this request waited on belong to the leading
+    // request; record the link so the trace is joinable.
+    span.arg("coalesced_onto", leader_rid);
+  }
   if (plan->key.iface != key.iface) {
     // Alias hit: an alpha-renamed twin of the cached program.  Serve a
     // copy whose interface (program/scalar/array names) matches this
@@ -164,6 +178,12 @@ Session::ExecEntry& Session::entry_for(
 }
 
 Execution::RunStats Session::run(const RunRequest& req) {
+  // Adopt-or-mint, as in StencilService::compile: the per-PE runtime
+  // spans of this run inherit the id through Machine::run.
+  const std::uint64_t rid = obs::current_request_id() != 0
+                                ? obs::current_request_id()
+                                : obs::next_request_id();
+  obs::RequestScope rscope(rid);
   obs::Span span(service_->trace(), "service.run", "service");
   span.arg("steps", req.steps);
   span.arg("key_hash", req.plan->key.hash);
@@ -197,6 +217,7 @@ ServicePool::~ServicePool() { shutdown(); }
 std::future<ServiceResponse> ServicePool::submit(ServiceRequest request) {
   Item item;
   item.request = std::move(request);
+  item.enqueued = std::chrono::steady_clock::now();
   std::future<ServiceResponse> future = item.promise.get_future();
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -232,21 +253,40 @@ void ServicePool::worker_main(int index) {
       item = std::move(queue_.front());
       queue_.pop_front();
     }
+    // One fresh request id per pool request: the request span below,
+    // the compile/cache spans, and the per-PE runtime spans of the run
+    // all carry it, which is what makes the request reconstructable
+    // end-to-end from JSONL output.
+    const std::uint64_t rid = obs::next_request_id();
+    obs::RequestScope rscope(rid);
+    const auto picked_up = std::chrono::steady_clock::now();
+    const double queue_seconds =
+        std::chrono::duration<double>(picked_up - item.enqueued).count();
     obs::Span span(service_.trace(), "service.request", "service");
     span.arg("worker", index);
+    span.arg("queue_ms", queue_seconds * 1e3);
     try {
       const auto start = std::chrono::steady_clock::now();
       ServiceResponse response;
       response.worker = index;
+      response.request_id = rid;
+      response.queue_seconds = queue_seconds;
       PlanHandle plan = service_.compile(item.request.source,
                                          item.request.options,
                                          &response.outcome);
+      const auto compiled = std::chrono::steady_clock::now();
+      response.compile_seconds =
+          std::chrono::duration<double>(compiled - start).count();
       RunRequest run;
       run.plan = std::move(plan);
       run.bindings = item.request.bindings;
       run.steps = item.request.steps;
       run.init = item.request.init;
       response.stats = session.run(run);
+      response.run_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        compiled)
+              .count();
       response.latency_seconds =
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                         start)
@@ -255,6 +295,7 @@ void ServicePool::worker_main(int index) {
       span.arg("latency_ms", response.latency_seconds * 1e3);
       service_.metrics().observe("service.request_ms",
                                  response.latency_seconds * 1e3);
+      service_.metrics().observe("service.queue_ms", queue_seconds * 1e3);
       item.promise.set_value(std::move(response));
     } catch (...) {
       span.arg_str("cache", "error");

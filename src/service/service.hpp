@@ -28,6 +28,7 @@
 // warm path's defining property, asserted in tests/service/.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -196,6 +197,14 @@ struct ServiceResponse {
   /// Wall-clock request latency (compile-or-fetch + run), seconds.
   double latency_seconds = 0.0;
   int worker = -1;
+  /// Request-scoped trace context: the 64-bit id every span this
+  /// request produced (compile, cache, run, per-PE runtime) carries as
+  /// a "request_id" arg, plus the phase breakdown the per-request
+  /// reassembly report prints.
+  std::uint64_t request_id = 0;
+  double queue_seconds = 0.0;    ///< submit -> worker pickup
+  double compile_seconds = 0.0;  ///< compile-or-fetch (cache hit ~ 0)
+  double run_seconds = 0.0;      ///< Session::run wall time
 };
 
 /// Fixed worker pool.  Each worker owns a Session, so concurrent
@@ -224,6 +233,9 @@ class ServicePool {
   struct Item {
     ServiceRequest request;
     std::promise<ServiceResponse> promise;
+    /// Submission time; the gap to worker pickup is the queue wait
+    /// reported on the request span and in ServiceResponse.
+    std::chrono::steady_clock::time_point enqueued;
   };
 
   void worker_main(int index);

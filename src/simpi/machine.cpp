@@ -63,13 +63,18 @@ void Pe::note_context_transfer(int array_id, const char* array_name, int dim,
   const std::uint32_t n = ++context_transfers_[slot][static_cast<std::size_t>(
       dim)][static_cast<std::size_t>(dir)];
   if (n > 1 && machine_.comm_invariant()) {
-    throw CommInvariantViolation(
+    const std::string message =
         "PE " + std::to_string(id_) + ": " + std::string(kind) +
         " transfer #" + std::to_string(n) + " of array " +
         std::string(array_name) + " in dim " + std::to_string(dim + 1) +
         ", direction " + (dir == 1 ? std::string("+") : std::string("-")) +
         " within one statement context (unioning guarantees one message "
-        "per direction per dimension per array)");
+        "per direction per dimension per array)";
+    // Preserve the evidence before unwinding: the violating statement's
+    // span history is still in the per-thread rings at this point.
+    hpfsc::obs::FlightRecorder::instance().note_incident("comm-invariant",
+                                                         message);
+    throw CommInvariantViolation(message);
   }
 }
 
@@ -164,6 +169,7 @@ void Machine::worker_loop(int id) {
   std::uint64_t seen_generation = 0;
   for (;;) {
     const std::function<void(Pe&)>* fn = nullptr;
+    std::uint64_t request_id = 0;
     {
       std::unique_lock lock(pool_mutex_);
       pool_cv_.wait(lock, [&] {
@@ -172,9 +178,13 @@ void Machine::worker_loop(int id) {
       if (pool_stopping_) return;
       seen_generation = pool_run_generation_;
       fn = pool_fn_;
+      request_id = pool_request_id_;
     }
     std::exception_ptr error;
     try {
+      // Adopt the caller's request id so every span and flight event
+      // this PE emits during the run joins the request's trace.
+      hpfsc::obs::RequestScope rscope(request_id);
       hpfsc::obs::Span span(obs_session_, "pe-run", "runtime",
                             hpfsc::obs::pe_track(id));
       (*fn)(*pes_[static_cast<std::size_t>(id)]);
@@ -210,6 +220,7 @@ void Machine::run(const std::function<void(Pe&)>& fn) {
     std::unique_lock lock(pool_mutex_);
     pool_errors_.assign(static_cast<std::size_t>(p), nullptr);
     pool_fn_ = &fn;
+    pool_request_id_ = hpfsc::obs::current_request_id();
     pool_remaining_ = p;
     ++pool_run_generation_;
     pool_cv_.notify_all();

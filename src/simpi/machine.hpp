@@ -238,6 +238,10 @@ class Machine {
   std::condition_variable pool_cv_;
   std::condition_variable pool_done_cv_;
   const std::function<void(Pe&)>* pool_fn_ = nullptr;
+  /// Request id of the thread that called run(); each PE worker adopts
+  /// it for the run so per-PE spans/flight events join the request's
+  /// trace.  Written and read under pool_mutex_ with pool_fn_.
+  std::uint64_t pool_request_id_ = 0;
   std::uint64_t pool_run_generation_ = 0;
   int pool_remaining_ = 0;
   bool pool_stopping_ = false;

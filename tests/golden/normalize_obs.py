@@ -1,32 +1,48 @@
 #!/usr/bin/env python3
 """Normalizes hpfsc_dump observability output for golden-file diffing.
 
-Two modes, selected by --mode:
+Four modes, selected by --mode:
 
-  summary  stderr of `hpfsc_dump --obs-summary`: latency-histogram lines
-           and per-block timing summaries.  Wall-clock digits are replaced
-           with <T>, the content-hash counter with <HASH>, column padding
-           collapses to single spaces, and summary blocks are re-sorted by
-           name (the tool orders them by total time, which is not stable).
-  prom     a `--prom-out` file: quantile/_sum/_max sample values of *_ms
-           summaries are replaced with <T>.  Gauges and _count samples are
-           deterministic and kept verbatim.
+  summary     stderr of `hpfsc_dump --obs-summary`: latency-histogram
+              lines and per-block timing summaries.  Wall-clock digits are
+              replaced with <T>, the content-hash counter with <HASH>,
+              request-id sums with <ID>, column padding collapses to
+              single spaces, and summary blocks are re-sorted by name (the
+              tool orders them by total time, which is not stable).
+  prom        a `--prom-out` file: quantile/_sum/_max sample values of
+              *_ms summaries are replaced with <T>, roofline gflops
+              gauges (wall-clock-derived) with <T>.  Other gauges and
+              _count samples are deterministic and kept verbatim.
+  postmortem  a `--postmortem-out` file: per-event timestamps, span
+              durations, and request ids are replaced with <T>/<ID>,
+              and nonzero (per-PE) track numbers with <PE> — which PE
+              thread registers its ring first is a race, so PE sections
+              must normalize to identical text.  The event names,
+              kinds, ordering, thread structure, and the incident
+              header survive — they are the invariant.
+  batch       stdout of `--serve-batch`: latencies, queue/compile/run
+              times, wall/throughput, and request ids are replaced with
+              <T>/<ID>.  Row order (submission order), cache outcomes,
+              and comm byte counts survive.
 
 Reads stdin, writes stdout.  Everything that survives normalization is a
 real invariant: message/byte counts, cost-model values, pass statistics,
-cache hit/miss totals, and histogram counts.
+cache hit/miss totals, histogram counts, and event sequences.
 """
 
 import re
 import sys
 
 TIME = "<T>"
+RID = "<ID>"
 
 HIST_RE = re.compile(r"^(\S+): count=(\d+) p50=\S+ p90=\S+ p99=\S+ max=\S+$")
 BLOCK_RE = re.compile(r"^(\S+)\s+x(\d+)\s+total\s+\S+ ms\s+max\s+\S+ ms\s*$")
 PROM_MS_RE = re.compile(
     r'^(\S+_ms(?:\{quantile="[0-9.]+"\}|_sum|_max)?) [-+0-9.eE]+$'
 )
+PROM_GFLOPS_RE = re.compile(r"^(\S*gflops\S*) [-+0-9.eE]+$")
+PM_EVENT_RE = re.compile(r"^(  )\[ *\d+ ns\] (.*)$")
 
 
 def normalize_summary(lines):
@@ -51,7 +67,14 @@ def normalize_summary(lines):
             continue
         if line.startswith(" "):
             key, _, value = line.strip().partition(" ")
-            value = "<HASH>" if key == "key_hash" else value.strip()
+            if key == "key_hash":
+                value = "<HASH>"
+            elif key == "request_id":
+                # The summary sums numeric args; a sum of request ids is
+                # deterministic here but meaningless and brittle.
+                value = RID
+            else:
+                value = value.strip()
             current.append(f"    {key} {value}")
             continue
         m = BLOCK_RE.match(line)
@@ -72,8 +95,51 @@ def normalize_prom(lines):
         m = PROM_MS_RE.match(line)
         if m:
             line = f"{m.group(1)} {TIME}"
+        m = PROM_GFLOPS_RE.match(line)
+        if m:
+            line = f"{m.group(1)} {TIME}"
         out.append(line)
     return out
+
+
+def normalize_postmortem(lines):
+    out = []
+    for line in lines:
+        line = line.rstrip("\n")
+        m = PM_EVENT_RE.match(line)
+        if m:
+            line = f"{m.group(1)}[{TIME} ns] {m.group(2)}"
+        line = re.sub(r"dur=\d+ns", f"dur={TIME}ns", line)
+        line = re.sub(r"req=\d+", f"req={RID}", line)
+        line = re.sub(r"track=[1-9]\d*", "track=<PE>", line)
+        out.append(line)
+    return out
+
+
+def normalize_batch(lines):
+    out = []
+    for line in lines:
+        line = line.rstrip("\n")
+        line = re.sub(r"req#\d+", f"req#{RID}", line)
+        # Swallow the column padding along with the digits: the field
+        # width depends on the magnitude (a >=10ms latency under CI
+        # load shifts the column), so padding is not an invariant.
+        line = re.sub(r" *[0-9]+\.[0-9]+ ms", f" {TIME} ms", line)
+        line = re.sub(
+            r"throughput: [0-9.]+ requests/s",
+            f"throughput: {TIME} requests/s",
+            line,
+        )
+        out.append(line)
+    return out
+
+
+MODES = {
+    "summary": normalize_summary,
+    "prom": normalize_prom,
+    "postmortem": normalize_postmortem,
+    "batch": normalize_batch,
+}
 
 
 def main():
@@ -81,11 +147,13 @@ def main():
     for arg in sys.argv[1:]:
         if arg.startswith("--mode="):
             mode = arg.split("=", 1)[1]
-    if mode not in ("summary", "prom"):
-        sys.exit("usage: normalize_obs.py --mode=summary|prom < input > output")
+    if mode not in MODES:
+        sys.exit(
+            "usage: normalize_obs.py --mode=summary|prom|postmortem|batch"
+            " < input > output"
+        )
     lines = sys.stdin.readlines()
-    normalize = normalize_summary if mode == "summary" else normalize_prom
-    sys.stdout.write("\n".join(normalize(lines)) + "\n")
+    sys.stdout.write("\n".join(MODES[mode](lines)) + "\n")
 
 
 if __name__ == "__main__":

@@ -8,7 +8,17 @@ Everything left after normalization — message and byte counts, cost-model
 values, pass statistics, plan-cache hit/miss totals — must match exactly.
 
     run_golden.py --dump=BIN --source=FILE --work-dir=DIR \
-        --golden-summary=FILE --golden-prom=FILE [--update]
+        --golden-summary=FILE --golden-prom=FILE \
+        [--golden-postmortem=FILE] \
+        [--golden-batch=FILE --batch-file=FILE] [--update]
+
+--golden-postmortem additionally passes --postmortem-out to the same
+invocation and pins the flight recorder's text dump (event names,
+kinds, per-thread ordering, counter values; timestamps/durations/ids
+stripped).  --golden-batch runs a second invocation,
+`--serve-batch=<batch-file> --workers=2`, and pins the per-request
+reassembly report (row order, cache outcomes, comm bytes; latencies
+and request ids stripped).
 
 --update regenerates the goldens in place instead of diffing.
 """
@@ -71,9 +81,15 @@ def main():
     opts = parse_args(sys.argv[1:])
     os.makedirs(opts["work_dir"], exist_ok=True)
     prom_path = os.path.join(opts["work_dir"], "obs.prom")
+    pm_path = os.path.join(opts["work_dir"], "postmortem.txt")
 
-    cmd = [opts["dump"], *DUMP_ARGS, f"--prom-out={prom_path}",
-           opts["source"]]
+    cmd = [opts["dump"], *DUMP_ARGS, f"--prom-out={prom_path}"]
+    if "golden_postmortem" in opts:
+        # The postmortem is an append-mode dump; start clean.
+        if os.path.exists(pm_path):
+            os.remove(pm_path)
+        cmd.append(f"--postmortem-out={pm_path}")
+    cmd.append(opts["source"])
     result = subprocess.run(cmd, capture_output=True, text=True)
     if result.returncode != 0:
         sys.stderr.write(result.stderr)
@@ -86,6 +102,27 @@ def main():
     ok = check("--obs-summary", summary, opts["golden_summary"],
                opts["update"])
     ok = check("--prom-out", prom, opts["golden_prom"], opts["update"]) and ok
+
+    if "golden_postmortem" in opts:
+        with open(pm_path) as f:
+            postmortem = normalize(f.read(), "postmortem")
+        ok = check("--postmortem-out", postmortem,
+                   opts["golden_postmortem"], opts["update"]) and ok
+
+    if "golden_batch" in opts:
+        if "batch_file" not in opts:
+            sys.exit("--golden-batch requires --batch-file")
+        cmd = [opts["dump"], f"--serve-batch={opts['batch_file']}",
+               "--workers=2"]
+        result = subprocess.run(cmd, capture_output=True, text=True)
+        if result.returncode != 0:
+            sys.stderr.write(result.stderr)
+            sys.exit(
+                f"hpfsc_dump exited {result.returncode}: {' '.join(cmd)}")
+        batch = normalize(result.stdout, "batch")
+        ok = check("--serve-batch", batch, opts["golden_batch"],
+                   opts["update"]) and ok
+
     sys.exit(0 if ok else 1)
 
 

@@ -231,6 +231,138 @@ TEST(ObsConcurrentMetrics, ParallelRecordingIsRaceFree) {
   EXPECT_LT(reg.gauge("last"), kThreads);
 }
 
+TEST(Histogram, MergeDisjointBucketSetsKeepsBothPopulations) {
+  // a's samples live many powers of two below b's: no shared bucket.
+  Histogram a;
+  for (int i = 0; i < 100; ++i) a.record(0.001 * (1 + i % 4));
+  Histogram b;
+  for (int i = 0; i < 100; ++i) b.record(1.0e6 * (1 + i % 4));
+  a.merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_EQ(a.min(), 0.001);
+  EXPECT_EQ(a.max(), 4.0e6);
+  // Exactly half the mass is tiny, half huge: p50 stays in the small
+  // population's range while p90 lands in the large one.
+  EXPECT_LE(a.p50(), 0.005);
+  EXPECT_GE(a.p90(), 1.0e6 * (1.0 - 1.0 / 16.0));
+}
+
+TEST(Histogram, MergeOverlappingBucketSetsSumsBucketwise) {
+  Histogram a;
+  Histogram b;
+  Histogram reference;
+  for (int i = 1; i <= 500; ++i) {
+    a.record(static_cast<double>(i));
+    reference.record(static_cast<double>(i));
+  }
+  for (int i = 250; i <= 750; ++i) {
+    b.record(static_cast<double>(i));
+    reference.record(static_cast<double>(i));
+  }
+  a.merge(b);
+  // The merged histogram is indistinguishable from having recorded
+  // every sample into one histogram: identical counts, moments, and
+  // bucket contents (hence identical quantiles).
+  EXPECT_EQ(a.count(), reference.count());
+  EXPECT_EQ(a.sum(), reference.sum());
+  EXPECT_EQ(a.min(), reference.min());
+  EXPECT_EQ(a.max(), reference.max());
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_EQ(a.quantile(q), reference.quantile(q)) << q;
+  }
+}
+
+TEST(Histogram, MergeIntoEmptyEqualsSource) {
+  Histogram src;
+  src.record(3.5);
+  src.record(7.25);
+  Histogram dst;
+  dst.merge(src);
+  EXPECT_EQ(dst.count(), 2u);
+  EXPECT_EQ(dst.sum(), src.sum());
+  EXPECT_EQ(dst.min(), 3.5);
+  EXPECT_EQ(dst.max(), 7.25);
+  // And the reverse: merging an empty histogram changes nothing.
+  Histogram empty;
+  dst.merge(empty);
+  EXPECT_EQ(dst.count(), 2u);
+  EXPECT_EQ(dst.max(), 7.25);
+}
+
+TEST(MetricsRegistry, MergeFromDisjointAndOverlappingHistogramSets) {
+  MetricsRegistry a;
+  a.observe("shared", 1.0);
+  a.observe("only_a", 10.0);
+  MetricsRegistry b;
+  for (int i = 0; i < 9; ++i) b.observe("shared", 1024.0);
+  b.observe("only_b", 20.0);
+  a.merge_from(b);
+  EXPECT_EQ(a.histogram("shared").count(), 10u);
+  EXPECT_EQ(a.histogram("shared").min(), 1.0);
+  EXPECT_EQ(a.histogram("shared").max(), 1024.0);
+  // 9 of 10 samples are 1024: the median sits in the large bucket even
+  // though the two source histograms had disjoint bucket sets.
+  EXPECT_GE(a.histogram("shared").p50(), 1024.0 * (1.0 - 1.0 / 16.0));
+  EXPECT_EQ(a.histogram("only_a").count(), 1u);
+  EXPECT_EQ(a.histogram("only_b").count(), 1u);
+}
+
+TEST(Prometheus, EscapesLabelValues) {
+  EXPECT_EQ(prom_escape_label("plain"), "plain");
+  EXPECT_EQ(prom_escape_label("a\\b"), "a\\\\b");
+  EXPECT_EQ(prom_escape_label("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(prom_escape_label("line1\nline2"), "line1\\nline2");
+}
+
+TEST(Prometheus, LabeledMetricEscapesAndExportsParseably) {
+  MetricsRegistry reg;
+  // A generated stencil name with every character that can corrupt the
+  // exposition format: backslash, double-quote, newline.
+  reg.set_gauge(labeled_metric("roofline.gflops",
+                               {{"stencil", "gen\\seed\n\"1\""},
+                                {"tier", "compiled"}}),
+                2.5);
+  const std::string prom = reg.to_prometheus();
+  EXPECT_NE(
+      prom.find("hpfsc_roofline_gflops{stencil=\"gen\\\\seed\\n\\\"1\\\"\","
+                "tier=\"compiled\"} 2.5"),
+      std::string::npos)
+      << prom;
+  // No raw newline may survive inside any sample line's label block.
+  for (std::size_t pos = 0, eol; pos < prom.size(); pos = eol + 1) {
+    eol = prom.find('\n', pos);
+    if (eol == std::string::npos) break;
+    const std::string line = prom.substr(pos, eol - pos);
+    const std::size_t open = line.find('{');
+    if (open != std::string::npos) {
+      EXPECT_NE(line.find('}', open), std::string::npos) << line;
+    }
+  }
+}
+
+TEST(Prometheus, LabeledHistogramMergesQuantileIntoLabelBlock) {
+  MetricsRegistry reg;
+  reg.observe(labeled_metric("roofline.run_ms", {{"stencil", "fivept"}}),
+              4.0);
+  const std::string prom = reg.to_prometheus();
+  EXPECT_NE(prom.find("# TYPE hpfsc_roofline_run_ms summary"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find(
+                "hpfsc_roofline_run_ms{stencil=\"fivept\",quantile=\"0.5\"}"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("hpfsc_roofline_run_ms_sum{stencil=\"fivept\"} 4"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("hpfsc_roofline_run_ms_count{stencil=\"fivept\"} 1"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("hpfsc_roofline_run_ms_max{stencil=\"fivept\"} 4"),
+            std::string::npos)
+      << prom;
+}
+
 TEST(ObsConcurrentMetrics, MergeFromWhileRecording) {
   MetricsRegistry source;
   MetricsRegistry sink;

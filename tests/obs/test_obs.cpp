@@ -315,6 +315,11 @@ TEST(Span, SessionWithoutSinksIsDisabled) {
 
 TEST(Span, DisabledPathPerformsZeroHeapAllocations) {
   TraceSession session;  // no sinks -> disabled
+  // The flight-recorder tee registers this thread's ring on first use
+  // (the one allocation it is allowed); warm it so the measured loop
+  // exercises the steady state, where a span is allocation-free even
+  // with the recorder enabled.
+  FlightRecorder::instance().mark("warmup");
   const std::size_t before = g_alloc_calls.load();
   for (int i = 0; i < 100; ++i) {
     Span a(nullptr, "null-session", "cat", 7);

@@ -5,9 +5,14 @@
 
 #include <gtest/gtest.h>
 
+#include <condition_variable>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/sinks.hpp"
 
 namespace hpfsc::service {
@@ -103,6 +108,64 @@ TEST(PlanCache, FactoryExceptionPropagatesAndIsNotCached) {
   (void)cache.get_or_compile(k, [&] { return plan_of(k); }, &outcome);
   EXPECT_EQ(outcome, CacheOutcome::Miss);
   EXPECT_EQ(cache.counters().misses, 2u);
+}
+
+// Request-scoped trace context across the single-flight boundary: a
+// waiter that coalesces onto an in-progress compile learns the request
+// id the leader ran under, so its trace can point at the compile spans
+// it piggy-backed on.
+TEST(PlanCache, CoalescedWaiterLearnsLeaderRequestId) {
+  PlanCache cache(4);
+  const CacheKey k = key_of("A");
+  constexpr std::uint64_t kLeaderId = 101;
+  constexpr std::uint64_t kWaiterId = 202;
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool in_make = false;
+  bool release_make = false;
+
+  std::thread leader([&] {
+    obs::RequestScope scope(kLeaderId);
+    (void)cache.get_or_compile(k, [&]() -> PlanHandle {
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        in_make = true;
+      }
+      cv.notify_all();
+      std::unique_lock<std::mutex> lock(mutex);
+      cv.wait(lock, [&] { return release_make; });
+      return plan_of(k);
+    });
+  });
+
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return in_make; });
+  }
+
+  std::uint64_t observed_leader = 0;
+  CacheOutcome outcome = CacheOutcome::Miss;
+  std::thread waiter([&] {
+    obs::RequestScope scope(kWaiterId);
+    (void)cache.get_or_compile(
+        k, [&]() -> PlanHandle { return plan_of(k); }, &outcome,
+        &observed_leader);
+  });
+
+  // The waiter bumps the coalesced counter before blocking on the
+  // flight; once it shows, releasing the leader is race-free.
+  while (cache.counters().coalesced == 0) std::this_thread::yield();
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    release_make = true;
+  }
+  cv.notify_all();
+  leader.join();
+  waiter.join();
+
+  EXPECT_EQ(outcome, CacheOutcome::Coalesced);
+  EXPECT_EQ(observed_leader, kLeaderId);
 }
 
 TEST(PlanCache, ClearDropsEntriesWithoutCountingEvictions) {

@@ -1,0 +1,208 @@
+// End-to-end request reconstruction from JSONL output (the tentpole
+// acceptance property): one cold StencilService::request served through
+// a ServicePool must be reassemblable from the JSONL trace alone — a
+// single request id links the pool's request span (queue wait), the
+// compile span and the pass spans below it, the cache outcome, the run
+// span, and the per-PE runtime spans that executed on other threads.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "driver/paper_kernels.hpp"
+#include "obs/sinks.hpp"
+#include "service/service.hpp"
+
+namespace hpfsc::service {
+namespace {
+
+/// One parsed JSONL line, reduced to what the reconstruction needs.
+struct TraceLine {
+  std::string text;
+  std::string name;
+  int track = 0;
+  bool has_request_id = false;
+  std::uint64_t request_id = 0;
+};
+
+std::string field(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return "";
+  std::size_t begin = at + needle.size();
+  std::size_t end = begin;
+  if (line[begin] == '"') {
+    ++begin;
+    end = line.find('"', begin);
+  } else {
+    while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  }
+  return line.substr(begin, end - begin);
+}
+
+std::vector<TraceLine> parse_jsonl(const std::string& text) {
+  std::vector<TraceLine> out;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (line.empty()) continue;
+    TraceLine t;
+    t.text = line;
+    t.name = field(line, "name");
+    const std::string track = field(line, "track");
+    if (!track.empty()) t.track = std::atoi(track.c_str());
+    const std::string rid = field(line, "request_id");
+    if (!rid.empty()) {
+      t.has_request_id = true;
+      t.request_id = static_cast<std::uint64_t>(
+          std::strtoull(rid.c_str(), nullptr, 10));
+    }
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+TEST(RequestTrace, ColdPoolRequestIsReconstructableFromJsonl) {
+  std::ostringstream jsonl;
+  obs::TraceSession session;
+  session.add_sink(std::make_unique<obs::JsonlSink>(jsonl));
+
+  ServiceConfig cfg;
+  cfg.machine.pe_rows = 2;
+  cfg.machine.pe_cols = 2;
+  cfg.trace = &session;
+  StencilService service(cfg);
+
+  std::uint64_t rid = 0;
+  {
+    ServicePool pool(service, 2);
+    ServiceRequest req;
+    req.source = kernels::kProblem9;
+    CompilerOptions opts = CompilerOptions::level(4);
+    opts.passes.offset.live_out = {"T"};
+    req.options = opts;
+    req.bindings = Bindings{}.set("N", 16);
+    req.steps = 2;
+    req.init = [](Execution& exec) {
+      exec.set_array("U",
+                     [](int i, int j, int) { return i * 0.5 + j * 0.25; });
+    };
+    ServiceResponse response = pool.submit(std::move(req)).get();
+    rid = response.request_id;
+    ASSERT_NE(rid, 0u);
+    EXPECT_EQ(response.outcome, CacheOutcome::Miss) << "expected cold";
+    EXPECT_GE(response.queue_seconds, 0.0);
+    EXPECT_GT(response.compile_seconds, 0.0);
+    EXPECT_GT(response.run_seconds, 0.0);
+  }
+  session.flush();
+
+  const std::vector<TraceLine> lines = parse_jsonl(jsonl.str());
+  ASSERT_FALSE(lines.empty());
+
+  // Every span of this request — and only spans (counters carry no
+  // args) — must be joinable on the one id.
+  std::set<std::string> linked_names;
+  std::set<int> linked_pe_tracks;
+  bool queue_wait_on_request_span = false;
+  bool cache_outcome_on_compile_span = false;
+  bool saw_pass_span = false;
+  for (const TraceLine& t : lines) {
+    if (!t.has_request_id || t.request_id != rid) continue;
+    linked_names.insert(t.name);
+    if (t.track > 0) linked_pe_tracks.insert(t.track);
+    if (t.name == "service.request" &&
+        t.text.find("\"queue_ms\":") != std::string::npos) {
+      queue_wait_on_request_span = true;
+    }
+    if (t.name == "service.compile" &&
+        t.text.find("\"cache\":\"miss\"") != std::string::npos &&
+        t.text.find("\"key_hash\":") != std::string::npos) {
+      cache_outcome_on_compile_span = true;
+    }
+    if (t.name.rfind("pass/", 0) == 0) saw_pass_span = true;
+  }
+
+  // The request's journey, end to end: pool pickup, compile-or-hit
+  // (with the cache event), the compiler pipeline it triggered, the
+  // run, and the per-PE execution.
+  for (const char* name :
+       {"service.request", "service.compile", "compile", "service.run",
+        "execute", "pe-run"}) {
+    EXPECT_TRUE(linked_names.count(name) != 0)
+        << "span '" << name << "' not linked to request " << rid;
+  }
+  EXPECT_TRUE(saw_pass_span) << "cold compile pass spans must carry the id";
+  EXPECT_TRUE(queue_wait_on_request_span);
+  EXPECT_TRUE(cache_outcome_on_compile_span);
+  // Cross-thread: all four PE worker threads adopted the id (tracks
+  // 1..4 for a 2x2 machine), proving the join spans thread boundaries.
+  EXPECT_EQ(linked_pe_tracks.size(), 4u)
+      << "expected per-PE spans from every PE thread";
+
+  // And the id is selective: spans of other work (none here) would not
+  // match.  Every span that carries *some* id carries this one.
+  for (const TraceLine& t : lines) {
+    if (t.has_request_id) EXPECT_EQ(t.request_id, rid) << t.text;
+  }
+}
+
+// A warm request through the same service reuses the cached plan but
+// still gets its own id — request ids are per-request, not per-plan.
+TEST(RequestTrace, WarmRequestGetsFreshIdAndHitOutcome) {
+  std::ostringstream jsonl;
+  obs::TraceSession session;
+  session.add_sink(std::make_unique<obs::JsonlSink>(jsonl));
+
+  ServiceConfig cfg;
+  cfg.machine.pe_rows = 1;
+  cfg.machine.pe_cols = 2;
+  cfg.trace = &session;
+  StencilService service(cfg);
+
+  auto request = [] {
+    ServiceRequest req;
+    req.source = kernels::kNinePointCShift;
+    CompilerOptions opts = CompilerOptions::level(4);
+    opts.passes.offset.live_out = {"T"};
+    req.options = opts;
+    req.bindings = Bindings{}.set("N", 12);
+    req.steps = 1;
+    req.init = [](Execution& exec) {
+      exec.set_array("U", [](int i, int j, int) { return i + 2.0 * j; });
+    };
+    return req;
+  };
+
+  ServicePool pool(service, 1);
+  const ServiceResponse cold = pool.submit(request()).get();
+  const ServiceResponse warm = pool.submit(request()).get();
+  session.flush();
+
+  EXPECT_EQ(cold.outcome, CacheOutcome::Miss);
+  EXPECT_EQ(warm.outcome, CacheOutcome::Hit);
+  EXPECT_NE(cold.request_id, 0u);
+  EXPECT_NE(warm.request_id, 0u);
+  EXPECT_NE(cold.request_id, warm.request_id);
+
+  // The warm id links a request/compile/run chain with a hit outcome
+  // and no pass spans of its own.
+  bool warm_hit_span = false;
+  for (const TraceLine& t : parse_jsonl(jsonl.str())) {
+    if (!t.has_request_id || t.request_id != warm.request_id) continue;
+    EXPECT_TRUE(t.name.rfind("pass/", 0) != 0)
+        << "warm request must not own pass spans: " << t.text;
+    if (t.name == "service.compile" &&
+        t.text.find("\"cache\":\"hit\"") != std::string::npos) {
+      warm_hit_span = true;
+    }
+  }
+  EXPECT_TRUE(warm_hit_span);
+}
+
+}  // namespace
+}  // namespace hpfsc::service

@@ -15,6 +15,14 @@
 //
 //   bench_gate --baseline=FILE --current=FILE
 //              [--latency-threshold=0.25] [--report=FILE]
+//              [--update-baseline]
+//
+// --update-baseline accepts the fresh run as the new truth: after
+// reporting the diff as usual it rewrites the baseline file from the
+// current run's records (normalized raw-format JSON, one record per
+// benchmark, counters preserved) and exits 0.  The findings report
+// carries "baseline_updated": true so a CI pipeline can distinguish a
+// gate pass from a baseline refresh.
 //
 // Both inputs may be raw google-benchmark JSON ("benchmarks" is an
 // array) or the curated bench/snapshots/ format ("benchmarks" is an
@@ -304,7 +312,8 @@ std::string json_escape(const std::string& s) {
 }
 
 void write_report(const std::string& path, const std::vector<Finding>& all,
-                  bool passed, int failures, int warnings) {
+                  bool passed, int failures, int warnings,
+                  bool baseline_updated) {
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "bench_gate: cannot write report '%s'\n",
@@ -313,6 +322,7 @@ void write_report(const std::string& path, const std::vector<Finding>& all,
   }
   out << "{\"passed\":" << (passed ? "true" : "false")
       << ",\"failures\":" << failures << ",\"warnings\":" << warnings
+      << ",\"baseline_updated\":" << (baseline_updated ? "true" : "false")
       << ",\"findings\":[";
   bool first = true;
   for (const Finding& f : all) {
@@ -326,16 +336,51 @@ void write_report(const std::string& path, const std::vector<Finding>& all,
   out << "]}\n";
 }
 
+/// Rewrites `path` as a normalized raw-format snapshot of `records`
+/// (what --update-baseline commits as the new truth).  The output
+/// round-trips through load_snapshot: real_time in ms plus every
+/// numeric counter, one record per benchmark, sorted by name.
+bool write_snapshot(const std::string& path,
+                    const std::map<std::string, BenchRecord>& records,
+                    const std::string& source) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out.precision(17);
+  out << "{\n  \"context\": {\n"
+      << "    \"note\": \"baseline refreshed by bench_gate "
+      << "--update-baseline from " << json_escape(source) << "\"\n"
+      << "  },\n  \"benchmarks\": [\n";
+  bool first = true;
+  for (const auto& [name, rec] : records) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "    {\n      \"name\": \"" << json_escape(name) << "\",\n"
+        << "      \"run_type\": \"iteration\",\n"
+        << "      \"real_time\": " << rec.real_time_ms << ",\n"
+        << "      \"time_unit\": \"ms\"";
+    for (const auto& [counter, value] : rec.counters) {
+      out << ",\n      \"" << json_escape(counter) << "\": " << value;
+    }
+    out << "\n    }";
+  }
+  out << "\n  ]\n}\n";
+  return out.good();
+}
+
 void usage() {
   std::fprintf(stderr,
                "usage: bench_gate --baseline=FILE --current=FILE "
-               "[--latency-threshold=F] [--report=FILE]\n"
+               "[--latency-threshold=F] [--report=FILE] "
+               "[--update-baseline]\n"
                "  Exit 0 when the current snapshot is within threshold of "
                "the baseline,\n"
                "  1 on regression (latency > threshold, any messages* "
                "counter increase,\n"
                "  or a benchmark missing from the current run), 2 on usage/"
-               "I/O errors.\n");
+               "I/O errors.\n"
+               "  With --update-baseline the diff is reported, the baseline "
+               "file is rewritten\n"
+               "  from the current run, and the gate exits 0.\n");
 }
 
 const char* flag_value(const char* arg, const char* flag) {
@@ -351,6 +396,7 @@ int main(int argc, char** argv) {
   std::string current_path;
   std::string report_path;
   double threshold = 0.25;
+  bool update_baseline = false;
 
   for (int a = 1; a < argc; ++a) {
     const char* v = nullptr;
@@ -362,6 +408,8 @@ int main(int argc, char** argv) {
       report_path = v;
     } else if ((v = flag_value(argv[a], "--latency-threshold"))) {
       threshold = std::strtod(v, nullptr);
+    } else if (std::strcmp(argv[a], "--update-baseline") == 0) {
+      update_baseline = true;
     } else if (std::strcmp(argv[a], "-h") == 0 ||
                std::strcmp(argv[a], "--help") == 0) {
       usage();
@@ -458,8 +506,22 @@ int main(int argc, char** argv) {
               baseline.size(), baseline.size() == 1 ? "" : "s", failures,
               failures == 1 ? "" : "s", warnings, warnings == 1 ? "" : "s",
               threshold * 100.0);
-  if (!report_path.empty()) {
-    write_report(report_path, findings, passed, failures, warnings);
+  if (update_baseline) {
+    if (!write_snapshot(baseline_path, current, current_path)) {
+      std::fprintf(stderr, "bench_gate: cannot rewrite baseline '%s'\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    std::printf("bench_gate: baseline '%s' rewritten from '%s' "
+                "(%zu benchmark%s)\n",
+                baseline_path.c_str(), current_path.c_str(), current.size(),
+                current.size() == 1 ? "" : "s");
   }
-  return passed ? 0 : 1;
+  if (!report_path.empty()) {
+    write_report(report_path, findings, passed, failures, warnings,
+                 update_baseline);
+  }
+  // A baseline refresh accepts the fresh run as the new truth, so the
+  // diff it just reported is informational, not a failure.
+  return passed || update_baseline ? 0 : 1;
 }

@@ -1,0 +1,56 @@
+# Self-test for `bench_gate --update-baseline`, run as a ctest script:
+#
+#   cmake -DGATE=<bench_gate> -DDATA=<testdata dir> -DWORK=<scratch dir>
+#         -P update_baseline_test.cmake
+#
+# Sequence: a regressing current run fails the plain gate; the same run
+# with --update-baseline exits 0, rewrites the (copied) baseline, and
+# notes the refresh in the findings report; the rewritten baseline then
+# passes a plain gate against the very run that failed before.
+foreach(var GATE DATA WORK)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}=...")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY ${WORK})
+file(COPY ${DATA}/baseline.json DESTINATION ${WORK})
+set(BASE ${WORK}/baseline.json)
+set(CURRENT ${DATA}/current_latency_regression.json)
+
+execute_process(COMMAND ${GATE} --baseline=${BASE} --current=${CURRENT}
+                RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR "expected plain gate to fail (exit 1), got ${rc}")
+endif()
+
+execute_process(COMMAND ${GATE} --baseline=${BASE} --current=${CURRENT}
+                        --update-baseline
+                        --report=${WORK}/update_report.json
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--update-baseline exited ${rc}:\n${out}")
+endif()
+if(NOT out MATCHES "baseline .* rewritten from")
+  message(FATAL_ERROR "missing rewrite confirmation in output:\n${out}")
+endif()
+
+file(READ ${WORK}/update_report.json report)
+if(NOT report MATCHES "\"baseline_updated\":true")
+  message(FATAL_ERROR "report lacks baseline_updated:true:\n${report}")
+endif()
+
+file(READ ${BASE} rewritten)
+if(NOT rewritten MATCHES "baseline refreshed by bench_gate --update-baseline")
+  message(FATAL_ERROR "rewritten baseline lacks provenance note")
+endif()
+
+execute_process(COMMAND ${GATE} --baseline=${BASE} --current=${CURRENT}
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "rewritten baseline should pass against its own source run, "
+          "got exit ${rc}:\n${out}")
+endif()
+
+message(STATUS "update-baseline self-test passed")
