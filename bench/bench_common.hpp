@@ -44,14 +44,15 @@ inline obs::TraceSession* env_trace_session();
 /// prepare an Execution at problem size N with a deterministic input.
 inline Execution make_execution(const char* kernel, CompilerOptions opts,
                                 const simpi::MachineConfig& mc, int n,
-                                std::vector<std::string> live_out = {"T"}) {
+                                std::vector<std::string> live_out = {"T"},
+                                Bindings extra = {}) {
   opts.passes.offset.live_out = std::move(live_out);
   opts.trace = env_trace_session();
   Compiler compiler;
   CompiledProgram compiled = compiler.compile(kernel, opts);
   Execution exec(std::move(compiled.program), mc);
   exec.set_trace(env_trace_session());
-  exec.prepare(Bindings{}.set("N", n));
+  exec.prepare(extra.set("N", n));
   // Initialize the canonical input array when the kernel has one (the
   // 5-point kernel uses SRC and coefficient bindings instead; its
   // harness re-prepares with the full bindings).
@@ -128,8 +129,15 @@ inline void write_phase_metrics(const char* bench, const char* phase, int n,
     << obs::json_escape(phase) << "\",\"n\":" << n << ",\"wall_seconds\":"
     << obs::json_number(stats.wall_seconds)
     << ",\"roofline\":{\"flops\":" << obs::json_number(flops)
-    << ",\"bytes_per_flop\":"
-    << obs::json_number(flops > 0.0 ? bytes / flops : 0.0) << ",\"gflops\":"
+    << ",\"bytes_per_flop\":";
+  // Copy/shift-only plans have zero FLOPs; arithmetic intensity is
+  // undefined there, not infinite.
+  if (flops > 0.0) {
+    f << obs::json_number(bytes / flops);
+  } else {
+    f << "null";
+  }
+  f << ",\"gflops\":"
     << obs::json_number(stats.wall_seconds > 0.0
                             ? flops / stats.wall_seconds / 1e9
                             : 0.0)

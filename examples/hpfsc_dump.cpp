@@ -42,6 +42,7 @@
 // recorder's last events per thread as a text postmortem at exit —
 // including after a compile/run failure, which is the flag's point.
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -212,15 +213,22 @@ bool write_roofline(const std::string& path, const std::string& stencil,
       static_cast<double>(stats.machine.kernel_ref_bytes);
   const double comm_bytes = static_cast<double>(stats.machine.bytes_sent);
   const double bytes = kernel_bytes + comm_bytes;
-  const double bytes_per_flop = flops > 0.0 ? bytes / flops : 0.0;
+  // Arithmetic intensity is undefined for zero-FLOP (copy/shift-only)
+  // runs: suppress the ratio instead of publishing inf/NaN.
+  const bool has_flops = flops > 0.0;
+  const double bytes_per_flop = has_flops ? bytes / flops : 0.0;
   const double intensity = bytes > 0.0 ? flops / bytes : 0.0;
   const double gflops = stats.wall_seconds > 0.0
                             ? flops / stats.wall_seconds / 1e9
                             : 0.0;
-  const char* tier =
-      stats.tier.interpreter_elements > stats.tier.compiled_elements
-          ? "interpreter"
-          : "compiled";
+  // Label with the tier that handled the most elements.
+  const std::uint64_t interp_e = stats.tier.interpreter_elements;
+  const std::uint64_t comp_e = stats.tier.compiled_elements;
+  const std::uint64_t simd_e = stats.tier.simd_elements;
+  const char* tier = simd_e >= comp_e && simd_e >= interp_e && simd_e > 0
+                         ? "simd"
+                     : interp_e > comp_e ? "interpreter"
+                                         : "compiled";
 
   obs::MetricsRegistry& reg = obs::default_registry();
   const std::string nstr = std::to_string(n);
@@ -231,14 +239,21 @@ bool write_roofline(const std::string& path, const std::string& stencil,
                   value);
   };
   gauge("roofline.flops", flops);
-  gauge("roofline.bytes_per_flop", bytes_per_flop);
+  if (has_flops) gauge("roofline.bytes_per_flop", bytes_per_flop);
   gauge("roofline.gflops", gflops);
 
   std::printf("--- roofline (N=%d, tier=%s) ---\n", n, tier);
-  std::printf(
-      "flops: %.0f, kernel bytes: %.0f, comm bytes: %.0f, "
-      "bytes/flop: %.3f, intensity: %.3f flop/byte, %.4f GFLOP/s\n",
-      flops, kernel_bytes, comm_bytes, bytes_per_flop, intensity, gflops);
+  if (has_flops) {
+    std::printf(
+        "flops: %.0f, kernel bytes: %.0f, comm bytes: %.0f, "
+        "bytes/flop: %.3f, intensity: %.3f flop/byte, %.4f GFLOP/s\n",
+        flops, kernel_bytes, comm_bytes, bytes_per_flop, intensity, gflops);
+  } else {
+    std::printf(
+        "flops: 0, kernel bytes: %.0f, comm bytes: %.0f, "
+        "bytes/flop: n/a (zero-FLOP run), %.4f GFLOP/s\n",
+        kernel_bytes, comm_bytes, gflops);
+  }
 
   if (path.empty()) return true;
   std::string json = "{";
@@ -250,7 +265,8 @@ bool write_roofline(const std::string& path, const std::string& stencil,
   json += ",\"flops\":" + obs::json_number(flops);
   json += ",\"kernel_ref_bytes\":" + obs::json_number(kernel_bytes);
   json += ",\"comm_bytes\":" + obs::json_number(comm_bytes);
-  json += ",\"bytes_per_flop\":" + obs::json_number(bytes_per_flop);
+  json += ",\"bytes_per_flop\":";
+  json += has_flops ? obs::json_number(bytes_per_flop) : "null";
   json += ",\"arithmetic_intensity\":" + obs::json_number(intensity);
   json += ",\"gflops\":" + obs::json_number(gflops);
   json += ",\"wall_seconds\":" + obs::json_number(stats.wall_seconds);

@@ -16,7 +16,9 @@ namespace hpfsc::difftest {
 std::string OracleCell::str() const {
   return "O" + std::to_string(level) + " grid " + std::to_string(pe_rows) +
          "x" + std::to_string(pe_cols) +
-         (tier == KernelTier::Auto ? " tier=auto" : " tier=interp");
+         (tier == KernelTier::Auto   ? " tier=auto"
+          : tier == KernelTier::Simd ? " tier=simd"
+                                     : " tier=interp");
 }
 
 std::string Divergence::str() const {
@@ -102,6 +104,13 @@ CellRun execute_cell(const ProgramSpec& spec, const spmd::Program& program,
   Execution exec(program, mc);
   if (armed) exec.machine().set_comm_invariant(true);
   exec.set_kernel_tier(cell.tier);
+  if (cell.tier == KernelTier::Simd) {
+    // Tiny odd blocks: at difftest sizes the default L2 heuristic covers
+    // the whole subgrid with one block, which would leave the blocked
+    // traversal (partial edges, width-aligned main/epilogue split)
+    // untested.  5x3 forces several partial blocks per nest at n=12.
+    exec.set_block_size(5, 3);
+  }
   exec.prepare(make_bindings(spec, cfg));
   for (int i = 0; i < spec.num_inputs; ++i) {
     const std::string name = input_name(i, false);
@@ -196,10 +205,11 @@ OracleResult run_oracle(const ProgramSpec& spec, const OracleConfig& cfg) {
     const int level = cfg.levels[li];
     const spmd::Program& program = compiled[li + 1].program;
     for (const auto& grid : grids) {
-      for (int t = 0; t < (cfg.both_tiers ? 2 : 1); ++t) {
+      for (int t = 0; t < (cfg.both_tiers ? 3 : 1); ++t) {
         const OracleCell cell{level, grid.first, grid.second,
-                              t == 0 ? KernelTier::Auto
-                                     : KernelTier::InterpreterOnly};
+                              t == 0   ? KernelTier::Auto
+                              : t == 1 ? KernelTier::InterpreterOnly
+                                       : KernelTier::Simd};
         const bool armed = eligible && level >= cfg.invariant_min_level;
         try {
           CellRun run = execute_cell(spec, program, cfg, cell, armed);

@@ -55,7 +55,9 @@ struct OracleConfig {
   int steps = 2;   ///< Execution::run iterations
   std::vector<int> levels = {1, 2, 3, 4};
   std::vector<std::pair<int, int>> grids = {{1, 1}, {1, 2}, {2, 2}};
-  bool both_tiers = true;  ///< Auto and InterpreterOnly (else Auto only)
+  /// All three kernel tiers (Auto, InterpreterOnly, Simd) per
+  /// (level, grid) point; false runs Auto only (fast fuzzing mode).
+  bool both_tiers = true;
   /// 0 = exact equality (the repo's cross-level guarantee); > 0 allows
   /// that many ULPs per element.
   int max_ulps = 0;

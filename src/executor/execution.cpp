@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <limits>
 #include <stdexcept>
@@ -27,7 +28,28 @@ Execution::Execution(spmd::Program program, const simpi::MachineConfig& config)
     const std::string_view v = tier;
     if (v == "interpreter" || v == "interp") {
       tier_ = KernelTier::InterpreterOnly;
+    } else if (v == "auto") {
+      tier_ = KernelTier::Auto;
+    } else if (v == "simd") {
+      tier_ = KernelTier::Simd;
+    } else {
+      // A typo here used to silently run the default tier; make it loud.
+      throw std::invalid_argument(
+          "HPFSC_KERNEL_TIER='" + std::string(v) +
+          "': accepted values are auto, interpreter (interp), simd");
     }
+  }
+  if (const char* blk = std::getenv("HPFSC_BLOCK")) {
+    int bi = 0;
+    int bj = 0;
+    int consumed = 0;
+    if (std::sscanf(blk, "%dx%d%n", &bi, &bj, &consumed) != 2 ||
+        blk[consumed] != '\0' || bi < 1 || bj < 1) {
+      throw std::invalid_argument("HPFSC_BLOCK='" + std::string(blk) +
+                                  "': expected {bi}x{bj} with bi,bj >= 1");
+    }
+    block_i_ = bi;
+    block_j_ = bj;
   }
   descs_.resize(prog_.arrays.size());
   compile_plans(prog_.ops);
@@ -202,8 +224,10 @@ Execution::RunStats Execution::run(int iterations) {
   machine_->clear_stats();
   tally_->compiled_elements.store(0, std::memory_order_relaxed);
   tally_->interpreter_elements.store(0, std::memory_order_relaxed);
+  tally_->simd_elements.store(0, std::memory_order_relaxed);
   tally_->compiled_plan_runs.store(0, std::memory_order_relaxed);
   tally_->interpreter_plan_runs.store(0, std::memory_order_relaxed);
+  tally_->simd_plan_runs.store(0, std::memory_order_relaxed);
   tally_->flops.store(0, std::memory_order_relaxed);
   obs::Span span(trace_, "execute", "runtime");
   span.arg("iterations", iterations);
@@ -223,10 +247,14 @@ Execution::RunStats Execution::run(int iterations) {
       tally_->compiled_elements.load(std::memory_order_relaxed);
   stats.tier.interpreter_elements =
       tally_->interpreter_elements.load(std::memory_order_relaxed);
+  stats.tier.simd_elements =
+      tally_->simd_elements.load(std::memory_order_relaxed);
   stats.tier.compiled_plan_runs =
       tally_->compiled_plan_runs.load(std::memory_order_relaxed);
   stats.tier.interpreter_plan_runs =
       tally_->interpreter_plan_runs.load(std::memory_order_relaxed);
+  stats.tier.simd_plan_runs =
+      tally_->simd_plan_runs.load(std::memory_order_relaxed);
   stats.tier.flops = tally_->flops.load(std::memory_order_relaxed);
   if (span.active()) {
     span.arg("messages", stats.machine.messages_sent);
@@ -240,6 +268,7 @@ Execution::RunStats Execution::run(int iterations) {
     span.arg("kernel.tier.compiled_elements", stats.tier.compiled_elements);
     span.arg("kernel.tier.interpreter_elements",
              stats.tier.interpreter_elements);
+    span.arg("kernel.tier.simd_elements", stats.tier.simd_elements);
     span.arg("kernel.flops", stats.tier.flops);
   }
   if (trace_ != nullptr && trace_->enabled()) {
@@ -247,10 +276,14 @@ Execution::RunStats Execution::run(int iterations) {
                     static_cast<double>(stats.tier.compiled_elements));
     trace_->counter("kernel.tier.interpreter_elements",
                     static_cast<double>(stats.tier.interpreter_elements));
+    trace_->counter("kernel.tier.simd_elements",
+                    static_cast<double>(stats.tier.simd_elements));
     trace_->counter("kernel.tier.compiled_plan_runs",
                     static_cast<double>(stats.tier.compiled_plan_runs));
     trace_->counter("kernel.tier.interpreter_plan_runs",
                     static_cast<double>(stats.tier.interpreter_plan_runs));
+    trace_->counter("kernel.tier.simd_plan_runs",
+                    static_cast<double>(stats.tier.simd_plan_runs));
     trace_->counter("kernel.flops",
                     static_cast<double>(stats.tier.flops));
   }
@@ -302,11 +335,32 @@ void Execution::exec_ops(simpi::Pe& pe, const std::vector<spmd::Op>& ops,
           span.arg("unroll", op.unroll);
           const NestPlans& plans = plans_.at(&op);
           const char* tier = "interpreter";
-          if (tier_ == KernelTier::Auto && plans.main_micro) {
-            tier = !plans.epilogue || plans.epilogue_micro ? "compiled"
-                                                          : "mixed";
+          if (tier_ != KernelTier::InterpreterOnly && plans.main_micro) {
+            const bool full = !plans.epilogue || plans.epilogue_micro;
+            const bool simd = tier_ == KernelTier::Simd &&
+                              plans.main_micro->alias_free;
+            tier = !full ? "mixed" : simd ? "simd" : "compiled";
           }
           span.arg_str("kernel.tier", tier);
+          if (tier_ == KernelTier::Simd && op.rank >= 2 &&
+              plans.main_micro && plans.main_micro->alias_free) {
+            // Block sizes as chosen for the nest's global bounds; each
+            // PE re-derives them against its own owned region.
+            const int ud = op.loop_order[0];
+            const int inner =
+                op.loop_order[static_cast<std::size_t>(op.rank - 1)];
+            const int oext =
+                static_cast<int>(eval_bound(op.bounds[ud].hi, env)) -
+                static_cast<int>(eval_bound(op.bounds[ud].lo, env)) + 1;
+            const int iext =
+                static_cast<int>(eval_bound(op.bounds[inner].hi, env)) -
+                static_cast<int>(eval_bound(op.bounds[inner].lo, env)) + 1;
+            if (oext > 0 && iext > 0) {
+              const auto [bi, bj] = choose_block(plans.main, oext, iext);
+              span.arg("kernel.block_i", bi);
+              span.arg("kernel.block_j", bj);
+            }
+          }
         }
         exec_nest(pe, op, env);
         // A kernel nest closes the executed statement context: the next
@@ -367,6 +421,84 @@ void Execution::exec_nest(simpi::Pe& pe, const spmd::Op& op,
 
   const int ud = op.loop_order[0];  // outermost / unrolled dimension
   const int mid = op.rank == 3 ? op.loop_order[1] : -1;
+
+  // Tier-3: 2-D spatial blocking over (outer, inner).  Only taken for
+  // classified alias-free plans — no element reads anything the nest
+  // writes, so the blocked traversal order is bitwise-invisible.  The
+  // epilogue (if any) shares the plan's arrays, hence its alias
+  // freedom; it may still run interpreted inside a block (per-plan
+  // fallback).  The outer block size is a multiple of plan.width and
+  // the main/epilogue split tests the *global* outer bound, so every
+  // element is visited exactly once and kernel_ref_bytes is unchanged.
+  // Consecutive width-strips of a block column run as one batched call
+  // (pointers resolved once, advanced by strides between strips).
+  if (tier_ == KernelTier::Simd && plans.main_micro &&
+      plans.main_micro->alias_free) {
+    const auto [bi, bj] = choose_block(plans.main, box_hi[ud] - box_lo[ud] + 1,
+                                       box_hi[inner] - box_lo[inner] + 1);
+    const int width = plans.main.width;
+    // Last outer index where a full-width main strip fits (global bound).
+    const int main_top = box_hi[ud] - width + 1;
+    for (int ob = box_lo[ud]; ob <= box_hi[ud]; ob += bi) {
+      const int ob_hi = std::min(ob + bi - 1, box_hi[ud]);
+      for (int jb = box_lo[inner]; jb <= box_hi[inner]; jb += bj) {
+        std::array<int, ir::kMaxRank> blk_lo = box_lo;
+        std::array<int, ir::kMaxRank> blk_hi = box_hi;
+        blk_lo[inner] = jb;
+        blk_hi[inner] = std::min(jb + bj - 1, box_hi[inner]);
+        const int count = blk_hi[inner] - blk_lo[inner] + 1;
+        std::array<int, ir::kMaxRank> idx{1, 1, 1};
+        idx[inner] = blk_lo[inner];
+        int o = ob;
+        if (o <= main_top) {
+          const int nstrips = (std::min(ob_hi, main_top) - o) / width + 1;
+          idx[ud] = o;
+          if (op.rank == 3) {
+            for (int m = box_lo[mid]; m <= box_hi[mid]; ++m) {
+              idx[mid] = m;
+              run_micro_strips(pe, plans.main, *plans.main_micro, idx, inner,
+                               count, ud, nstrips, env);
+            }
+          } else {
+            run_micro_strips(pe, plans.main, *plans.main_micro, idx, inner,
+                             count, ud, nstrips, env);
+          }
+          o += nstrips * width;
+        }
+        if (o > ob_hi) continue;
+        if (plans.epilogue_micro) {
+          idx[ud] = o;
+          const int nstrips = ob_hi - o + 1;  // epilogue strips are width 1
+          if (op.rank == 3) {
+            for (int m = box_lo[mid]; m <= box_hi[mid]; ++m) {
+              idx[mid] = m;
+              run_micro_strips(pe, *plans.epilogue, *plans.epilogue_micro,
+                               idx, inner, count, ud, nstrips, env);
+            }
+          } else {
+            run_micro_strips(pe, *plans.epilogue, *plans.epilogue_micro, idx,
+                             inner, count, ud, nstrips, env);
+          }
+          continue;
+        }
+        for (; o <= ob_hi; ++o) {  // unclassified epilogue: interpret per row
+          idx[ud] = o;
+          if (op.rank == 3) {
+            for (int m = box_lo[mid]; m <= box_hi[mid]; ++m) {
+              idx[mid] = m;
+              run_plan(pe, op, *plans.epilogue, nullptr, blk_lo, blk_hi, idx,
+                       inner, env);
+            }
+          } else {
+            run_plan(pe, op, *plans.epilogue, nullptr, blk_lo, blk_hi, idx,
+                     inner, env);
+          }
+        }
+      }
+    }
+    return;
+  }
+
   for (int o = box_lo[ud]; o <= box_hi[ud];) {
     const exec::KernelPlan* plan = &plans.main;
     const exec::MicroKernel* micro = main_micro;
@@ -388,6 +520,34 @@ void Execution::exec_nest(simpi::Pe& pe, const spmd::Op& op,
   }
 }
 
+std::pair<int, int> Execution::choose_block(const exec::KernelPlan& plan,
+                                            int outer_extent,
+                                            int inner_extent) const {
+  const int width = std::max(plan.width, 1);
+  int bi = block_i_;
+  int bj = block_j_;
+  if (bi <= 0 || bj <= 0) {
+    // L2 heuristic: size the block so its kernel-referenced footprint
+    // (mem_refs covers a width-strip per inner iteration, i.e.
+    // mem_refs/width doubles per cell) fits a conservative share of a
+    // 2 MiB-class L2.  Wide-but-shallow blocks keep the inner loop long
+    // enough to vectorize well.
+    constexpr double kL2BudgetBytes = 1.0 * 1024.0 * 1024.0;
+    const double bytes_per_cell =
+        std::max(1.0, static_cast<double>(plan.mem_refs) * sizeof(double) /
+                          static_cast<double>(width));
+    bj = std::min(inner_extent, 512);
+    bj = std::max(bj, 1);
+    const double rows = kL2BudgetBytes / (bytes_per_cell * bj);
+    bi = static_cast<int>(std::min<double>(rows, outer_extent));
+  }
+  // Invariance guard: outer blocks must hold whole width-strips.
+  bi = std::max(width, bi - bi % width);
+  bi = std::min(bi, std::max(outer_extent, width));
+  bj = std::max(1, std::min(bj, std::max(inner_extent, 1)));
+  return {bi, bj};
+}
+
 void Execution::run_plan(simpi::Pe& pe, const spmd::Op& op,
                          const exec::KernelPlan& plan,
                          const exec::MicroKernel* micro,
@@ -407,10 +567,17 @@ void Execution::run_plan(simpi::Pe& pe, const spmd::Op& op,
   tally_->flops.fetch_add(static_cast<std::uint64_t>(count) *
                               static_cast<std::uint64_t>(plan.flops),
                           std::memory_order_relaxed);
-  if (micro != nullptr && tier_ == KernelTier::Auto) {
-    run_micro(pe, plan, *micro, idx, inner_dim, count, env);
-    tally_->compiled_elements.fetch_add(elems, std::memory_order_relaxed);
-    tally_->compiled_plan_runs.fetch_add(1, std::memory_order_relaxed);
+  if (micro != nullptr && tier_ != KernelTier::InterpreterOnly) {
+    const bool used_simd =
+        run_micro(pe, plan, *micro, idx, inner_dim, count, env,
+                  /*want_simd=*/tier_ == KernelTier::Simd);
+    if (used_simd) {
+      tally_->simd_elements.fetch_add(elems, std::memory_order_relaxed);
+      tally_->simd_plan_runs.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      tally_->compiled_elements.fetch_add(elems, std::memory_order_relaxed);
+      tally_->compiled_plan_runs.fetch_add(1, std::memory_order_relaxed);
+    }
     return;
   }
   tally_->interpreter_elements.fetch_add(elems, std::memory_order_relaxed);
@@ -535,13 +702,14 @@ void Execution::run_plan(simpi::Pe& pe, const spmd::Op& op,
                         sizeof(double));
 }
 
-void Execution::run_micro(simpi::Pe& pe, const exec::KernelPlan& plan,
+bool Execution::run_micro(simpi::Pe& pe, const exec::KernelPlan& plan,
                           const exec::MicroKernel& micro,
                           const std::array<int, ir::kMaxRank>& idx,
                           int inner_dim, int count,
-                          const std::vector<double>& env) {
+                          const std::vector<double>& env, bool want_simd) {
   thread_local std::vector<exec::ResolvedTerm> terms;
   const double* scalars = env.data();
+  bool used_simd = want_simd;
 
   for (const exec::MicroStore& store : micro.stores) {
     const spmd::Load& dslot =
@@ -576,16 +744,128 @@ void Execution::run_micro(simpi::Pe& pe, const exec::KernelPlan& plan,
       rt.subtract = mt.subtract;
     }
 
-    exec::run_weighted_sum(dst, dstride, terms.data(),
-                           static_cast<int>(terms.size()), count,
-                           micro.alias_free);
+    exec::StoreScale sc;
+    if (!store.scale.empty()) {
+      sc.present = true;
+      sc.value = exec::eval_coeff(store.scale, scalars);
+      sc.on_left = store.scale_on_left;
+    }
+    if (want_simd) {
+      used_simd &= exec::run_weighted_sum_simd(dst, dstride, terms.data(),
+                                               static_cast<int>(terms.size()),
+                                               count, micro.alias_free, sc);
+    } else {
+      exec::run_weighted_sum(dst, dstride, terms.data(),
+                             static_cast<int>(terms.size()), count,
+                             micro.alias_free, sc);
+    }
   }
 
-  // Same accounting identity as the interpreter: both tiers charge the
+  // Same accounting identity as the interpreter: all tiers charge the
   // plan's per-element reference count, so MachineStats are tier-invariant.
   pe.charge_kernel_refs(static_cast<std::size_t>(count) *
                         static_cast<std::size_t>(plan.mem_refs) *
                         sizeof(double));
+  return used_simd;
+}
+
+void Execution::run_micro_strips(simpi::Pe& pe, const exec::KernelPlan& plan,
+                                 const exec::MicroKernel& micro,
+                                 const std::array<int, ir::kMaxRank>& idx,
+                                 int inner_dim, int count, int outer_dim,
+                                 int nstrips,
+                                 const std::vector<double>& env) {
+  struct StripStore {
+    double* dst;
+    std::ptrdiff_t dstride;
+    std::ptrdiff_t dstep;  ///< dst advance per strip
+    int k;
+    exec::StoreScale sc;
+  };
+  thread_local std::vector<exec::ResolvedTerm> terms;
+  thread_local std::vector<std::ptrdiff_t> term_steps;
+  thread_local std::vector<StripStore> stores;
+  const double* scalars = env.data();
+
+  terms.clear();
+  term_steps.clear();
+  stores.clear();
+  for (const exec::MicroStore& store : micro.stores) {
+    const spmd::Load& dslot =
+        plan.store_slots[static_cast<std::size_t>(store.store_slot)];
+    simpi::LocalGrid& dg = pe.grid(dslot.array);
+    std::array<int, ir::kMaxRank> dpos{idx[0] + dslot.offset[0],
+                                       idx[1] + dslot.offset[1],
+                                       idx[2] + dslot.offset[2]};
+    StripStore ss;
+    ss.dst = dg.ptr_to(dpos);
+    ss.dstride = dg.stride(inner_dim);
+    ss.dstep = dg.stride(outer_dim) * plan.width;
+    ss.k = static_cast<int>(store.terms.size());
+    if (!store.scale.empty()) {
+      ss.sc.present = true;
+      ss.sc.value = exec::eval_coeff(store.scale, scalars);
+      ss.sc.on_left = store.scale_on_left;
+    }
+    stores.push_back(ss);
+    for (const exec::MicroTerm& mt : store.terms) {
+      exec::ResolvedTerm rt;
+      std::ptrdiff_t step = 0;
+      if (mt.load_slot >= 0) {
+        const spmd::Load& slot =
+            plan.load_slots[static_cast<std::size_t>(mt.load_slot)];
+        simpi::LocalGrid& g = pe.grid(slot.array);
+        std::array<int, ir::kMaxRank> pos{idx[0] + slot.offset[0],
+                                          idx[1] + slot.offset[1],
+                                          idx[2] + slot.offset[2]};
+        rt.ptr = g.ptr_to(pos);
+        rt.stride = g.stride(inner_dim);
+        step = g.stride(outer_dim) * plan.width;
+      }
+      rt.has_coeff = !mt.coeff.empty();
+      rt.coeff = rt.has_coeff ? exec::eval_coeff(mt.coeff, scalars) : 0.0;
+      rt.coeff_on_left = mt.coeff_on_left;
+      rt.subtract = mt.subtract;
+      terms.push_back(rt);
+      term_steps.push_back(step);
+    }
+  }
+
+  // The SIMD-vs-compiled decision is a pure function of the resolved
+  // plan shape, so every strip of the batch takes the same path.
+  bool used_simd = true;
+  for (int s = 0; s < nstrips; ++s) {
+    std::size_t off = 0;
+    for (StripStore& ss : stores) {
+      used_simd &= exec::run_weighted_sum_simd(ss.dst, ss.dstride,
+                                               terms.data() + off, ss.k,
+                                               count, micro.alias_free, ss.sc);
+      ss.dst += ss.dstep;
+      off += static_cast<std::size_t>(ss.k);
+    }
+    for (std::size_t t = 0; t < terms.size(); ++t) {
+      if (terms[t].ptr != nullptr) terms[t].ptr += term_steps[t];
+    }
+  }
+
+  // Same charges the per-strip paths make, summed over the batch.
+  const std::uint64_t strips = static_cast<std::uint64_t>(nstrips);
+  const std::uint64_t per_strip = static_cast<std::uint64_t>(count);
+  tally_->flops.fetch_add(
+      per_strip * static_cast<std::uint64_t>(plan.flops) * strips,
+      std::memory_order_relaxed);
+  const std::uint64_t elems =
+      per_strip * static_cast<std::uint64_t>(plan.width) * strips;
+  if (used_simd) {
+    tally_->simd_elements.fetch_add(elems, std::memory_order_relaxed);
+    tally_->simd_plan_runs.fetch_add(strips, std::memory_order_relaxed);
+  } else {
+    tally_->compiled_elements.fetch_add(elems, std::memory_order_relaxed);
+    tally_->compiled_plan_runs.fetch_add(strips, std::memory_order_relaxed);
+  }
+  pe.charge_kernel_refs(static_cast<std::size_t>(count) *
+                        static_cast<std::size_t>(plan.mem_refs) *
+                        sizeof(double) * static_cast<std::size_t>(nstrips));
 }
 
 }  // namespace hpfsc

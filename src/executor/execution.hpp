@@ -13,6 +13,7 @@
 #include <span>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "codegen/spmd_program.hpp"
@@ -28,16 +29,23 @@ namespace hpfsc {
 /// and everything else through the bytecode interpreter;
 /// InterpreterOnly forces the interpreter for all nests (the semantics
 /// oracle — used by the equivalence tests and for A/B benchmarking).
-enum class KernelTier { Auto, InterpreterOnly };
+/// Simd is the third tier: classified alias-free stride-1 plans run
+/// through explicitly vectorized kernels under 2-D spatial cache
+/// blocking; plans the SIMD path cannot prove safe (aliasing, non-unit
+/// strides, pure-scalar terms) fall back per-plan to the compiled or
+/// interpreter tier.  All tiers are bitwise-identical.
+enum class KernelTier { Auto, InterpreterOnly, Simd };
 
 /// Per-run tally of which execution tier handled the loop nests.  Not
-/// part of MachineStats: both tiers produce identical machine
+/// part of MachineStats: all tiers produce identical machine
 /// statistics, the tally only describes how the work was dispatched.
 struct KernelTierStats {
   std::uint64_t compiled_elements = 0;
   std::uint64_t interpreter_elements = 0;
+  std::uint64_t simd_elements = 0;
   std::uint64_t compiled_plan_runs = 0;
   std::uint64_t interpreter_plan_runs = 0;
+  std::uint64_t simd_plan_runs = 0;
   /// Floating-point operations executed by the kernel loops (both
   /// tiers; plan-derived, so tier-invariant like kernel_ref_bytes).
   /// Together with kernel_ref_bytes and the comm ledger this yields the
@@ -94,9 +102,23 @@ class Execution {
   [[nodiscard]] obs::TraceSession* trace() const { return trace_; }
 
   /// Selects the kernel dispatch policy (default Auto; also settable via
-  /// the HPFSC_KERNEL_TIER environment variable, value "interpreter").
+  /// the HPFSC_KERNEL_TIER environment variable — accepted values
+  /// "auto", "interpreter"/"interp", "simd"; anything else throws).
   void set_kernel_tier(KernelTier tier) { tier_ = tier; }
   [[nodiscard]] KernelTier kernel_tier() const { return tier_; }
+
+  /// Overrides the tier-3 cache-block sizes (outer × inner, in
+  /// elements).  Zero restores the automatic L2 heuristic.  The outer
+  /// size is rounded down to a multiple of each plan's unroll width at
+  /// dispatch so blocked and unblocked traversals visit every element
+  /// exactly once (kernel_ref_bytes stays tier-invariant).  Also
+  /// settable via HPFSC_BLOCK={bi}x{bj}.
+  void set_block_size(int bi, int bj) {
+    block_i_ = bi;
+    block_j_ = bj;
+  }
+  [[nodiscard]] int block_i() const { return block_i_; }
+  [[nodiscard]] int block_j() const { return block_j_; }
 
   [[nodiscard]] const spmd::Program& program() const { return prog_; }
   [[nodiscard]] simpi::Machine& machine() { return *machine_; }
@@ -120,8 +142,10 @@ class Execution {
   struct TierTally {
     std::atomic<std::uint64_t> compiled_elements{0};
     std::atomic<std::uint64_t> interpreter_elements{0};
+    std::atomic<std::uint64_t> simd_elements{0};
     std::atomic<std::uint64_t> compiled_plan_runs{0};
     std::atomic<std::uint64_t> interpreter_plan_runs{0};
+    std::atomic<std::uint64_t> simd_plan_runs{0};
     std::atomic<std::uint64_t> flops{0};
   };
 
@@ -145,15 +169,33 @@ class Execution {
                 const std::array<int, ir::kMaxRank>& box_hi,
                 std::array<int, ir::kMaxRank> idx, int inner_dim,
                 const std::vector<double>& env);
-  void run_micro(simpi::Pe& pe, const exec::KernelPlan& plan,
-                 const exec::MicroKernel& micro,
-                 const std::array<int, ir::kMaxRank>& idx, int inner_dim,
-                 int count, const std::vector<double>& env);
+  [[nodiscard]] bool run_micro(simpi::Pe& pe, const exec::KernelPlan& plan,
+                               const exec::MicroKernel& micro,
+                               const std::array<int, ir::kMaxRank>& idx,
+                               int inner_dim, int count,
+                               const std::vector<double>& env,
+                               bool want_simd);
+  /// Tier-3 batched form: runs `nstrips` consecutive width-strips of the
+  /// plan along `outer_dim` starting at `idx`, resolving pointers and
+  /// coefficients once and advancing by array strides between strips —
+  /// the per-strip resolution overhead is what the blocked path saves.
+  /// Performs its own flops/kernel_refs charging and tier tallying.
+  void run_micro_strips(simpi::Pe& pe, const exec::KernelPlan& plan,
+                        const exec::MicroKernel& micro,
+                        const std::array<int, ir::kMaxRank>& idx,
+                        int inner_dim, int count, int outer_dim, int nstrips,
+                        const std::vector<double>& env);
+  /// Tier-3 block-size choice for one nest: (outer, inner) block edge
+  /// lengths, outer rounded down to a multiple of plan.width.
+  [[nodiscard]] std::pair<int, int> choose_block(
+      const exec::KernelPlan& plan, int outer_extent, int inner_extent) const;
 
   spmd::Program prog_;
   std::unique_ptr<simpi::Machine> machine_;
   obs::TraceSession* trace_ = nullptr;
   KernelTier tier_ = KernelTier::Auto;
+  int block_i_ = 0;  ///< 0 = automatic L2 heuristic
+  int block_j_ = 0;
   std::unique_ptr<TierTally> tally_ = std::make_unique<TierTally>();
   std::vector<double> initial_env_;
   std::vector<std::optional<simpi::DistArrayDesc>> descs_;

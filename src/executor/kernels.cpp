@@ -5,6 +5,10 @@
 #include <cstdlib>
 #include <map>
 
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define HPFSC_X86_TARGET_VERSIONS 1
+#endif
+
 namespace hpfsc::exec {
 
 namespace {
@@ -14,11 +18,15 @@ constexpr int kMaxTermsPerStore = 64;
 
 /// Symbolic value tracked during classification: either a pure scalar
 /// expression (no load references, represented by its RPN program) or an
-/// ordered, left-associated term list.
+/// ordered, left-associated term list, optionally multiplied as a whole
+/// by a pure scalar (the Jacobi `0.25 * (sum)` shape).  A scaled list is
+/// terminal — it can only flow into a store.
 struct SymValue {
   bool pure = false;
   std::vector<PlanInstr> code;   ///< valid when pure
   std::vector<MicroTerm> terms;  ///< valid when !pure
+  std::vector<PlanInstr> scale;  ///< whole-sum factor; empty = none
+  bool scale_on_left = true;
 };
 
 bool is_scalar_op(PlanInstr::Op op) {
@@ -122,9 +130,18 @@ bool loads_alias_stores(const KernelPlan& plan) {
 // per-term pointers.  All preserve the interpreter's per-element
 // left-to-right evaluation order.
 
+/// Applies the loop-invariant whole-sum scale the way the interpreter's
+/// trailing Mul does; `sc.present` is uniform across the loop, so the
+/// compiler unswitches/if-converts the select.
+inline double apply_scale(double acc, StoreScale sc) {
+  if (!sc.present) return acc;
+  return sc.on_left ? sc.value * acc : acc * sc.value;
+}
+
 template <int K>
 void unit_sum_stride1(double* __restrict dst, const ResolvedTerm* terms,
-                      int count) {
+                      int count, StoreScale) {
+  // The dispatcher only routes scale-free stores here.
   std::array<const double*, static_cast<std::size_t>(K)> p;
   for (int t = 0; t < K; ++t) p[static_cast<std::size_t>(t)] = terms[t].ptr;
   for (int c = 0; c < count; ++c) {
@@ -143,7 +160,7 @@ double term_value(const ResolvedTerm& t, const double* p, int c) {
 
 template <int K>
 void weighted_sum_stride1(double* __restrict dst, const ResolvedTerm* terms,
-                          int count) {
+                          int count, StoreScale sc) {
   std::array<const double*, static_cast<std::size_t>(K)> p;
   for (int t = 0; t < K; ++t) p[static_cast<std::size_t>(t)] = terms[t].ptr;
   for (int c = 0; c < count; ++c) {
@@ -153,14 +170,15 @@ void weighted_sum_stride1(double* __restrict dst, const ResolvedTerm* terms,
           term_value<K>(terms[t], p[static_cast<std::size_t>(t)], c);
       acc = terms[t].subtract ? acc - v : acc + v;
     }
-    dst[c] = acc;
+    dst[c] = apply_scale(acc, sc);
   }
 }
 
 /// Generic strided / possibly aliasing path: still straight-line native
 /// code per element, but without the restrict promise.
 void weighted_sum_generic(double* dst, std::ptrdiff_t dst_stride,
-                          const ResolvedTerm* terms, int k, int count) {
+                          const ResolvedTerm* terms, int k, int count,
+                          StoreScale sc) {
   std::array<const double*, kMaxTermsPerStore> p{};
   for (int t = 0; t < k; ++t) p[static_cast<std::size_t>(t)] = terms[t].ptr;
   for (int c = 0; c < count; ++c) {
@@ -178,7 +196,7 @@ void weighted_sum_generic(double* dst, std::ptrdiff_t dst_stride,
                                            : *q * tt.coeff;
       acc = tt.subtract ? acc - v : acc + v;
     }
-    *dst = acc;
+    *dst = apply_scale(acc, sc);
     dst += dst_stride;
     for (int t = 0; t < k; ++t) {
       if (terms[t].ptr != nullptr) {
@@ -188,7 +206,114 @@ void weighted_sum_generic(double* dst, std::ptrdiff_t dst_stride,
   }
 }
 
-using Stride1Fn = void (*)(double*, const ResolvedTerm*, int);
+// ---------------------------------------------------------------------
+// Tier-3 SIMD kernels.  Same per-lane arithmetic as the stride-1
+// templates above — each element's weighted sum is evaluated left to
+// right with plain adds/muls, so vectorizing across elements (the `c`
+// loop) cannot change a single bit.  `#pragma omp simd` asserts the
+// restrict-implied independence to the vectorizer; on x86 a second
+// instantiation is compiled for AVX2 (without FMA: contraction would
+// change rounding) and selected at runtime, since the portable build
+// targets baseline SSE2.  Preconditions (checked by the dispatcher):
+// every term has a non-null stride-1 pointer, dst has stride 1 and is
+// alias-free — so the if-converted term selects below never touch
+// invalid memory.
+
+#if defined(HPFSC_OPENMP_SIMD)
+#define HPFSC_PRAGMA_SIMD _Pragma("omp simd")
+#else
+#define HPFSC_PRAGMA_SIMD
+#endif
+
+#if defined(HPFSC_X86_TARGET_VERSIONS)
+#define HPFSC_TARGET_AVX2 __attribute__((target("avx2")))
+// prefer-vector-width=512 overrides the 256-bit default of generic
+// tuning: the kernels are load-bound, so full-width zmm loads halve the
+// load micro-op count.  Per-lane arithmetic is unchanged — vector width
+// cannot alter a single bit of a plain add/mul.  AVX-512 is used for the
+// UNIT kernels only: avx512f brings FMA instructions with it, and the
+// compiler's default fp-contract would fuse the weighted kernels'
+// mul+add pairs (different rounding).  Unit sums have no multiplies, so
+// there is nothing to contract.
+#define HPFSC_TARGET_AVX512 \
+  __attribute__((target("avx512f,prefer-vector-width=512")))
+#else
+#define HPFSC_TARGET_AVX2
+#define HPFSC_TARGET_AVX512
+#endif
+
+bool cpu_prefers_avx2() {
+#if defined(HPFSC_X86_TARGET_VERSIONS)
+  static const bool v = __builtin_cpu_supports("avx2");
+  return v;
+#else
+  return false;
+#endif
+}
+
+bool cpu_prefers_avx512() {
+#if defined(HPFSC_X86_TARGET_VERSIONS)
+  static const bool v = __builtin_cpu_supports("avx512f");
+  return v;
+#else
+  return false;
+#endif
+}
+
+/// Defines one ISA instantiation of the SIMD kernel pair.  The bodies
+/// must stay identical across instantiations — only codegen flags vary.
+#define HPFSC_DEFINE_SIMD_KERNELS(SUFFIX, TARGET_ATTR)                       \
+  template <int K>                                                           \
+  TARGET_ATTR void unit_sum_simd_##SUFFIX(double* __restrict dst,            \
+                                          const ResolvedTerm* terms,         \
+                                          int count, StoreScale) {           \
+    std::array<const double*, static_cast<std::size_t>(K)> p;                \
+    for (int t = 0; t < K; ++t) p[static_cast<std::size_t>(t)] = terms[t].ptr;\
+    HPFSC_PRAGMA_SIMD                                                        \
+    for (int c = 0; c < count; ++c) {                                        \
+      double acc = p[0][c];                                                  \
+      for (int t = 1; t < K; ++t) acc += p[static_cast<std::size_t>(t)][c];  \
+      dst[c] = acc;                                                          \
+    }                                                                        \
+  }                                                                          \
+  template <int K>                                                           \
+  TARGET_ATTR void weighted_sum_simd_##SUFFIX(double* __restrict dst,        \
+                                              const ResolvedTerm* terms,     \
+                                              int count, StoreScale sc) {    \
+    std::array<const double*, static_cast<std::size_t>(K)> p;                \
+    std::array<double, static_cast<std::size_t>(K)> w;                       \
+    std::array<bool, static_cast<std::size_t>(K)> weighted, left, sub;       \
+    for (int t = 0; t < K; ++t) {                                            \
+      const std::size_t u = static_cast<std::size_t>(t);                     \
+      p[u] = terms[t].ptr;                                                   \
+      w[u] = terms[t].coeff;                                                 \
+      weighted[u] = terms[t].has_coeff;                                      \
+      left[u] = terms[t].coeff_on_left;                                      \
+      sub[u] = terms[t].subtract;                                            \
+    }                                                                        \
+    HPFSC_PRAGMA_SIMD                                                        \
+    for (int c = 0; c < count; ++c) {                                        \
+      const double x0 = p[0][c];                                             \
+      double acc = !weighted[0] ? x0 : left[0] ? w[0] * x0 : x0 * w[0];      \
+      for (int t = 1; t < K; ++t) {                                          \
+        const std::size_t u = static_cast<std::size_t>(t);                   \
+        const double x = p[u][c];                                            \
+        const double v = !weighted[u] ? x : left[u] ? w[u] * x : x * w[u];   \
+        acc = sub[u] ? acc - v : acc + v;                                    \
+      }                                                                      \
+      dst[c] =                                                               \
+          !sc.present ? acc : sc.on_left ? sc.value * acc : acc * sc.value;  \
+    }                                                                        \
+  }
+
+HPFSC_DEFINE_SIMD_KERNELS(base, )
+#if defined(HPFSC_X86_TARGET_VERSIONS)
+HPFSC_DEFINE_SIMD_KERNELS(avx2, HPFSC_TARGET_AVX2)
+HPFSC_DEFINE_SIMD_KERNELS(avx512, HPFSC_TARGET_AVX512)
+#endif
+#undef HPFSC_DEFINE_SIMD_KERNELS
+
+using Stride1Fn = void (*)(double*, const ResolvedTerm*, int, StoreScale);
 
 constexpr int kMaxSpecializedK = 16;
 
@@ -208,6 +333,53 @@ constexpr auto kUnitTable =
     make_unit_table(std::make_integer_sequence<int, kMaxSpecializedK>{});
 constexpr auto kWeightedTable =
     make_weighted_table(std::make_integer_sequence<int, kMaxSpecializedK>{});
+
+template <int... K>
+constexpr std::array<Stride1Fn, sizeof...(K) + 1> make_unit_simd_base(
+    std::integer_sequence<int, K...>) {
+  return {nullptr, &unit_sum_simd_base<K + 1>...};
+}
+
+template <int... K>
+constexpr std::array<Stride1Fn, sizeof...(K) + 1> make_weighted_simd_base(
+    std::integer_sequence<int, K...>) {
+  return {nullptr, &weighted_sum_simd_base<K + 1>...};
+}
+
+constexpr auto kUnitSimdBase =
+    make_unit_simd_base(std::make_integer_sequence<int, kMaxSpecializedK>{});
+constexpr auto kWeightedSimdBase = make_weighted_simd_base(
+    std::make_integer_sequence<int, kMaxSpecializedK>{});
+
+#if defined(HPFSC_X86_TARGET_VERSIONS)
+template <int... K>
+constexpr std::array<Stride1Fn, sizeof...(K) + 1> make_unit_simd_avx2(
+    std::integer_sequence<int, K...>) {
+  return {nullptr, &unit_sum_simd_avx2<K + 1>...};
+}
+
+template <int... K>
+constexpr std::array<Stride1Fn, sizeof...(K) + 1> make_weighted_simd_avx2(
+    std::integer_sequence<int, K...>) {
+  return {nullptr, &weighted_sum_simd_avx2<K + 1>...};
+}
+
+constexpr auto kUnitSimdAvx2 =
+    make_unit_simd_avx2(std::make_integer_sequence<int, kMaxSpecializedK>{});
+constexpr auto kWeightedSimdAvx2 = make_weighted_simd_avx2(
+    std::make_integer_sequence<int, kMaxSpecializedK>{});
+
+template <int... K>
+constexpr std::array<Stride1Fn, sizeof...(K) + 1> make_unit_simd_avx512(
+    std::integer_sequence<int, K...>) {
+  return {nullptr, &unit_sum_simd_avx512<K + 1>...};
+}
+
+// No weighted AVX-512 table: see the HPFSC_TARGET_AVX512 comment (FMA
+// contraction risk).  weighted_sum_simd_avx512 is never instantiated.
+constexpr auto kUnitSimdAvx512 = make_unit_simd_avx512(
+    std::make_integer_sequence<int, kMaxSpecializedK>{});
+#endif
 
 }  // namespace
 
@@ -289,6 +461,8 @@ std::optional<MicroKernel> classify_weighted_sum(const KernelPlan& plan,
         SymValue v = pop();
         MicroStore store;
         store.store_slot = in.idx;
+        store.scale = std::move(v.scale);
+        store.scale_on_left = v.scale_on_left;
         store.terms = as_term_list(std::move(v));
         if (store.terms.empty() ||
             store.terms.size() > kMaxTermsPerStore ||
@@ -303,6 +477,9 @@ std::optional<MicroKernel> classify_weighted_sum(const KernelPlan& plan,
       case PlanInstr::Op::Sub: {
         SymValue b = pop();
         SymValue a = pop();
+        // A scaled sum is only reproducible as a finished store value;
+        // folding it into a longer chain would drop the scale.
+        if (!a.scale.empty() || !b.scale.empty()) return std::nullopt;
         if (a.pure && b.pure) {
           a.code.insert(a.code.end(), b.code.begin(), b.code.end());
           a.code.push_back(PlanInstr{in.op, 0, 0, 0.0});
@@ -325,6 +502,21 @@ std::optional<MicroKernel> classify_weighted_sum(const KernelPlan& plan,
         if (a.pure && b.pure) {
           a.code.insert(a.code.end(), b.code.begin(), b.code.end());
           a.code.push_back(PlanInstr{PlanInstr::Op::Mul, 0, 0, 0.0});
+          stack.push_back(std::move(a));
+          break;
+        }
+        // scalar * (t1 + ... + tK): keep the sum's evaluation order and
+        // carry the factor as a whole-sum scale, exactly the
+        // interpreter's Mul of the finished accumulation.
+        if (a.pure && !b.pure && b.scale.empty() && b.terms.size() >= 2) {
+          b.scale = std::move(a.code);
+          b.scale_on_left = true;
+          stack.push_back(std::move(b));
+          break;
+        }
+        if (b.pure && !a.pure && a.scale.empty() && a.terms.size() >= 2) {
+          a.scale = std::move(b.code);
+          a.scale_on_left = false;
           stack.push_back(std::move(a));
           break;
         }
@@ -379,21 +571,55 @@ std::optional<MicroKernel> classify_weighted_sum(const KernelPlan& plan,
 
 void run_weighted_sum(double* dst, std::ptrdiff_t dst_stride,
                       const ResolvedTerm* terms, int k, int count,
-                      bool alias_free) {
+                      bool alias_free, StoreScale scale) {
   if (alias_free && dst_stride == 1 && k <= kMaxSpecializedK) {
     bool stride1 = true;
-    bool unit = true;
+    bool unit = !scale.present;
     for (int t = 0; t < k; ++t) {
       if (terms[t].ptr == nullptr || terms[t].stride != 1) stride1 = false;
       if (terms[t].has_coeff || terms[t].subtract) unit = false;
     }
     if (stride1) {
       (unit ? kUnitTable : kWeightedTable)[static_cast<std::size_t>(k)](
-          dst, terms, count);
+          dst, terms, count, scale);
       return;
     }
   }
-  weighted_sum_generic(dst, dst_stride, terms, k, count);
+  weighted_sum_generic(dst, dst_stride, terms, k, count, scale);
+}
+
+bool run_weighted_sum_simd(double* dst, std::ptrdiff_t dst_stride,
+                           const ResolvedTerm* terms, int k, int count,
+                           bool alias_free, StoreScale scale) {
+  if (alias_free && dst_stride == 1 && k <= kMaxSpecializedK) {
+    bool stride1 = true;
+    bool unit = !scale.present;
+    for (int t = 0; t < k; ++t) {
+      if (terms[t].ptr == nullptr || terms[t].stride != 1) stride1 = false;
+      if (terms[t].has_coeff || terms[t].subtract) unit = false;
+    }
+    if (stride1) {
+#if defined(HPFSC_X86_TARGET_VERSIONS)
+      if (unit && cpu_prefers_avx512()) {
+        kUnitSimdAvx512[static_cast<std::size_t>(k)](dst, terms, count,
+                                                     scale);
+        return true;
+      }
+      if (cpu_prefers_avx2()) {
+        (unit ? kUnitSimdAvx2
+              : kWeightedSimdAvx2)[static_cast<std::size_t>(k)](dst, terms,
+                                                                count, scale);
+        return true;
+      }
+#endif
+      (unit ? kUnitSimdBase
+            : kWeightedSimdBase)[static_cast<std::size_t>(k)](dst, terms,
+                                                              count, scale);
+      return true;
+    }
+  }
+  run_weighted_sum(dst, dst_stride, terms, k, count, alias_free, scale);
+  return false;
 }
 
 }  // namespace hpfsc::exec

@@ -6,11 +6,12 @@
 // plan shape every pass funnels stencils into — per store, a
 // left-associated weighted sum of K offset loads,
 //
-//     dst(i) = t1 (+|-) t2 (+|-) ... (+|-) tK,
+//     dst(i) = [scale *] t1 (+|-) t2 (+|-) ... (+|-) tK [* scale],
 //     tk in { load_k, coeff_k * load_k, load_k * coeff_k, coeff_k }
 //
-// where each coeff_k is a pure scalar expression (constants and scalar
-// parameters only, loop-invariant).  Both the plain and the
+// where each coeff_k (and the optional whole-sum scale, the Jacobi
+// `0.25 * (...)` shape) is a pure scalar expression (constants and
+// scalar parameters only, loop-invariant).  Both the plain and the
 // scalar-replacement/unroll-and-jam plan forms normalize to it: register
 // forwarding flattens a chain of fused statements into one term list
 // without changing the interpreter's left-leaning evaluation order.
@@ -41,10 +42,15 @@ struct MicroTerm {
   bool subtract = false;         ///< applied with `-` instead of `+`
 };
 
-/// One store of the microkernel: dst[store_slot] = sum(terms).
+/// One store of the microkernel: dst[store_slot] = scale * sum(terms)
+/// (or sum * scale).  `scale` is a pure-scalar RPN program applied to
+/// the finished accumulation — the shape `c * (t1 + ... + tK)` the
+/// paper's Jacobi kernel produces; empty means no scaling.
 struct MicroStore {
   int store_slot = -1;
   std::vector<MicroTerm> terms;
+  std::vector<PlanInstr> scale;  ///< loop-invariant whole-sum factor
+  bool scale_on_left = true;     ///< scale*sum vs sum*scale
 };
 
 /// A classified plan: the stores in emission order.  `alias_free` is
@@ -74,6 +80,13 @@ struct ResolvedTerm {
   bool subtract = false;
 };
 
+/// Runtime form of a store's whole-sum scale factor after evaluation.
+struct StoreScale {
+  double value = 0.0;
+  bool present = false;
+  bool on_left = true;  ///< value*sum vs sum*value
+};
+
 /// Evaluates a pure-scalar RPN program against the scalar environment.
 [[nodiscard]] double eval_coeff(const std::vector<PlanInstr>& code,
                                 const double* scalar_env);
@@ -84,6 +97,18 @@ struct ResolvedTerm {
 /// strides are 1).  Pointers in `terms` are NOT advanced by the call.
 void run_weighted_sum(double* dst, std::ptrdiff_t dst_stride,
                       const ResolvedTerm* terms, int k, int count,
-                      bool alias_free);
+                      bool alias_free, StoreScale scale = {});
+
+/// Tier-3 variant: prefers the explicitly vectorized stride-1 kernels
+/// (`#pragma omp simd` with widest-available x86 codegen selected at
+/// runtime; lane math is plain add/mul, never FMA, so every lane is
+/// bitwise-identical to the scalar tiers).  Returns true when the SIMD
+/// path ran.  Returns false after falling back to `run_weighted_sum`
+/// (non-unit dst or term strides, aliasing, pure-scalar terms, or
+/// k beyond the specialization limit) so the caller can attribute the
+/// work to the compiled tier — fallback is per-plan, never per-process.
+bool run_weighted_sum_simd(double* dst, std::ptrdiff_t dst_stride,
+                           const ResolvedTerm* terms, int k, int count,
+                           bool alias_free, StoreScale scale = {});
 
 }  // namespace hpfsc::exec

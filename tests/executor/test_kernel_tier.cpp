@@ -1,14 +1,17 @@
-// Two-tier kernel execution: every program must produce bitwise
-// identical array contents and identical MachineStats whether its loop
-// nests run through the compiled microkernels (KernelTier::Auto) or the
-// bytecode interpreter (KernelTier::InterpreterOnly).  The interpreter
-// is the semantics oracle; the compiled tier is only allowed to be
-// faster, never different.
+// Kernel-tier execution: every program must produce bitwise identical
+// array contents and identical MachineStats whether its loop nests run
+// through the compiled microkernels (KernelTier::Auto), the vectorized
+// cache-blocked tier (KernelTier::Simd), or the bytecode interpreter
+// (KernelTier::InterpreterOnly).  The interpreter is the semantics
+// oracle; the other tiers are only allowed to be faster, never
+// different.
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "driver/hpfsc.hpp"
@@ -42,7 +45,7 @@ struct RunResult {
 };
 
 RunResult run_case(const TierKernelCase& c, int level, int n,
-                   KernelTier tier) {
+                   KernelTier tier, int block_i = 0, int block_j = 0) {
   CompilerOptions opts = level < 0 ? CompilerOptions::xlhpf_like()
                                    : CompilerOptions::level(level);
   opts.passes.offset.live_out = c.live_out;
@@ -50,6 +53,7 @@ RunResult run_case(const TierKernelCase& c, int level, int n,
   CompiledProgram compiled = compiler.compile(c.source, opts);
   Execution exec(std::move(compiled.program), simpi::MachineConfig{});
   exec.set_kernel_tier(tier);
+  if (block_i > 0 && block_j > 0) exec.set_block_size(block_i, block_j);
   Bindings b;
   b.set("N", n);
   if (c.needs_coefficients) {
@@ -82,6 +86,23 @@ struct TierCase {
 
 class KernelTierEquivalence : public ::testing::TestWithParam<TierCase> {};
 
+void expect_same_results(const TierKernelCase& c, const RunResult& interp,
+                         const RunResult& other, const char* label) {
+  SCOPED_TRACE(label);
+  // Bitwise array equality across every live-out array.
+  ASSERT_EQ(interp.arrays.size(), other.arrays.size());
+  for (std::size_t a = 0; a < interp.arrays.size(); ++a) {
+    ASSERT_EQ(interp.arrays[a].size(), other.arrays[a].size());
+    for (std::size_t k = 0; k < interp.arrays[a].size(); ++k) {
+      ASSERT_EQ(interp.arrays[a][k], other.arrays[a][k])
+          << c.live_out[a] << "[" << k << "]";
+    }
+  }
+  // Identical machine statistics: dispatch tier must not change the
+  // modeled communication, copies, or kernel reference accounting.
+  EXPECT_EQ(interp.machine_json, other.machine_json);
+}
+
 TEST_P(KernelTierEquivalence, CompiledTierIsBitwiseIdentical) {
   const TierCase& p = GetParam();
   const TierKernelCase c =
@@ -90,21 +111,40 @@ TEST_P(KernelTierEquivalence, CompiledTierIsBitwiseIdentical) {
                " n=" + std::to_string(p.n));
   RunResult interp = run_case(c, p.level, p.n, KernelTier::InterpreterOnly);
   RunResult compiled = run_case(c, p.level, p.n, KernelTier::Auto);
-  // Bitwise array equality across every live-out array.
-  ASSERT_EQ(interp.arrays.size(), compiled.arrays.size());
-  for (std::size_t a = 0; a < interp.arrays.size(); ++a) {
-    ASSERT_EQ(interp.arrays[a].size(), compiled.arrays[a].size());
-    for (std::size_t k = 0; k < interp.arrays[a].size(); ++k) {
-      ASSERT_EQ(interp.arrays[a][k], compiled.arrays[a][k])
-          << c.live_out[a] << "[" << k << "]";
-    }
-  }
-  // Identical machine statistics: dispatch tier must not change the
-  // modeled communication, copies, or kernel reference accounting.
-  EXPECT_EQ(interp.machine_json, compiled.machine_json);
-  // The interpreter run must not have touched the compiled tier.
+  expect_same_results(c, interp, compiled, "compiled");
+  // The interpreter run must not have touched the other tiers.
   EXPECT_EQ(interp.stats.tier.compiled_elements, 0u);
   EXPECT_EQ(interp.stats.tier.compiled_plan_runs, 0u);
+  EXPECT_EQ(interp.stats.tier.simd_elements, 0u);
+  EXPECT_EQ(interp.stats.tier.simd_plan_runs, 0u);
+}
+
+TEST_P(KernelTierEquivalence, SimdTierIsBitwiseIdentical) {
+  const TierCase& p = GetParam();
+  const TierKernelCase c =
+      paper_kernel_cases()[static_cast<std::size_t>(p.kernel)];
+  SCOPED_TRACE(std::string(c.name) + " level=" + std::to_string(p.level) +
+               " n=" + std::to_string(p.n));
+  RunResult interp = run_case(c, p.level, p.n, KernelTier::InterpreterOnly);
+  RunResult simd = run_case(c, p.level, p.n, KernelTier::Simd);
+  expect_same_results(c, interp, simd, "simd");
+  // Auto must never dispatch to the SIMD kernels.
+  RunResult compiled = run_case(c, p.level, p.n, KernelTier::Auto);
+  EXPECT_EQ(compiled.stats.tier.simd_elements, 0u);
+}
+
+TEST_P(KernelTierEquivalence, SimdTierBlockedTraversalIsBitwiseIdentical) {
+  const TierCase& p = GetParam();
+  const TierKernelCase c =
+      paper_kernel_cases()[static_cast<std::size_t>(p.kernel)];
+  SCOPED_TRACE(std::string(c.name) + " level=" + std::to_string(p.level) +
+               " n=" + std::to_string(p.n));
+  RunResult interp = run_case(c, p.level, p.n, KernelTier::InterpreterOnly);
+  // Tiny odd block sizes that never divide the N in play: every nest
+  // gets partial blocks on both edges, and the outer size is forced
+  // through the round-down-to-width alignment path.
+  RunResult blocked = run_case(c, p.level, p.n, KernelTier::Simd, 5, 3);
+  expect_same_results(c, interp, blocked, "simd blocked 5x3");
 }
 
 std::vector<TierCase> tier_cases() {
@@ -180,6 +220,155 @@ TEST(KernelTier, UnclassifiablePlanFallsBackToInterpreter) {
           << i << "," << j;
     }
   }
+}
+
+TEST(KernelTier, SimdTierHandlesAllNestsAtO4) {
+  TierKernelCase c = paper_kernel_cases()[2];  // Problem9
+  RunResult r = run_case(c, 4, 16, KernelTier::Simd);
+  EXPECT_GT(r.stats.tier.simd_elements, 0u);
+  EXPECT_GT(r.stats.tier.simd_plan_runs, 0u);
+  EXPECT_EQ(r.stats.tier.interpreter_elements, 0u);
+  EXPECT_EQ(r.stats.tier.compiled_elements, 0u);
+  // Every interior element went through a SIMD kernel exactly once.
+  EXPECT_EQ(r.stats.tier.simd_elements, 16u * 16u);
+}
+
+std::pair<std::vector<double>, Execution::RunStats> run_simple(
+    const char* src, KernelTier tier, int n) {
+  CompilerOptions opts = CompilerOptions::level(4);
+  opts.passes.offset.live_out = {"T"};
+  Compiler compiler;
+  CompiledProgram compiled = compiler.compile(src, opts);
+  Execution exec(std::move(compiled.program), simpi::MachineConfig{});
+  exec.set_kernel_tier(tier);
+  exec.prepare(Bindings{}.set("N", n));
+  exec.set_array("U", [](int i, int j, int) { return 0.5 * i - 0.25 * j; });
+  Execution::RunStats stats = exec.run(1);
+  return {exec.get_array("T"), stats};
+}
+
+TEST(KernelTier, SimdTierFallsBackPerPlanOnPureScalarTerm) {
+  // T = U + 2.0 classifies, but the constant term has no pointer to
+  // vectorize over: the SIMD dispatcher must decline this one plan and
+  // route it through the compiled generic kernel (per-plan fallback,
+  // not a process-wide tier change), bitwise-identical to the oracle.
+  const char* src =
+      "INTEGER N\nREAL U(N,N), T(N,N)\n"
+      "!HPF$ DISTRIBUTE U(BLOCK,BLOCK)\n"
+      "!HPF$ DISTRIBUTE T(BLOCK,BLOCK)\n"
+      "T = U + 2.0\n";
+  auto [t_interp, s_interp] = run_simple(src, KernelTier::InterpreterOnly, 9);
+  auto [t_simd, s_simd] = run_simple(src, KernelTier::Simd, 9);
+  ASSERT_EQ(t_interp.size(), t_simd.size());
+  for (std::size_t k = 0; k < t_interp.size(); ++k) {
+    ASSERT_EQ(t_interp[k], t_simd[k]) << "T[" << k << "]";
+  }
+  EXPECT_GT(s_interp.tier.interpreter_elements, 0u);
+  EXPECT_EQ(s_simd.tier.simd_elements, 0u);
+  EXPECT_GT(s_simd.tier.compiled_elements, 0u);
+}
+
+TEST(KernelTier, SimdTierMatchesOracleOnAliasedPlan) {
+  // T reads and writes itself through a shift; whether the optimizer
+  // leaves the alias in place or breaks it with a temporary, the SIMD
+  // tier must stay bitwise-identical to the interpreter (aliased plans
+  // are declined per-plan by the restrict-qualified kernels).
+  const char* src =
+      "INTEGER N\nREAL U(N,N), T(N,N)\n"
+      "!HPF$ DISTRIBUTE U(BLOCK,BLOCK)\n"
+      "!HPF$ DISTRIBUTE T(BLOCK,BLOCK)\n"
+      "T = U\n"
+      "T = T + CSHIFT(T,+1,1)\n";
+  auto [t_interp, s_interp] = run_simple(src, KernelTier::InterpreterOnly, 11);
+  auto [t_simd, s_simd] = run_simple(src, KernelTier::Simd, 11);
+  (void)s_interp;
+  (void)s_simd;
+  ASSERT_EQ(t_interp.size(), t_simd.size());
+  for (std::size_t k = 0; k < t_interp.size(); ++k) {
+    ASSERT_EQ(t_interp[k], t_simd[k]) << "T[" << k << "]";
+  }
+}
+
+TEST(KernelTier, ScaledSumRunsCompiledAndMatchesOracle) {
+  // A Jacobi-style whole-sum scale: the 0.25 factor is loop-invariant
+  // and must be carried on the store (applied after the left-assoc sum)
+  // so the compiled and SIMD tiers reproduce the interpreter's trailing
+  // multiply bitwise.
+  const char* src =
+      "INTEGER N\nREAL U(N,N), T(N,N)\n"
+      "!HPF$ DISTRIBUTE U(BLOCK,BLOCK)\n"
+      "!HPF$ DISTRIBUTE T(BLOCK,BLOCK)\n"
+      "T = 0.25 * (CSHIFT(U,-1,1) + CSHIFT(U,+1,1) + CSHIFT(U,-1,2) + "
+      "CSHIFT(U,+1,2))\n";
+  auto [t_interp, s_interp] = run_simple(src, KernelTier::InterpreterOnly, 13);
+  auto [t_auto, s_auto] = run_simple(src, KernelTier::Auto, 13);
+  auto [t_simd, s_simd] = run_simple(src, KernelTier::Simd, 13);
+  ASSERT_EQ(t_interp.size(), t_auto.size());
+  ASSERT_EQ(t_interp.size(), t_simd.size());
+  for (std::size_t k = 0; k < t_interp.size(); ++k) {
+    ASSERT_EQ(t_interp[k], t_auto[k]) << "auto T[" << k << "]";
+    ASSERT_EQ(t_interp[k], t_simd[k]) << "simd T[" << k << "]";
+  }
+  // The scaled store must actually classify: no interpreter drain in
+  // the upper tiers.
+  EXPECT_EQ(s_auto.tier.interpreter_elements, 0u);
+  EXPECT_GT(s_auto.tier.compiled_elements, 0u);
+  EXPECT_EQ(s_simd.tier.interpreter_elements, 0u);
+  EXPECT_GT(s_simd.tier.simd_elements, 0u);
+  (void)s_interp;
+}
+
+TEST(KernelTier, EnvironmentVariableSelectsSimd) {
+  ::setenv("HPFSC_KERNEL_TIER", "simd", 1);
+  TierKernelCase c = paper_kernel_cases()[2];
+  CompilerOptions opts = CompilerOptions::level(4);
+  opts.passes.offset.live_out = {"T"};
+  Compiler compiler;
+  CompiledProgram compiled = compiler.compile(c.source, opts);
+  Execution exec(std::move(compiled.program), simpi::MachineConfig{});
+  ::unsetenv("HPFSC_KERNEL_TIER");
+  EXPECT_EQ(exec.kernel_tier(), KernelTier::Simd);
+  exec.prepare(Bindings{}.set("N", 16));
+  exec.set_array("U", [](int i, int j, int) { return i + 0.5 * j; });
+  Execution::RunStats stats = exec.run(1);
+  EXPECT_GT(stats.tier.simd_elements, 0u);
+}
+
+TEST(KernelTier, EnvironmentVariableRejectsUnknownTier) {
+  // A typo used to silently run the default tier; it must be loud now.
+  ::setenv("HPFSC_KERNEL_TIER", "interpretor", 1);
+  TierKernelCase c = paper_kernel_cases()[2];
+  CompilerOptions opts = CompilerOptions::level(4);
+  opts.passes.offset.live_out = {"T"};
+  Compiler compiler;
+  CompiledProgram compiled = compiler.compile(c.source, opts);
+  EXPECT_THROW(Execution(std::move(compiled.program), simpi::MachineConfig{}),
+               std::invalid_argument);
+  ::unsetenv("HPFSC_KERNEL_TIER");
+}
+
+TEST(KernelTier, BlockEnvironmentVariableParsesAndValidates) {
+  TierKernelCase c = paper_kernel_cases()[2];
+  CompilerOptions opts = CompilerOptions::level(4);
+  opts.passes.offset.live_out = {"T"};
+  Compiler compiler;
+  {
+    ::setenv("HPFSC_BLOCK", "48x64", 1);
+    CompiledProgram compiled = compiler.compile(c.source, opts);
+    Execution exec(std::move(compiled.program), simpi::MachineConfig{});
+    EXPECT_EQ(exec.block_i(), 48);
+    EXPECT_EQ(exec.block_j(), 64);
+  }
+  for (const char* bad : {"48", "48x", "x64", "0x64", "48x-1", "48x64x2",
+                          "abc"}) {
+    ::setenv("HPFSC_BLOCK", bad, 1);
+    CompiledProgram compiled = compiler.compile(c.source, opts);
+    EXPECT_THROW(
+        Execution(std::move(compiled.program), simpi::MachineConfig{}),
+        std::invalid_argument)
+        << "HPFSC_BLOCK=" << bad;
+  }
+  ::unsetenv("HPFSC_BLOCK");
 }
 
 TEST(KernelTier, EnvironmentVariableForcesInterpreter) {

@@ -5,6 +5,7 @@
 #include "executor/kernels.hpp"
 
 #include <algorithm>
+#include <array>
 
 namespace hpfsc::exec {
 namespace {
@@ -177,6 +178,88 @@ TEST(MicroKernel, ClassifiesUnrolledMultiStore) {
   }
 }
 
+// -- multi_store_safe boundary audit -----------------------------------
+// Store-major execution of a W-wide plan applies every store once per
+// strip, with strips box_lo, box_lo+W, ... along the unroll dimension.
+// Two stores of the same array whose offsets differ by delta along that
+// dimension write the same location in *different strips* exactly when
+// delta is a multiple of W — so delta == W must be rejected (the
+// off-by-one above the widest shape unroll-and-jam produces, W-1), and
+// any 0 < delta < W is provably disjoint.  Along the inner dimension
+// every store sweeps the whole strip, so no nonzero offset is safe.
+// These plans are built by hand to pin the exact boundary:
+// unroll-and-jam itself can only produce deltas in [1, W-1].
+
+KernelPlan two_store_plan(int width, std::array<int, 3> store_a_off,
+                          std::array<int, 3> store_b_off) {
+  KernelPlan plan;
+  plan.width = width;
+  plan.load_slots.push_back(spmd::Load{0, {0, 0, 0}});  // array 0 = A
+  plan.load_slots.push_back(spmd::Load{0, {0, 1, 0}});
+  plan.store_slots.push_back(
+      spmd::Load{1, {store_a_off[0], store_a_off[1], store_a_off[2]}});
+  plan.store_slots.push_back(
+      spmd::Load{1, {store_b_off[0], store_b_off[1], store_b_off[2]}});
+  plan.instrs.push_back(PlanInstr{PlanInstr::Op::LoadPtr, 0, 0, 0.0});
+  plan.instrs.push_back(PlanInstr{PlanInstr::Op::PopStore, 0, 0, 0.0});
+  plan.instrs.push_back(PlanInstr{PlanInstr::Op::LoadPtr, 1, 0, 0.0});
+  plan.instrs.push_back(PlanInstr{PlanInstr::Op::PopStore, 1, 0, 0.0});
+  plan.max_stack = 1;
+  return plan;
+}
+
+TEST(MicroKernel, MultiStoreAcceptsDeltaUpToWidthMinusOne) {
+  // inner_dim = 0, unroll_dim = 1; delta = W-1 is the widest disjoint
+  // shape (the last jammed instance of a width-W unroll).
+  auto micro = classify_weighted_sum(two_store_plan(4, {0, 0, 0}, {0, 3, 0}),
+                                     0, 1);
+  ASSERT_TRUE(micro.has_value());
+  EXPECT_EQ(micro->stores.size(), 2u);
+  EXPECT_TRUE(micro->alias_free);
+}
+
+TEST(MicroKernel, MultiStoreRejectsDeltaEqualToWidth) {
+  // delta == W: strip o's second store hits strip o+W's first store.
+  EXPECT_FALSE(
+      classify_weighted_sum(two_store_plan(4, {0, 0, 0}, {0, 4, 0}), 0, 1)
+          .has_value());
+  // Off-by-one width: W = 2 with delta 2 must also be rejected...
+  EXPECT_FALSE(
+      classify_weighted_sum(two_store_plan(2, {0, 0, 0}, {0, 2, 0}), 0, 1)
+          .has_value());
+  // ...while delta 1 under the same width is the jammed shape.
+  EXPECT_TRUE(
+      classify_weighted_sum(two_store_plan(2, {0, 0, 0}, {0, 1, 0}), 0, 1)
+          .has_value());
+}
+
+TEST(MicroKernel, MultiStoreRejectsWidthOneAndIdenticalOffsets) {
+  // Width-1 plans (rank-1 nests and epilogues) admit no disjoint delta.
+  EXPECT_FALSE(
+      classify_weighted_sum(two_store_plan(1, {0, 0, 0}, {0, 1, 0}), 0, 1)
+          .has_value());
+  // delta == 0: both stores write the same element of the same strip.
+  EXPECT_FALSE(
+      classify_weighted_sum(two_store_plan(4, {0, 1, 0}, {0, 1, 0}), 0, 1)
+          .has_value());
+}
+
+TEST(MicroKernel, MultiStoreRejectsUnrollAlongInnerDimension) {
+  // unroll_dim == inner_dim (rank-1 shape): each store sweeps the whole
+  // strip along dimension 0, so offsets 1 apart still overlap.
+  EXPECT_FALSE(
+      classify_weighted_sum(two_store_plan(4, {0, 0, 0}, {1, 0, 0}), 0, 0)
+          .has_value());
+}
+
+TEST(MicroKernel, MultiStoreRejectsOffsetOffTheUnrollDimension) {
+  // Offsets differing along the *inner* dimension are never disjoint,
+  // whatever the width.
+  EXPECT_FALSE(
+      classify_weighted_sum(two_store_plan(4, {1, 1, 0}, {0, 1, 0}), 0, 1)
+          .has_value());
+}
+
 TEST(MicroKernel, RejectsMultiStoreReadingStoredArray) {
   // The naive (non-scalar-replaced) plan re-loads T between its seven
   // stores of T: store-major execution would reorder those accesses, so
@@ -272,6 +355,87 @@ TEST(MicroKernel, RejectsShapesTheTemplatesCannotReproduce) {
                                     Instr{Instr::Op::PushLoad, 1, 0.0},
                                     Instr{Instr::Op::Mul, 0, 0.0}});
   EXPECT_FALSE(classify_weighted_sum(mul, 0, 1).has_value());
+}
+
+TEST(MicroKernel, ClassifiesScaledSum) {
+  // T = 0.25 * (a + b + c + d), the Jacobi shape: the factor applies to
+  // the finished left-leaning sum, exactly the interpreter's trailing
+  // Mul, so it is carried as a whole-sum scale on the store.
+  spmd::Op op;
+  op.kind = spmd::OpKind::LoopNest;
+  op.rank = 2;
+  op.loads.push_back(spmd::Load{0, {-1, 0, 0}});
+  op.loads.push_back(spmd::Load{0, {1, 0, 0}});
+  op.loads.push_back(spmd::Load{0, {0, -1, 0}});
+  op.loads.push_back(spmd::Load{0, {0, 1, 0}});
+  spmd::Kernel k;
+  k.lhs_array = 1;
+  k.code.push_back(Instr{Instr::Op::PushConst, 0, 0.25});
+  for (int i = 0; i < 4; ++i) {
+    k.code.push_back(Instr{Instr::Op::PushLoad, i, 0.0});
+    if (i > 0) k.code.push_back(Instr{Instr::Op::Add, 0, 0.0});
+  }
+  k.code.push_back(Instr{Instr::Op::Mul, 0, 0.0});
+  op.kernels.push_back(std::move(k));
+  KernelPlan plan = build_kernel_plan(op, 1, 1);
+  auto micro = classify_weighted_sum(plan, 0, 1);
+  ASSERT_TRUE(micro.has_value());
+  ASSERT_EQ(micro->stores.size(), 1u);
+  const MicroStore& s = micro->stores[0];
+  EXPECT_EQ(s.terms.size(), 4u);
+  ASSERT_FALSE(s.scale.empty());
+  EXPECT_TRUE(s.scale_on_left);
+  double env[1] = {0.0};
+  EXPECT_EQ(eval_coeff(s.scale, env), 0.25);
+}
+
+TEST(MicroKernel, ScaledSumOnTheRightCarriesSideAndScalars) {
+  // T = (a + b) * C3: right-side scale with a scalar-parameter program.
+  spmd::Op op;
+  op.kind = spmd::OpKind::LoopNest;
+  op.rank = 2;
+  op.loads.push_back(spmd::Load{0, {0, 0, 0}});
+  op.loads.push_back(spmd::Load{0, {1, 0, 0}});
+  spmd::Kernel k;
+  k.lhs_array = 1;
+  k.code.push_back(Instr{Instr::Op::PushLoad, 0, 0.0});
+  k.code.push_back(Instr{Instr::Op::PushLoad, 1, 0.0});
+  k.code.push_back(Instr{Instr::Op::Add, 0, 0.0});
+  k.code.push_back(Instr{Instr::Op::PushScalar, 3, 0.0});
+  k.code.push_back(Instr{Instr::Op::Mul, 0, 0.0});
+  op.kernels.push_back(std::move(k));
+  KernelPlan plan = build_kernel_plan(op, 1, 1);
+  auto micro = classify_weighted_sum(plan, 0, 1);
+  ASSERT_TRUE(micro.has_value());
+  const MicroStore& s = micro->stores[0];
+  EXPECT_EQ(s.terms.size(), 2u);
+  ASSERT_FALSE(s.scale.empty());
+  EXPECT_FALSE(s.scale_on_left);
+  double env[8] = {0, 0, 0, 0.5};
+  EXPECT_EQ(eval_coeff(s.scale, env), 0.5);
+}
+
+TEST(MicroKernel, RejectsScaledSumInsideALongerChain) {
+  // T = 0.25 * (a + b) + c: folding the scaled sum into the outer Add
+  // would drop or reassociate the scale — must fall back.
+  spmd::Op op;
+  op.kind = spmd::OpKind::LoopNest;
+  op.rank = 2;
+  op.loads.push_back(spmd::Load{0, {0, 0, 0}});
+  op.loads.push_back(spmd::Load{0, {1, 0, 0}});
+  op.loads.push_back(spmd::Load{0, {-1, 0, 0}});
+  spmd::Kernel k;
+  k.lhs_array = 1;
+  k.code.push_back(Instr{Instr::Op::PushConst, 0, 0.25});
+  k.code.push_back(Instr{Instr::Op::PushLoad, 0, 0.0});
+  k.code.push_back(Instr{Instr::Op::PushLoad, 1, 0.0});
+  k.code.push_back(Instr{Instr::Op::Add, 0, 0.0});
+  k.code.push_back(Instr{Instr::Op::Mul, 0, 0.0});
+  k.code.push_back(Instr{Instr::Op::PushLoad, 2, 0.0});
+  k.code.push_back(Instr{Instr::Op::Add, 0, 0.0});
+  op.kernels.push_back(std::move(k));
+  KernelPlan plan = build_kernel_plan(op, 1, 1);
+  EXPECT_FALSE(classify_weighted_sum(plan, 0, 1).has_value());
 }
 
 TEST(MicroKernel, RejectsRightLeaningSum) {
