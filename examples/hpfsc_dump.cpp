@@ -59,6 +59,7 @@
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sinks.hpp"
+#include "serve/daemon.hpp"
 #include "service/service.hpp"
 
 namespace {
@@ -80,15 +81,22 @@ void usage() {
                "[--metrics-out=FILE] [--prom-out=FILE] "
                "[--roofline-out=FILE] [--postmortem-out=FILE] "
                "[--run] [--n=N] [--iters=K] [--steps=K] [--emulate] "
-               "[--serve-batch=FILE] [--workers=K] "
+               "[--serve-batch=FILE] [--workers=K] [--cache-dir=DIR] "
+               "[--tiered] [--queue-depth=K] "
                "(FILE | @problem9 | @ninept | @ninept-array | @fivept | "
                "@jacobi)\n"
                "  HPFSC_TRACE=<file> in the environment acts as a default "
                "--trace-out.\n"
                "  --steps=K repeats the request K times through the plan "
                "cache (cold vs. warm latency).\n"
-               "  --serve-batch=FILE serves 'INPUT LEVEL N STEPS' request "
-               "lines through a worker pool.\n"
+               "  --serve-batch=FILE serves 'INPUT LEVEL N STEPS [CLIENT]' "
+               "request lines through the serving daemon.\n"
+               "  --cache-dir=DIR persists compiled plans and warm-starts "
+               "the cache from them on the next run.\n"
+               "  --tiered answers first requests from the interpreter "
+               "tier and hot-swaps to the optimized plan when ready.\n"
+               "  --queue-depth=K bounds the admission queue; requests "
+               "beyond it are shed.\n"
                "  --metrics-out / --prom-out write the metrics registry "
                "(counters, gauges, latency histograms) as JSON / "
                "Prometheus text.\n"
@@ -282,10 +290,65 @@ bool write_roofline(const std::string& path, const std::string& stencil,
   return true;
 }
 
-/// --serve-batch: parse 'INPUT LEVEL N STEPS' request lines, serve them
-/// through a worker pool sharing one plan cache, report latencies and
+/// --serve-batch options beyond the request file itself.
+struct ServeBatchOptions {
+  int workers = 4;
+  std::string cache_dir;        ///< --cache-dir: persistent plan store
+  bool tiered = false;          ///< --tiered: interpreter-first + promote
+  std::size_t queue_depth = 64; ///< --queue-depth: admission bound
+};
+
+/// Parses one request line: INPUT LEVEL N STEPS [CLIENT].  Returns
+/// false (with *error set) on malformed input; true with line->input
+/// empty for blanks/comments.
+struct BatchLine {
+  std::string input;
+  std::string level;
+  int n = 0;
+  int steps = 0;
+  std::string client = "cli";
+};
+
+bool parse_batch_line(const std::string& text, BatchLine* line,
+                      std::string* error) {
+  std::stringstream ss(text);
+  if (!(ss >> line->input) || line->input[0] == '#') {
+    line->input.clear();
+    return true;  // blank or comment
+  }
+  std::string n_tok;
+  std::string steps_tok;
+  if (!(ss >> line->level >> n_tok >> steps_tok)) {
+    *error = "expected 'INPUT LEVEL N STEPS [CLIENT]'";
+    return false;
+  }
+  char* end = nullptr;
+  line->n = static_cast<int>(std::strtol(n_tok.c_str(), &end, 10));
+  if (*end != '\0' || line->n <= 0) {
+    *error = "N must be a positive integer, got '" + n_tok + "'";
+    return false;
+  }
+  line->steps =
+      static_cast<int>(std::strtol(steps_tok.c_str(), &end, 10));
+  if (*end != '\0' || line->steps <= 0) {
+    *error = "STEPS must be a positive integer, got '" + steps_tok + "'";
+    return false;
+  }
+  std::string extra;
+  if (ss >> line->client) {
+    if (ss >> extra) {
+      *error = "trailing token '" + extra + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+/// --serve-batch: parse 'INPUT LEVEL N STEPS [CLIENT]' request lines,
+/// serve them through the daemon (bounded admission queue, optional
+/// persistent plan cache and tiered promotion), report latencies and
 /// cache counters.
-int serve_batch(const std::string& path, int workers, int default_n,
+int serve_batch(const std::string& path, const ServeBatchOptions& opt,
                 const std::vector<std::string>& live_out,
                 const simpi::MachineConfig& mc,
                 hpfsc::obs::TraceSession* trace,
@@ -298,20 +361,21 @@ int serve_batch(const std::string& path, int workers, int default_n,
     return 2;
   }
 
-  struct Line {
-    std::string input;
-    std::string level;
-    int n;
-    int steps;
-  };
-  std::vector<Line> lines;
+  std::vector<BatchLine> lines;
   std::string text;
+  int lineno = 0;
   while (std::getline(file, text)) {
-    std::stringstream ss(text);
-    Line line{"", "O4", default_n, 1};
-    if (!(ss >> line.input) || line.input[0] == '#') continue;
-    ss >> line.level >> line.n >> line.steps;
-    lines.push_back(line);
+    ++lineno;
+    BatchLine line;
+    std::string error;
+    if (!parse_batch_line(text, &line, &error)) {
+      std::fprintf(stderr,
+                   "hpfsc_dump: batch line %d: malformed request '%s': %s\n",
+                   lineno, text.c_str(), error.c_str());
+      return 2;
+    }
+    if (line.input.empty()) continue;
+    lines.push_back(std::move(line));
   }
   if (lines.empty()) {
     std::fprintf(stderr, "hpfsc_dump: batch file '%s' has no requests\n",
@@ -319,47 +383,83 @@ int serve_batch(const std::string& path, int workers, int default_n,
     return 2;
   }
 
-  service::ServiceConfig cfg;
-  cfg.machine = mc;
-  cfg.trace = trace;
-  service::StencilService svc(cfg);
-  service::ServicePool pool(svc, workers);
+  serve::DaemonConfig dcfg;
+  dcfg.service.machine = mc;
+  dcfg.service.trace = trace;
+  dcfg.workers = opt.workers;
+  dcfg.queue_depth = opt.queue_depth;
+  dcfg.tiered = opt.tiered;
+  dcfg.cache_dir = opt.cache_dir;
+  std::unique_ptr<serve::ServeDaemon> daemon;
+  try {
+    daemon = std::make_unique<serve::ServeDaemon>(dcfg);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "hpfsc_dump: %s\n", e.what());
+    return 2;
+  }
 
   const auto start = std::chrono::steady_clock::now();
-  std::vector<std::future<service::ServiceResponse>> futures;
-  for (const Line& line : lines) {
-    service::ServiceRequest req;
-    if (!load_source(line.input, &req.source)) {
+  std::vector<std::optional<std::future<serve::ServeResponse>>> futures;
+  std::vector<std::string> shed_errors(lines.size());
+  futures.reserve(lines.size());
+  for (const BatchLine& line : lines) {
+    serve::ServeRequest req;
+    req.client = line.client;
+    if (!load_source(line.input, &req.request.source)) {
       std::fprintf(stderr, "hpfsc_dump: cannot open '%s'\n",
                    line.input.c_str());
       return 2;
     }
-    if (!parse_level(line.level, &req.options)) {
+    if (!parse_level(line.level, &req.request.options)) {
       std::fprintf(stderr, "hpfsc_dump: bad level '%s' in batch file\n",
                    line.level.c_str());
       return 2;
     }
-    req.options.passes.offset.live_out = live_out;
-    req.bindings = bindings_for(line.n);
-    req.steps = line.steps;
-    req.init = init_input_arrays;
-    futures.push_back(pool.submit(std::move(req)));
+    req.request.options.passes.offset.live_out = live_out;
+    req.request.bindings = bindings_for(line.n);
+    req.request.steps = line.steps;
+    req.request.init = init_input_arrays;
+    try {
+      futures.emplace_back(daemon->submit(std::move(req)));
+    } catch (const serve::AdmissionRejected& e) {
+      shed_errors[futures.size()] = e.what();
+      futures.emplace_back(std::nullopt);
+    }
   }
 
   std::printf("--- serve-batch (%zu requests, %d workers) ---\n",
-              lines.size(), pool.workers());
-  std::printf("%4s  %-16s %-6s %6s %6s  %-9s %10s\n", "#", "input", "level",
-              "n", "steps", "cache", "latency");
+              lines.size(), dcfg.workers);
+  if (opt.tiered) {
+    std::printf("%4s  %-16s %-6s %6s %6s  %-9s %-7s %10s\n", "#", "input",
+                "level", "n", "steps", "cache", "tier", "latency");
+  } else {
+    std::printf("%4s  %-16s %-6s %6s %6s  %-9s %10s\n", "#", "input",
+                "level", "n", "steps", "cache", "latency");
+  }
   int failures = 0;
-  std::vector<std::optional<service::ServiceResponse>> responses(
-      futures.size());
+  std::vector<std::optional<serve::ServeResponse>> responses(futures.size());
   for (std::size_t i = 0; i < futures.size(); ++i) {
-    const Line& line = lines[i];
-    try {
-      service::ServiceResponse r = futures[i].get();
-      std::printf("%4zu  %-16s %-6s %6d %6d  %-9s %8.3f ms\n", i,
+    const BatchLine& line = lines[i];
+    if (!futures[i]) {
+      ++failures;
+      std::printf("%4zu  %-16s %-6s %6d %6d  shed: %s\n", i,
                   line.input.c_str(), line.level.c_str(), line.n, line.steps,
-                  service::to_string(r.outcome), r.latency_seconds * 1e3);
+                  shed_errors[i].c_str());
+      continue;
+    }
+    try {
+      serve::ServeResponse r = futures[i]->get();
+      if (opt.tiered) {
+        std::printf("%4zu  %-16s %-6s %6d %6d  %-9s %-7s %8.3f ms\n", i,
+                    line.input.c_str(), line.level.c_str(), line.n,
+                    line.steps, service::to_string(r.outcome), r.tier,
+                    r.latency_seconds * 1e3);
+      } else {
+        std::printf("%4zu  %-16s %-6s %6d %6d  %-9s %8.3f ms\n", i,
+                    line.input.c_str(), line.level.c_str(), line.n,
+                    line.steps, service::to_string(r.outcome),
+                    r.latency_seconds * 1e3);
+      }
       responses[i] = std::move(r);
     } catch (const std::exception& e) {
       ++failures;
@@ -371,7 +471,7 @@ int serve_batch(const std::string& path, int workers, int default_n,
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
-  pool.shutdown();
+  daemon->shutdown();
 
   // Per-request reassembly: the phase breakdown the request-scoped
   // trace context carries — queue wait, compile-or-hit, run, and the
@@ -382,10 +482,11 @@ int serve_batch(const std::string& path, int workers, int default_n,
               "queue", "compile", "run", "comm-bytes");
   for (std::size_t i = 0; i < responses.size(); ++i) {
     if (!responses[i]) {
-      std::printf("%4zu  %-8s %-9s\n", i, "-", "error");
+      std::printf("%4zu  %-8s %-9s\n", i, "-",
+                  futures[i] ? "error" : "shed");
       continue;
     }
-    const service::ServiceResponse& r = *responses[i];
+    const serve::ServeResponse& r = *responses[i];
     std::string req = "req#" + std::to_string(r.request_id);
     std::printf("%4zu  %-8s %-9s %8.3f ms %8.3f ms %8.3f ms %12llu\n", i,
                 req.c_str(), service::to_string(r.outcome),
@@ -394,6 +495,7 @@ int serve_batch(const std::string& path, int workers, int default_n,
                 static_cast<unsigned long long>(r.stats.machine.bytes_sent));
   }
 
+  service::StencilService& svc = daemon->service();
   const service::CacheCounters c = svc.cache_counters();
   std::printf("--- cache ---\n");
   std::printf(
@@ -403,8 +505,28 @@ int serve_batch(const std::string& path, int workers, int default_n,
       static_cast<unsigned long long>(c.misses),
       static_cast<unsigned long long>(c.coalesced),
       static_cast<unsigned long long>(c.evictions), svc.cache_size());
+  if (!opt.cache_dir.empty() && daemon->store() != nullptr) {
+    const serve::StoreCounters& s = daemon->store()->counters();
+    std::printf(
+        "store: warmed %zu, saved %llu, refreshed %llu, skipped %llu "
+        "(corrupt %llu, version %llu)\n",
+        daemon->warm_started(), static_cast<unsigned long long>(s.saved),
+        static_cast<unsigned long long>(s.save_skipped),
+        static_cast<unsigned long long>(s.skipped()),
+        static_cast<unsigned long long>(s.skipped_corrupt),
+        static_cast<unsigned long long>(s.skipped_version));
+  }
+  if (opt.tiered) {
+    std::printf("tiers: promotions %.0f, failures %.0f\n",
+                svc.metrics().counter("serve.promotions_total"),
+                svc.metrics().counter("serve.promotion_failures_total"));
+  }
+  if (daemon->shed_total() > 0) {
+    std::printf("shed: %llu\n",
+                static_cast<unsigned long long>(daemon->shed_total()));
+  }
   std::printf("wall: %.3f ms, throughput: %.1f requests/s\n", wall * 1e3,
-              static_cast<double>(futures.size()) / wall);
+              static_cast<double>(lines.size()) / wall);
   if (trace != nullptr) trace->flush();
   if (!emit_metrics(metrics_out, &svc.metrics())) return 2;
   return failures == 0 ? 0 : 1;
@@ -426,7 +548,7 @@ int main(int argc, char** argv) {
   int n = 64;
   int iters = 1;
   int steps = 1;
-  int workers = 4;
+  ServeBatchOptions serve_opts;
   std::string serve_batch_path;
   std::string roofline_out;
   std::string postmortem_out;
@@ -476,7 +598,18 @@ int main(int argc, char** argv) {
     } else if ((v = flag_value(arg, "--serve-batch"))) {
       serve_batch_path = v;
     } else if ((v = flag_value(arg, "--workers"))) {
-      workers = std::atoi(v);
+      serve_opts.workers = std::atoi(v);
+    } else if ((v = flag_value(arg, "--cache-dir"))) {
+      serve_opts.cache_dir = v;
+    } else if (arg == "--tiered") {
+      serve_opts.tiered = true;
+    } else if ((v = flag_value(arg, "--queue-depth"))) {
+      const int depth = std::atoi(v);
+      if (depth <= 0) {
+        std::fprintf(stderr, "hpfsc_dump: --queue-depth must be positive\n");
+        return 2;
+      }
+      serve_opts.queue_depth = static_cast<std::size_t>(depth);
     } else if (arg == "--emulate") {
       emulate = true;
     } else if (arg == "-h" || arg == "--help") {
@@ -552,7 +685,7 @@ int main(int argc, char** argv) {
   obs::TraceSession* trace_ptr =
       session.enabled() || metrics_out.wanted() ? &session : nullptr;
   if (!serve_batch_path.empty()) {
-    return serve_batch(serve_batch_path, workers, n, live_out, mc, trace_ptr,
+    return serve_batch(serve_batch_path, serve_opts, live_out, mc, trace_ptr,
                        metrics_out);
   }
   if (trace_ptr != nullptr) {

@@ -215,6 +215,11 @@ void Execution::set_array(const std::string& name,
   machine_->set_elements(array_id(name), f);
 }
 
+void Execution::set_array(const std::string& name,
+                          std::span<const double> global) {
+  machine_->scatter(array_id(name), global);
+}
+
 std::vector<double> Execution::get_array(const std::string& name) {
   return machine_->gather(array_id(name));
 }

@@ -77,6 +77,11 @@ class Execution {
   /// Initializes an array's owned elements with f(i, j, k).
   void set_array(const std::string& name,
                  const std::function<double(int, int, int)>& f);
+  /// Scatters a dense column-major global vector (the shape get_array
+  /// returns) into an array's owned elements — the state-transfer half
+  /// of a tier hot-swap: gather from the old execution, scatter into
+  /// the new one at a run boundary.
+  void set_array(const std::string& name, std::span<const double> global);
   /// Gathers an array into a dense column-major global vector.
   [[nodiscard]] std::vector<double> get_array(const std::string& name);
 

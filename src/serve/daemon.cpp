@@ -1,0 +1,192 @@
+#include "serve/daemon.hpp"
+
+#include <utility>
+
+#include "obs/obs.hpp"
+
+namespace hpfsc::serve {
+
+AdmissionRejected::AdmissionRejected(std::string client, std::size_t depth)
+    : std::runtime_error("admission rejected: queue full (depth " +
+                         std::to_string(depth) + ") for client '" + client +
+                         "'"),
+      client_(std::move(client)),
+      depth_(depth) {}
+
+ServeDaemon::ServeDaemon(DaemonConfig config)
+    : config_(std::move(config)), service_(config_.service) {
+  if (config_.queue_depth == 0) config_.queue_depth = 1;
+  if (config_.workers < 1) config_.workers = 1;
+  if (!config_.cache_dir.empty()) {
+    store_ = std::make_unique<PlanStore>(config_.cache_dir);
+    warm_started_ = store_->warm_start(service_.cache());
+  }
+  service_.metrics().set_gauge("serve.queue_depth", 0.0);
+  threads_.reserve(static_cast<std::size_t>(config_.workers));
+  for (int w = 0; w < config_.workers; ++w) {
+    threads_.emplace_back([this, w] { worker_main(w); });
+  }
+}
+
+ServeDaemon::~ServeDaemon() { shutdown(); }
+
+std::uint64_t ServeDaemon::shed_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shed_;
+}
+
+void ServeDaemon::save_plan(const service::PlanHandle& plan) {
+  if (!store_) return;
+  std::lock_guard<std::mutex> lock(store_mutex_);
+  store_->save(*plan);
+}
+
+std::future<ServeResponse> ServeDaemon::submit(ServeRequest request) {
+  Item item;
+  item.request = std::move(request.request);
+  item.enqueued = std::chrono::steady_clock::now();
+  std::future<ServeResponse> future = item.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      throw std::logic_error("ServeDaemon::submit after shutdown");
+    }
+    if (queued_ >= config_.queue_depth) {
+      ++shed_;
+      // Count, then throw: serve.shed_total must match the number of
+      // AdmissionRejected exceptions exactly.
+      service_.metrics().add("serve.shed_total");
+      throw AdmissionRejected(std::move(request.client),
+                              config_.queue_depth);
+    }
+    std::deque<Item>& q = queues_[request.client];
+    if (q.empty()) rotation_.push_back(request.client);
+    q.push_back(std::move(item));
+    ++queued_;
+    service_.metrics().set_gauge("serve.queue_depth",
+                                 static_cast<double>(queued_));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+bool ServeDaemon::pop(Item& item, std::uint64_t& sequence) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return stopping_ || queued_ > 0; });
+  if (queued_ == 0) return false;  // stopping and drained
+  const std::string client = rotation_.front();
+  rotation_.pop_front();
+  std::deque<Item>& q = queues_[client];
+  item = std::move(q.front());
+  q.pop_front();
+  if (!q.empty()) {
+    rotation_.push_back(client);  // round-robin: back of the rotation
+  } else {
+    queues_.erase(client);
+  }
+  --queued_;
+  sequence = ++picked_;
+  service_.metrics().set_gauge("serve.queue_depth",
+                               static_cast<double>(queued_));
+  return true;
+}
+
+void ServeDaemon::serve_one(int index, Item& item, std::uint64_t sequence,
+                            service::Session& session,
+                            TieredSession* tiered) {
+  const std::uint64_t rid = obs::next_request_id();
+  obs::RequestScope rscope(rid);
+  const auto picked_up = std::chrono::steady_clock::now();
+  const double queue_seconds =
+      std::chrono::duration<double>(picked_up - item.enqueued).count();
+  service_.metrics().observe("serve.queue_wait_ms", queue_seconds * 1e3);
+  obs::Span span(service_.trace(), "serve.request", "serve");
+  span.arg("worker", index);
+  span.arg("sequence", sequence);
+  span.arg("queue_ms", queue_seconds * 1e3);
+  try {
+    const auto start = std::chrono::steady_clock::now();
+    ServeResponse response;
+    response.worker = index;
+    response.request_id = rid;
+    response.sequence = sequence;
+    response.queue_seconds = queue_seconds;
+    if (tiered != nullptr) {
+      TieredSession::RunResult result = tiered->run(item.request);
+      response.stats = result.stats;
+      response.outcome = result.outcome;
+      response.tier = result.tier;
+      response.state = result.state;
+      response.swapped = result.swapped;
+      // The tiered path interleaves compile and run (the optimized
+      // compile overlaps earlier runs), so the whole service time
+      // reports as run_seconds.
+      response.run_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+    } else {
+      service::PlanHandle plan = service_.compile(
+          item.request.source, item.request.options, &response.outcome);
+      if (response.outcome == service::CacheOutcome::Miss) {
+        save_plan(plan);
+      }
+      const auto compiled = std::chrono::steady_clock::now();
+      response.compile_seconds =
+          std::chrono::duration<double>(compiled - start).count();
+      service::RunRequest run;
+      run.plan = std::move(plan);
+      run.bindings = item.request.bindings;
+      run.steps = item.request.steps;
+      run.init = item.request.init;
+      response.stats = session.run(run);
+      response.run_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        compiled)
+              .count();
+    }
+    response.latency_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    span.arg_str("cache", to_string(response.outcome));
+    span.arg_str("tier", response.tier);
+    span.arg("latency_ms", response.latency_seconds * 1e3);
+    service_.metrics().observe("service.request_ms",
+                               response.latency_seconds * 1e3);
+    item.promise.set_value(std::move(response));
+  } catch (...) {
+    span.arg_str("cache", "error");
+    item.promise.set_exception(std::current_exception());
+  }
+}
+
+void ServeDaemon::worker_main(int index) {
+  service::Session session(service_);
+  std::unique_ptr<TieredSession> tiered;
+  if (config_.tiered) {
+    tiered = std::make_unique<TieredSession>(
+        service_, [this](const service::PlanHandle& plan) {
+          save_plan(plan);
+        });
+  }
+  Item item;
+  std::uint64_t sequence = 0;
+  while (pop(item, sequence)) {
+    serve_one(index, item, sequence, session, tiered.get());
+  }
+}
+
+void ServeDaemon::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+}  // namespace hpfsc::serve

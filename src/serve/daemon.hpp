@@ -1,0 +1,161 @@
+// The stencil serving daemon (DESIGN.md §12): a worker pool wrapped in
+// admission control, with optional persistent plan caching and tiered
+// compilation.
+//
+//   Admission — a bounded queue (DaemonConfig::queue_depth) with
+//     per-client round-robin fairness: submissions land in per-client
+//     FIFO sub-queues and workers pick the front request of each client
+//     in rotation, so one chatty client cannot starve the rest.  A
+//     submission that would exceed the bound is *shed*: submit() throws
+//     AdmissionRejected, the serve.shed_total counter increments, and
+//     nothing is queued.  serve.queue_depth (gauge) tracks the queued
+//     total; serve.queue_wait_ms (histogram) records admit-to-pickup
+//     latency of admitted requests.
+//   Persistence — with a cache_dir, the daemon warm-starts its plan
+//     cache from the directory's records at construction and saves
+//     every cold-compiled plan back (serialized by a mutex; best
+//     effort).  A restarted daemon therefore recompiles nothing it has
+//     already seen: compiles after warm start are pure cache hits with
+//     zero pass spans.
+//   Tiers — with `tiered`, each worker serves through a TieredSession
+//     (serve/tiered.hpp): first request per stencil answers from the
+//     interpreter tier immediately while the optimized plan compiles in
+//     the background, then hot-swaps.  serve.promotions_total counts
+//     completed swaps.  Without `tiered`, workers serve through plain
+//     service::Sessions exactly as ServicePool does.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/plan_store.hpp"
+#include "serve/tiered.hpp"
+#include "service/service.hpp"
+
+namespace hpfsc::serve {
+
+struct DaemonConfig {
+  service::ServiceConfig service;
+  int workers = 2;
+  /// Maximum queued (admitted, not yet picked up) requests across all
+  /// clients; 0 is clamped to 1.
+  std::size_t queue_depth = 64;
+  /// Serve through TieredSessions (interpreter first, background
+  /// promotion + hot-swap) instead of plain Sessions.
+  bool tiered = false;
+  /// Persistent plan-cache directory; empty disables persistence.
+  std::string cache_dir;
+};
+
+/// Thrown by ServeDaemon::submit when the admission queue is full.
+class AdmissionRejected : public std::runtime_error {
+ public:
+  AdmissionRejected(std::string client, std::size_t depth);
+
+  [[nodiscard]] const std::string& client() const { return client_; }
+  [[nodiscard]] std::size_t depth() const { return depth_; }
+
+ private:
+  std::string client_;
+  std::size_t depth_;
+};
+
+struct ServeRequest {
+  /// Fairness bucket; requests of one client are served FIFO, distinct
+  /// clients round-robin.
+  std::string client = "default";
+  service::ServiceRequest request;
+};
+
+struct ServeResponse {
+  Execution::RunStats stats;
+  service::CacheOutcome outcome = service::CacheOutcome::Miss;
+  double latency_seconds = 0.0;
+  double queue_seconds = 0.0;
+  double compile_seconds = 0.0;
+  double run_seconds = 0.0;
+  int worker = -1;
+  std::uint64_t request_id = 0;
+  /// Global admission pick order (1-based): the n-th request any worker
+  /// dequeued.  Makes round-robin fairness externally observable.
+  std::uint64_t sequence = 0;
+  /// Kernel tier that served this run: "auto" (non-tiered), else
+  /// "interp" / "simd".
+  const char* tier = "auto";
+  /// Promotion state after this run (tiered mode; Promoted otherwise).
+  TierState state = TierState::Promoted;
+  /// This run crossed the tier hot-swap boundary.
+  bool swapped = false;
+};
+
+class ServeDaemon {
+ public:
+  explicit ServeDaemon(DaemonConfig config);
+  ~ServeDaemon();
+
+  ServeDaemon(const ServeDaemon&) = delete;
+  ServeDaemon& operator=(const ServeDaemon&) = delete;
+
+  /// Admits or sheds.  Throws AdmissionRejected (after counting it in
+  /// serve.shed_total) when the queue is at depth, std::logic_error
+  /// after shutdown().  Errors from serving propagate via the future.
+  std::future<ServeResponse> submit(ServeRequest request);
+
+  /// Stops admitting, drains admitted requests, joins the workers.
+  void shutdown();
+
+  [[nodiscard]] service::StencilService& service() { return service_; }
+  [[nodiscard]] const DaemonConfig& config() const { return config_; }
+  /// Null when persistence is disabled.
+  [[nodiscard]] const PlanStore* store() const { return store_.get(); }
+  /// Plans restored from the cache directory at construction.
+  [[nodiscard]] std::size_t warm_started() const { return warm_started_; }
+  /// Requests rejected by admission control so far.
+  [[nodiscard]] std::uint64_t shed_total() const;
+
+ private:
+  struct Item {
+    service::ServiceRequest request;
+    std::promise<ServeResponse> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void worker_main(int index);
+  /// Pops the next request round-robin; false when stopping and empty.
+  bool pop(Item& item, std::uint64_t& sequence);
+  void serve_one(int index, Item& item, std::uint64_t sequence,
+                 service::Session& session, TieredSession* tiered);
+  void save_plan(const service::PlanHandle& plan);
+
+  DaemonConfig config_;
+  service::StencilService service_;
+  std::unique_ptr<PlanStore> store_;
+  std::mutex store_mutex_;  ///< PlanStore is not thread-safe
+  std::size_t warm_started_ = 0;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  /// Per-client FIFO sub-queues plus the round-robin rotation of
+  /// clients that currently have queued work.
+  std::map<std::string, std::deque<Item>> queues_;
+  std::list<std::string> rotation_;
+  std::size_t queued_ = 0;
+  std::uint64_t picked_ = 0;
+  std::uint64_t shed_ = 0;
+  bool stopping_ = false;
+
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace hpfsc::serve

@@ -1,0 +1,384 @@
+#include "serve/plan_io.hpp"
+
+#include <cstring>
+
+namespace hpfsc::serve {
+
+namespace {
+
+// ---- primitive encoder/decoder ---------------------------------------
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+  void str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    buf_.append(s.data(), s.size());
+  }
+
+  [[nodiscard]] std::string take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(u8()) << (8 * i);
+    }
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(u8()) << (8 * i);
+    }
+    return v;
+  }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  std::string str() {
+    const std::uint32_t n = u32();
+    need(n);
+    std::string s(data_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+  /// Element count of a vector about to be read.  Each element encodes
+  /// to >= 1 byte, so a count beyond the remaining bytes is malformed —
+  /// rejecting it here caps allocations on corrupt input.
+  std::uint32_t count() {
+    const std::uint32_t n = u32();
+    if (n > data_.size() - pos_) {
+      throw PlanFormatError("element count exceeds remaining bytes");
+    }
+    return n;
+  }
+
+  [[nodiscard]] std::size_t pos() const { return pos_; }
+
+ private:
+  void need(std::size_t n) {
+    if (data_.size() - pos_ < n) {
+      throw PlanFormatError("truncated plan payload");
+    }
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+// ---- spmd::Program fields --------------------------------------------
+
+void put_bound(Writer& w, const ir::AffineBound& b) {
+  w.str(b.param);
+  w.i32(b.constant);
+}
+
+ir::AffineBound get_bound(Reader& r) {
+  ir::AffineBound b;
+  b.param = r.str();
+  b.constant = r.i32();
+  return b;
+}
+
+void put_section(Writer& w, const ir::SectionRange& s) {
+  put_bound(w, s.lo);
+  put_bound(w, s.hi);
+}
+
+ir::SectionRange get_section(Reader& r) {
+  ir::SectionRange s;
+  s.lo = get_bound(r);
+  s.hi = get_bound(r);
+  return s;
+}
+
+template <typename T, std::size_t N>
+void put_ints(Writer& w, const std::array<T, N>& a) {
+  for (const T& v : a) w.i32(static_cast<std::int32_t>(v));
+}
+
+template <typename T, std::size_t N>
+void get_ints(Reader& r, std::array<T, N>& a) {
+  for (T& v : a) v = static_cast<T>(r.i32());
+}
+
+void put_instrs(Writer& w, const std::vector<spmd::Instr>& code) {
+  w.u32(static_cast<std::uint32_t>(code.size()));
+  for (const spmd::Instr& ins : code) {
+    w.u8(static_cast<std::uint8_t>(ins.op));
+    w.i32(ins.idx);
+    w.f64(ins.value);
+  }
+}
+
+std::vector<spmd::Instr> get_instrs(Reader& r) {
+  const std::uint32_t n = r.count();
+  std::vector<spmd::Instr> code(n);
+  for (spmd::Instr& ins : code) {
+    const std::uint8_t op = r.u8();
+    if (op > static_cast<std::uint8_t>(spmd::Instr::Op::Ne)) {
+      throw PlanFormatError("bad instruction opcode");
+    }
+    ins.op = static_cast<spmd::Instr::Op>(op);
+    ins.idx = r.i32();
+    ins.value = r.f64();
+  }
+  return code;
+}
+
+void put_op(Writer& w, const spmd::Op& op);
+
+void put_ops(Writer& w, const std::vector<spmd::Op>& ops) {
+  w.u32(static_cast<std::uint32_t>(ops.size()));
+  for (const spmd::Op& op : ops) put_op(w, op);
+}
+
+void put_op(Writer& w, const spmd::Op& op) {
+  w.u8(static_cast<std::uint8_t>(op.kind));
+  w.u32(static_cast<std::uint32_t>(op.arrays.size()));
+  for (int a : op.arrays) w.i32(a);
+  w.i32(op.array);
+  w.i32(op.src);
+  w.i32(op.shift);
+  w.i32(op.dim);
+  w.u8(static_cast<std::uint8_t>(op.shift_kind));
+  put_instrs(w, op.boundary);
+  put_ints(w, op.rsd.lo);
+  put_ints(w, op.rsd.hi);
+  put_ints(w, op.copy_offset);
+  w.i32(op.rank);
+  for (const ir::SectionRange& s : op.bounds) put_section(w, s);
+  put_ints(w, op.loop_order);
+  w.i32(op.unroll);
+  w.u8(op.scalar_replace ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(op.loads.size()));
+  for (const spmd::Load& ld : op.loads) {
+    w.i32(ld.array);
+    put_ints(w, ld.offset);
+  }
+  w.u32(static_cast<std::uint32_t>(op.kernels.size()));
+  for (const spmd::Kernel& k : op.kernels) {
+    w.i32(k.lhs_array);
+    put_ints(w, k.lhs_offset);
+    put_instrs(w, k.code);
+  }
+  w.i32(op.scalar);
+  put_instrs(w, op.expr);
+  put_instrs(w, op.cond);
+  put_ops(w, op.then_ops);
+  put_ops(w, op.else_ops);
+  w.i32(op.var);
+  put_bound(w, op.lo);
+  put_bound(w, op.hi);
+  put_ops(w, op.body);
+}
+
+spmd::Op get_op(Reader& r);
+
+std::vector<spmd::Op> get_ops(Reader& r) {
+  const std::uint32_t n = r.count();
+  std::vector<spmd::Op> ops;
+  ops.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) ops.push_back(get_op(r));
+  return ops;
+}
+
+spmd::Op get_op(Reader& r) {
+  spmd::Op op;
+  const std::uint8_t kind = r.u8();
+  if (kind > static_cast<std::uint8_t>(spmd::OpKind::Do)) {
+    throw PlanFormatError("bad op kind");
+  }
+  op.kind = static_cast<spmd::OpKind>(kind);
+  const std::uint32_t narrays = r.count();
+  op.arrays.resize(narrays);
+  for (int& a : op.arrays) a = r.i32();
+  op.array = r.i32();
+  op.src = r.i32();
+  op.shift = r.i32();
+  op.dim = r.i32();
+  const std::uint8_t sk = r.u8();
+  if (sk > static_cast<std::uint8_t>(simpi::ShiftKind::EndOff)) {
+    throw PlanFormatError("bad shift kind");
+  }
+  op.shift_kind = static_cast<simpi::ShiftKind>(sk);
+  op.boundary = get_instrs(r);
+  get_ints(r, op.rsd.lo);
+  get_ints(r, op.rsd.hi);
+  get_ints(r, op.copy_offset);
+  op.rank = r.i32();
+  for (ir::SectionRange& s : op.bounds) s = get_section(r);
+  get_ints(r, op.loop_order);
+  op.unroll = r.i32();
+  op.scalar_replace = r.u8() != 0;
+  const std::uint32_t nloads = r.count();
+  op.loads.resize(nloads);
+  for (spmd::Load& ld : op.loads) {
+    ld.array = r.i32();
+    get_ints(r, ld.offset);
+  }
+  const std::uint32_t nkernels = r.count();
+  op.kernels.resize(nkernels);
+  for (spmd::Kernel& k : op.kernels) {
+    k.lhs_array = r.i32();
+    get_ints(r, k.lhs_offset);
+    k.code = get_instrs(r);
+  }
+  op.scalar = r.i32();
+  op.expr = get_instrs(r);
+  op.cond = get_instrs(r);
+  op.then_ops = get_ops(r);
+  op.else_ops = get_ops(r);
+  op.var = r.i32();
+  op.lo = get_bound(r);
+  op.hi = get_bound(r);
+  op.body = get_ops(r);
+  return op;
+}
+
+void put_program(Writer& w, const spmd::Program& prog) {
+  w.str(prog.name);
+  w.u32(static_cast<std::uint32_t>(prog.scalars.size()));
+  for (const spmd::ScalarSpec& s : prog.scalars) {
+    w.str(s.name);
+    w.u8(s.integer ? 1 : 0);
+    w.u8(s.init.has_value() ? 1 : 0);
+    w.f64(s.init.value_or(0.0));
+  }
+  w.u32(static_cast<std::uint32_t>(prog.arrays.size()));
+  for (const spmd::ArraySpec& a : prog.arrays) {
+    w.str(a.name);
+    w.i32(a.rank);
+    for (const ir::AffineBound& b : a.extent) put_bound(w, b);
+    for (simpi::DistKind d : a.dist) w.u8(static_cast<std::uint8_t>(d));
+    put_ints(w, a.halo_lo);
+    put_ints(w, a.halo_hi);
+    w.u8(a.is_temp ? 1 : 0);
+    w.u8(a.eliminated ? 1 : 0);
+    w.u8(a.prealloc ? 1 : 0);
+  }
+  put_ops(w, prog.ops);
+}
+
+spmd::Program get_program(Reader& r) {
+  spmd::Program prog;
+  prog.name = r.str();
+  const std::uint32_t nscalars = r.count();
+  prog.scalars.resize(nscalars);
+  for (spmd::ScalarSpec& s : prog.scalars) {
+    s.name = r.str();
+    s.integer = r.u8() != 0;
+    const bool has_init = r.u8() != 0;
+    const double init = r.f64();
+    if (has_init) s.init = init;
+  }
+  const std::uint32_t narrays = r.count();
+  prog.arrays.resize(narrays);
+  for (spmd::ArraySpec& a : prog.arrays) {
+    a.name = r.str();
+    a.rank = r.i32();
+    for (ir::AffineBound& b : a.extent) b = get_bound(r);
+    for (simpi::DistKind& d : a.dist) {
+      const std::uint8_t v = r.u8();
+      if (v > static_cast<std::uint8_t>(simpi::DistKind::Collapsed)) {
+        throw PlanFormatError("bad distribution kind");
+      }
+      d = static_cast<simpi::DistKind>(v);
+    }
+    get_ints(r, a.halo_lo);
+    get_ints(r, a.halo_hi);
+    a.is_temp = r.u8() != 0;
+    a.eliminated = r.u8() != 0;
+    a.prealloc = r.u8() != 0;
+  }
+  prog.ops = get_ops(r);
+  return prog;
+}
+
+}  // namespace
+
+std::string serialize_program(const spmd::Program& program) {
+  Writer w;
+  put_program(w, program);
+  return w.take();
+}
+
+spmd::Program deserialize_program(std::string_view bytes,
+                                  std::size_t* consumed) {
+  Reader r(bytes);
+  spmd::Program prog = get_program(r);
+  if (consumed != nullptr) {
+    *consumed = r.pos();
+  } else if (r.pos() != bytes.size()) {
+    throw PlanFormatError("trailing bytes after program");
+  }
+  return prog;
+}
+
+std::string serialize_plan(const service::CachedPlan& plan) {
+  Writer w;
+  w.str(plan.key.canonical);
+  w.str(plan.key.iface);
+  w.u64(plan.key.hash);
+  w.u8(plan.processors.has_value() ? 1 : 0);
+  w.i32(plan.processors ? plan.processors->first : 0);
+  w.i32(plan.processors ? plan.processors->second : 0);
+  w.str(plan.diagnostics);
+  put_program(w, plan.program);
+  return w.take();
+}
+
+service::CachedPlan deserialize_plan(std::string_view bytes) {
+  Reader r(bytes);
+  service::CachedPlan plan;
+  plan.key.canonical = r.str();
+  plan.key.iface = r.str();
+  plan.key.hash = r.u64();
+  const bool has_procs = r.u8() != 0;
+  const int rows = r.i32();
+  const int cols = r.i32();
+  if (has_procs) plan.processors = {rows, cols};
+  plan.diagnostics = r.str();
+  std::size_t consumed = 0;
+  std::string_view rest = bytes.substr(r.pos());
+  plan.program = deserialize_program(rest, &consumed);
+  if (consumed != rest.size()) {
+    throw PlanFormatError("trailing bytes after plan");
+  }
+  // Defense in depth: the key must describe the payload it rides with
+  // (a bit flip that survives the store checksum, a hand-edited file).
+  if (plan.key.hash != service::fnv1a(plan.key.canonical)) {
+    throw PlanFormatError("key hash does not match canonical text");
+  }
+  return plan;
+}
+
+}  // namespace hpfsc::serve

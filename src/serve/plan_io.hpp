@@ -1,0 +1,60 @@
+// Binary (de)serialization of compiled plans for the persistent plan
+// cache (DESIGN.md §12).  A persisted entry carries everything a
+// warm-started PlanCache needs to serve the stencil with *zero*
+// recompilation: the canonical cache key (which already embeds the
+// options and machine fingerprints), the requester interface, the
+// lowered SPMD node program, and the PROCESSORS override — i.e. the
+// whole CachedPlan except compile-time observability (phase listings
+// and pass statistics), which describe a compilation that the restored
+// process never ran.
+//
+// Format discipline:
+//   * fixed-width little-endian scalars, length-prefixed strings and
+//     vectors — no varints, no padding, no host-struct memcpy of
+//     anything containing std::string;
+//   * the encoding is a pure function of the plan: serialize() after
+//     deserialize() reproduces the input payload bitwise (asserted in
+//     tests/serve/), which is what makes checksums meaningful;
+//   * any structural change to spmd::Program must bump
+//     PlanStore::kFormatVersion — readers reject newer versions instead
+//     of guessing.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "codegen/spmd_program.hpp"
+#include "service/plan_cache.hpp"
+
+namespace hpfsc::serve {
+
+/// A persisted entry failed to parse: underrun, bad tag, impossible
+/// count.  PlanStore treats this as corruption (skip + counter), never
+/// as a fatal error.
+class PlanFormatError : public std::runtime_error {
+ public:
+  explicit PlanFormatError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Serializes the executable program alone (no key/interface); the
+/// round-trip unit the format tests pin.
+[[nodiscard]] std::string serialize_program(const spmd::Program& program);
+/// Inverse of serialize_program.  Throws PlanFormatError on malformed
+/// input.  `consumed`, when non-null, receives the number of bytes read
+/// (for embedding in larger payloads).
+[[nodiscard]] spmd::Program deserialize_program(std::string_view bytes,
+                                                std::size_t* consumed =
+                                                    nullptr);
+
+/// Serializes a full cache entry (key + interface + diagnostics +
+/// program) as the payload of one PlanStore record.
+[[nodiscard]] std::string serialize_plan(const service::CachedPlan& plan);
+/// Inverse of serialize_plan.  Throws PlanFormatError on malformed
+/// input.  The restored plan's `pipeline` is default-constructed (see
+/// header comment).
+[[nodiscard]] service::CachedPlan deserialize_plan(std::string_view bytes);
+
+}  // namespace hpfsc::serve

@@ -1,0 +1,180 @@
+#include "serve/plan_store.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "service/cache_key.hpp"
+
+namespace hpfsc::serve {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>(v >> (8 * i)));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>(v >> (8 * i)));
+  }
+}
+
+std::uint32_t get_u32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t get_u64(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::string header_for(std::string_view payload) {
+  std::string head(PlanStore::kMagic, sizeof PlanStore::kMagic);
+  put_u32(head, PlanStore::kFormatVersion);
+  put_u64(head, service::fnv1a(payload));
+  put_u64(head, payload.size());
+  return head;
+}
+
+}  // namespace
+
+PlanStore::PlanStore(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (!fs::is_directory(dir_)) {
+    throw std::runtime_error("PlanStore: cannot create cache directory '" +
+                             dir_ + "'");
+  }
+}
+
+std::string PlanStore::record_path(const service::CacheKey& key) const {
+  char name[64];
+  std::snprintf(name, sizeof name, "plan-%016llx.hpfplan",
+                static_cast<unsigned long long>(key.hash));
+  return (fs::path(dir_) / name).string();
+}
+
+bool PlanStore::save(const service::CachedPlan& plan) {
+  const std::string payload = serialize_plan(plan);
+  const std::string head = header_for(payload);
+  const std::string path = record_path(plan.key);
+
+  // Refresh check: re-saving an identical record (evict after an
+  // insert-time save, a restart re-compiling an unchanged stencil) is
+  // the common case — compare the on-disk header before rewriting.
+  {
+    std::ifstream in(path, std::ios::binary);
+    char existing[kHeaderBytes];
+    if (in && in.read(existing, kHeaderBytes) &&
+        std::memcmp(existing, head.data(), kHeaderBytes) == 0) {
+      ++counters_.save_skipped;
+      return true;
+    }
+  }
+
+  // Temp-then-rename in the same directory: the final name only ever
+  // refers to a complete record.  The temp name embeds the key hash so
+  // concurrent saves of distinct plans cannot collide.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out.write(head.data(), static_cast<std::streamsize>(head.size()));
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    if (!out) {
+      ++counters_.save_failed;
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      return false;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    ++counters_.save_failed;
+    fs::remove(tmp, ec);
+    return false;
+  }
+  ++counters_.saved;
+  return true;
+}
+
+std::size_t PlanStore::load(
+    const std::function<void(service::PlanHandle)>& sink) {
+  std::size_t delivered = 0;
+  std::error_code ec;
+  // Sorted traversal: directory iteration order is filesystem-defined;
+  // sorting makes warm-start (and its LRU order) reproducible.
+  std::vector<fs::path> records;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file()) continue;
+    if (entry.path().extension() != ".hpfplan") continue;
+    records.push_back(entry.path());
+  }
+  std::sort(records.begin(), records.end());
+
+  for (const fs::path& path : records) {
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string bytes = buf.str();
+
+    if (bytes.size() < kHeaderBytes ||
+        std::memcmp(bytes.data(), kMagic, sizeof kMagic) != 0) {
+      ++counters_.skipped_corrupt;
+      continue;
+    }
+    const std::uint32_t version = get_u32(bytes.data() + 8);
+    if (version != kFormatVersion) {
+      // A future (or ancient) writer's record: not corruption, but not
+      // ours to parse either.  Leave the file for that writer.
+      ++counters_.skipped_version;
+      continue;
+    }
+    const std::uint64_t checksum = get_u64(bytes.data() + 12);
+    const std::uint64_t size = get_u64(bytes.data() + 20);
+    const std::string_view payload(bytes.data() + kHeaderBytes,
+                                   bytes.size() - kHeaderBytes);
+    if (payload.size() != size || service::fnv1a(payload) != checksum) {
+      ++counters_.skipped_corrupt;  // truncated or bit-flipped
+      continue;
+    }
+    try {
+      auto plan = std::make_shared<service::CachedPlan>(
+          deserialize_plan(payload));
+      ++counters_.loaded;
+      ++delivered;
+      sink(std::move(plan));
+    } catch (const PlanFormatError&) {
+      ++counters_.skipped_corrupt;
+    }
+  }
+  return delivered;
+}
+
+std::size_t PlanStore::warm_start(service::PlanCache& cache) {
+  return load([&cache](service::PlanHandle plan) {
+    const service::CacheKey key = plan->key;
+    cache.insert(key, std::move(plan));
+  });
+}
+
+}  // namespace hpfsc::serve

@@ -1,0 +1,97 @@
+// The persistent plan cache (DESIGN.md §12): one file per compiled
+// plan in a cache directory, written at compile time and at eviction,
+// read back at boot to warm-start a PlanCache so a restarted server
+// recompiles nothing it has already seen.
+//
+// Record layout (little-endian):
+//
+//   offset  size  field
+//   0       8     magic "HPFPLAN\0"
+//   8       4     format version (kFormatVersion)
+//   12      8     FNV-1a checksum of the payload bytes
+//   20      8     payload size in bytes
+//   28      n     payload — serialize_plan() (serve/plan_io.hpp)
+//
+// Load discipline: a record that is truncated, fails its checksum,
+// fails to parse, or carries an unknown (future) version is *skipped
+// with a counter* — never a crash, never a partial plan.  The affected
+// stencil simply compiles cold again and the fresh plan overwrites the
+// bad file.  Writes go to a temp file in the same directory followed by
+// an atomic rename, so a process killed mid-save cannot leave a
+// half-written record under a final name.
+//
+// File naming is content-addressed by the canonical key's FNV-1a hash
+// (`plan-<hash16>.hpfplan`).  The hash is a *locator*, not an identity:
+// the authoritative key is the canonical text inside the payload, which
+// warm_start inserts under — a (vanishingly rare) hash collision costs
+// one cache slot, never a wrong plan.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "serve/plan_io.hpp"
+#include "service/plan_cache.hpp"
+#include "service/service.hpp"
+
+namespace hpfsc::serve {
+
+/// Monotonic persistence counters.  `loaded + skipped_* ` accounts for
+/// every record file a load pass visited.
+struct StoreCounters {
+  std::uint64_t saved = 0;            ///< records written (or refreshed)
+  std::uint64_t save_skipped = 0;     ///< already on disk, same checksum
+  std::uint64_t save_failed = 0;      ///< I/O error while writing
+  std::uint64_t loaded = 0;           ///< records restored into plans
+  std::uint64_t skipped_corrupt = 0;  ///< truncated/checksum/parse failure
+  std::uint64_t skipped_version = 0;  ///< future-version header
+
+  [[nodiscard]] std::uint64_t skipped() const {
+    return skipped_corrupt + skipped_version;
+  }
+};
+
+/// Not thread-safe by itself; the serve daemon serializes saves through
+/// the compile path (single flight: one leader per key) and loads only
+/// at boot.  Counters are plain (inspected after the fact).
+class PlanStore {
+ public:
+  static constexpr std::uint32_t kFormatVersion = 1;
+  static constexpr char kMagic[8] = {'H', 'P', 'F', 'P', 'L', 'A', 'N', 0};
+  static constexpr std::size_t kHeaderBytes = 28;
+
+  /// Creates `dir` (and parents) if absent.  Throws std::runtime_error
+  /// when the path exists but is not a directory or cannot be created.
+  explicit PlanStore(std::string dir);
+
+  /// Persists one plan.  Skips the write (cheaply) when the record file
+  /// already holds this exact payload.  Returns false on I/O failure
+  /// (counted, not thrown: persistence is best-effort — the serving
+  /// path must never fail because the disk did).
+  bool save(const service::CachedPlan& plan);
+
+  /// Reads every record in the directory, invoking `sink` for each
+  /// well-formed plan.  Malformed or future-version records are skipped
+  /// with a counter.  Returns the number of plans delivered.
+  std::size_t load(const std::function<void(service::PlanHandle)>& sink);
+
+  /// load() straight into a cache: inserts each restored plan under its
+  /// persisted canonical key.  Nothing is compiled — a subsequent
+  /// compile() for any restored stencil is a pure cache hit with zero
+  /// pass spans.
+  std::size_t warm_start(service::PlanCache& cache);
+
+  [[nodiscard]] const StoreCounters& counters() const { return counters_; }
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+  /// Record path for a key (exposed for tests and tooling).
+  [[nodiscard]] std::string record_path(const service::CacheKey& key) const;
+
+ private:
+  std::string dir_;
+  StoreCounters counters_;
+};
+
+}  // namespace hpfsc::serve

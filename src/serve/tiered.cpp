@@ -1,0 +1,252 @@
+#include "serve/tiered.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "service/cache_key.hpp"
+
+namespace hpfsc::serve {
+
+const char* to_string(TierState state) {
+  switch (state) {
+    case TierState::Fast: return "fast";
+    case TierState::Promoting: return "promoting";
+    case TierState::Ready: return "ready";
+    case TierState::Promoted: return "promoted";
+    case TierState::Failed: return "failed";
+  }
+  return "?";
+}
+
+namespace {
+
+/// The fast tier's compiler options: level-0 pipeline (no optimization
+/// passes) with the request's live_out preserved, so the fast and
+/// promoted plans agree on which arrays are user-visible.
+CompilerOptions fast_options(const CompilerOptions& requested) {
+  CompilerOptions fast = CompilerOptions::level(0);
+  fast.passes.offset.live_out = requested.passes.offset.live_out;
+  fast.xlhpf_mode = requested.xlhpf_mode;
+  fast.trace = requested.trace;
+  return fast;
+}
+
+/// Exact 64-bit patterns, as in service.cpp: decimal rounding would
+/// alias bindings closer than its precision.
+std::string bindings_fingerprint(const Bindings& bindings) {
+  std::string out;
+  for (const auto& [name, value] : bindings.values) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof bits);
+    char hex[17];
+    std::snprintf(hex, sizeof hex, "%016llx",
+                  static_cast<unsigned long long>(bits));
+    out += name;
+    out += '=';
+    out += hex;
+    out += ';';
+  }
+  return out;
+}
+
+std::unique_ptr<Execution> build_execution(
+    service::StencilService& service, const service::PlanHandle& plan,
+    const Bindings& bindings, KernelTier tier) {
+  simpi::MachineConfig mc = service.config().machine;
+  if (plan->processors) {
+    mc.pe_rows = plan->processors->first;
+    mc.pe_cols = plan->processors->second;
+  }
+  auto exec = std::make_unique<Execution>(plan->program, mc);
+  exec->set_trace(service.trace());
+  exec->set_kernel_tier(tier);
+  exec->prepare(bindings);
+  return exec;
+}
+
+}  // namespace
+
+TieredSession::TieredSession(
+    service::StencilService& service,
+    std::function<void(const service::PlanHandle&)> on_miss)
+    : service_(&service), on_miss_(std::move(on_miss)) {}
+
+TieredSession::~TieredSession() {
+  for (auto& [key, entry] : entries_) {
+    if (entry->promoter.joinable()) entry->promoter.join();
+  }
+}
+
+std::string TieredSession::entry_key(const service::ServiceRequest& req) {
+  std::string key = service::fingerprint(req.options);
+  key += '\x1f';
+  key += req.source;
+  key += '\x1f';
+  key += bindings_fingerprint(req.bindings);
+  return key;
+}
+
+void TieredSession::promote_async(Entry& entry,
+                                  const service::ServiceRequest& req) {
+  entry.state = TierState::Promoting;
+  entry.promoter = std::thread([this, &entry, source = req.source,
+                                options = req.options,
+                                bindings = req.bindings] {
+    // Background promotions are requests of their own: a fresh id makes
+    // the compile spans attributable without stealing the foreground
+    // request's id.
+    const std::uint64_t rid = obs::next_request_id();
+    obs::RequestScope rscope(rid);
+    obs::Span span(service_->trace(), "serve.promote", "serve");
+    try {
+      service::CacheOutcome outcome = service::CacheOutcome::Miss;
+      service::PlanHandle plan =
+          service_->compile(source, options, &outcome);
+      if (outcome == service::CacheOutcome::Miss && on_miss_) {
+        on_miss_(plan);
+      }
+      span.arg("key_hash", plan->key.hash);
+      span.arg_str("cache", service::to_string(outcome));
+      auto exec =
+          build_execution(*service_, plan, bindings, KernelTier::Simd);
+      {
+        std::lock_guard<std::mutex> lock(entry.mutex);
+        entry.promoted_plan = std::move(plan);
+        entry.promoted_exec = std::move(exec);
+        entry.state = TierState::Ready;
+      }
+      span.arg_str("state", "ready");
+    } catch (const std::exception& e) {
+      {
+        std::lock_guard<std::mutex> lock(entry.mutex);
+        entry.state = TierState::Failed;
+        entry.error = e.what();
+      }
+      promotion_failures_.fetch_add(1, std::memory_order_relaxed);
+      service_->metrics().add("serve.promotion_failures_total");
+      span.arg_str("state", "failed");
+    }
+  });
+}
+
+void TieredSession::swap_locked(Entry& entry) {
+  if (entry.promoted_exec) {
+    // Transfer the cross-run state: every user-visible preallocated
+    // array.  Temporaries are written before read inside each
+    // iteration and eliminated arrays have no storage, so neither
+    // carries state across the boundary.  User-array shapes agree
+    // across optimization levels by construction (the differential
+    // tester compares them element-wise); the size check is defensive.
+    const spmd::Program& fast_prog = entry.exec->program();
+    for (const spmd::ArraySpec& spec : entry.promoted_plan->program.arrays) {
+      if (!spec.prealloc || spec.eliminated || spec.is_temp) continue;
+      const int fast_id = fast_prog.find_array(spec.name);
+      if (fast_id < 0 ||
+          fast_prog.arrays[static_cast<std::size_t>(fast_id)].eliminated) {
+        continue;
+      }
+      std::vector<double> global = entry.exec->get_array(spec.name);
+      if (global.size() != entry.promoted_exec->get_array(spec.name).size()) {
+        continue;
+      }
+      entry.promoted_exec->set_array(spec.name, global);
+    }
+    entry.exec = std::move(entry.promoted_exec);
+    entry.plan = std::move(entry.promoted_plan);
+  } else {
+    // Same plan at both tiers (the request already asked for the fast
+    // pipeline): promotion is an in-place kernel-tier flip.
+    entry.exec->set_kernel_tier(KernelTier::Simd);
+  }
+  entry.tier = "simd";
+  entry.state = TierState::Promoted;
+  if (entry.promoter.joinable()) entry.promoter.join();
+  ++promotions_;
+  service_->metrics().add("serve.promotions_total");
+}
+
+TieredSession::Entry& TieredSession::entry_for(
+    const service::ServiceRequest& req, RunResult& result, bool* created) {
+  std::string key = entry_key(req);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second->lru_it);
+    return *it->second;
+  }
+  *created = true;
+
+  auto entry = std::make_unique<Entry>();
+  CompilerOptions fast = fast_options(req.options);
+  entry->plan = service_->compile(req.source, fast, &result.outcome);
+  if (result.outcome == service::CacheOutcome::Miss && on_miss_) {
+    on_miss_(entry->plan);
+  }
+  entry->exec = build_execution(*service_, entry->plan, req.bindings,
+                                KernelTier::InterpreterOnly);
+  if (req.init) req.init(*entry->exec);
+
+  if (service::fingerprint(fast) == service::fingerprint(req.options)) {
+    // Nothing to compile in the background; the kernel tier still
+    // promotes (in place) at the next run boundary.
+    entry->state = TierState::Ready;
+  } else {
+    promote_async(*entry, req);
+  }
+
+  lru_.push_front(key);
+  entry->lru_it = lru_.begin();
+  it = entries_.emplace(std::move(key), std::move(entry)).first;
+
+  std::size_t capacity = service_->config().session_capacity;
+  if (capacity == 0) capacity = 1;
+  while (entries_.size() > capacity) {
+    auto victim = entries_.find(lru_.back());
+    // Joining a still-promoting victim's thread can block; retiring the
+    // LRU entry is the rare path and correctness needs the join.
+    if (victim->second->promoter.joinable()) victim->second->promoter.join();
+    entries_.erase(victim);
+    lru_.pop_back();
+  }
+  return *it->second;
+}
+
+TieredSession::RunResult TieredSession::run(
+    const service::ServiceRequest& req) {
+  const std::uint64_t rid = obs::current_request_id() != 0
+                                ? obs::current_request_id()
+                                : obs::next_request_id();
+  obs::RequestScope rscope(rid);
+  RunResult result;
+  bool created = false;
+  Entry& entry = entry_for(req, result, &created);
+  {
+    std::lock_guard<std::mutex> lock(entry.mutex);
+    // The creating run always serves from the fast tier — even when the
+    // background promotion already finished (on a loaded or single-core
+    // host it can beat this check) — so "first request answers from the
+    // interpreter" holds deterministically.  The swap lands on the next
+    // run boundary instead.
+    if (!created && entry.state == TierState::Ready) {
+      swap_locked(entry);
+      result.swapped = true;
+    }
+    result.state = entry.state;
+  }
+  result.tier = entry.tier;
+  obs::Span span(service_->trace(), "serve.run", "serve");
+  span.arg("key_hash", entry.plan->key.hash);
+  span.arg_str("tier", result.tier);
+  span.arg_str("state", to_string(result.state));
+  result.stats = entry.exec->run(req.steps);
+  return result;
+}
+
+Execution* TieredSession::execution(const service::ServiceRequest& req) {
+  auto it = entries_.find(entry_key(req));
+  return it == entries_.end() ? nullptr : it->second->exec.get();
+}
+
+}  // namespace hpfsc::serve

@@ -1,0 +1,138 @@
+// Tiered compilation with hot-swap (DESIGN.md §12): serve the *first*
+// request for a stencil immediately from a cheap plan (level-0
+// pipeline, interpreter kernels), promote to the requested optimization
+// level with SIMD kernels on a background thread, and swap the
+// session's execution at a run boundary — without ever returning a
+// result that differs from the all-optimized (or all-interpreter) run.
+//
+// Promotion state machine, per (source, options, bindings) entry:
+//
+//   Fast ──spawn──► Promoting ──prepared──► Ready ──next run──► Promoted
+//                       │
+//                       └──compile/prepare threw──► Failed (stays fast)
+//
+// The swap is safe at a run boundary because cross-run execution state
+// is exactly the preallocated arrays: scalars are rebound from the
+// program's initial environment on every run() and halos are refreshed
+// by the shift schedule inside each iteration.  The swap gathers every
+// user-visible array from the fast execution and scatters it into the
+// promoted one, so `k` fast runs followed by `n - k` promoted runs
+// compute bitwise the same answer as `n` runs on either tier alone
+// (the O0-vs-O4 bitwise identity that the differential tester
+// enforces).  Entries and swaps are serialized per entry by a mutex;
+// the background thread only ever touches the entry's `promoted`
+// fields, never the execution currently serving requests.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "executor/execution.hpp"
+#include "service/service.hpp"
+
+namespace hpfsc::serve {
+
+/// Promotion lifecycle of one tiered entry.
+enum class TierState {
+  Fast,       ///< serving from the interpreter-tier execution
+  Promoting,  ///< background compile+prepare in flight
+  Ready,      ///< promoted execution prepared, swap at next run boundary
+  Promoted,   ///< serving from the optimized execution
+  Failed      ///< promotion threw; serving stays on the fast tier
+};
+
+[[nodiscard]] const char* to_string(TierState state);
+
+/// One worker's tiered executor state.  NOT thread-safe (like
+/// service::Session: one per worker thread); promotion runs on
+/// background threads owned by this object and joined on destruction.
+class TieredSession {
+ public:
+  /// `on_miss`, when set, is invoked for every plan this session
+  /// compiled cold (outcome Miss) — the daemon's persistence hook.
+  /// Runs on the calling thread for fast plans and on the promotion
+  /// thread for optimized plans, so it must be thread-safe.
+  explicit TieredSession(
+      service::StencilService& service,
+      std::function<void(const service::PlanHandle&)> on_miss = {});
+  ~TieredSession();
+
+  TieredSession(const TieredSession&) = delete;
+  TieredSession& operator=(const TieredSession&) = delete;
+
+  struct RunResult {
+    Execution::RunStats stats;
+    /// Cache outcome of the *fast* compile (first run) — Hit afterwards.
+    service::CacheOutcome outcome = service::CacheOutcome::Hit;
+    /// Entry state after this run.
+    TierState state = TierState::Fast;
+    /// True when this run crossed the swap boundary (first promoted run).
+    bool swapped = false;
+    /// Tier that executed this run: "interp" before the swap, "simd"
+    /// from the swap on.
+    const char* tier = "interp";
+  };
+
+  /// Serves one request.  First call for a (source, options, bindings)
+  /// triple compiles the fast plan synchronously (level-0 pipeline,
+  /// interpreter kernels, requested live_out) and kicks off background
+  /// promotion to `req.options` + SIMD kernels; later calls reuse the
+  /// entry and pick up the promoted execution once it is Ready.
+  RunResult run(const service::ServiceRequest& req);
+
+  /// The execution currently serving `(source, options, bindings)` —
+  /// for result inspection in tests.  Null when the entry is absent.
+  [[nodiscard]] Execution* execution(const service::ServiceRequest& req);
+
+  /// Completed swaps (mirrored as the serve.promotions_total counter in
+  /// the service's MetricsRegistry).
+  [[nodiscard]] std::uint64_t promotions() const { return promotions_; }
+  /// Promotions that threw (entry stays on the fast tier).  Written by
+  /// promotion threads, hence atomic.
+  [[nodiscard]] std::uint64_t promotion_failures() const {
+    return promotion_failures_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t num_entries() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    service::PlanHandle plan;          ///< plan behind `exec`
+    std::unique_ptr<Execution> exec;   ///< execution serving requests
+    const char* tier = "interp";
+    std::thread promoter;
+
+    std::mutex mutex;  ///< guards state + promoted_*
+    TierState state = TierState::Fast;
+    service::PlanHandle promoted_plan;
+    std::unique_ptr<Execution> promoted_exec;  ///< null => in-place
+                                               ///  kernel-tier flip
+    std::string error;  ///< what a Failed promotion threw
+    std::list<std::string>::iterator lru_it;
+  };
+
+  [[nodiscard]] static std::string entry_key(
+      const service::ServiceRequest& req);
+  Entry& entry_for(const service::ServiceRequest& req, RunResult& result,
+                   bool* created);
+  void promote_async(Entry& entry, const service::ServiceRequest& req);
+  /// Ready -> Promoted: transfer array state, swap executions, join the
+  /// promotion thread.  Called with the entry mutex held.
+  void swap_locked(Entry& entry);
+
+  service::StencilService* service_;
+  std::function<void(const service::PlanHandle&)> on_miss_;
+  std::map<std::string, std::unique_ptr<Entry>> entries_;
+  std::list<std::string> lru_;  ///< most recently run first
+  std::uint64_t promotions_ = 0;  ///< run-thread only
+  std::atomic<std::uint64_t> promotion_failures_{0};
+};
+
+}  // namespace hpfsc::serve

@@ -15,11 +15,20 @@ PlanCache::PlanCache(std::size_t capacity, obs::TraceSession* trace)
     : capacity_(capacity == 0 ? 1 : capacity), trace_(trace) {}
 
 void PlanCache::emit_counter(const char* name,
-                             const std::atomic<std::uint64_t>& value) {
+                             const std::atomic<std::uint64_t>& value,
+                             const char* gauge_name) {
+  const double v =
+      static_cast<double>(value.load(std::memory_order_relaxed));
   obs::TraceSession* trace = trace_.load(std::memory_order_acquire);
   if (trace != nullptr && trace->enabled()) {
-    trace->counter(
-        name, static_cast<double>(value.load(std::memory_order_relaxed)));
+    trace->counter(name, v);
+  }
+  // Gauge mirror (service.cache.*): cumulative totals in the metrics
+  // registry, so cache traffic reaches --metrics-out/--prom-out even
+  // with no trace session attached.
+  obs::MetricsRegistry* metrics = metrics_.load(std::memory_order_acquire);
+  if (metrics != nullptr) {
+    metrics->set_gauge(gauge_name != nullptr ? gauge_name : name, v);
   }
 }
 
@@ -84,7 +93,8 @@ PlanHandle PlanCache::get_or_compile(const CacheKey& key,
     if (leader_request_id != nullptr) {
       *leader_request_id = flight->leader_request_id;
     }
-    emit_counter("service.singleflight.coalesced", coalesced_);
+    emit_counter("service.singleflight.coalesced", coalesced_,
+                 "service.cache.coalesced");
     std::unique_lock<std::mutex> flock(flight->mutex);
     flight->cv.wait(flock, [&] { return flight->done; });
     if (flight->error) std::rethrow_exception(flight->error);
@@ -121,12 +131,35 @@ PlanHandle PlanCache::get_or_compile(const CacheKey& key,
   return plan;
 }
 
+void PlanCache::insert(const CacheKey& key, PlanHandle plan) {
+  std::size_t evicted = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (flights_.find(key.canonical) != flights_.end()) {
+      // A compile for this key is in flight; its result is at least as
+      // fresh as the restored plan, so the restore is a no-op.
+      return;
+    }
+    auto it = entries_.find(key.canonical);
+    if (it != entries_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      it->second.plan = std::move(plan);
+    } else {
+      evicted = insert_locked(key, std::move(plan));
+    }
+    warmed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  emit_counter("service.cache.warmed", warmed_);
+  if (evicted > 0) emit_counter("service.cache.evict", evictions_);
+}
+
 CacheCounters PlanCache::counters() const {
   CacheCounters c;
   c.hits = hits_.load(std::memory_order_relaxed);
   c.misses = misses_.load(std::memory_order_relaxed);
   c.evictions = evictions_.load(std::memory_order_relaxed);
   c.coalesced = coalesced_.load(std::memory_order_relaxed);
+  c.warmed = warmed_.load(std::memory_order_relaxed);
   return c;
 }
 

@@ -26,6 +26,7 @@
 #include <utility>
 
 #include "codegen/spmd_program.hpp"
+#include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "passes/pipeline.hpp"
 #include "service/cache_key.hpp"
@@ -61,6 +62,8 @@ struct CacheCounters {
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
   std::uint64_t coalesced = 0;
+  /// Plans restored via insert() (persistent-store warm start).
+  std::uint64_t warmed = 0;
 };
 
 class PlanCache {
@@ -91,6 +94,14 @@ class PlanCache {
   /// Peeks without compiling or counting; nullptr on miss.
   [[nodiscard]] PlanHandle lookup(const CacheKey& key);
 
+  /// Inserts a plan built elsewhere — the warm-start path of the
+  /// persistent plan store, which restores plans without compiling.
+  /// Counts neither a hit nor a miss (the `warmed` counter instead);
+  /// capacity eviction applies as usual.  A resident entry for the key
+  /// is replaced.  Ignored while a compile for the key is in flight
+  /// (the compile's result is at least as fresh).
+  void insert(const CacheKey& key, PlanHandle plan);
+
   [[nodiscard]] CacheCounters counters() const;
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
@@ -102,6 +113,14 @@ class PlanCache {
 
   void set_trace(obs::TraceSession* trace) {
     trace_.store(trace, std::memory_order_release);
+  }
+
+  /// Mirrors every counter into `metrics` as service.cache.{hit,miss,
+  /// evict,coalesced,warmed} gauges on each update, so cache traffic
+  /// shows up in --metrics-out/--prom-out exports, not only as trace
+  /// counters.  Not owned; must outlive the cache or be reset to null.
+  void set_metrics(obs::MetricsRegistry* metrics) {
+    metrics_.store(metrics, std::memory_order_release);
   }
 
  private:
@@ -121,19 +140,22 @@ class PlanCache {
     std::list<std::string>::iterator lru_it;
   };
 
-  /// Samples a cumulative counter into the trace session.  Never call
-  /// while holding mutex_: the sink has its own lock and user-supplied
-  /// behavior.
+  /// Samples a cumulative counter into the trace session (as `name`)
+  /// and mirrors it as a registry gauge (as `gauge_name`, defaulting to
+  /// `name`).  Never call while holding mutex_: the sink and the
+  /// registry have their own locks and user-supplied behavior.
   void emit_counter(const char* name,
-                    const std::atomic<std::uint64_t>& value);
+                    const std::atomic<std::uint64_t>& value,
+                    const char* gauge_name = nullptr);
   /// Inserts and evicts beyond capacity; returns how many entries were
   /// evicted (caller emits the counter after unlocking).
   std::size_t insert_locked(const CacheKey& key, PlanHandle plan);
 
   const std::size_t capacity_;
-  /// set_trace may race with emit_counter from request threads; atomic
-  /// so the swap is data-race-free.
+  /// set_trace/set_metrics may race with emit_counter from request
+  /// threads; atomic so the swap is data-race-free.
   std::atomic<obs::TraceSession*> trace_;
+  std::atomic<obs::MetricsRegistry*> metrics_{nullptr};
 
   mutable std::mutex mutex_;
   std::list<std::string> lru_;  ///< canonical keys, most recent first
@@ -144,6 +166,7 @@ class PlanCache {
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> evictions_{0};
   std::atomic<std::uint64_t> coalesced_{0};
+  std::atomic<std::uint64_t> warmed_{0};
 };
 
 }  // namespace hpfsc::service

@@ -19,7 +19,9 @@ double ms_since(std::chrono::steady_clock::time_point start) {
 
 StencilService::StencilService(ServiceConfig config)
     : config_(std::move(config)),
-      cache_(config_.cache_capacity, config_.trace) {}
+      cache_(config_.cache_capacity, config_.trace) {
+  cache_.set_metrics(&metrics_);
+}
 
 CacheKey StencilService::memoized_key(std::string_view source,
                                       const CompilerOptions& options) {

@@ -10,7 +10,8 @@ values, pass statistics, plan-cache hit/miss totals — must match exactly.
     run_golden.py --dump=BIN --source=FILE --work-dir=DIR \
         --golden-summary=FILE --golden-prom=FILE \
         [--golden-postmortem=FILE] \
-        [--golden-batch=FILE --batch-file=FILE] [--update]
+        [--golden-batch=FILE --batch-file=FILE] \
+        [--golden-batch-error=FILE --batch-error-file=FILE] [--update]
 
 --golden-postmortem additionally passes --postmortem-out to the same
 invocation and pins the flight recorder's text dump (event names,
@@ -108,6 +109,21 @@ def main():
             postmortem = normalize(f.read(), "postmortem")
         ok = check("--postmortem-out", postmortem,
                    opts["golden_postmortem"], opts["update"]) and ok
+
+    if "golden_batch_error" in opts:
+        if "batch_error_file" not in opts:
+            sys.exit("--golden-batch-error requires --batch-error-file")
+        cmd = [opts["dump"],
+               f"--serve-batch={opts['batch_error_file']}"]
+        result = subprocess.run(cmd, capture_output=True, text=True)
+        if result.returncode != 2:
+            sys.stderr.write(result.stderr)
+            sys.exit("malformed batch file must exit 2, got "
+                     f"{result.returncode}: {' '.join(cmd)}")
+        # The diagnostic is deterministic (line number, offending text,
+        # reason — no timings or ids), so it is pinned verbatim.
+        ok = check("--serve-batch (malformed)", result.stderr,
+                   opts["golden_batch_error"], opts["update"]) and ok
 
     if "golden_batch" in opts:
         if "batch_file" not in opts:

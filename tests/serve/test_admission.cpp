@@ -1,0 +1,215 @@
+// ServeDaemon admission control (serve/daemon.hpp): the bounded queue
+// sheds with AdmissionRejected and serve.shed_total matches the thrown
+// exceptions *exactly*, the queue-depth gauge tracks occupancy, and
+// per-client round-robin picking is externally observable through
+// ServeResponse::sequence.  Tests gate the single worker on a promise
+// inside a request's init callback so queue contents are deterministic.
+#include "serve/daemon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <future>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "driver/paper_kernels.hpp"
+#include "service/service.hpp"
+
+namespace hpfsc::serve {
+namespace {
+
+using service::CacheOutcome;
+using service::ServiceRequest;
+
+DaemonConfig daemon_config(int workers, std::size_t queue_depth) {
+  DaemonConfig cfg;
+  cfg.service.machine.pe_rows = 2;
+  cfg.service.machine.pe_cols = 2;
+  cfg.workers = workers;
+  cfg.queue_depth = queue_depth;
+  return cfg;
+}
+
+ServiceRequest problem9_request(double n = 16.0) {
+  ServiceRequest req;
+  req.source = kernels::kProblem9;
+  req.options = CompilerOptions::level(4);
+  req.options.passes.offset.live_out = {"T"};
+  req.bindings.values["N"] = n;
+  req.steps = 1;
+  req.init = [](Execution& exec) {
+    exec.set_array("U", [](int i, int j, int) { return i * 0.25 + j * 0.5; });
+  };
+  return req;
+}
+
+/// A request whose init blocks until `release` is fulfilled — pins the
+/// daemon's worker so subsequent submissions stay queued.  Uses its own
+/// bindings (N) so the gate's Execution is distinct from the test
+/// traffic's and init is guaranteed to run.
+ServeRequest gate_request(std::promise<void>& started,
+                          std::shared_future<void> release) {
+  ServeRequest gate;
+  gate.client = "gate";
+  gate.request = problem9_request(8.0);
+  gate.request.init = [&started, release = std::move(release)](
+                          Execution& exec) {
+    started.set_value();
+    release.wait();
+    exec.set_array("U", [](int, int, int) { return 0.0; });
+  };
+  return gate;
+}
+
+TEST(Admission, FullQueueShedsAndShedTotalMatchesExactly) {
+  const std::size_t kDepth = 2;
+  ServeDaemon daemon(daemon_config(/*workers=*/1, kDepth));
+
+  std::promise<void> started, release;
+  auto gate_future =
+      daemon.submit(gate_request(started, release.get_future().share()));
+  started.get_future().wait();  // worker is now pinned, queue is empty
+
+  // Fill the queue to depth, then overflow: every extra submission
+  // must shed with AdmissionRejected and nothing else.
+  std::vector<std::future<ServeResponse>> admitted;
+  for (std::size_t i = 0; i < kDepth; ++i) {
+    admitted.push_back(daemon.submit({"c", problem9_request()}));
+  }
+  EXPECT_EQ(daemon.service().metrics().gauge("serve.queue_depth"),
+            static_cast<double>(kDepth));
+
+  const int kOverflow = 3;
+  int rejected = 0;
+  for (int i = 0; i < kOverflow; ++i) {
+    try {
+      (void)daemon.submit({"c", problem9_request()});
+      ADD_FAILURE() << "submission " << i << " should have shed";
+    } catch (const AdmissionRejected& e) {
+      ++rejected;
+      EXPECT_EQ(e.client(), "c");
+      EXPECT_EQ(e.depth(), kDepth);
+    }
+  }
+  EXPECT_EQ(rejected, kOverflow);
+  EXPECT_EQ(daemon.shed_total(), static_cast<std::uint64_t>(kOverflow));
+  EXPECT_EQ(daemon.service().metrics().counter("serve.shed_total"),
+            static_cast<double>(kOverflow))
+      << "serve.shed_total must equal the AdmissionRejected count exactly";
+
+  release.set_value();
+  EXPECT_NO_THROW((void)gate_future.get());
+  for (auto& f : admitted) {
+    ServeResponse resp = f.get();
+    EXPECT_GE(resp.stats.wall_seconds, 0.0);
+    EXPECT_EQ(resp.worker, 0);
+  }
+  daemon.shutdown();
+  EXPECT_EQ(daemon.service().metrics().gauge("serve.queue_depth"), 0.0);
+  // Shedding counted nothing as admitted work.
+  EXPECT_EQ(daemon.shed_total(), static_cast<std::uint64_t>(kOverflow));
+}
+
+TEST(Admission, RoundRobinInterleavesClientsInPickOrder) {
+  ServeDaemon daemon(daemon_config(/*workers=*/1, /*queue_depth=*/16));
+
+  std::promise<void> started, release;
+  auto gate_future =
+      daemon.submit(gate_request(started, release.get_future().share()));
+  started.get_future().wait();
+
+  // Queue A,A,A,B,B,C while the worker is pinned.  Round-robin picking
+  // must interleave: A B C A B A (per-client FIFO preserved).
+  struct Tagged {
+    std::string client;
+    std::future<ServeResponse> future;
+  };
+  std::vector<Tagged> submitted;
+  for (const char* client : {"a", "a", "a", "b", "b", "c"}) {
+    submitted.push_back(
+        {client, daemon.submit({client, problem9_request()})});
+  }
+  release.set_value();
+  (void)gate_future.get();
+
+  // sequence is the global pick index; the gate request was pick 1.
+  std::vector<std::pair<std::uint64_t, std::string>> picks;
+  for (Tagged& t : submitted) {
+    picks.emplace_back(t.future.get().sequence, t.client);
+  }
+  std::sort(picks.begin(), picks.end());
+  std::vector<std::string> order;
+  for (const auto& [seq, client] : picks) order.push_back(client);
+  EXPECT_EQ(order,
+            (std::vector<std::string>{"a", "b", "c", "a", "b", "a"}))
+      << "one chatty client must not starve the others";
+  EXPECT_EQ(picks.front().first, 2u) << "gate request was pick 1";
+  daemon.shutdown();
+}
+
+TEST(Admission, PerClientOrderIsFifo) {
+  ServeDaemon daemon(daemon_config(/*workers=*/1, /*queue_depth=*/16));
+  std::promise<void> started, release;
+  auto gate_future =
+      daemon.submit(gate_request(started, release.get_future().share()));
+  started.get_future().wait();
+
+  std::vector<std::future<ServeResponse>> futures;
+  for (int i = 0; i < 4; ++i) {
+    futures.push_back(daemon.submit({"solo", problem9_request()}));
+  }
+  release.set_value();
+  (void)gate_future.get();
+  std::uint64_t last = 0;
+  for (auto& f : futures) {
+    const std::uint64_t seq = f.get().sequence;
+    EXPECT_GT(seq, last) << "a client's own requests must stay FIFO";
+    last = seq;
+  }
+  daemon.shutdown();
+}
+
+TEST(Admission, SubmitAfterShutdownThrowsLogicError) {
+  ServeDaemon daemon(daemon_config(/*workers=*/1, /*queue_depth=*/4));
+  daemon.shutdown();
+  EXPECT_THROW((void)daemon.submit({"c", problem9_request()}),
+               std::logic_error);
+}
+
+TEST(Admission, QueueWaitHistogramRecordsAdmittedRequests) {
+  ServeDaemon daemon(daemon_config(/*workers=*/1, /*queue_depth=*/8));
+  auto resp = daemon.submit({"c", problem9_request()}).get();
+  EXPECT_GE(resp.queue_seconds, 0.0);
+  daemon.shutdown();
+  const std::string json = daemon.service().metrics().to_json();
+  EXPECT_NE(json.find("serve.queue_wait_ms"), std::string::npos)
+      << "queue-wait histogram missing from metrics export: " << json;
+}
+
+TEST(Admission, TieredDaemonPromotesAndReportsTier) {
+  DaemonConfig cfg = daemon_config(/*workers=*/1, /*queue_depth=*/16);
+  cfg.tiered = true;
+  ServeDaemon daemon(cfg);
+  ServeRequest req{"c", problem9_request()};
+
+  ServeResponse first = daemon.submit(req).get();
+  EXPECT_STREQ(first.tier, "interp");
+  EXPECT_EQ(first.outcome, CacheOutcome::Miss);
+
+  // Promotion lands at some later run boundary; poll until it does.
+  bool swapped = false;
+  for (int i = 0; i < 2000 && !swapped; ++i) {
+    swapped = daemon.submit(req).get().swapped;
+  }
+  EXPECT_TRUE(swapped);
+  EXPECT_STREQ(daemon.submit(req).get().tier, "simd");
+  EXPECT_GE(daemon.service().metrics().counter("serve.promotions_total"),
+            1.0);
+  daemon.shutdown();
+}
+
+}  // namespace
+}  // namespace hpfsc::serve

@@ -1,0 +1,123 @@
+// Plan serialization (serve/plan_io.hpp): the bitwise round-trip
+// contract that makes record checksums meaningful, canonical-key
+// identity across the trip, execution equivalence of a restored
+// program, and typed rejection of malformed payloads.
+#include "serve/plan_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "driver/paper_kernels.hpp"
+#include "service/service.hpp"
+
+namespace hpfsc::serve {
+namespace {
+
+using service::CachedPlan;
+using service::PlanHandle;
+using service::StencilService;
+
+service::ServiceConfig basic_config() {
+  service::ServiceConfig cfg;
+  cfg.machine.pe_rows = 2;
+  cfg.machine.pe_cols = 2;
+  return cfg;
+}
+
+CompilerOptions o4_live_t() {
+  CompilerOptions opts = CompilerOptions::level(4);
+  opts.passes.offset.live_out = {"T"};
+  return opts;
+}
+
+PlanHandle compile(StencilService& service, const char* source,
+                   const CompilerOptions& options) {
+  return service.compile(source, options);
+}
+
+TEST(PlanIo, SerializeAfterDeserializeIsBitwiseIdentical) {
+  StencilService service(basic_config());
+  const struct {
+    const char* source;
+    CompilerOptions options;
+  } cases[] = {
+      {kernels::kProblem9, o4_live_t()},
+      {kernels::kProblem9, CompilerOptions::level(0)},
+      {kernels::kJacobiTimeLoop, CompilerOptions::level(4)},
+      {kernels::kFivePointArraySyntax, CompilerOptions::level(2)},
+  };
+  for (const auto& c : cases) {
+    PlanHandle plan = compile(service, c.source, c.options);
+    const std::string bytes = serialize_plan(*plan);
+    const CachedPlan restored = deserialize_plan(bytes);
+    EXPECT_EQ(serialize_plan(restored), bytes)
+        << "round-trip must reproduce the payload bitwise";
+  }
+}
+
+TEST(PlanIo, CanonicalKeyRoundTripsExactly) {
+  StencilService service(basic_config());
+  PlanHandle plan = compile(service, kernels::kProblem9, o4_live_t());
+  const CachedPlan restored = deserialize_plan(serialize_plan(*plan));
+  EXPECT_EQ(restored.key.canonical, plan->key.canonical);
+  EXPECT_EQ(restored.key.hash, plan->key.hash);
+  EXPECT_EQ(restored.key.iface, plan->key.iface);
+  EXPECT_EQ(restored.processors.has_value(), plan->processors.has_value());
+}
+
+TEST(PlanIo, RestoredProgramExecutesBitwiseIdentically) {
+  StencilService service(basic_config());
+  PlanHandle plan = compile(service, kernels::kProblem9, o4_live_t());
+  const CachedPlan restored = deserialize_plan(serialize_plan(*plan));
+
+  Bindings bindings;
+  bindings.values["N"] = 16.0;
+  auto run = [&](const spmd::Program& program) {
+    Execution exec(program, basic_config().machine);
+    exec.prepare(bindings);
+    exec.set_array("U",
+                   [](int i, int j, int) { return i * 0.25 + j * 0.5; });
+    exec.run(1);
+    return exec.get_array("T");
+  };
+  const std::vector<double> expect = run(plan->program);
+  const std::vector<double> actual = run(restored.program);
+  ASSERT_EQ(actual.size(), expect.size());
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ(actual[i], expect[i]) << "element " << i;
+  }
+}
+
+TEST(PlanIo, TruncatedPayloadThrowsPlanFormatError) {
+  StencilService service(basic_config());
+  PlanHandle plan = compile(service, kernels::kProblem9, o4_live_t());
+  const std::string bytes = serialize_plan(*plan);
+  // Every proper prefix must be rejected as malformed, never accepted
+  // and never crash.  Stride keeps the loop fast on large payloads.
+  for (std::size_t len = 0; len < bytes.size();
+       len += (bytes.size() / 64) + 1) {
+    EXPECT_THROW((void)deserialize_plan(bytes.substr(0, len)),
+                 PlanFormatError)
+        << "prefix of " << len << " bytes";
+  }
+}
+
+TEST(PlanIo, CorruptedKeyHashThrowsPlanFormatError) {
+  StencilService service(basic_config());
+  PlanHandle plan = compile(service, kernels::kProblem9, o4_live_t());
+  CachedPlan tampered = *plan;
+  tampered.key.hash ^= 1;  // canonical text no longer matches the hash
+  const std::string bytes = serialize_plan(tampered);
+  EXPECT_THROW((void)deserialize_plan(bytes), PlanFormatError);
+}
+
+TEST(PlanIo, GarbageThrowsPlanFormatError) {
+  EXPECT_THROW((void)deserialize_plan("not a plan"), PlanFormatError);
+  EXPECT_THROW((void)deserialize_plan(std::string(1024, '\xff')),
+               PlanFormatError);
+}
+
+}  // namespace
+}  // namespace hpfsc::serve

@@ -1,0 +1,266 @@
+// PlanStore (serve/plan_store.hpp): save/load round trips, the
+// warm-start zero-recompilation contract, and the corruption ladder —
+// truncated record, flipped payload byte (checksum), future-version
+// header — each skipped with a counter while the affected stencil
+// falls back to a cold compile that still works.
+#include "serve/plan_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "driver/paper_kernels.hpp"
+#include "obs/sinks.hpp"
+#include "service/service.hpp"
+
+namespace hpfsc::serve {
+namespace {
+
+namespace fs = std::filesystem;
+using service::CacheOutcome;
+using service::PlanHandle;
+using service::StencilService;
+
+service::ServiceConfig basic_config(obs::TraceSession* trace = nullptr) {
+  service::ServiceConfig cfg;
+  cfg.machine.pe_rows = 2;
+  cfg.machine.pe_cols = 2;
+  cfg.trace = trace;
+  return cfg;
+}
+
+CompilerOptions o4_live_t() {
+  CompilerOptions opts = CompilerOptions::level(4);
+  opts.passes.offset.live_out = {"T"};
+  return opts;
+}
+
+/// Fresh cache directory per test, removed on teardown.
+class PlanStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("hpfsc-store-" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string dir() const { return dir_.string(); }
+
+  /// The single record file in the cache dir (asserts there is one).
+  fs::path only_record() const {
+    std::vector<fs::path> records;
+    for (const auto& entry : fs::directory_iterator(dir_)) {
+      records.push_back(entry.path());
+    }
+    EXPECT_EQ(records.size(), 1u);
+    return records.empty() ? fs::path() : records.front();
+  }
+
+  fs::path dir_;
+};
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void write_file(const fs::path& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST_F(PlanStoreTest, SaveLoadRoundTripsAndSkipsUnchangedRecords) {
+  StencilService service(basic_config());
+  PlanHandle a = service.compile(kernels::kProblem9, o4_live_t());
+  PlanHandle b =
+      service.compile(kernels::kJacobiTimeLoop, CompilerOptions::level(4));
+
+  PlanStore store(dir());
+  EXPECT_TRUE(store.save(*a));
+  EXPECT_TRUE(store.save(*b));
+  EXPECT_EQ(store.counters().saved, 2u);
+  EXPECT_TRUE(fs::exists(store.record_path(a->key)));
+
+  // Re-saving an unchanged plan is a cheap header-compare skip.
+  EXPECT_TRUE(store.save(*a));
+  EXPECT_EQ(store.counters().saved, 2u);
+  EXPECT_EQ(store.counters().save_skipped, 1u);
+
+  PlanStore reader(dir());
+  std::vector<PlanHandle> restored;
+  EXPECT_EQ(reader.load([&](PlanHandle p) { restored.push_back(p); }), 2u);
+  EXPECT_EQ(reader.counters().loaded, 2u);
+  EXPECT_EQ(reader.counters().skipped(), 0u);
+  ASSERT_EQ(restored.size(), 2u);
+  bool saw_a = false;
+  for (const PlanHandle& p : restored) {
+    if (p->key.canonical == a->key.canonical) saw_a = true;
+  }
+  EXPECT_TRUE(saw_a);
+}
+
+TEST_F(PlanStoreTest, WarmStartServesHitsWithZeroPassSpans) {
+  // First life: compile cold, persist.
+  {
+    StencilService service(basic_config());
+    PlanStore store(dir());
+    store.save(*service.compile(kernels::kProblem9, o4_live_t()));
+  }
+
+  // Second life: warm-start a fresh service, then watch the compile.
+  obs::TraceSession session;
+  auto sink = std::make_unique<obs::CollectSink>();
+  obs::CollectSink* collect = sink.get();
+  session.add_sink(std::move(sink));
+  StencilService service(basic_config(&session));
+
+  PlanStore store(dir());
+  EXPECT_EQ(store.warm_start(service.cache()), 1u);
+  EXPECT_EQ(service.cache_counters().warmed, 1u);
+
+  collect->spans.clear();
+  CacheOutcome outcome = CacheOutcome::Miss;
+  PlanHandle plan = service.compile(kernels::kProblem9, o4_live_t(), &outcome);
+  EXPECT_EQ(outcome, CacheOutcome::Hit)
+      << "a warm-started key must never recompile";
+  for (const obs::SpanRecord& rec : collect->spans) {
+    EXPECT_NE(rec.name.rfind("pass/", 0), 0u)
+        << "warm-start hit ran compilation pass " << rec.name;
+  }
+
+  // The restored plan computes bitwise what a cold compile computes.
+  StencilService cold(basic_config());
+  PlanHandle fresh = cold.compile(kernels::kProblem9, o4_live_t());
+  Bindings bindings;
+  bindings.values["N"] = 16.0;
+  auto run = [&](const spmd::Program& program) {
+    Execution exec(program, basic_config().machine);
+    exec.prepare(bindings);
+    exec.set_array("U",
+                   [](int i, int j, int) { return i * 0.25 + j * 0.5; });
+    exec.run(1);
+    return exec.get_array("T");
+  };
+  const std::vector<double> expect = run(fresh->program);
+  const std::vector<double> actual = run(plan->program);
+  ASSERT_EQ(actual.size(), expect.size());
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ(actual[i], expect[i]) << "element " << i;
+  }
+}
+
+/// Corrupts the single record via `mutate(bytes)`, then asserts the
+/// load skips it (incrementing `corrupt` or `version`) and the stencil
+/// compiles cold — the fallback the header promises.
+void expect_skip_and_cold_fallback(
+    const std::string& dir, const std::function<void(std::string&)>& mutate,
+    std::uint64_t expect_corrupt, std::uint64_t expect_version) {
+  StencilService writer(basic_config());
+  PlanHandle plan = writer.compile(kernels::kProblem9, o4_live_t());
+  {
+    PlanStore store(dir);
+    ASSERT_TRUE(store.save(*plan));
+  }
+  const fs::path record = PlanStore(dir).record_path(plan->key);
+  std::string bytes = read_file(record);
+  ASSERT_GE(bytes.size(), PlanStore::kHeaderBytes);
+  mutate(bytes);
+  write_file(record, bytes);
+
+  StencilService service(basic_config());
+  PlanStore store(dir);
+  EXPECT_EQ(store.warm_start(service.cache()), 0u);
+  EXPECT_EQ(store.counters().loaded, 0u);
+  EXPECT_EQ(store.counters().skipped_corrupt, expect_corrupt);
+  EXPECT_EQ(store.counters().skipped_version, expect_version);
+
+  // The skipped stencil falls back to a cold compile that still works.
+  CacheOutcome outcome = CacheOutcome::Hit;
+  PlanHandle cold = service.compile(kernels::kProblem9, o4_live_t(), &outcome);
+  EXPECT_EQ(outcome, CacheOutcome::Miss);
+  EXPECT_EQ(cold->key.canonical, plan->key.canonical);
+}
+
+TEST_F(PlanStoreTest, TruncatedRecordIsSkippedWithCounter) {
+  expect_skip_and_cold_fallback(
+      dir(),
+      [](std::string& bytes) {
+        bytes.resize(bytes.size() / 2);  // mid-payload truncation
+      },
+      /*expect_corrupt=*/1, /*expect_version=*/0);
+}
+
+TEST_F(PlanStoreTest, TruncatedHeaderIsSkippedWithCounter) {
+  expect_skip_and_cold_fallback(
+      dir(),
+      [](std::string& bytes) {
+        bytes.resize(PlanStore::kHeaderBytes - 4);  // not even a header
+      },
+      /*expect_corrupt=*/1, /*expect_version=*/0);
+}
+
+TEST_F(PlanStoreTest, FlippedPayloadByteFailsChecksumAndIsSkipped) {
+  expect_skip_and_cold_fallback(
+      dir(),
+      [](std::string& bytes) {
+        bytes[PlanStore::kHeaderBytes + bytes.size() / 3] ^= 0x01;
+      },
+      /*expect_corrupt=*/1, /*expect_version=*/0);
+}
+
+TEST_F(PlanStoreTest, FutureVersionHeaderIsSkippedWithVersionCounter) {
+  expect_skip_and_cold_fallback(
+      dir(),
+      [](std::string& bytes) {
+        // Format version lives at offset 8, little-endian u32.
+        const std::uint32_t future = PlanStore::kFormatVersion + 1;
+        bytes[8] = static_cast<char>(future & 0xff);
+        bytes[9] = static_cast<char>((future >> 8) & 0xff);
+        bytes[10] = static_cast<char>((future >> 16) & 0xff);
+        bytes[11] = static_cast<char>((future >> 24) & 0xff);
+      },
+      /*expect_corrupt=*/0, /*expect_version=*/1);
+}
+
+TEST_F(PlanStoreTest, BadMagicIsSkippedAsCorrupt) {
+  expect_skip_and_cold_fallback(
+      dir(), [](std::string& bytes) { bytes[0] = 'X'; },
+      /*expect_corrupt=*/1, /*expect_version=*/0);
+}
+
+TEST_F(PlanStoreTest, CorruptRecordDoesNotPoisonItsNeighbors) {
+  StencilService writer(basic_config());
+  PlanHandle good = writer.compile(kernels::kProblem9, o4_live_t());
+  PlanHandle bad =
+      writer.compile(kernels::kJacobiTimeLoop, CompilerOptions::level(4));
+  {
+    PlanStore store(dir());
+    ASSERT_TRUE(store.save(*good));
+    ASSERT_TRUE(store.save(*bad));
+  }
+  const fs::path bad_record = PlanStore(dir()).record_path(bad->key);
+  std::string bytes = read_file(bad_record);
+  bytes.resize(bytes.size() - 1);
+  write_file(bad_record, bytes);
+
+  StencilService service(basic_config());
+  PlanStore store(dir());
+  EXPECT_EQ(store.warm_start(service.cache()), 1u);
+  EXPECT_EQ(store.counters().skipped_corrupt, 1u);
+  CacheOutcome outcome = CacheOutcome::Miss;
+  (void)service.compile(kernels::kProblem9, o4_live_t(), &outcome);
+  EXPECT_EQ(outcome, CacheOutcome::Hit) << "intact neighbor must warm-start";
+}
+
+}  // namespace
+}  // namespace hpfsc::serve

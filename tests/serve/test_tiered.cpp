@@ -1,0 +1,168 @@
+// TieredSession (serve/tiered.hpp): the first request answers from the
+// interpreter tier, promotion hot-swaps at a run boundary, and — the
+// load-bearing property — a run sequence that straddles the swap
+// computes bitwise the same answer as the same sequence on a single
+// tier.  Timing-robust by design: promotion completes on its own
+// thread, so tests poll run() until the swap lands instead of assuming
+// a schedule (on a single-core host the promoter can finish before the
+// creating run even returns).
+#include "serve/tiered.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "driver/paper_kernels.hpp"
+#include "service/service.hpp"
+
+namespace hpfsc::serve {
+namespace {
+
+using service::CacheOutcome;
+using service::ServiceRequest;
+using service::StencilService;
+
+service::ServiceConfig basic_config() {
+  service::ServiceConfig cfg;
+  cfg.machine.pe_rows = 2;
+  cfg.machine.pe_cols = 2;
+  return cfg;
+}
+
+ServiceRequest jacobi_request(int level) {
+  ServiceRequest req;
+  req.source = kernels::kJacobiTimeLoop;
+  req.options = CompilerOptions::level(level);
+  req.options.passes.offset.live_out = {"U"};
+  req.bindings.values["N"] = 16.0;
+  req.bindings.values["NSTEPS"] = 2.0;
+  req.steps = 1;
+  req.init = [](Execution& exec) {
+    exec.set_array("U", [](int i, int j, int) {
+      return (i * 31 + j * 7) % 13 * 0.125;
+    });
+  };
+  return req;
+}
+
+/// Runs the request until the hot-swap lands, returning the number of
+/// runs it took (the straddle point k).
+int run_until_swapped(TieredSession& tiered, const ServiceRequest& req,
+                      int max_runs) {
+  for (int k = 1; k <= max_runs; ++k) {
+    TieredSession::RunResult result = tiered.run(req);
+    if (result.swapped) {
+      EXPECT_EQ(result.state, TierState::Promoted);
+      EXPECT_STREQ(result.tier, "simd");
+      return k;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return -1;
+}
+
+TEST(Tiered, FirstRequestServesFromInterpreterTier) {
+  StencilService service(basic_config());
+  TieredSession tiered(service);
+  TieredSession::RunResult first = tiered.run(jacobi_request(4));
+  EXPECT_EQ(first.outcome, CacheOutcome::Miss)
+      << "the fast plan compiles cold on the very first request";
+  EXPECT_STREQ(first.tier, "interp")
+      << "the creating run must answer from the fast tier even if the "
+         "background promotion already finished";
+  EXPECT_FALSE(first.swapped);
+  EXPECT_EQ(tiered.promotions(), 0u);
+}
+
+TEST(Tiered, StraddlingRunsAreBitwiseIdenticalToSingleTierRuns) {
+  const int kTotalRuns = 8;
+
+  // Tiered: k interpreter runs, then kTotalRuns - k promoted runs.
+  StencilService service(basic_config());
+  TieredSession tiered(service);
+  const ServiceRequest req = jacobi_request(4);
+  const int k = run_until_swapped(tiered, req, kTotalRuns - 1);
+  ASSERT_GT(k, 0) << "promotion never landed";
+  for (int i = k; i < kTotalRuns; ++i) {
+    TieredSession::RunResult result = tiered.run(req);
+    EXPECT_STREQ(result.tier, "simd");
+    EXPECT_FALSE(result.swapped) << "the swap happens exactly once";
+  }
+  ASSERT_NE(tiered.execution(req), nullptr);
+  const std::vector<double> straddled = tiered.execution(req)->get_array("U");
+
+  // Baseline: the same kTotalRuns run calls, all on one tier.  Jacobi
+  // carries U across run() calls, so any divergence at the swap
+  // boundary compounds and cannot cancel.
+  auto single_tier = [&](int level, KernelTier kernel_tier) {
+    StencilService svc(basic_config());
+    ServiceRequest r = jacobi_request(level);
+    service::PlanHandle plan = svc.compile(r.source, r.options);
+    Execution exec(plan->program, basic_config().machine);
+    exec.set_kernel_tier(kernel_tier);
+    exec.prepare(r.bindings);
+    r.init(exec);
+    for (int i = 0; i < kTotalRuns; ++i) exec.run(r.steps);
+    return exec.get_array("U");
+  };
+  const std::vector<double> all_interp =
+      single_tier(0, KernelTier::InterpreterOnly);
+  const std::vector<double> all_simd = single_tier(4, KernelTier::Simd);
+
+  ASSERT_EQ(straddled.size(), all_interp.size());
+  ASSERT_EQ(straddled.size(), all_simd.size());
+  for (std::size_t i = 0; i < straddled.size(); ++i) {
+    EXPECT_EQ(straddled[i], all_interp[i])
+        << "swap at run " << k << " diverged from all-interpreter at "
+        << i;
+    EXPECT_EQ(straddled[i], all_simd[i])
+        << "swap at run " << k << " diverged from all-simd at " << i;
+  }
+}
+
+TEST(Tiered, PromotionCountsOnceAndMirrorsIntoMetrics) {
+  StencilService service(basic_config());
+  TieredSession tiered(service);
+  const ServiceRequest req = jacobi_request(4);
+  ASSERT_GT(run_until_swapped(tiered, req, 2000), 0);
+  for (int i = 0; i < 3; ++i) (void)tiered.run(req);
+  EXPECT_EQ(tiered.promotions(), 1u);
+  EXPECT_EQ(tiered.promotion_failures(), 0u);
+  EXPECT_EQ(service.metrics().counter("serve.promotions_total"), 1.0);
+  EXPECT_EQ(tiered.num_entries(), 1u);
+}
+
+TEST(Tiered, FastLevelRequestPromotesKernelTierInPlace) {
+  StencilService service(basic_config());
+  TieredSession tiered(service);
+  // Requesting the fast pipeline itself: nothing to compile in the
+  // background, but the kernel tier still flips at the next boundary.
+  const ServiceRequest req = jacobi_request(0);
+  TieredSession::RunResult first = tiered.run(req);
+  EXPECT_STREQ(first.tier, "interp");
+  EXPECT_EQ(first.state, TierState::Ready);
+  TieredSession::RunResult second = tiered.run(req);
+  EXPECT_TRUE(second.swapped);
+  EXPECT_STREQ(second.tier, "simd");
+  EXPECT_EQ(tiered.promotions(), 1u);
+  EXPECT_EQ(service.cache_size(), 1u)
+      << "fast-level request must not compile a second plan";
+}
+
+TEST(Tiered, DistinctBindingsGetDistinctEntries) {
+  StencilService service(basic_config());
+  TieredSession tiered(service);
+  ServiceRequest a = jacobi_request(4);
+  ServiceRequest b = jacobi_request(4);
+  b.bindings.values["N"] = 8.0;
+  (void)tiered.run(a);
+  (void)tiered.run(b);
+  EXPECT_EQ(tiered.num_entries(), 2u);
+  EXPECT_NE(tiered.execution(a), tiered.execution(b));
+}
+
+}  // namespace
+}  // namespace hpfsc::serve

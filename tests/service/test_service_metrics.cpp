@@ -98,6 +98,33 @@ TEST(ServiceMetrics, FailedCompileRecordsNothing) {
   EXPECT_EQ(svc.metrics().histogram("service.compile.warm_ms").count(), 0u);
 }
 
+TEST(ServiceMetrics, CacheCountersAreMirroredAsGauges) {
+  StencilService svc(tiny_config());
+  svc.compile(kernels::kProblem9, o4());  // miss
+  svc.compile(kernels::kProblem9, o4());  // hit
+  svc.compile(kernels::kProblem9, o4());  // hit
+  EXPECT_EQ(svc.metrics().gauge("service.cache.miss"), 1.0);
+  EXPECT_EQ(svc.metrics().gauge("service.cache.hit"), 2.0);
+  EXPECT_EQ(svc.metrics().gauge("service.cache.evict"), 0.0);
+  // The gauges ride the normal metrics exports, so cache traffic is
+  // visible through --metrics-out/--prom-out without a trace session.
+  const std::string json = svc.metrics().to_json();
+  EXPECT_NE(json.find("service.cache.hit"), std::string::npos);
+  const std::string prom = svc.metrics().to_prometheus();
+  EXPECT_NE(prom.find("hpfsc_service_cache_hit"), std::string::npos);
+}
+
+TEST(ServiceMetrics, EvictionAndWarmGaugesTrack) {
+  ServiceConfig cfg = tiny_config();
+  cfg.cache_capacity = 1;
+  StencilService svc(cfg);
+  PlanHandle first = svc.compile(kernels::kProblem9, o4());
+  svc.compile(kernels::kJacobiTimeLoop, CompilerOptions::level(4));
+  EXPECT_EQ(svc.metrics().gauge("service.cache.evict"), 1.0);
+  svc.cache().insert(first->key, first);
+  EXPECT_EQ(svc.metrics().gauge("service.cache.warmed"), 1.0);
+}
+
 TEST(ServiceMetrics, RegistryExportsCarryServiceNames) {
   StencilService svc(tiny_config());
   svc.compile(kernels::kProblem9, o4());

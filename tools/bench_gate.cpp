@@ -8,7 +8,12 @@
 //   * any "messages*" counter increased at all — message counts on the
 //     simulated machine are deterministic, so *any* growth means the
 //     compiler started communicating more (the paper's headline metric
-//     moving backwards).
+//     moving backwards),
+//   * the "warm_misses" counter increased at all — a warm-started
+//     serving fleet recompiling anything breaks the persistence
+//     contract, or
+//   * a "*_p99" counter (tail latency exported by the serve overload
+//     benchmark) grew by more than --latency-threshold.
 //
 // Benchmarks only present in the current run are reported but never
 // fail the gate (new coverage is welcome).
@@ -465,14 +470,37 @@ int main(int argc, char** argv) {
       }
     }
     for (const auto& [counter, base_value] : base.counters) {
-      if (counter.rfind("messages", 0) != 0) continue;
       auto cit = cur.counters.find(counter);
       if (cit == cur.counters.end()) continue;
-      if (cit->second > base_value) {
-        findings.push_back({name, "counter",
-                            counter + " increased (any growth fails)",
-                            base_value, cit->second, true});
-        ++failures;
+      // Deterministic counters: any growth at all is a regression.
+      // messages* are the paper's headline metric; warm_misses is the
+      // serving layer's zero-recompilation warm-start contract.
+      const bool strict = counter.rfind("messages", 0) == 0 ||
+                          counter == "warm_misses";
+      if (strict) {
+        if (cit->second > base_value) {
+          findings.push_back({name, "counter",
+                              counter + " increased (any growth fails)",
+                              base_value, cit->second, true});
+          ++failures;
+        }
+        continue;
+      }
+      // Latency-like counters (tail percentiles exported by the serve
+      // benchmarks) get the same relative threshold as real_time.
+      const bool is_p99 = counter.size() >= 4 &&
+                          counter.compare(counter.size() - 4, 4, "_p99") == 0;
+      if (is_p99 && base_value > 0.0) {
+        const double rel = (cit->second - base_value) / base_value;
+        if (rel > threshold) {
+          char detail[128];
+          std::snprintf(detail, sizeof detail,
+                        "%s +%.1f%% (threshold %.1f%%)", counter.c_str(),
+                        rel * 100.0, threshold * 100.0);
+          findings.push_back({name, "counter", detail, base_value,
+                              cit->second, true});
+          ++failures;
+        }
       }
     }
   }
