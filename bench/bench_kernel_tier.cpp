@@ -129,6 +129,40 @@ void BM_FlightRecorderOverhead(benchmark::State& state) {
   state.SetLabel("on-vs-off");
 }
 
+// Wait-state instrumentation cost check: the same run with nanosecond
+// wait attribution enabled versus disabled, interleaved within one
+// benchmark so host drift hits both arms equally.  Reports
+// wait_overhead_ratio (median-on / median-off); the CI profile-smoke
+// job asserts it stays under 1.05.
+void BM_WaitInstrumentationOverhead(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Execution exec = make_execution(kernels::kProblem9,
+                                  CompilerOptions::level(4),
+                                  compute_machine(), n);
+  exec.run(1);  // warm-up
+  std::vector<double> on_walls;
+  std::vector<double> off_walls;
+  for (auto _ : state) {
+    exec.machine().set_wait_timing(true);
+    on_walls.push_back(exec.run(1).wall_seconds);
+    exec.machine().set_wait_timing(false);
+    off_walls.push_back(exec.run(1).wall_seconds);
+  }
+  exec.machine().set_wait_timing(true);
+  const double off = median(off_walls);
+  const double ratio = off > 0.0 ? median(on_walls) / off : 1.0;
+  state.counters["wait_overhead_ratio"] = ratio;
+  const char* path = std::getenv("HPFSC_BENCH_JSON");
+  if (path && *path) {
+    std::ofstream f(path, std::ios::app);
+    if (f) {
+      f << "{\"bench\":\"wait_instrumentation_overhead\",\"n\":" << n
+        << ",\"wait_overhead_ratio\":" << obs::json_number(ratio) << "}\n";
+    }
+  }
+  state.SetLabel("on-vs-off");
+}
+
 void BM_Problem9Tier(benchmark::State& state) {
   run_tier_bench(state, "kernel_tier_problem9", kernels::kProblem9);
 }
@@ -197,6 +231,12 @@ BENCHMARK(BM_JacobiTier)
     ->MinTime(0.3);
 
 BENCHMARK(BM_FlightRecorderOverhead)
+    ->ArgNames({"N"})
+    ->Arg(512)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.3);
+
+BENCHMARK(BM_WaitInstrumentationOverhead)
     ->ArgNames({"N"})
     ->Arg(512)
     ->Unit(benchmark::kMillisecond)

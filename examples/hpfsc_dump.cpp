@@ -56,10 +56,12 @@
 
 #include "codegen/spmd_printer.hpp"
 #include "driver/hpfsc.hpp"
+#include "executor/wait_profile.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sinks.hpp"
 #include "serve/daemon.hpp"
+#include "serve/introspect.hpp"
 #include "service/service.hpp"
 
 namespace {
@@ -83,6 +85,7 @@ void usage() {
                "[--run] [--n=N] [--iters=K] [--steps=K] [--emulate] "
                "[--serve-batch=FILE] [--workers=K] [--cache-dir=DIR] "
                "[--tiered] [--queue-depth=K] "
+               "[--introspect-port=P] [--statusz-out=FILE] "
                "(FILE | @problem9 | @ninept | @ninept-array | @fivept | "
                "@jacobi)\n"
                "  HPFSC_TRACE=<file> in the environment acts as a default "
@@ -97,6 +100,10 @@ void usage() {
                "tier and hot-swaps to the optimized plan when ready.\n"
                "  --queue-depth=K bounds the admission queue; requests "
                "beyond it are shed.\n"
+               "  --introspect-port=P serves /statusz /metricsz /tracez "
+               "over localhost HTTP (0 picks a port).\n"
+               "  --statusz-out=FILE writes the statusz page to a file "
+               "before daemon shutdown.\n"
                "  --metrics-out / --prom-out write the metrics registry "
                "(counters, gauges, latency histograms) as JSON / "
                "Prometheus text.\n"
@@ -296,7 +303,29 @@ struct ServeBatchOptions {
   std::string cache_dir;        ///< --cache-dir: persistent plan store
   bool tiered = false;          ///< --tiered: interpreter-first + promote
   std::size_t queue_depth = 64; ///< --queue-depth: admission bound
+  int introspect_port = -1;     ///< --introspect-port: statusz listener
+                                ///  (-1 off, 0 ephemeral)
+  std::string statusz_out;      ///< --statusz-out: statusz page to a file
 };
+
+/// --obs-summary wait-state footer: where the run's wall time went,
+/// summed across PEs, plus the critical-path summary the profiler
+/// reports (exposed-communication fraction, Amdahl overlap bound).
+void print_wait_state(const hpfsc::Execution::RunStats& stats) {
+  const hpfsc::WaitProfile p = hpfsc::WaitProfile::from_run(stats);
+  const simpi::WaitStats& w = stats.machine.wait;
+  std::fprintf(stderr, "--- wait-state (ms, summed over %zu PEs) ---\n",
+               p.rows.size());
+  std::fprintf(stderr, "recv: %.3f  barrier: %.3f  pool: %.3f\n",
+               static_cast<double>(w.recv_wait_ns) / 1e6,
+               static_cast<double>(w.barrier_wait_ns) / 1e6,
+               static_cast<double>(w.pool_wait_ns) / 1e6);
+  std::fprintf(stderr,
+               "exposed-comm fraction: %.4f, overlap speedup bound: "
+               "%.3fx, reconciled: %s\n",
+               p.exposed_comm_fraction, p.overlap_speedup_bound,
+               p.reconciled() ? "yes" : "no");
+}
 
 /// Parses one request line: INPUT LEVEL N STEPS [CLIENT].  Returns
 /// false (with *error set) on malformed input; true with line->input
@@ -397,6 +426,18 @@ int serve_batch(const std::string& path, const ServeBatchOptions& opt,
     std::fprintf(stderr, "hpfsc_dump: %s\n", e.what());
     return 2;
   }
+  serve::Introspector introspector(*daemon);
+  if (opt.introspect_port >= 0) {
+    if (!introspector.serve_on(opt.introspect_port)) {
+      std::fprintf(stderr,
+                   "hpfsc_dump: cannot start the introspection listener "
+                   "on port %d\n",
+                   opt.introspect_port);
+      return 2;
+    }
+    std::fprintf(stderr, "introspect: http://127.0.0.1:%d/statusz\n",
+                 introspector.port());
+  }
 
   const auto start = std::chrono::steady_clock::now();
   std::vector<std::optional<std::future<serve::ServeResponse>>> futures;
@@ -471,6 +512,15 @@ int serve_batch(const std::string& path, const ServeBatchOptions& opt,
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  // Snapshot the status page while the daemon is still live (queue
+  // drained, workers parked) — after shutdown the page would only show
+  // the stopping state.
+  if (!opt.statusz_out.empty() &&
+      !introspector.write_statusz(opt.statusz_out)) {
+    std::fprintf(stderr, "hpfsc_dump: cannot write '%s'\n",
+                 opt.statusz_out.c_str());
+    return 2;
+  }
   daemon->shutdown();
 
   // Per-request reassembly: the phase breakdown the request-scoped
@@ -524,6 +574,19 @@ int serve_batch(const std::string& path, const ServeBatchOptions& opt,
   if (daemon->shed_total() > 0) {
     std::printf("shed: %llu\n",
                 static_cast<unsigned long long>(daemon->shed_total()));
+  }
+  // Wait-state rollup of every served request (the serve.wait.*
+  // histograms the sessions record, milliseconds summed across PEs).
+  const obs::Histogram wait_recv =
+      svc.metrics().histogram("serve.wait.recv_ms");
+  if (wait_recv.count() > 0) {
+    std::printf(
+        "wait: recv %.3f ms, barrier %.3f ms, pool %.3f ms "
+        "(%llu requests)\n",
+        wait_recv.sum(),
+        svc.metrics().histogram("serve.wait.barrier_ms").sum(),
+        svc.metrics().histogram("serve.wait.pool_ms").sum(),
+        static_cast<unsigned long long>(wait_recv.count()));
   }
   std::printf("wall: %.3f ms, throughput: %.1f requests/s\n", wall * 1e3,
               static_cast<double>(lines.size()) / wall);
@@ -603,6 +666,10 @@ int main(int argc, char** argv) {
       serve_opts.cache_dir = v;
     } else if (arg == "--tiered") {
       serve_opts.tiered = true;
+    } else if ((v = flag_value(arg, "--introspect-port"))) {
+      serve_opts.introspect_port = std::atoi(v);
+    } else if ((v = flag_value(arg, "--statusz-out"))) {
+      serve_opts.statusz_out = v;
     } else if ((v = flag_value(arg, "--queue-depth"))) {
       const int depth = std::atoi(v);
       if (depth <= 0) {
@@ -757,6 +824,7 @@ int main(int argc, char** argv) {
                           last_stats)) {
         return 2;
       }
+      if (obs_summary) print_wait_state(last_stats);
       session.flush();
       if (!emit_metrics(metrics_out, &svc.metrics())) return 2;
     } else if (run) {
@@ -782,6 +850,7 @@ int main(int argc, char** argv) {
                           stats)) {
         return 2;
       }
+      if (obs_summary) print_wait_state(stats);
       session.flush();
       if (!emit_metrics(metrics_out, nullptr)) return 2;
     }

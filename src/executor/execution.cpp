@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <string_view>
 
+#include "obs/metrics.hpp"
 #include "simpi/obs_span.hpp"
 #include "simpi/shift_ops.hpp"
 
@@ -248,6 +249,21 @@ Execution::RunStats Execution::run(int iterations) {
   RunStats stats;
   stats.wall_seconds = std::chrono::duration<double>(end - start).count();
   stats.machine = machine_->stats();
+  stats.per_pe = machine_->per_pe_stats();
+  // Tee the per-PE wait-state categories into the attached metrics
+  // registry as histograms (one sample per PE per run, recorded
+  // unconditionally so the counts stay deterministic for goldens).
+  if (obs::MetricsRegistry* reg =
+          trace_ != nullptr ? trace_->metrics() : nullptr) {
+    for (const simpi::PeStats& pe : stats.per_pe) {
+      reg->observe("simpi.recv_wait_ms",
+                   static_cast<double>(pe.wait.recv_wait_ns) / 1e6);
+      reg->observe("simpi.barrier_wait_ms",
+                   static_cast<double>(pe.wait.barrier_wait_ns) / 1e6);
+      reg->observe("simpi.pool_wait_ms",
+                   static_cast<double>(pe.wait.pool_wait_ns) / 1e6);
+    }
+  }
   stats.tier.compiled_elements =
       tally_->compiled_elements.load(std::memory_order_relaxed);
   stats.tier.interpreter_elements =
@@ -275,6 +291,9 @@ Execution::RunStats Execution::run(int iterations) {
              stats.tier.interpreter_elements);
     span.arg("kernel.tier.simd_elements", stats.tier.simd_elements);
     span.arg("kernel.flops", stats.tier.flops);
+    span.arg("wait.recv_ns", stats.machine.wait.recv_wait_ns);
+    span.arg("wait.barrier_ns", stats.machine.wait.barrier_wait_ns);
+    span.arg("wait.pool_ns", stats.machine.wait.pool_wait_ns);
   }
   if (trace_ != nullptr && trace_->enabled()) {
     trace_->counter("kernel.tier.compiled_elements",

@@ -89,6 +89,10 @@ class Execution {
     double wall_seconds = 0.0;
     simpi::MachineStats machine;
     KernelTierStats tier;
+    /// Per-PE statistics for this run (indexed by PE id) — the raw
+    /// material of the wait-state reconciliation (see
+    /// executor/wait_profile.hpp).
+    std::vector<simpi::PeStats> per_pe;
   };
 
   /// Executes the whole op list `iterations` times (SPMD, one thread per

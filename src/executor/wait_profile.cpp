@@ -1,0 +1,135 @@
+#include "executor/wait_profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "obs/sinks.hpp"
+
+namespace hpfsc {
+
+namespace {
+
+double ns_to_s(std::uint64_t ns) { return static_cast<double>(ns) / 1e9; }
+
+std::string fmt_ms(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%9.3f", seconds * 1e3);
+  return buf;
+}
+
+}  // namespace
+
+WaitProfile WaitProfile::from_run(const Execution::RunStats& stats) {
+  WaitProfile p;
+  p.wall_seconds = stats.wall_seconds;
+  // All-empty wait blocks mean timing was off for the run (with timing
+  // on every PE records a nonzero active window): no data, no rows —
+  // reconciled() then reports false rather than vacuously closing
+  // all-zero books against the wall clock.
+  const bool timed =
+      std::any_of(stats.per_pe.begin(), stats.per_pe.end(),
+                  [](const simpi::PeStats& pe) { return !pe.wait.empty(); });
+  if (!timed) return p;
+  p.rows.reserve(stats.per_pe.size());
+  double total_recv = 0.0;
+  for (std::size_t id = 0; id < stats.per_pe.size(); ++id) {
+    const simpi::WaitStats& w = stats.per_pe[id].wait;
+    WaitProfileRow row;
+    row.pe = static_cast<int>(id);
+    row.recv_s = ns_to_s(w.recv_wait_ns);
+    row.barrier_s = ns_to_s(w.barrier_wait_ns);
+    row.pool_s = ns_to_s(w.pool_wait_ns);
+    row.compute_s = ns_to_s(w.active_ns) - row.recv_s - row.barrier_s;
+    row.overhead_s = p.wall_seconds -
+                     (row.compute_s + row.recv_s + row.barrier_s + row.pool_s);
+    total_recv += row.recv_s;
+    p.rows.push_back(row);
+    p.max_overhead_seconds =
+        std::max(p.max_overhead_seconds, std::fabs(row.overhead_s));
+  }
+  const double machine_time =
+      p.wall_seconds * static_cast<double>(p.rows.empty() ? 1 : p.rows.size());
+  if (machine_time > 0.0) {
+    p.exposed_comm_fraction = std::min(1.0, total_recv / machine_time);
+  }
+  if (p.exposed_comm_fraction < 1.0) {
+    p.overlap_speedup_bound = 1.0 / (1.0 - p.exposed_comm_fraction);
+  }
+  return p;
+}
+
+bool WaitProfile::reconciled(double abs_tol_seconds, double rel_tol) const {
+  if (rows.empty()) return false;
+  const double tol = abs_tol_seconds + rel_tol * wall_seconds;
+  for (const WaitProfileRow& row : rows) {
+    // Categories must close against wall time...
+    if (std::fabs(row.overhead_s) > tol) return false;
+    // ...and each category must itself be a sane share of the wall.
+    // compute_s can be slightly negative when a recv/barrier wait
+    // overlaps a clock-granularity boundary; materially negative means
+    // double counting.
+    if (row.compute_s < -tol || row.recv_s < 0.0 || row.barrier_s < 0.0 ||
+        row.pool_s < 0.0) {
+      return false;
+    }
+    if (row.recv_s > wall_seconds + tol || row.barrier_s > wall_seconds + tol ||
+        row.pool_s > wall_seconds + tol) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string WaitProfile::to_text() const {
+  std::string out;
+  out += "--- wait-state profile ---\n";
+  char line[160];
+  std::snprintf(line, sizeof line, "wall: %.3f ms over %zu PEs\n",
+                wall_seconds * 1e3, rows.size());
+  out += line;
+  out += "  pe   compute ms      recv ms   barrier ms      pool ms  "
+         "overhead ms\n";
+  for (const WaitProfileRow& row : rows) {
+    std::snprintf(line, sizeof line, "%4d  %s    %s    %s    %s    %s\n",
+                  row.pe, fmt_ms(row.compute_s).c_str(),
+                  fmt_ms(row.recv_s).c_str(), fmt_ms(row.barrier_s).c_str(),
+                  fmt_ms(row.pool_s).c_str(), fmt_ms(row.overhead_s).c_str());
+    out += line;
+  }
+  std::snprintf(line, sizeof line,
+                "exposed-comm fraction: %.4f (of %zu x wall machine time)\n",
+                exposed_comm_fraction, rows.size());
+  out += line;
+  std::snprintf(line, sizeof line,
+                "overlap speedup bound: %.3fx (Amdahl, perfect "
+                "comm/compute overlap)\n",
+                overlap_speedup_bound);
+  out += line;
+  return out;
+}
+
+std::string WaitProfile::to_json() const {
+  using obs::json_number;
+  std::string out = "{\"wall_seconds\":" + json_number(wall_seconds);
+  out += ",\"exposed_comm_fraction\":" + json_number(exposed_comm_fraction);
+  out += ",\"overlap_speedup_bound\":" + json_number(overlap_speedup_bound);
+  out += ",\"max_overhead_seconds\":" + json_number(max_overhead_seconds);
+  out += ",\"reconciled\":" + std::string(reconciled() ? "true" : "false");
+  out += ",\"pes\":[";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const WaitProfileRow& row = rows[i];
+    if (i) out += ',';
+    out += "{\"pe\":" + std::to_string(row.pe);
+    out += ",\"compute_s\":" + json_number(row.compute_s);
+    out += ",\"recv_s\":" + json_number(row.recv_s);
+    out += ",\"barrier_s\":" + json_number(row.barrier_s);
+    out += ",\"pool_s\":" + json_number(row.pool_s);
+    out += ",\"overhead_s\":" + json_number(row.overhead_s);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace hpfsc

@@ -1,0 +1,70 @@
+// Per-run wait-state reconciliation and critical-path analysis
+// (DESIGN.md §13).  Consumes Execution::RunStats::per_pe — the
+// nanosecond blocking-time attribution the simpi runtime records at
+// every blocking point — and answers two questions:
+//
+//   1. Does the accounting close?  Per PE,
+//        compute + recv_wait + barrier_wait + pool_wait + overhead
+//      must equal the run's wall time, where compute is derived
+//      (active - recv_wait - barrier_wait) and overhead is the
+//      host-side residue (barrier reset, channel drain, publish).
+//      Overhead must be non-negative (modulo clock granularity) and
+//      small; reconciled() asserts both within a tolerance, the
+//      wait-state analogue of the CommLedger reconciliation.
+//
+//   2. What would communication/computation overlap buy?  The exposed
+//      communication fraction f = sum(recv_wait) / (P * wall) is the
+//      share of machine time burned blocked on messages; perfectly
+//      overlapping it (ROADMAP #2, Physis-style async halo exchange)
+//      bounds the speedup at 1 / (1 - f) — an Amdahl-style projection
+//      every run can self-report against.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "executor/execution.hpp"
+
+namespace hpfsc {
+
+/// One PE's reconciled wall-time decomposition, in seconds.
+struct WaitProfileRow {
+  int pe = 0;
+  double compute_s = 0.0;   ///< active - recv_wait - barrier_wait
+  double recv_s = 0.0;      ///< blocked in channel recv
+  double barrier_s = 0.0;   ///< blocked in barrier
+  double pool_s = 0.0;      ///< pool handoff + straggler tail
+  double overhead_s = 0.0;  ///< wall - (compute+recv+barrier+pool)
+};
+
+struct WaitProfile {
+  double wall_seconds = 0.0;
+  std::vector<WaitProfileRow> rows;  ///< indexed by PE id
+
+  /// sum(recv_wait) / (P * wall): the fraction of total machine time
+  /// that is exposed communication.
+  double exposed_comm_fraction = 0.0;
+  /// 1 / (1 - exposed_comm_fraction): upper bound on the whole-run
+  /// speedup from perfectly overlapping communication with compute.
+  double overlap_speedup_bound = 1.0;
+  /// max over PEs of |overhead_s| — the reconciliation residue.
+  double max_overhead_seconds = 0.0;
+
+  /// Builds the profile from a finished run.  Rows are empty when the
+  /// run carried no per-PE stats (e.g. wait timing disabled).
+  [[nodiscard]] static WaitProfile from_run(const Execution::RunStats& stats);
+
+  /// True when every PE's categories sum to wall time within
+  /// `abs_tol_seconds + rel_tol * wall` and no category exceeds wall by
+  /// more than the same tolerance (overhead may be slightly negative
+  /// from clock granularity, never materially).
+  [[nodiscard]] bool reconciled(double abs_tol_seconds = 2e-3,
+                                double rel_tol = 0.25) const;
+
+  /// Human-readable per-PE table plus the critical-path summary.
+  [[nodiscard]] std::string to_text() const;
+  /// Machine-readable form of the same report.
+  [[nodiscard]] std::string to_json() const;
+};
+
+}  // namespace hpfsc

@@ -6,6 +6,24 @@
 
 namespace hpfsc::serve {
 
+namespace {
+
+/// Admission lifecycle events (enqueue / dequeue / shed) as flight
+/// Marks carrying the request id minted at submit, so a postmortem can
+/// replay a request's path through the queue.
+void flight_admission(const char* name, std::uint64_t request_id) {
+  auto& fr = obs::FlightRecorder::instance();
+  if (!fr.enabled()) return;
+  obs::FlightEvent ev;
+  ev.kind = obs::FlightEvent::Kind::Mark;
+  ev.ts_ns = fr.now_ns();
+  ev.request_id = request_id;
+  ev.set_name(name);
+  fr.emit(ev);
+}
+
+}  // namespace
+
 AdmissionRejected::AdmissionRejected(std::string client, std::size_t depth)
     : std::runtime_error("admission rejected: queue full (depth " +
                          std::to_string(depth) + ") for client '" + client +
@@ -45,6 +63,7 @@ std::future<ServeResponse> ServeDaemon::submit(ServeRequest request) {
   Item item;
   item.request = std::move(request.request);
   item.enqueued = std::chrono::steady_clock::now();
+  item.request_id = obs::next_request_id();
   std::future<ServeResponse> future = item.promise.get_future();
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -56,15 +75,21 @@ std::future<ServeResponse> ServeDaemon::submit(ServeRequest request) {
       // Count, then throw: serve.shed_total must match the number of
       // AdmissionRejected exceptions exactly.
       service_.metrics().add("serve.shed_total");
+      flight_admission("serve.shed", item.request_id);
       throw AdmissionRejected(std::move(request.client),
                               config_.queue_depth);
     }
+    const std::uint64_t rid = item.request_id;
     std::deque<Item>& q = queues_[request.client];
     if (q.empty()) rotation_.push_back(request.client);
     q.push_back(std::move(item));
     ++queued_;
     service_.metrics().set_gauge("serve.queue_depth",
                                  static_cast<double>(queued_));
+    // Emitted before the notify (still under the lock), so the
+    // submitter's ring registers the enqueue before any worker can
+    // record the matching dequeue.
+    flight_admission("serve.enqueue", rid);
   }
   cv_.notify_one();
   return future;
@@ -88,13 +113,43 @@ bool ServeDaemon::pop(Item& item, std::uint64_t& sequence) {
   sequence = ++picked_;
   service_.metrics().set_gauge("serve.queue_depth",
                                static_cast<double>(queued_));
+  flight_admission("serve.dequeue", item.request_id);
   return true;
+}
+
+ServeDaemon::QueueSnapshot ServeDaemon::queue_snapshot() const {
+  QueueSnapshot snap;
+  std::lock_guard<std::mutex> lock(mutex_);
+  snap.queued = queued_;
+  snap.picked = picked_;
+  snap.shed = shed_;
+  snap.depth = config_.queue_depth;
+  snap.stopping = stopping_;
+  snap.clients.reserve(rotation_.size());
+  for (const std::string& client : rotation_) {
+    auto it = queues_.find(client);
+    snap.clients.push_back(
+        {client, it == queues_.end() ? 0 : it->second.size()});
+  }
+  return snap;
+}
+
+TieredSession::Counts ServeDaemon::tiered_counts() const {
+  TieredSession::Counts total;
+  std::lock_guard<std::mutex> lock(tiered_mutex_);
+  for (const TieredSession* session : tiered_sessions_) {
+    total += session->counts();
+  }
+  return total;
 }
 
 void ServeDaemon::serve_one(int index, Item& item, std::uint64_t sequence,
                             service::Session& session,
                             TieredSession* tiered) {
-  const std::uint64_t rid = obs::next_request_id();
+  // Adopt the id minted at admission: the enqueue/dequeue marks and the
+  // serving spans then share one request trace.
+  const std::uint64_t rid =
+      item.request_id != 0 ? item.request_id : obs::next_request_id();
   obs::RequestScope rscope(rid);
   const auto picked_up = std::chrono::steady_clock::now();
   const double queue_seconds =
@@ -169,11 +224,18 @@ void ServeDaemon::worker_main(int index) {
         service_, [this](const service::PlanHandle& plan) {
           save_plan(plan);
         });
+    std::lock_guard<std::mutex> lock(tiered_mutex_);
+    tiered_sessions_.push_back(tiered.get());
   }
   Item item;
   std::uint64_t sequence = 0;
   while (pop(item, sequence)) {
     serve_one(index, item, sequence, session, tiered.get());
+  }
+  if (tiered) {
+    // Unregister before the session (and its counters) dies.
+    std::lock_guard<std::mutex> lock(tiered_mutex_);
+    std::erase(tiered_sessions_, tiered.get());
   }
 }
 

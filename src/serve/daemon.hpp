@@ -124,11 +124,35 @@ class ServeDaemon {
   /// Requests rejected by admission control so far.
   [[nodiscard]] std::uint64_t shed_total() const;
 
+  /// Point-in-time admission state, for live introspection (statusz).
+  struct QueueSnapshot {
+    std::size_t queued = 0;     ///< admitted, not yet picked up
+    std::uint64_t picked = 0;   ///< total dequeues so far
+    std::uint64_t shed = 0;     ///< total admission rejections
+    std::size_t depth = 0;      ///< configured admission bound
+    bool stopping = false;
+    struct ClientQueue {
+      std::string client;
+      std::size_t queued = 0;
+    };
+    /// Per-client sub-queues in round-robin rotation order.
+    std::vector<ClientQueue> clients;
+  };
+  [[nodiscard]] QueueSnapshot queue_snapshot() const;
+
+  /// Aggregated tier-promotion counters across all workers' tiered
+  /// sessions (zeros when the daemon is not tiered).  Thread-safe: the
+  /// per-session counters are atomics.
+  [[nodiscard]] TieredSession::Counts tiered_counts() const;
+
  private:
   struct Item {
     service::ServiceRequest request;
     std::promise<ServeResponse> promise;
     std::chrono::steady_clock::time_point enqueued;
+    /// Minted at admission so the enqueue/dequeue flight events and the
+    /// serving spans all join one request trace.
+    std::uint64_t request_id = 0;
   };
 
   void worker_main(int index);
@@ -154,6 +178,11 @@ class ServeDaemon {
   std::uint64_t picked_ = 0;
   std::uint64_t shed_ = 0;
   bool stopping_ = false;
+
+  /// Worker-owned tiered sessions, registered for the lifetime of each
+  /// worker so tiered_counts() can aggregate their atomic counters.
+  mutable std::mutex tiered_mutex_;
+  std::vector<const TieredSession*> tiered_sessions_;
 
   std::vector<std::thread> threads_;
 };

@@ -1,0 +1,238 @@
+#include "serve/introspect.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string_view>
+
+#include "obs/obs.hpp"
+
+namespace hpfsc::serve {
+
+namespace {
+
+std::string fmt_line(const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  return buf;
+}
+
+/// One "name: count=N p50=... p99=... max=... total=..." histogram line
+/// (milliseconds), or "name: (no samples)" for an empty histogram.
+std::string hist_line(const obs::MetricsRegistry& metrics, const char* label,
+                      const std::string& name) {
+  const obs::Histogram h = metrics.histogram(name);
+  if (h.count() == 0) {
+    return fmt_line("  %-10s (no samples)\n", label);
+  }
+  return fmt_line(
+      "  %-10s count=%llu p50=%.3f p99=%.3f max=%.3f total=%.3f\n", label,
+      static_cast<unsigned long long>(h.count()), h.p50(), h.p99(), h.max(),
+      h.sum());
+}
+
+}  // namespace
+
+Introspector::Introspector(ServeDaemon& daemon) : daemon_(&daemon) {}
+
+Introspector::~Introspector() { stop(); }
+
+std::string Introspector::statusz() const {
+  const DaemonConfig& config = daemon_->config();
+  const ServeDaemon::QueueSnapshot q = daemon_->queue_snapshot();
+  const service::CacheCounters cc = daemon_->service().cache_counters();
+  const obs::MetricsRegistry& metrics = daemon_->service().metrics();
+
+  std::string out = "=== hpfsc serve statusz ===\n";
+  out += fmt_line("workers: %d  tiered: %s  persistence: %s\n",
+                  config.workers, config.tiered ? "on" : "off",
+                  config.cache_dir.empty() ? "off" : "on");
+  out += fmt_line(
+      "admission: queued=%zu/%zu picked=%llu shed=%llu stopping=%s\n",
+      q.queued, q.depth, static_cast<unsigned long long>(q.picked),
+      static_cast<unsigned long long>(q.shed), q.stopping ? "yes" : "no");
+  if (q.clients.empty()) {
+    out += "client queues: (empty)\n";
+  } else {
+    out += "client queues (rotation order):\n";
+    for (const auto& client : q.clients) {
+      out += fmt_line("  %s: %zu queued\n", client.client.c_str(),
+                      client.queued);
+    }
+  }
+  out += fmt_line(
+      "plan cache: size=%zu/%zu hits=%llu misses=%llu coalesced=%llu "
+      "evictions=%llu warmed=%llu\n",
+      daemon_->service().cache_size(), daemon_->service().cache().capacity(),
+      static_cast<unsigned long long>(cc.hits),
+      static_cast<unsigned long long>(cc.misses),
+      static_cast<unsigned long long>(cc.coalesced),
+      static_cast<unsigned long long>(cc.evictions),
+      static_cast<unsigned long long>(cc.warmed));
+  if (config.tiered) {
+    const TieredSession::Counts t = daemon_->tiered_counts();
+    out += fmt_line(
+        "tiers: entries=%lld fast=%lld promoting=%lld ready=%lld "
+        "promoted=%lld failed=%lld\n",
+        t.entries, t.fast, t.promoting, t.ready, t.promoted, t.failed);
+    out += fmt_line(
+        "tiers: promotions=%llu failures=%llu swap-gate-waits=%llu "
+        "swap-gate-ms=%.3f\n",
+        static_cast<unsigned long long>(t.promotions),
+        static_cast<unsigned long long>(t.promotion_failures),
+        static_cast<unsigned long long>(t.swap_gate_waits),
+        static_cast<double>(t.swap_gate_wait_ns) / 1e6);
+  } else {
+    out += "tiers: (not tiered)\n";
+  }
+  out += "wait-state (per-request ms, summed across PEs):\n";
+  out += hist_line(metrics, "recv", "serve.wait.recv_ms");
+  out += hist_line(metrics, "barrier", "serve.wait.barrier_ms");
+  out += hist_line(metrics, "pool", "serve.wait.pool_ms");
+  out += hist_line(metrics, "swap-gate", "serve.swap_gate_wait_ms");
+  const auto& recorder = obs::FlightRecorder::instance();
+  out += fmt_line("flight recorder: %s threads=%zu\n",
+                  recorder.enabled() ? "enabled" : "disabled",
+                  recorder.num_threads());
+  return out;
+}
+
+std::string Introspector::metricsz() const {
+  return daemon_->service().metrics().to_prometheus();
+}
+
+std::string Introspector::tracez(std::size_t per_thread) const {
+  std::string out = "=== hpfsc serve tracez ===\n";
+  out += obs::FlightRecorder::instance().postmortem_text(per_thread);
+  return out;
+}
+
+std::string Introspector::page(const std::string& path) const {
+  std::string_view p = path;
+  if (!p.empty() && p.front() == '/') p.remove_prefix(1);
+  // Drop any query string: the pages take no parameters.
+  if (const std::size_t query = p.find('?'); query != std::string_view::npos) {
+    p = p.substr(0, query);
+  }
+  if (p == "statusz" || p.empty()) return statusz();
+  if (p == "metricsz") return metricsz();
+  if (p == "tracez") return tracez();
+  return "unknown page: /" + std::string(p) +
+         "\nknown pages: /statusz /metricsz /tracez\n";
+}
+
+bool Introspector::write_statusz(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << statusz();
+  return static_cast<bool>(out);
+}
+
+bool Introspector::serve_on(int port) {
+  if (listen_fd_ >= 0) return false;
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return false;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(fd, 16) < 0) {
+    ::close(fd);
+    return false;
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    ::close(fd);
+    return false;
+  }
+  // Non-blocking listener: the acceptor polls with a short timeout so
+  // stop() only needs to flip a flag, never race a close against accept.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  listen_fd_ = fd;
+  port_ = static_cast<int>(ntohs(addr.sin_port));
+  stopping_.store(false, std::memory_order_relaxed);
+  acceptor_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void Introspector::stop() {
+  stopping_.store(true, std::memory_order_relaxed);
+  if (acceptor_.joinable()) acceptor_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  port_ = 0;
+}
+
+void Introspector::accept_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 50);
+    if (ready <= 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    handle_client(client);
+    ::close(client);
+  }
+}
+
+void Introspector::handle_client(int fd) const {
+  // One request per connection, HTTP/1.0 style.  Read until the header
+  // terminator (the pages take no body) with a receive timeout so a
+  // stalled client can't wedge the acceptor.
+  timeval timeout{2, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+  std::string request;
+  char buf[1024];
+  while (request.size() < 8192 &&
+         request.find("\r\n\r\n") == std::string::npos &&
+         request.find('\n') == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+  // "GET /statusz HTTP/1.0" — everything after the method, up to the
+  // next space, is the path.
+  std::string path = "/statusz";
+  const std::size_t sp1 = request.find(' ');
+  if (sp1 != std::string::npos) {
+    const std::size_t sp2 = request.find(' ', sp1 + 1);
+    path = request.substr(sp1 + 1, sp2 == std::string::npos
+                                       ? std::string::npos
+                                       : sp2 - sp1 - 1);
+  }
+  const std::string body = page(path);
+  const bool known = body.rfind("unknown page:", 0) != 0;
+  std::string response = known ? "HTTP/1.0 200 OK\r\n"
+                               : "HTTP/1.0 404 Not Found\r\n";
+  response += "Content-Type: text/plain; charset=utf-8\r\n";
+  response += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  response += "Connection: close\r\n\r\n";
+  response += body;
+  std::size_t sent = 0;
+  while (sent < response.size()) {
+    const ssize_t n =
+        ::send(fd, response.data() + sent, response.size() - sent,
+               MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace hpfsc::serve

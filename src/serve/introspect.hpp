@@ -1,0 +1,75 @@
+// Live daemon introspection (DESIGN.md §13): text status pages rendered
+// from a running ServeDaemon's thread-safe counters, served two ways —
+// on demand to a file/string (always available) and over an opt-in
+// localhost-only TCP listener speaking just enough HTTP/1.0 for
+// `curl http://127.0.0.1:<port>/statusz`.
+//
+//   /statusz  — admission queue (total + per-client sub-queues in
+//               rotation order), plan-cache counters, tier-promotion
+//               state tallies, and the wait-state breakdown from the
+//               service's serve.wait.* histograms.
+//   /metricsz — the service MetricsRegistry in Prometheus text
+//               exposition format.
+//   /tracez   — the flight recorder's per-thread event tail (the same
+//               text a postmortem dump writes).
+//
+// Every page reads only snapshot-style accessors (atomics, mutex-held
+// copies): rendering never blocks a worker beyond the daemon's own
+// queue mutex, and never touches a worker-owned TieredSession directly.
+//
+// The listener binds 127.0.0.1 only — introspection is an operator
+// loopback tool, not a network service; there is no TLS, auth, or
+// request parsing beyond the GET path.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+#include <thread>
+
+#include "serve/daemon.hpp"
+
+namespace hpfsc::serve {
+
+class Introspector {
+ public:
+  /// Does not take ownership; the daemon must outlive the introspector.
+  explicit Introspector(ServeDaemon& daemon);
+  ~Introspector();
+
+  Introspector(const Introspector&) = delete;
+  Introspector& operator=(const Introspector&) = delete;
+
+  [[nodiscard]] std::string statusz() const;
+  [[nodiscard]] std::string metricsz() const;
+  /// Newest `per_thread` flight events of every thread, oldest first.
+  [[nodiscard]] std::string tracez(std::size_t per_thread = 16) const;
+
+  /// Dispatch by URL path ("/statusz", with or without the slash).
+  /// Unknown paths render an index of the known pages.
+  [[nodiscard]] std::string page(const std::string& path) const;
+
+  /// Starts the localhost listener on `port` (0 picks an ephemeral
+  /// port; see port()).  Returns false when the socket can't be set up
+  /// or a listener is already running.
+  bool serve_on(int port);
+  /// The bound port; 0 when not listening.
+  [[nodiscard]] int port() const { return port_; }
+  /// Stops the listener and joins the acceptor thread.  Idempotent.
+  void stop();
+
+  /// Writes statusz() to `path` (truncate).  False on I/O failure.
+  bool write_statusz(const std::string& path) const;
+
+ private:
+  void accept_loop();
+  void handle_client(int fd) const;
+
+  ServeDaemon* daemon_;
+  std::atomic<bool> stopping_{false};
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread acceptor_;
+};
+
+}  // namespace hpfsc::serve

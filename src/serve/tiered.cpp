@@ -1,5 +1,6 @@
 #include "serve/tiered.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <utility>
@@ -74,6 +75,31 @@ TieredSession::TieredSession(
     std::function<void(const service::PlanHandle&)> on_miss)
     : service_(&service), on_miss_(std::move(on_miss)) {}
 
+void TieredSession::note_state(TierState from, TierState to) {
+  if (from == to) return;
+  state_count(from).fetch_sub(1, std::memory_order_relaxed);
+  state_count(to).fetch_add(1, std::memory_order_relaxed);
+}
+
+TieredSession::Counts TieredSession::counts() const {
+  Counts c;
+  c.entries = num_entries_.load(std::memory_order_relaxed);
+  const auto at = [&](TierState s) {
+    return state_counts_[static_cast<std::size_t>(s)].load(
+        std::memory_order_relaxed);
+  };
+  c.fast = at(TierState::Fast);
+  c.promoting = at(TierState::Promoting);
+  c.ready = at(TierState::Ready);
+  c.promoted = at(TierState::Promoted);
+  c.failed = at(TierState::Failed);
+  c.promotions = promotions_.load(std::memory_order_relaxed);
+  c.promotion_failures = promotion_failures_.load(std::memory_order_relaxed);
+  c.swap_gate_waits = swap_gate_waits_.load(std::memory_order_relaxed);
+  c.swap_gate_wait_ns = swap_gate_wait_ns_.load(std::memory_order_relaxed);
+  return c;
+}
+
 TieredSession::~TieredSession() {
   for (auto& [key, entry] : entries_) {
     if (entry->promoter.joinable()) entry->promoter.join();
@@ -92,6 +118,7 @@ std::string TieredSession::entry_key(const service::ServiceRequest& req) {
 void TieredSession::promote_async(Entry& entry,
                                   const service::ServiceRequest& req) {
   entry.state = TierState::Promoting;
+  note_state(TierState::Fast, TierState::Promoting);
   entry.promoter = std::thread([this, &entry, source = req.source,
                                 options = req.options,
                                 bindings = req.bindings] {
@@ -117,12 +144,14 @@ void TieredSession::promote_async(Entry& entry,
         entry.promoted_plan = std::move(plan);
         entry.promoted_exec = std::move(exec);
         entry.state = TierState::Ready;
+        note_state(TierState::Promoting, TierState::Ready);
       }
       span.arg_str("state", "ready");
     } catch (const std::exception& e) {
       {
         std::lock_guard<std::mutex> lock(entry.mutex);
         entry.state = TierState::Failed;
+        note_state(TierState::Promoting, TierState::Failed);
         entry.error = e.what();
       }
       promotion_failures_.fetch_add(1, std::memory_order_relaxed);
@@ -163,8 +192,9 @@ void TieredSession::swap_locked(Entry& entry) {
   }
   entry.tier = "simd";
   entry.state = TierState::Promoted;
+  note_state(TierState::Ready, TierState::Promoted);
   if (entry.promoter.joinable()) entry.promoter.join();
-  ++promotions_;
+  promotions_.fetch_add(1, std::memory_order_relaxed);
   service_->metrics().add("serve.promotions_total");
 }
 
@@ -179,6 +209,8 @@ TieredSession::Entry& TieredSession::entry_for(
   *created = true;
 
   auto entry = std::make_unique<Entry>();
+  num_entries_.fetch_add(1, std::memory_order_relaxed);
+  state_count(TierState::Fast).fetch_add(1, std::memory_order_relaxed);
   CompilerOptions fast = fast_options(req.options);
   entry->plan = service_->compile(req.source, fast, &result.outcome);
   if (result.outcome == service::CacheOutcome::Miss && on_miss_) {
@@ -192,6 +224,7 @@ TieredSession::Entry& TieredSession::entry_for(
     // Nothing to compile in the background; the kernel tier still
     // promotes (in place) at the next run boundary.
     entry->state = TierState::Ready;
+    note_state(TierState::Fast, TierState::Ready);
   } else {
     promote_async(*entry, req);
   }
@@ -207,6 +240,10 @@ TieredSession::Entry& TieredSession::entry_for(
     // Joining a still-promoting victim's thread can block; retiring the
     // LRU entry is the rare path and correctness needs the join.
     if (victim->second->promoter.joinable()) victim->second->promoter.join();
+    // After the join the state is final; retire it from the tallies.
+    state_count(victim->second->state)
+        .fetch_sub(1, std::memory_order_relaxed);
+    num_entries_.fetch_sub(1, std::memory_order_relaxed);
     entries_.erase(victim);
     lru_.pop_back();
   }
@@ -223,7 +260,35 @@ TieredSession::RunResult TieredSession::run(
   bool created = false;
   Entry& entry = entry_for(req, result, &created);
   {
-    std::lock_guard<std::mutex> lock(entry.mutex);
+    // The swap gate.  The promoter holds entry.mutex while publishing
+    // its result, so a request landing right then blocks here; time
+    // only that contended path (try_lock keeps the common case free of
+    // clock reads) but record a zero observation otherwise so the
+    // histogram's count stays one-per-request.
+    std::unique_lock<std::mutex> lock(entry.mutex, std::try_to_lock);
+    std::uint64_t gate_ns = 0;
+    if (!lock.owns_lock()) {
+      const auto t0 = std::chrono::steady_clock::now();
+      lock.lock();
+      gate_ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+      swap_gate_waits_.fetch_add(1, std::memory_order_relaxed);
+      swap_gate_wait_ns_.fetch_add(gate_ns, std::memory_order_relaxed);
+      auto& fr = obs::FlightRecorder::instance();
+      if (fr.enabled()) {
+        obs::FlightEvent ev;
+        ev.kind = obs::FlightEvent::Kind::Counter;
+        ev.ts_ns = fr.now_ns();
+        ev.value = static_cast<double>(gate_ns);
+        ev.request_id = rid;
+        ev.set_name("wait.swap_gate_ns");
+        fr.emit(ev);
+      }
+    }
+    service_->metrics().observe("serve.swap_gate_wait_ms",
+                                static_cast<double>(gate_ns) / 1e6);
     // The creating run always serves from the fast tier — even when the
     // background promotion already finished (on a loaded or single-core
     // host it can beat this check) — so "first request answers from the
@@ -241,6 +306,14 @@ TieredSession::RunResult TieredSession::run(
   span.arg_str("tier", result.tier);
   span.arg_str("state", to_string(result.state));
   result.stats = entry.exec->run(req.steps);
+  // Per-request wait-state rollup (summed across PEs): the serve-layer
+  // view of the same intervals the per-PE simpi.* histograms hold.
+  const simpi::WaitStats& w = result.stats.machine.wait;
+  obs::MetricsRegistry& m = service_->metrics();
+  m.observe("serve.wait.recv_ms", static_cast<double>(w.recv_wait_ns) / 1e6);
+  m.observe("serve.wait.barrier_ms",
+            static_cast<double>(w.barrier_wait_ns) / 1e6);
+  m.observe("serve.wait.pool_ms", static_cast<double>(w.pool_wait_ns) / 1e6);
   return result;
 }
 

@@ -24,6 +24,7 @@
 // fields, never the execution currently serving requests.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -93,7 +94,9 @@ class TieredSession {
 
   /// Completed swaps (mirrored as the serve.promotions_total counter in
   /// the service's MetricsRegistry).
-  [[nodiscard]] std::uint64_t promotions() const { return promotions_; }
+  [[nodiscard]] std::uint64_t promotions() const {
+    return promotions_.load(std::memory_order_relaxed);
+  }
   /// Promotions that threw (entry stays on the fast tier).  Written by
   /// promotion threads, hence atomic.
   [[nodiscard]] std::uint64_t promotion_failures() const {
@@ -101,6 +104,38 @@ class TieredSession {
   }
 
   [[nodiscard]] std::size_t num_entries() const { return entries_.size(); }
+
+  /// Thread-safe counters snapshot for live introspection (statusz):
+  /// per-state entry tallies plus the swap-gate wait accounting — the
+  /// time run() spent blocked acquiring an entry's mutex against the
+  /// background promoter publishing its result.
+  struct Counts {
+    long long entries = 0;
+    long long fast = 0;
+    long long promoting = 0;
+    long long ready = 0;
+    long long promoted = 0;
+    long long failed = 0;
+    std::uint64_t promotions = 0;
+    std::uint64_t promotion_failures = 0;
+    std::uint64_t swap_gate_waits = 0;    ///< contended acquisitions
+    std::uint64_t swap_gate_wait_ns = 0;  ///< total blocked time
+
+    Counts& operator+=(const Counts& o) {
+      entries += o.entries;
+      fast += o.fast;
+      promoting += o.promoting;
+      ready += o.ready;
+      promoted += o.promoted;
+      failed += o.failed;
+      promotions += o.promotions;
+      promotion_failures += o.promotion_failures;
+      swap_gate_waits += o.swap_gate_waits;
+      swap_gate_wait_ns += o.swap_gate_wait_ns;
+      return *this;
+    }
+  };
+  [[nodiscard]] Counts counts() const;
 
  private:
   struct Entry {
@@ -127,12 +162,24 @@ class TieredSession {
   /// promotion thread.  Called with the entry mutex held.
   void swap_locked(Entry& entry);
 
+  /// Moves an entry between the per-state tallies (atomic so the
+  /// introspector can read them from any thread; transitions themselves
+  /// are serialized per entry by the entry mutex).
+  void note_state(TierState from, TierState to);
+  std::atomic<long long>& state_count(TierState state) {
+    return state_counts_[static_cast<std::size_t>(state)];
+  }
+
   service::StencilService* service_;
   std::function<void(const service::PlanHandle&)> on_miss_;
   std::map<std::string, std::unique_ptr<Entry>> entries_;
   std::list<std::string> lru_;  ///< most recently run first
-  std::uint64_t promotions_ = 0;  ///< run-thread only
+  std::atomic<std::uint64_t> promotions_{0};
   std::atomic<std::uint64_t> promotion_failures_{0};
+  std::atomic<long long> num_entries_{0};
+  std::array<std::atomic<long long>, 5> state_counts_{};
+  std::atomic<std::uint64_t> swap_gate_waits_{0};
+  std::atomic<std::uint64_t> swap_gate_wait_ns_{0};
 };
 
 }  // namespace hpfsc::serve

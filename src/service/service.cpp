@@ -195,6 +195,17 @@ Execution::RunStats Session::run(const RunRequest& req) {
   span.arg("prepared", created ? 1 : 0);
   Execution::RunStats stats = entry.exec->run(req.steps);
   service_->metrics().observe("service.run_ms", ms_since(start));
+  // Per-request wait-state rollup (summed across PEs).  Distinct from
+  // the per-PE simpi.* histograms the execution tees into a trace
+  // session's registry, so merging the two registries never
+  // double-counts an interval.
+  obs::MetricsRegistry& m = service_->metrics();
+  m.observe("serve.wait.recv_ms",
+            static_cast<double>(stats.machine.wait.recv_wait_ns) / 1e6);
+  m.observe("serve.wait.barrier_ms",
+            static_cast<double>(stats.machine.wait.barrier_wait_ns) / 1e6);
+  m.observe("serve.wait.pool_ms",
+            static_cast<double>(stats.machine.wait.pool_wait_ns) / 1e6);
   return stats;
 }
 

@@ -19,6 +19,32 @@ void spin_for_ns(std::uint64_t ns) {
   }
 }
 
+/// Steady-clock nanosecond stamp for wait-state accounting.  All
+/// wait-state arithmetic happens on this one clock so the categories
+/// reconcile against wall time without cross-clock skew.
+std::uint64_t wait_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Tees one blocked interval into the flight recorder as a Counter
+/// event (value = nanoseconds blocked).  Only called after an actual
+/// cv wait, so the fast paths stay emit-free.
+void flight_wait(const char* name, std::uint64_t ns, int track) {
+  auto& fr = hpfsc::obs::FlightRecorder::instance();
+  if (!fr.enabled()) return;
+  hpfsc::obs::FlightEvent ev;
+  ev.kind = hpfsc::obs::FlightEvent::Kind::Counter;
+  ev.ts_ns = fr.now_ns();
+  ev.value = static_cast<double>(ns);
+  ev.track = track;
+  ev.request_id = hpfsc::obs::current_request_id();
+  ev.set_name(name);
+  fr.emit(ev);
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------- Pe --
@@ -84,19 +110,47 @@ void Pe::reset_comm_context() {
   }
 }
 
-std::vector<double> Pe::recv(int src) {
+std::vector<double> Pe::recv(int src, int dim, int dir) {
   Machine::Channel& ch = machine_.channel(src, id_);
   std::unique_lock lock(ch.mutex);
-  ch.cv.wait(lock, [&] {
-    return !ch.queue.empty() || machine_.aborted_.load();
-  });
+  if (ch.queue.empty() && !machine_.aborted_.load()) {
+    // The message has not arrived: this PE is about to block, which is
+    // the exposed-communication time the wait profile attributes.  The
+    // fast path above (message queued) reads no clock at all.  Gated on
+    // the per-run latch (not the live flag) so a mid-run toggle cannot
+    // charge recv waits into a run whose active window is untimed.
+    if (machine_.pool_timed_) {
+      const std::uint64_t t0 = wait_now_ns();
+      ch.cv.wait(lock, [&] {
+        return !ch.queue.empty() || machine_.aborted_.load();
+      });
+      const std::uint64_t blocked = wait_now_ns() - t0;
+      stats_.wait.recv_wait_ns += blocked;
+      if (dim >= 0 && dim < static_cast<int>(kCommDims) && dir >= 0 &&
+          dir < static_cast<int>(kCommDirs)) {
+        stats_.wait.recv_dim_dir[static_cast<std::size_t>(dim)]
+                                [static_cast<std::size_t>(dir)] += blocked;
+      }
+      flight_wait("wait.recv_ns", blocked, hpfsc::obs::pe_track(id_));
+    } else {
+      ch.cv.wait(lock, [&] {
+        return !ch.queue.empty() || machine_.aborted_.load();
+      });
+    }
+  }
   if (ch.queue.empty()) throw Aborted();
   std::vector<double> msg = std::move(ch.queue.front());
   ch.queue.pop_front();
   return msg;
 }
 
-void Pe::barrier() { machine_.barrier_wait(); }
+void Pe::barrier() {
+  const std::uint64_t blocked = machine_.barrier_wait();
+  if (blocked > 0) {
+    stats_.wait.barrier_wait_ns += blocked;
+    flight_wait("wait.barrier_ns", blocked, hpfsc::obs::pe_track(id_));
+  }
+}
 
 LocalGrid& Pe::create_array(int id, const DistArrayDesc& desc) {
   auto slot = static_cast<std::size_t>(id);
@@ -137,6 +191,10 @@ Machine::Machine(const MachineConfig& config)
   if (const char* env = std::getenv("HPFSC_COMM_INVARIANT")) {
     comm_invariant_ = *env != '\0' && !(env[0] == '0' && env[1] == '\0');
   }
+  if (const char* env = std::getenv("HPFSC_WAIT_TIMING")) {
+    wait_timing_.store(!(env[0] == '0' && env[1] == '\0'),
+                       std::memory_order_relaxed);
+  }
   const int p = grid_.size();
   pes_.reserve(static_cast<std::size_t>(p));
   for (int id = 0; id < p; ++id) {
@@ -170,6 +228,8 @@ void Machine::worker_loop(int id) {
   for (;;) {
     const std::function<void(Pe&)>* fn = nullptr;
     std::uint64_t request_id = 0;
+    std::uint64_t publish_ns = 0;
+    bool timed = false;
     {
       std::unique_lock lock(pool_mutex_);
       pool_cv_.wait(lock, [&] {
@@ -179,6 +239,20 @@ void Machine::worker_loop(int id) {
       seen_generation = pool_run_generation_;
       fn = pool_fn_;
       request_id = pool_request_id_;
+      publish_ns = pool_publish_ns_;
+      timed = pool_timed_;
+    }
+    Pe& pe = *pes_[static_cast<std::size_t>(id)];
+    std::uint64_t pickup_ns = 0;
+    if (timed) {
+      // publish -> pickup is the front half of the pool handoff; the
+      // back half (finish -> run end, the straggler tail) is charged by
+      // run() once every worker has reported in.
+      pickup_ns = wait_now_ns();
+      const std::uint64_t handoff =
+          pickup_ns > publish_ns ? pickup_ns - publish_ns : 0;
+      pe.stats_.wait.pool_wait_ns += handoff;
+      flight_wait("wait.pool_ns", handoff, hpfsc::obs::pe_track(id));
     }
     std::exception_ptr error;
     try {
@@ -187,13 +261,18 @@ void Machine::worker_loop(int id) {
       hpfsc::obs::RequestScope rscope(request_id);
       hpfsc::obs::Span span(obs_session_, "pe-run", "runtime",
                             hpfsc::obs::pe_track(id));
-      (*fn)(*pes_[static_cast<std::size_t>(id)]);
+      (*fn)(pe);
     } catch (...) {
       error = std::current_exception();
       abort_all();
     }
     {
       std::lock_guard lock(pool_mutex_);
+      if (timed) {
+        const std::uint64_t finish_ns = wait_now_ns();
+        pe.stats_.wait.active_ns += finish_ns - pickup_ns;
+        pool_finish_ns_[static_cast<std::size_t>(id)] = finish_ns;
+      }
       pool_errors_[static_cast<std::size_t>(id)] = std::move(error);
       if (--pool_remaining_ == 0) pool_done_cv_.notify_all();
     }
@@ -222,11 +301,33 @@ void Machine::run(const std::function<void(Pe&)>& fn) {
     pool_fn_ = &fn;
     pool_request_id_ = hpfsc::obs::current_request_id();
     pool_remaining_ = p;
+    const bool timed = wait_timing();
+    pool_timed_ = timed;
+    if (timed) {
+      pool_finish_ns_.assign(static_cast<std::size_t>(p), 0);
+      pool_publish_ns_ = wait_now_ns();
+    }
     ++pool_run_generation_;
     pool_cv_.notify_all();
     pool_done_cv_.wait(lock, [&] { return pool_remaining_ == 0; });
     pool_fn_ = nullptr;
     errors = std::move(pool_errors_);
+    if (timed) {
+      // Straggler tail: a PE that finished early waited (implicitly,
+      // parked) for the slowest PE.  Charging run_end - finish makes
+      // pool_wait + active identical across PEs — the imbalance term
+      // of the reconciliation.  Safe to write PE stats here: all
+      // workers are parked (pool_remaining_ == 0 under pool_mutex_).
+      const std::uint64_t run_end = wait_now_ns();
+      for (int id = 0; id < p; ++id) {
+        const std::uint64_t finish =
+            pool_finish_ns_[static_cast<std::size_t>(id)];
+        if (finish != 0 && run_end > finish) {
+          pes_[static_cast<std::size_t>(id)]->stats_.wait.pool_wait_ns +=
+              run_end - finish;
+        }
+      }
+    }
   }
   // Prefer a real failure over the secondary Aborted unwinds.
   std::exception_ptr first;
@@ -328,6 +429,17 @@ MachineStats Machine::stats() const {
   return total;
 }
 
+std::vector<PeStats> Machine::per_pe_stats() const {
+  std::vector<PeStats> out;
+  out.reserve(pes_.size());
+  for (const auto& pe : pes_) {
+    PeStats s = pe->stats_;
+    s.peak_heap_bytes = std::max(s.peak_heap_bytes, pe->arena_.peak());
+    out.push_back(s);
+  }
+  return out;
+}
+
 void Machine::clear_stats() {
   for (auto& pe : pes_) {
     pe->stats_.clear();
@@ -369,7 +481,7 @@ void Machine::abort_all() {
   for (Channel& ch : channels_) ch.cv.notify_all();
 }
 
-void Machine::barrier_wait() {
+std::uint64_t Machine::barrier_wait() {
   std::unique_lock lock(barrier_mutex_);
   if (aborted_.load()) throw Aborted();
   const std::uint64_t my_generation = barrier_generation_;
@@ -377,14 +489,18 @@ void Machine::barrier_wait() {
     barrier_waiting_ = 0;
     ++barrier_generation_;
     barrier_cv_.notify_all();
-    return;
+    return 0;  // last arriver: released the barrier, never blocked
   }
+  // Per-run latch, like Pe::recv: the whole run is timed or none of it.
+  const bool timed = pool_timed_;
+  const std::uint64_t t0 = timed ? wait_now_ns() : 0;
   barrier_cv_.wait(lock, [&] {
     return barrier_generation_ != my_generation || aborted_.load();
   });
   if (barrier_generation_ == my_generation && aborted_.load()) {
     throw Aborted();
   }
+  return timed ? wait_now_ns() - t0 : 0;
 }
 
 }  // namespace simpi

@@ -62,7 +62,13 @@ class Pe {
   void send(int dst, std::span<const double> data);
 
   /// Blocking receive of the next message from `src` (FIFO per pair).
-  std::vector<double> recv(int src);
+  /// Time spent blocked (the message had not arrived yet) is charged to
+  /// WaitStats::recv_wait_ns; the (dim, dir) overload — used by the
+  /// shift runtime — additionally buckets it per (dimension, direction)
+  /// like the CommLedger buckets traffic.  The fast path (message
+  /// already queued) reads no clock.
+  std::vector<double> recv(int src) { return recv(src, -1, 0); }
+  std::vector<double> recv(int src, int dim, int dir);
 
   /// Accounts for `bytes` of intraprocessor data movement (the copies
   /// the offset-array optimization eliminates).  Charges the modeled
@@ -162,7 +168,21 @@ class Machine {
 
   /// Sums the given statistic over PEs / takes maxima as appropriate.
   [[nodiscard]] MachineStats stats() const;
+  /// Per-PE statistics snapshot, indexed by PE id.  Safe from the host
+  /// thread between runs (the workers are parked).
+  [[nodiscard]] std::vector<PeStats> per_pe_stats() const;
   void clear_stats();
+
+  /// Wall-clock wait-state accounting (on by default).  Off, the
+  /// blocking points read no clock and charge nothing — the A/B arm of
+  /// the instrumentation-overhead bench.  Also settable via
+  /// HPFSC_WAIT_TIMING (the value "0" disables).
+  void set_wait_timing(bool on) {
+    wait_timing_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool wait_timing() const {
+    return wait_timing_.load(std::memory_order_relaxed);
+  }
 
   /// Machine-wide communication ledger (summed over PEs); equivalent to
   /// stats().comm.
@@ -209,7 +229,9 @@ class Machine {
   }
 
   void abort_all();
-  void barrier_wait();
+  /// Returns nanoseconds the caller spent blocked (0 for the last
+  /// arriver, and always 0 with wait timing off).
+  std::uint64_t barrier_wait();
 
   void ensure_workers();
   void worker_loop(int id);
@@ -246,6 +268,18 @@ class Machine {
   int pool_remaining_ = 0;
   bool pool_stopping_ = false;
   std::vector<std::exception_ptr> pool_errors_;
+  /// Handoff timestamps for pool-wait attribution (steady-clock ns).
+  /// publish is stamped by run() with the task; each worker stamps its
+  /// finish time when it completes.  pool_timed_ is latched per run —
+  /// every blocking point (recv, barrier, pool) consults the latch, not
+  /// the live flag, so a mid-run set_wait_timing() toggle cannot split
+  /// the accounting.  Written under pool_mutex_ before workers wake and
+  /// stable until they all park again, so PE threads may read it plainly
+  /// during a run.
+  std::uint64_t pool_publish_ns_ = 0;
+  bool pool_timed_ = false;
+  std::vector<std::uint64_t> pool_finish_ns_;
+  std::atomic<bool> wait_timing_{true};
 
   // Tracing state (mutex-protected; PEs append concurrently).
   bool tracing_ = false;

@@ -171,7 +171,7 @@ void overlap_shift(Pe& pe, int array_id, int shift, int dim,
       from = pe.id();
     } else {
       from = pe_at(pe, grid, gdim, iv.owner);
-      std::vector<double> buf = pe.recv(from);
+      std::vector<double> buf = pe.recv(from, dim, dir);
       assert(buf.size() == dst_region.elements(desc.rank));
       g.unpack(dst_region, buf);
     }
@@ -278,7 +278,7 @@ void full_cshift(Pe& pe, int dst_id, int src_id, int shift, int dim,
       from = pe.id();
     } else {
       from = pe_at(pe, grid, gdim, iv.owner);
-      std::vector<double> buf = pe.recv(from);
+      std::vector<double> buf = pe.recv(from, dim, dir);
       assert(buf.size() == dst_region.elements(desc.rank));
       dst.unpack(dst_region, buf);
     }

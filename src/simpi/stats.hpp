@@ -2,6 +2,7 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -10,12 +11,87 @@
 
 namespace simpi {
 
+/// Wall-clock wait-state attribution of one PE: nanoseconds the PE's
+/// thread spent *blocked* at each of the runtime's blocking points,
+/// plus the active window it spent running the node program.  All
+/// fields are measured on one steady clock, which is what makes the
+/// per-run reconciliation invariant possible (see WaitProfile):
+///
+///   pool_wait + active == run_end - publish   (exact, by construction)
+///   compute := active - recv_wait - barrier_wait
+///   compute + recv_wait + barrier_wait + pool_wait + overhead == wall
+///
+/// recv_wait is additionally bucketed by (dimension, direction) when
+/// the shift runtime is the caller, so the exposed-communication time
+/// decomposes the same way the CommLedger decomposes traffic.
+struct WaitStats {
+  std::uint64_t recv_wait_ns = 0;     ///< blocked in channel cv.wait
+  std::uint64_t barrier_wait_ns = 0;  ///< blocked in barrier_wait
+  std::uint64_t pool_wait_ns = 0;     ///< handoff: publish->pickup plus
+                                      ///  finish->run-end straggler time
+  std::uint64_t active_ns = 0;        ///< pickup->finish window
+  /// Subset of recv_wait_ns attributed to a shift (dim, dir); raw
+  /// Pe::recv calls have no direction and only count in the total.
+  std::array<std::array<std::uint64_t, kCommDirs>, kCommDims>
+      recv_dim_dir{};
+
+  [[nodiscard]] bool empty() const {
+    return recv_wait_ns == 0 && barrier_wait_ns == 0 && pool_wait_ns == 0 &&
+           active_ns == 0;
+  }
+
+  WaitStats& operator+=(const WaitStats& o) {
+    recv_wait_ns += o.recv_wait_ns;
+    barrier_wait_ns += o.barrier_wait_ns;
+    pool_wait_ns += o.pool_wait_ns;
+    active_ns += o.active_ns;
+    for (std::size_t d = 0; d < kCommDims; ++d) {
+      for (std::size_t s = 0; s < kCommDirs; ++s) {
+        recv_dim_dir[d][s] += o.recv_dim_dir[d][s];
+      }
+    }
+    return *this;
+  }
+
+  [[nodiscard]] WaitStats delta_since(const WaitStats& before) const {
+    WaitStats d;
+    d.recv_wait_ns = recv_wait_ns - before.recv_wait_ns;
+    d.barrier_wait_ns = barrier_wait_ns - before.barrier_wait_ns;
+    d.pool_wait_ns = pool_wait_ns - before.pool_wait_ns;
+    d.active_ns = active_ns - before.active_ns;
+    for (std::size_t dim = 0; dim < kCommDims; ++dim) {
+      for (std::size_t s = 0; s < kCommDirs; ++s) {
+        d.recv_dim_dir[dim][s] =
+            recv_dim_dir[dim][s] - before.recv_dim_dir[dim][s];
+      }
+    }
+    return d;
+  }
+
+  [[nodiscard]] std::string to_json() const {
+    std::string out =
+        "{\"recv_wait_ns\":" + std::to_string(recv_wait_ns) +
+        ",\"barrier_wait_ns\":" + std::to_string(barrier_wait_ns) +
+        ",\"pool_wait_ns\":" + std::to_string(pool_wait_ns) +
+        ",\"active_ns\":" + std::to_string(active_ns) +
+        ",\"recv_by_dim\":[";
+    for (std::size_t d = 0; d < kCommDims; ++d) {
+      if (d) out += ',';
+      out += '[' + std::to_string(recv_dim_dir[d][0]) + ',' +
+             std::to_string(recv_dim_dir[d][1]) + ']';
+    }
+    out += "]}";
+    return out;
+  }
+};
+
 namespace detail {
 /// Stats JSON schema version.  v1 was the flat counter object; v2 adds
 /// the "schema_version" marker and, when any per-direction traffic was
-/// recorded, a "comm" ledger object.  All v1 keys are emitted
-/// unchanged, in the same order, so v1 consumers keep working.
-inline constexpr int kStatsSchemaVersion = 2;
+/// recorded, a "comm" ledger object; v3 adds, when any wall-clock wait
+/// time was recorded, a "wait" object (WaitStats).  All v1/v2 keys are
+/// emitted unchanged, in the same order, so old consumers keep working.
+inline constexpr int kStatsSchemaVersion = 3;
 
 inline std::string stats_json(std::uint64_t messages_sent,
                               std::uint64_t bytes_sent,
@@ -24,7 +100,8 @@ inline std::string stats_json(std::uint64_t messages_sent,
                               std::uint64_t modeled_comm_ns,
                               std::uint64_t modeled_copy_ns,
                               std::size_t peak_heap_bytes,
-                              const CommLedger& comm) {
+                              const CommLedger& comm,
+                              const WaitStats& wait) {
   std::string out =
       "{\"messages_sent\":" + std::to_string(messages_sent) +
       ",\"bytes_sent\":" + std::to_string(bytes_sent) +
@@ -35,6 +112,7 @@ inline std::string stats_json(std::uint64_t messages_sent,
       ",\"peak_heap_bytes\":" + std::to_string(peak_heap_bytes) +
       ",\"schema_version\":" + std::to_string(kStatsSchemaVersion);
   if (!comm.empty()) out += ",\"comm\":" + comm.to_json();
+  if (!wait.empty()) out += ",\"wait\":" + wait.to_json();
   out += "}";
   return out;
 }
@@ -58,6 +136,8 @@ struct PeStats {
   /// messages_sent: only the shift runtime attributes its sends (raw
   /// Pe::send calls have no direction).
   CommLedger comm;
+  /// Wall-clock blocking-time attribution (v3; see WaitStats).
+  WaitStats wait;
 
   void clear() { *this = PeStats{}; }
 
@@ -72,6 +152,7 @@ struct PeStats {
     modeled_copy_ns += o.modeled_copy_ns;
     peak_heap_bytes = std::max(peak_heap_bytes, o.peak_heap_bytes);
     comm += o.comm;
+    wait += o.wait;
     return *this;
   }
 
@@ -88,13 +169,14 @@ struct PeStats {
     d.modeled_copy_ns = modeled_copy_ns - before.modeled_copy_ns;
     d.peak_heap_bytes = peak_heap_bytes;
     d.comm = comm.delta_since(before.comm);
+    d.wait = wait.delta_since(before.wait);
     return d;
   }
 
   [[nodiscard]] std::string to_json() const {
     return detail::stats_json(messages_sent, bytes_sent, intra_copy_bytes,
                               kernel_ref_bytes, modeled_comm_ns,
-                              modeled_copy_ns, peak_heap_bytes, comm);
+                              modeled_copy_ns, peak_heap_bytes, comm, wait);
   }
 };
 
@@ -110,6 +192,10 @@ struct MachineStats {
   std::uint64_t modeled_copy_ns = 0;  ///< max over PEs
   std::size_t peak_heap_bytes = 0;    ///< max over PEs
   CommLedger comm;                    ///< summed over PEs
+  /// Wait-state attribution summed over PEs: total exposed blocking
+  /// time across the machine (P x wall is the denominator that turns
+  /// this into a fraction; see WaitProfile).
+  WaitStats wait;
 
   void accumulate(const PeStats& pe) {
     messages_sent += pe.messages_sent;
@@ -120,6 +206,7 @@ struct MachineStats {
     modeled_copy_ns = std::max(modeled_copy_ns, pe.modeled_copy_ns);
     peak_heap_bytes = std::max(peak_heap_bytes, pe.peak_heap_bytes);
     comm += pe.comm;
+    wait += pe.wait;
   }
 
   /// Merges aggregates from consecutive (sequential) runs/phases:
@@ -133,13 +220,14 @@ struct MachineStats {
     modeled_copy_ns += o.modeled_copy_ns;
     peak_heap_bytes = std::max(peak_heap_bytes, o.peak_heap_bytes);
     comm += o.comm;
+    wait += o.wait;
     return *this;
   }
 
   [[nodiscard]] std::string to_json() const {
     return detail::stats_json(messages_sent, bytes_sent, intra_copy_bytes,
                               kernel_ref_bytes, modeled_comm_ns,
-                              modeled_copy_ns, peak_heap_bytes, comm);
+                              modeled_copy_ns, peak_heap_bytes, comm, wait);
   }
 };
 

@@ -70,7 +70,7 @@ TEST(CommInvariantE2E, LedgerSurvivesIntoStatsJson) {
   Execution exec = compile_and_prepare(kernels::kProblem9, 4, 16, false);
   auto stats = exec.run(1);
   const std::string json = stats.machine.to_json();
-  EXPECT_NE(json.find("\"schema_version\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"schema_version\":3"), std::string::npos) << json;
   EXPECT_NE(json.find("\"comm\":{"), std::string::npos) << json;
   EXPECT_NE(json.find("\"overlap_shift\""), std::string::npos) << json;
 }

@@ -53,6 +53,9 @@ RunResult run_case(const TierKernelCase& c, int level, int n,
   CompiledProgram compiled = compiler.compile(c.source, opts);
   Execution exec(std::move(compiled.program), simpi::MachineConfig{});
   exec.set_kernel_tier(tier);
+  // The machine JSONs are compared bitwise below; wait-state buckets
+  // are wall-clock-derived and would differ between the two runs.
+  exec.machine().set_wait_timing(false);
   if (block_i > 0 && block_j > 0) exec.set_block_size(block_i, block_j);
   Bindings b;
   b.set("N", n);

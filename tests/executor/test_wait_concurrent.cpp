@@ -1,0 +1,117 @@
+// TSan-targeted concurrency coverage for the wait-state subsystem: all
+// three kernel tiers executing simultaneously (each on its own machine,
+// each machine itself a PE thread pool), all teeing wait histograms
+// into one shared MetricsRegistry, with the flight recorder on so the
+// wait.{recv,barrier,pool}_ns counter events race the ring buffers.
+// Every run must still reconcile and the shared registry must end with
+// exactly one sample per PE per category per run.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "driver/hpfsc.hpp"
+#include "executor/wait_profile.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+
+namespace hpfsc {
+namespace {
+
+TEST(WaitConcurrent, AllTiersRaceIntoOneRegistryAndReconcile) {
+  constexpr int kRunsPerTier = 4;
+  constexpr int kPes = 4;  // 2x2 default grid
+  auto& rec = obs::FlightRecorder::instance();
+  const bool was_enabled = rec.enabled();
+  rec.set_enabled(true);
+
+  obs::MetricsRegistry shared;
+  obs::TraceSession session;  // disabled: only the metrics tee is live
+  session.set_metrics(&shared);
+
+  const KernelTier tiers[] = {KernelTier::InterpreterOnly, KernelTier::Auto,
+                              KernelTier::Simd};
+  std::vector<int> failures(3, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(3);
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&, t] {
+      Compiler compiler;
+      CompilerOptions opts = CompilerOptions::level(3);
+      opts.passes.offset.live_out = {"T"};
+      CompiledProgram compiled =
+          compiler.compile(kernels::kProblem9, opts);
+      Execution exec(std::move(compiled.program), simpi::MachineConfig{});
+      exec.set_kernel_tier(tiers[t]);
+      Bindings b;
+      b.set("N", 16);
+      exec.prepare(b);
+      exec.set_array("U", [](int i, int j, int) {
+        return std::sin(i * 0.7) + 0.3 * j;
+      });
+      // Warm up (spawns the PE workers) before attaching the session so
+      // the shared registry sees exactly kRunsPerTier runs.
+      exec.run(1);
+      exec.set_trace(&session);
+      for (int run = 0; run < kRunsPerTier; ++run) {
+        // Three machines (12 PE threads) oversubscribe the host, so
+        // allow generous scheduling slack: this test is about races and
+        // sample counts, the tight-tolerance books are closed by the
+        // WaitProfileReconciliation suite.
+        const WaitProfile p = WaitProfile::from_run(exec.run(1));
+        if (!p.reconciled(0.100, 0.5)) ++failures[static_cast<std::size_t>(t)];
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  rec.set_enabled(was_enabled);
+
+  for (int t = 0; t < 3; ++t) {
+    EXPECT_EQ(failures[static_cast<std::size_t>(t)], 0)
+        << "tier " << t << " had unreconciled runs";
+  }
+  // One sample per PE per run per category, from all three tiers.
+  const std::size_t want = 3u * kRunsPerTier * kPes;
+  EXPECT_EQ(shared.histogram("simpi.recv_wait_ms").count(), want);
+  EXPECT_EQ(shared.histogram("simpi.barrier_wait_ms").count(), want);
+  EXPECT_EQ(shared.histogram("simpi.pool_wait_ms").count(), want);
+}
+
+// A mid-run set_wait_timing flip from the host thread must not tear the
+// accounting: pool_timed_ is latched per run, so every run either
+// closes its books or records nothing.
+TEST(WaitConcurrent, TimingToggleRacesRunsWithoutTearing) {
+  Compiler compiler;
+  CompilerOptions opts = CompilerOptions::level(2);
+  opts.passes.offset.live_out = {"T"};
+  CompiledProgram compiled = compiler.compile(kernels::kProblem9, opts);
+  Execution exec(std::move(compiled.program), simpi::MachineConfig{});
+  Bindings b;
+  b.set("N", 16);
+  exec.prepare(b);
+  exec.set_array("U",
+                 [](int i, int j, int) { return i * 0.25 + j * 0.5; });
+  std::thread toggler([&] {
+    for (int i = 0; i < 50; ++i) {
+      exec.machine().set_wait_timing(i % 2 == 0);
+      std::this_thread::yield();
+    }
+    exec.machine().set_wait_timing(true);
+  });
+  for (int run = 0; run < 10; ++run) {
+    const WaitProfile p = WaitProfile::from_run(exec.run(1));
+    // Either the run was timed (books close) or it recorded nothing
+    // (no rows); a half-recorded run would fail reconciliation.
+    if (!p.rows.empty()) {
+      EXPECT_TRUE(p.reconciled()) << p.to_text();
+    }
+  }
+  toggler.join();
+}
+
+}  // namespace
+}  // namespace hpfsc

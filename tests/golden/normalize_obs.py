@@ -1,14 +1,17 @@
 #!/usr/bin/env python3
 """Normalizes hpfsc_dump observability output for golden-file diffing.
 
-Four modes, selected by --mode:
+Five modes, selected by --mode:
 
   summary     stderr of `hpfsc_dump --obs-summary`: latency-histogram
               lines and per-block timing summaries.  Wall-clock digits are
               replaced with <T>, the content-hash counter with <HASH>,
               request-id sums with <ID>, column padding collapses to
               single spaces, and summary blocks are re-sorted by name (the
-              tool orders them by total time, which is not stable).
+              tool orders them by total time, which is not stable).  The
+              wait-state footer keeps its structure and the reconciled
+              verdict; its millisecond/fraction digits become <T>, as do
+              the wait.*_ns span-argument sums inside summary blocks.
   prom        a `--prom-out` file: quantile/_sum/_max sample values of
               *_ms summaries are replaced with <T>, roofline gflops
               gauges (wall-clock-derived) with <T>.  Other gauges and
@@ -23,7 +26,15 @@ Four modes, selected by --mode:
   batch       stdout of `--serve-batch`: latencies, queue/compile/run
               times, wall/throughput, and request ids are replaced with
               <T>/<ID>.  Row order (submission order), cache outcomes,
-              and comm byte counts survive.
+              and comm byte counts survive, as does the wait-state
+              footer's request count.
+  statusz     a `--statusz-out` file: histogram quantiles/totals and
+              swap-gate milliseconds become <T>; counts that race the
+              background promoter (plan-cache size/hits/misses, per-state
+              tier tallies, promotion totals) and the flight recorder's
+              thread count become <N>.  The page structure, admission
+              totals, tier entry count, and per-category sample counts
+              survive — they are deterministic for a drained batch.
 
 Reads stdin, writes stdout.  Everything that survives normalization is a
 real invariant: message/byte counts, cost-model values, pass statistics,
@@ -35,8 +46,16 @@ import sys
 
 TIME = "<T>"
 RID = "<ID>"
+NUM = "<N>"
 
 HIST_RE = re.compile(r"^(\S+): count=(\d+) p50=\S+ p90=\S+ p99=\S+ max=\S+$")
+WAIT_FOOTER_RE = re.compile(
+    r"^recv: [0-9.]+ +barrier: [0-9.]+ +pool: [0-9.]+$"
+)
+WAIT_VERDICT_RE = re.compile(
+    r"^exposed-comm fraction: [0-9.]+, overlap speedup bound: [0-9.]+x, "
+    r"reconciled: (yes|no)$"
+)
 BLOCK_RE = re.compile(r"^(\S+)\s+x(\d+)\s+total\s+\S+ ms\s+max\s+\S+ ms\s*$")
 PROM_MS_RE = re.compile(
     r'^(\S+_ms(?:\{quantile="[0-9.]+"\}|_sum|_max)?) [-+0-9.eE]+$'
@@ -63,6 +82,15 @@ def normalize_summary(lines):
                     f"{m.group(1)}: count={m.group(2)} "
                     f"p50={TIME} p90={TIME} p99={TIME} max={TIME}"
                 )
+            if WAIT_FOOTER_RE.match(line):
+                line = f"recv: {TIME}  barrier: {TIME}  pool: {TIME}"
+            m = WAIT_VERDICT_RE.match(line)
+            if m:
+                line = (
+                    f"exposed-comm fraction: {TIME}, "
+                    f"overlap speedup bound: {TIME}x, "
+                    f"reconciled: {m.group(1)}"
+                )
             head.append(line)
             continue
         if line.startswith(" "):
@@ -73,6 +101,9 @@ def normalize_summary(lines):
                 # The summary sums numeric args; a sum of request ids is
                 # deterministic here but meaningless and brittle.
                 value = RID
+            elif key.startswith("wait."):
+                # Nanosecond wait-state sums are wall-clock derived.
+                value = TIME
             else:
                 value = value.strip()
             current.append(f"    {key} {value}")
@@ -134,11 +165,54 @@ def normalize_batch(lines):
     return out
 
 
+STATUSZ_HIST_RE = re.compile(
+    r"^(  \S+ +count=\d+) p50=\S+ p99=\S+ max=\S+ total=\S+$"
+)
+
+
+def normalize_statusz(lines):
+    out = []
+    for line in lines:
+        line = line.rstrip("\n")
+        m = STATUSZ_HIST_RE.match(line)
+        if m:
+            line = (
+                f"{m.group(1)} p50={TIME} p99={TIME} max={TIME} "
+                f"total={TIME}"
+            )
+        if line.startswith("plan cache: "):
+            # The background promoter compiles into the same cache, so
+            # size/hits/misses depend on how far promotion got by the
+            # time the page was rendered.
+            line = re.sub(r"(size=)\d+(/)", rf"\g<1>{NUM}\g<2>", line)
+            line = re.sub(
+                r"\b(hits|misses|coalesced|evictions|warmed)=\d+",
+                rf"\g<1>={NUM}",
+                line,
+            )
+        if line.startswith("tiers: "):
+            # entries= is deterministic (one per distinct program); the
+            # per-state split and promotion totals race the promoter.
+            line = re.sub(
+                r"\b(fast|promoting|ready|promoted|failed|promotions"
+                r"|failures|swap-gate-waits)=\d+",
+                rf"\g<1>={NUM}",
+                line,
+            )
+            line = re.sub(r"swap-gate-ms=[0-9.]+", f"swap-gate-ms={TIME}",
+                          line)
+        line = re.sub(r"(flight recorder: \w+ threads=)\d+",
+                      rf"\g<1>{NUM}", line)
+        out.append(line)
+    return out
+
+
 MODES = {
     "summary": normalize_summary,
     "prom": normalize_prom,
     "postmortem": normalize_postmortem,
     "batch": normalize_batch,
+    "statusz": normalize_statusz,
 }
 
 
@@ -149,7 +223,8 @@ def main():
             mode = arg.split("=", 1)[1]
     if mode not in MODES:
         sys.exit(
-            "usage: normalize_obs.py --mode=summary|prom|postmortem|batch"
+            "usage: normalize_obs.py "
+            "--mode=summary|prom|postmortem|batch|statusz"
             " < input > output"
         )
     lines = sys.stdin.readlines()

@@ -11,15 +11,28 @@ values, pass statistics, plan-cache hit/miss totals — must match exactly.
         --golden-summary=FILE --golden-prom=FILE \
         [--golden-postmortem=FILE] \
         [--golden-batch=FILE --batch-file=FILE] \
-        [--golden-batch-error=FILE --batch-error-file=FILE] [--update]
+        [--golden-batch-error=FILE --batch-error-file=FILE] \
+        [--golden-statusz=FILE --statusz-batch-file=FILE] \
+        [--golden-batch-postmortem=FILE --batch-postmortem-file=FILE] \
+        [--update]
 
---golden-postmortem additionally passes --postmortem-out to the same
-invocation and pins the flight recorder's text dump (event names,
-kinds, per-thread ordering, counter values; timestamps/durations/ids
-stripped).  --golden-batch runs a second invocation,
-`--serve-batch=<batch-file> --workers=2`, and pins the per-request
-reassembly report (row order, cache outcomes, comm bytes; latencies
-and request ids stripped).
+--golden-postmortem runs a separate invocation with the same dump args
+plus --postmortem-out, under HPFSC_WAIT_TIMING=0, and pins the flight
+recorder's text dump (event names, kinds, per-thread ordering, counter
+values; timestamps/durations/ids stripped).  Wait timing is off for
+that invocation because wait.*_ns counter events only fire when a PE
+actually blocks, which would shift the 64-event tail window run to
+run.  --golden-batch runs `--serve-batch=<batch-file> --workers=2` and
+pins the per-request reassembly report (row order, cache outcomes,
+comm bytes; latencies and request ids stripped).  --golden-statusz
+runs `--serve-batch=<statusz-batch-file> --workers=2 --tiered
+--statusz-out=...` and pins the introspection page's structure
+(admission totals, tier entry count, histogram sample counts;
+promoter-racy counts and milliseconds stripped).
+--golden-batch-postmortem runs `--serve-batch=<batch-postmortem-file>
+--workers=1 --postmortem-out=...` with the flight recorder on and wait
+timing off, pinning the admission Mark events (serve.enqueue /
+serve.dequeue with request ids) in the flight tail.
 
 --update regenerates the goldens in place instead of diffing.
 """
@@ -84,13 +97,8 @@ def main():
     prom_path = os.path.join(opts["work_dir"], "obs.prom")
     pm_path = os.path.join(opts["work_dir"], "postmortem.txt")
 
-    cmd = [opts["dump"], *DUMP_ARGS, f"--prom-out={prom_path}"]
-    if "golden_postmortem" in opts:
-        # The postmortem is an append-mode dump; start clean.
-        if os.path.exists(pm_path):
-            os.remove(pm_path)
-        cmd.append(f"--postmortem-out={pm_path}")
-    cmd.append(opts["source"])
+    cmd = [opts["dump"], *DUMP_ARGS, f"--prom-out={prom_path}",
+           opts["source"]]
     result = subprocess.run(cmd, capture_output=True, text=True)
     if result.returncode != 0:
         sys.stderr.write(result.stderr)
@@ -105,6 +113,21 @@ def main():
     ok = check("--prom-out", prom, opts["golden_prom"], opts["update"]) and ok
 
     if "golden_postmortem" in opts:
+        # Separate invocation with wait timing off: the recv/barrier
+        # wait counter events fire only when a PE actually blocks, so
+        # with timing on, the 64-event flight tail would shift run to
+        # run.  The postmortem is an append-mode dump; start clean.
+        if os.path.exists(pm_path):
+            os.remove(pm_path)
+        cmd = [opts["dump"], *DUMP_ARGS,
+               f"--postmortem-out={pm_path}", opts["source"]]
+        env = dict(os.environ, HPFSC_WAIT_TIMING="0")
+        result = subprocess.run(cmd, capture_output=True, text=True,
+                                env=env)
+        if result.returncode != 0:
+            sys.stderr.write(result.stderr)
+            sys.exit(
+                f"hpfsc_dump exited {result.returncode}: {' '.join(cmd)}")
         with open(pm_path) as f:
             postmortem = normalize(f.read(), "postmortem")
         ok = check("--postmortem-out", postmortem,
@@ -138,6 +161,50 @@ def main():
         batch = normalize(result.stdout, "batch")
         ok = check("--serve-batch", batch, opts["golden_batch"],
                    opts["update"]) and ok
+
+    if "golden_statusz" in opts:
+        if "statusz_batch_file" not in opts:
+            sys.exit("--golden-statusz requires --statusz-batch-file")
+        statusz_path = os.path.join(opts["work_dir"], "statusz.txt")
+        cmd = [opts["dump"],
+               f"--serve-batch={opts['statusz_batch_file']}",
+               "--workers=2", "--tiered",
+               f"--statusz-out={statusz_path}"]
+        result = subprocess.run(cmd, capture_output=True, text=True)
+        if result.returncode != 0:
+            sys.stderr.write(result.stderr)
+            sys.exit(
+                f"hpfsc_dump exited {result.returncode}: {' '.join(cmd)}")
+        with open(statusz_path) as f:
+            statusz = normalize(f.read(), "statusz")
+        ok = check("--statusz-out", statusz, opts["golden_statusz"],
+                   opts["update"]) and ok
+
+    if "golden_batch_postmortem" in opts:
+        if "batch_postmortem_file" not in opts:
+            sys.exit(
+                "--golden-batch-postmortem requires --batch-postmortem-file")
+        bpm_path = os.path.join(opts["work_dir"], "batch_postmortem.txt")
+        if os.path.exists(bpm_path):
+            os.remove(bpm_path)
+        # One worker so the enqueue/dequeue Marks land on a stable set
+        # of threads; wait timing off so only deterministic events fill
+        # the flight tail.
+        cmd = [opts["dump"],
+               f"--serve-batch={opts['batch_postmortem_file']}",
+               "--workers=1", f"--postmortem-out={bpm_path}"]
+        env = dict(os.environ, HPFSC_FLIGHT_RECORDER="1",
+                   HPFSC_WAIT_TIMING="0")
+        result = subprocess.run(cmd, capture_output=True, text=True,
+                                env=env)
+        if result.returncode != 0:
+            sys.stderr.write(result.stderr)
+            sys.exit(
+                f"hpfsc_dump exited {result.returncode}: {' '.join(cmd)}")
+        with open(bpm_path) as f:
+            bpm = normalize(f.read(), "postmortem")
+        ok = check("--serve-batch --postmortem-out", bpm,
+                   opts["golden_batch_postmortem"], opts["update"]) and ok
 
     sys.exit(0 if ok else 1)
 

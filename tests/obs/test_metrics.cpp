@@ -148,6 +148,39 @@ TEST(MetricsRegistry, MergeFromSumsCountersAndMergesHistograms) {
   EXPECT_EQ(a.histogram("h").max(), 1000.0);
 }
 
+// The wait-state tee writes one labeled histogram per category
+// (serve.wait.recv_ms / barrier_ms / pool_ms, simpi.*_wait_ms).
+// Merging per-worker registries — what emit_metrics does when it folds
+// the service registry into the default one — must keep each label's
+// samples separate and sum their counts, never cross-pollinate buckets.
+TEST(MetricsRegistry, MergeFromKeepsWaitStateLabelsSeparate) {
+  MetricsRegistry worker1;
+  worker1.observe("serve.wait.recv_ms", 2.0);
+  worker1.observe("serve.wait.recv_ms", 4.0);
+  worker1.observe("serve.wait.barrier_ms", 0.5);
+  worker1.observe("serve.swap_gate_wait_ms", 0.0);
+  MetricsRegistry worker2;
+  worker2.observe("serve.wait.recv_ms", 8.0);
+  worker2.observe("serve.wait.pool_ms", 1.5);
+  worker2.observe("serve.swap_gate_wait_ms", 3.0);
+  MetricsRegistry total;
+  total.merge_from(worker1);
+  total.merge_from(worker2);
+  EXPECT_EQ(total.histogram("serve.wait.recv_ms").count(), 3u);
+  EXPECT_EQ(total.histogram("serve.wait.recv_ms").sum(), 14.0);
+  EXPECT_EQ(total.histogram("serve.wait.recv_ms").max(), 8.0);
+  EXPECT_EQ(total.histogram("serve.wait.barrier_ms").count(), 1u);
+  EXPECT_EQ(total.histogram("serve.wait.pool_ms").count(), 1u);
+  // The uncontended swap gate records 0.0 — merge must keep the zero
+  // sample (count 2) rather than dropping it as empty.
+  EXPECT_EQ(total.histogram("serve.swap_gate_wait_ms").count(), 2u);
+  EXPECT_EQ(total.histogram("serve.swap_gate_wait_ms").sum(), 3.0);
+  // Merging is idempotent on disjoint labels: re-merging an empty
+  // registry changes nothing.
+  total.merge_from(MetricsRegistry{});
+  EXPECT_EQ(total.histogram("serve.wait.recv_ms").count(), 3u);
+}
+
 TEST(MetricsRegistry, JsonExportCarriesAllThreeKinds) {
   MetricsRegistry reg;
   reg.add("c", 2.0);

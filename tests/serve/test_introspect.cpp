@@ -1,0 +1,255 @@
+// serve::Introspector: the statusz/metricsz/tracez pages render a
+// running daemon's admission queue, plan cache, tier states, and
+// wait-state breakdown; the page dispatcher handles unknown paths; the
+// opt-in localhost listener answers real HTTP GETs while the daemon is
+// under load; and the admission path leaves enqueue/dequeue (and shed)
+// flight-recorder events stamped with request ids.
+#include "serve/introspect.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "driver/paper_kernels.hpp"
+#include "obs/flight_recorder.hpp"
+#include "serve/daemon.hpp"
+#include "service/service.hpp"
+
+namespace hpfsc::serve {
+namespace {
+
+using service::ServiceRequest;
+
+DaemonConfig daemon_config(int workers, std::size_t queue_depth,
+                           bool tiered = true) {
+  DaemonConfig cfg;
+  cfg.service.machine.pe_rows = 2;
+  cfg.service.machine.pe_cols = 2;
+  cfg.workers = workers;
+  cfg.queue_depth = queue_depth;
+  cfg.tiered = tiered;
+  return cfg;
+}
+
+ServiceRequest problem9_request(double n = 16.0) {
+  ServiceRequest req;
+  req.source = kernels::kProblem9;
+  req.options = CompilerOptions::level(4);
+  req.options.passes.offset.live_out = {"T"};
+  req.bindings.values["N"] = n;
+  req.steps = 1;
+  req.init = [](Execution& exec) {
+    exec.set_array("U", [](int i, int j, int) { return i * 0.25 + j * 0.5; });
+  };
+  return req;
+}
+
+void run_some_traffic(ServeDaemon& daemon, int requests = 4) {
+  std::vector<std::future<ServeResponse>> futures;
+  for (int i = 0; i < requests; ++i) {
+    futures.push_back(
+        daemon.submit({i % 2 == 0 ? "alpha" : "beta", problem9_request()}));
+  }
+  for (auto& f : futures) f.get();
+}
+
+TEST(Introspect, StatuszRendersEverySection) {
+  ServeDaemon daemon(daemon_config(2, 16));
+  run_some_traffic(daemon);
+  Introspector in(daemon);
+  const std::string page = in.statusz();
+  EXPECT_NE(page.find("hpfsc serve statusz"), std::string::npos) << page;
+  // Admission: totals plus the live depth.
+  EXPECT_NE(page.find("queued="), std::string::npos) << page;
+  EXPECT_NE(page.find("picked="), std::string::npos) << page;
+  EXPECT_NE(page.find("shed="), std::string::npos) << page;
+  // Plan cache and tier promotion states.
+  EXPECT_NE(page.find("plan cache"), std::string::npos) << page;
+  EXPECT_NE(page.find("tiers"), std::string::npos) << page;
+  // Wait-state breakdown from the serve.wait.* histograms.
+  EXPECT_NE(page.find("wait-state"), std::string::npos) << page;
+  EXPECT_NE(page.find("recv"), std::string::npos) << page;
+  EXPECT_NE(page.find("swap-gate"), std::string::npos) << page;
+  // The swap gate is observed once per request, so its count equals
+  // the number of requests served.
+  EXPECT_NE(page.find("count=4"), std::string::npos) << page;
+}
+
+TEST(Introspect, StatuszShowsPerClientSubQueues) {
+  ServeDaemon daemon(daemon_config(1, 16));
+  run_some_traffic(daemon, 3);  // two alpha, one beta — already drained
+  Introspector in(daemon);
+  const std::string page = in.statusz();
+  // Clients appear (queues are empty after the drain, but the rotation
+  // order listing must name them while they hold queue slots; after a
+  // full drain the section may be empty — accept either, but the
+  // admission line itself must be present with picked=3).
+  EXPECT_NE(page.find("picked=3"), std::string::npos) << page;
+}
+
+TEST(Introspect, MetricszIsPrometheusText) {
+  ServeDaemon daemon(daemon_config(1, 8));
+  run_some_traffic(daemon, 2);
+  Introspector in(daemon);
+  const std::string page = in.metricsz();
+  EXPECT_NE(page.find("# TYPE"), std::string::npos) << page;
+  EXPECT_NE(page.find("serve_wait_recv_ms"), std::string::npos) << page;
+  EXPECT_NE(page.find("serve_swap_gate_wait_ms"), std::string::npos) << page;
+  EXPECT_NE(page.find("serve_queue_depth"), std::string::npos) << page;
+}
+
+TEST(Introspect, TracezShowsFlightTail) {
+  auto& rec = obs::FlightRecorder::instance();
+  const bool was = rec.enabled();
+  rec.set_enabled(true);
+  {
+    ServeDaemon daemon(daemon_config(1, 8));
+    run_some_traffic(daemon, 2);
+    Introspector in(daemon);
+    const std::string page = in.tracez();
+    EXPECT_NE(page.find("flight recorder"), std::string::npos) << page;
+    EXPECT_NE(page.find("thread"), std::string::npos) << page;
+  }
+  rec.set_enabled(was);
+}
+
+TEST(Introspect, PageDispatchesAndExplainsUnknownPaths) {
+  ServeDaemon daemon(daemon_config(1, 8));
+  Introspector in(daemon);
+  EXPECT_EQ(in.page("/statusz"), in.page("statusz"));
+  EXPECT_NE(in.page("/statusz").find("statusz"), std::string::npos);
+  EXPECT_NE(in.page("/metricsz").find("# TYPE"), std::string::npos);
+  EXPECT_NE(in.page("/statusz?refresh=1").find("statusz"),
+            std::string::npos);
+  const std::string unknown = in.page("/nope");
+  EXPECT_EQ(unknown.rfind("unknown page:", 0), 0u) << unknown;
+  EXPECT_NE(unknown.find("statusz"), std::string::npos);
+}
+
+TEST(Introspect, WriteStatuszWritesTheFile) {
+  ServeDaemon daemon(daemon_config(1, 8));
+  run_some_traffic(daemon, 1);
+  Introspector in(daemon);
+  const std::string path =
+      ::testing::TempDir() + "/introspect_statusz.txt";
+  ASSERT_TRUE(in.write_statusz(path));
+  std::ifstream f(path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  EXPECT_NE(ss.str().find("hpfsc serve statusz"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+/// Minimal HTTP GET against 127.0.0.1:port; returns the full response.
+std::string http_get(int port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string req = "GET " + path + " HTTP/1.0\r\n\r\n";
+  (void)!::send(fd, req.data(), req.size(), 0);
+  std::string out;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+TEST(Introspect, ServesLivePagesOverTcpUnderLoad) {
+  ServeDaemon daemon(daemon_config(2, 32));
+  Introspector in(daemon);
+  ASSERT_TRUE(in.serve_on(0));  // ephemeral port
+  ASSERT_GT(in.port(), 0);
+
+  // Keep the daemon busy while fetching.
+  std::vector<std::future<ServeResponse>> inflight;
+  for (int i = 0; i < 6; ++i) {
+    inflight.push_back(daemon.submit({"load", problem9_request()}));
+  }
+
+  const std::string statusz = http_get(in.port(), "/statusz");
+  EXPECT_NE(statusz.find("HTTP/1.0 200 OK"), std::string::npos) << statusz;
+  EXPECT_NE(statusz.find("hpfsc serve statusz"), std::string::npos);
+
+  const std::string metricsz = http_get(in.port(), "/metricsz");
+  EXPECT_NE(metricsz.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(metricsz.find("# TYPE"), std::string::npos);
+
+  const std::string missing = http_get(in.port(), "/bogus");
+  EXPECT_NE(missing.find("HTTP/1.0 404"), std::string::npos) << missing;
+
+  for (auto& f : inflight) f.get();
+  // A fetch after the load drains still works and reflects the traffic.
+  const std::string after = http_get(in.port(), "/statusz");
+  EXPECT_NE(after.find("picked=6"), std::string::npos) << after;
+  in.stop();
+  // stop() is idempotent and serve_on can rebind afterwards.
+  in.stop();
+  EXPECT_EQ(in.port(), 0);
+}
+
+TEST(Introspect, SecondListenerOnSamePortFails) {
+  ServeDaemon daemon(daemon_config(1, 8));
+  Introspector in(daemon);
+  ASSERT_TRUE(in.serve_on(0));
+  EXPECT_FALSE(in.serve_on(0));  // already running
+  in.stop();
+}
+
+// Admission flight events (satellite of DESIGN.md §13): every submit
+// leaves an enqueue Mark, every worker pickup a dequeue Mark, and every
+// rejection a shed Mark — all stamped with the minted request id.
+TEST(Introspect, AdmissionLeavesFlightEventsWithRequestIds) {
+  auto& rec = obs::FlightRecorder::instance();
+  const bool was = rec.enabled();
+  rec.set_enabled(true);
+  std::uint64_t enqueues = 0, dequeues = 0, sheds = 0;
+  {
+    ServeDaemon daemon(daemon_config(1, 16));
+    run_some_traffic(daemon, 3);
+    for (const auto& th : rec.snapshot_all()) {
+      for (const auto& ev : th.events) {
+        const std::string name = ev.name;
+        if (name == "serve.enqueue" || name == "serve.dequeue" ||
+            name == "serve.shed") {
+          EXPECT_EQ(ev.kind, obs::FlightEvent::Kind::Mark);
+          EXPECT_NE(ev.request_id, 0u) << name;
+          if (name == "serve.enqueue") ++enqueues;
+          if (name == "serve.dequeue") ++dequeues;
+          if (name == "serve.shed") ++sheds;
+        }
+      }
+    }
+  }
+  rec.set_enabled(was);
+  EXPECT_GE(enqueues, 3u);
+  EXPECT_GE(dequeues, 3u);
+  // No rejections in this run; shed coverage lives in the golden
+  // postmortem test (normalize_obs drops nothing) and Admission suite.
+  EXPECT_EQ(sheds, 0u);
+}
+
+}  // namespace
+}  // namespace hpfsc::serve

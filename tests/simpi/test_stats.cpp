@@ -98,7 +98,7 @@ TEST(Stats, ToJsonCarriesEveryCounter) {
             "{\"messages_sent\":4,\"bytes_sent\":40,"
             "\"intra_copy_bytes\":400,\"kernel_ref_bytes\":4000,"
             "\"modeled_comm_ns\":28,\"modeled_copy_ns\":12,"
-            "\"peak_heap_bytes\":4096,\"schema_version\":2}");
+            "\"peak_heap_bytes\":4096,\"schema_version\":3}");
 
   MachineStats m;
   m.accumulate(s);
@@ -108,14 +108,14 @@ TEST(Stats, ToJsonCarriesEveryCounter) {
             "{\"messages_sent\":0,\"bytes_sent\":0,\"intra_copy_bytes\":0,"
             "\"kernel_ref_bytes\":0,\"modeled_comm_ns\":0,"
             "\"modeled_copy_ns\":0,\"peak_heap_bytes\":0,"
-            "\"schema_version\":2}");
+            "\"schema_version\":3}");
 }
 
 TEST(Stats, ToJsonIncludesCommLedgerWhenNonEmpty) {
   PeStats s = sample_pe(1, 64);
   s.comm.record(0, 1, CommKind::OverlapShift, 1, 80);
   const std::string json = s.to_json();
-  EXPECT_NE(json.find("\"schema_version\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":3"), std::string::npos);
   EXPECT_NE(json.find("\"comm\":{"), std::string::npos);
   EXPECT_NE(json.find("\"overlap_shift\""), std::string::npos);
   // Old schema keys are stable and still lead the object.

@@ -1,0 +1,240 @@
+// WaitStats arithmetic/JSON and the machine's wall-clock wait-state
+// attribution: blocked recvs are charged (and bucketed by dimension and
+// direction), blocked barriers are charged, and the whole subsystem
+// reads no clocks when wait timing is off.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "simpi/machine.hpp"
+#include "simpi/stats.hpp"
+
+namespace simpi {
+namespace {
+
+MachineConfig cfg(int rows, int cols) {
+  MachineConfig c;
+  c.pe_rows = rows;
+  c.pe_cols = cols;
+  return c;
+}
+
+WaitStats sample_wait(std::uint64_t base) {
+  WaitStats w;
+  w.recv_wait_ns = base;
+  w.barrier_wait_ns = base * 2;
+  w.pool_wait_ns = base * 3;
+  w.active_ns = base * 4;
+  w.recv_dim_dir[0][0] = base / 2;
+  w.recv_dim_dir[1][1] = base / 4;
+  return w;
+}
+
+TEST(WaitStats, PlusEqualsSumsEveryBucket) {
+  WaitStats a = sample_wait(100);
+  WaitStats b = sample_wait(40);
+  a += b;
+  EXPECT_EQ(a.recv_wait_ns, 140u);
+  EXPECT_EQ(a.barrier_wait_ns, 280u);
+  EXPECT_EQ(a.pool_wait_ns, 420u);
+  EXPECT_EQ(a.active_ns, 560u);
+  EXPECT_EQ(a.recv_dim_dir[0][0], 70u);
+  EXPECT_EQ(a.recv_dim_dir[1][1], 35u);
+  EXPECT_EQ(a.recv_dim_dir[0][1], 0u);
+}
+
+TEST(WaitStats, DeltaSinceInvertsPlusEquals) {
+  WaitStats before = sample_wait(100);
+  WaitStats after = sample_wait(100);
+  after += sample_wait(60);
+  WaitStats d = after.delta_since(before);
+  EXPECT_EQ(d.recv_wait_ns, 60u);
+  EXPECT_EQ(d.barrier_wait_ns, 120u);
+  EXPECT_EQ(d.recv_dim_dir[0][0], 30u);
+  EXPECT_EQ(d.recv_dim_dir[1][1], 15u);
+}
+
+TEST(WaitStats, EmptyIgnoresDimDirDetailOnlyWhenTotalsAreZero) {
+  EXPECT_TRUE(WaitStats{}.empty());
+  WaitStats w;
+  w.pool_wait_ns = 1;
+  EXPECT_FALSE(w.empty());
+  w = WaitStats{};
+  w.active_ns = 1;
+  EXPECT_FALSE(w.empty());
+}
+
+TEST(WaitStats, ToJsonCarriesTotalsAndDimDirMatrix) {
+  WaitStats w = sample_wait(8);
+  EXPECT_EQ(w.to_json(),
+            "{\"recv_wait_ns\":8,\"barrier_wait_ns\":16,"
+            "\"pool_wait_ns\":24,\"active_ns\":32,"
+            "\"recv_by_dim\":[[4,0],[0,2],[0,0]]}");
+}
+
+TEST(WaitStats, PeStatsJsonEmitsWaitObjectOnlyWhenNonEmpty) {
+  PeStats s;
+  EXPECT_EQ(s.to_json().find("\"wait\""), std::string::npos);
+  s.wait.recv_wait_ns = 5;
+  const std::string json = s.to_json();
+  // v3 marker with the wait object appended after the stable v1/v2 keys.
+  EXPECT_NE(json.find("\"schema_version\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"wait\":{\"recv_wait_ns\":5"), std::string::npos);
+  EXPECT_EQ(json.rfind("{\"messages_sent\":0,", 0), 0u);
+}
+
+TEST(WaitStats, MachineStatsSumsWaitAcrossPes) {
+  MachineStats m;
+  PeStats a;
+  a.wait = sample_wait(10);
+  PeStats b;
+  b.wait = sample_wait(6);
+  m.accumulate(a);
+  m.accumulate(b);
+  EXPECT_EQ(m.wait.recv_wait_ns, 16u);
+  EXPECT_EQ(m.wait.recv_dim_dir[0][0], 8u);
+}
+
+// A recv that blocks (the sender delays) is charged to recv_wait_ns and
+// to its (dim, dir) bucket; a recv whose message is already queued reads
+// the fast path and charges (almost) nothing in comparison.
+TEST(WaitMachine, BlockedRecvIsChargedAndBucketed) {
+  Machine m(cfg(1, 2));
+  m.run([](Pe& pe) {
+    if (pe.id() == 1) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      std::vector<double> msg{1.0};
+      pe.send(0, msg);
+    } else {
+      auto got = pe.recv(1, 1, 1);  // dim 1 (cols), high direction
+      ASSERT_EQ(got.size(), 1u);
+    }
+  });
+  const auto per_pe = m.per_pe_stats();
+  ASSERT_EQ(per_pe.size(), 2u);
+  const WaitStats& w = per_pe[0].wait;
+  // Blocked for ~5ms; allow generous scheduling slack but require the
+  // bulk of the sleep to be attributed.
+  EXPECT_GE(w.recv_wait_ns, 1'000'000u);
+  EXPECT_EQ(w.recv_dim_dir[1][1], w.recv_wait_ns);
+  EXPECT_EQ(w.recv_dim_dir[0][0], 0u);
+  // The sender never blocked on a recv.
+  EXPECT_EQ(per_pe[1].wait.recv_wait_ns, 0u);
+}
+
+// An undirected recv counts in the total but no (dim, dir) bucket.
+TEST(WaitMachine, UndirectedRecvOnlyCountsInTotal) {
+  Machine m(cfg(1, 2));
+  m.run([](Pe& pe) {
+    if (pe.id() == 1) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(3));
+      std::vector<double> msg{1.0};
+      pe.send(0, msg);
+    } else {
+      (void)pe.recv(1);
+    }
+  });
+  const WaitStats& w = m.per_pe_stats()[0].wait;
+  EXPECT_GE(w.recv_wait_ns, 500'000u);
+  for (std::size_t d = 0; d < kCommDims; ++d) {
+    for (std::size_t s = 0; s < kCommDirs; ++s) {
+      EXPECT_EQ(w.recv_dim_dir[d][s], 0u);
+    }
+  }
+}
+
+// PEs that reach the barrier early are charged barrier wait while the
+// straggler (the last arriver) is charged none.
+TEST(WaitMachine, BarrierChargesEarlyArrivers) {
+  Machine m(cfg(2, 2));
+  m.run([](Pe& pe) {
+    if (pe.id() == 3) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    pe.barrier();
+  });
+  const auto per_pe = m.per_pe_stats();
+  EXPECT_EQ(per_pe[3].wait.barrier_wait_ns, 0u);
+  for (int id = 0; id < 3; ++id) {
+    EXPECT_GE(per_pe[static_cast<std::size_t>(id)].wait.barrier_wait_ns,
+              1'000'000u)
+        << "pe " << id;
+  }
+}
+
+// Every PE's pool handoff (publish -> pickup, finish -> run end) and
+// active window is accounted, and pool_wait + active covers the run.
+TEST(WaitMachine, PoolHandoffAndActiveWindowAreAccounted) {
+  Machine m(cfg(1, 2));
+  m.run([](Pe& pe) {
+    if (pe.id() == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(4));
+    }
+  });
+  const auto per_pe = m.per_pe_stats();
+  // The busy PE's active window contains its sleep.
+  EXPECT_GE(per_pe[0].wait.active_ns, 2'000'000u);
+  // The idle PE spent the tail of the run parked (straggler time).
+  EXPECT_GE(per_pe[1].wait.pool_wait_ns, 1'000'000u);
+  for (const PeStats& s : per_pe) {
+    EXPECT_GT(s.wait.pool_wait_ns + s.wait.active_ns, 0u);
+  }
+}
+
+// With wait timing off, the blocking points read no clocks and the wait
+// block stays empty even across genuinely blocked operations.
+TEST(WaitMachine, TimingOffLeavesWaitEmpty) {
+  Machine m(cfg(1, 2));
+  m.set_wait_timing(false);
+  EXPECT_FALSE(m.wait_timing());
+  m.run([](Pe& pe) {
+    if (pe.id() == 1) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(3));
+      std::vector<double> msg{1.0};
+      pe.send(0, msg);
+    } else {
+      (void)pe.recv(1, 0, 0);
+    }
+    pe.barrier();
+  });
+  for (const PeStats& s : m.per_pe_stats()) {
+    EXPECT_TRUE(s.wait.empty()) << s.to_json();
+  }
+  // Flipping it back re-arms the accounting for the next run.
+  m.set_wait_timing(true);
+  m.clear_stats();
+  m.run([](Pe& pe) {
+    if (pe.id() == 1) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(3));
+      std::vector<double> msg{1.0};
+      pe.send(0, msg);
+    } else {
+      (void)pe.recv(1, 0, 0);
+    }
+  });
+  EXPECT_GE(m.per_pe_stats()[0].wait.recv_wait_ns, 500'000u);
+}
+
+// clear_stats() resets the wait block along with the counters, which is
+// what makes Execution::run's per-run attribution work.
+TEST(WaitMachine, ClearStatsResetsWait) {
+  Machine m(cfg(1, 2));
+  m.run([](Pe& pe) {
+    if (pe.id() == 1) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      std::vector<double> msg{1.0};
+      pe.send(0, msg);
+    } else {
+      (void)pe.recv(1);
+    }
+  });
+  EXPECT_FALSE(m.stats().wait.empty());
+  m.clear_stats();
+  EXPECT_TRUE(m.stats().wait.empty());
+}
+
+}  // namespace
+}  // namespace simpi

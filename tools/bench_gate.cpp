@@ -307,6 +307,37 @@ struct Finding {
   bool fails = false;
 };
 
+/// One gate rule's evaluation tally.  `checked` counts the comparisons
+/// the rule actually ran, so a clean pass with zero checks (no such
+/// counters in the snapshot) is distinguishable from real coverage.
+struct RuleTally {
+  const char* name;
+  const char* description;
+  bool advisory;  ///< true = the rule warns but never fails the gate
+  int checked = 0;
+  int failures = 0;  ///< findings; for advisory rules these are warnings
+};
+
+/// The rules the gate enforces, in evaluation order.  --list prints
+/// this table; the per-rule summary (stdout + --report "rules") indexes
+/// into it.
+enum Rule { kMissing, kLatency, kMessages, kWarmMisses, kP99, kNew };
+
+std::vector<RuleTally> fresh_rules() {
+  return {
+      {"missing", "baseline benchmark absent from the current run", false},
+      {"latency",
+       "real_time grew more than --latency-threshold (default 25%)", false},
+      {"messages",
+       "any messages* counter increase (deterministic comm counts)", false},
+      {"warm_misses",
+       "any warm_misses increase (warm start must not recompile)", false},
+      {"p99", "*_p99 counter grew more than --latency-threshold", false},
+      {"new", "current-only benchmark: reported, never fails the gate",
+       true},
+  };
+}
+
 std::string json_escape(const std::string& s) {
   std::string out;
   for (char c : s) {
@@ -317,8 +348,8 @@ std::string json_escape(const std::string& s) {
 }
 
 void write_report(const std::string& path, const std::vector<Finding>& all,
-                  bool passed, int failures, int warnings,
-                  bool baseline_updated) {
+                  const std::vector<RuleTally>& rules, bool passed,
+                  int failures, int warnings, bool baseline_updated) {
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "bench_gate: cannot write report '%s'\n",
@@ -328,7 +359,16 @@ void write_report(const std::string& path, const std::vector<Finding>& all,
   out << "{\"passed\":" << (passed ? "true" : "false")
       << ",\"failures\":" << failures << ",\"warnings\":" << warnings
       << ",\"baseline_updated\":" << (baseline_updated ? "true" : "false")
-      << ",\"findings\":[";
+      << ",\"rules\":[";
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    const RuleTally& r = rules[i];
+    if (i) out << ",";
+    out << "{\"rule\":\"" << r.name << "\",\"checked\":" << r.checked
+        << ",\"findings\":" << r.failures << ",\"advisory\":"
+        << (r.advisory ? "true" : "false") << ",\"passed\":"
+        << (r.advisory || r.failures == 0 ? "true" : "false") << "}";
+  }
+  out << "],\"findings\":[";
   bool first = true;
   for (const Finding& f : all) {
     if (!first) out << ",";
@@ -377,6 +417,8 @@ void usage() {
                "usage: bench_gate --baseline=FILE --current=FILE "
                "[--latency-threshold=F] [--report=FILE] "
                "[--update-baseline]\n"
+               "       bench_gate --list\n"
+               "  --list prints the rules the gate enforces and exits.\n"
                "  Exit 0 when the current snapshot is within threshold of "
                "the baseline,\n"
                "  1 on regression (latency > threshold, any messages* "
@@ -415,6 +457,13 @@ int main(int argc, char** argv) {
       threshold = std::strtod(v, nullptr);
     } else if (std::strcmp(argv[a], "--update-baseline") == 0) {
       update_baseline = true;
+    } else if (std::strcmp(argv[a], "--list") == 0) {
+      std::printf("bench_gate rules (evaluation order):\n");
+      for (const RuleTally& r : fresh_rules()) {
+        std::printf("  %-12s %s%s\n", r.name, r.description,
+                    r.advisory ? " [advisory]" : "");
+      }
+      return 0;
     } else if (std::strcmp(argv[a], "-h") == 0 ||
                std::strcmp(argv[a], "--help") == 0) {
       usage();
@@ -445,10 +494,13 @@ int main(int argc, char** argv) {
   }
 
   std::vector<Finding> findings;
+  std::vector<RuleTally> rules = fresh_rules();
   int failures = 0;
   for (const auto& [name, base] : baseline) {
     auto it = current.find(name);
+    ++rules[kMissing].checked;
     if (it == current.end()) {
+      ++rules[kMissing].failures;
       findings.push_back({name, "missing",
                           "present in baseline, absent from current run",
                           base.real_time_ms, 0.0, true});
@@ -457,9 +509,11 @@ int main(int argc, char** argv) {
     }
     const BenchRecord& cur = it->second;
     if (base.real_time_ms > 0.0) {
+      ++rules[kLatency].checked;
       const double rel =
           (cur.real_time_ms - base.real_time_ms) / base.real_time_ms;
       if (rel > threshold) {
+        ++rules[kLatency].failures;
         char detail[128];
         std::snprintf(detail, sizeof detail,
                       "real_time +%.1f%% (threshold %.1f%%)", rel * 100.0,
@@ -478,7 +532,11 @@ int main(int argc, char** argv) {
       const bool strict = counter.rfind("messages", 0) == 0 ||
                           counter == "warm_misses";
       if (strict) {
+        const Rule rule =
+            counter == "warm_misses" ? kWarmMisses : kMessages;
+        ++rules[rule].checked;
         if (cit->second > base_value) {
+          ++rules[rule].failures;
           findings.push_back({name, "counter",
                               counter + " increased (any growth fails)",
                               base_value, cit->second, true});
@@ -491,8 +549,10 @@ int main(int argc, char** argv) {
       const bool is_p99 = counter.size() >= 4 &&
                           counter.compare(counter.size() - 4, 4, "_p99") == 0;
       if (is_p99 && base_value > 0.0) {
+        ++rules[kP99].checked;
         const double rel = (cit->second - base_value) / base_value;
         if (rel > threshold) {
+          ++rules[kP99].failures;
           char detail[128];
           std::snprintf(detail, sizeof detail,
                         "%s +%.1f%% (threshold %.1f%%)", counter.c_str(),
@@ -511,7 +571,9 @@ int main(int argc, char** argv) {
   // rename.
   int warnings = 0;
   for (const auto& [name, cur] : current) {
+    ++rules[kNew].checked;
     if (baseline.find(name) == baseline.end()) {
+      ++rules[kNew].failures;
       findings.push_back({name, "new",
                           "absent from baseline; refresh the snapshot to "
                           "track it",
@@ -528,6 +590,13 @@ int main(int argc, char** argv) {
       std::printf("  [%.6g -> %.6g]", f.baseline, f.current);
     }
     std::printf("\n");
+  }
+  for (const RuleTally& r : rules) {
+    std::printf("rule %-12s checked=%-3d findings=%-3d %s\n", r.name,
+                r.checked, r.failures,
+                r.advisory          ? "warn-only"
+                : r.failures == 0   ? "pass"
+                                    : "FAIL");
   }
   std::printf("bench_gate: %zu baseline benchmark%s, %d failure%s, "
               "%d warning%s (latency threshold %.0f%%)\n",
@@ -546,7 +615,7 @@ int main(int argc, char** argv) {
                 current.size() == 1 ? "" : "s");
   }
   if (!report_path.empty()) {
-    write_report(report_path, findings, passed, failures, warnings,
+    write_report(report_path, findings, rules, passed, failures, warnings,
                  update_baseline);
   }
   // A baseline refresh accepts the fresh run as the new truth, so the
