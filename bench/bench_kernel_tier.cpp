@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "executor/wait_profile.hpp"
 #include "obs/flight_recorder.hpp"
 
 namespace {
@@ -163,6 +164,43 @@ void BM_WaitInstrumentationOverhead(benchmark::State& state) {
   state.SetLabel("on-vs-off");
 }
 
+// Overlap A/B: the same kernel and tier under the synchronous vs the
+// asynchronous comm backend (halo exchange overlapped with interior
+// compute).  The gated quantity is the message counters: deferral must
+// move *timing only*, so "messages" for the async arm must equal the
+// sync arm's — bench_gate's any-growth-fails rule pins that once both
+// arms are in the baseline.  exposed_comm_fraction is reported for the
+// A/B table in EXPERIMENTS.md but not gated (wall-clock waits on a
+// shared CI host are too noisy to threshold).
+void run_backend_bench(benchmark::State& state, const char* bench_name,
+                       const char* kernel,
+                       std::vector<std::string> live_out = {"T"},
+                       Bindings extra = {}) {
+  const int backend = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  Execution exec =
+      make_execution(kernel, CompilerOptions::level(4), compute_machine(), n,
+                     std::move(live_out), std::move(extra));
+  exec.machine().set_comm_backend(backend ? simpi::CommBackendKind::Async
+                                          : simpi::CommBackendKind::Sync);
+  if (exec.program().find_array("SRC") >= 0) {
+    exec.set_array("SRC",
+                   [](int i, int j, int) { return i * 0.25 + j * 0.5; });
+  }
+  exec.run(1);  // warm-up
+  Execution::RunStats last;
+  for (auto _ : state) {
+    last = exec.run(1);
+  }
+  report_machine_counters(state, last.machine);
+  const WaitProfile profile = WaitProfile::from_run(last);
+  state.counters["exposed_comm_fraction"] = profile.exposed_comm_fraction;
+  state.counters["overlap_wait_ms"] =
+      static_cast<double>(last.machine.wait.overlap_wait_ns) / 1e6;
+  write_phase_metrics(bench_name, backend ? "async" : "sync", n, last);
+  state.SetLabel(backend ? "async" : "sync");
+}
+
 void BM_Problem9Tier(benchmark::State& state) {
   run_tier_bench(state, "kernel_tier_problem9", kernels::kProblem9);
 }
@@ -198,6 +236,27 @@ void BM_JacobiTier(benchmark::State& state) {
                  {"U", "T"}, Bindings{}.set("NSTEPS", 1));
 }
 
+void BM_FivePointBackend(benchmark::State& state) {
+  run_backend_bench(state, "comm_backend_fivepoint",
+                    kernels::kFivePointArraySyntax, {"DST"},
+                    Bindings{}
+                        .set("C1", 0.1)
+                        .set("C2", 0.2)
+                        .set("C3", 0.4)
+                        .set("C4", 0.2)
+                        .set("C5", 0.1));
+}
+
+void BM_JacobiBackend(benchmark::State& state) {
+  run_backend_bench(state, "comm_backend_jacobi", kernels::kJacobiTimeLoop,
+                    {"U", "T"}, Bindings{}.set("NSTEPS", 1));
+}
+
+void BM_NinePointArrayBackend(benchmark::State& state) {
+  run_backend_bench(state, "comm_backend_ninepoint_array",
+                    kernels::kNinePointArraySyntax);
+}
+
 }  // namespace
 
 BENCHMARK(BM_Problem9Tier)
@@ -227,6 +286,24 @@ BENCHMARK(BM_FivePointTier)
 BENCHMARK(BM_JacobiTier)
     ->ArgNames({"tier", "N"})
     ->ArgsProduct({{0, 1, 2}, {1024}})
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.3);
+
+BENCHMARK(BM_FivePointBackend)
+    ->ArgNames({"backend", "N"})
+    ->ArgsProduct({{0, 1}, {1024}})
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.3);
+
+BENCHMARK(BM_JacobiBackend)
+    ->ArgNames({"backend", "N"})
+    ->ArgsProduct({{0, 1}, {1024}})
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.3);
+
+BENCHMARK(BM_NinePointArrayBackend)
+    ->ArgNames({"backend", "N"})
+    ->ArgsProduct({{0, 1}, {1024}})
     ->Unit(benchmark::kMillisecond)
     ->MinTime(0.3);
 

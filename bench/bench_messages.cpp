@@ -61,9 +61,10 @@ int main() {
               "the strict per-statement\ninvariant (<= 1 message per "
               "direction per dimension) is armed and would abort on "
               "violation.\n\n");
-  std::printf("  %-18s %-22s %11s %14s %10s  %6s %6s %6s %6s %12s\n",
+  std::printf("  %-18s %-22s %11s %14s %10s %10s  %6s %6s %6s %6s %12s\n",
               "kernel", "level", "full-shifts", "overlap-shifts", "messages",
-              "dim1-", "dim1+", "dim2-", "dim2+", "intra-bytes");
+              "async-msgs", "dim1-", "dim1+", "dim2-", "dim2+",
+              "intra-bytes");
 
   const KernelSpec kernels[] = {
       {"fivept", kernels::kFivePointArraySyntax, "DST"},
@@ -86,11 +87,43 @@ int main() {
                      k.name, level_name(level), e.what());
         return 1;
       }
+      // The async-msgs A/B column: the same plan under the deferring
+      // backend must send exactly the same number of messages — overlap
+      // moves timing, never traffic.  A mismatch is a correctness bug
+      // (a receive completed against the wrong ledger cell), so it
+      // fails the ablation like an invariant violation would.
+      Execution async_exec = make_kernel_execution(k, level, n);
+      async_exec.machine().set_comm_backend(simpi::CommBackendKind::Async);
+      if (level >= 4) async_exec.machine().set_comm_invariant(true);
+      Execution::RunStats async_stats;
+      try {
+        async_stats = async_exec.run(1);
+      } catch (const simpi::CommInvariantViolation& e) {
+        std::fprintf(stderr,
+                     "FATAL: %s at %s violates the per-direction "
+                     "communication invariant under the async backend:\n"
+                     "  %s\n",
+                     k.name, level_name(level), e.what());
+        return 1;
+      }
+      if (async_stats.machine.messages_sent != stats.machine.messages_sent) {
+        std::fprintf(stderr,
+                     "FATAL: %s at %s: async backend sent %llu messages, "
+                     "sync sent %llu\n",
+                     k.name, level_name(level),
+                     static_cast<unsigned long long>(
+                         async_stats.machine.messages_sent),
+                     static_cast<unsigned long long>(
+                         stats.machine.messages_sent));
+        return 1;
+      }
       const simpi::CommLedger& ledger = stats.machine.comm;
       std::printf(
-          "  %-18s %-22s %11d %14d %10llu  %6llu %6llu %6llu %6llu %12llu\n",
+          "  %-18s %-22s %11d %14d %10llu %10llu  %6llu %6llu %6llu %6llu "
+          "%12llu\n",
           k.name, level_name(level), comm.full_shifts, comm.overlap_shifts,
           static_cast<unsigned long long>(stats.machine.messages_sent),
+          static_cast<unsigned long long>(async_stats.machine.messages_sent),
           static_cast<unsigned long long>(ledger.dir_total(0, 0).messages),
           static_cast<unsigned long long>(ledger.dir_total(0, 1).messages),
           static_cast<unsigned long long>(ledger.dir_total(1, 0).messages),

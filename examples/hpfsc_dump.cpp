@@ -83,6 +83,7 @@ void usage() {
                "[--metrics-out=FILE] [--prom-out=FILE] "
                "[--roofline-out=FILE] [--postmortem-out=FILE] "
                "[--run] [--n=N] [--iters=K] [--steps=K] [--emulate] "
+               "[--comm-backend=sync|async] "
                "[--serve-batch=FILE] [--workers=K] [--cache-dir=DIR] "
                "[--tiered] [--queue-depth=K] "
                "[--introspect-port=P] [--statusz-out=FILE] "
@@ -92,6 +93,9 @@ void usage() {
                "--trace-out.\n"
                "  --steps=K repeats the request K times through the plan "
                "cache (cold vs. warm latency).\n"
+               "  --comm-backend selects how shifts complete receives "
+               "(async overlaps halo exchange with interior compute); "
+               "also settable via HPFSC_COMM_BACKEND.\n"
                "  --serve-batch=FILE serves 'INPUT LEVEL N STEPS [CLIENT]' "
                "request lines through the serving daemon.\n"
                "  --cache-dir=DIR persists compiled plans and warm-starts "
@@ -316,10 +320,17 @@ void print_wait_state(const hpfsc::Execution::RunStats& stats) {
   const simpi::WaitStats& w = stats.machine.wait;
   std::fprintf(stderr, "--- wait-state (ms, summed over %zu PEs) ---\n",
                p.rows.size());
-  std::fprintf(stderr, "recv: %.3f  barrier: %.3f  pool: %.3f\n",
+  std::fprintf(stderr, "recv: %.3f  barrier: %.3f  pool: %.3f",
                static_cast<double>(w.recv_wait_ns) / 1e6,
                static_cast<double>(w.barrier_wait_ns) / 1e6,
                static_cast<double>(w.pool_wait_ns) / 1e6);
+  // Only under the async backend; keeps sync output (and its goldens)
+  // byte-identical.
+  if (w.overlap_wait_ns != 0) {
+    std::fprintf(stderr, "  overlap: %.3f",
+                 static_cast<double>(w.overlap_wait_ns) / 1e6);
+  }
+  std::fprintf(stderr, "\n");
   std::fprintf(stderr,
                "exposed-comm fraction: %.4f, overlap speedup bound: "
                "%.3fx, reconciled: %s\n",
@@ -608,6 +619,8 @@ int main(int argc, char** argv) {
   bool obs_summary = false;
   bool run = false;
   bool emulate = false;
+  /// unset = machine default (HPFSC_COMM_BACKEND or config default)
+  std::optional<simpi::CommBackendKind> comm_backend;
   int n = 64;
   int iters = 1;
   int steps = 1;
@@ -679,6 +692,16 @@ int main(int argc, char** argv) {
       serve_opts.queue_depth = static_cast<std::size_t>(depth);
     } else if (arg == "--emulate") {
       emulate = true;
+    } else if ((v = flag_value(arg, "--comm-backend"))) {
+      if (std::strcmp(v, "sync") == 0) {
+        comm_backend = simpi::CommBackendKind::Sync;
+      } else if (std::strcmp(v, "async") == 0) {
+        comm_backend = simpi::CommBackendKind::Async;
+      } else {
+        std::fprintf(stderr,
+                     "hpfsc_dump: --comm-backend must be sync or async\n");
+        return 2;
+      }
     } else if (arg == "-h" || arg == "--help") {
       usage();
       return 0;
@@ -746,6 +769,7 @@ int main(int argc, char** argv) {
   mc.cost.memory_ns_per_byte = 2.0;
   mc.cost.cache_ns_per_byte = 0.2;
   mc.cost.emulate = emulate;
+  if (comm_backend) mc.comm_backend = *comm_backend;
 
   // A session with no sinks still tees counters into the registry, so
   // metrics output alone is enough reason to attach it everywhere.

@@ -116,6 +116,13 @@ struct Op {
   std::array<int, ir::kMaxRank> loop_order{0, 1, 2};
   int unroll = 1;
   bool scalar_replace = false;
+  /// Set by passes::mark_overlap_nests: this nest is immediately
+  /// preceded by OverlapShift ops and is reorder-safe (all stores at
+  /// zero offset, no array both loaded and stored, shifted arrays not
+  /// stored), so under a deferring comm backend the executor may run
+  /// its interior while the shifts' receives are in flight and finish
+  /// the boundary strips after wait_all.
+  bool overlap_eligible = false;
   std::vector<Load> loads;
   std::vector<Kernel> kernels;
 

@@ -18,7 +18,8 @@ std::string OracleCell::str() const {
          "x" + std::to_string(pe_cols) +
          (tier == KernelTier::Auto   ? " tier=auto"
           : tier == KernelTier::Simd ? " tier=simd"
-                                     : " tier=interp");
+                                     : " tier=interp") +
+         (backend == simpi::CommBackendKind::Async ? " comm=async" : "");
 }
 
 std::string Divergence::str() const {
@@ -103,6 +104,7 @@ CellRun execute_cell(const ProgramSpec& spec, const spmd::Program& program,
   mc.pe_cols = cell.pe_cols;
   Execution exec(program, mc);
   if (armed) exec.machine().set_comm_invariant(true);
+  exec.machine().set_comm_backend(cell.backend);
   exec.set_kernel_tier(cell.tier);
   if (cell.tier == KernelTier::Simd) {
     // Tiny odd blocks: at difftest sizes the default L2 heuristic covers
@@ -201,6 +203,60 @@ OracleResult run_oracle(const ProgramSpec& spec, const OracleConfig& cfg) {
     if (!dup) grids.push_back(g);
   }
 
+  // Compare one executed cell's live arrays against the reference
+  // (consumes run.arrays).
+  auto compare_arrays = [&](const OracleCell& cell, CellRun& run) {
+    for (std::size_t a = 0; a < live.size(); ++a) {
+      std::vector<double> got = std::move(run.arrays[a]);
+      if (cfg.fault) cfg.fault(spec, cell, live[a], got);
+      if (got.size() != ref.arrays[a].size()) {
+        add({cell, live[a], 0, 0.0, 0.0,
+             live[a] + " size mismatch: " + std::to_string(got.size()) +
+                 " vs " + std::to_string(ref.arrays[a].size())});
+        continue;
+      }
+      for (std::size_t e = 0; e < got.size(); ++e) {
+        const double x = ref.arrays[a][e];
+        const double y = got[e];
+        bool equal = x == y || (std::isnan(x) && std::isnan(y));
+        if (!equal && cfg.max_ulps > 0) {
+          equal = ulp_distance(x, y) <= cfg.max_ulps;
+        }
+        if (!equal) {
+          add({cell, live[a], e, x, y, ""});
+          break;
+        }
+      }
+    }
+  };
+
+  // The async backend must move exactly the messages the sync backend
+  // moves — deferral shifts *when* receives complete, never what is
+  // sent.  Compare the full (dim, dir, kind) ledger, cell by cell.
+  auto compare_ledgers = [&](const OracleCell& cell,
+                             const simpi::CommLedger& sync_comm,
+                             const simpi::CommLedger& async_comm) {
+    for (int dim = 0; dim < simpi::kCommDims; ++dim) {
+      for (int dir = 0; dir < simpi::kCommDirs; ++dir) {
+        for (int k = 0; k < simpi::kCommKinds; ++k) {
+          const auto kind = static_cast<simpi::CommKind>(k);
+          const simpi::CommCell& s = sync_comm.cell(dim, dir, kind);
+          const simpi::CommCell& a = async_comm.cell(dim, dir, kind);
+          if (s.messages != a.messages || s.bytes != a.bytes) {
+            add({cell, "", 0, 0.0, 0.0,
+                 std::string("ledger structure diverged at dim ") +
+                     std::to_string(dim + 1) + (dir == 0 ? "-" : "+") + " " +
+                     simpi::to_string(kind) + ": sync " +
+                     std::to_string(s.messages) + " msgs/" +
+                     std::to_string(s.bytes) + " B, async " +
+                     std::to_string(a.messages) + " msgs/" +
+                     std::to_string(a.bytes) + " B"});
+          }
+        }
+      }
+    }
+  };
+
   for (std::size_t li = 0; li < cfg.levels.size(); ++li) {
     const int level = cfg.levels[li];
     const spmd::Program& program = compiled[li + 1].program;
@@ -215,27 +271,25 @@ OracleResult run_oracle(const ProgramSpec& spec, const OracleConfig& cfg) {
           CellRun run = execute_cell(spec, program, cfg, cell, armed);
           ++result.cells_run;
           check_stats(cell, run.stats);
-          for (std::size_t a = 0; a < live.size(); ++a) {
-            std::vector<double> got = std::move(run.arrays[a]);
-            if (cfg.fault) cfg.fault(spec, cell, live[a], got);
-            if (got.size() != ref.arrays[a].size()) {
-              add({cell, live[a], 0, 0.0, 0.0,
-                   live[a] + " size mismatch: " +
-                       std::to_string(got.size()) + " vs " +
-                       std::to_string(ref.arrays[a].size())});
-              continue;
-            }
-            for (std::size_t e = 0; e < got.size(); ++e) {
-              const double x = ref.arrays[a][e];
-              const double y = got[e];
-              bool equal = x == y || (std::isnan(x) && std::isnan(y));
-              if (!equal && cfg.max_ulps > 0) {
-                equal = ulp_distance(x, y) <= cfg.max_ulps;
-              }
-              if (!equal) {
-                add({cell, live[a], e, x, y, ""});
-                break;
-              }
+          // Snapshot the ledger before compare_arrays consumes the run.
+          const simpi::CommLedger sync_comm = run.stats.machine.comm;
+          compare_arrays(cell, run);
+          // Overlap axis: single-PE grids have no messages to defer.
+          if (cfg.overlap_backend && grid.first * grid.second > 1) {
+            OracleCell acell = cell;
+            acell.backend = simpi::CommBackendKind::Async;
+            try {
+              CellRun arun = execute_cell(spec, program, cfg, acell, armed);
+              ++result.cells_run;
+              check_stats(acell, arun.stats);
+              compare_ledgers(acell, sync_comm, arun.stats.machine.comm);
+              compare_arrays(acell, arun);
+            } catch (const simpi::CommInvariantViolation& e) {
+              add({acell, "", 0, 0.0, 0.0,
+                   std::string("comm invariant violated: ") + e.what()});
+            } catch (const std::exception& e) {
+              add({acell, "", 0, 0.0, 0.0,
+                   std::string("execution error: ") + e.what()});
             }
           }
         } catch (const simpi::CommInvariantViolation& e) {

@@ -25,6 +25,7 @@ struct OracleCell {
   int pe_rows = 1;
   int pe_cols = 1;
   KernelTier tier = KernelTier::Auto;
+  simpi::CommBackendKind backend = simpi::CommBackendKind::Sync;
 
   [[nodiscard]] std::string str() const;
 };
@@ -54,13 +55,19 @@ struct OracleConfig {
   int n = 12;      ///< size parameter binding
   int steps = 2;   ///< Execution::run iterations
   std::vector<int> levels = {1, 2, 3, 4};
-  std::vector<std::pair<int, int>> grids = {{1, 1}, {1, 2}, {2, 2}};
+  std::vector<std::pair<int, int>> grids = {{1, 1}, {1, 2}, {2, 2}, {4, 2}};
   /// All three kernel tiers (Auto, InterpreterOnly, Simd) per
   /// (level, grid) point; false runs Auto only (fast fuzzing mode).
   bool both_tiers = true;
   /// 0 = exact equality (the repo's cross-level guarantee); > 0 allows
   /// that many ULPs per element.
   int max_ulps = 0;
+  /// Re-run every multi-PE cell under the async (deferred halo
+  /// exchange) comm backend and require bitwise agreement with the
+  /// reference plus per-(dim, dir, kind) CommLedger equality with the
+  /// same cell's sync run — message *structure* is backend-invariant,
+  /// only wait-time attribution moves.
+  bool overlap_backend = true;
   /// Arm HPFSC_COMM_INVARIANT at this level and above (for
   /// invariant-eligible specs).
   int invariant_min_level = 3;

@@ -3,6 +3,7 @@
 #include "frontend/lower.hpp"
 #include "frontend/parser.hpp"
 #include "ir/printer.hpp"
+#include "passes/overlap_mark.hpp"
 
 namespace hpfsc {
 
@@ -46,11 +47,13 @@ CompiledProgram run_backend(ir::Program& program,
     codegen::LowerOptions cg;
     cg.expr_temps = options.xlhpf_mode;
     out.program = codegen::lower_to_spmd(program, cg, diags);
+    const auto overlap = passes::mark_overlap_nests(out.program);
     if (span.active()) {
       const auto comm = out.program.comm_summary();
       span.arg("ops", static_cast<double>(out.program.ops.size()));
       span.arg("full_shifts", comm.full_shifts);
       span.arg("overlap_shifts", comm.overlap_shifts);
+      span.arg("overlap_nests", overlap.nests_marked);
     }
   }
   if (diags.has_errors()) throw CompileError(diags.render_all());

@@ -262,6 +262,13 @@ Execution::RunStats Execution::run(int iterations) {
                    static_cast<double>(pe.wait.barrier_wait_ns) / 1e6);
       reg->observe("simpi.pool_wait_ms",
                    static_cast<double>(pe.wait.pool_wait_ns) / 1e6);
+      // Only a deferring backend can accumulate overlap wait; gating on
+      // the backend (not the sample) keeps per-run histogram counts
+      // deterministic while leaving sync-run metrics output unchanged.
+      if (machine_->comm_backend().deferred()) {
+        reg->observe("simpi.overlap_wait_ms",
+                     static_cast<double>(pe.wait.overlap_wait_ns) / 1e6);
+      }
     }
   }
   stats.tier.compiled_elements =
@@ -294,6 +301,9 @@ Execution::RunStats Execution::run(int iterations) {
     span.arg("wait.recv_ns", stats.machine.wait.recv_wait_ns);
     span.arg("wait.barrier_ns", stats.machine.wait.barrier_wait_ns);
     span.arg("wait.pool_ns", stats.machine.wait.pool_wait_ns);
+    if (stats.machine.wait.overlap_wait_ns != 0) {
+      span.arg("wait.overlap_ns", stats.machine.wait.overlap_wait_ns);
+    }
   }
   if (trace_ != nullptr && trace_->enabled()) {
     trace_->counter("kernel.tier.compiled_elements",
@@ -316,7 +326,8 @@ Execution::RunStats Execution::run(int iterations) {
 
 void Execution::exec_ops(simpi::Pe& pe, const std::vector<spmd::Op>& ops,
                          std::vector<double>& env) {
-  for (const spmd::Op& op : ops) {
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const spmd::Op& op = ops[i];
     switch (op.kind) {
       case spmd::OpKind::Alloc:
         for (int id : op.arrays) {
@@ -334,10 +345,33 @@ void Execution::exec_ops(simpi::Pe& pe, const std::vector<spmd::Op>& ops,
         // and multi-shift statements fall outside the invariant anyway.
         pe.reset_comm_context();
         break;
-      case spmd::OpKind::OverlapShift:
-        simpi::overlap_shift(pe, op.array, op.shift, op.dim, op.rsd,
-                             op.shift_kind, eval_scalar(op.boundary, env));
+      case spmd::OpKind::OverlapShift: {
+        // Execute the maximal run of consecutive overlap shifts.  Under
+        // a deferring backend their remote receives stay posted; if the
+        // op that follows is a nest the marking pass proved reorder-
+        // safe, those receives ride through its interior compute.
+        // Otherwise complete them here — pending receives never outlive
+        // the statement context that posted them.
+        std::vector<int> shifted;
+        std::size_t j = i;
+        for (; j < ops.size() && ops[j].kind == spmd::OpKind::OverlapShift;
+             ++j) {
+          const spmd::Op& s = ops[j];
+          simpi::overlap_shift(pe, s.array, s.shift, s.dim, s.rsd,
+                               s.shift_kind, eval_scalar(s.boundary, env));
+          shifted.push_back(s.array);
+        }
+        if (machine_->comm_backend().deferred() && j < ops.size() &&
+            ops[j].kind == spmd::OpKind::LoopNest &&
+            ops[j].overlap_eligible) {
+          exec_nest_stmt(pe, ops[j], env, &shifted);
+          i = j;  // consumed the nest too
+        } else {
+          machine_->comm_backend().wait_all(pe);
+          i = j - 1;
+        }
         break;
+      }
       case spmd::OpKind::CopyOffset: {
         simpi::StepSpan span(
             pe, "COPY_OFFSET",
@@ -348,50 +382,9 @@ void Execution::exec_ops(simpi::Pe& pe, const std::vector<spmd::Op>& ops,
             pe.grid(op.src), dst.owned_region(), op.copy_offset));
         break;
       }
-      case spmd::OpKind::LoopNest: {
-        simpi::StepSpan span(
-            pe, "KERNEL",
-            prog_.arrays[static_cast<std::size_t>(
-                             op.kernels.front().lhs_array)]
-                .name);
-        if (span.active()) {
-          span.arg("statements", static_cast<int>(op.kernels.size()));
-          span.arg("unroll", op.unroll);
-          const NestPlans& plans = plans_.at(&op);
-          const char* tier = "interpreter";
-          if (tier_ != KernelTier::InterpreterOnly && plans.main_micro) {
-            const bool full = !plans.epilogue || plans.epilogue_micro;
-            const bool simd = tier_ == KernelTier::Simd &&
-                              plans.main_micro->alias_free;
-            tier = !full ? "mixed" : simd ? "simd" : "compiled";
-          }
-          span.arg_str("kernel.tier", tier);
-          if (tier_ == KernelTier::Simd && op.rank >= 2 &&
-              plans.main_micro && plans.main_micro->alias_free) {
-            // Block sizes as chosen for the nest's global bounds; each
-            // PE re-derives them against its own owned region.
-            const int ud = op.loop_order[0];
-            const int inner =
-                op.loop_order[static_cast<std::size_t>(op.rank - 1)];
-            const int oext =
-                static_cast<int>(eval_bound(op.bounds[ud].hi, env)) -
-                static_cast<int>(eval_bound(op.bounds[ud].lo, env)) + 1;
-            const int iext =
-                static_cast<int>(eval_bound(op.bounds[inner].hi, env)) -
-                static_cast<int>(eval_bound(op.bounds[inner].lo, env)) + 1;
-            if (oext > 0 && iext > 0) {
-              const auto [bi, bj] = choose_block(plans.main, oext, iext);
-              span.arg("kernel.block_i", bi);
-              span.arg("kernel.block_j", bj);
-            }
-          }
-        }
-        exec_nest(pe, op, env);
-        // A kernel nest closes the executed statement context: the next
-        // statement's shifts get a fresh per-direction message budget.
-        pe.reset_comm_context();
+      case spmd::OpKind::LoopNest:
+        exec_nest_stmt(pe, op, env, /*overlap_shifted=*/nullptr);
         break;
-      }
       case spmd::OpKind::ScalarAssign:
         env[static_cast<std::size_t>(op.scalar)] = eval_scalar(op.expr, env);
         break;
@@ -415,6 +408,56 @@ void Execution::exec_ops(simpi::Pe& pe, const std::vector<spmd::Op>& ops,
   }
 }
 
+void Execution::exec_nest_stmt(simpi::Pe& pe, const spmd::Op& op,
+                               std::vector<double>& env,
+                               const std::vector<int>* overlap_shifted) {
+  simpi::StepSpan span(
+      pe, "KERNEL",
+      prog_.arrays[static_cast<std::size_t>(op.kernels.front().lhs_array)]
+          .name);
+  if (span.active()) {
+    span.arg("statements", static_cast<int>(op.kernels.size()));
+    span.arg("unroll", op.unroll);
+    if (overlap_shifted != nullptr) span.arg("overlap", 1);
+    const NestPlans& plans = plans_.at(&op);
+    const char* tier = "interpreter";
+    if (tier_ != KernelTier::InterpreterOnly && plans.main_micro) {
+      const bool full = !plans.epilogue || plans.epilogue_micro;
+      const bool simd = tier_ == KernelTier::Simd &&
+                        plans.main_micro->alias_free;
+      tier = !full ? "mixed" : simd ? "simd" : "compiled";
+    }
+    span.arg_str("kernel.tier", tier);
+    if (tier_ == KernelTier::Simd && op.rank >= 2 &&
+        plans.main_micro && plans.main_micro->alias_free) {
+      // Block sizes as chosen for the nest's global bounds; each
+      // PE re-derives them against its own owned region.
+      const int ud = op.loop_order[0];
+      const int inner =
+          op.loop_order[static_cast<std::size_t>(op.rank - 1)];
+      const int oext =
+          static_cast<int>(eval_bound(op.bounds[ud].hi, env)) -
+          static_cast<int>(eval_bound(op.bounds[ud].lo, env)) + 1;
+      const int iext =
+          static_cast<int>(eval_bound(op.bounds[inner].hi, env)) -
+          static_cast<int>(eval_bound(op.bounds[inner].lo, env)) + 1;
+      if (oext > 0 && iext > 0) {
+        const auto [bi, bj] = choose_block(plans.main, oext, iext);
+        span.arg("kernel.block_i", bi);
+        span.arg("kernel.block_j", bj);
+      }
+    }
+  }
+  if (overlap_shifted != nullptr) {
+    exec_nest_overlap(pe, op, env, *overlap_shifted);
+  } else {
+    exec_nest(pe, op, env);
+  }
+  // A kernel nest closes the executed statement context: the next
+  // statement's shifts get a fresh per-direction message budget.
+  pe.reset_comm_context();
+}
+
 void Execution::exec_nest(simpi::Pe& pe, const spmd::Op& op,
                           std::vector<double>& env) {
   const int owner = op.kernels.front().lhs_array;
@@ -430,7 +473,99 @@ void Execution::exec_nest(simpi::Pe& pe, const spmd::Op& op,
                          og.own_hi(d));
     if (box_lo[d] > box_hi[d]) return;
   }
+  exec_nest_box(pe, op, env, box_lo, box_hi);
+}
 
+void Execution::exec_nest_overlap(simpi::Pe& pe, const spmd::Op& op,
+                                  std::vector<double>& env,
+                                  const std::vector<int>& shifted) {
+  simpi::CommBackend& backend = machine_->comm_backend();
+  const int owner = op.kernels.front().lhs_array;
+  simpi::LocalGrid& og = pe.grid(owner);
+
+  std::array<int, ir::kMaxRank> box_lo{1, 1, 1};
+  std::array<int, ir::kMaxRank> box_hi{1, 1, 1};
+  bool empty = !og.owns_anything();
+  for (int d = 0; !empty && d < op.rank; ++d) {
+    box_lo[d] = std::max(static_cast<int>(eval_bound(op.bounds[d].lo, env)),
+                         og.own_lo(d));
+    box_hi[d] = std::min(static_cast<int>(eval_bound(op.bounds[d].hi, env)),
+                         og.own_hi(d));
+    empty = box_lo[d] > box_hi[d];
+  }
+  if (empty) {
+    // This PE computes nothing, but it may still have posted receives
+    // (its halos feed later iterations) — complete them before leaving
+    // the statement context.
+    backend.wait_all(pe);
+    return;
+  }
+
+  // Interior: shrink the box per load of a pending-shifted array so
+  // idx + offset stays inside that array's own box — the interior then
+  // provably reads no cell an in-flight receive will write.  Loads of
+  // arrays outside the pending set are untouched: their halos hold
+  // settled values, identical under either backend.
+  std::array<int, ir::kMaxRank> in_lo = box_lo;
+  std::array<int, ir::kMaxRank> in_hi = box_hi;
+  for (const spmd::Load& load : op.loads) {
+    if (std::find(shifted.begin(), shifted.end(), load.array) ==
+        shifted.end()) {
+      continue;
+    }
+    const simpi::LocalGrid& g = pe.grid(load.array);
+    for (int d = 0; d < op.rank; ++d) {
+      in_lo[d] = std::max(in_lo[d], g.own_lo(d) - load.offset[d]);
+      in_hi[d] = std::min(in_hi[d], g.own_hi(d) - load.offset[d]);
+    }
+  }
+  bool has_interior = true;
+  for (int d = 0; d < op.rank; ++d) {
+    has_interior = has_interior && in_lo[d] <= in_hi[d];
+  }
+  if (!has_interior) {
+    // Degenerate subgrid (e.g. halo as wide as the owned extent): no
+    // cell is provably receive-independent, so this collapses to the
+    // sync schedule.
+    backend.wait_all(pe);
+    exec_nest_box(pe, op, env, box_lo, box_hi);
+    return;
+  }
+
+  exec_nest_box(pe, op, env, in_lo, in_hi);
+  backend.wait_all(pe);
+
+  // Onion-peel the boundary frame (box minus interior) into at most
+  // 2 * rank disjoint rectangles: per dimension, the strip below and
+  // above the interior over the not-yet-peeled extent of the later
+  // dimensions.
+  std::array<int, ir::kMaxRank> rem_lo = box_lo;
+  std::array<int, ir::kMaxRank> rem_hi = box_hi;
+  for (int d = 0; d < op.rank; ++d) {
+    if (rem_lo[d] < in_lo[d]) {
+      std::array<int, ir::kMaxRank> lo = rem_lo;
+      std::array<int, ir::kMaxRank> hi = rem_hi;
+      hi[d] = in_lo[d] - 1;
+      exec_nest_box(pe, op, env, lo, hi);
+    }
+    if (rem_hi[d] > in_hi[d]) {
+      std::array<int, ir::kMaxRank> lo = rem_lo;
+      std::array<int, ir::kMaxRank> hi = rem_hi;
+      lo[d] = in_hi[d] + 1;
+      exec_nest_box(pe, op, env, lo, hi);
+    }
+    rem_lo[d] = in_lo[d];
+    rem_hi[d] = in_hi[d];
+  }
+}
+
+void Execution::exec_nest_box(simpi::Pe& pe, const spmd::Op& op,
+                              std::vector<double>& env,
+                              const std::array<int, ir::kMaxRank>& box_lo,
+                              const std::array<int, ir::kMaxRank>& box_hi) {
+  for (int d = 0; d < op.rank; ++d) {
+    if (box_lo[d] > box_hi[d]) return;
+  }
   const NestPlans& plans = plans_.at(&op);
   const int inner = op.loop_order[static_cast<std::size_t>(op.rank - 1)];
 

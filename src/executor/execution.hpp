@@ -169,8 +169,29 @@ class Execution {
 
   void exec_ops(simpi::Pe& pe, const std::vector<spmd::Op>& ops,
                 std::vector<double>& env);
+  /// One LoopNest statement: KERNEL step span, nest dispatch, comm
+  /// context reset.  When `overlap_shifted` is non-null the nest runs
+  /// through the interior/boundary split with that array set pending
+  /// (exec_nest_overlap); otherwise over its whole box.
+  void exec_nest_stmt(simpi::Pe& pe, const spmd::Op& op,
+                      std::vector<double>& env,
+                      const std::vector<int>* overlap_shifted);
   void exec_nest(simpi::Pe& pe, const spmd::Op& op,
                  std::vector<double>& env);
+  /// Runs the nest over an explicit iteration box (already clamped to
+  /// the PE's owned region; no-op when empty in any dimension).
+  void exec_nest_box(simpi::Pe& pe, const spmd::Op& op,
+                     std::vector<double>& env,
+                     const std::array<int, ir::kMaxRank>& box_lo,
+                     const std::array<int, ir::kMaxRank>& box_hi);
+  /// Halo-exchange/compute overlap: runs the interior (every index
+  /// whose loads of `shifted` arrays stay within their own boxes) while
+  /// the posted receives are in flight, completes them with wait_all,
+  /// then finishes the boundary strips.  Falls back to wait-then-full-
+  /// box when the interior is empty.
+  void exec_nest_overlap(simpi::Pe& pe, const spmd::Op& op,
+                         std::vector<double>& env,
+                         const std::vector<int>& shifted);
   void run_plan(simpi::Pe& pe, const spmd::Op& op,
                 const exec::KernelPlan& plan,
                 const exec::MicroKernel* micro,

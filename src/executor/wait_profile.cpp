@@ -38,12 +38,15 @@ WaitProfile WaitProfile::from_run(const Execution::RunStats& stats) {
     WaitProfileRow row;
     row.pe = static_cast<int>(id);
     row.recv_s = ns_to_s(w.recv_wait_ns);
+    row.overlap_s = ns_to_s(w.overlap_wait_ns);
     row.barrier_s = ns_to_s(w.barrier_wait_ns);
     row.pool_s = ns_to_s(w.pool_wait_ns);
-    row.compute_s = ns_to_s(w.active_ns) - row.recv_s - row.barrier_s;
-    row.overhead_s = p.wall_seconds -
-                     (row.compute_s + row.recv_s + row.barrier_s + row.pool_s);
-    total_recv += row.recv_s;
+    row.compute_s =
+        ns_to_s(w.active_ns) - row.recv_s - row.overlap_s - row.barrier_s;
+    row.overhead_s =
+        p.wall_seconds - (row.compute_s + row.recv_s + row.overlap_s +
+                          row.barrier_s + row.pool_s);
+    total_recv += row.recv_s + row.overlap_s;
     p.rows.push_back(row);
     p.max_overhead_seconds =
         std::max(p.max_overhead_seconds, std::fabs(row.overhead_s));
@@ -69,11 +72,13 @@ bool WaitProfile::reconciled(double abs_tol_seconds, double rel_tol) const {
     // compute_s can be slightly negative when a recv/barrier wait
     // overlaps a clock-granularity boundary; materially negative means
     // double counting.
-    if (row.compute_s < -tol || row.recv_s < 0.0 || row.barrier_s < 0.0 ||
-        row.pool_s < 0.0) {
+    if (row.compute_s < -tol || row.recv_s < 0.0 || row.overlap_s < 0.0 ||
+        row.barrier_s < 0.0 || row.pool_s < 0.0) {
       return false;
     }
-    if (row.recv_s > wall_seconds + tol || row.barrier_s > wall_seconds + tol ||
+    if (row.recv_s > wall_seconds + tol ||
+        row.overlap_s > wall_seconds + tol ||
+        row.barrier_s > wall_seconds + tol ||
         row.pool_s > wall_seconds + tol) {
       return false;
     }
@@ -88,13 +93,14 @@ std::string WaitProfile::to_text() const {
   std::snprintf(line, sizeof line, "wall: %.3f ms over %zu PEs\n",
                 wall_seconds * 1e3, rows.size());
   out += line;
-  out += "  pe   compute ms      recv ms   barrier ms      pool ms  "
-         "overhead ms\n";
+  out += "  pe   compute ms      recv ms   overlap ms   barrier ms      "
+         "pool ms  overhead ms\n";
   for (const WaitProfileRow& row : rows) {
-    std::snprintf(line, sizeof line, "%4d  %s    %s    %s    %s    %s\n",
+    std::snprintf(line, sizeof line, "%4d  %s    %s    %s    %s    %s    %s\n",
                   row.pe, fmt_ms(row.compute_s).c_str(),
-                  fmt_ms(row.recv_s).c_str(), fmt_ms(row.barrier_s).c_str(),
-                  fmt_ms(row.pool_s).c_str(), fmt_ms(row.overhead_s).c_str());
+                  fmt_ms(row.recv_s).c_str(), fmt_ms(row.overlap_s).c_str(),
+                  fmt_ms(row.barrier_s).c_str(), fmt_ms(row.pool_s).c_str(),
+                  fmt_ms(row.overhead_s).c_str());
     out += line;
   }
   std::snprintf(line, sizeof line,
@@ -123,6 +129,7 @@ std::string WaitProfile::to_json() const {
     out += "{\"pe\":" + std::to_string(row.pe);
     out += ",\"compute_s\":" + json_number(row.compute_s);
     out += ",\"recv_s\":" + json_number(row.recv_s);
+    out += ",\"overlap_s\":" + json_number(row.overlap_s);
     out += ",\"barrier_s\":" + json_number(row.barrier_s);
     out += ",\"pool_s\":" + json_number(row.pool_s);
     out += ",\"overhead_s\":" + json_number(row.overhead_s);

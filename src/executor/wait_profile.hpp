@@ -4,9 +4,10 @@
 // every blocking point — and answers two questions:
 //
 //   1. Does the accounting close?  Per PE,
-//        compute + recv_wait + barrier_wait + pool_wait + overhead
+//        compute + recv_wait + overlap_wait + barrier_wait + pool_wait
+//        + overhead
 //      must equal the run's wall time, where compute is derived
-//      (active - recv_wait - barrier_wait) and overhead is the
+//      (active - recv_wait - overlap_wait - barrier_wait) and overhead is the
 //      host-side residue (barrier reset, channel drain, publish).
 //      Overhead must be non-negative (modulo clock granularity) and
 //      small; reconciled() asserts both within a tolerance, the
@@ -30,19 +31,25 @@ namespace hpfsc {
 /// One PE's reconciled wall-time decomposition, in seconds.
 struct WaitProfileRow {
   int pe = 0;
-  double compute_s = 0.0;   ///< active - recv_wait - barrier_wait
-  double recv_s = 0.0;      ///< blocked in channel recv
+  double compute_s = 0.0;   ///< active - recv_wait - barrier_wait - overlap
+  double recv_s = 0.0;      ///< blocked in channel recv (inline completion)
+  double overlap_s = 0.0;   ///< blocked completing posted (async) receives
   double barrier_s = 0.0;   ///< blocked in barrier
   double pool_s = 0.0;      ///< pool handoff + straggler tail
-  double overhead_s = 0.0;  ///< wall - (compute+recv+barrier+pool)
+  double overhead_s = 0.0;  ///< wall - (compute+recv+overlap+barrier+pool)
 };
 
 struct WaitProfile {
   double wall_seconds = 0.0;
   std::vector<WaitProfileRow> rows;  ///< indexed by PE id
 
-  /// sum(recv_wait) / (P * wall): the fraction of total machine time
-  /// that is exposed communication.
+  /// sum(recv_wait + overlap_wait) / (P * wall): the fraction of total
+  /// machine time that is exposed communication.  Under the sync
+  /// backend overlap_wait is zero and this reduces to the classic
+  /// sum(recv_wait) / (P * wall); under the async backend time the
+  /// in-flight messages hid inside interior compute simply never shows
+  /// up in either term — the drop versus a sync baseline is the
+  /// overlap actually won.
   double exposed_comm_fraction = 0.0;
   /// 1 / (1 - exposed_comm_fraction): upper bound on the whole-run
   /// speedup from perfectly overlapping communication with compute.

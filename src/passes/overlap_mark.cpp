@@ -1,0 +1,74 @@
+#include "passes/overlap_mark.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace hpfsc::passes {
+
+namespace {
+
+bool zero_offset(const spmd::Offset& off) {
+  return off[0] == 0 && off[1] == 0 && off[2] == 0;
+}
+
+/// Reorder-safety of one nest given the arrays the preceding shift run
+/// touches.  See the header for why each condition is required.
+bool nest_eligible(const spmd::Op& nest, const std::vector<int>& shifted) {
+  std::vector<int> stores;
+  for (const spmd::Kernel& k : nest.kernels) {
+    if (!zero_offset(k.lhs_offset)) return false;
+    stores.push_back(k.lhs_array);
+  }
+  if (stores.empty()) return false;
+  for (const spmd::Load& load : nest.loads) {
+    if (std::find(stores.begin(), stores.end(), load.array) != stores.end()) {
+      return false;
+    }
+  }
+  for (int array : shifted) {
+    if (std::find(stores.begin(), stores.end(), array) != stores.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void mark_ops(std::vector<spmd::Op>& ops, OverlapMarkStats& stats) {
+  std::vector<int> shifted;  // arrays of the current OverlapShift run
+  for (spmd::Op& op : ops) {
+    switch (op.kind) {
+      case spmd::OpKind::OverlapShift:
+        shifted.push_back(op.array);
+        continue;
+      case spmd::OpKind::LoopNest:
+        if (!shifted.empty()) {
+          ++stats.nests_considered;
+          if (nest_eligible(op, shifted)) {
+            op.overlap_eligible = true;
+            ++stats.nests_marked;
+          }
+        }
+        break;
+      case spmd::OpKind::If:
+        mark_ops(op.then_ops, stats);
+        mark_ops(op.else_ops, stats);
+        break;
+      case spmd::OpKind::Do:
+        mark_ops(op.body, stats);
+        break;
+      default:
+        break;
+    }
+    shifted.clear();
+  }
+}
+
+}  // namespace
+
+OverlapMarkStats mark_overlap_nests(spmd::Program& program) {
+  OverlapMarkStats stats;
+  mark_ops(program.ops, stats);
+  return stats;
+}
+
+}  // namespace hpfsc::passes

@@ -1,0 +1,29 @@
+// Overlap-eligibility marking: a post-codegen pass over the SPMD op
+// list that flags loop nests the executor may split into interior +
+// boundary under a deferring comm backend (async halo-exchange/compute
+// overlap).  A nest qualifies when it is immediately preceded by a run
+// of OverlapShift ops and the interior/boundary reordering is
+// observationally equivalent to running the whole box after all
+// receives complete:
+//   * every kernel stores at lhs_offset == 0 (the store region is the
+//     iteration box, so strips partition writes exactly),
+//   * no array is both loaded and stored by the nest (strip order
+//     would otherwise change which value a load observes), and
+//   * no shifted array is stored (posted receives write its halo; the
+//     gate keeps the nest's writes provably disjoint from them).
+// Per-cell arithmetic is unchanged — only which cells run before
+// wait_all — so results stay bitwise identical across backends.
+#pragma once
+
+#include "codegen/spmd_program.hpp"
+
+namespace hpfsc::passes {
+
+struct OverlapMarkStats {
+  int nests_considered = 0;  ///< nests preceded by >=1 OverlapShift
+  int nests_marked = 0;
+};
+
+OverlapMarkStats mark_overlap_nests(spmd::Program& program);
+
+}  // namespace hpfsc::passes

@@ -179,6 +179,7 @@ void put_op(Writer& w, const spmd::Op& op) {
   put_ints(w, op.loop_order);
   w.i32(op.unroll);
   w.u8(op.scalar_replace ? 1 : 0);
+  w.u8(op.overlap_eligible ? 1 : 0);
   w.u32(static_cast<std::uint32_t>(op.loads.size()));
   for (const spmd::Load& ld : op.loads) {
     w.i32(ld.array);
@@ -239,6 +240,7 @@ spmd::Op get_op(Reader& r) {
   get_ints(r, op.loop_order);
   op.unroll = r.i32();
   op.scalar_replace = r.u8() != 0;
+  op.overlap_eligible = r.u8() != 0;
   const std::uint32_t nloads = r.count();
   op.loads.resize(nloads);
   for (spmd::Load& ld : op.loads) {

@@ -58,7 +58,8 @@ struct StoreCounters {
 /// at boot.  Counters are plain (inspected after the fact).
 class PlanStore {
  public:
-  static constexpr std::uint32_t kFormatVersion = 1;
+  // v2: spmd::Op gained overlap_eligible (one byte after scalar_replace).
+  static constexpr std::uint32_t kFormatVersion = 2;
   static constexpr char kMagic[8] = {'H', 'P', 'F', 'P', 'L', 'A', 'N', 0};
   static constexpr std::size_t kHeaderBytes = 28;
 

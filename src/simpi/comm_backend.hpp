@@ -1,0 +1,109 @@
+// Pluggable communication backend for the shift runtime.  All channel
+// traffic the shift operations generate flows through this interface:
+// sends are posted (buffered channel sends never block, so posting is
+// the send), receives are *posted* as PendingRecv descriptors and
+// *completed* either inline (SyncThreadBackend — the original blocking
+// semantics) or at CommBackend::wait_all (AsyncThreadBackend — the
+// halo-exchange/compute overlap the executor exploits by running a
+// stencil's interior while the posted messages are in flight).
+//
+// Invariants both backends preserve:
+//  * Send order per (src, dst) channel is identical, and wait_all
+//    completes receives in posting order, so the untagged FIFO message
+//    matching — and therefore every unpacked value — is bitwise
+//    identical across backends.
+//  * The CommLedger is recorded at posting time on the send side, so
+//    the per-(dim, dir, kind) message/byte structure is backend-
+//    invariant; only where blocking time is charged moves
+//    (WaitStats::recv_wait_ns for inline completion,
+//    WaitStats::overlap_wait_ns for deferred completion).
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "simpi/config.hpp"
+#include "simpi/dist_array.hpp"
+
+namespace simpi {
+
+class Pe;
+
+/// One posted, not-yet-completed receive: the next message on the
+/// (src -> this PE) channel will be unpacked into `region` of array
+/// `array_id`.  (dim, dir) label the shift for wait-state attribution,
+/// mirroring the CommLedger's buckets.
+struct PendingRecv {
+  int src = -1;
+  int array_id = -1;
+  int dim = 0;
+  int dir = 0;
+  Region region;
+};
+
+class CommBackend {
+ public:
+  virtual ~CommBackend() = default;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+  [[nodiscard]] virtual CommBackendKind kind() const = 0;
+  /// True when post_recv may defer completion to wait_all.  The
+  /// executor only splits a nest into interior + boundary (and lets
+  /// posted receives ride through the interior compute) when this
+  /// holds; under a non-deferring backend the split would buy nothing.
+  [[nodiscard]] virtual bool deferred() const = 0;
+
+  /// Posts a buffered point-to-point send (never blocks; the channel
+  /// queue is unbounded).  Identical for both backends — kept on the
+  /// interface so *all* shift traffic flows through one seam.
+  virtual void post_send(Pe& pe, int dst, std::span<const double> data);
+
+  /// Posts a receive.  Sync completes it inline, blocking until the
+  /// message arrives (time charged to WaitStats::recv_wait_ns); Async
+  /// queues it on the PE until wait_all.
+  virtual void post_recv(Pe& pe, const PendingRecv& recv) = 0;
+
+  /// Completes every receive this PE has posted, in posting order.
+  /// Blocking time is charged to WaitStats::overlap_wait_ns.  No-op
+  /// when nothing is pending (the sync backend never has pendings).
+  virtual void wait_all(Pe& pe) = 0;
+
+ protected:
+  /// Drains one message and unpacks it into the target region,
+  /// charging blocked time to the recv bucket (`to_overlap` false) or
+  /// the overlap bucket (`to_overlap` true).  Records a TransferEvent
+  /// when machine tracing is on.
+  static void complete(Pe& pe, const PendingRecv& recv, bool to_overlap);
+};
+
+/// The original synchronous semantics: post_recv == complete-inline.
+class SyncThreadBackend final : public CommBackend {
+ public:
+  [[nodiscard]] const char* name() const override { return "sync"; }
+  [[nodiscard]] CommBackendKind kind() const override {
+    return CommBackendKind::Sync;
+  }
+  [[nodiscard]] bool deferred() const override { return false; }
+  void post_recv(Pe& pe, const PendingRecv& recv) override;
+  void wait_all(Pe& pe) override;
+};
+
+/// Nonblocking receives: post_recv appends to the PE's pending list
+/// (PE-thread-private — posted and drained only by the owning PE's
+/// thread, so no synchronization beyond the channels themselves) and
+/// wait_all drains it in posting order.
+class AsyncThreadBackend final : public CommBackend {
+ public:
+  [[nodiscard]] const char* name() const override { return "async"; }
+  [[nodiscard]] CommBackendKind kind() const override {
+    return CommBackendKind::Async;
+  }
+  [[nodiscard]] bool deferred() const override { return true; }
+  void post_recv(Pe& pe, const PendingRecv& recv) override;
+  void wait_all(Pe& pe) override;
+};
+
+[[nodiscard]] std::unique_ptr<CommBackend> make_comm_backend(
+    CommBackendKind kind);
+
+}  // namespace simpi

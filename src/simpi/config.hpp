@@ -45,6 +45,17 @@ struct CostModel {
   }
 };
 
+/// Which communication backend the machine's shift runtime uses.
+///  * Sync:  every posted receive completes inline (blocking until the
+///    message arrives) — the original semantics.
+///  * Async: receives posted by the shift runtime stay pending until
+///    CommBackend::wait_all, letting the executor compute the interior
+///    of a stencil while halo messages are in flight.
+/// Both backends are bitwise-identical in results and produce the same
+/// CommLedger message structure; only where blocking time lands moves
+/// (recv_wait vs overlap_wait).
+enum class CommBackendKind { Sync, Async };
+
 /// Shape and limits of the simulated machine.
 struct MachineConfig {
   int pe_rows = 2;  ///< processor grid rows (array dim 1 maps here)
@@ -53,6 +64,10 @@ struct MachineConfig {
   /// Per-PE heap limit in bytes (0 = unlimited).  Reproduces the paper's
   /// Fig. 11, where 12 CSHIFT temporaries exhaust the SP-2's 256MB/PE.
   std::size_t per_pe_heap_bytes = 0;
+
+  /// Default comm backend; HPFSC_COMM_BACKEND=sync|async overrides, and
+  /// Machine::set_comm_backend overrides both.
+  CommBackendKind comm_backend = CommBackendKind::Sync;
 
   CostModel cost;
 

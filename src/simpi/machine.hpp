@@ -20,6 +20,7 @@
 
 #include "obs/obs.hpp"
 #include "simpi/arena.hpp"
+#include "simpi/comm_backend.hpp"
 #include "simpi/config.hpp"
 #include "simpi/dist_array.hpp"
 #include "simpi/layout.hpp"
@@ -29,6 +30,12 @@
 namespace simpi {
 
 class Machine;
+
+/// Which WaitStats bucket a blocking receive charges: Recv for inline
+/// (synchronous) completion, Overlap for deferred completion at the
+/// async backend's wait_all.  Only Recv waits are additionally
+/// bucketed per (dim, dir).
+enum class WaitBucket { Recv, Overlap };
 
 /// Thrown inside PE threads when another PE has failed, to unwind all
 /// threads cleanly instead of deadlocking at a barrier or recv.
@@ -66,9 +73,20 @@ class Pe {
   /// WaitStats::recv_wait_ns; the (dim, dir) overload — used by the
   /// shift runtime — additionally buckets it per (dimension, direction)
   /// like the CommLedger buckets traffic.  The fast path (message
-  /// already queued) reads no clock.
+  /// already queued) reads no clock.  The WaitBucket overload lets the
+  /// async comm backend's wait_all charge the overlap bucket instead.
   std::vector<double> recv(int src) { return recv(src, -1, 0); }
-  std::vector<double> recv(int src, int dim, int dir);
+  std::vector<double> recv(int src, int dim, int dir) {
+    return recv(src, dim, dir, WaitBucket::Recv);
+  }
+  std::vector<double> recv(int src, int dim, int dir, WaitBucket bucket);
+
+  /// Receives posted by the comm backend but not yet completed.
+  /// PE-thread-private: only this PE's thread posts and drains during a
+  /// run; Machine::run clears leftovers from an aborted previous run.
+  [[nodiscard]] std::vector<PendingRecv>& pending_recvs() {
+    return pending_recvs_;
+  }
 
   /// Accounts for `bytes` of intraprocessor data movement (the copies
   /// the offset-array optimization eliminates).  Charges the modeled
@@ -118,6 +136,7 @@ class Pe {
   MemoryArena arena_;
   PeStats stats_;
   std::vector<std::unique_ptr<LocalGrid>> slots_;
+  std::vector<PendingRecv> pending_recvs_;
   /// Communicating shift ops per (array, dim, dir) since the last
   /// context boundary (PE-private; only consulted when the invariant
   /// mode is armed).  Indexed by array slot id, grown on demand.
@@ -194,6 +213,21 @@ class Machine {
   void set_comm_invariant(bool on) { comm_invariant_ = on; }
   [[nodiscard]] bool comm_invariant() const { return comm_invariant_; }
 
+  /// -- Communication backend -----------------------------------------
+  /// Selects how the shift runtime completes posted receives (see
+  /// CommBackend).  Defaults to MachineConfig::comm_backend, overridden
+  /// by HPFSC_COMM_BACKEND=sync|async (anything else throws at
+  /// construction); call between runs only.
+  void set_comm_backend(CommBackendKind kind) {
+    if (!comm_backend_ || comm_backend_->kind() != kind) {
+      comm_backend_ = make_comm_backend(kind);
+    }
+  }
+  [[nodiscard]] CommBackend& comm_backend() { return *comm_backend_; }
+  [[nodiscard]] CommBackendKind comm_backend_kind() const {
+    return comm_backend_->kind();
+  }
+
   /// True after a run aborted; cleared at the start of each run.
   [[nodiscard]] bool aborted() const { return aborted_; }
 
@@ -250,6 +284,7 @@ class Machine {
 
   hpfsc::obs::TraceSession* obs_session_ = nullptr;
   bool comm_invariant_ = false;
+  std::unique_ptr<CommBackend> comm_backend_;
 
   // Persistent PE worker pool, started lazily by the first run().
   // Workers park on pool_cv_ between runs; run() publishes the next

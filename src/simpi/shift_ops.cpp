@@ -104,6 +104,14 @@ void overlap_shift(Pe& pe, int array_id, int shift, int dim,
 
   if (!g.owns_anything()) return;
 
+  CommBackend& backend = pe.machine().comm_backend();
+  // An RSD-extended cross-section packs overlap cells of the non-shift
+  // dimensions — data an earlier shift of this statement delivered.
+  // Under a deferring backend those receives may still be pending, so
+  // complete them before packing (only the corner-carrying shifts pay
+  // this staging point; extension-free shifts pack owned cells only).
+  if (ext.any()) backend.wait_all(pe);
+
   const Region cross = cross_section(g, dim, ext);
 
   // Ledger attribution: the RSD extension widens the cross-section, so
@@ -134,7 +142,7 @@ void overlap_shift(Pe& pe, int array_id, int shift, int dim,
       send_region.hi[dim] = iv.src_lo + (iv.reader_hi - iv.reader_lo);
       std::vector<double> buf(send_region.elements(desc.rank));
       g.pack(send_region, buf);
-      pe.send(pe_at(pe, grid, gdim, q), buf);
+      backend.post_send(pe, pe_at(pe, grid, gdim, q), buf);
       const std::size_t len =
           static_cast<std::size_t>(iv.reader_hi - iv.reader_lo + 1);
       const std::uint64_t corner_bytes =
@@ -156,24 +164,31 @@ void overlap_shift(Pe& pe, int array_id, int shift, int dim,
                              "OVERLAP_SHIFT");
   }
 
-  // -- Receive phase: fill my own overlap cells. -----------------------
+  // -- Receive phase: fill my own overlap cells.  Boundary fills and
+  // intraprocessor copies execute inline (they touch only this PE's
+  // data); remote intervals are *posted* to the backend, which either
+  // completes them here (sync) or leaves them pending for the caller's
+  // wait_all (async) — the window the executor computes the interior
+  // in.  Every posted region is an overlap (halo) region, disjoint
+  // from any owned cell a kernel writes, which is what makes deferral
+  // bitwise-invisible.
   for (const ShiftInterval& iv :
        split_shift_intervals(halo_lo, halo_hi, 0, n, bm, circular)) {
     Region dst_region = cross;
     dst_region.lo[dim] = iv.reader_lo;
     dst_region.hi[dim] = iv.reader_hi;
+    if (iv.owner != -1 && iv.owner != my_coord) {
+      backend.post_recv(pe, PendingRecv{pe_at(pe, grid, gdim, iv.owner),
+                                        array_id, dim, dir, dst_region});
+      continue;  // the backend records the trace event on completion
+    }
     int from = -1;
     if (iv.owner == -1) {
       g.fill_region(dst_region, boundary);
-    } else if (iv.owner == my_coord) {
+    } else {
       pe.charge_intra_copy(g.copy_shifted_from(
           g, dst_region, dim, iv.src_lo - iv.reader_lo));
       from = pe.id();
-    } else {
-      from = pe_at(pe, grid, gdim, iv.owner);
-      std::vector<double> buf = pe.recv(from, dim, dir);
-      assert(buf.size() == dst_region.elements(desc.rank));
-      g.unpack(dst_region, buf);
     }
     if (pe.machine().tracing()) {
       pe.machine().record_transfer(TransferEvent{
@@ -210,6 +225,7 @@ void full_cshift(Pe& pe, int dst_id, int src_id, int shift, int dim,
 
   if (!dst.owns_anything()) return;
 
+  CommBackend& backend = pe.machine().comm_backend();
   const Region cross = cross_section(dst, dim, RsdExtension{});
   const int dir = comm_dir(shift);
 
@@ -226,7 +242,7 @@ void full_cshift(Pe& pe, int dst_id, int src_id, int shift, int dim,
       send_region.hi[dim] = iv.src_lo + (iv.reader_hi - iv.reader_lo);
       std::vector<double> buf(send_region.elements(desc.rank));
       src.pack(send_region, buf);
-      pe.send(pe_at(pe, grid, gdim, q), buf);
+      backend.post_send(pe, pe_at(pe, grid, gdim, q), buf);
       pe.stats().comm.record(dim, dir, CommKind::FullShift, 1,
                              buf.size() * sizeof(double));
       ++sent;
@@ -263,10 +279,15 @@ void full_cshift(Pe& pe, int dst_id, int src_id, int shift, int dim,
     Region dst_region = cross;
     dst_region.lo[dim] = iv.reader_lo;
     dst_region.hi[dim] = iv.reader_hi;
+    if (iv.owner != -1 && iv.owner != my_coord) {
+      backend.post_recv(pe, PendingRecv{pe_at(pe, grid, gdim, iv.owner),
+                                        dst_id, dim, dir, dst_region});
+      continue;
+    }
     int from = -1;
     if (iv.owner == -1) {
       dst.fill_region(dst_region, boundary);
-    } else if (iv.owner == my_coord) {
+    } else {
       if (dst_id == src_id) {
         const std::vector<double>& buf = local_srcs[next_local++];
         dst.unpack(dst_region, buf);
@@ -276,11 +297,6 @@ void full_cshift(Pe& pe, int dst_id, int src_id, int shift, int dim,
             src, dst_region, dim, iv.src_lo - iv.reader_lo));
       }
       from = pe.id();
-    } else {
-      from = pe_at(pe, grid, gdim, iv.owner);
-      std::vector<double> buf = pe.recv(from, dim, dir);
-      assert(buf.size() == dst_region.elements(desc.rank));
-      dst.unpack(dst_region, buf);
     }
     if (pe.machine().tracing()) {
       pe.machine().record_transfer(TransferEvent{
@@ -288,6 +304,11 @@ void full_cshift(Pe& pe, int dst_id, int src_id, int shift, int dim,
           dst.desc().name});
     }
   }
+  // A full shift is synchronous: the statement it implements (dst = a
+  // whole shifted array) needs every owned cell before the next op can
+  // read dst.  Traffic still flows through the seam — only no deferral
+  // window escapes this function.
+  backend.wait_all(pe);
 }
 
 void copy_array(Pe& pe, int dst_id, int src_id) {

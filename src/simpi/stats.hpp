@@ -29,6 +29,11 @@ struct WaitStats {
   std::uint64_t barrier_wait_ns = 0;  ///< blocked in barrier_wait
   std::uint64_t pool_wait_ns = 0;     ///< handoff: publish->pickup plus
                                       ///  finish->run-end straggler time
+  /// Blocked completing receives that were posted asynchronously (the
+  /// async comm backend's wait_all) — the share of communication the
+  /// interior/boundary overlap did *not* hide.  Always zero under the
+  /// synchronous backend, where the same blocking lands in recv_wait_ns.
+  std::uint64_t overlap_wait_ns = 0;
   std::uint64_t active_ns = 0;        ///< pickup->finish window
   /// Subset of recv_wait_ns attributed to a shift (dim, dir); raw
   /// Pe::recv calls have no direction and only count in the total.
@@ -37,13 +42,14 @@ struct WaitStats {
 
   [[nodiscard]] bool empty() const {
     return recv_wait_ns == 0 && barrier_wait_ns == 0 && pool_wait_ns == 0 &&
-           active_ns == 0;
+           overlap_wait_ns == 0 && active_ns == 0;
   }
 
   WaitStats& operator+=(const WaitStats& o) {
     recv_wait_ns += o.recv_wait_ns;
     barrier_wait_ns += o.barrier_wait_ns;
     pool_wait_ns += o.pool_wait_ns;
+    overlap_wait_ns += o.overlap_wait_ns;
     active_ns += o.active_ns;
     for (std::size_t d = 0; d < kCommDims; ++d) {
       for (std::size_t s = 0; s < kCommDirs; ++s) {
@@ -58,6 +64,7 @@ struct WaitStats {
     d.recv_wait_ns = recv_wait_ns - before.recv_wait_ns;
     d.barrier_wait_ns = barrier_wait_ns - before.barrier_wait_ns;
     d.pool_wait_ns = pool_wait_ns - before.pool_wait_ns;
+    d.overlap_wait_ns = overlap_wait_ns - before.overlap_wait_ns;
     d.active_ns = active_ns - before.active_ns;
     for (std::size_t dim = 0; dim < kCommDims; ++dim) {
       for (std::size_t s = 0; s < kCommDirs; ++s) {
@@ -72,8 +79,13 @@ struct WaitStats {
     std::string out =
         "{\"recv_wait_ns\":" + std::to_string(recv_wait_ns) +
         ",\"barrier_wait_ns\":" + std::to_string(barrier_wait_ns) +
-        ",\"pool_wait_ns\":" + std::to_string(pool_wait_ns) +
-        ",\"active_ns\":" + std::to_string(active_ns) +
+        ",\"pool_wait_ns\":" + std::to_string(pool_wait_ns);
+    // Emitted only when nonzero so schema_version-3 consumers (and the
+    // sync-backend goldens) see an unchanged object.
+    if (overlap_wait_ns != 0) {
+      out += ",\"overlap_wait_ns\":" + std::to_string(overlap_wait_ns);
+    }
+    out += ",\"active_ns\":" + std::to_string(active_ns) +
         ",\"recv_by_dim\":[";
     for (std::size_t d = 0; d < kCommDims; ++d) {
       if (d) out += ',';

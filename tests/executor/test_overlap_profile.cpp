@@ -1,0 +1,171 @@
+// Overlap regression (ISSUE 10 satellite): with the async comm backend
+// the wait-state books must still close exactly — compute + recv +
+// overlap + barrier + pool + overhead == wall per PE — and the
+// exposed-communication fraction over the five-paper-kernel suite must
+// drop versus the synchronous baseline.
+//
+// The fraction assertion runs under the emulated SP-2 cost model
+// (MachineConfig::cost.emulate): the sender busy-waits for each
+// message's modeled latency + size/bandwidth cost, which makes receive
+// waits transfer-proportional instead of scheduler-skew-proportional
+// and therefore something interior compute can actually hide.  It is
+// asserted on the *aggregate* fraction (total exposed wait over total
+// machine time across all five kernels): per-kernel wall-clock
+// fractions on a loaded single-core ctest host swing by several points
+// run to run, and kernels whose corner-carrying RSD shifts force an
+// early drain (the 9-point family) can individually come out flat.
+// The whole measurement retries up to three times, mirroring the
+// profiler's own descheduling-spike policy.
+#include "executor/wait_profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "driver/hpfsc.hpp"
+
+namespace hpfsc {
+namespace {
+
+struct SuiteKernel {
+  const char* name;
+  const char* source;
+  bool needs_coefficients = false;
+  bool needs_nsteps = false;
+};
+
+std::vector<SuiteKernel> suite() {
+  return {
+      {"Problem9", kernels::kProblem9},
+      {"NinePointCShift", kernels::kNinePointCShift},
+      {"NinePointArraySyntax", kernels::kNinePointArraySyntax},
+      {"FivePoint", kernels::kFivePointArraySyntax, true, false},
+      {"Jacobi", kernels::kJacobiTimeLoop, false, true},
+  };
+}
+
+Execution make_execution(const SuiteKernel& c, simpi::CommBackendKind backend,
+                         int n, bool emulate_cost) {
+  Compiler compiler;
+  CompiledProgram compiled =
+      compiler.compile(c.source, CompilerOptions::level(3));
+  simpi::MachineConfig mc;
+  mc.pe_rows = 4;
+  mc.pe_cols = 2;
+  mc.cost.emulate = emulate_cost;
+  Execution exec(std::move(compiled.program), mc);
+  exec.machine().set_comm_backend(backend);
+  Bindings b;
+  b.set("N", n);
+  if (c.needs_coefficients) {
+    b.set("C1", 0.1).set("C2", 0.2).set("C3", 0.4).set("C4", 0.2).set("C5",
+                                                                      0.1);
+  }
+  if (c.needs_nsteps) b.set("NSTEPS", 2);
+  exec.prepare(b);
+  const char* input =
+      std::string(c.source).find("SRC(N,N)") != std::string::npos ? "SRC"
+                                                                  : "U";
+  exec.set_array(input, [](int i, int j, int) {
+    return std::sin(i * 0.7) + 0.3 * j;
+  });
+  return exec;
+}
+
+/// Exposed-communication time of one profiled run: inline receive waits
+/// plus the async backend's unhidden wait_all time.
+double exposed_seconds(const WaitProfile& p) {
+  double s = 0.0;
+  for (const WaitProfileRow& r : p.rows) s += r.recv_s + r.overlap_s;
+  return s;
+}
+
+// Books must close under the async backend on every paper kernel, with
+// the overlap column participating in the per-PE sum.  Deterministic —
+// no cost emulation, no fraction comparison.
+TEST(OverlapProfile, AsyncBackendReconcilesOnPaperKernels) {
+  for (const SuiteKernel& c : suite()) {
+    SCOPED_TRACE(c.name);
+    Execution exec =
+        make_execution(c, simpi::CommBackendKind::Async, 16, false);
+    exec.run(1);  // spawn PE workers outside the profiled window
+    WaitProfile p;
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      p = WaitProfile::from_run(exec.run(1));
+      if (p.reconciled()) break;
+    }
+    EXPECT_TRUE(p.reconciled()) << c.name << "\n" << p.to_text();
+    ASSERT_EQ(p.rows.size(), 8u);
+    for (const WaitProfileRow& r : p.rows) {
+      const double sum = r.compute_s + r.recv_s + r.overlap_s + r.barrier_s +
+                         r.pool_s + r.overhead_s;
+      EXPECT_NEAR(sum, p.wall_seconds, 1e-6 + 1e-6 * p.wall_seconds)
+          << c.name << " pe " << r.pe;
+      EXPECT_GE(r.overlap_s, 0.0);
+    }
+  }
+}
+
+// Sanitizer instrumentation slows compute by 2-15x while the emulated
+// message cost stays wall-clock, which shrinks the transfer the
+// interior could hide and inverts the comparison's premise; the
+// reconciliation test above still runs everywhere.
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define HPFSC_SANITIZED 1
+#endif
+#endif
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define HPFSC_SANITIZED 1
+#endif
+
+TEST(OverlapProfile, ExposedCommFractionDropsVsSyncBaseline) {
+#ifdef HPFSC_SANITIZED
+  GTEST_SKIP() << "timing comparison is invalid under sanitizer slowdown";
+#endif
+  const int n = 128;
+  const int steps = 3;
+  double sync_fraction = 0.0;
+  double async_fraction = 0.0;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    double exposed[2] = {0.0, 0.0};
+    double machine_time[2] = {0.0, 0.0};
+    double overlap_total = 0.0;
+    const simpi::CommBackendKind backends[2] = {simpi::CommBackendKind::Sync,
+                                                simpi::CommBackendKind::Async};
+    for (const SuiteKernel& c : suite()) {
+      for (int b = 0; b < 2; ++b) {
+        Execution exec = make_execution(c, backends[b], n, true);
+        exec.run(1);
+        WaitProfile p;
+        for (int retry = 0; retry < 3; ++retry) {
+          p = WaitProfile::from_run(exec.run(steps));
+          if (p.reconciled()) break;
+        }
+        ASSERT_TRUE(p.reconciled())
+            << c.name << (b ? " async" : " sync") << "\n" << p.to_text();
+        exposed[b] += exposed_seconds(p);
+        machine_time[b] +=
+            static_cast<double>(p.rows.size()) * p.wall_seconds;
+        if (b == 1) {
+          for (const WaitProfileRow& r : p.rows) overlap_total += r.overlap_s;
+        }
+      }
+    }
+    // The async runs must actually have exercised the overlap path.
+    EXPECT_GT(overlap_total, 0.0);
+    sync_fraction = exposed[0] / machine_time[0];
+    async_fraction = exposed[1] / machine_time[1];
+    if (async_fraction < sync_fraction) break;
+  }
+  EXPECT_LT(async_fraction, sync_fraction)
+      << "aggregate exposed-comm fraction did not drop under the async "
+         "backend (sync "
+      << sync_fraction << ", async " << async_fraction << ")";
+}
+
+}  // namespace
+}  // namespace hpfsc

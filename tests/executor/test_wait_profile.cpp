@@ -84,8 +84,8 @@ void expect_profile_sane(const WaitProfile& p, int num_pes,
   EXPECT_LT(p.exposed_comm_fraction, 1.0) << label;
   EXPECT_GE(p.overlap_speedup_bound, 1.0) << label;
   for (const WaitProfileRow& r : p.rows) {
-    const double sum =
-        r.compute_s + r.recv_s + r.barrier_s + r.pool_s + r.overhead_s;
+    const double sum = r.compute_s + r.recv_s + r.overlap_s + r.barrier_s +
+                       r.pool_s + r.overhead_s;
     EXPECT_NEAR(sum, p.wall_seconds, 1e-6 + 1e-6 * p.wall_seconds)
         << label << " pe " << r.pe;
   }

@@ -27,6 +27,7 @@
 #include <fstream>
 #include <future>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -53,6 +54,7 @@ void usage() {
       "usage: hpfsc_profile [-O0..-O4|--xlhpf] [--n=N] [--steps=K]\n"
       "                     [--tier=auto|interp|simd] [--pe-rows=R] "
       "[--pe-cols=C]\n"
+      "                     [--comm-backend=sync|async] [--emulate-cost]\n"
       "                     [--json-out=FILE] [--quiet]\n"
       "                     (FILE | @problem9 | @ninept | @ninept-array "
       "| @fivept | @jacobi)\n"
@@ -135,6 +137,9 @@ struct Options {
   int workers = 2;
   bool tiered = false;
   bool quiet = false;
+  /// unset = machine default (HPFSC_COMM_BACKEND or config default)
+  std::optional<simpi::CommBackendKind> comm_backend;
+  bool emulate_cost = false;
 };
 
 /// One profiled run: label + profile, collected for the JSON report.
@@ -199,7 +204,9 @@ int profile_kernel(const Options& opt) {
   }
   if (opt.pe_rows > 0) mc.pe_rows = opt.pe_rows;
   if (opt.pe_cols > 0) mc.pe_cols = opt.pe_cols;
+  mc.cost.emulate = opt.emulate_cost;
   hpfsc::Execution exec(std::move(compiled.program), mc);
+  if (opt.comm_backend) exec.machine().set_comm_backend(*opt.comm_backend);
   exec.set_kernel_tier(opt.tier);
   exec.prepare(hpfsc::Bindings{}.set("N", opt.n).set("NSTEPS", 1));
   init_input_arrays(exec);
@@ -325,6 +332,17 @@ int main(int argc, char** argv) {
       opt.pe_rows = std::atoi(v);
     } else if (const char* v = flag_value(arg, "--pe-cols")) {
       opt.pe_cols = std::atoi(v);
+    } else if (const char* v = flag_value(arg, "--comm-backend")) {
+      if (std::strcmp(v, "sync") == 0) {
+        opt.comm_backend = simpi::CommBackendKind::Sync;
+      } else if (std::strcmp(v, "async") == 0) {
+        opt.comm_backend = simpi::CommBackendKind::Async;
+      } else {
+        usage();
+        return 1;
+      }
+    } else if (arg == "--emulate-cost") {
+      opt.emulate_cost = true;
     } else if (const char* v = flag_value(arg, "--json-out")) {
       opt.json_out = v;
     } else if (const char* v = flag_value(arg, "--serve-batch")) {
